@@ -1,0 +1,258 @@
+//! The anycast connector: resolve a logical name through DNS or anycast
+//! routing, per deployment.
+
+use crate::resolver::DnsResolver;
+use crate::route::AnycastRouteTable;
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, Error};
+use bertha_transport::{bind_any, AnyConn};
+use std::sync::Arc;
+
+/// Which resolution mechanism to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnycastStrategy {
+    /// DNS-style resolution (stable, TTL-delayed reaction).
+    Dns,
+    /// IP-anycast routing (instant reaction, flap-prone).
+    Route,
+    /// Route when recent resolutions have been stable, DNS otherwise:
+    /// "dynamically choose between DNS-based and IP-anycast based
+    /// approaches depending on where they are deployed" (§3.2).
+    Auto,
+}
+
+/// A connector for `Addr::Named` services.
+pub struct AnycastConnector {
+    dns: Arc<DnsResolver>,
+    routes: Arc<AnycastRouteTable>,
+    strategy: AnycastStrategy,
+    /// Flap count at the last Auto decision, to detect churn.
+    last_flaps: std::sync::atomic::AtomicU64,
+}
+
+impl AnycastConnector {
+    /// A connector over both mechanisms.
+    pub fn new(
+        dns: Arc<DnsResolver>,
+        routes: Arc<AnycastRouteTable>,
+        strategy: AnycastStrategy,
+    ) -> Self {
+        AnycastConnector {
+            dns,
+            routes,
+            strategy,
+            last_flaps: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<(Addr, AnycastStrategy), Error> {
+        match self.strategy {
+            AnycastStrategy::Dns => Ok((self.dns.resolve(name)?.addr, AnycastStrategy::Dns)),
+            AnycastStrategy::Route => {
+                Ok((self.routes.route(name)?.addr, AnycastStrategy::Route))
+            }
+            AnycastStrategy::Auto => {
+                use std::sync::atomic::Ordering;
+                let flaps_now = self.routes.flap_count();
+                let flaps_before = self.last_flaps.swap(flaps_now, Ordering::Relaxed);
+                if flaps_now > flaps_before {
+                    // Routing is churning: fall back to DNS for stability.
+                    Ok((self.dns.resolve(name)?.addr, AnycastStrategy::Dns))
+                } else {
+                    match self.routes.route(name) {
+                        Ok(a) => Ok((a.addr, AnycastStrategy::Route)),
+                        Err(_) => Ok((self.dns.resolve(name)?.addr, AnycastStrategy::Dns)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ChunnelConnector for AnycastConnector {
+    type Addr = Addr;
+    type Connection = AnycastConn;
+
+    fn connect(&mut self, addr: Addr) -> BoxFut<'static, Result<AnycastConn, Error>> {
+        let resolved = match &addr {
+            Addr::Named(name) => self.resolve(name),
+            other => Err(Error::Other(format!(
+                "anycast connector needs a named address, got {other}"
+            ))),
+        };
+        Box::pin(async move {
+            let (instance, via) = resolved?;
+            let sock = bind_any(&instance).await?;
+            Ok(AnycastConn {
+                sock,
+                logical: addr,
+                instance,
+                via,
+            })
+        })
+    }
+}
+
+/// Connection produced by [`AnycastConnector`]: the application addresses
+/// the logical name; the connection maps it to the chosen instance.
+pub struct AnycastConn {
+    sock: AnyConn,
+    logical: Addr,
+    instance: Addr,
+    via: AnycastStrategy,
+}
+
+impl AnycastConn {
+    /// The instance this connection resolved to.
+    pub fn instance(&self) -> &Addr {
+        &self.instance
+    }
+
+    /// Which mechanism resolved it.
+    pub fn via(&self) -> AnycastStrategy {
+        self.via
+    }
+}
+
+impl ChunnelConnection for AnycastConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        let addr = if addr == self.logical {
+            self.instance.clone()
+        } else {
+            addr
+        };
+        self.sock.send((addr, buf))
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.sock.recv().await?;
+            let from = if from == self.instance {
+                self.logical.clone()
+            } else {
+                from
+            };
+            Ok((from, buf))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::DnsRecord;
+    use crate::route::Announcement;
+    use bertha_transport::mem::MemSocket;
+    use std::time::Duration;
+
+    fn setup(flap_prob: f64) -> (Arc<DnsResolver>, Arc<AnycastRouteTable>) {
+        let dns = Arc::new(DnsResolver::new());
+        let routes = Arc::new(AnycastRouteTable::with_instability(flap_prob, 7));
+        (dns, routes)
+    }
+
+    #[tokio::test]
+    async fn dns_strategy_end_to_end() {
+        let (dns, routes) = setup(0.0);
+        let server = MemSocket::bind(Some("anycast-dns-srv".into())).unwrap();
+        dns.announce(
+            "svc",
+            DnsRecord {
+                addr: server.local_addr(),
+                latency_hint_us: 10,
+                ttl: Duration::from_secs(1),
+            },
+        );
+        let mut conn = AnycastConnector::new(dns, routes, AnycastStrategy::Dns);
+        let c = conn.connect(Addr::Named("svc".into())).await.unwrap();
+        assert_eq!(c.via(), AnycastStrategy::Dns);
+
+        c.send((Addr::Named("svc".into()), b"hi".to_vec()))
+            .await
+            .unwrap();
+        let (from, d) = server.recv().await.unwrap();
+        assert_eq!(d, b"hi");
+        server.send((from, b"yo".to_vec())).await.unwrap();
+        let (from, d) = c.recv().await.unwrap();
+        assert_eq!(d, b"yo");
+        assert_eq!(from, Addr::Named("svc".into()), "source is the logical name");
+    }
+
+    #[tokio::test]
+    async fn route_strategy_picks_nearest() {
+        let (dns, routes) = setup(0.0);
+        routes.announce(
+            "svc",
+            Announcement {
+                addr: Addr::Mem("near".into()),
+                distance: 1,
+            },
+        );
+        routes.announce(
+            "svc",
+            Announcement {
+                addr: Addr::Mem("far".into()),
+                distance: 8,
+            },
+        );
+        let _near = MemSocket::bind(Some("near".into())).unwrap();
+        let mut conn = AnycastConnector::new(dns, routes, AnycastStrategy::Route);
+        let c = conn.connect(Addr::Named("svc".into())).await.unwrap();
+        assert_eq!(c.instance(), &Addr::Mem("near".into()));
+    }
+
+    #[tokio::test]
+    async fn auto_falls_back_to_dns_under_churn() {
+        let (dns, routes) = setup(1.0); // every resolution flaps
+        let server = MemSocket::bind(Some("anycast-auto-srv".into())).unwrap();
+        dns.announce(
+            "svc",
+            DnsRecord {
+                addr: server.local_addr(),
+                latency_hint_us: 10,
+                ttl: Duration::from_secs(1),
+            },
+        );
+        routes.announce(
+            "svc",
+            Announcement {
+                addr: Addr::Mem("r1".into()),
+                distance: 1,
+            },
+        );
+        routes.announce(
+            "svc",
+            Announcement {
+                addr: Addr::Mem("r2".into()),
+                distance: 2,
+            },
+        );
+        let _r1 = MemSocket::bind(Some("r1".into())).unwrap();
+        let _r2 = MemSocket::bind(Some("r2".into())).unwrap();
+
+        let mut conn = AnycastConnector::new(dns, routes, AnycastStrategy::Auto);
+        // First connection may route; after observing flaps, Auto switches
+        // to DNS.
+        let _ = conn.connect(Addr::Named("svc".into())).await.unwrap();
+        let mut dns_used = false;
+        for _ in 0..5 {
+            let c = conn.connect(Addr::Named("svc".into())).await.unwrap();
+            if c.via() == AnycastStrategy::Dns {
+                dns_used = true;
+            }
+        }
+        assert!(dns_used, "auto strategy never fell back to dns");
+    }
+
+    #[tokio::test]
+    async fn non_named_address_rejected() {
+        let (dns, routes) = setup(0.0);
+        let mut conn = AnycastConnector::new(dns, routes, AnycastStrategy::Dns);
+        assert!(conn
+            .connect(Addr::Mem("direct".into()))
+            .await
+            .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Anycast chunnel (§3.2).
+//!
+//! "IP Anycast has traditionally been used ... to geo-shard requests by
+//! routing them to the closest host advertising that IP. However, due to
+//! routing instability, many developers instead opt to use DNS for this
+//! purpose. Implementing anycast using a Bertha tunnel allows applications
+//! to dynamically choose between DNS-based and IP-anycast based approaches
+//! depending on where they are deployed."
+//!
+//! Two resolution mechanisms for one logical name:
+//!
+//! - [`resolver`]: a DNS-style resolver — TTL'd records with latency
+//!   hints, re-resolved per connection; slower to react than routing but
+//!   stable;
+//! - [`route`]: a simulated IP-anycast route table — instantly picks the
+//!   topologically nearest announcement, but *flaps*: under route churn
+//!   the nearest instance changes, which is why DNS is often preferred.
+//!
+//! [`chunnel`] provides the connector that picks a mechanism per
+//! deployment: explicitly, or automatically from observed route stability.
+
+#![warn(missing_docs)]
+
+pub mod chunnel;
+pub mod resolver;
+pub mod route;
+
+pub use chunnel::{AnycastConnector, AnycastStrategy};
+pub use resolver::{DnsRecord, DnsResolver};
+pub use route::{AnycastRouteTable, Announcement};

@@ -1,0 +1,153 @@
+//! A DNS-style resolver with TTLs and latency hints.
+
+use bertha::{Addr, Error};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One resolved instance of a service name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DnsRecord {
+    /// Where the instance listens.
+    pub addr: Addr,
+    /// Estimated round-trip latency to it, in microseconds (the geo
+    /// signal a real DNS-based scheme encodes by returning nearby
+    /// instances).
+    pub latency_hint_us: u64,
+    /// How long the record may be cached.
+    pub ttl: Duration,
+}
+
+struct CacheEntry {
+    records: Vec<DnsRecord>,
+    fetched: Instant,
+    ttl: Duration,
+}
+
+/// The resolver: authoritative records plus a client-side cache.
+///
+/// The cache models DNS's defining trade-off: answers may be up to one TTL
+/// stale, so a new (closer) instance is only discovered after the cache
+/// expires — slower to react than anycast routing, but immune to route
+/// flaps.
+#[derive(Default)]
+pub struct DnsResolver {
+    records: RwLock<HashMap<String, Vec<DnsRecord>>>,
+    cache: RwLock<HashMap<String, CacheEntry>>,
+}
+
+impl DnsResolver {
+    /// An empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an instance for `name`.
+    pub fn announce(&self, name: impl Into<String>, record: DnsRecord) {
+        self.records.write().entry(name.into()).or_default().push(record);
+    }
+
+    /// Remove an instance of `name` by address. Returns whether it existed.
+    pub fn withdraw(&self, name: &str, addr: &Addr) -> bool {
+        let mut records = self.records.write();
+        match records.get_mut(name) {
+            Some(rs) => {
+                let before = rs.len();
+                rs.retain(|r| &r.addr != addr);
+                rs.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// Resolve `name` to the lowest-latency instance, honoring the cache.
+    pub fn resolve(&self, name: &str) -> Result<DnsRecord, Error> {
+        if let Some(entry) = self.cache.read().get(name) {
+            if entry.fetched.elapsed() < entry.ttl {
+                return best(&entry.records)
+                    .ok_or_else(|| Error::NotFound(format!("dns name {name:?}")));
+            }
+        }
+        // Cache miss or expired: authoritative lookup.
+        let records = self
+            .records
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_default();
+        let ttl = records
+            .iter()
+            .map(|r| r.ttl)
+            .min()
+            .unwrap_or(Duration::from_secs(1));
+        let result = best(&records).ok_or_else(|| Error::NotFound(format!("dns name {name:?}")));
+        self.cache.write().insert(
+            name.to_owned(),
+            CacheEntry {
+                records,
+                fetched: Instant::now(),
+                ttl,
+            },
+        );
+        result
+    }
+
+    /// Drop the cache (tests; or an application-forced re-resolution).
+    pub fn flush_cache(&self) {
+        self.cache.write().clear();
+    }
+}
+
+fn best(records: &[DnsRecord]) -> Option<DnsRecord> {
+    records.iter().min_by_key(|r| r.latency_hint_us).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: &str, lat: u64, ttl_ms: u64) -> DnsRecord {
+        DnsRecord {
+            addr: Addr::Mem(addr.into()),
+            latency_hint_us: lat,
+            ttl: Duration::from_millis(ttl_ms),
+        }
+    }
+
+    #[test]
+    fn resolves_lowest_latency() {
+        let r = DnsResolver::new();
+        r.announce("svc", rec("far", 5000, 1000));
+        r.announce("svc", rec("near", 100, 1000));
+        assert_eq!(r.resolve("svc").unwrap().addr, Addr::Mem("near".into()));
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let r = DnsResolver::new();
+        assert!(matches!(r.resolve("nope"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn cache_hides_new_instances_until_ttl() {
+        let r = DnsResolver::new();
+        r.announce("svc", rec("far", 5000, 50));
+        assert_eq!(r.resolve("svc").unwrap().addr, Addr::Mem("far".into()));
+        // A closer instance appears; the cached answer persists...
+        r.announce("svc", rec("near", 10, 50));
+        assert_eq!(r.resolve("svc").unwrap().addr, Addr::Mem("far".into()));
+        // ...until the TTL passes.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(r.resolve("svc").unwrap().addr, Addr::Mem("near".into()));
+    }
+
+    #[test]
+    fn withdraw_removes_instance() {
+        let r = DnsResolver::new();
+        r.announce("svc", rec("a", 10, 1000));
+        assert!(r.withdraw("svc", &Addr::Mem("a".into())));
+        assert!(!r.withdraw("svc", &Addr::Mem("a".into())));
+        r.flush_cache();
+        assert!(r.resolve("svc").is_err());
+    }
+}

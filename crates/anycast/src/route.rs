@@ -1,0 +1,170 @@
+//! A simulated IP-anycast route table.
+//!
+//! Instances announce a shared logical address; the "network" routes each
+//! client to the topologically nearest announcement. Reaction to new
+//! announcements is immediate (routing converges fast in the model), but
+//! the table can *flap*: churn temporarily reroutes clients to a
+//! non-nearest instance mid-connection-stream — the instability that
+//! pushes real deployments toward DNS (§3.2).
+
+use bertha::{Addr, Error};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One instance's route announcement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Announcement {
+    /// Where the instance actually listens.
+    pub addr: Addr,
+    /// Topological distance from this client's vantage point (lower is
+    /// nearer; an AS-path length in the real system).
+    pub distance: u32,
+}
+
+/// The route table for one vantage point.
+pub struct AnycastRouteTable {
+    routes: RwLock<HashMap<String, Vec<Announcement>>>,
+    /// Probability that any given resolution is mid-flap and lands on a
+    /// uniformly random announcement instead of the nearest one.
+    flap_probability: f64,
+    rng: parking_lot::Mutex<StdRng>,
+    flaps: std::sync::atomic::AtomicU64,
+}
+
+impl AnycastRouteTable {
+    /// A stable table (no flaps).
+    pub fn new() -> Self {
+        Self::with_instability(0.0, 0)
+    }
+
+    /// A table where each resolution flaps with the given probability.
+    pub fn with_instability(flap_probability: f64, seed: u64) -> Self {
+        AnycastRouteTable {
+            routes: RwLock::new(HashMap::new()),
+            flap_probability,
+            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(seed)),
+            flaps: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Announce an instance of `name`.
+    pub fn announce(&self, name: impl Into<String>, ann: Announcement) {
+        self.routes.write().entry(name.into()).or_default().push(ann);
+    }
+
+    /// Withdraw an instance of `name` by address.
+    pub fn withdraw(&self, name: &str, addr: &Addr) -> bool {
+        let mut routes = self.routes.write();
+        match routes.get_mut(name) {
+            Some(anns) => {
+                let before = anns.len();
+                anns.retain(|a| &a.addr != addr);
+                anns.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// Route to an instance of `name`: the nearest one, unless this
+    /// resolution is caught mid-flap.
+    pub fn route(&self, name: &str) -> Result<Announcement, Error> {
+        let routes = self.routes.read();
+        let anns = routes
+            .get(name)
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| Error::NotFound(format!("anycast name {name:?}")))?;
+        let flapping = anns.len() > 1 && {
+            let mut rng = self.rng.lock();
+            rng.gen::<f64>() < self.flap_probability
+        };
+        if flapping {
+            self.flaps
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut rng = self.rng.lock();
+            let i = rng.gen_range(0..anns.len());
+            return Ok(anns[i].clone());
+        }
+        Ok(anns
+            .iter()
+            .min_by_key(|a| a.distance)
+            .expect("non-empty")
+            .clone())
+    }
+
+    /// How many resolutions flapped so far.
+    pub fn flap_count(&self) -> u64 {
+        self.flaps.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Default for AnycastRouteTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(addr: &str, dist: u32) -> Announcement {
+        Announcement {
+            addr: Addr::Mem(addr.into()),
+            distance: dist,
+        }
+    }
+
+    #[test]
+    fn routes_to_nearest() {
+        let t = AnycastRouteTable::new();
+        t.announce("svc", ann("far", 9));
+        t.announce("svc", ann("near", 2));
+        assert_eq!(t.route("svc").unwrap().addr, Addr::Mem("near".into()));
+    }
+
+    #[test]
+    fn reacts_immediately_to_new_announcement() {
+        let t = AnycastRouteTable::new();
+        t.announce("svc", ann("far", 9));
+        assert_eq!(t.route("svc").unwrap().addr, Addr::Mem("far".into()));
+        t.announce("svc", ann("near", 1));
+        // No TTL: the very next resolution sees the new instance.
+        assert_eq!(t.route("svc").unwrap().addr, Addr::Mem("near".into()));
+    }
+
+    #[test]
+    fn instability_causes_flaps() {
+        let t = AnycastRouteTable::with_instability(0.5, 42);
+        t.announce("svc", ann("a", 1));
+        t.announce("svc", ann("b", 2));
+        let mut non_nearest = 0;
+        for _ in 0..1000 {
+            if t.route("svc").unwrap().addr != Addr::Mem("a".into()) {
+                non_nearest += 1;
+            }
+        }
+        assert!(non_nearest > 100, "expected flaps, saw {non_nearest}");
+        assert!(t.flap_count() > 100);
+    }
+
+    #[test]
+    fn single_instance_never_flaps() {
+        let t = AnycastRouteTable::with_instability(1.0, 1);
+        t.announce("svc", ann("only", 5));
+        for _ in 0..100 {
+            assert_eq!(t.route("svc").unwrap().addr, Addr::Mem("only".into()));
+        }
+        assert_eq!(t.flap_count(), 0);
+    }
+
+    #[test]
+    fn withdraw_and_missing() {
+        let t = AnycastRouteTable::new();
+        t.announce("svc", ann("a", 1));
+        assert!(t.withdraw("svc", &Addr::Mem("a".into())));
+        assert!(t.route("svc").is_err());
+        assert!(t.route("other").is_err());
+    }
+}

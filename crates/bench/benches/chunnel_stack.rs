@@ -1,0 +1,104 @@
+//! Ablation C: per-chunnel overhead (send+recv round trip, 1 KiB payload,
+//! in-memory transport). Establishes what each layer of a stack costs in
+//! software — the numbers an offload would have to beat.
+
+use bertha::conn::{pair, ChunnelConnection, Datagram};
+use bertha::util::Nothing;
+use bertha::{Addr, Chunnel};
+use bertha_chunnels::batch::{BatchChunnel, BatchConfig};
+use bertha_chunnels::{
+    CompressChunnel, CryptChunnel, FragChunnel, OrderingChunnel, ReliabilityChunnel,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PAYLOAD: usize = 1024;
+
+fn bench_wrapped<L, C>(c: &mut Criterion, name: &str, stack: L, mk: fn() -> L)
+where
+    L: Chunnel<bertha::conn::ChanConn<Datagram>, Connection = C> + Clone,
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    let _ = mk;
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .unwrap();
+    let (a, b) = pair::<Datagram>(1024);
+    let (ca, cb) = rt.block_on(async {
+        let ca = stack.clone().connect_wrap(a).await.unwrap();
+        let cb = stack.connect_wrap(b).await.unwrap();
+        (ca, cb)
+    });
+    let addr = Addr::Mem("bench-peer".into());
+    let payload = vec![0xa5u8; PAYLOAD];
+    c.bench_function(name, |bench| {
+        bench.iter(|| {
+            rt.block_on(async {
+                ca.send((addr.clone(), payload.clone())).await.unwrap();
+                let (_, d) = cb.recv().await.unwrap();
+                assert_eq!(d.len(), PAYLOAD);
+            })
+        })
+    });
+}
+
+fn chunnel_stack(c: &mut Criterion) {
+    bench_wrapped(c, "roundtrip/nothing", Nothing::<Datagram>::default(), || {
+        Nothing::default()
+    });
+    bench_wrapped(
+        c,
+        "roundtrip/reliable",
+        ReliabilityChunnel::default(),
+        ReliabilityChunnel::default,
+    );
+    bench_wrapped(
+        c,
+        "roundtrip/ordering",
+        OrderingChunnel::default(),
+        OrderingChunnel::default,
+    );
+    bench_wrapped(
+        c,
+        "roundtrip/batch-of-1",
+        BatchChunnel::new(BatchConfig {
+            max_msgs: 1,
+            ..Default::default()
+        }),
+        BatchChunnel::default,
+    );
+    bench_wrapped(c, "roundtrip/frag", FragChunnel::default(), FragChunnel::default);
+    bench_wrapped(
+        c,
+        "roundtrip/compress",
+        CompressChunnel,
+        CompressChunnel::default,
+    );
+    bench_wrapped(c, "roundtrip/crypt", CryptChunnel::demo(), CryptChunnel::demo);
+
+    // A realistic composed stack: crypt over compress over reliable.
+    let composed = bertha::wrap!(
+        CryptChunnel::demo() |> CompressChunnel |> ReliabilityChunnel::default()
+    );
+    bench_wrapped(c, "roundtrip/crypt+compress+reliable", composed, || {
+        bertha::wrap!(CryptChunnel::demo() |> CompressChunnel |> ReliabilityChunnel::default())
+    });
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let compressible: Vec<u8> = b"the quick brown fox ".repeat(52)[..PAYLOAD].to_vec();
+    let random: Vec<u8> = (0..PAYLOAD).map(|i| (i * 2654435761) as u8).collect();
+    c.bench_function("compress/1k-compressible", |b| {
+        b.iter(|| bertha_chunnels::compress::compress(&compressible))
+    });
+    c.bench_function("compress/1k-random", |b| {
+        b.iter(|| bertha_chunnels::compress::compress(&random))
+    });
+    let key = [7u8; 32];
+    c.bench_function("crypt/seal-1k", |b| {
+        b.iter(|| bertha_chunnels::crypt::seal(&key, &random))
+    });
+}
+
+criterion_group!(benches, chunnel_stack, codec_throughput);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion companion to the `fig3` binary: steady-state echo round trips
+//! over loopback UDP vs. Unix datagram sockets vs. a negotiated Bertha
+//! connection on the Unix fast path. The UDS/UDP gap is what the local
+//! fast-path chunnel buys; bertha-vs-unix shows the (near-zero) cost of
+//! going through the abstraction.
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{negotiate_client, negotiate_server_once, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use bertha_transport::uds::{UdsConnector, UdsListener};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SIZE: usize = 1024;
+
+fn fig3(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+
+    // UDP arm.
+    let (udp_conn, udp_addr) = rt.block_on(async {
+        let mut incoming = UdpListener::default()
+            .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let addr = incoming.local_addr();
+        tokio::spawn(async move {
+            while let Some(Ok(conn)) = incoming.next().await {
+                tokio::spawn(async move {
+                    while let Ok((from, d)) = conn.recv().await {
+                        if conn.send((from, d)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let conn = UdpConnector.connect(addr.clone()).await.unwrap();
+        (conn, addr)
+    });
+    let payload = vec![1u8; SIZE];
+    c.bench_function("fig3/udp-loopback-echo", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                udp_conn
+                    .send((udp_addr.clone(), payload.clone()))
+                    .await
+                    .unwrap();
+                udp_conn.recv().await.unwrap()
+            })
+        })
+    });
+
+    // Unix arm.
+    let (uds_conn, uds_addr) = rt.block_on(async {
+        let path =
+            std::env::temp_dir().join(format!("bertha-fig3bench-{}.sock", std::process::id()));
+        let addr = Addr::Unix(path);
+        let mut incoming = UdsListener::default().listen(addr.clone()).await.unwrap();
+        tokio::spawn(async move {
+            while let Some(Ok(conn)) = incoming.next().await {
+                tokio::spawn(async move {
+                    while let Ok((from, d)) = conn.recv().await {
+                        if conn.send((from, d)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let conn = UdsConnector.connect(addr.clone()).await.unwrap();
+        (conn, addr)
+    });
+    c.bench_function("fig3/unix-echo", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                uds_conn
+                    .send((uds_addr.clone(), payload.clone()))
+                    .await
+                    .unwrap();
+                uds_conn.recv().await.unwrap()
+            })
+        })
+    });
+
+    // Bertha arm: negotiated connection over the Unix fast path.
+    let (bertha_conn, bertha_addr) = rt.block_on(async {
+        let path =
+            std::env::temp_dir().join(format!("bertha-fig3bench-neg-{}.sock", std::process::id()));
+        let addr = Addr::Unix(path);
+        let mut incoming = UdsListener::default().listen(addr.clone()).await.unwrap();
+        tokio::spawn(async move {
+            while let Some(Ok(raw)) = incoming.next().await {
+                tokio::spawn(async move {
+                    let Ok(conn) =
+                        negotiate_server_once(bertha::wrap!(), raw, &NegotiateOpts::named("srv"))
+                            .await
+                    else {
+                        return;
+                    };
+                    while let Ok((from, d)) = conn.recv().await {
+                        if conn.send((from, d)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let raw = UdsConnector.connect(addr.clone()).await.unwrap();
+        let (conn, _) = negotiate_client(
+            bertha::wrap!(),
+            raw,
+            addr.clone(),
+            &NegotiateOpts::named("cli"),
+        )
+        .await
+        .unwrap();
+        (conn, addr)
+    });
+    c.bench_function("fig3/bertha-unix-echo", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                bertha_conn
+                    .send((bertha_addr.clone(), payload.clone()))
+                    .await
+                    .unwrap();
+                bertha_conn.recv().await.unwrap()
+            })
+        })
+    });
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion companion to the `fig5` binary: the per-request costs that
+//! separate the sharding implementations — the steering decision itself
+//! (the paper's XDP program does exactly this per packet) and a full KV
+//! get over a client-push connection.
+
+use bertha::negotiate::{NegotiatedConn, Offer, SlotApply};
+use bertha::{Addr, ChunnelConnector};
+use bertha_shard::worker::frame_data;
+use bertha_shard::{ShardClientChunnel, ShardFnSpec, ShardInfo};
+use bertha_transport::udp::UdpConnector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use kvstore::{spawn_shards, KvClient, Msg, Op};
+
+fn steering_decision(c: &mut Criterion) {
+    let info = ShardInfo {
+        canonical: Addr::Mem("svc".into()),
+        shards: (0..3).map(|i| Addr::Mem(format!("s{i}"))).collect(),
+        shard_fn: ShardFnSpec::paper_default(),
+    };
+    let wire = frame_data(
+        &Msg {
+            id: 42,
+            op: Op::Get,
+            key: "user12345".into(),
+            val: None,
+        }
+        .encode(),
+    );
+
+    // The steerer's per-packet work: strip the tag, hash bytes 10..14.
+    c.bench_function("fig5/steer-decision", |b| {
+        b.iter(|| {
+            let payload = bertha_shard::worker::strip_data(&wire).unwrap();
+            info.shard_of(payload)
+        })
+    });
+
+    c.bench_function("fig5/kv-request-encode", |b| {
+        b.iter(|| {
+            Msg {
+                id: 42,
+                op: Op::Get,
+                key: "user12345".into(),
+                val: None,
+            }
+            .encode()
+        })
+    });
+}
+
+fn end_to_end_get(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+    let client = rt.block_on(async {
+        let shards = spawn_shards(3).await.unwrap();
+        let info = kvstore::shard_info(Addr::Udp("127.0.0.1:1".parse().unwrap()), &shards);
+        // Client-push connection, hand-configured (no server needed for
+        // the steady-state data path).
+        let raw = UdpConnector.connect(shards[0].addr.clone()).await.unwrap();
+        let framed = NegotiatedConn::client(raw, vec![]);
+        let mut pick = Offer::from_chunnel(&ShardClientChunnel);
+        pick.ext = info.to_ext();
+        let conn = ShardClientChunnel
+            .slot_apply(pick, vec![], framed)
+            .await
+            .unwrap();
+        let client = KvClient::new(conn, info.canonical.clone());
+        client.put("user12345", vec![7u8; 100]).await.unwrap();
+        // Keep the shard workers alive by leaking their handles into the
+        // runtime's lifetime.
+        std::mem::forget(shards);
+        client
+    });
+    c.bench_function("fig5/client-push-get", |b| {
+        b.iter(|| {
+            rt.block_on(async { client.get("user12345").await.unwrap().unwrap() })
+        })
+    });
+}
+
+criterion_group!(benches, steering_decision, end_to_end_get);
+criterion_main!(benches);

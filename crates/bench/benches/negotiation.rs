@@ -1,0 +1,84 @@
+//! Microbenchmarks of the negotiation machinery: offer encoding, the pick
+//! computation, and a full in-memory handshake (the non-network share of
+//! §5's connection-establishment cost).
+
+use bertha::conn::{pair, Datagram};
+use bertha::negotiate::{
+    negotiate_client, negotiate_server_once, pick_stack, DefaultPolicy, GetOffers, NegotiateMsg,
+    NegotiateOpts,
+};
+use bertha::Addr;
+use bertha_chunnels::{OrderingChunnel, ReliabilityChunnel};
+use bertha_shard::{ShardCanonicalServer, ShardDeferChunnel, ShardFnSpec, ShardInfo};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn shard_info() -> ShardInfo {
+    ShardInfo {
+        canonical: Addr::Mem("svc".into()),
+        shards: (0..3).map(|i| Addr::Mem(format!("s{i}"))).collect(),
+        shard_fn: ShardFnSpec::paper_default(),
+    }
+}
+
+fn offers_and_picks(c: &mut Criterion) {
+    let server_stack = bertha::wrap!(
+        ShardCanonicalServer::new(shard_info()) |> ReliabilityChunnel::default() |> OrderingChunnel::default()
+    );
+    let client_stack = bertha::wrap!(
+        ShardDeferChunnel |> ReliabilityChunnel::default() |> OrderingChunnel::default()
+    );
+
+    c.bench_function("negotiate/collect-offers", |b| {
+        b.iter(|| server_stack.offers())
+    });
+
+    let server_offers = server_stack.offers();
+    let client_msg = NegotiateMsg::ClientOffer {
+        name: "bench".into(),
+        slots: client_stack.offers(),
+        registered: vec![],
+    };
+    c.bench_function("negotiate/pick-stack", |b| {
+        b.iter(|| pick_stack("bench-srv", &server_offers, &client_msg, &DefaultPolicy).unwrap())
+    });
+
+    let encoded = bincode::serialize(&client_msg).unwrap();
+    c.bench_function("negotiate/decode-client-offer", |b| {
+        b.iter(|| bincode::deserialize::<NegotiateMsg>(&encoded).unwrap())
+    });
+}
+
+fn full_handshake(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .unwrap();
+    c.bench_function("negotiate/in-memory-handshake", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                let (cli, srv) = pair::<Datagram>(16);
+                let server = tokio::spawn(async move {
+                    negotiate_server_once(
+                        bertha::wrap!(ReliabilityChunnel::default()),
+                        srv,
+                        &NegotiateOpts::named("srv"),
+                    )
+                    .await
+                    .unwrap()
+                });
+                let (_conn, _picks) = negotiate_client(
+                    bertha::wrap!(ReliabilityChunnel::default()),
+                    cli,
+                    Addr::Mem("srv".into()),
+                    &NegotiateOpts::named("cli"),
+                )
+                .await
+                .unwrap();
+                server.await.unwrap()
+            })
+        })
+    });
+}
+
+criterion_group!(benches, offers_and_picks, full_handshake);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! §6 ablation A: DAG reordering and fusion vs. PCIe data movement.
+//!
+//! The paper: "the Bertha runtime must either use a fallback implementation
+//! for encryption or incur a 3× increase (NIC-CPU-NIC) in the amount of
+//! data sent over PCIe ... Reordering this pipeline as
+//! `http2 |> encrypt |> tcp` allows the use of the offloaded implementation
+//! without increased PCIe overhead. ... if the SmartNIC did not explicitly
+//! offer separate offloads for encryption and TCP, but did offer one for
+//! TLS, Bertha could reorder and then merge the last two Chunnels."
+//!
+//! Arms, across message sizes:
+//! - `host-only`: every stage in software (the fallback);
+//! - `naive-offload`: offload encrypt and tcp as written (NIC-CPU-NIC);
+//! - `reordered`: the optimizer's ordering + placement;
+//! - `fused-tls`: NIC offers only TLS; optimizer reorders and fuses.
+//!
+//! Output: arm, message bytes, PCIe bytes moved, PCIe crossings, total ns
+//! per message, and p95 latency at 50% load from the event simulator.
+
+use bertha::dag::{NodeSpec, StackSpec};
+use bertha::negotiate::guid;
+use bertha_bench::header;
+use netsim::des::{bottleneck_ns, simulate, Station};
+use netsim::{place, placement_cost, Device, Pcie, Placement, PlacementProblem};
+
+const ENCRYPT: u64 = guid("cap/encrypt");
+const HTTP2: u64 = guid("cap/http2");
+const TCP: u64 = guid("cap/tcp");
+const TLS: u64 = guid("cap/tls");
+
+fn paper_spec() -> StackSpec {
+    StackSpec::new(vec![
+        NodeSpec::opaque("encrypt", ENCRYPT)
+            .commutes([HTTP2])
+            .fuses_with(TCP, TLS, "tls"),
+        NodeSpec::opaque("http2", HTTP2).size_factor(1.02),
+        NodeSpec::opaque("tcp", TCP),
+    ])
+}
+
+fn problem(nic_caps: Vec<u64>, bytes: f64) -> PlacementProblem {
+    PlacementProblem {
+        devices: vec![
+            Device::host_cpu("host", 0.3),
+            Device::nic("smartnic", nic_caps),
+        ],
+        pcie: Pcie::default(),
+        message_bytes: bytes,
+        wire_ns: 5_000.0,
+    }
+}
+
+fn named_placement(problem: &PlacementProblem, names: &[&str]) -> Placement {
+    Placement(
+        names
+            .iter()
+            .map(|n| problem.devices.iter().position(|d| d.name == *n).unwrap())
+            .collect(),
+    )
+}
+
+fn stations_for(spec: &StackSpec, problem: &PlacementProblem, placement: &Placement) -> Vec<Station> {
+    // One station per stage, service = that stage's share of the cost;
+    // plus one PCIe station carrying the bus time.
+    let cost = placement_cost(spec, problem, placement);
+    let mut stations: Vec<Station> = placement
+        .0
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let dev = &problem.devices[d];
+            let bytes = spec.size_after(problem.message_bytes, i);
+            Station {
+                service_ns: dev.per_msg_ns + dev.per_byte_ns * bytes,
+            }
+        })
+        .collect();
+    stations.push(Station {
+        service_ns: cost.pcie_ns,
+    });
+    stations
+}
+
+fn report(arm: &str, bytes: f64, spec: &StackSpec, problem: &PlacementProblem, placement: &Placement) {
+    let cost = placement_cost(spec, problem, placement);
+    let stations = stations_for(spec, problem, placement);
+    // 50% of the bottleneck rate.
+    let rate = 0.5 / bottleneck_ns(&stations);
+    let sim = simulate(&stations, rate, 20_000, 0xdab);
+    println!(
+        "{arm}\t{bytes:.0}\t{:.0}\t{}\t{:.0}\t{:.0}",
+        cost.pcie_bytes,
+        cost.pcie_crossings,
+        cost.total_ns,
+        sim.quantile(0.95)
+    );
+}
+
+fn main() {
+    header(&[
+        "arm",
+        "msg_bytes",
+        "pcie_bytes",
+        "pcie_crossings",
+        "total_ns",
+        "p95_ns_at_50pct_load",
+    ]);
+    for bytes in [512.0, 4096.0, 16384.0, 65536.0] {
+        let spec = paper_spec();
+
+        // host-only: no NIC capabilities at all.
+        let p = problem(vec![], bytes);
+        let host_only = named_placement(&p, &["host", "host", "host"]);
+        report("host-only", bytes, &spec, &p, &host_only);
+
+        // naive-offload: encrypt and tcp on the NIC, pipeline as written.
+        let p = problem(vec![ENCRYPT, TCP], bytes);
+        let naive = named_placement(&p, &["smartnic", "host", "smartnic"]);
+        report("naive-offload", bytes, &spec, &p, &naive);
+
+        // reordered: the optimizer's choice over orderings and placements.
+        let (reordered_spec, reordered_placement, _) =
+            netsim::placement::optimize_and_place(&spec, &p).unwrap();
+        report(
+            "reordered",
+            bytes,
+            &reordered_spec,
+            &p,
+            &reordered_placement,
+        );
+
+        // fused-tls: the NIC only has a TLS engine.
+        let p = problem(vec![TLS], bytes);
+        let (fused_spec, fused_placement, _) =
+            netsim::placement::optimize_and_place(&spec, &p).unwrap();
+        report("fused-tls", bytes, &fused_spec, &p, &fused_placement);
+
+        // Sanity: the optimizer can never do worse than the host fallback.
+        let p_host = problem(vec![], bytes);
+        let (_, _, best_host) = netsim::placement::optimize_and_place(&spec, &p_host).unwrap();
+        let host_cost = placement_cost(&spec, &p_host, &named_placement(&p_host, &["host", "host", "host"]));
+        assert!(best_host.total_ns <= host_cost.total_ns + 1e-6);
+        let _ = place(&spec, &p_host);
+    }
+}

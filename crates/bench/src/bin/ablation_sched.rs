@@ -1,0 +1,120 @@
+//! §6 ablation B: scheduling offload capacity across applications.
+//!
+//! "If two programs can benefit from offloading functionality to a P4
+//! switch, but the switch only has capacity for one, the Bertha runtime
+//! must choose between these two applications. Note that Chunnel
+//! priorities alone are insufficient to accomplish this goal. ... One
+//! approach to addressing this challenge is to borrow techniques from the
+//! multi-resource scheduling literature."
+//!
+//! Three contention profiles, each allocated under priority-only first-fit
+//! and under dominant-resource fairness. Output: profile, policy, per-app
+//! grants, Jain fairness index over dominant shares, and table-slot
+//! utilization.
+
+use bertha_bench::header;
+use netsim::sched::{allocate, jain_index, AllocPolicy, AppRequest};
+use std::collections::BTreeMap;
+
+fn switch_capacity() -> BTreeMap<&'static str, f64> {
+    BTreeMap::from([("table_slots", 1024.0), ("stages", 12.0), ("meters", 64.0)])
+}
+
+fn profiles() -> Vec<(&'static str, Vec<AppRequest>)> {
+    vec![
+        (
+            // The paper's literal scenario: two apps, capacity for one
+            // (each wants most of the stage budget).
+            "two-apps-one-slot",
+            vec![
+                AppRequest {
+                    name: "kv-cache".into(),
+                    demand: BTreeMap::from([("table_slots", 512.0), ("stages", 8.0)]),
+                    wanted: 2,
+                    priority: 10,
+                },
+                AppRequest {
+                    name: "paxos-seq".into(),
+                    demand: BTreeMap::from([("table_slots", 256.0), ("stages", 8.0)]),
+                    wanted: 2,
+                    priority: 5,
+                },
+            ],
+        ),
+        (
+            // Complementary demands: DRF should pack both.
+            "complementary",
+            vec![
+                AppRequest {
+                    name: "slot-heavy".into(),
+                    demand: BTreeMap::from([("table_slots", 128.0), ("stages", 0.5)]),
+                    wanted: 16,
+                    priority: 10,
+                },
+                AppRequest {
+                    name: "stage-heavy".into(),
+                    demand: BTreeMap::from([("table_slots", 8.0), ("stages", 2.0)]),
+                    wanted: 16,
+                    priority: 1,
+                },
+            ],
+        ),
+        (
+            // Many small apps vs one greedy high-priority app.
+            "greedy-vs-many",
+            vec![
+                AppRequest {
+                    name: "greedy".into(),
+                    demand: BTreeMap::from([("table_slots", 256.0), ("stages", 3.0)]),
+                    wanted: 8,
+                    priority: 100,
+                },
+                AppRequest {
+                    name: "small-a".into(),
+                    demand: BTreeMap::from([("table_slots", 32.0), ("stages", 1.0)]),
+                    wanted: 4,
+                    priority: 1,
+                },
+                AppRequest {
+                    name: "small-b".into(),
+                    demand: BTreeMap::from([("table_slots", 32.0), ("stages", 1.0)]),
+                    wanted: 4,
+                    priority: 1,
+                },
+                AppRequest {
+                    name: "small-c".into(),
+                    demand: BTreeMap::from([("table_slots", 32.0), ("stages", 1.0)]),
+                    wanted: 4,
+                    priority: 1,
+                },
+            ],
+        ),
+    ]
+}
+
+fn main() {
+    header(&["profile", "policy", "grants", "jain_fairness", "slot_utilization"]);
+    let capacity = switch_capacity();
+    for (profile, apps) in profiles() {
+        for policy in [AllocPolicy::PriorityOnly, AllocPolicy::Drf] {
+            let allocs = allocate(&capacity, &apps, policy);
+            let grants: Vec<String> = allocs
+                .iter()
+                .map(|a| format!("{}={}", a.name, a.granted))
+                .collect();
+            let slots_used: f64 = allocs
+                .iter()
+                .zip(&apps)
+                .map(|(al, ap)| {
+                    al.granted as f64 * ap.demand.get("table_slots").copied().unwrap_or(0.0)
+                })
+                .sum();
+            println!(
+                "{profile}\t{policy:?}\t{}\t{:.3}\t{:.3}",
+                grants.join(","),
+                jain_index(&allocs),
+                slots_used / capacity["table_slots"],
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation D: where should the steering element live?
+//!
+//! Figure 5 measures sharding implementations on one host; this ablation
+//! extends the question across a rack using the topology model: clients on
+//! their own hosts, three shard hosts, the canonical server on another.
+//! Steering can happen at the client (push), at the ToR switch (the
+//! in-network offload the paper's §2 envisions), at the server host below
+//! the app (XDP), or in the server application (fallback). Each point has
+//! a path cost (detours) and a processing cost (who spends cycles per
+//! request); the event simulator turns both into p95 latency as offered
+//! load rises, exposing each design's saturation point.
+//!
+//! Output: steering point, per-request path ns, steering service ns,
+//! offered load (req/s), p95 latency (µs).
+
+use bertha_bench::header;
+use netsim::des::{simulate, Station};
+use netsim::topology::{request_route, Node, SteeringPoint, Topology};
+
+/// Per-request service time of the steering element, by where it runs
+/// (hash + forward, in ns). Switch pipelines are fastest, XDP next, a
+/// userspace dispatcher slowest.
+fn steering_service_ns(p: SteeringPoint) -> f64 {
+    match p {
+        SteeringPoint::Client => 120.0,       // in the client's send path
+        SteeringPoint::Switch(_) => 40.0,     // match-action stage
+        SteeringPoint::ServerHost(_) => 350.0, // XDP-like per-packet cost
+        SteeringPoint::ServerApp(_) => 2500.0, // userspace recv+parse+send
+    }
+}
+
+/// Shard service time (the actual KV work).
+const SHARD_SERVICE_NS: f64 = 1500.0;
+
+fn main() {
+    // One rack: hosts 0-1 are clients, 2 is the canonical server, 3-5 are
+    // shard hosts; 2 µs host links.
+    let topo = Topology::single_rack(6, 2000.0);
+    let clients = [Node::Host(0), Node::Host(1)];
+    let shard_hosts = [Node::Host(3), Node::Host(4), Node::Host(5)];
+
+    header(&[
+        "steering", "path_ns", "steer_service_ns", "offered_rps", "p95_us",
+    ]);
+
+    let points = [
+        ("client-push", SteeringPoint::Client),
+        ("tor-switch", SteeringPoint::Switch(0)),
+        ("server-xdp", SteeringPoint::ServerHost(2)),
+        ("server-app", SteeringPoint::ServerApp(2)),
+    ];
+
+    for (name, point) in points {
+        // Average request path latency over clients × shards (one way),
+        // doubled for the reply (which always goes shard → client direct).
+        let mut path_total = 0.0;
+        let mut n = 0.0;
+        for &c in &clients {
+            for &s in &shard_hosts {
+                let fwd = topo
+                    .route_latency(&request_route(point, c, s))
+                    .expect("connected rack");
+                let back = topo.latency(s, c).expect("connected rack");
+                path_total += fwd + back;
+                n += 1.0;
+            }
+        }
+        let path_ns = path_total / n;
+        let steer_ns = steering_service_ns(point);
+
+        for offered in [50_000u64, 150_000, 300_000, 500_000] {
+            let rate_per_ns = offered as f64 / 1e9;
+            // Stations: the steering element (shared by ALL traffic except
+            // client push, where each client steers its own), then one
+            // shard (1/3 of traffic each — model the per-shard rate).
+            let steer_station_rate = match point {
+                SteeringPoint::Client => rate_per_ns / clients.len() as f64,
+                _ => rate_per_ns,
+            };
+            // Scale the steering station's effective service time by the
+            // share of total traffic it sees, so one simulate() call at
+            // the aggregate rate models the right utilization.
+            let eff_steer_ns = steer_ns * (steer_station_rate / rate_per_ns);
+            let stations = [
+                Station {
+                    service_ns: eff_steer_ns,
+                },
+                Station {
+                    service_ns: SHARD_SERVICE_NS / shard_hosts.len() as f64,
+                },
+            ];
+            let sim = simulate(&stations, rate_per_ns, 30_000, 0xace);
+            let p95_us = (sim.quantile(0.95) + path_ns) / 1000.0;
+            println!("{name}\t{path_ns:.0}\t{steer_ns:.0}\t{offered}\t{p95_us:.1}");
+        }
+    }
+}

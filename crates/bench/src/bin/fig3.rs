@@ -1,0 +1,235 @@
+//! Figure 3: container-networking RPC latency.
+//!
+//! "We evaluate the benefit of this approach using a simple ping
+//! application and varying request sizes. In this experiment, a client
+//! makes a connection to the server on the same host, and measures the
+//! latency of 3 requests on that connection. We repeat this measurement
+//! across 10,000 connections. Establishing a Bertha connection requires
+//! two additional IPC round trips to query the discovery service and
+//! negotiate the connection mechanism. However, subsequent messages on an
+//! established connection do not encounter additional latency."
+//!
+//! Three arms per request size:
+//! - `bertha`: the `local_or_remote()` connector resolving through a real
+//!   Unix-socket name agent (IPC RTT #1), then negotiating on the
+//!   connection (IPC RTT #2), then pinging over the Unix fast path;
+//! - `unix`: a specialized implementation hardcoding Unix sockets;
+//! - `udp`: the same ping through the host network stack (loopback UDP).
+//!
+//! Output columns: impl, size bytes, p5/p25/p50/p75/p95 request latency in
+//! microseconds, and median connection-setup time.
+//!
+//! Run with `--full` for the paper's 10,000 connections (default 1,000).
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{negotiate_client, negotiate_server_once, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_bench::{header, latency_stats, scale_from_args};
+use bertha_localname::agent::{serve_agent_uds, NameAgent, NameSource, RemoteNameAgent};
+use bertha_localname::chunnel::{local_path_for, LocalOrRemote};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use bertha_transport::uds::{UdsConnector, UdsListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REQUESTS_PER_CONN: usize = 3;
+const SIZES: &[usize] = &[64, 1024, 16 * 1024];
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    let scale = scale_from_args();
+    let connections = ((10_000.0 * scale) as usize).max(20);
+    eprintln!("fig3: {connections} connections per arm ({REQUESTS_PER_CONN} requests each)");
+
+    header(&[
+        "impl", "size", "p5_us", "p25_us", "p50_us", "p75_us", "p95_us", "setup_p50_us",
+    ]);
+
+    for &size in SIZES {
+        run_udp(size, connections).await;
+        run_unix(size, connections).await;
+        run_bertha(size, connections).await;
+    }
+}
+
+fn print_row(name: &str, size: usize, lat: &mut [Duration], setup: &mut [Duration]) {
+    let l = latency_stats(lat);
+    let s = latency_stats(setup);
+    println!(
+        "{name}\t{size}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+        l.p5, l.p25, l.p50, l.p75, l.p95, s.p50
+    );
+}
+
+/// Loopback-UDP echo server; the "through the host network stack" arm.
+async fn run_udp(size: usize, connections: usize) {
+    let mut incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = incoming.local_addr();
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let payload = vec![0x42u8; size];
+    let mut lat = Vec::with_capacity(connections * REQUESTS_PER_CONN);
+    let mut setup = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let t0 = Instant::now();
+        let conn = UdpConnector.connect(addr.clone()).await.unwrap();
+        setup.push(t0.elapsed());
+        for _ in 0..REQUESTS_PER_CONN {
+            let t = Instant::now();
+            conn.send((addr.clone(), payload.clone())).await.unwrap();
+            let _ = conn.recv().await.unwrap();
+            lat.push(t.elapsed());
+        }
+    }
+    print_row("udp", size, &mut lat, &mut setup);
+    server.abort();
+}
+
+/// Hardcoded Unix-socket echo: the specialized implementation.
+async fn run_unix(size: usize, connections: usize) {
+    let path = std::env::temp_dir().join(format!("bertha-fig3-unix-{}.sock", std::process::id()));
+    let srv_addr = Addr::Unix(path);
+    let mut incoming = UdsListener::default().listen(srv_addr.clone()).await.unwrap();
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let payload = vec![0x42u8; size];
+    let mut lat = Vec::with_capacity(connections * REQUESTS_PER_CONN);
+    let mut setup = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let t0 = Instant::now();
+        let conn = UdsConnector.connect(srv_addr.clone()).await.unwrap();
+        setup.push(t0.elapsed());
+        for _ in 0..REQUESTS_PER_CONN {
+            let t = Instant::now();
+            conn.send((srv_addr.clone(), payload.clone())).await.unwrap();
+            let _ = conn.recv().await.unwrap();
+            lat.push(t.elapsed());
+        }
+    }
+    print_row("unix", size, &mut lat, &mut setup);
+    server.abort();
+}
+
+/// The Bertha arm: name-agent resolution over a Unix socket, negotiation
+/// on the connection, then the Unix fast path for data.
+async fn run_bertha(size: usize, connections: usize) {
+    // Per-host name agent served over a real Unix socket.
+    let agent = Arc::new(NameAgent::new());
+    let agent_path = std::env::temp_dir().join(format!(
+        "bertha-fig3-agent-{}-{size}.sock",
+        std::process::id()
+    ));
+    let agent_task = serve_agent_uds(Arc::clone(&agent), agent_path.clone())
+        .await
+        .unwrap();
+
+    // The server: canonical UDP address plus a registered local Unix path.
+    // (LocalOrRemoteListener wires exactly this; done by hand here so the
+    // registration goes through the same agent the client queries.)
+    let mut udp_incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let canonical = udp_incoming.local_addr();
+    let local_path = local_path_for(&canonical);
+    let mut uds_incoming = UdsListener::default()
+        .listen(Addr::Unix(local_path.clone()))
+        .await
+        .unwrap();
+    agent.register_local(canonical.clone(), Addr::Unix(local_path));
+
+    // Negotiated echo servers on both paths (the client could arrive on
+    // either; with a local instance registered it arrives on Unix).
+    let srv_opts = NegotiateOpts::named("fig3-server");
+    let udp_srv = {
+        let opts = srv_opts.clone();
+        tokio::spawn(async move {
+            while let Some(Ok(raw)) = udp_incoming.next().await {
+                let opts = opts.clone();
+                tokio::spawn(async move {
+                    let Ok(conn) = negotiate_server_once(bertha::wrap!(), raw, &opts).await else {
+                        return;
+                    };
+                    while let Ok((from, data)) = conn.recv().await {
+                        if conn.send((from, data)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+    };
+    let uds_srv = {
+        let opts = srv_opts.clone();
+        tokio::spawn(async move {
+            while let Some(Ok(raw)) = uds_incoming.next().await {
+                let opts = opts.clone();
+                tokio::spawn(async move {
+                    let Ok(conn) = negotiate_server_once(bertha::wrap!(), raw, &opts).await else {
+                        return;
+                    };
+                    while let Ok((from, data)) = conn.recv().await {
+                        if conn.send((from, data)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+    };
+
+    let payload = vec![0x42u8; size];
+    let mut lat = Vec::with_capacity(connections * REQUESTS_PER_CONN);
+    let mut setup = Vec::with_capacity(connections);
+    let remote_agent = Arc::new(RemoteNameAgent::new(agent_path));
+    for _ in 0..connections {
+        let t0 = Instant::now();
+        // IPC RTT #1: resolve through the agent socket.
+        let mut connector =
+            LocalOrRemote::with_agent(Arc::clone(&remote_agent) as Arc<dyn NameSource>);
+        let raw = connector.connect(canonical.clone()).await.unwrap();
+        // IPC RTT #2: negotiate on the connection.
+        let (conn, _picks) = negotiate_client(
+            bertha::wrap!(),
+            raw,
+            canonical.clone(),
+            &NegotiateOpts::named("fig3-client"),
+        )
+        .await
+        .unwrap();
+        setup.push(t0.elapsed());
+        for _ in 0..REQUESTS_PER_CONN {
+            let t = Instant::now();
+            conn.send((canonical.clone(), payload.clone())).await.unwrap();
+            let _ = conn.recv().await.unwrap();
+            lat.push(t.elapsed());
+        }
+    }
+    print_row("bertha", size, &mut lat, &mut setup);
+    udp_srv.abort();
+    uds_srv.abort();
+    agent_task.abort();
+}

@@ -1,0 +1,115 @@
+//! Figure 4: dynamic name resolution.
+//!
+//! "Because the `route_local` Chunnel checks whether a local server
+//! instance is available each time a connection is established, it allows
+//! clients to switch over to host-local instances when available. ...
+//! When the client starts, the only server running is placed on a remote
+//! machine. As a result, it uses the full network stack when sending RPC
+//! requests, and they traverse the network. At t = 4 sec., an instance of
+//! the server is started locally; subsequent client connections choose
+//! the local instance and communicate using UNIX domain sockets. As a
+//! result, the subsequent requests have lower latency."
+//!
+//! The "remote machine" is simulated by a loopback-UDP server whose echo
+//! handler adds a fixed network delay (default 200 µs each way — a
+//! same-rack RTT); the local instance is a Unix-socket server appearing at
+//! t = 4 s. The client opens one connection (re-resolving through the
+//! name agent each time) every 100 ms for 8 s and sends one RPC.
+//!
+//! Output columns: time since start (s), request latency (µs), and which
+//! path the connection used.
+
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_localname::agent::{NameAgent, NameSource};
+use bertha_localname::chunnel::{local_path_for, LocalOrRemote};
+use bertha_transport::udp::UdpListener;
+use bertha_transport::uds::UdsListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RUN: Duration = Duration::from_secs(8);
+const LOCAL_STARTS_AT: Duration = Duration::from_secs(4);
+const INTERVAL: Duration = Duration::from_millis(100);
+const SIMULATED_ONE_WAY_NETWORK: Duration = Duration::from_micros(200);
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    let agent = Arc::new(NameAgent::new());
+
+    // The remote server: loopback UDP plus a simulated network delay.
+    let mut remote_incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let canonical = remote_incoming.local_addr();
+    let remote_task = tokio::spawn(async move {
+        while let Some(Ok(conn)) = remote_incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    tokio::time::sleep(2 * SIMULATED_ONE_WAY_NETWORK).await;
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // The local instance, to be started mid-run. (The async closure
+    // intentionally returns the server's JoinHandle.)
+    #[allow(clippy::async_yields_async)]
+    let start_local = {
+        let agent = Arc::clone(&agent);
+        let canonical = canonical.clone();
+        move || async move {
+            let path = local_path_for(&canonical);
+            let mut uds_incoming = UdsListener::default()
+                .listen(Addr::Unix(path.clone()))
+                .await
+                .unwrap();
+            let task = tokio::spawn(async move {
+                while let Some(Ok(conn)) = uds_incoming.next().await {
+                    tokio::spawn(async move {
+                        while let Ok((from, data)) = conn.recv().await {
+                            if conn.send((from, data)).await.is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+            agent.register_local(canonical.clone(), Addr::Unix(path));
+            task
+        }
+    };
+
+    bertha_bench::header(&["time_s", "latency_us", "path"]);
+    let t0 = Instant::now();
+    let mut local_task = None;
+    let payload = vec![0x42u8; 256];
+    let mut tick = tokio::time::interval(INTERVAL);
+    while t0.elapsed() < RUN {
+        tick.tick().await;
+        if local_task.is_none() && t0.elapsed() >= LOCAL_STARTS_AT {
+            local_task = Some(start_local.clone()().await);
+            eprintln!("# local instance started at t={:.2}s", t0.elapsed().as_secs_f64());
+        }
+
+        // A fresh connection each interval: resolution happens *now*.
+        let mut connector =
+            LocalOrRemote::with_agent(Arc::clone(&agent) as Arc<dyn NameSource>);
+        let conn = connector.connect(canonical.clone()).await.unwrap();
+        let path = if conn.is_local() { "local-uds" } else { "remote-udp" };
+        let t = Instant::now();
+        conn.send((canonical.clone(), payload.clone())).await.unwrap();
+        let _ = conn.recv().await.unwrap();
+        let lat_us = t.elapsed().as_secs_f64() * 1e6;
+        println!("{:.2}\t{:.1}\t{}", t0.elapsed().as_secs_f64(), lat_us, path);
+    }
+
+    remote_task.abort();
+    if let Some(t) = local_task {
+        t.abort();
+    }
+}

@@ -1,0 +1,298 @@
+//! Figure 5: sharded key-value store, four sharding implementations.
+//!
+//! "We measure the p95 latency over 300,000 YCSB requests (workload A,
+//! read-heavy) with a uniform distribution of keys. We evaluate
+//! performance in four scenarios: Client Push ... Server Accelerated ...
+//! Mixed ... Server Fallback."
+//!
+//! Scenarios map to negotiation outcomes, not code changes:
+//! - **client-push**: clients offer `shard/client-push`; the default policy
+//!   prefers client-provided implementations, so they steer themselves;
+//! - **server-accel**: a steerer (simulated XDP) owns the canonical
+//!   address and is registered with discovery; clients defer, negotiation
+//!   picks `shard/steer`;
+//! - **mixed**: one client of each kind — "differences in client
+//!   configuration result in different implementations being picked by
+//!   different connections";
+//! - **server-fallback**: no steerer registered; discovery withdraws the
+//!   offer and negotiation lands on the in-app dispatcher.
+//!
+//! Output columns: scenario, offered load (req/s, both clients), achieved,
+//! error fraction, p50/p95/p99 latency (µs).
+//!
+//! `--full` runs the paper-scale request counts; default is scaled down.
+
+use bertha::conn::{ChunnelConnection, Datagram};
+use bertha::negotiate::{NegotiateOpts, NegotiatedConn, Offer, SlotApply};
+use bertha::{Addr, ChunnelConnector, ChunnelListener};
+use bertha_bench::{header, latency_stats, scale_from_args};
+use bertha_discovery::{DiscoveryClient, Registry};
+use bertha_shard::{
+    run_steerer, steerer_registration, ShardClientChunnel, ShardDeferChunnel, ShardInfo,
+};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use kvstore::ycsb::{Generator, KeyDist, Workload};
+use kvstore::{spawn_shards, KvClient, KvShardHandle};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_SHARDS: usize = 3;
+const RECORDS: u64 = 10_000;
+const VALUE_BYTES: usize = 100;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scenario {
+    ClientPush,
+    ServerAccel,
+    Mixed,
+    ServerFallback,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::ClientPush => "client-push",
+            Scenario::ServerAccel => "server-accel",
+            Scenario::Mixed => "mixed",
+            Scenario::ServerFallback => "server-fallback",
+        }
+    }
+}
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    let scale = scale_from_args();
+    let duration = Duration::from_secs_f64((5.0 * scale.max(0.2)).min(5.0));
+    let rates: &[u64] = &[2_000, 8_000, 16_000, 32_000, 48_000];
+    eprintln!(
+        "fig5: {N_SHARDS} shards, {RECORDS} records, {duration:?} per point, \
+         rates {rates:?} req/s total"
+    );
+
+    header(&[
+        "scenario", "offered_rps", "achieved_rps", "err_frac", "p50_us", "p95_us", "p99_us",
+    ]);
+    for &scenario in &[
+        Scenario::ClientPush,
+        Scenario::ServerAccel,
+        Scenario::Mixed,
+        Scenario::ServerFallback,
+    ] {
+        for &rate in rates {
+            run_point(scenario, rate, duration).await;
+        }
+    }
+}
+
+struct Setup {
+    canonical: Addr,
+    info: ShardInfo,
+    _shards: Vec<KvShardHandle>,
+    _steerer: Option<bertha_shard::SteererHandle>,
+    _server: tokio::task::JoinHandle<()>,
+}
+
+async fn setup(scenario: Scenario) -> Setup {
+    let shards = spawn_shards(N_SHARDS).await.unwrap();
+    let registry = Arc::new(Registry::new());
+
+    let with_steerer = matches!(scenario, Scenario::ServerAccel | Scenario::Mixed);
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let listen_addr = raw.local_addr();
+
+    let (canonical, steerer) = if with_steerer {
+        let placeholder = kvstore::shard_info(listen_addr.clone(), &shards);
+        let steerer = run_steerer(
+            Addr::Udp("127.0.0.1:0".parse().unwrap()),
+            listen_addr.clone(),
+            placeholder,
+        )
+        .await
+        .unwrap();
+        let (reg, hooks, _activations) = steerer_registration(None);
+        registry.register(reg, hooks).unwrap();
+        (steerer.canonical().clone(), Some(steerer))
+    } else {
+        (listen_addr, None)
+    };
+
+    let info = kvstore::shard_info(canonical.clone(), &shards);
+    let opts = NegotiateOpts::named("kv-server")
+        .with_filter(DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn bertha_discovery::RegistrySource>));
+    let server = kvstore::serve_prepared(raw, info.clone(), opts);
+
+    let s = Setup {
+        canonical,
+        info,
+        _shards: shards,
+        _steerer: steerer,
+        _server: server,
+    };
+    preload(&s).await;
+    s
+}
+
+/// Load the records by steering puts directly at the shards (framing via a
+/// handshake-less NegotiatedConn plus a hand-configured client-push
+/// connection).
+async fn preload(s: &Setup) {
+    let raw = UdpConnector.connect(s.canonical.clone()).await.unwrap();
+    let framed = NegotiatedConn::client(raw, vec![]);
+    let mut pick = Offer::from_chunnel(&ShardClientChunnel);
+    pick.ext = s.info.to_ext();
+    let conn = ShardClientChunnel
+        .slot_apply(pick, vec![], framed)
+        .await
+        .unwrap();
+    let client = Arc::new(KvClient::new(conn, s.canonical.clone()));
+    let mut pending = Vec::new();
+    for i in 0..RECORDS {
+        let c = Arc::clone(&client);
+        pending.push(tokio::spawn(async move {
+            c.put(kvstore::ycsb::key_name(i), vec![0u8; VALUE_BYTES])
+                .await
+                .unwrap();
+        }));
+        if pending.len() >= 256 {
+            for p in pending.drain(..) {
+                p.await.unwrap();
+            }
+        }
+    }
+    for p in pending {
+        p.await.unwrap();
+    }
+}
+
+#[derive(Default)]
+struct PointResult {
+    latencies: Mutex<Vec<Duration>>,
+    errors: std::sync::atomic::AtomicU64,
+    issued: std::sync::atomic::AtomicU64,
+}
+
+/// Drive one client at `rate` req/s for `duration`, open loop.
+async fn drive<C>(
+    client: Arc<KvClient<C>>,
+    mut generator: Generator,
+    rate: u64,
+    duration: Duration,
+    out: Arc<PointResult>,
+) where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    let interval = Duration::from_secs_f64(1.0 / rate as f64);
+    let start = Instant::now();
+    let mut next = start;
+    let mut inflight = tokio::task::JoinSet::new();
+    while start.elapsed() < duration {
+        next += interval;
+        tokio::time::sleep_until(next.into()).await;
+        let op = generator.next_op();
+        let client = Arc::clone(&client);
+        let out2 = Arc::clone(&out);
+        out.issued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        inflight.spawn(async move {
+            let t = Instant::now();
+            let res = match op.op {
+                kvstore::Op::Get => client.get(op.key).await.map(|_| ()),
+                kvstore::Op::Put => client.put(op.key, op.val.unwrap_or_default()).await,
+                kvstore::Op::Rmw => client.rmw(op.key).await.map(|_| ()),
+                kvstore::Op::Scan { count } => client.scan(op.key, count).await.map(|_| ()),
+                kvstore::Op::Delete => client.delete(op.key).await.map(|_| ()),
+            };
+            match res {
+                Ok(()) => out2.latencies.lock().push(t.elapsed()),
+                Err(_) => {
+                    out2.errors
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        });
+        // Reap completed requests opportunistically.
+        while inflight.try_join_next().is_some() {}
+    }
+    while inflight.join_next().await.is_some() {}
+}
+
+async fn run_point(scenario: Scenario, total_rate: u64, duration: Duration) {
+    let s = setup(scenario).await;
+    let out = Arc::new(PointResult::default());
+    let per_client = total_rate / 2;
+    let client_cfg = kvstore::client::KvClientConfig {
+        timeout: Duration::from_millis(500),
+        retries: 0,
+    };
+
+    let workload = Workload::A.with_dist(KeyDist::Uniform);
+    let mut tasks = Vec::new();
+    for client_idx in 0..2u64 {
+        let push = match scenario {
+            Scenario::ClientPush => true,
+            Scenario::Mixed => client_idx == 0,
+            _ => false,
+        };
+        let generator = Generator::new(workload, RECORDS, VALUE_BYTES, 1000 + client_idx);
+        let canonical = s.canonical.clone();
+        let out = Arc::clone(&out);
+        let opts = NegotiateOpts::named(format!("kv-client-{client_idx}"));
+        if push {
+            let raw = UdpConnector.connect(canonical.clone()).await.unwrap();
+            let (conn, _picks) = bertha::negotiate::negotiate_client(
+                bertha::wrap!(ShardClientChunnel),
+                raw,
+                canonical.clone(),
+                &opts,
+            )
+            .await
+            .unwrap();
+            let client = Arc::new(KvClient::with_config(conn, canonical, client_cfg));
+            tasks.push(tokio::spawn(drive(client, generator, per_client, duration, out)));
+        } else {
+            let raw = UdpConnector.connect(canonical.clone()).await.unwrap();
+            let (conn, _picks) = bertha::negotiate::negotiate_client(
+                bertha::wrap!(ShardDeferChunnel),
+                raw,
+                canonical.clone(),
+                &opts,
+            )
+            .await
+            .unwrap();
+            let client = Arc::new(KvClient::with_config(conn, canonical, client_cfg));
+            tasks.push(tokio::spawn(drive(client, generator, per_client, duration, out)));
+        }
+    }
+    let t0 = Instant::now();
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut lats = std::mem::take(&mut *out.latencies.lock());
+    let errors = out.errors.load(std::sync::atomic::Ordering::Relaxed);
+    let issued = out.issued.load(std::sync::atomic::Ordering::Relaxed).max(1);
+    if lats.is_empty() {
+        println!(
+            "{}\t{}\t0\t{:.3}\tNaN\tNaN\tNaN",
+            scenario.name(),
+            total_rate,
+            errors as f64 / issued as f64
+        );
+        return;
+    }
+    let stats = latency_stats(&mut lats);
+    println!(
+        "{}\t{}\t{:.0}\t{:.3}\t{:.1}\t{:.1}\t{:.1}",
+        scenario.name(),
+        total_rate,
+        stats.n as f64 / elapsed,
+        errors as f64 / issued as f64,
+        stats.p50,
+        stats.p95,
+        stats.p99
+    );
+}

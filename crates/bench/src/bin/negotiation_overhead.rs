@@ -1,0 +1,217 @@
+//! §5's connection-establishment claim, quantified.
+//!
+//! "Establishing a Bertha connection requires two additional IPC round
+//! trips to query the discovery service and negotiate the connection
+//! mechanism. However, subsequent messages on an established connection do
+//! not encounter additional latency."
+//!
+//! Measured arms (loopback UDP, plus a Unix-socket discovery agent):
+//! - `raw_first_rtt`: connect a plain UDP socket and do one echo;
+//! - `discovery_query`: one query round trip to the discovery agent;
+//! - `bertha_setup`: discovery query + negotiation handshake on a fresh
+//!   connection (the paper's "two additional IPC round trips");
+//! - `raw_msg` / `bertha_msg`: per-message echo latency on established
+//!   raw and negotiated connections — these should match (the tag byte is
+//!   the only difference).
+//!
+//! Output columns: arm, p50/p95 (µs), samples.
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{negotiate_client, negotiate_server_once, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_bench::{header, latency_stats, scale_from_args};
+use bertha_chunnels::ReliabilityChunnel;
+use bertha_discovery::{serve_uds, Registry, RegistrySource};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    let scale = scale_from_args();
+    let iters = ((10_000.0 * scale) as usize).max(100);
+    eprintln!("negotiation_overhead: {iters} iterations per arm");
+
+    // Echo server that negotiates a one-chunnel stack per connection.
+    let mut incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = incoming.local_addr();
+    let server = tokio::spawn(async move {
+        while let Some(Ok(raw)) = incoming.next().await {
+            tokio::spawn(async move {
+                let opts = NegotiateOpts::named("overhead-server");
+                let Ok(conn) =
+                    negotiate_server_once(bertha::wrap!(ReliabilityChunnel::default()), raw, &opts)
+                        .await
+                else {
+                    return;
+                };
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // A raw echo server for the baseline arms.
+    let mut raw_incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let raw_addr = raw_incoming.local_addr();
+    let raw_server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = raw_incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Discovery agent over a Unix socket.
+    let registry = Arc::new(Registry::new());
+    let agent_path =
+        std::env::temp_dir().join(format!("bertha-overhead-agent-{}.sock", std::process::id()));
+    let agent = serve_uds(Arc::clone(&registry), agent_path.clone())
+        .await
+        .unwrap();
+    let remote = bertha_discovery::RemoteRegistry::new(agent_path);
+
+    header(&["arm", "p50_us", "p95_us", "n"]);
+
+    // raw_first_rtt
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let conn = UdpConnector.connect(raw_addr.clone()).await.unwrap();
+        conn.send((raw_addr.clone(), vec![1u8; 64])).await.unwrap();
+        let _ = conn.recv().await.unwrap();
+        samples.push(t.elapsed());
+    }
+    row("raw_first_rtt", &mut samples);
+
+    // discovery_query
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let _ = remote.query(0xdead_beef).await.unwrap();
+        samples.push(t.elapsed());
+    }
+    row("discovery_query", &mut samples);
+
+    // bertha_setup: discovery query + negotiation handshake.
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let _ = remote
+            .query(bertha::negotiate::guid("bertha/reliable"))
+            .await
+            .unwrap();
+        let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+        let (_conn, _picks) = negotiate_client(
+            bertha::wrap!(ReliabilityChunnel::default()),
+            raw,
+            addr.clone(),
+            &NegotiateOpts::named("overhead-client"),
+        )
+        .await
+        .unwrap();
+        samples.push(t.elapsed());
+    }
+    row("bertha_setup", &mut samples);
+
+    // raw_msg: per-message latency on an established raw connection.
+    let conn = UdpConnector.connect(raw_addr.clone()).await.unwrap();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        conn.send((raw_addr.clone(), vec![1u8; 64])).await.unwrap();
+        let _ = conn.recv().await.unwrap();
+        samples.push(t.elapsed());
+    }
+    row("raw_msg", &mut samples);
+
+    // bertha_msg_empty: per-message latency on an established negotiated
+    // connection with an empty stack — the negotiation machinery itself
+    // adds only the one-byte frame tag, so this should match raw_msg
+    // ("subsequent messages ... do not encounter additional latency").
+    {
+        let mut empty_incoming = UdpListener::default()
+            .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let empty_addr = empty_incoming.local_addr();
+        let empty_server = tokio::spawn(async move {
+            while let Some(Ok(raw)) = empty_incoming.next().await {
+                tokio::spawn(async move {
+                    let opts = NegotiateOpts::named("overhead-server-empty");
+                    let Ok(conn) = negotiate_server_once(bertha::wrap!(), raw, &opts).await else {
+                        return;
+                    };
+                    while let Ok((from, data)) = conn.recv().await {
+                        if conn.send((from, data)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let raw = UdpConnector.connect(empty_addr.clone()).await.unwrap();
+        let (conn, _) = negotiate_client(
+            bertha::wrap!(),
+            raw,
+            empty_addr.clone(),
+            &NegotiateOpts::named("overhead-client-empty"),
+        )
+        .await
+        .unwrap();
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            conn.send((empty_addr.clone(), vec![1u8; 64])).await.unwrap();
+            let _ = conn.recv().await.unwrap();
+            samples.push(t.elapsed());
+        }
+        row("bertha_msg_empty", &mut samples);
+        empty_server.abort();
+    }
+
+    // bertha_msg: per-message latency on an established negotiated
+    // connection (reliability chunnel in the path).
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let (conn, _picks) = negotiate_client(
+        bertha::wrap!(ReliabilityChunnel::default()),
+        raw,
+        addr.clone(),
+        &NegotiateOpts::named("overhead-client"),
+    )
+    .await
+    .unwrap();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        conn.send((addr.clone(), vec![1u8; 64])).await.unwrap();
+        let _ = tokio::time::timeout(Duration::from_secs(5), conn.recv())
+            .await
+            .expect("echo within 5s")
+            .unwrap();
+        samples.push(t.elapsed());
+    }
+    row("bertha_msg", &mut samples);
+
+    server.abort();
+    raw_server.abort();
+    agent.abort();
+}
+
+fn row(arm: &str, samples: &mut [Duration]) {
+    let s = latency_stats(samples);
+    println!("{arm}\t{:.1}\t{:.1}\t{}", s.p50, s.p95, s.n);
+}

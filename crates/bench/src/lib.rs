@@ -1,0 +1,91 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Each binary regenerates one artifact from the paper's evaluation (§5)
+//! or a §6 ablation; see DESIGN.md's experiment index and EXPERIMENTS.md
+//! for paper-vs-measured results. All binaries print whitespace-separated
+//! tables to stdout, one row per measurement series point.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Latency summary statistics in microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub n: usize,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Compute stats over raw durations. Panics on an empty sample set (a
+/// bench that measured nothing is a bug, not a value).
+pub fn latency_stats(samples: &mut [Duration]) -> LatencyStats {
+    assert!(!samples.is_empty(), "no samples collected");
+    samples.sort_unstable();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let q = |f: f64| us(samples[((samples.len() - 1) as f64 * f).round() as usize]);
+    let mean = samples.iter().map(|d| us(*d)).sum::<f64>() / samples.len() as f64;
+    LatencyStats {
+        n: samples.len(),
+        p5: q(0.05),
+        p25: q(0.25),
+        p50: q(0.50),
+        p75: q(0.75),
+        p95: q(0.95),
+        p99: q(0.99),
+        mean,
+    }
+}
+
+/// Parse `--full` / `--quick` style scale arguments: returns the scale
+/// factor for sample counts (1.0 = paper scale).
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        1.0
+    } else if args.iter().any(|a| a == "--smoke") {
+        0.002
+    } else {
+        0.1
+    }
+}
+
+/// Print a header line prefixed with `#`.
+pub fn header(cols: &[&str]) {
+    println!("# {}", cols.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_quantiles() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = latency_stats(&mut samples);
+        assert_eq!(s.n, 100);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.p5 - 6.0).abs() <= 1.5);
+        assert!((s.mean - 50.5).abs() <= 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_samples_panic() {
+        latency_stats(&mut []);
+    }
+}

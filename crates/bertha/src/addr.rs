@@ -1,0 +1,146 @@
+//! Endpoint addresses.
+//!
+//! All Bertha base transports speak a single address type, [`Addr`], so that
+//! chunnels composed above them (and implementations selected at negotiation
+//! time) can hand connections between transports without re-parameterizing
+//! the whole stack. This mirrors the paper's requirement that a connection
+//! may be re-bound to a different implementation — e.g. a UDP path replaced
+//! by a Unix-domain fast path — without the application noticing (§3.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// An endpoint address for any Bertha transport.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Addr {
+    /// A UDP socket address.
+    Udp(SocketAddr),
+    /// A TCP socket address.
+    Tcp(SocketAddr),
+    /// A Unix-domain (datagram) socket path.
+    Unix(PathBuf),
+    /// An in-memory endpoint, used by tests and the network simulator.
+    Mem(String),
+    /// A logical name, resolved by a name service (localname or anycast)
+    /// at connection-establishment time.
+    Named(String),
+}
+
+impl Addr {
+    /// The socket address, if this is an IP-based endpoint.
+    pub fn socket_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Addr::Udp(sa) | Addr::Tcp(sa) => Some(*sa),
+            _ => None,
+        }
+    }
+
+    /// True if this address refers to an endpoint on the local host.
+    ///
+    /// Unix and in-memory endpoints are host-local by construction; IP
+    /// endpoints are local when they are loopback.
+    pub fn is_host_local(&self) -> bool {
+        match self {
+            Addr::Unix(_) | Addr::Mem(_) => true,
+            Addr::Udp(sa) | Addr::Tcp(sa) => sa.ip().is_loopback(),
+            Addr::Named(_) => false,
+        }
+    }
+
+    /// A short label for the transport family this address belongs to.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Addr::Udp(_) => "udp",
+            Addr::Tcp(_) => "tcp",
+            Addr::Unix(_) => "unix",
+            Addr::Mem(_) => "mem",
+            Addr::Named(_) => "named",
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Udp(sa) => write!(f, "udp://{sa}"),
+            Addr::Tcp(sa) => write!(f, "tcp://{sa}"),
+            Addr::Unix(p) => write!(f, "unix://{}", p.display()),
+            Addr::Mem(n) => write!(f, "mem://{n}"),
+            Addr::Named(n) => write!(f, "name://{n}"),
+        }
+    }
+}
+
+impl From<SocketAddr> for Addr {
+    /// Bare socket addresses default to UDP, the paper prototype's base
+    /// transport.
+    fn from(sa: SocketAddr) -> Self {
+        Addr::Udp(sa)
+    }
+}
+
+impl std::str::FromStr for Addr {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| crate::Error::Encode(format!("address missing scheme: {s}")))?;
+        match scheme {
+            "udp" => Ok(Addr::Udp(rest.parse().map_err(crate::Error::msg)?)),
+            "tcp" => Ok(Addr::Tcp(rest.parse().map_err(crate::Error::msg)?)),
+            "unix" => Ok(Addr::Unix(PathBuf::from(rest))),
+            "mem" => Ok(Addr::Mem(rest.to_owned())),
+            "name" => Ok(Addr::Named(rest.to_owned())),
+            other => Err(crate::Error::Encode(format!("unknown scheme: {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let addrs = [
+            Addr::Udp("127.0.0.1:4242".parse().unwrap()),
+            Addr::Tcp("10.0.0.1:80".parse().unwrap()),
+            Addr::Unix(PathBuf::from("/tmp/bertha.sock")),
+            Addr::Mem("host-a/nic0".into()),
+            Addr::Named("kv.cluster.local".into()),
+        ];
+        for a in addrs {
+            let s = a.to_string();
+            let back: Addr = s.parse().unwrap();
+            assert_eq!(a, back, "round trip through {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Addr>().is_err());
+        assert!("udp:127.0.0.1:1".parse::<Addr>().is_err());
+        assert!("ftp://x".parse::<Addr>().is_err());
+        assert!("udp://notanaddr".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn host_locality() {
+        assert!(Addr::Unix("/x".into()).is_host_local());
+        assert!(Addr::Mem("m".into()).is_host_local());
+        assert!(Addr::Udp("127.0.0.1:9".parse().unwrap()).is_host_local());
+        assert!(!Addr::Udp("8.8.8.8:9".parse().unwrap()).is_host_local());
+        assert!(!Addr::Named("svc".into()).is_host_local());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Addr::Udp("192.168.1.4:551".parse().unwrap());
+        let bytes = bincode::serialize(&a).unwrap();
+        let back: Addr = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! The [`Chunnel`] trait and the connector/listener traits for base
+//! transports.
+//!
+//! A chunnel wraps an inner connection and returns an outer connection,
+//! adding one communication-oriented function (§2): reliability,
+//! serialization, sharding, and so on. Chunnels compose into stacks with
+//! [`CxList`](crate::cx::CxList) and the [`wrap!`](crate::wrap) macro.
+//!
+//! Base transports do not wrap anything; they originate connections. They
+//! implement [`ChunnelConnector`] (client side) and [`ChunnelListener`]
+//! (server side, yielding a stream of per-peer connections).
+
+use crate::conn::{BoxFut, ChunnelConnection};
+use crate::error::Error;
+
+/// A composable piece of connection functionality.
+///
+/// `connect_wrap` consumes an established inner connection and produces the
+/// wrapped connection. It is invoked once per connection, after negotiation
+/// has selected this implementation (§4.3). Implementations should be cheap
+/// to clone: one chunnel value configures many connections.
+pub trait Chunnel<InC> {
+    /// The wrapped connection type.
+    type Connection: ChunnelConnection;
+
+    /// Wrap `inner`, returning the outer connection.
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>>;
+}
+
+/// Client-side origin of connections: Bertha's `connect` (§3.1).
+pub trait ChunnelConnector {
+    /// Address type accepted by this transport.
+    type Addr;
+    /// The connection produced.
+    type Connection: ChunnelConnection;
+
+    /// Establish a connection to `addr`.
+    fn connect(&mut self, addr: Self::Addr) -> BoxFut<'static, Result<Self::Connection, Error>>;
+}
+
+/// Server-side origin of connections: Bertha's `listen` (§3.1).
+///
+/// Listening yields a [`ConnStream`] of per-peer connections. For datagram
+/// transports, a "connection" is the demultiplexed flow from one remote
+/// address.
+pub trait ChunnelListener {
+    /// Address type accepted by this transport.
+    type Addr;
+    /// The per-peer connection produced.
+    type Connection: ChunnelConnection;
+    /// The stream of incoming connections.
+    type Stream: ConnStream<Connection = Self::Connection> + Send + 'static;
+
+    /// Bind to `addr` and return the stream of incoming connections.
+    fn listen(&mut self, addr: Self::Addr) -> BoxFut<'static, Result<Self::Stream, Error>>;
+}
+
+/// An asynchronous stream of incoming connections.
+///
+/// This is a minimal, self-contained stand-in for `futures::Stream`,
+/// following the guides' advice to prefer simple robust interfaces: `next`
+/// resolves to `Some(conn)` per accepted connection and `None` when the
+/// listener shuts down.
+pub trait ConnStream: Send {
+    /// The connection type yielded.
+    type Connection: ChunnelConnection;
+
+    /// Await the next incoming connection.
+    fn next(&mut self) -> BoxFut<'_, Option<Result<Self::Connection, Error>>>;
+}
+
+/// A `ConnStream` backed by a tokio mpsc receiver. Transports push accepted
+/// connections into the channel from their demux task.
+pub struct RecvStream<C> {
+    rx: tokio::sync::mpsc::Receiver<Result<C, Error>>,
+}
+
+impl<C> RecvStream<C> {
+    /// Wrap a receiver of accepted connections.
+    pub fn new(rx: tokio::sync::mpsc::Receiver<Result<C, Error>>) -> Self {
+        RecvStream { rx }
+    }
+}
+
+impl<C: ChunnelConnection + Send + 'static> ConnStream for RecvStream<C> {
+    type Connection = C;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<C, Error>>> {
+        Box::pin(async move { self.rx.recv().await })
+    }
+}
+
+/// Adapter: apply a chunnel stack to every connection accepted by an inner
+/// stream. Produced by [`ConnStreamExt::wrap_each`].
+pub struct WrapStream<S, L> {
+    inner: S,
+    stack: L,
+}
+
+impl<S, L, C> ConnStream for WrapStream<S, L>
+where
+    S: ConnStream<Connection = C> + Send,
+    C: ChunnelConnection + Send + 'static,
+    L: Chunnel<C> + Send + Sync,
+    L::Connection: Send + 'static,
+{
+    type Connection = L::Connection;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<Self::Connection, Error>>> {
+        Box::pin(async move {
+            match self.inner.next().await? {
+                Ok(conn) => Some(self.stack.connect_wrap(conn).await),
+                Err(e) => Some(Err(e)),
+            }
+        })
+    }
+}
+
+/// Extension methods on [`ConnStream`].
+pub trait ConnStreamExt: ConnStream + Sized {
+    /// Wrap every accepted connection with `stack`.
+    fn wrap_each<L>(self, stack: L) -> WrapStream<Self, L>
+    where
+        L: Chunnel<Self::Connection>,
+    {
+        WrapStream { inner: self, stack }
+    }
+
+    /// Accept exactly one connection, failing if the stream ends first.
+    fn accept_one(&mut self) -> BoxFut<'_, Result<Self::Connection, Error>> {
+        Box::pin(async move {
+            match self.next().await {
+                Some(r) => r,
+                None => Err(Error::ConnectionClosed),
+            }
+        })
+    }
+}
+
+impl<S: ConnStream + Sized> ConnStreamExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::pair;
+    use crate::util::Nothing;
+
+    #[tokio::test]
+    async fn recv_stream_yields_connections() {
+        let (tx, rx) = tokio::sync::mpsc::channel(4);
+        let mut s = RecvStream::new(rx);
+        let (a, _b) = pair::<u8>(1);
+        tx.send(Ok(a)).await.unwrap();
+        drop(tx);
+        assert!(s.next().await.unwrap().is_ok());
+        assert!(s.next().await.is_none());
+    }
+
+    #[tokio::test]
+    async fn wrap_each_applies_stack() {
+        let (tx, rx) = tokio::sync::mpsc::channel(4);
+        let (a, b) = pair::<u8>(1);
+        tx.send(Ok(a)).await.unwrap();
+        let mut s = RecvStream::new(rx).wrap_each(Nothing::default());
+        let conn = s.next().await.unwrap().unwrap();
+        b.send(5).await.unwrap();
+        assert_eq!(conn.recv().await.unwrap(), 5);
+    }
+
+    #[tokio::test]
+    async fn accept_one_errors_on_empty() {
+        let (tx, rx) = tokio::sync::mpsc::channel::<Result<crate::conn::ChanConn<u8>, Error>>(1);
+        drop(tx);
+        let mut s = RecvStream::new(rx);
+        assert!(s.accept_one().await.is_err());
+    }
+}

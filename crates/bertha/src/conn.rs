@@ -1,0 +1,169 @@
+//! The connection abstraction: [`ChunnelConnection`].
+//!
+//! A `ChunnelConnection` is Bertha's equivalent of a socket (§3.1). It is
+//! typed: the unit of transfer is `Self::Data`, not bytes. Base transports
+//! produce connections whose data is a [`Datagram`] — an `(Addr, Vec<u8>)`
+//! pair — and chunnels layered above may change the data type (for example,
+//! the serialization chunnel turns datagrams into typed messages, changing
+//! the connection's interface from bytes to objects, §3.2).
+//!
+//! Methods return boxed futures rather than using `async fn` so the trait
+//! stays object-safe; dynamically-composed stacks (Listing 5's client, whose
+//! chunnels are dictated by the server) operate on `dyn ChunnelConnection`.
+
+use crate::addr::Addr;
+use crate::error::Error;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+
+/// A boxed, sendable future: the return type of connection operations.
+pub type BoxFut<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+/// The unit of transfer on a base (byte-level) connection: a peer address
+/// and a payload.
+///
+/// On `send`, the address is the destination; on `recv`, the source.
+pub type Datagram = (Addr, Vec<u8>);
+
+/// A connection that can send and receive typed data.
+///
+/// Implementations must be usable concurrently: `send` and `recv` take
+/// `&self`, and callers may invoke them from multiple tasks. (Per-connection
+/// state therefore lives behind interior mutability.)
+pub trait ChunnelConnection: Send + Sync {
+    /// The type of data sent and received on this connection.
+    type Data: Send + 'static;
+
+    /// Send one unit of data.
+    fn send(&self, data: Self::Data) -> BoxFut<'_, Result<(), Error>>;
+
+    /// Receive one unit of data. Resolves when data is available, or with
+    /// [`Error::ConnectionClosed`] when the peer or transport goes away.
+    fn recv(&self) -> BoxFut<'_, Result<Self::Data, Error>>;
+}
+
+/// A type-erased byte-level connection, the substrate of dynamic stacks.
+pub type DynConn = Arc<dyn ChunnelConnection<Data = Datagram> + Send + Sync + 'static>;
+
+impl<C: ChunnelConnection + ?Sized> ChunnelConnection for Arc<C> {
+    type Data = C::Data;
+
+    fn send(&self, data: Self::Data) -> BoxFut<'_, Result<(), Error>> {
+        (**self).send(data)
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Self::Data, Error>> {
+        (**self).recv()
+    }
+}
+
+impl<C: ChunnelConnection + ?Sized> ChunnelConnection for Box<C> {
+    type Data = C::Data;
+
+    fn send(&self, data: Self::Data) -> BoxFut<'_, Result<(), Error>> {
+        (**self).send(data)
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Self::Data, Error>> {
+        (**self).recv()
+    }
+}
+
+/// An in-process bidirectional connection pair, used by tests and as the
+/// inner rung of simulated stacks. `a.send(x)` is received by `b.recv()` and
+/// vice versa.
+pub fn pair<D: Send + 'static>(capacity: usize) -> (ChanConn<D>, ChanConn<D>) {
+    let (tx_ab, rx_ab) = tokio::sync::mpsc::channel(capacity);
+    let (tx_ba, rx_ba) = tokio::sync::mpsc::channel(capacity);
+    (
+        ChanConn::new(tx_ab, rx_ba),
+        ChanConn::new(tx_ba, rx_ab),
+    )
+}
+
+/// One end of an in-process channel connection. See [`pair`].
+pub struct ChanConn<D> {
+    tx: tokio::sync::mpsc::Sender<D>,
+    rx: tokio::sync::Mutex<tokio::sync::mpsc::Receiver<D>>,
+}
+
+impl<D> ChanConn<D> {
+    fn new(tx: tokio::sync::mpsc::Sender<D>, rx: tokio::sync::mpsc::Receiver<D>) -> Self {
+        ChanConn {
+            tx,
+            rx: tokio::sync::Mutex::new(rx),
+        }
+    }
+}
+
+impl<D: Send + 'static> ChunnelConnection for ChanConn<D> {
+    type Data = D;
+
+    fn send(&self, data: D) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            self.tx
+                .send(data)
+                .await
+                .map_err(|_| Error::ConnectionClosed)
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<D, Error>> {
+        Box::pin(async move {
+            let mut rx = self.rx.lock().await;
+            rx.recv().await.ok_or(Error::ConnectionClosed)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn pair_round_trip() {
+        let (a, b) = pair::<u32>(8);
+        a.send(7).await.unwrap();
+        assert_eq!(b.recv().await.unwrap(), 7);
+        b.send(9).await.unwrap();
+        assert_eq!(a.recv().await.unwrap(), 9);
+    }
+
+    #[tokio::test]
+    async fn closed_pair_reports_closed() {
+        let (a, b) = pair::<u32>(1);
+        drop(b);
+        assert!(a.send(1).await.unwrap_err().is_closed());
+        let (a, b) = pair::<u32>(1);
+        drop(a);
+        assert!(b.recv().await.unwrap_err().is_closed());
+    }
+
+    #[tokio::test]
+    async fn arc_and_box_delegate() {
+        let (a, b) = pair::<u8>(1);
+        let a = Arc::new(a);
+        let b: Box<dyn ChunnelConnection<Data = u8>> = Box::new(b);
+        a.send(3).await.unwrap();
+        assert_eq!(b.recv().await.unwrap(), 3);
+    }
+
+    #[tokio::test]
+    async fn concurrent_send_recv() {
+        let (a, b) = pair::<u64>(4);
+        let a = Arc::new(a);
+        let sender = {
+            let a = Arc::clone(&a);
+            tokio::spawn(async move {
+                for i in 0..100u64 {
+                    a.send(i).await.unwrap();
+                }
+            })
+        };
+        for i in 0..100u64 {
+            assert_eq!(b.recv().await.unwrap(), i);
+        }
+        sender.await.unwrap();
+    }
+}

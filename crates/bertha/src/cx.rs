@@ -1,0 +1,164 @@
+//! Chunnel stack composition: [`CxList`], [`CxNil`], and the [`wrap!`](crate::wrap)
+//! macro.
+//!
+//! The paper's application interface specifies a connection's processing
+//! steps as a DAG of chunnels sequenced with `|>` inside a `wrap!` macro
+//! (§3.1). Linear sequences are the common case and are represented by a
+//! heterogeneous list; branching and merging are expressed by chunnels that
+//! own sub-stacks (sharding, Listing 3) and by [`Select`](crate::select::Select)
+//! alternatives resolved at negotiation time.
+//!
+//! The head of a `CxList` is the *outermost* chunnel — closest to the
+//! application, farthest from the wire. `wrap!(a |> b)` applies `a` to data
+//! before `b` on the send path.
+
+use crate::chunnel::Chunnel;
+use crate::conn::{BoxFut, ChunnelConnection};
+use crate::error::Error;
+
+/// The empty stack: wraps a connection with nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CxNil;
+
+/// A stack of chunnels: `head` is applied outside `tail`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CxList<H, T> {
+    /// Outermost chunnel of this stack segment.
+    pub head: H,
+    /// The rest of the stack, applied between `head` and the wire.
+    pub tail: T,
+}
+
+impl CxNil {
+    /// Prepend `head`, producing a one-element stack.
+    pub fn wrap<H>(self, head: H) -> CxList<H, CxNil> {
+        CxList { head, tail: CxNil }
+    }
+}
+
+impl<H, T> CxList<H, T> {
+    /// Prepend a new outermost chunnel.
+    pub fn wrap<N>(self, head: N) -> CxList<N, CxList<H, T>> {
+        CxList { head, tail: self }
+    }
+}
+
+impl<InC> Chunnel<InC> for CxNil
+where
+    InC: ChunnelConnection + Send + 'static,
+{
+    type Connection = InC;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+        Box::pin(async move { Ok(inner) })
+    }
+}
+
+impl<H, T, InC> Chunnel<InC> for CxList<H, T>
+where
+    InC: ChunnelConnection + Send + 'static,
+    T: Chunnel<InC> + Clone + Send + Sync + 'static,
+    T::Connection: Send + 'static,
+    H: Chunnel<T::Connection> + Clone + Send + Sync + 'static,
+{
+    type Connection = H::Connection;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let head = self.head.clone();
+        let tail = self.tail.clone();
+        Box::pin(async move {
+            let mid = tail.connect_wrap(inner).await?;
+            head.connect_wrap(mid).await
+        })
+    }
+}
+
+/// Build a chunnel stack with the paper's syntax: `wrap!(a |> b |> c)`.
+///
+/// The leftmost chunnel is outermost (applied first on send). `wrap!()`
+/// produces the empty stack [`CxNil`], the Listing-5 client whose chunnels
+/// are dictated entirely by the server.
+///
+/// ```
+/// use bertha::{wrap, util::Nothing};
+/// let _stack = wrap!(Nothing::<u8>::default() |> Nothing::<u8>::default());
+/// let _empty = wrap!();
+/// ```
+#[macro_export]
+macro_rules! wrap {
+    () => { $crate::cx::CxNil };
+    ($($tokens:tt)+) => { $crate::wrap_internal!(@parse [] [] $($tokens)+) };
+}
+
+/// Implementation detail of [`wrap!`]: a token muncher that splits on the
+/// `|>` operator (which cannot follow an `expr` fragment in `macro_rules`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! wrap_internal {
+    // A `|>` at the top level ends the current chunnel expression.
+    (@parse [$($done:expr,)*] [$($cur:tt)+] |> $($rest:tt)+) => {
+        $crate::wrap_internal!(@parse [$($done,)* ($($cur)+),] [] $($rest)+)
+    };
+    // Otherwise accumulate one token into the current expression.
+    (@parse [$($done:expr,)*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::wrap_internal!(@parse [$($done,)*] [$($cur)* $next] $($rest)*)
+    };
+    // Out of tokens: build the nested list.
+    (@parse [$($done:expr,)*] [$($cur:tt)+]) => {
+        $crate::wrap_internal!(@build $($done,)* ($($cur)+),)
+    };
+    (@build $head:expr, $($rest:expr,)+) => {
+        $crate::cx::CxList { head: $head, tail: $crate::wrap_internal!(@build $($rest,)+) }
+    };
+    (@build $head:expr,) => {
+        $crate::cx::CxList { head: $head, tail: $crate::cx::CxNil }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::pair;
+    use crate::util::{MapChunnel, Nothing};
+
+    #[tokio::test]
+    async fn nil_is_identity() {
+        let (a, b) = pair::<u8>(1);
+        let wrapped = CxNil.connect_wrap(a).await.unwrap();
+        wrapped.send(1).await.unwrap();
+        assert_eq!(b.recv().await.unwrap(), 1);
+    }
+
+    #[tokio::test]
+    async fn wrap_macro_builds_nested_list() {
+        let stack = wrap!(Nothing::<u8>::default() |> Nothing::<u8>::default() |> Nothing::<u8>::default());
+        let (a, b) = pair::<u8>(1);
+        let conn = stack.connect_wrap(a).await.unwrap();
+        conn.send(9).await.unwrap();
+        assert_eq!(b.recv().await.unwrap(), 9);
+    }
+
+    #[tokio::test]
+    async fn head_is_outermost() {
+        // The outer map runs first on send: (+1) then (*2) => (x+1)*2.
+        let plus = MapChunnel::new(|x: u32| x + 1, |x: u32| x - 1);
+        let times = MapChunnel::new(|x: u32| x * 2, |x: u32| x / 2);
+        let stack = wrap!(plus |> times);
+        let (a, b) = pair::<u32>(1);
+        let conn = stack.connect_wrap(a).await.unwrap();
+        conn.send(3).await.unwrap();
+        assert_eq!(b.recv().await.unwrap(), (3 + 1) * 2);
+        // And inverted on the receive path.
+        b.send(8).await.unwrap();
+        assert_eq!(conn.recv().await.unwrap(), 8 / 2 - 1);
+    }
+
+    #[test]
+    fn wrap_builder_prepends() {
+        let stack = CxNil
+            .wrap(Nothing::<u8>::default())
+            .wrap(Nothing::<u8>::default());
+        // Two-level list; type checks are the assertion here.
+        let _: CxList<Nothing<u8>, CxList<Nothing<u8>, CxNil>> = stack;
+    }
+}

@@ -1,0 +1,327 @@
+//! A reified representation of a chunnel stack, for optimization (§6).
+//!
+//! The typed [`CxList`](crate::cx::CxList) is what applications build; this
+//! module's [`StackSpec`] is the runtime's view of the same pipeline, "the
+//! entire sequence of Chunnels a connection's data traverses" (§6), which
+//! enables optimizations the paper outlines:
+//!
+//! (a) **reordering** the DAG to reduce data transferred between offloads,
+//! (b) **combining** multiple chunnels to exploit hardware capabilities,
+//! (c) **eliminating** unnecessary or redundant chunnels, and
+//! (d) **specializing** implementations based on operating context.
+//!
+//! Reordering is only legal between chunnels that declare they commute
+//! (e.g. `encrypt` and `http2` framing commute; `encrypt` and `compress` do
+//! not — compressing ciphertext is useless). Fusion requires a registered
+//! implementation of the fused capability (e.g. `encrypt + tcp → tls`,
+//! §6's SmartNIC example). The placement cost models that drive these
+//! rewrites live in the `netsim` crate.
+
+use std::collections::{HashSet, VecDeque};
+
+/// A fusion rule: this node, adjacent to `other`, can be replaced by a
+/// single node of capability `fused`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseRule {
+    /// Capability of the adjacent node to fuse with (must be the next node,
+    /// i.e. wire-ward).
+    pub other: u64,
+    /// The capability of the fused replacement.
+    pub fused: u64,
+    /// Name of the fused replacement.
+    pub fused_name: String,
+}
+
+/// One stage of a reified stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// Stage name (for reports and debugging).
+    pub name: String,
+    /// Capability GUID (see [`crate::negotiate::guid`]).
+    pub capability: u64,
+    /// Multiplicative effect of this stage on payload size on the send
+    /// path: compression < 1, encryption ≈ 1, framing/encoding ≥ 1.
+    pub size_factor: f64,
+    /// Capabilities this stage commutes with: swapping adjacent commuting
+    /// stages preserves connection semantics.
+    pub commutes_with: Vec<u64>,
+    /// Fusion opportunities with the next (wire-ward) stage.
+    pub fuse: Vec<FuseRule>,
+    /// Applying this stage twice in a row is equivalent to once, so an
+    /// adjacent duplicate can be eliminated.
+    pub idempotent: bool,
+}
+
+impl NodeSpec {
+    /// A stage with no rewrite opportunities.
+    pub fn opaque(name: impl Into<String>, capability: u64) -> Self {
+        NodeSpec {
+            name: name.into(),
+            capability,
+            size_factor: 1.0,
+            commutes_with: vec![],
+            fuse: vec![],
+            idempotent: false,
+        }
+    }
+
+    /// Declare capabilities this stage commutes with.
+    pub fn commutes(mut self, caps: impl IntoIterator<Item = u64>) -> Self {
+        self.commutes_with.extend(caps);
+        self
+    }
+
+    /// Declare the payload size factor.
+    pub fn size_factor(mut self, f: f64) -> Self {
+        self.size_factor = f;
+        self
+    }
+
+    /// Declare a fusion rule with a wire-ward neighbor.
+    pub fn fuses_with(mut self, other: u64, fused: u64, fused_name: impl Into<String>) -> Self {
+        self.fuse.push(FuseRule {
+            other,
+            fused,
+            fused_name: fused_name.into(),
+        });
+        self
+    }
+
+    /// Mark the stage idempotent.
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
+    fn commutes_with_node(&self, other: &NodeSpec) -> bool {
+        self.commutes_with.contains(&other.capability)
+            || other.commutes_with.contains(&self.capability)
+    }
+}
+
+/// A reified chunnel pipeline, outermost (application-side) stage first.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StackSpec {
+    /// The stages, outermost first.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl StackSpec {
+    /// Build from stages.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        StackSpec { nodes }
+    }
+
+    /// Stage names, outermost first.
+    pub fn names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// Optimization (c): remove adjacent duplicates of idempotent stages.
+    pub fn eliminate_redundant(&self) -> StackSpec {
+        let mut out: Vec<NodeSpec> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            if let Some(last) = out.last() {
+                if last.capability == n.capability && n.idempotent {
+                    continue;
+                }
+            }
+            out.push(n.clone());
+        }
+        StackSpec { nodes: out }
+    }
+
+    /// Optimization (b): fuse adjacent stages when an implementation of the
+    /// fused capability is `available` (i.e. registered with discovery).
+    /// Applies greedily left-to-right until fixpoint.
+    pub fn fuse(&self, available: &HashSet<u64>) -> StackSpec {
+        let mut nodes = self.nodes.clone();
+        loop {
+            let mut fused_any = false;
+            let mut i = 0;
+            while i + 1 < nodes.len() {
+                let rule = nodes[i]
+                    .fuse
+                    .iter()
+                    .find(|r| r.other == nodes[i + 1].capability && available.contains(&r.fused))
+                    .cloned();
+                if let Some(rule) = rule {
+                    let combined_factor = nodes[i].size_factor * nodes[i + 1].size_factor;
+                    let fused = NodeSpec {
+                        name: rule.fused_name.clone(),
+                        capability: rule.fused,
+                        size_factor: combined_factor,
+                        commutes_with: vec![],
+                        fuse: vec![],
+                        idempotent: false,
+                    };
+                    nodes.splice(i..=i + 1, [fused]);
+                    fused_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !fused_any {
+                return StackSpec { nodes };
+            }
+        }
+    }
+
+    /// All orderings reachable from this one by swapping adjacent commuting
+    /// stages (including this one). Bounded breadth-first search; the search
+    /// space for realistic stacks (≤ 8 stages) is small.
+    pub fn reorderings(&self) -> Vec<StackSpec> {
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(self.nodes.clone());
+        seen.insert(self.nodes.iter().map(|n| n.capability).collect());
+        while let Some(nodes) = queue.pop_front() {
+            for i in 0..nodes.len().saturating_sub(1) {
+                if nodes[i].commutes_with_node(&nodes[i + 1]) {
+                    let mut next = nodes.clone();
+                    next.swap(i, i + 1);
+                    let key: Vec<u64> = next.iter().map(|n| n.capability).collect();
+                    if seen.insert(key) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+            out.push(StackSpec { nodes });
+        }
+        out
+    }
+
+    /// Optimization (a): choose the reachable ordering minimizing `cost`.
+    /// Ties keep the earliest-discovered (i.e. closest to the original)
+    /// ordering.
+    pub fn reorder_by<F>(&self, mut cost: F) -> StackSpec
+    where
+        F: FnMut(&StackSpec) -> f64,
+    {
+        self.reorderings()
+            .into_iter()
+            .map(|s| {
+                let c = cost(&s);
+                (s, c)
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(s, _)| s)
+            .expect("reorderings always includes self")
+    }
+
+    /// Run the full optimization pipeline: eliminate, reorder by `cost`,
+    /// then fuse against `available`.
+    pub fn optimize<F>(&self, available: &HashSet<u64>, cost: F) -> StackSpec
+    where
+        F: FnMut(&StackSpec) -> f64,
+    {
+        self.eliminate_redundant().reorder_by(cost).fuse(available)
+    }
+
+    /// The payload size after the first `k` stages, starting from
+    /// `bytes` at the application.
+    pub fn size_after(&self, bytes: f64, k: usize) -> f64 {
+        self.nodes[..k.min(self.nodes.len())]
+            .iter()
+            .fold(bytes, |b, n| b * n.size_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negotiate::guid;
+
+    const ENCRYPT: u64 = guid("cap/encrypt");
+    const HTTP2: u64 = guid("cap/http2");
+    const TCP: u64 = guid("cap/tcp");
+    const TLS: u64 = guid("cap/tls");
+
+    fn paper_stack() -> StackSpec {
+        // §6: "consider a Bertha connection with the pipeline
+        // encrypt |> http2 |> tcp"
+        StackSpec::new(vec![
+            NodeSpec::opaque("encrypt", ENCRYPT)
+                .commutes([HTTP2])
+                .fuses_with(TCP, TLS, "tls"),
+            NodeSpec::opaque("http2", HTTP2).size_factor(1.05),
+            NodeSpec::opaque("tcp", TCP),
+        ])
+    }
+
+    #[test]
+    fn reorderings_respect_commutativity() {
+        let s = paper_stack();
+        let binding = s.reorderings();
+        let orders: Vec<Vec<&str>> = binding.iter().map(|o| o.names().to_vec()).collect();
+        // encrypt and http2 commute; tcp commutes with nothing.
+        assert!(orders.contains(&vec!["encrypt", "http2", "tcp"]));
+        assert!(orders.contains(&vec!["http2", "encrypt", "tcp"]));
+        assert_eq!(orders.len(), 2, "tcp must stay at the wire: {orders:?}");
+    }
+
+    #[test]
+    fn reorder_by_moves_encrypt_toward_wire() {
+        // Cost model: encrypting later (after framing) lets a NIC offload
+        // handle encrypt+tcp without extra PCIe crossings. Model as: cost =
+        // position-of-encrypt-from-wire.
+        let s = paper_stack();
+        let best = s.reorder_by(|o| {
+            let pos = o.names().iter().position(|n| *n == "encrypt").unwrap();
+            (o.nodes.len() - pos) as f64
+        });
+        assert_eq!(best.names(), vec!["http2", "encrypt", "tcp"]);
+    }
+
+    #[test]
+    fn fuse_requires_availability_and_adjacency() {
+        let s = paper_stack();
+        // Not adjacent: no fusion even though tls is available.
+        let avail: HashSet<u64> = [TLS].into_iter().collect();
+        assert_eq!(s.fuse(&avail).names(), vec!["encrypt", "http2", "tcp"]);
+
+        // After the reorder, encrypt is adjacent to tcp: fuses into tls.
+        let reordered = s.reorder_by(|o| {
+            let pos = o.names().iter().position(|n| *n == "encrypt").unwrap();
+            (o.nodes.len() - pos) as f64
+        });
+        let fused = reordered.fuse(&avail);
+        assert_eq!(fused.names(), vec!["http2", "tls"]);
+
+        // Unavailable fused capability: no fusion.
+        assert_eq!(reordered.fuse(&HashSet::new()).names(), vec!["http2", "encrypt", "tcp"]);
+    }
+
+    #[test]
+    fn eliminate_redundant_removes_adjacent_idempotent_dups() {
+        let dup = StackSpec::new(vec![
+            NodeSpec::opaque("a", 1).idempotent(),
+            NodeSpec::opaque("a", 1).idempotent(),
+            NodeSpec::opaque("b", 2),
+            NodeSpec::opaque("b", 2), // not idempotent: kept
+        ]);
+        assert_eq!(dup.eliminate_redundant().names(), vec!["a", "b", "b"]);
+    }
+
+    #[test]
+    fn size_after_compounds_factors() {
+        let s = StackSpec::new(vec![
+            NodeSpec::opaque("compress", 1).size_factor(0.5),
+            NodeSpec::opaque("frame", 2).size_factor(1.1),
+        ]);
+        assert!((s.size_after(1000.0, 0) - 1000.0).abs() < 1e-9);
+        assert!((s.size_after(1000.0, 1) - 500.0).abs() < 1e-9);
+        assert!((s.size_after(1000.0, 2) - 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimize_pipeline_end_to_end() {
+        let avail: HashSet<u64> = [TLS].into_iter().collect();
+        let best = paper_stack().optimize(&avail, |o| {
+            let pos = o.names().iter().position(|n| *n == "encrypt").unwrap_or(0);
+            (o.nodes.len() - pos) as f64
+        });
+        assert_eq!(best.names(), vec!["http2", "tls"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! [`Either`]: a connection that is one of two alternatives.
+//!
+//! Produced when a [`Select`](crate::select::Select) slot is resolved at
+//! negotiation time: the application's connection type covers both branches,
+//! and a single application may hold `Left` connections alongside `Right`
+//! ones ("a single application might use several different implementations
+//! of the same Chunnel type", §3.1).
+
+use crate::conn::{BoxFut, ChunnelConnection};
+use crate::error::Error;
+
+/// One of two connection (or chunnel) alternatives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first alternative.
+    Left(A),
+    /// The second alternative.
+    Right(B),
+}
+
+impl<A, B> Either<A, B> {
+    /// True if this is the `Left` alternative.
+    pub fn is_left(&self) -> bool {
+        matches!(self, Either::Left(_))
+    }
+
+    /// True if this is the `Right` alternative.
+    pub fn is_right(&self) -> bool {
+        matches!(self, Either::Right(_))
+    }
+
+    /// The left value, if present.
+    pub fn left(self) -> Option<A> {
+        match self {
+            Either::Left(a) => Some(a),
+            Either::Right(_) => None,
+        }
+    }
+
+    /// The right value, if present.
+    pub fn right(self) -> Option<B> {
+        match self {
+            Either::Left(_) => None,
+            Either::Right(b) => Some(b),
+        }
+    }
+}
+
+impl<A, B> ChunnelConnection for Either<A, B>
+where
+    A: ChunnelConnection,
+    B: ChunnelConnection<Data = A::Data>,
+{
+    type Data = A::Data;
+
+    fn send(&self, data: Self::Data) -> BoxFut<'_, Result<(), Error>> {
+        match self {
+            Either::Left(a) => a.send(data),
+            Either::Right(b) => b.send(data),
+        }
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Self::Data, Error>> {
+        match self {
+            Either::Left(a) => a.recv(),
+            Either::Right(b) => b.recv(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::pair;
+
+    #[tokio::test]
+    async fn either_delegates_both_ways() {
+        let (a, peer_a) = pair::<u8>(1);
+        let (b, peer_b) = pair::<u8>(1);
+        let left: Either<_, crate::conn::ChanConn<u8>> = Either::Left(a);
+        let right: Either<crate::conn::ChanConn<u8>, _> = Either::Right(b);
+
+        left.send(1).await.unwrap();
+        assert_eq!(peer_a.recv().await.unwrap(), 1);
+        right.send(2).await.unwrap();
+        assert_eq!(peer_b.recv().await.unwrap(), 2);
+        assert!(left.is_left() && right.is_right());
+    }
+}

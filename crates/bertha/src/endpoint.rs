@@ -1,0 +1,131 @@
+//! The paper-shaped endpoint builder: `bertha::new(name, stack)` followed by
+//! `.connect(...)` or `.listen(...)` (§3.1).
+//!
+//! An [`Endpoint`] bundles an endpoint name (a debugging aid), a chunnel
+//! stack, and negotiation options. `connect` establishes a client
+//! connection over any base transport implementing
+//! [`ChunnelConnector`]; `listen` yields a stream of negotiated
+//! connections over any [`ChunnelListener`].
+
+use crate::addr::Addr;
+use crate::chunnel::{ChunnelConnector, ChunnelListener};
+use crate::conn::{ChunnelConnection, Datagram, DynConn};
+use crate::error::Error;
+use crate::negotiate::{
+    negotiate_client, negotiate_client_dynamic, Apply, GetOffers, NegotiateOpts, NegotiatedConn,
+    NegotiatedStream, OfferFilter, PolicyRef, ServerPicks,
+};
+use std::sync::Arc;
+
+/// A named connection endpoint with a chunnel stack: Bertha's equivalent of
+/// a socket (§3.1).
+#[derive(Clone)]
+pub struct Endpoint<S> {
+    stack: S,
+    opts: NegotiateOpts,
+}
+
+/// Create a connection endpoint: `bertha::new("foo", wrap!(a |> b))`.
+pub fn new<S>(name: impl Into<String>, stack: S) -> Endpoint<S> {
+    Endpoint {
+        stack,
+        opts: NegotiateOpts::named(name),
+    }
+}
+
+impl<S> Endpoint<S> {
+    /// The endpoint's name.
+    pub fn name(&self) -> &str {
+        &self.opts.name
+    }
+
+    /// Attach an offer filter (usually a discovery client) consulted during
+    /// negotiation.
+    pub fn with_filter(mut self, f: Arc<dyn OfferFilter>) -> Self {
+        self.opts.filter = Some(f);
+        self
+    }
+
+    /// Use a non-default operator policy when picking implementations.
+    pub fn with_policy(mut self, p: PolicyRef) -> Self {
+        self.opts = self.opts.with_policy(p);
+        self
+    }
+
+    /// Override handshake timing (per-attempt timeout and retransmissions).
+    pub fn with_handshake(mut self, timeout: std::time::Duration, retries: usize) -> Self {
+        self.opts.timeout = timeout;
+        self.opts.retries = retries;
+        self
+    }
+
+    /// The negotiation options this endpoint will use.
+    pub fn opts(&self) -> &NegotiateOpts {
+        &self.opts
+    }
+
+    /// Connect to `addr` over `connector`, negotiating and applying this
+    /// endpoint's stack. Returns the wrapped connection and the server's
+    /// picks.
+    pub async fn connect<Cn>(
+        &self,
+        connector: &mut Cn,
+        addr: Addr,
+    ) -> Result<(S::Applied, ServerPicks), Error>
+    where
+        Cn: ChunnelConnector<Addr = Addr>,
+        Cn::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+        S: GetOffers + Apply<NegotiatedConn<Cn::Connection>> + Clone,
+    {
+        let raw = connector.connect(addr.clone()).await?;
+        negotiate_client(self.stack.clone(), raw, addr, &self.opts).await
+    }
+
+    /// Listen on `addr` over `listener`, returning a stream of negotiated
+    /// connections.
+    pub async fn listen<L>(
+        &self,
+        listener: &mut L,
+        addr: Addr,
+    ) -> Result<NegotiatedStream<L::Stream, S, S::Applied>, Error>
+    where
+        L: ChunnelListener<Addr = Addr>,
+        L::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+        S: GetOffers + Apply<NegotiatedConn<L::Connection>> + Clone + Send + Sync + 'static,
+        S::Applied: Send + 'static,
+    {
+        let raw = listener.listen(addr).await?;
+        Ok(NegotiatedStream::new(
+            raw,
+            self.stack.clone(),
+            self.opts.clone(),
+        ))
+    }
+}
+
+impl Endpoint<crate::cx::CxNil> {
+    /// Connect with an empty stack, letting the server dictate the chunnels
+    /// from this process's registered fallbacks (Listing 5).
+    pub async fn connect_dynamic<Cn>(&self, connector: &mut Cn, addr: Addr) -> Result<DynConn, Error>
+    where
+        Cn: ChunnelConnector<Addr = Addr>,
+        Cn::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    {
+        let raw = connector.connect(addr.clone()).await?;
+        negotiate_client_dynamic(raw, addr, &self.opts).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrap;
+
+    #[test]
+    fn builder_configures_opts() {
+        let ep = new("my-endpoint", wrap!()).with_handshake(std::time::Duration::from_millis(5), 2);
+        assert_eq!(ep.name(), "my-endpoint");
+        assert_eq!(ep.opts().retries, 2);
+        assert_eq!(ep.opts().timeout, std::time::Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type shared across the Bertha workspace.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by Bertha connections, chunnels, and negotiation.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error from a transport.
+    Io(std::io::Error),
+    /// A message could not be encoded or decoded.
+    Encode(String),
+    /// Connection negotiation failed (incompatible stacks, no admissible
+    /// implementation, or a malformed handshake).
+    Negotiation(String),
+    /// The two endpoints' Chunnel DAGs are incompatible at the given slot.
+    Incompatible {
+        /// Stack slot index (0 = outermost chunnel).
+        slot: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The connection was closed by the peer or the transport was shut down.
+    ConnectionClosed,
+    /// An operation timed out.
+    Timeout {
+        /// How long we waited.
+        after: Duration,
+        /// What we were waiting for.
+        what: &'static str,
+    },
+    /// A name, address, or registration was not found.
+    NotFound(String),
+    /// A registered implementation could not be admitted because its
+    /// resource requirements exceed remaining capacity.
+    ResourcesExhausted(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Encode(m) => write!(f, "encode/decode error: {m}"),
+            Error::Negotiation(m) => write!(f, "negotiation failed: {m}"),
+            Error::Incompatible { slot, reason } => {
+                write!(f, "incompatible chunnel stacks at slot {slot}: {reason}")
+            }
+            Error::ConnectionClosed => write!(f, "connection closed"),
+            Error::Timeout { after, what } => {
+                write!(f, "timed out after {after:?} waiting for {what}")
+            }
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::ResourcesExhausted(m) => write!(f, "resources exhausted: {m}"),
+            Error::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<bincode::Error> for Error {
+    fn from(e: bincode::Error) -> Self {
+        Error::Encode(e.to_string())
+    }
+}
+
+impl Error {
+    /// True if this error indicates the peer went away (as opposed to a
+    /// malformed message or a local failure).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Error::ConnectionClosed)
+    }
+
+    /// Construct an [`Error::Other`] from anything printable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error::Other(m.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::Incompatible {
+            slot: 2,
+            reason: "capability mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("slot 2"));
+        assert!(s.contains("capability mismatch"));
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope");
+        let e: Error = ioe.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_closed_discriminates() {
+        assert!(Error::ConnectionClosed.is_closed());
+        assert!(!Error::msg("x").is_closed());
+    }
+}

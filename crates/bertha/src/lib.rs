@@ -1,0 +1,58 @@
+//! # Bertha: tunneling through the network API
+//!
+//! An implementation of the Bertha network API from *Bertha: Tunneling
+//! through the Network API* (HotNets '20). Bertha applications describe the
+//! communication-oriented functionality of a connection as a composition of
+//! **chunnels** — tunnel-like, composable units such as reliability,
+//! serialization, sharding, or a container-local fast path — and Bertha
+//! picks a concrete implementation for each when the connection is
+//! established, preferring accelerated (offloaded) implementations when the
+//! discovery service knows one is available, and falling back to software
+//! otherwise.
+//!
+//! This crate is the core: connection and chunnel traits, stack composition
+//! ([`wrap!`]), negotiation, and the reified DAG used by placement
+//! optimizers. Base transports live in `bertha-transport`; the standard
+//! chunnel library in `bertha-chunnels`; the discovery service in
+//! `bertha-discovery`.
+//!
+//! ## Quick taste
+//!
+//! ```no_run
+//! use bertha::{wrap, Select};
+//! # use bertha::util::Nothing;
+//! # type ClientSharding = Nothing<bertha::Datagram>;
+//! # type ServerSharding = Nothing<bertha::Datagram>;
+//! // Offer two sharding implementations; negotiation picks per connection.
+//! let _stack = wrap!(Select::new(
+//!     ClientSharding::default(),
+//!     ServerSharding::default(),
+//! ));
+//! ```
+//!
+//! See the `bertha-suite` examples for complete client/server programs
+//! mirroring the paper's Listings 1–5.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod chunnel;
+pub mod conn;
+pub mod cx;
+pub mod dag;
+pub mod either;
+pub mod endpoint;
+pub mod error;
+pub mod negotiate;
+pub mod select;
+pub mod util;
+
+pub use addr::Addr;
+pub use chunnel::{Chunnel, ChunnelConnector, ChunnelListener, ConnStream, ConnStreamExt};
+pub use conn::{BoxFut, ChunnelConnection, Datagram, DynConn};
+pub use cx::{CxList, CxNil};
+pub use either::Either;
+pub use endpoint::{new, Endpoint};
+pub use error::Error;
+pub use negotiate::{register_chunnel, Negotiate, NegotiateOpts};
+pub use select::Select;

@@ -1,0 +1,264 @@
+//! Collecting offers from, and applying picks to, typed chunnel stacks.
+//!
+//! [`NegotiateSlot`] and [`SlotApply`] describe one stack slot (a single
+//! chunnel, or a [`Select`](crate::select::Select) of alternatives);
+//! [`GetOffers`] and [`Apply`] lift them over [`CxList`] stacks. Chunnel
+//! types get their slot implementations from the
+//! [`negotiable!`](crate::negotiable) macro (or hand-written impls for
+//! generic chunnels); we deliberately avoid blanket impls so that `Select`
+//! can implement the same traits without coherence conflicts.
+
+use super::types::Offer;
+use crate::conn::{BoxFut, ChunnelConnection};
+use crate::cx::{CxList, CxNil};
+use crate::error::Error;
+
+/// One stack slot's advertised alternatives.
+pub trait NegotiateSlot {
+    /// The implementations this slot can use, in preference order.
+    fn slot_offers(&self) -> Vec<Offer>;
+}
+
+/// Instantiating one stack slot once negotiation has picked an
+/// implementation.
+pub trait SlotApply<InC> {
+    /// The connection this slot produces.
+    type Applied: ChunnelConnection;
+
+    /// Wrap `inner` according to `pick`. Fails if `pick` names an
+    /// implementation this slot did not offer.
+    fn slot_apply(
+        &self,
+        pick: Offer,
+        nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>>;
+}
+
+/// Collect per-slot offers from a whole stack, outermost slot first.
+pub trait GetOffers {
+    /// Append this stack's slots to `out`.
+    fn offers_into(&self, out: &mut Vec<Vec<Offer>>);
+
+    /// All slots, outermost first.
+    fn offers(&self) -> Vec<Vec<Offer>> {
+        let mut v = Vec::new();
+        self.offers_into(&mut v);
+        v
+    }
+}
+
+impl GetOffers for CxNil {
+    fn offers_into(&self, _out: &mut Vec<Vec<Offer>>) {}
+}
+
+impl<H, T> GetOffers for CxList<H, T>
+where
+    H: NegotiateSlot,
+    T: GetOffers,
+{
+    fn offers_into(&self, out: &mut Vec<Vec<Offer>>) {
+        out.push(self.head.slot_offers());
+        self.tail.offers_into(out);
+    }
+}
+
+/// Apply a full stack to an inner connection under a list of picks
+/// (one per slot, outermost first).
+pub trait Apply<InC> {
+    /// The fully-wrapped connection.
+    type Applied: ChunnelConnection;
+
+    /// Consume `picks` and wrap `inner`.
+    fn apply(
+        &self,
+        picks: Vec<Offer>,
+        nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>>;
+}
+
+impl<InC> Apply<InC> for CxNil
+where
+    InC: ChunnelConnection + Send + 'static,
+{
+    type Applied = InC;
+
+    fn apply(
+        &self,
+        picks: Vec<Offer>,
+        _nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<InC, Error>> {
+        Box::pin(async move {
+            if !picks.is_empty() {
+                return Err(Error::Negotiation(format!(
+                    "{} extra picks for empty stack",
+                    picks.len()
+                )));
+            }
+            Ok(inner)
+        })
+    }
+}
+
+impl<H, T, InC> Apply<InC> for CxList<H, T>
+where
+    InC: Send + 'static,
+    T: Apply<InC> + Clone + Send + Sync + 'static,
+    T::Applied: Send + 'static,
+    H: SlotApply<T::Applied> + Clone + Send + Sync + 'static,
+{
+    type Applied = H::Applied;
+
+    fn apply(
+        &self,
+        mut picks: Vec<Offer>,
+        nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>> {
+        let head = self.head.clone();
+        let tail = self.tail.clone();
+        Box::pin(async move {
+            if picks.is_empty() {
+                return Err(Error::Negotiation(
+                    "ran out of picks while applying stack".into(),
+                ));
+            }
+            let head_pick = picks.remove(0);
+            let mid = tail.apply(picks, nonce.clone(), inner).await?;
+            head.slot_apply(head_pick, nonce, mid).await
+        })
+    }
+}
+
+/// Implement [`NegotiateSlot`] and [`SlotApply`] for a chunnel type that
+/// implements [`Negotiate`](super::types::Negotiate) and
+/// [`Chunnel`](crate::chunnel::Chunnel).
+///
+/// For generic chunnel types, write the two (short) impls by hand; this
+/// macro covers the common non-generic case.
+#[macro_export]
+macro_rules! negotiable {
+    ($t:ty) => {
+        impl $crate::negotiate::NegotiateSlot for $t {
+            fn slot_offers(&self) -> ::std::vec::Vec<$crate::negotiate::Offer> {
+                ::std::vec![$crate::negotiate::Offer::from_chunnel(self)]
+            }
+        }
+
+        impl<InC> $crate::negotiate::SlotApply<InC> for $t
+        where
+            $t: $crate::chunnel::Chunnel<InC>,
+            InC: ::std::marker::Send + 'static,
+        {
+            type Applied = <$t as $crate::chunnel::Chunnel<InC>>::Connection;
+
+            fn slot_apply(
+                &self,
+                pick: $crate::negotiate::Offer,
+                nonce: ::std::vec::Vec<u8>,
+                inner: InC,
+            ) -> $crate::conn::BoxFut<'static, ::std::result::Result<Self::Applied, $crate::Error>>
+            {
+                if pick.capability != <$t as $crate::negotiate::Negotiate>::CAPABILITY {
+                    let msg = ::std::format!(
+                        "pick {} does not match slot {}",
+                        pick.name,
+                        <$t as $crate::negotiate::Negotiate>::NAME
+                    );
+                    return ::std::boxed::Box::pin(async move {
+                        Err($crate::Error::Negotiation(msg))
+                    });
+                }
+                $crate::negotiate::Negotiate::picked(self, &pick, &nonce);
+                $crate::chunnel::Chunnel::connect_wrap(self, inner)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::types::{guid, Negotiate, Offer};
+    use super::*;
+    use crate::chunnel::Chunnel;
+    use crate::conn::pair;
+    use crate::wrap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct TestChunnel {
+        picked_count: Arc<AtomicUsize>,
+    }
+
+    impl Negotiate for TestChunnel {
+        const CAPABILITY: u64 = guid("test/cap");
+        const IMPL: u64 = guid("test/impl");
+        const NAME: &'static str = "test";
+
+        fn picked(&self, _pick: &Offer, _nonce: &[u8]) {
+            self.picked_count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<InC> Chunnel<InC> for TestChunnel
+    where
+        InC: ChunnelConnection + Send + 'static,
+    {
+        type Connection = InC;
+
+        fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+            Box::pin(async move { Ok(inner) })
+        }
+    }
+
+    negotiable!(TestChunnel);
+
+    #[test]
+    fn offers_outermost_first() {
+        let c = TestChunnel::default();
+        let stack = wrap!(c.clone() |> c.clone());
+        let offers = stack.offers();
+        assert_eq!(offers.len(), 2);
+        assert_eq!(offers[0][0].capability, TestChunnel::CAPABILITY);
+        assert_eq!(offers[0][0].impl_guid, TestChunnel::IMPL);
+    }
+
+    #[tokio::test]
+    async fn apply_consumes_picks_and_notifies() {
+        let c = TestChunnel::default();
+        let count = Arc::clone(&c.picked_count);
+        let stack = wrap!(c.clone() |> c.clone());
+        let picks = vec![
+            Offer::from_chunnel(&c),
+            Offer::from_chunnel(&c),
+        ];
+        let (a, _b) = pair::<u8>(1);
+        stack.apply(picks, vec![0u8; 8], a).await.unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[tokio::test]
+    async fn apply_rejects_wrong_pick_count() {
+        let c = TestChunnel::default();
+        let stack = wrap!(c.clone());
+        let (a, _b) = pair::<u8>(1);
+        assert!(stack.apply(vec![], vec![], a).await.is_err());
+
+        let (a, _b) = pair::<u8>(1);
+        let too_many = vec![Offer::from_chunnel(&c), Offer::from_chunnel(&c)];
+        assert!(wrap!(c.clone()).apply(too_many, vec![], a).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn apply_rejects_mismatched_capability() {
+        let c = TestChunnel::default();
+        let stack = wrap!(c.clone());
+        let mut pick = Offer::from_chunnel(&c);
+        pick.capability = guid("something/else");
+        let (a, _b) = pair::<u8>(1);
+        assert!(stack.apply(vec![pick], vec![], a).await.is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Dynamically-composed stacks: Listing 5's client.
+//!
+//! A Bertha application can register fallback chunnel implementations when
+//! it launches (`bertha::register_chunnel`, Listing 5 line 2) and then
+//! connect with an *empty* stack — "the set of Chunnels used is dictated
+//! entirely by the server". The server's picks name capabilities; the client
+//! instantiates its registered implementation of each, composing them at
+//! runtime over a type-erased byte-level connection.
+
+use super::handshake::{client_handshake, NegotiateOpts, NegotiatedConn, Role};
+use super::types::{Negotiate, NegotiateMsg, Offer};
+use crate::addr::Addr;
+use crate::chunnel::Chunnel;
+use crate::conn::{BoxFut, ChunnelConnection, Datagram, DynConn};
+use crate::error::Error;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// A type-erased chunnel that wraps byte-level connections. Any
+/// `Chunnel<DynConn>` whose output is also byte-level can be registered.
+pub trait DynChunnel: Send + Sync {
+    /// Wrap `inner` according to the pick.
+    fn wrap_dyn(
+        &self,
+        pick: Offer,
+        nonce: Vec<u8>,
+        inner: DynConn,
+    ) -> BoxFut<'static, Result<DynConn, Error>>;
+
+    /// The offer this registration advertises.
+    fn dyn_offer(&self) -> Offer;
+}
+
+/// Adapter giving any suitable typed chunnel a [`DynChunnel`] impl.
+struct DynAdapter<T>(T);
+
+impl<T> DynChunnel for DynAdapter<T>
+where
+    T: Chunnel<DynConn> + Negotiate + Send + Sync + 'static,
+    T::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn wrap_dyn(
+        &self,
+        pick: Offer,
+        nonce: Vec<u8>,
+        inner: DynConn,
+    ) -> BoxFut<'static, Result<DynConn, Error>> {
+        self.0.picked(&pick, &nonce);
+        let fut = self.0.connect_wrap(inner);
+        Box::pin(async move {
+            let conn = fut.await?;
+            Ok(Arc::new(conn) as DynConn)
+        })
+    }
+
+    fn dyn_offer(&self) -> Offer {
+        Offer::from_chunnel(&self.0)
+    }
+}
+
+/// The process-global table of registered fallback chunnels.
+#[derive(Default)]
+pub struct DynRegistry {
+    by_capability: RwLock<HashMap<u64, Arc<dyn DynChunnel>>>,
+}
+
+impl DynRegistry {
+    /// Register `chunnel` as this process's fallback implementation of its
+    /// capability. Replaces any previous registration for that capability.
+    pub fn register<T>(&self, chunnel: T)
+    where
+        T: Chunnel<DynConn> + Negotiate + Send + Sync + 'static,
+        T::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    {
+        self.by_capability
+            .write()
+            .insert(T::CAPABILITY, Arc::new(DynAdapter(chunnel)));
+    }
+
+    /// Remove the registration for a capability. Returns whether one
+    /// existed.
+    pub fn unregister(&self, capability: u64) -> bool {
+        self.by_capability.write().remove(&capability).is_some()
+    }
+
+    /// The offers for everything registered, advertised in `ClientOffer`.
+    pub fn offers(&self) -> Vec<Offer> {
+        self.by_capability
+            .read()
+            .values()
+            .map(|c| c.dyn_offer())
+            .collect()
+    }
+
+    /// Look up the registered implementation of a capability.
+    pub fn get(&self, capability: u64) -> Option<Arc<dyn DynChunnel>> {
+        self.by_capability.read().get(&capability).cloned()
+    }
+}
+
+/// The process-global registry used by [`register_chunnel`] and empty-stack
+/// negotiation.
+pub fn global_registry() -> &'static DynRegistry {
+    static REGISTRY: OnceLock<DynRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(DynRegistry::default)
+}
+
+/// Register a fallback chunnel implementation for this process
+/// (Listing 5: `bertha::register_chunnel("reliable", ReliableChunnel,
+/// bertha::endpoints::Both, bertha::scope::Application)`; in this
+/// implementation the endpoint and scope constraints come from the
+/// chunnel's [`Negotiate`] impl).
+pub fn register_chunnel<T>(chunnel: T)
+where
+    T: Chunnel<DynConn> + Negotiate + Send + Sync + 'static,
+    T::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    global_registry().register(chunnel)
+}
+
+/// Connect with an empty stack, letting the server dictate the chunnels
+/// (Listing 5). Every pick requiring client participation must have a
+/// registered implementation of its capability.
+pub async fn negotiate_client_dynamic<InC>(
+    raw: InC,
+    addr: Addr,
+    opts: &NegotiateOpts,
+) -> Result<DynConn, Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    let registry = global_registry();
+    let offer = NegotiateMsg::ClientOffer {
+        name: opts.name.clone(),
+        slots: vec![],
+        registered: registry.offers(),
+    };
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts).await?;
+    if let Some(f) = &opts.filter {
+        f.picked(Role::Client, &picks.picks).await?;
+    }
+
+    let mut conn: DynConn = Arc::new(NegotiatedConn::client(raw, pending));
+    // Picks are outermost-first; wrap from the wire up.
+    for pick in picks.picks.iter().rev() {
+        if !pick.endpoints.needs_client() {
+            continue; // e.g. a server-side steering offload: transparent here
+        }
+        let factory = registry.get(pick.capability).ok_or_else(|| {
+            Error::NotFound(format!(
+                "no registered chunnel for picked capability {} ({:#x})",
+                pick.name, pick.capability
+            ))
+        })?;
+        conn = factory
+            .wrap_dyn(pick.clone(), picks.nonce.clone(), conn)
+            .await?;
+    }
+    Ok(conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::handshake::negotiate_server_once;
+    use super::super::types::{guid, Endpoints};
+    use super::*;
+    use crate::conn::pair;
+    use crate::wrap;
+
+    /// A toy byte-level chunnel that XORs payloads, to make dynamic
+    /// composition observable.
+    #[derive(Clone, Copy, Debug, Default)]
+    struct XorChunnel;
+
+    impl Negotiate for XorChunnel {
+        const CAPABILITY: u64 = guid("test/xor");
+        const IMPL: u64 = guid("test/xor/basic");
+        const NAME: &'static str = "test-xor";
+        const ENDPOINTS: Endpoints = Endpoints::Both;
+    }
+
+    struct XorConn<C>(C);
+
+    impl<C: ChunnelConnection<Data = Datagram>> ChunnelConnection for XorConn<C> {
+        type Data = Datagram;
+
+        fn send(&self, (a, mut d): Datagram) -> BoxFut<'_, Result<(), Error>> {
+            d.iter_mut().for_each(|b| *b ^= 0x5a);
+            self.0.send((a, d))
+        }
+
+        fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+            Box::pin(async move {
+                let (a, mut d) = self.0.recv().await?;
+                d.iter_mut().for_each(|b| *b ^= 0x5a);
+                Ok((a, d))
+            })
+        }
+    }
+
+    impl<InC> Chunnel<InC> for XorChunnel
+    where
+        InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    {
+        type Connection = XorConn<InC>;
+
+        fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+            Box::pin(async move { Ok(XorConn(inner)) })
+        }
+    }
+
+    crate::negotiable!(XorChunnel);
+
+    #[tokio::test]
+    async fn empty_client_stack_follows_server() {
+        register_chunnel(XorChunnel);
+
+        let (cli_raw, srv_raw) = pair::<Datagram>(16);
+        let addr = Addr::Mem("srv".into());
+        let srv = tokio::spawn(async move {
+            negotiate_server_once(wrap!(XorChunnel), srv_raw, &NegotiateOpts::named("srv")).await
+        });
+
+        let conn = negotiate_client_dynamic(cli_raw, addr.clone(), &NegotiateOpts::named("cli"))
+            .await
+            .unwrap();
+        let srv_conn = srv.await.unwrap().unwrap();
+
+        conn.send((addr, b"abc".to_vec())).await.unwrap();
+        let (from, data) = srv_conn.recv().await.unwrap();
+        assert_eq!(data, b"abc", "xor must cancel out end-to-end");
+        srv_conn.send((from, b"xyz".to_vec())).await.unwrap();
+        let (_, data) = conn.recv().await.unwrap();
+        assert_eq!(data, b"xyz");
+    }
+
+    #[tokio::test]
+    async fn missing_registration_fails() {
+        #[derive(Clone, Copy, Debug, Default)]
+        struct Unregistered;
+        impl Negotiate for Unregistered {
+            const CAPABILITY: u64 = guid("test/unregistered");
+            const IMPL: u64 = guid("test/unregistered/basic");
+            const NAME: &'static str = "test-unregistered";
+        }
+        impl<InC> Chunnel<InC> for Unregistered
+        where
+            InC: ChunnelConnection + Send + 'static,
+        {
+            type Connection = InC;
+            fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+                Box::pin(async move { Ok(inner) })
+            }
+        }
+        crate::negotiable!(Unregistered);
+
+        // Client registers the capability so negotiation succeeds, then
+        // unregisters before applying picks — the lookup must fail loudly.
+        let (cli_raw, srv_raw) = pair::<Datagram>(16);
+        let srv = tokio::spawn(async move {
+            negotiate_server_once(wrap!(Unregistered), srv_raw, &NegotiateOpts::named("srv")).await
+        });
+        register_chunnel(Unregistered);
+        global_registry().unregister(Unregistered::CAPABILITY);
+        // Now the ClientOffer carries no registered impls, so the server
+        // rejects during pick.
+        let res =
+            negotiate_client_dynamic(cli_raw, Addr::Mem("srv".into()), &NegotiateOpts::default())
+                .await;
+        assert!(res.is_err());
+        assert!(srv.await.unwrap().is_err());
+    }
+
+    #[test]
+    fn registry_register_unregister() {
+        let reg = DynRegistry::default();
+        reg.register(XorChunnel);
+        assert_eq!(reg.offers().len(), 1);
+        assert!(reg.get(XorChunnel::CAPABILITY).is_some());
+        assert!(reg.unregister(XorChunnel::CAPABILITY));
+        assert!(!reg.unregister(XorChunnel::CAPABILITY));
+        assert!(reg.offers().is_empty());
+    }
+}

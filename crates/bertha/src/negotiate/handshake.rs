@@ -1,0 +1,661 @@
+//! The on-the-wire negotiation handshake (§4.3).
+//!
+//! When a client connects, it sends its stack's offers as the first datagram
+//! on the connection; the server intersects them with its own stack, applies
+//! the operator policy, and replies with one pick per slot. Both sides then
+//! instantiate their (possibly different) halves of each picked
+//! implementation and the connection carries data.
+//!
+//! Negotiation frames and data frames share the underlying connection, so
+//! every payload is prefixed with a one-byte tag. The handshake tolerates
+//! datagram loss: the client retransmits its offer until a reply arrives,
+//! and an established server connection answers duplicate offers by
+//! re-sending its cached reply.
+
+use super::apply::{Apply, GetOffers};
+use super::pick::{pick_stack, DefaultPolicy, PolicyRef};
+use super::types::{NegotiateMsg, Offer, ServerPicks};
+use crate::addr::Addr;
+use crate::chunnel::ConnStream;
+use crate::conn::{BoxFut, ChunnelConnection, Datagram};
+use crate::error::Error;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Frame tag: application data.
+pub const TAG_DATA: u8 = 0x00;
+/// Frame tag: negotiation message.
+pub const TAG_NEG: u8 = 0x01;
+
+/// Which side of the handshake we are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The connecting endpoint.
+    Client,
+    /// The listening endpoint.
+    Server,
+}
+
+/// A hook consulted during negotiation; the discovery service implements
+/// this to inject availability, priorities, and init hooks for registered
+/// accelerated implementations (§4.2).
+pub trait OfferFilter: Send + Sync {
+    /// Adjust one slot's offers before they are advertised (client) or
+    /// matched (server): remove unavailable implementations, boost the
+    /// priority of registered accelerated ones, attach `ext` data.
+    fn filter_slot<'a>(
+        &'a self,
+        role: Role,
+        slot: usize,
+        offers: Vec<Offer>,
+    ) -> BoxFut<'a, Result<Vec<Offer>, Error>>;
+
+    /// Called with the final picks for a connection, before data flows.
+    /// Implementation init hooks (configure the system and network so the
+    /// application can use the selected implementation, §4.2) run here.
+    fn picked<'a>(&'a self, role: Role, picks: &'a [Offer]) -> BoxFut<'a, Result<(), Error>>;
+}
+
+/// Options controlling a negotiation handshake.
+#[derive(Clone)]
+pub struct NegotiateOpts {
+    /// Endpoint name, for debugging (§3.1's first `bertha::new` argument).
+    pub name: String,
+    /// Per-attempt timeout waiting for the peer's handshake message.
+    pub timeout: Duration,
+    /// Number of client offer (re)transmissions before giving up.
+    pub retries: usize,
+    /// Discovery/operator hook; `None` negotiates from the stacks alone.
+    pub filter: Option<Arc<dyn OfferFilter>>,
+    /// Operator policy choosing among admissible implementations
+    /// (server side).
+    pub policy: PolicyRef,
+}
+
+impl Default for NegotiateOpts {
+    fn default() -> Self {
+        NegotiateOpts {
+            name: "bertha".to_owned(),
+            timeout: Duration::from_millis(250),
+            retries: 8,
+            filter: None,
+            policy: Arc::new(DefaultPolicy),
+        }
+    }
+}
+
+impl NegotiateOpts {
+    /// Options with an endpoint name.
+    pub fn named(name: impl Into<String>) -> Self {
+        NegotiateOpts {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Attach an offer filter (usually a discovery client).
+    pub fn with_filter(mut self, f: Arc<dyn OfferFilter>) -> Self {
+        self.filter = Some(f);
+        self
+    }
+
+    /// Use a non-default pick policy.
+    pub fn with_policy(mut self, p: PolicyRef) -> Self {
+        self.policy = p;
+        self
+    }
+}
+
+fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(1 + body.len());
+    v.push(tag);
+    v.extend_from_slice(body);
+    v
+}
+
+async fn apply_filter(
+    filter: &Option<Arc<dyn OfferFilter>>,
+    role: Role,
+    mut slots: Vec<Vec<Offer>>,
+) -> Result<Vec<Vec<Offer>>, Error> {
+    match filter {
+        Some(f) => {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let filtered = f.filter_slot(role, i, std::mem::take(slot)).await?;
+                *slot = filtered;
+            }
+        }
+        None => {
+            // No discovery service attached: implementations that live
+            // outside the application (accelerated variants) cannot be
+            // confirmed available, so only in-process fallbacks are
+            // offered ("applications use the software fallback ... when
+            // no network or host provided implementation can be used",
+            // §2).
+            for slot in slots.iter_mut() {
+                slot.retain(|o| o.scope == crate::negotiate::Scope::Application);
+            }
+        }
+    }
+    Ok(slots)
+}
+
+/// Run the client side of the handshake on a raw connection, returning the
+/// server's picks and any data frames that arrived while we waited.
+pub async fn client_handshake<C>(
+    raw: &C,
+    addr: &Addr,
+    offer: &NegotiateMsg,
+    opts: &NegotiateOpts,
+) -> Result<(ServerPicks, Vec<Datagram>), Error>
+where
+    C: ChunnelConnection<Data = Datagram>,
+{
+    let body = bincode::serialize(offer)?;
+    let neg_frame = frame(TAG_NEG, &body);
+    let mut pending = Vec::new();
+
+    for _attempt in 0..=opts.retries {
+        raw.send((addr.clone(), neg_frame.clone())).await?;
+        let deadline = tokio::time::Instant::now() + opts.timeout;
+        loop {
+            let recvd = tokio::time::timeout_at(deadline, raw.recv()).await;
+            let (from, buf) = match recvd {
+                Err(_elapsed) => break, // per-attempt timeout: retransmit
+                Ok(r) => r?,
+            };
+            match buf.split_first() {
+                Some((&TAG_NEG, body)) => {
+                    let msg: NegotiateMsg = bincode::deserialize(body)?;
+                    match msg {
+                        NegotiateMsg::ServerReply(Ok(picks)) => {
+                            return Ok((picks, pending));
+                        }
+                        NegotiateMsg::ServerReply(Err(e)) => {
+                            return Err(Error::Negotiation(e));
+                        }
+                        NegotiateMsg::ClientOffer { .. } => {
+                            return Err(Error::Negotiation(
+                                "peer sent a ClientOffer to a client".into(),
+                            ));
+                        }
+                    }
+                }
+                Some((&TAG_DATA, body)) => {
+                    // Data reordered ahead of the reply; deliver it after
+                    // the stack is applied.
+                    pending.push((from, body.to_vec()));
+                }
+                _ => {
+                    // Unknown tag: a stray datagram from something else on
+                    // the network. Ignore it rather than failing the
+                    // handshake.
+                }
+            }
+        }
+    }
+    Err(Error::Timeout {
+        after: opts.timeout * (opts.retries as u32 + 1),
+        what: "negotiation reply",
+    })
+}
+
+/// A connection carrying negotiated traffic: tags data frames, answers
+/// duplicate handshake messages, and replays data that raced the handshake.
+pub struct NegotiatedConn<C> {
+    inner: C,
+    role: Role,
+    /// Server: the serialized reply frame, re-sent on duplicate offers.
+    cached_reply: Option<Vec<u8>>,
+    /// Data frames that arrived during the handshake.
+    pending: Mutex<VecDeque<Datagram>>,
+}
+
+impl<C> NegotiatedConn<C> {
+    /// Client-side wrapper. `pending` holds data frames that raced the
+    /// handshake reply.
+    pub fn client(inner: C, pending: Vec<Datagram>) -> Self {
+        NegotiatedConn {
+            inner,
+            role: Role::Client,
+            cached_reply: None,
+            pending: Mutex::new(pending.into()),
+        }
+    }
+
+    /// Server-side wrapper. `reply_frame` is re-sent when the client
+    /// retransmits its offer (its copy of our reply was lost).
+    pub fn server(inner: C, reply_frame: Vec<u8>) -> Self {
+        NegotiatedConn {
+            inner,
+            role: Role::Server,
+            cached_reply: Some(reply_frame),
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The wrapped raw connection.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C> ChunnelConnection for NegotiatedConn<C>
+where
+    C: ChunnelConnection<Data = Datagram>,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, body): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.send((addr, frame(TAG_DATA, &body)))
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            if let Some(d) = self.pending.lock().pop_front() {
+                return Ok(d);
+            }
+            loop {
+                let (from, buf) = self.inner.recv().await?;
+                match buf.split_first() {
+                    Some((&TAG_DATA, body)) => return Ok((from, body.to_vec())),
+                    Some((&TAG_NEG, _)) => {
+                        // A server's established connection answers a
+                        // duplicate offer by repeating its cached reply (the
+                        // client's copy was lost); a client ignores late
+                        // duplicates of the server's reply.
+                        if let (Role::Server, Some(reply)) = (self.role, &self.cached_reply) {
+                            self.inner.send((from, reply.clone())).await?;
+                        }
+                    }
+                    // Unknown tag: a stray datagram (port scan, stale
+                    // peer). Dropping it keeps one junk frame from killing
+                    // an established connection.
+                    _ => {}
+                }
+            }
+        })
+    }
+}
+
+/// Negotiate and apply `stack` on a freshly-connected raw connection
+/// (client side). Returns the wrapped connection and the server's picks.
+pub async fn negotiate_client<S, InC>(
+    stack: S,
+    raw: InC,
+    addr: Addr,
+    opts: &NegotiateOpts,
+) -> Result<(S::Applied, ServerPicks), Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: GetOffers + Apply<NegotiatedConn<InC>>,
+{
+    let slots = apply_filter(&opts.filter, Role::Client, stack.offers()).await?;
+    let offer = NegotiateMsg::ClientOffer {
+        name: opts.name.clone(),
+        slots,
+        registered: super::dynamic::global_registry().offers(),
+    };
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts).await?;
+    if let Some(f) = &opts.filter {
+        f.picked(Role::Client, &picks.picks).await?;
+    }
+    let conn = NegotiatedConn::client(raw, pending);
+    let applied = stack
+        .apply(picks.picks.clone(), picks.nonce.clone(), conn)
+        .await?;
+    Ok((applied, picks))
+}
+
+/// Negotiate and apply `stack` for one incoming raw connection
+/// (server side).
+pub async fn negotiate_server_once<S, InC>(
+    stack: S,
+    raw: InC,
+    opts: &NegotiateOpts,
+) -> Result<S::Applied, Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: GetOffers + Apply<NegotiatedConn<InC>>,
+{
+    let handshake_deadline = opts.timeout * (opts.retries as u32 + 1);
+    let (from, buf) = tokio::time::timeout(handshake_deadline, raw.recv())
+        .await
+        .map_err(|_| Error::Timeout {
+            after: handshake_deadline,
+            what: "client offer",
+        })??;
+
+    let body = match buf.split_first() {
+        Some((&TAG_NEG, body)) => body,
+        _ => {
+            return Err(Error::Negotiation(
+                "expected a negotiation handshake as the first message".into(),
+            ))
+        }
+    };
+    let client_msg: NegotiateMsg = bincode::deserialize(body)?;
+
+    let slots = apply_filter(&opts.filter, Role::Server, stack.offers()).await?;
+    let outcome = pick_stack(&opts.name, &slots, &client_msg, &*opts.policy);
+
+    // Run the discovery hooks (resource claims, init) *before* telling the
+    // client negotiation succeeded: a failed claim must surface as a
+    // rejection, not as a silently-dead server connection the client keeps
+    // sending into.
+    let outcome = match outcome {
+        Ok(picks) => {
+            if let Some(f) = &opts.filter {
+                match f.picked(Role::Server, &picks.picks).await {
+                    Ok(()) => Ok(picks),
+                    Err(e) => Err(Error::Negotiation(format!(
+                        "implementation init failed: {e}"
+                    ))),
+                }
+            } else {
+                Ok(picks)
+            }
+        }
+        Err(e) => Err(e),
+    };
+
+    let (picks, reply) = match outcome {
+        Ok(picks) => {
+            let reply = NegotiateMsg::ServerReply(Ok(picks.clone()));
+            (Some(picks), reply)
+        }
+        Err(e) => (None, NegotiateMsg::ServerReply(Err(e.to_string()))),
+    };
+    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    raw.send((from, reply_frame.clone())).await?;
+
+    let picks = match picks {
+        Some(p) => p,
+        None => {
+            return Err(Error::Negotiation(
+                "no compatible implementation; rejection sent to client".into(),
+            ))
+        }
+    };
+    let conn = NegotiatedConn::server(raw, reply_frame);
+    stack.apply(picks.picks, picks.nonce, conn).await
+}
+
+/// A stream of negotiated connections: wraps a raw listener stream, running
+/// the server handshake concurrently for each incoming connection so a slow
+/// or silent client cannot stall the accept loop.
+pub struct NegotiatedStream<S, Stack, A> {
+    raw: Option<S>,
+    stack: Stack,
+    opts: Arc<NegotiateOpts>,
+    inflight: tokio::task::JoinSet<Result<A, Error>>,
+}
+
+impl<S, Stack> NegotiatedStream<S, Stack, ()> {
+    /// Wrap `raw`, negotiating `stack` for each incoming connection.
+    pub fn new<InC>(
+        raw: S,
+        stack: Stack,
+        opts: NegotiateOpts,
+    ) -> NegotiatedStream<S, Stack, Stack::Applied>
+    where
+        S: ConnStream<Connection = InC>,
+        InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+        Stack: GetOffers + Apply<NegotiatedConn<InC>> + Clone + Send + Sync + 'static,
+        Stack::Applied: Send + 'static,
+    {
+        NegotiatedStream {
+            raw: Some(raw),
+            stack,
+            opts: Arc::new(opts),
+            inflight: tokio::task::JoinSet::new(),
+        }
+    }
+}
+
+impl<S, Stack, InC> ConnStream for NegotiatedStream<S, Stack, Stack::Applied>
+where
+    S: ConnStream<Connection = InC> + Send,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    Stack: GetOffers + Apply<NegotiatedConn<InC>> + Clone + Send + Sync + 'static,
+    Stack::Applied: ChunnelConnection + Send + 'static,
+{
+    type Connection = Stack::Applied;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<Self::Connection, Error>>> {
+        Box::pin(async move {
+            loop {
+                if self.raw.is_none() && self.inflight.is_empty() {
+                    return None;
+                }
+                tokio::select! {
+                    incoming = async {
+                        match &mut self.raw {
+                            Some(r) => r.next().await,
+                            None => None,
+                        }
+                    }, if self.raw.is_some() => {
+                        match incoming {
+                            Some(Ok(conn)) => {
+                                let stack = self.stack.clone();
+                                let opts = Arc::clone(&self.opts);
+                                self.inflight.spawn(async move {
+                                    negotiate_server_once(stack, conn, &opts).await
+                                });
+                            }
+                            Some(Err(e)) => return Some(Err(e)),
+                            None => {
+                                self.raw = None;
+                            }
+                        }
+                    }
+                    joined = self.inflight.join_next(), if !self.inflight.is_empty() => {
+                        match joined {
+                            Some(Ok(result)) => return Some(result),
+                            Some(Err(join_err)) => {
+                                return Some(Err(Error::Other(format!(
+                                    "negotiation task panicked: {join_err}"
+                                ))))
+                            }
+                            None => {}
+                        }
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunnel::{Chunnel, RecvStream};
+    use crate::conn::pair;
+    use crate::negotiate::{guid, Negotiate};
+    use crate::wrap;
+
+    #[derive(Clone, Copy, Debug, Default)]
+    struct Rel;
+
+    impl Negotiate for Rel {
+        const CAPABILITY: u64 = guid("test/rel");
+        const IMPL: u64 = guid("test/rel/basic");
+        const NAME: &'static str = "test-rel";
+    }
+
+    impl<InC> Chunnel<InC> for Rel
+    where
+        InC: ChunnelConnection + Send + 'static,
+    {
+        type Connection = InC;
+
+        fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+            Box::pin(async move { Ok(inner) })
+        }
+    }
+
+    crate::negotiable!(Rel);
+
+    #[tokio::test]
+    async fn end_to_end_handshake() {
+        let (cli_raw, srv_raw) = pair::<Datagram>(16);
+        let addr = Addr::Mem("srv".into());
+
+        let srv = tokio::spawn(async move {
+            negotiate_server_once(wrap!(Rel), srv_raw, &NegotiateOpts::named("srv")).await
+        });
+        let (cli_conn, picks) = negotiate_client(
+            wrap!(Rel),
+            cli_raw,
+            addr.clone(),
+            &NegotiateOpts::named("cli"),
+        )
+        .await
+        .unwrap();
+        let srv_conn = srv.await.unwrap().unwrap();
+
+        assert_eq!(picks.picks.len(), 1);
+        assert_eq!(picks.picks[0].impl_guid, Rel::IMPL);
+        assert_eq!(picks.name, "srv");
+
+        cli_conn.send((addr.clone(), b"ping".to_vec())).await.unwrap();
+        let (_, msg) = srv_conn.recv().await.unwrap();
+        assert_eq!(msg, b"ping");
+        srv_conn.send((addr, b"pong".to_vec())).await.unwrap();
+        let (_, msg) = cli_conn.recv().await.unwrap();
+        assert_eq!(msg, b"pong");
+    }
+
+    #[tokio::test]
+    async fn incompatible_stacks_fail_both_sides() {
+        #[derive(Clone, Copy, Debug, Default)]
+        struct Other;
+        impl Negotiate for Other {
+            const CAPABILITY: u64 = guid("test/other");
+            const IMPL: u64 = guid("test/other/basic");
+            const NAME: &'static str = "test-other";
+        }
+        impl<InC> Chunnel<InC> for Other
+        where
+            InC: ChunnelConnection + Send + 'static,
+        {
+            type Connection = InC;
+            fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+                Box::pin(async move { Ok(inner) })
+            }
+        }
+        crate::negotiable!(Other);
+
+        let (cli_raw, srv_raw) = pair::<Datagram>(16);
+        let srv = tokio::spawn(async move {
+            negotiate_server_once(wrap!(Rel), srv_raw, &NegotiateOpts::named("srv")).await
+        });
+        let cli = negotiate_client(
+            wrap!(Other),
+            cli_raw,
+            Addr::Mem("srv".into()),
+            &NegotiateOpts::named("cli"),
+        )
+        .await;
+        assert!(cli.is_err(), "client should see the rejection");
+        assert!(srv.await.unwrap().is_err(), "server should fail too");
+    }
+
+    #[tokio::test]
+    async fn server_rereplies_to_duplicate_offer() {
+        let (cli_raw, srv_raw) = pair::<Datagram>(16);
+        let addr = Addr::Mem("srv".into());
+
+        let srv = tokio::spawn(async move {
+            let conn =
+                negotiate_server_once(wrap!(Rel), srv_raw, &NegotiateOpts::named("srv")).await?;
+            // Echo one message so the duplicate-offer path gets exercised
+            // while the connection is live.
+            let (from, data) = conn.recv().await?;
+            conn.send((from, data)).await?;
+            Ok::<_, Error>(())
+        });
+
+        // Handshake normally.
+        let offer = NegotiateMsg::ClientOffer {
+            name: "cli".into(),
+            slots: wrap!(Rel).offers(),
+            registered: vec![],
+        };
+        let opts = NegotiateOpts::named("cli");
+        let (picks, _) = client_handshake(&cli_raw, &addr, &offer, &opts).await.unwrap();
+        assert_eq!(picks.picks.len(), 1);
+
+        // Pretend our reply was lost: re-send the offer. The established
+        // server connection must re-reply rather than treating it as data.
+        let body = bincode::serialize(&offer).unwrap();
+        cli_raw
+            .send((addr.clone(), frame(TAG_NEG, &body)))
+            .await
+            .unwrap();
+        let (_, buf) = cli_raw.recv().await.unwrap();
+        assert_eq!(buf[0], TAG_NEG, "got a re-reply");
+
+        // And data still flows.
+        cli_raw
+            .send((addr.clone(), frame(TAG_DATA, b"hello")))
+            .await
+            .unwrap();
+        let (_, buf) = cli_raw.recv().await.unwrap();
+        assert_eq!(&buf, &frame(TAG_DATA, b"hello"));
+        srv.await.unwrap().unwrap();
+    }
+
+    #[tokio::test]
+    async fn client_times_out_without_server() {
+        let (cli_raw, _srv_raw) = pair::<Datagram>(16);
+        let opts = NegotiateOpts {
+            timeout: Duration::from_millis(10),
+            retries: 2,
+            ..NegotiateOpts::named("cli")
+        };
+        let res = negotiate_client(wrap!(Rel), cli_raw, Addr::Mem("srv".into()), &opts).await;
+        match res {
+            Err(Error::Timeout { .. }) => {}
+            Err(other) => panic!("expected timeout, got {other}"),
+            Ok(_) => panic!("expected timeout, got a connection"),
+        }
+    }
+
+    #[tokio::test]
+    async fn negotiated_stream_accepts_many() {
+        let (conn_tx, conn_rx) = tokio::sync::mpsc::channel(8);
+        let raw_stream = RecvStream::new(conn_rx);
+        let mut stream =
+            NegotiatedStream::new(raw_stream, wrap!(Rel), NegotiateOpts::named("srv"));
+
+        let mut clients = Vec::new();
+        for i in 0..3 {
+            let (cli_raw, srv_raw) = pair::<Datagram>(16);
+            conn_tx.send(Ok(srv_raw)).await.unwrap();
+            clients.push(tokio::spawn(async move {
+                let addr = Addr::Mem(format!("srv-{i}"));
+                let (conn, _) =
+                    negotiate_client(wrap!(Rel), cli_raw, addr.clone(), &NegotiateOpts::default())
+                        .await
+                        .unwrap();
+                conn.send((addr, vec![i as u8])).await.unwrap();
+            }));
+        }
+        drop(conn_tx);
+
+        let mut seen = Vec::new();
+        while let Some(conn) = stream.next().await {
+            let conn = conn.unwrap();
+            let (_, data) = conn.recv().await.unwrap();
+            seen.push(data[0]);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        for c in clients {
+            c.await.unwrap();
+        }
+    }
+}

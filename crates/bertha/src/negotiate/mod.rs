@@ -1,0 +1,29 @@
+//! Connection negotiation (§4.3).
+//!
+//! When a connection is established, the endpoints exchange the chunnel
+//! stacks they were given and decide which implementation of each chunnel to
+//! use. The submodules implement:
+//!
+//! - [`types`]: the [`Negotiate`] trait, offers, and wire messages;
+//! - [`apply`]: collecting offers from, and applying picks to, typed stacks;
+//! - [`pick`]: capability intersection and the operator policy;
+//! - [`handshake`]: the on-the-wire protocol, loss-tolerant on datagrams;
+//! - [`dynamic`]: Listing 5's registered-fallback path, where an empty
+//!   client stack is dictated by the server.
+
+pub mod apply;
+pub mod dynamic;
+pub mod handshake;
+pub mod pick;
+pub mod types;
+
+pub use apply::{Apply, GetOffers, NegotiateSlot, SlotApply};
+pub use dynamic::{
+    global_registry, negotiate_client_dynamic, register_chunnel, DynChunnel, DynRegistry,
+};
+pub use handshake::{
+    client_handshake, negotiate_client, negotiate_server_once, NegotiateOpts, NegotiatedConn,
+    NegotiatedStream, OfferFilter, Role, TAG_DATA, TAG_NEG,
+};
+pub use pick::{candidates_for_slot, pick_slot, pick_stack, Candidate, DefaultPolicy, FnPolicy, Policy, PolicyRef};
+pub use types::{guid, Endpoints, Negotiate, NegotiateMsg, Offer, Scope, ServerPicks};

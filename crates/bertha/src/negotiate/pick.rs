@@ -1,0 +1,372 @@
+//! Choosing an implementation for each stack slot (§4.3).
+//!
+//! The server runs this after receiving the client's offers: it first checks
+//! that the two DAGs are compatible, then chooses among the available
+//! implementations for each chunnel based on each implementation's priority
+//! and an operator-supplied policy function.
+
+use super::types::{Endpoints, NegotiateMsg, Offer, ServerPicks};
+use crate::error::Error;
+use std::sync::Arc;
+
+/// A candidate implementation for one slot, annotated with which sides
+/// offered it.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The offer (the server's copy when both sides offered it, so that
+    /// server-attached `ext` data survives into the pick).
+    pub offer: Offer,
+    /// The client offered this implementation in its slot.
+    pub at_client: bool,
+    /// The server offered this implementation in its slot.
+    pub at_server: bool,
+    /// The client did not offer it in a slot but registered it as an
+    /// on-demand fallback (Listing 5).
+    pub client_registered: bool,
+}
+
+impl Candidate {
+    /// Whether this candidate can actually be instantiated.
+    ///
+    /// A *typed* client (one that sent a stack) must hold a branch for
+    /// every pick — its stack's types are fixed, so a pick it never offered
+    /// cannot be applied, whatever the implementation's `endpoints` say.
+    /// A *dynamic* client (Listing 5: empty stack) skips picks that do not
+    /// need the client and instantiates registered fallbacks for the rest,
+    /// so there the endpoint semantics govern.
+    pub fn admissible(&self, dynamic_client: bool) -> bool {
+        if dynamic_client {
+            self.at_server
+                && (!self.offer.endpoints.needs_client() || self.client_registered)
+        } else {
+            self.at_client && self.at_server
+        }
+    }
+}
+
+/// An operator-supplied policy choosing among admissible candidates
+/// ("decides which implementation to use based on an operator-provided
+/// scheduling policy", §2).
+pub trait Policy: Send + Sync {
+    /// Return the index of the winning candidate, or `None` to refuse them
+    /// all (the slot then fails negotiation).
+    fn choose(&self, slot: usize, candidates: &[Candidate]) -> Option<usize>;
+}
+
+/// The paper prototype's policy (§4.3): "prefers client-provided
+/// implementations over server-provided, and set implementation priorities
+/// to prefer kernel bypass and hardware accelerated implementations over
+/// standard implementations."
+///
+/// Ordering: client-side implementations first, then higher priority, then
+/// implementation GUID for determinism.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DefaultPolicy;
+
+impl Policy for DefaultPolicy {
+    fn choose(&self, _slot: usize, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| {
+                (
+                    c.offer.endpoints == Endpoints::Client,
+                    c.offer.priority,
+                    std::cmp::Reverse(c.offer.impl_guid),
+                )
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// A policy from a plain function.
+pub struct FnPolicy<F>(pub F);
+
+impl<F> Policy for FnPolicy<F>
+where
+    F: Fn(usize, &[Candidate]) -> Option<usize> + Send + Sync,
+{
+    fn choose(&self, slot: usize, candidates: &[Candidate]) -> Option<usize> {
+        (self.0)(slot, candidates)
+    }
+}
+
+/// Shared handle to a policy.
+pub type PolicyRef = Arc<dyn Policy>;
+
+/// Build the candidate list for one slot from both sides' offers.
+///
+/// Only server-offered implementations are candidates: the server applies
+/// its typed stack to every pick, so a pick it never offered would fail
+/// *after* the handshake reply — an asymmetric implementation (client-push
+/// sharding, say) is expressed by the server offering the implementation
+/// GUID with its own (possibly passthrough) branch, exactly as
+/// `ShardCanonicalServer` does. The server's copy of an offer also carries
+/// the authoritative `ext` payload (e.g. the shard map).
+///
+/// Registered fallbacks are matched by *capability*: per the paper's model,
+/// implementations of one chunnel type are interchangeable on the wire
+/// (XDP sharding interoperates with in-app sharding), so a dynamic client
+/// may instantiate its registered implementation of a picked capability.
+pub fn candidates_for_slot(
+    client: &[Offer],
+    server: &[Offer],
+    client_registered: &[Offer],
+) -> Vec<Candidate> {
+    server
+        .iter()
+        .map(|s| Candidate {
+            offer: s.clone(),
+            at_client: client.iter().any(|c| c.impl_guid == s.impl_guid),
+            at_server: true,
+            client_registered: client_registered
+                .iter()
+                .any(|c| c.capability == s.capability),
+        })
+        .collect()
+}
+
+/// Pick one implementation for a single slot, or explain why none fits.
+pub fn pick_slot(
+    slot: usize,
+    client: &[Offer],
+    server: &[Offer],
+    client_registered: &[Offer],
+    policy: &dyn Policy,
+) -> Result<Offer, Error> {
+    // DAG compatibility check: the slots must share at least one capability.
+    let compatible = client.is_empty()
+        || client
+            .iter()
+            .any(|c| server.iter().any(|s| s.capability == c.capability));
+    if !compatible {
+        return Err(Error::Incompatible {
+            slot,
+            reason: format!(
+                "no shared capability: client offers [{}], server offers [{}]",
+                names(client),
+                names(server)
+            ),
+        });
+    }
+
+    let dynamic_client = client.is_empty();
+    let mut cands = candidates_for_slot(client, server, client_registered);
+    cands.retain(|c| c.admissible(dynamic_client));
+    if cands.is_empty() {
+        return Err(Error::Incompatible {
+            slot,
+            reason: format!(
+                "no admissible implementation (server offers [{}])",
+                names(server)
+            ),
+        });
+    }
+    match policy.choose(slot, &cands) {
+        Some(i) if i < cands.len() => Ok(cands[i].offer.clone()),
+        _ => Err(Error::Incompatible {
+            slot,
+            reason: "policy refused all admissible implementations".into(),
+        }),
+    }
+}
+
+fn names(offers: &[Offer]) -> String {
+    offers
+        .iter()
+        .map(|o| o.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The server side of negotiation: compute picks for every slot.
+///
+/// `server_slots` is the server's stack; the client's offer message supplies
+/// its slots and registered fallbacks. An empty client stack (Listing 5)
+/// means every slot is picked from the server's offers alone, constrained by
+/// the client's registered fallbacks.
+pub fn pick_stack(
+    server_name: &str,
+    server_slots: &[Vec<Offer>],
+    client_msg: &NegotiateMsg,
+    policy: &dyn Policy,
+) -> Result<ServerPicks, Error> {
+    let (client_slots, registered) = match client_msg {
+        NegotiateMsg::ClientOffer {
+            slots, registered, ..
+        } => (slots, registered),
+        other => {
+            return Err(Error::Negotiation(format!(
+                "expected ClientOffer, got {other:?}"
+            )))
+        }
+    };
+
+    let dynamic_client = client_slots.is_empty();
+    if !dynamic_client && client_slots.len() != server_slots.len() {
+        return Err(Error::Negotiation(format!(
+            "stack depth mismatch: client has {} slots, server has {}",
+            client_slots.len(),
+            server_slots.len()
+        )));
+    }
+
+    static EMPTY: Vec<Offer> = Vec::new();
+    let mut picks = Vec::with_capacity(server_slots.len());
+    for (i, server_slot) in server_slots.iter().enumerate() {
+        let client_slot = if dynamic_client {
+            &EMPTY
+        } else {
+            &client_slots[i]
+        };
+        picks.push(pick_slot(i, client_slot, server_slot, registered, policy)?);
+    }
+
+    let nonce: Vec<u8> = {
+        use rand::Rng;
+        let mut r = rand::thread_rng();
+        (0..16).map(|_| r.gen()).collect()
+    };
+
+    Ok(ServerPicks {
+        name: server_name.to_owned(),
+        picks,
+        nonce,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::types::{guid, Scope};
+    use super::*;
+
+    fn offer(cap: &str, imp: &str, endpoints: Endpoints, priority: i32) -> Offer {
+        Offer {
+            capability: guid(cap),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints,
+            scope: Scope::Global,
+            priority,
+            ext: vec![],
+        }
+    }
+
+    #[test]
+    fn both_sided_impl_needs_both() {
+        let o = offer("c", "i", Endpoints::Both, 0);
+        let cands = candidates_for_slot(&[], std::slice::from_ref(&o), &[]);
+        assert!(!cands[0].admissible(true), "dynamic client, not registered");
+        let both = [o];
+        let cands = candidates_for_slot(&both, &both, &[]);
+        assert!(cands[0].admissible(false));
+    }
+
+    #[test]
+    fn registered_fallback_satisfies_client_side() {
+        let o = offer("c", "i", Endpoints::Both, 0);
+        let reg = offer("c", "fallback", Endpoints::Both, -1);
+        let cands = candidates_for_slot(&[], &[o], &[reg]);
+        assert!(cands[0].admissible(true));
+    }
+
+    #[test]
+    fn server_only_impl_is_fine_without_client() {
+        let o = offer("c", "steer", Endpoints::Server, 5);
+        let cands = candidates_for_slot(&[], std::slice::from_ref(&o), &[]);
+        assert!(cands[0].admissible(true), "dynamic client skips it");
+        assert!(
+            !cands[0].admissible(false),
+            "a typed client that did not offer the impl cannot apply the pick"
+        );
+    }
+
+    #[test]
+    fn default_policy_prefers_client_then_priority() {
+        let server_accel = offer("c", "srv-xdp", Endpoints::Server, 10);
+        let client_push = offer("c", "cli-push", Endpoints::Client, 1);
+        let fallback = offer("c", "srv-app", Endpoints::Server, 0);
+
+        let picked = pick_slot(
+            0,
+            std::slice::from_ref(&client_push),
+            &[server_accel.clone(), fallback.clone(), client_push.clone()],
+            &[],
+            &DefaultPolicy,
+        )
+        .unwrap();
+        assert_eq!(picked.impl_guid, client_push.impl_guid, "client wins");
+
+        // Without the client-side option, highest priority wins.
+        let picked = pick_slot(
+            0,
+            &[],
+            &[server_accel.clone(), fallback.clone()],
+            &[],
+            &DefaultPolicy,
+        )
+        .unwrap();
+        assert_eq!(picked.impl_guid, server_accel.impl_guid);
+    }
+
+    #[test]
+    fn incompatible_capabilities_fail() {
+        let c = offer("cap-a", "i1", Endpoints::Both, 0);
+        let s = offer("cap-b", "i2", Endpoints::Both, 0);
+        let err = pick_slot(3, &[c], &[s], &[], &DefaultPolicy).unwrap_err();
+        match err {
+            Error::Incompatible { slot, .. } => assert_eq!(slot, 3),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn pick_stack_depth_mismatch() {
+        let s = vec![vec![offer("c", "i", Endpoints::Server, 0)]];
+        let msg = NegotiateMsg::ClientOffer {
+            name: "cli".into(),
+            slots: vec![vec![], vec![]],
+            registered: vec![],
+        };
+        assert!(pick_stack("srv", &s, &msg, &DefaultPolicy).is_err());
+    }
+
+    #[test]
+    fn pick_stack_dynamic_client() {
+        let srv = vec![
+            vec![offer("shard", "steer", Endpoints::Server, 5)],
+            vec![offer("rel", "rel-impl", Endpoints::Both, 0)],
+        ];
+        let msg = NegotiateMsg::ClientOffer {
+            name: "cli".into(),
+            slots: vec![],
+            registered: vec![offer("rel", "rel-fallback", Endpoints::Both, 0)],
+        };
+        let picks = pick_stack("srv", &srv, &msg, &DefaultPolicy).unwrap();
+        assert_eq!(picks.picks.len(), 2);
+        assert_eq!(picks.nonce.len(), 16);
+        // Without the registered reliability fallback, slot 1 fails.
+        let msg = NegotiateMsg::ClientOffer {
+            name: "cli".into(),
+            slots: vec![],
+            registered: vec![],
+        };
+        assert!(pick_stack("srv", &srv, &msg, &DefaultPolicy).is_err());
+    }
+
+    #[test]
+    fn ext_comes_from_server_copy() {
+        let mut srv = offer("c", "i", Endpoints::Both, 0);
+        srv.ext = vec![9, 9];
+        let cli = offer("c", "i", Endpoints::Both, 0);
+        let picked = pick_slot(0, &[cli], &[srv], &[], &DefaultPolicy).unwrap();
+        assert_eq!(picked.ext, vec![9, 9]);
+    }
+
+    #[test]
+    fn fn_policy_can_refuse() {
+        let o = offer("c", "i", Endpoints::Server, 0);
+        let policy = FnPolicy(|_, _: &[Candidate]| None);
+        assert!(pick_slot(0, &[], &[o], &[], &policy).is_err());
+    }
+}

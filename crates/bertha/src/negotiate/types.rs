@@ -1,0 +1,225 @@
+//! Wire types and the [`Negotiate`] trait.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a chunnel implementation must run (§4.2: "constraints on where it
+/// must be implemented — e.g., whether the Chunnel requires functionality at
+/// both ends (`endpoints::Both`) of a connection").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoints {
+    /// Both connection endpoints must instantiate this implementation
+    /// (e.g. serialization, reliability).
+    Both,
+    /// Only the client participates (e.g. client-push sharding).
+    Client,
+    /// Only the server participates (e.g. a server-side steering offload);
+    /// the other end sends plain data.
+    Server,
+    /// Either endpoint may instantiate it independently.
+    Either,
+}
+
+impl Endpoints {
+    /// Does the client have to instantiate a chunnel for this pick?
+    pub fn needs_client(self) -> bool {
+        matches!(self, Endpoints::Both | Endpoints::Client)
+    }
+
+    /// Does the server have to instantiate a chunnel for this pick?
+    pub fn needs_server(self) -> bool {
+        matches!(self, Endpoints::Both | Endpoints::Server)
+    }
+}
+
+/// Where an implementation may be *placed* (§4.2: "Chunnel implementations
+/// specify scoping constraints — e.g., a Chunnel can only be implemented on
+/// the same host as an application").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// In the application's own process.
+    Application,
+    /// Anywhere on the application's host (e.g. an XDP program, a local
+    /// agent process). The container fast-path chunnel is host-scoped (§5).
+    Host,
+    /// Anywhere in the same cluster/rack (e.g. a ToR switch offload).
+    Cluster,
+    /// Anywhere.
+    Global,
+}
+
+/// One advertised implementation of a chunnel capability: the unit the
+/// negotiation protocol trades in.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Offer {
+    /// The capability this implements (what function the application gets).
+    pub capability: u64,
+    /// Which implementation of the capability this is.
+    pub impl_guid: u64,
+    /// Human-readable implementation name, for debugging.
+    pub name: String,
+    /// Which endpoints must participate.
+    pub endpoints: Endpoints,
+    /// Placement constraint.
+    pub scope: Scope,
+    /// Implementation priority. Operators register accelerated variants
+    /// with higher priority (§4.3: "set implementation priorities to prefer
+    /// kernel bypass and hardware accelerated implementations").
+    pub priority: i32,
+    /// Implementation-specific payload attached by the offering side and
+    /// carried to the peer in the pick (e.g. the shard map, Listing 4).
+    pub ext: Vec<u8>,
+}
+
+impl Offer {
+    /// Build the offer a chunnel value advertises for itself.
+    pub fn from_chunnel<T: Negotiate + ?Sized>(c: &T) -> Offer {
+        Offer {
+            capability: T::CAPABILITY,
+            impl_guid: T::IMPL,
+            name: T::NAME.to_owned(),
+            endpoints: T::ENDPOINTS,
+            scope: T::SCOPE,
+            priority: c.priority(),
+            ext: c.ext(),
+        }
+    }
+}
+
+/// A chunnel that participates in connection negotiation.
+///
+/// `CAPABILITY` identifies *what* the chunnel does; `IMPL` identifies *which
+/// implementation* this type is. Several types may share a capability (the
+/// sharding chunnel has client-push, server-steered, and in-app fallback
+/// implementations) and negotiation picks among them (§4.3).
+pub trait Negotiate {
+    /// Capability GUID. Use [`guid`] on a stable name.
+    const CAPABILITY: u64;
+    /// Implementation GUID. Use [`guid`] on a stable name.
+    const IMPL: u64;
+    /// Implementation name, for debugging and wire messages.
+    const NAME: &'static str;
+    /// Which endpoints must instantiate this implementation.
+    const ENDPOINTS: Endpoints = Endpoints::Both;
+    /// Placement constraint. Defaults to [`Scope::Application`]: the
+    /// in-process fallback every chunnel must have (§2). Only accelerated
+    /// implementations living outside the process declare wider scopes,
+    /// and those are only offered when a discovery service confirms they
+    /// are available.
+    const SCOPE: Scope = Scope::Application;
+
+    /// Implementation priority; higher wins under the default policy.
+    /// Instance-level so a discovery registration can boost it.
+    fn priority(&self) -> i32 {
+        0
+    }
+
+    /// Implementation-specific payload to attach to this side's offer.
+    fn ext(&self) -> Vec<u8> {
+        vec![]
+    }
+
+    /// Called when negotiation selects this implementation for a
+    /// connection, with the final pick (including the peer's `ext`) and the
+    /// connection nonce.
+    fn picked(&self, _pick: &Offer, _nonce: &[u8]) {}
+}
+
+/// FNV-1a 64-bit hash, used to derive stable capability/implementation GUIDs
+/// from names at compile time.
+pub const fn guid(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// The negotiation handshake messages exchanged when a connection is
+/// established (§4.3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum NegotiateMsg {
+    /// Client → server: the client's stack, one entry of alternatives per
+    /// slot (outermost first), plus its process-global registered fallback
+    /// chunnels (Listing 5's `register_chunnel`).
+    ClientOffer {
+        /// Client endpoint name (debugging aid, §3.1).
+        name: String,
+        /// Per-slot offered alternatives, outermost slot first.
+        slots: Vec<Vec<Offer>>,
+        /// Capabilities the client can instantiate on demand.
+        registered: Vec<Offer>,
+    },
+    /// Server → client: the picked implementation for every slot, or why
+    /// negotiation failed.
+    ServerReply(Result<ServerPicks, String>),
+}
+
+/// The successful outcome of negotiation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerPicks {
+    /// Server endpoint name.
+    pub name: String,
+    /// One pick per slot of the *server's* stack, outermost first.
+    pub picks: Vec<Offer>,
+    /// Fresh per-connection nonce (keys, debugging, `picked` callbacks).
+    pub nonce: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guid_is_stable_and_distinct() {
+        const A: u64 = guid("bertha/reliable");
+        const B: u64 = guid("bertha/serialize");
+        assert_ne!(A, B);
+        assert_eq!(A, guid("bertha/reliable"));
+        assert_ne!(guid(""), 0);
+    }
+
+    #[test]
+    fn endpoints_participation() {
+        assert!(Endpoints::Both.needs_client() && Endpoints::Both.needs_server());
+        assert!(Endpoints::Client.needs_client() && !Endpoints::Client.needs_server());
+        assert!(!Endpoints::Server.needs_client() && Endpoints::Server.needs_server());
+        assert!(!Endpoints::Either.needs_client() && !Endpoints::Either.needs_server());
+    }
+
+    #[test]
+    fn negotiate_msg_round_trip() {
+        let msg = NegotiateMsg::ClientOffer {
+            name: "cli".into(),
+            slots: vec![vec![Offer {
+                capability: 1,
+                impl_guid: 2,
+                name: "x".into(),
+                endpoints: Endpoints::Both,
+                scope: Scope::Host,
+                priority: 7,
+                ext: vec![1, 2, 3],
+            }]],
+            registered: vec![],
+        };
+        let b = bincode::serialize(&msg).unwrap();
+        let back: NegotiateMsg = bincode::deserialize(&b).unwrap();
+        match back {
+            NegotiateMsg::ClientOffer { slots, .. } => {
+                assert_eq!(slots[0][0].ext, vec![1, 2, 3]);
+                assert_eq!(slots[0][0].priority, 7);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn scope_orders_narrow_to_wide() {
+        assert!(Scope::Application < Scope::Host);
+        assert!(Scope::Host < Scope::Cluster);
+        assert!(Scope::Cluster < Scope::Global);
+    }
+}

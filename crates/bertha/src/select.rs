@@ -1,0 +1,167 @@
+//! [`Select`]: negotiation-time choice between two chunnel alternatives.
+//!
+//! A `Select<A, B>` stack slot offers both branches' implementations; the
+//! negotiation pick (§4.3) decides which branch is instantiated for each
+//! connection. This is how applications express "use the accelerated
+//! implementation when available, the fallback otherwise" without
+//! hardcoding either — the mechanism behind the local fast path (Listing 1)
+//! and hybrid sharding (§3.2) examples.
+
+use crate::conn::{BoxFut, ChunnelConnection};
+use crate::either::Either;
+use crate::error::Error;
+use crate::negotiate::{NegotiateSlot, Offer, SlotApply};
+
+/// A stack slot with two alternatives resolved at negotiation time.
+///
+/// Nesting (`Select<Select<A, B>, C>`) expresses more than two
+/// alternatives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Select<A, B> {
+    /// The first alternative (listed first in offers).
+    pub left: A,
+    /// The second alternative.
+    pub right: B,
+}
+
+impl<A, B> Select<A, B> {
+    /// Offer `left` and `right` as alternatives for this slot.
+    pub fn new(left: A, right: B) -> Self {
+        Select { left, right }
+    }
+}
+
+impl<A, B> NegotiateSlot for Select<A, B>
+where
+    A: NegotiateSlot,
+    B: NegotiateSlot,
+{
+    fn slot_offers(&self) -> Vec<Offer> {
+        let mut v = self.left.slot_offers();
+        v.extend(self.right.slot_offers());
+        v
+    }
+}
+
+impl<A, B, InC> SlotApply<InC> for Select<A, B>
+where
+    InC: Send + 'static,
+    A: SlotApply<InC> + NegotiateSlot + Clone + Send + Sync + 'static,
+    B: SlotApply<InC> + NegotiateSlot + Clone + Send + Sync + 'static,
+    A::Applied: Send + 'static,
+    B::Applied: ChunnelConnection<Data = <A::Applied as ChunnelConnection>::Data> + Send + 'static,
+{
+    type Applied = Either<A::Applied, B::Applied>;
+
+    fn slot_apply(
+        &self,
+        pick: Offer,
+        nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>> {
+        let in_left = self
+            .left
+            .slot_offers()
+            .iter()
+            .any(|o| o.impl_guid == pick.impl_guid);
+        if in_left {
+            let left = self.left.clone();
+            Box::pin(async move { Ok(Either::Left(left.slot_apply(pick, nonce, inner).await?)) })
+        } else {
+            let in_right = self
+                .right
+                .slot_offers()
+                .iter()
+                .any(|o| o.impl_guid == pick.impl_guid);
+            if !in_right {
+                let msg = format!(
+                    "pick {} ({:#x}) matches neither Select branch",
+                    pick.name, pick.impl_guid
+                );
+                return Box::pin(async move { Err(Error::Negotiation(msg)) });
+            }
+            let right = self.right.clone();
+            Box::pin(async move { Ok(Either::Right(right.slot_apply(pick, nonce, inner).await?)) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunnel::Chunnel;
+    use crate::conn::pair;
+    use crate::negotiate::{guid, Apply, GetOffers, Negotiate};
+    use crate::wrap;
+
+    macro_rules! test_chunnel {
+        ($name:ident, $cap:expr, $impl_name:expr) => {
+            #[derive(Clone, Copy, Debug, Default)]
+            struct $name;
+
+            impl Negotiate for $name {
+                const CAPABILITY: u64 = guid($cap);
+                const IMPL: u64 = guid($impl_name);
+                const NAME: &'static str = $impl_name;
+            }
+
+            impl<InC> Chunnel<InC> for $name
+            where
+                InC: ChunnelConnection + Send + 'static,
+            {
+                type Connection = InC;
+
+                fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+                    Box::pin(async move { Ok(inner) })
+                }
+            }
+
+            crate::negotiable!($name);
+        };
+    }
+
+    test_chunnel!(FastImpl, "test/cap", "test/fast");
+    test_chunnel!(SlowImpl, "test/cap", "test/slow");
+    test_chunnel!(ThirdImpl, "test/cap", "test/third");
+
+    #[test]
+    fn select_offers_both_branches() {
+        let s = Select::new(FastImpl, SlowImpl);
+        let offers = s.slot_offers();
+        assert_eq!(offers.len(), 2);
+        assert_eq!(offers[0].impl_guid, FastImpl::IMPL);
+        assert_eq!(offers[1].impl_guid, SlowImpl::IMPL);
+    }
+
+    #[test]
+    fn nested_select_flattens() {
+        let s = Select::new(Select::new(FastImpl, SlowImpl), ThirdImpl);
+        assert_eq!(s.slot_offers().len(), 3);
+    }
+
+    #[tokio::test]
+    async fn apply_resolves_to_picked_branch() {
+        let stack = wrap!(Select::new(FastImpl, SlowImpl));
+        let offers = stack.offers();
+        // Pick the right (slow) branch.
+        let pick = offers[0][1].clone();
+        let (a, _b) = pair::<u8>(1);
+        let conn = stack.apply(vec![pick], vec![], a).await.unwrap();
+        assert!(conn.is_right());
+
+        // Pick the left (fast) branch.
+        let pick = stack.offers()[0][0].clone();
+        let (a, _b) = pair::<u8>(1);
+        let conn = stack.apply(vec![pick], vec![], a).await.unwrap();
+        assert!(conn.is_left());
+    }
+
+    #[tokio::test]
+    async fn apply_rejects_unknown_pick() {
+        let stack = wrap!(Select::new(FastImpl, SlowImpl));
+        let mut pick = stack.offers()[0][0].clone();
+        pick.impl_guid = guid("test/other");
+        let (a, _b) = pair::<u8>(1);
+        assert!(stack.apply(vec![pick], vec![], a).await.is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the negotiation pick logic: whatever the offered
+//! sets, a successful pick must be sound (offered, admissible) and
+//! deterministic; failures must be symmetric with offer emptiness.
+
+use bertha::negotiate::{
+    candidates_for_slot, pick_slot, pick_stack, Candidate, DefaultPolicy, Endpoints, FnPolicy,
+    NegotiateMsg, Offer, Scope,
+};
+use proptest::prelude::*;
+
+fn arb_endpoints() -> impl Strategy<Value = Endpoints> {
+    prop_oneof![
+        Just(Endpoints::Both),
+        Just(Endpoints::Client),
+        Just(Endpoints::Server),
+        Just(Endpoints::Either),
+    ]
+}
+
+fn arb_offer(cap_space: u64, impl_space: u64) -> impl Strategy<Value = Offer> {
+    (
+        0..cap_space,
+        0..impl_space,
+        arb_endpoints(),
+        -10i32..10,
+    )
+        .prop_map(|(cap, imp, endpoints, priority)| Offer {
+            capability: cap,
+            impl_guid: imp * 1000 + cap, // impls are per-capability
+            name: format!("impl-{imp}-of-cap-{cap}"),
+            endpoints,
+            scope: Scope::Application,
+            priority,
+            ext: vec![],
+        })
+}
+
+fn arb_slot(cap_space: u64) -> impl Strategy<Value = Vec<Offer>> {
+    proptest::collection::vec(arb_offer(cap_space, 4), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A successful pick is always one of the admissible candidates.
+    #[test]
+    fn pick_is_admissible_and_offered(
+        client in arb_slot(3),
+        server in arb_slot(3),
+        registered in arb_slot(3),
+    ) {
+        if let Ok(pick) = pick_slot(0, &client, &server, &registered, &DefaultPolicy) {
+            let cands = candidates_for_slot(&client, &server, &registered);
+            let found = cands
+                .iter()
+                .filter(|c| c.admissible(client.is_empty()))
+                .any(|c| c.offer.impl_guid == pick.impl_guid);
+            prop_assert!(found, "pick {pick:?} not among admissible candidates");
+            // The server must always be able to apply the pick.
+            let server_offered = server.iter().any(|o| o.impl_guid == pick.impl_guid);
+            prop_assert!(server_offered, "pick not offered by the server");
+            // And a typed client must hold a branch for it too.
+            if !client.is_empty() {
+                let client_offered = client.iter().any(|o| o.impl_guid == pick.impl_guid);
+                prop_assert!(client_offered, "typed client cannot apply the pick");
+            }
+        }
+    }
+
+    /// Picking is deterministic: same inputs, same outcome.
+    #[test]
+    fn pick_is_deterministic(
+        client in arb_slot(3),
+        server in arb_slot(3),
+    ) {
+        let a = pick_slot(0, &client, &server, &[], &DefaultPolicy);
+        let b = pick_slot(0, &client, &server, &[], &DefaultPolicy);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "nondeterministic outcome: {other:?}"),
+        }
+    }
+
+    /// An empty server slot can never produce a pick; a server-only world
+    /// (no client offers) succeeds iff some server offer needs no client.
+    #[test]
+    fn emptiness_edges(server in arb_slot(3)) {
+        prop_assert!(pick_slot(0, &[], &[], &[], &DefaultPolicy).is_err());
+        let res = pick_slot(0, &[], &server, &[], &DefaultPolicy);
+        let possible = server.iter().any(|o| !o.endpoints.needs_client());
+        prop_assert_eq!(res.is_ok(), possible && !server.is_empty());
+    }
+
+    /// The default policy never beats a higher-priority candidate with a
+    /// lower-priority one of the same provenance class.
+    #[test]
+    fn default_policy_respects_priority_within_class(
+        server in arb_slot(1),
+    ) {
+        // One capability, server-only offers (same class: not client-side).
+        let server: Vec<Offer> = server
+            .into_iter()
+            .map(|mut o| {
+                o.endpoints = Endpoints::Server;
+                o
+            })
+            .collect();
+        if let Ok(pick) = pick_slot(0, &[], &server, &[], &DefaultPolicy) {
+            let max = server.iter().map(|o| o.priority).max().unwrap();
+            prop_assert_eq!(pick.priority, max);
+        }
+    }
+
+    /// pick_stack succeeds iff every slot succeeds, and returns exactly
+    /// one pick per server slot.
+    #[test]
+    fn stack_is_slotwise(
+        slots in proptest::collection::vec(arb_slot(2), 1..4),
+    ) {
+        let msg = NegotiateMsg::ClientOffer {
+            name: "prop".into(),
+            slots: slots.clone(),
+            registered: vec![],
+        };
+        let whole = pick_stack("srv", &slots, &msg, &DefaultPolicy);
+        let each: Vec<_> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| pick_slot(i, s, s, &[], &DefaultPolicy))
+            .collect();
+        match whole {
+            Ok(picks) => {
+                prop_assert_eq!(picks.picks.len(), slots.len());
+                prop_assert!(each.iter().all(|r| r.is_ok()));
+                prop_assert_eq!(picks.nonce.len(), 16);
+            }
+            Err(_) => prop_assert!(each.iter().any(|r| r.is_err())),
+        }
+    }
+
+    /// A policy that refuses everything always fails (never panics).
+    #[test]
+    fn refusing_policy_fails_cleanly(
+        client in arb_slot(2),
+        server in arb_slot(2),
+    ) {
+        let policy = FnPolicy(|_, _: &[Candidate]| None);
+        prop_assert!(pick_slot(0, &client, &server, &[], &policy).is_err());
+    }
+
+    /// A policy returning garbage indices fails cleanly too.
+    #[test]
+    fn out_of_range_policy_fails_cleanly(
+        client in arb_slot(2),
+        server in arb_slot(2),
+    ) {
+        let policy = FnPolicy(|_, _: &[Candidate]| Some(usize::MAX));
+        prop_assert!(pick_slot(0, &client, &server, &[], &policy).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Batching chunnel: coalesce small messages into fewer datagrams.
+//!
+//! Messages to the same destination within a linger window (or until the
+//! batch size cap) are packed into one datagram; the receive side unpacks
+//! them one per `recv`. Batching trades a bounded latency increase for
+//! fewer per-datagram costs — the classic knob NIC offloads (segmentation
+//! offload, interrupt coalescing) turn in hardware, which is why it is a
+//! capability worth negotiating.
+//!
+//! Wire format: repeated `[len: u32 LE][payload]`.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Addr, Chunnel, Error};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Batching parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Maximum messages per batch.
+    pub max_msgs: usize,
+    /// Maximum batch payload bytes before an early flush.
+    pub max_bytes: usize,
+    /// How long a non-full batch may wait for company.
+    pub linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_msgs: 16,
+            max_bytes: 32 * 1024,
+            linger: Duration::from_micros(500),
+        }
+    }
+}
+
+/// The batching chunnel. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct BatchChunnel {
+    cfg: BatchConfig,
+}
+
+impl BatchChunnel {
+    /// Batching with explicit parameters.
+    pub fn new(cfg: BatchConfig) -> Self {
+        BatchChunnel { cfg }
+    }
+}
+
+impl Negotiate for BatchChunnel {
+    const CAPABILITY: u64 = guid("bertha/batch");
+    const IMPL: u64 = guid("bertha/batch/linger");
+    const NAME: &'static str = "batch/linger";
+}
+
+bertha::negotiable!(BatchChunnel);
+
+impl<InC> Chunnel<InC> for BatchChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = BatchConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg;
+        Box::pin(async move {
+            Ok(BatchConn {
+                inner: Arc::new(inner),
+                cfg,
+                pending: Arc::new(Mutex::new(None)),
+                unpacked: Mutex::new(VecDeque::new()),
+            })
+        })
+    }
+}
+
+struct PendingBatch {
+    addr: Addr,
+    buf: Vec<u8>,
+    count: usize,
+    /// Generation counter distinguishing this batch from its successors,
+    /// so a lingering flush task flushes only its own batch.
+    gen: u64,
+}
+
+/// Connection produced by [`BatchChunnel`].
+pub struct BatchConn<C> {
+    inner: Arc<C>,
+    cfg: BatchConfig,
+    pending: Arc<Mutex<Option<PendingBatch>>>,
+    unpacked: Mutex<VecDeque<Datagram>>,
+}
+
+fn append_msg(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+fn unpack(from: &Addr, buf: &[u8]) -> Result<Vec<Datagram>, Error> {
+    let mut out = Vec::new();
+    let mut rest = buf;
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(Error::Encode("truncated batch header".into()));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(Error::Encode("truncated batch payload".into()));
+        }
+        out.push((from.clone(), rest[..len].to_vec()));
+        rest = &rest[len..];
+    }
+    Ok(out)
+}
+
+impl<C> BatchConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    /// Flush any lingering batch immediately.
+    pub async fn flush(&self) -> Result<(), Error> {
+        let taken = self.pending.lock().take();
+        if let Some(b) = taken {
+            self.inner.send((b.addr, b.buf)).await?;
+        }
+        Ok(())
+    }
+}
+
+impl<C> ChunnelConnection for BatchConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            enum Action {
+                // Flush this full buffer now.
+                FlushNow(Addr, Vec<u8>),
+                // Flush a displaced batch and then this one, immediately.
+                FlushTwo(Addr, Vec<u8>, Addr, Vec<u8>),
+                // Flush a displaced batch, then arm a linger timer for the
+                // new one.
+                FlushThenLinger(Addr, Vec<u8>, u64),
+                // First message of a batch: arm a linger timer for `gen`.
+                Linger(u64),
+                // Joined an existing batch; its timer will flush it.
+                Joined,
+            }
+
+            let action = {
+                let mut p = self.pending.lock();
+                match p.as_mut() {
+                    // Same destination and room left: join the batch.
+                    Some(b) if b.addr == addr => {
+                        append_msg(&mut b.buf, &payload);
+                        b.count += 1;
+                        if b.count >= self.cfg.max_msgs || b.buf.len() >= self.cfg.max_bytes {
+                            let b = p.take().expect("just matched");
+                            Action::FlushNow(b.addr, b.buf)
+                        } else {
+                            Action::Joined
+                        }
+                    }
+                    // Different destination: flush the old batch, start new.
+                    Some(_) => {
+                        let old = p.take().expect("just matched");
+                        let mut buf = Vec::with_capacity(4 + payload.len());
+                        append_msg(&mut buf, &payload);
+                        if 1 >= self.cfg.max_msgs || buf.len() >= self.cfg.max_bytes {
+                            // Degenerate config or oversized first message:
+                            // nothing to wait for.
+                            Action::FlushTwo(old.addr, old.buf, addr, buf)
+                        } else {
+                            let gen = rand_gen();
+                            *p = Some(PendingBatch {
+                                addr,
+                                buf,
+                                count: 1,
+                                gen,
+                            });
+                            Action::FlushThenLinger(old.addr, old.buf, gen)
+                        }
+                    }
+                    None => {
+                        let mut buf = Vec::with_capacity(4 + payload.len());
+                        append_msg(&mut buf, &payload);
+                        if 1 >= self.cfg.max_msgs || buf.len() >= self.cfg.max_bytes {
+                            Action::FlushNow(addr, buf)
+                        } else {
+                            let gen = rand_gen();
+                            *p = Some(PendingBatch {
+                                addr,
+                                buf,
+                                count: 1,
+                                gen,
+                            });
+                            Action::Linger(gen)
+                        }
+                    }
+                }
+            };
+
+            match action {
+                Action::FlushNow(a, b) => self.inner.send((a, b)).await,
+                Action::FlushTwo(a1, b1, a2, b2) => {
+                    self.inner.send((a1, b1)).await?;
+                    self.inner.send((a2, b2)).await
+                }
+                Action::FlushThenLinger(a, b, gen) => {
+                    self.inner.send((a, b)).await?;
+                    self.spawn_linger(gen);
+                    Ok(())
+                }
+                Action::Linger(gen) => {
+                    self.spawn_linger(gen);
+                    Ok(())
+                }
+                Action::Joined => Ok(()),
+            }
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                if let Some(d) = self.unpacked.lock().pop_front() {
+                    return Ok(d);
+                }
+                let (from, buf) = self.inner.recv().await?;
+                let msgs = unpack(&from, &buf)?;
+                let mut q = self.unpacked.lock();
+                q.extend(msgs);
+            }
+        })
+    }
+}
+
+impl<C> BatchConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn spawn_linger(&self, gen: u64) {
+        let inner = Arc::clone(&self.inner);
+        let pending = Arc::clone(&self.pending);
+        let linger = self.cfg.linger;
+        tokio::spawn(async move {
+            tokio::time::sleep(linger).await;
+            let taken = {
+                let mut p = pending.lock();
+                match p.as_ref() {
+                    Some(b) if b.gen == gen => p.take(),
+                    _ => None,
+                }
+            };
+            if let Some(b) = taken {
+                let _ = inner.send((b.addr, b.buf)).await;
+            }
+        });
+    }
+}
+
+fn rand_gen() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static G: AtomicU64 = AtomicU64::new(1);
+    G.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+
+    fn addr() -> Addr {
+        Addr::Mem("peer".into())
+    }
+
+    #[tokio::test]
+    async fn full_batch_flushes_as_one_datagram() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = BatchConfig {
+            max_msgs: 4,
+            linger: Duration::from_secs(10), // only the cap can flush
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        for i in 0..4u8 {
+            ba.send((addr(), vec![i])).await.unwrap();
+        }
+        // One underlying datagram carrying four messages.
+        let (_, raw) = b.recv().await.unwrap();
+        let msgs = unpack(&addr(), &raw).unwrap();
+        assert_eq!(msgs.len(), 4);
+        assert_eq!(msgs[2].1, vec![2]);
+    }
+
+    #[tokio::test]
+    async fn linger_flushes_partial_batch() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = BatchConfig {
+            max_msgs: 100,
+            linger: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let bb = BatchChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        ba.send((addr(), b"only one".to_vec())).await.unwrap();
+        let (_, d) = bb.recv().await.unwrap();
+        assert_eq!(d, b"only one");
+    }
+
+    #[tokio::test]
+    async fn recv_unpacks_one_per_call() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = BatchConfig {
+            max_msgs: 3,
+            linger: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let bb = BatchChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        for i in 0..3u8 {
+            ba.send((addr(), vec![i; 2])).await.unwrap();
+        }
+        for i in 0..3u8 {
+            let (_, d) = bb.recv().await.unwrap();
+            assert_eq!(d, vec![i; 2]);
+        }
+    }
+
+    #[tokio::test]
+    async fn destination_change_flushes_old_batch() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = BatchConfig {
+            max_msgs: 100,
+            linger: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        ba.send((Addr::Mem("x".into()), vec![1])).await.unwrap();
+        ba.send((Addr::Mem("y".into()), vec![2])).await.unwrap();
+        // The x-batch must have been flushed by the y send.
+        let (_, raw) = b.recv().await.unwrap();
+        let msgs = unpack(&Addr::Mem("x".into()), &raw).unwrap();
+        assert_eq!(msgs[0].1, vec![1]);
+    }
+
+    #[tokio::test]
+    async fn batch_of_one_flushes_immediately() {
+        let (a, b) = pair::<Datagram>(8);
+        let cfg = BatchConfig {
+            max_msgs: 1,
+            linger: Duration::from_secs(100), // must never be waited on
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let t = std::time::Instant::now();
+        ba.send((addr(), vec![7])).await.unwrap();
+        let (_, raw) = b.recv().await.unwrap();
+        assert!(t.elapsed() < Duration::from_millis(50), "lingered: {:?}", t.elapsed());
+        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1, vec![7]);
+    }
+
+    #[tokio::test]
+    async fn oversized_first_message_flushes_immediately() {
+        let (a, b) = pair::<Datagram>(8);
+        let cfg = BatchConfig {
+            max_msgs: 100,
+            max_bytes: 16,
+            linger: Duration::from_secs(100),
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let t = std::time::Instant::now();
+        ba.send((addr(), vec![0u8; 64])).await.unwrap();
+        let (_, raw) = b.recv().await.unwrap();
+        assert!(t.elapsed() < Duration::from_millis(50));
+        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1.len(), 64);
+    }
+
+    #[tokio::test]
+    async fn truncated_batch_is_an_error() {
+        let (a, b) = pair::<Datagram>(8);
+        let bb = BatchChunnel::default().connect_wrap(b).await.unwrap();
+        a.send((addr(), vec![9, 0, 0, 0, 1])).await.unwrap(); // claims 9 bytes, has 1
+        assert!(matches!(bb.recv().await, Err(Error::Encode(_))));
+    }
+
+    #[tokio::test]
+    async fn explicit_flush() {
+        let (a, b) = pair::<Datagram>(8);
+        let cfg = BatchConfig {
+            max_msgs: 100,
+            linger: Duration::from_secs(100),
+            ..Default::default()
+        };
+        let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        ba.send((addr(), vec![5])).await.unwrap();
+        ba.flush().await.unwrap();
+        let (_, raw) = b.recv().await.unwrap();
+        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1, vec![5]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Compression chunnel with an in-repo LZSS-style compressor.
+//!
+//! Compression is a classic candidate for offload (many NICs and DPUs ship
+//! compression engines); this module provides the software fallback. The
+//! codec is a small, dependency-free LZSS variant: a 4 KiB sliding window,
+//! matches of 3–130 bytes encoded as (distance, length) pairs, literals
+//! passed through, with a one-byte header choosing between compressed and
+//! stored representations (incompressible payloads cost exactly one byte).
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Chunnel, Error};
+
+const RAW: u8 = 0x00;
+const LZ: u8 = 0x01;
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 127;
+
+/// Compress a buffer. The output always begins with a header byte marking
+/// it compressed, or stored raw when compression did not help.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(LZ);
+
+    // Token stream: flag bytes cover 8 items each; bit set = match.
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    // Chain hash of 3-byte prefixes for match finding.
+    let mut head: Vec<i32> = vec![-1; 1 << 13];
+    let mut prev: Vec<i32> = vec![-1; input.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) << 6 ^ (b as usize) << 3 ^ (c as usize)) & ((1 << 13) - 1)
+    };
+
+    let mut i = 0;
+    let emit = |out: &mut Vec<u8>, flags_pos: &mut usize, flag_bit: &mut u8, is_match: bool| {
+        if *flag_bit == 8 {
+            *flags_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flags_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input[i], input[i + 1], input[i + 2]);
+            let mut cand = head[h];
+            let mut tries = 16;
+            while cand >= 0 && tries > 0 {
+                let c = cand as usize;
+                let dist = i - c;
+                if dist > WINDOW {
+                    break;
+                }
+                let max = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == max {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                tries -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            emit(&mut out, &mut flags_pos, &mut flag_bit, true);
+            // [len - MIN_MATCH: 7 bits + dist high 4 bits? keep simple:]
+            // [len - MIN_MATCH: u8][dist: u16 LE]
+            out.push((best_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            // Index the skipped positions so later matches can find them.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash(input[i], input[i + 1], input[i + 2]);
+                    prev[i] = head[h];
+                    head[h] = i as i32;
+                }
+                i += 1;
+            }
+        } else {
+            emit(&mut out, &mut flags_pos, &mut flag_bit, false);
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(input[i], input[i + 1], input[i + 2]);
+                prev[i] = head[h];
+                head[h] = i as i32;
+            }
+            i += 1;
+        }
+    }
+
+    if out.len() > input.len() {
+        let mut stored = Vec::with_capacity(input.len() + 1);
+        stored.push(RAW);
+        stored.extend_from_slice(input);
+        return stored;
+    }
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, Error> {
+    let (&header, body) = input
+        .split_first()
+        .ok_or_else(|| Error::Encode("empty compressed buffer".into()))?;
+    match header {
+        RAW => Ok(body.to_vec()),
+        LZ => {
+            let mut out = Vec::with_capacity(body.len() * 2);
+            let mut pos = 0;
+            while pos < body.len() {
+                let flags = body[pos];
+                pos += 1;
+                for bit in 0..8 {
+                    if pos >= body.len() {
+                        break;
+                    }
+                    if flags & (1 << bit) != 0 {
+                        if pos + 3 > body.len() {
+                            return Err(Error::Encode("truncated match token".into()));
+                        }
+                        let len = body[pos] as usize + MIN_MATCH;
+                        let dist =
+                            u16::from_le_bytes(body[pos + 1..pos + 3].try_into().unwrap()) as usize;
+                        pos += 3;
+                        if dist == 0 || dist > out.len() {
+                            return Err(Error::Encode(format!(
+                                "bad match distance {dist} at output length {}",
+                                out.len()
+                            )));
+                        }
+                        let start = out.len() - dist;
+                        for k in 0..len {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
+                    } else {
+                        out.push(body[pos]);
+                        pos += 1;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        other => Err(Error::Encode(format!("unknown compression header {other}"))),
+    }
+}
+
+/// The compression chunnel. See the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompressChunnel;
+
+impl Negotiate for CompressChunnel {
+    const CAPABILITY: u64 = guid("bertha/compress");
+    const IMPL: u64 = guid("bertha/compress/lzss");
+    const NAME: &'static str = "compress/lzss";
+}
+
+bertha::negotiable!(CompressChunnel);
+
+impl<InC> Chunnel<InC> for CompressChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = CompressConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        Box::pin(async move { Ok(CompressConn { inner }) })
+    }
+}
+
+/// Connection produced by [`CompressChunnel`].
+pub struct CompressConn<C> {
+    inner: C,
+}
+
+impl<C> ChunnelConnection for CompressConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move { self.inner.send((addr, compress(&payload))).await })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.inner.recv().await?;
+            Ok((from, decompress(&buf)?))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha::Addr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let input = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(20);
+        let c = compress(&input);
+        assert!(c.len() < input.len() / 2, "{} vs {}", c.len(), input.len());
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn stores_incompressible_data() {
+        // A byte sequence with no 3-byte repeats.
+        let input: Vec<u8> = (0..=255u8).collect();
+        let c = compress(&input);
+        assert_eq!(c[0], RAW);
+        assert_eq!(c.len(), input.len() + 1);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn rejects_corrupt_streams() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0x42, 1, 2]).is_err());
+        // A match referring behind the start of output.
+        assert!(decompress(&[LZ, 0b0000_0001, 0, 9, 9]).is_err());
+    }
+
+    #[tokio::test]
+    async fn chunnel_round_trip() {
+        let (a, b) = pair::<Datagram>(8);
+        let ca = CompressChunnel.connect_wrap(a).await.unwrap();
+        let cb = CompressChunnel.connect_wrap(b).await.unwrap();
+        let addr = Addr::Mem("peer".into());
+        let payload = b"the quick brown fox jumps over the lazy dog, twice: the quick brown fox jumps over the lazy dog".to_vec();
+        ca.send((addr, payload.clone())).await.unwrap();
+        let (_, d) = cb.recv().await.unwrap();
+        assert_eq!(d, payload);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let c = compress(&input);
+            prop_assert_eq!(decompress(&c).unwrap(), input);
+        }
+
+        #[test]
+        fn round_trips_repetitive_bytes(byte in any::<u8>(), n in 0usize..8192) {
+            let input = vec![byte; n];
+            let c = compress(&input);
+            prop_assert_eq!(decompress(&c).unwrap(), input.clone());
+            if n > 64 {
+                prop_assert!(c.len() < input.len() / 4);
+            }
+        }
+
+        #[test]
+        fn decompress_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&garbage);
+        }
+    }
+}

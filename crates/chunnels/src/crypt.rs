@@ -1,0 +1,222 @@
+//! Encryption chunnel — a **toy** stream cipher.
+//!
+//! # Security
+//!
+//! **This is not a secure cipher.** It exists so the workspace can model the
+//! paper's §6 example — an `encrypt |> http2 |> tcp` pipeline whose
+//! encryption stage can be offloaded to a SmartNIC or fused into a TLS
+//! offload — with a software stage that touches every payload byte at a
+//! realistic cost. The experiments measure data movement and placement, not
+//! cryptography; substituting a real AEAD would not change them. Do not use
+//! this module to protect data.
+//!
+//! Mechanism: a per-message random 8-byte nonce seeds a keyed xorshift
+//! keystream XORed over the payload, with a 4-byte keyed checksum so
+//! tampering (or a wrong key) is detected.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Chunnel, Error};
+use rand::RngCore;
+
+/// Key bytes for [`CryptChunnel`].
+pub type Key = [u8; 32];
+
+/// The toy encryption chunnel. See the module docs — **not secure**.
+#[derive(Clone, Debug)]
+pub struct CryptChunnel {
+    key: Key,
+}
+
+impl CryptChunnel {
+    /// Encrypt with a pre-shared key. Both endpoints must use the same key.
+    pub fn new(key: Key) -> Self {
+        CryptChunnel { key }
+    }
+
+    /// A fixed demonstration key.
+    pub fn demo() -> Self {
+        CryptChunnel { key: [0x42; 32] }
+    }
+}
+
+impl Negotiate for CryptChunnel {
+    const CAPABILITY: u64 = guid("bertha/encrypt");
+    const IMPL: u64 = guid("bertha/encrypt/toy-stream");
+    const NAME: &'static str = "encrypt/toy-stream";
+}
+
+bertha::negotiable!(CryptChunnel);
+
+fn keystream_word(state: &mut u64) -> u64 {
+    // xorshift64*; fine for a keystream-shaped workload, useless for
+    // security.
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn seed_from(key: &Key, nonce: &[u8; 8]) -> u64 {
+    let mut seed = u64::from_le_bytes(nonce[..8].try_into().unwrap());
+    for chunk in key.chunks(8) {
+        seed ^= u64::from_le_bytes(chunk.try_into().unwrap()).rotate_left(17);
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    }
+    seed
+}
+
+fn apply_keystream(seed: u64, buf: &mut [u8]) {
+    let mut state = seed;
+    for chunk in buf.chunks_mut(8) {
+        let ks = keystream_word(&mut state).to_le_bytes();
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+fn checksum(seed: u64, buf: &[u8]) -> u32 {
+    let mut acc = seed ^ 0xdead_beef_cafe_f00d;
+    for chunk in buf.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        acc = (acc ^ u64::from_le_bytes(w)).wrapping_mul(0x100_0000_01b3);
+    }
+    (acc >> 32) as u32 ^ acc as u32
+}
+
+/// Seal a payload: `[nonce: 8][ciphertext][tag: 4]`.
+pub fn seal(key: &Key, payload: &[u8]) -> Vec<u8> {
+    let mut nonce = [0u8; 8];
+    rand::thread_rng().fill_bytes(&mut nonce);
+    let seed = seed_from(key, &nonce);
+    let mut out = Vec::with_capacity(8 + payload.len() + 4);
+    out.extend_from_slice(&nonce);
+    let body_start = out.len();
+    out.extend_from_slice(payload);
+    apply_keystream(seed, &mut out[body_start..]);
+    let tag = checksum(seed, payload);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out
+}
+
+/// Open a sealed payload, verifying the tag.
+pub fn open(key: &Key, sealed: &[u8]) -> Result<Vec<u8>, Error> {
+    if sealed.len() < 12 {
+        return Err(Error::Encode("sealed payload too short".into()));
+    }
+    let nonce: [u8; 8] = sealed[..8].try_into().unwrap();
+    let tag = u32::from_le_bytes(sealed[sealed.len() - 4..].try_into().unwrap());
+    let seed = seed_from(key, &nonce);
+    let mut body = sealed[8..sealed.len() - 4].to_vec();
+    apply_keystream(seed, &mut body);
+    if checksum(seed, &body) != tag {
+        return Err(Error::Encode(
+            "ciphertext checksum mismatch (tampering or wrong key)".into(),
+        ));
+    }
+    Ok(body)
+}
+
+impl<InC> Chunnel<InC> for CryptChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = CryptConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let key = self.key;
+        Box::pin(async move { Ok(CryptConn { inner, key }) })
+    }
+}
+
+/// Connection produced by [`CryptChunnel`].
+pub struct CryptConn<C> {
+    inner: C,
+    key: Key,
+}
+
+impl<C> ChunnelConnection for CryptConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move { self.inner.send((addr, seal(&self.key, &payload))).await })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.inner.recv().await?;
+            Ok((from, open(&self.key, &buf)?))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha::Addr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let key = [7u8; 32];
+        let msg = b"attack at dawn";
+        let sealed = seal(&key, msg);
+        assert_ne!(&sealed[8..8 + msg.len()], msg, "payload must be masked");
+        assert_eq!(open(&key, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let sealed = seal(&[1u8; 32], b"hello");
+        assert!(open(&[2u8; 32], &sealed).is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let key = [9u8; 32];
+        let mut sealed = seal(&key, b"hello world");
+        sealed[10] ^= 0x80;
+        assert!(open(&key, &sealed).is_err());
+    }
+
+    #[test]
+    fn nonces_differ_between_messages() {
+        let key = [3u8; 32];
+        let a = seal(&key, b"same");
+        let b = seal(&key, b"same");
+        assert_ne!(a, b, "per-message nonce must randomize ciphertexts");
+    }
+
+    #[tokio::test]
+    async fn chunnel_round_trip() {
+        let (a, b) = pair::<Datagram>(8);
+        let key = [5u8; 32];
+        let ca = CryptChunnel::new(key).connect_wrap(a).await.unwrap();
+        let cb = CryptChunnel::new(key).connect_wrap(b).await.unwrap();
+        let addr = Addr::Mem("peer".into());
+        ca.send((addr, b"secret".to_vec())).await.unwrap();
+        let (_, d) = cb.recv().await.unwrap();
+        assert_eq!(d, b"secret");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary(payload in proptest::collection::vec(any::<u8>(), 0..2048), key in any::<[u8; 32]>()) {
+            let sealed = seal(&key, &payload);
+            prop_assert_eq!(open(&key, &sealed).unwrap(), payload);
+        }
+
+        #[test]
+        fn open_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = open(&[0u8; 32], &garbage);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Fragmentation chunnel: carry payloads larger than the transport's
+//! datagram limit.
+//!
+//! Splits payloads into MTU-sized fragments, each tagged with a message id
+//! and fragment index, and reassembles on the receive side. Incomplete
+//! messages are evicted after a timeout so a lost fragment cannot pin
+//! memory forever (for lossless delivery compose above
+//! [`reliable`](crate::reliable)).
+//!
+//! Wire format: `[msg_id: u64][idx: u16][total: u16][payload]`.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Chunnel, Error};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HDR: usize = 8 + 2 + 2;
+
+/// Fragmentation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FragConfig {
+    /// Maximum payload bytes per fragment (excluding the header).
+    pub mtu: usize,
+    /// How long a partially-reassembled message may wait for the rest.
+    pub reassembly_timeout: Duration,
+}
+
+impl Default for FragConfig {
+    fn default() -> Self {
+        FragConfig {
+            mtu: 1400,
+            reassembly_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The fragmentation chunnel. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct FragChunnel {
+    cfg: FragConfig,
+}
+
+impl FragChunnel {
+    /// Fragmentation with explicit parameters.
+    pub fn new(cfg: FragConfig) -> Self {
+        FragChunnel { cfg }
+    }
+}
+
+impl Negotiate for FragChunnel {
+    const CAPABILITY: u64 = guid("bertha/frag");
+    const IMPL: u64 = guid("bertha/frag/sw");
+    const NAME: &'static str = "frag/sw";
+}
+
+bertha::negotiable!(FragChunnel);
+
+impl<InC> Chunnel<InC> for FragChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = FragConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg;
+        Box::pin(async move {
+            Ok(FragConn {
+                inner: Arc::new(inner),
+                cfg,
+                next_msg_id: Mutex::new(0),
+                partial: Mutex::new(HashMap::new()),
+            })
+        })
+    }
+}
+
+struct Partial {
+    frags: Vec<Option<Vec<u8>>>,
+    have: usize,
+    started: Instant,
+}
+
+/// Connection produced by [`FragChunnel`].
+pub struct FragConn<C> {
+    inner: Arc<C>,
+    cfg: FragConfig,
+    next_msg_id: Mutex<u64>,
+    partial: Mutex<HashMap<(bertha::Addr, u64), Partial>>,
+}
+
+fn frame(msg_id: u64, idx: u16, total: u16, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(HDR + payload.len());
+    f.extend_from_slice(&msg_id.to_le_bytes());
+    f.extend_from_slice(&idx.to_le_bytes());
+    f.extend_from_slice(&total.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+impl<C> ChunnelConnection for FragConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let mtu = self.cfg.mtu.max(1);
+            let total = payload.len().div_ceil(mtu).max(1);
+            if total > u16::MAX as usize {
+                return Err(Error::Other(format!(
+                    "payload of {} bytes needs {} fragments (max {})",
+                    payload.len(),
+                    total,
+                    u16::MAX
+                )));
+            }
+            let msg_id = {
+                let mut id = self.next_msg_id.lock();
+                let v = *id;
+                *id += 1;
+                v
+            };
+            if total == 1 {
+                return self
+                    .inner
+                    .send((addr, frame(msg_id, 0, 1, &payload)))
+                    .await;
+            }
+            for (idx, chunk) in payload.chunks(mtu).enumerate() {
+                self.inner
+                    .send((addr.clone(), frame(msg_id, idx as u16, total as u16, chunk)))
+                    .await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                let (from, buf) = self.inner.recv().await?;
+                if buf.len() < HDR {
+                    return Err(Error::Encode("fragment too short".into()));
+                }
+                let msg_id = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                let idx = u16::from_le_bytes(buf[8..10].try_into().unwrap()) as usize;
+                let total = u16::from_le_bytes(buf[10..12].try_into().unwrap()) as usize;
+                let payload = &buf[12..];
+
+                if total == 0 || idx >= total {
+                    return Err(Error::Encode(format!(
+                        "bad fragment indices {idx}/{total}"
+                    )));
+                }
+                if total == 1 {
+                    return Ok((from, payload.to_vec()));
+                }
+
+                let mut partials = self.partial.lock();
+                // Evict stale partial messages.
+                let timeout = self.cfg.reassembly_timeout;
+                partials.retain(|_, p| p.started.elapsed() < timeout);
+
+                let key = (from.clone(), msg_id);
+                let p = partials.entry(key.clone()).or_insert_with(|| Partial {
+                    frags: vec![None; total],
+                    have: 0,
+                    started: Instant::now(),
+                });
+                if p.frags.len() != total {
+                    // Conflicting totals for one message id: drop it.
+                    partials.remove(&key);
+                    continue;
+                }
+                if p.frags[idx].is_none() {
+                    p.frags[idx] = Some(payload.to_vec());
+                    p.have += 1;
+                }
+                if p.have == total {
+                    let p = partials.remove(&key).expect("just inserted");
+                    let mut whole =
+                        Vec::with_capacity(p.frags.iter().map(|f| f.as_ref().unwrap().len()).sum());
+                    for f in p.frags {
+                        whole.extend_from_slice(&f.unwrap());
+                    }
+                    return Ok((from, whole));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha::Addr;
+    use proptest::prelude::*;
+
+    fn addr() -> Addr {
+        Addr::Mem("peer".into())
+    }
+
+    #[tokio::test]
+    async fn small_payload_single_fragment() {
+        let (a, b) = pair::<Datagram>(64);
+        let fa = FragChunnel::default().connect_wrap(a).await.unwrap();
+        let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
+        fa.send((addr(), b"tiny".to_vec())).await.unwrap();
+        let (_, d) = fb.recv().await.unwrap();
+        assert_eq!(d, b"tiny");
+    }
+
+    #[tokio::test]
+    async fn large_payload_reassembles() {
+        let (a, b) = pair::<Datagram>(1024);
+        let cfg = FragConfig {
+            mtu: 100,
+            ..Default::default()
+        };
+        let fa = FragChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let fb = FragChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        fa.send((addr(), payload.clone())).await.unwrap();
+        let (_, d) = fb.recv().await.unwrap();
+        assert_eq!(d, payload);
+    }
+
+    #[tokio::test]
+    async fn interleaved_messages_reassemble_independently() {
+        let (a, b) = pair::<Datagram>(1024);
+        let cfg = FragConfig {
+            mtu: 10,
+            ..Default::default()
+        };
+        let fb = FragChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        // Hand-craft interleaved fragments of two messages.
+        let m0: Vec<u8> = vec![0xaa; 25];
+        let m1: Vec<u8> = vec![0xbb; 15];
+        let f = |id: u64, idx: u16, total: u16, chunk: &[u8]| frame(id, idx, total, chunk);
+        a.send((addr(), f(0, 0, 3, &m0[..10]))).await.unwrap();
+        a.send((addr(), f(1, 0, 2, &m1[..10]))).await.unwrap();
+        a.send((addr(), f(0, 1, 3, &m0[10..20]))).await.unwrap();
+        a.send((addr(), f(1, 1, 2, &m1[10..]))).await.unwrap();
+        a.send((addr(), f(0, 2, 3, &m0[20..]))).await.unwrap();
+
+        let (_, d1) = fb.recv().await.unwrap();
+        assert_eq!(d1, m1, "second message completes first");
+        let (_, d0) = fb.recv().await.unwrap();
+        assert_eq!(d0, m0);
+    }
+
+    #[tokio::test]
+    async fn bad_indices_rejected() {
+        let (a, b) = pair::<Datagram>(8);
+        let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
+        a.send((addr(), frame(0, 5, 2, b"x"))).await.unwrap();
+        assert!(fb.recv().await.is_err());
+    }
+
+    #[tokio::test]
+    async fn empty_payload_round_trips() {
+        let (a, b) = pair::<Datagram>(8);
+        let fa = FragChunnel::default().connect_wrap(a).await.unwrap();
+        let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
+        fa.send((addr(), vec![])).await.unwrap();
+        let (_, d) = fb.recv().await.unwrap();
+        assert!(d.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn round_trips_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..5000), mtu in 1usize..600) {
+            let rt = tokio::runtime::Builder::new_current_thread().enable_all().build().unwrap();
+            rt.block_on(async move {
+                let (a, b) = pair::<Datagram>(8192);
+                let cfg = FragConfig { mtu, ..Default::default() };
+                let fa = FragChunnel::new(cfg).connect_wrap(a).await.unwrap();
+                let fb = FragChunnel::new(cfg).connect_wrap(b).await.unwrap();
+                fa.send((addr(), payload.clone())).await.unwrap();
+                let (_, d) = fb.recv().await.unwrap();
+                assert_eq!(d, payload);
+            });
+        }
+    }
+}

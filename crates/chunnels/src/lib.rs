@@ -1,0 +1,46 @@
+//! The standard Bertha chunnel library.
+//!
+//! Every chunnel here is a *fallback implementation* in the paper's sense
+//! (§2): pure software, runnable on any end host, assuming nothing beyond
+//! the standard library — they "merely ensure that applications can function
+//! in the absence of a better implementation". Each registers a capability
+//! GUID with negotiation so operators can substitute accelerated variants.
+//!
+//! Byte-level chunnels (everything except [`serialize`]) transform
+//! `(Addr, Vec<u8>)` to `(Addr, Vec<u8>)` and therefore compose freely and
+//! can be registered as dynamic fallbacks
+//! ([`bertha::register_chunnel`], Listing 5):
+//!
+//! - [`reliable`]: exactly-once delivery via ACKs and retransmission;
+//! - [`ordering`]: in-order delivery via sequence numbers and buffering;
+//! - [`batch`]: coalesce small messages, amortizing per-datagram cost;
+//! - [`frag`]: fragmentation/reassembly above datagram size limits;
+//! - [`ratelimit`]: token-bucket traffic shaping;
+//! - [`heartbeat`]: keepalives and peer liveness detection;
+//! - [`compress`]: an in-repo LZ-style compressor;
+//! - [`crypt`]: a **toy** stream cipher standing in for an encryption
+//!   offload workload (see its module docs — not secure);
+//! - [`serialize`]: typed messages over bincode — "applications send and
+//!   receive objects rather than bytes" (§3.2).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod compress;
+pub mod crypt;
+pub mod frag;
+pub mod heartbeat;
+pub mod ordering;
+pub mod ratelimit;
+pub mod reliable;
+pub mod serialize;
+
+pub use batch::BatchChunnel;
+pub use compress::CompressChunnel;
+pub use crypt::CryptChunnel;
+pub use frag::FragChunnel;
+pub use heartbeat::HeartbeatChunnel;
+pub use ordering::OrderingChunnel;
+pub use ratelimit::RateLimitChunnel;
+pub use reliable::ReliabilityChunnel;
+pub use serialize::SerializeChunnel;

@@ -1,0 +1,233 @@
+//! Ordering chunnel: in-order delivery via sequence numbers and a reorder
+//! buffer.
+//!
+//! Tags each outgoing payload with a sequence number; the receive side
+//! buffers out-of-order arrivals and delivers contiguously. It does not
+//! retransmit: over a lossy transport, compose above
+//! [`reliable`](crate::reliable) (`wrap!(ordering() |> reliable())`), or
+//! accept that a lost datagram stalls delivery until the buffer cap evicts.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Chunnel, Error};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tokio::sync::Notify;
+
+/// The ordering chunnel. See the module docs.
+#[derive(Clone, Debug)]
+pub struct OrderingChunnel {
+    /// Maximum buffered out-of-order payloads before the hole is declared
+    /// lost and delivery skips past it.
+    pub max_buffer: usize,
+}
+
+impl Default for OrderingChunnel {
+    fn default() -> Self {
+        OrderingChunnel { max_buffer: 1024 }
+    }
+}
+
+impl OrderingChunnel {
+    /// Ordering with an explicit reorder-buffer cap.
+    pub fn new(max_buffer: usize) -> Self {
+        OrderingChunnel { max_buffer }
+    }
+}
+
+impl Negotiate for OrderingChunnel {
+    const CAPABILITY: u64 = guid("bertha/ordering");
+    const IMPL: u64 = guid("bertha/ordering/buffer");
+    const NAME: &'static str = "ordering/buffer";
+}
+
+bertha::negotiable!(OrderingChunnel);
+
+impl<InC> Chunnel<InC> for OrderingChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = OrderedConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let max_buffer = self.max_buffer;
+        Box::pin(async move {
+            Ok(OrderedConn {
+                inner: Arc::new(inner),
+                max_buffer,
+                state: Mutex::new(OrderState {
+                    next_send: 0,
+                    next_deliver: 0,
+                    buffer: BTreeMap::new(),
+                }),
+                arrived: Notify::new(),
+            })
+        })
+    }
+}
+
+struct OrderState {
+    next_send: u64,
+    next_deliver: u64,
+    buffer: BTreeMap<u64, Datagram>,
+}
+
+/// Connection produced by [`OrderingChunnel`].
+pub struct OrderedConn<C> {
+    inner: Arc<C>,
+    max_buffer: usize,
+    state: Mutex<OrderState>,
+    arrived: Notify,
+}
+
+impl<C> ChunnelConnection for OrderedConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let seq = {
+                let mut st = self.state.lock();
+                let s = st.next_send;
+                st.next_send += 1;
+                s
+            };
+            let mut framed = Vec::with_capacity(8 + payload.len());
+            framed.extend_from_slice(&seq.to_le_bytes());
+            framed.extend_from_slice(&payload);
+            self.inner.send((addr, framed)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                // Deliver from the buffer if the next payload is ready.
+                {
+                    let mut st = self.state.lock();
+                    let next = st.next_deliver;
+                    if let Some(d) = st.buffer.remove(&next) {
+                        st.next_deliver += 1;
+                        return Ok(d);
+                    }
+                    // Buffer overflowing: the gap is presumed lost; skip to
+                    // the earliest buffered payload.
+                    if st.buffer.len() >= self.max_buffer {
+                        if let Some((&seq, _)) = st.buffer.iter().next() {
+                            st.next_deliver = seq + 1;
+                            let d = st.buffer.remove(&seq).expect("just observed");
+                            return Ok(d);
+                        }
+                    }
+                }
+
+                let (from, buf) = self.inner.recv().await?;
+                if buf.len() < 8 {
+                    return Err(Error::Encode("ordering frame too short".into()));
+                }
+                let seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                let payload = buf[8..].to_vec();
+                let mut st = self.state.lock();
+                if seq < st.next_deliver {
+                    continue; // stale duplicate
+                }
+                if seq == st.next_deliver {
+                    st.next_deliver += 1;
+                    // Anything contiguous behind it will be picked up on
+                    // the next loop iteration.
+                    self.arrived.notify_waiters();
+                    return Ok((from, payload));
+                }
+                st.buffer.insert(seq, (from, payload));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha::Addr;
+    use bertha_transport::fault::{FaultChunnel, FaultConfig};
+
+    fn addr() -> Addr {
+        Addr::Mem("peer".into())
+    }
+
+    #[tokio::test]
+    async fn in_order_without_faults() {
+        let (a, b) = pair::<Datagram>(64);
+        let oa = OrderingChunnel::default().connect_wrap(a).await.unwrap();
+        let ob = OrderingChunnel::default().connect_wrap(b).await.unwrap();
+        for i in 0..20u8 {
+            oa.send((addr(), vec![i])).await.unwrap();
+        }
+        for i in 0..20u8 {
+            let (_, d) = ob.recv().await.unwrap();
+            assert_eq!(d, vec![i]);
+        }
+    }
+
+    #[tokio::test]
+    async fn restores_order_over_reordering_link() {
+        let (a, b) = pair::<Datagram>(512);
+        let fa = FaultChunnel::new(FaultConfig {
+            reorder: 0.5,
+            seed: 21,
+            ..Default::default()
+        })
+        .connect_wrap(a)
+        .await
+        .unwrap();
+        let oa = OrderingChunnel::default().connect_wrap(fa).await.unwrap();
+        let ob = OrderingChunnel::default().connect_wrap(b).await.unwrap();
+
+        const N: u32 = 200;
+        for i in 0..N {
+            oa.send((addr(), i.to_le_bytes().to_vec())).await.unwrap();
+        }
+        for i in 0..N {
+            let (_, d) = ob.recv().await.unwrap();
+            assert_eq!(u32::from_le_bytes(d.try_into().unwrap()), i);
+        }
+    }
+
+    #[tokio::test]
+    async fn buffer_cap_skips_lost_gap() {
+        let (a, b) = pair::<Datagram>(64);
+        let ob = OrderingChunnel::new(4).connect_wrap(b).await.unwrap();
+        // Send seqs 1..=5 (seq 0 never arrives: a permanent gap).
+        for seq in 1..=5u64 {
+            let mut f = seq.to_le_bytes().to_vec();
+            f.push(seq as u8);
+            a.send((addr(), f)).await.unwrap();
+        }
+        // With max_buffer = 4, the gap is eventually declared lost and
+        // delivery resumes from seq 1.
+        let (_, d) = ob.recv().await.unwrap();
+        assert_eq!(d, vec![1]);
+        let (_, d) = ob.recv().await.unwrap();
+        assert_eq!(d, vec![2]);
+    }
+
+    #[tokio::test]
+    async fn duplicate_frames_dropped() {
+        let (a, b) = pair::<Datagram>(64);
+        let ob = OrderingChunnel::default().connect_wrap(b).await.unwrap();
+        let mut f0 = 0u64.to_le_bytes().to_vec();
+        f0.push(7);
+        a.send((addr(), f0.clone())).await.unwrap();
+        a.send((addr(), f0)).await.unwrap(); // duplicate
+        let mut f1 = 1u64.to_le_bytes().to_vec();
+        f1.push(8);
+        a.send((addr(), f1)).await.unwrap();
+        let (_, d) = ob.recv().await.unwrap();
+        assert_eq!(d, vec![7]);
+        let (_, d) = ob.recv().await.unwrap();
+        assert_eq!(d, vec![8], "duplicate must not be redelivered");
+    }
+}

@@ -1,0 +1,204 @@
+//! Rate-limiting chunnel: a token bucket on the send path.
+//!
+//! Traffic policing/shaping is a standard NIC and switch offload (meters,
+//! rate limiters in SR-IOV NICs — the PicNIC line of work the paper cites
+//! for sharing concerns); this is its software fallback. Sends block until
+//! a token is available, smoothing bursts to the configured rate.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Chunnel, Error};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token-bucket parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimitConfig {
+    /// Sustained rate, in messages per second.
+    pub msgs_per_sec: f64,
+    /// Bucket depth: how many messages may burst at line rate.
+    pub burst: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        RateLimitConfig {
+            msgs_per_sec: 10_000.0,
+            burst: 32.0,
+        }
+    }
+}
+
+/// The rate-limiting chunnel. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct RateLimitChunnel {
+    cfg: RateLimitConfig,
+}
+
+impl RateLimitChunnel {
+    /// Limit to `msgs_per_sec` with the given burst depth.
+    pub fn new(msgs_per_sec: f64, burst: f64) -> Self {
+        RateLimitChunnel {
+            cfg: RateLimitConfig {
+                msgs_per_sec,
+                burst,
+            },
+        }
+    }
+}
+
+impl Negotiate for RateLimitChunnel {
+    const CAPABILITY: u64 = guid("bertha/ratelimit");
+    const IMPL: u64 = guid("bertha/ratelimit/token-bucket");
+    const NAME: &'static str = "ratelimit/token-bucket";
+}
+
+bertha::negotiable!(RateLimitChunnel);
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Connection produced by [`RateLimitChunnel`].
+pub struct RateLimitConn<C> {
+    inner: Arc<C>,
+    cfg: RateLimitConfig,
+    bucket: Mutex<Bucket>,
+}
+
+impl<InC> Chunnel<InC> for RateLimitChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = RateLimitConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg;
+        Box::pin(async move {
+            let rate_ok = cfg.msgs_per_sec.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+            let burst_ok = cfg.burst.partial_cmp(&1.0) != Some(std::cmp::Ordering::Less)
+                && !cfg.burst.is_nan();
+            if !rate_ok || !burst_ok {
+                return Err(Error::Other(format!(
+                    "invalid rate limit: {} msgs/s, burst {}",
+                    cfg.msgs_per_sec, cfg.burst
+                )));
+            }
+            Ok(RateLimitConn {
+                inner: Arc::new(inner),
+                cfg,
+                bucket: Mutex::new(Bucket {
+                    tokens: cfg.burst,
+                    last_refill: Instant::now(),
+                }),
+            })
+        })
+    }
+}
+
+impl<C> RateLimitConn<C> {
+    /// Take a token, or say how long until one is available.
+    fn try_take(&self) -> Result<(), Duration> {
+        let mut b = self.bucket.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * self.cfg.msgs_per_sec).min(self.cfg.burst);
+        b.last_refill = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - b.tokens;
+            Err(Duration::from_secs_f64(deficit / self.cfg.msgs_per_sec))
+        }
+    }
+}
+
+impl<C> ChunnelConnection for RateLimitConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, data: Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            loop {
+                match self.try_take() {
+                    Ok(()) => break,
+                    Err(wait) => tokio::time::sleep(wait).await,
+                }
+            }
+            self.inner.send(data).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        self.inner.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha::Addr;
+
+    #[tokio::test]
+    async fn burst_passes_immediately() {
+        let (a, b) = pair::<Datagram>(64);
+        let conn = RateLimitChunnel::new(10.0, 8.0).connect_wrap(a).await.unwrap();
+        let t = Instant::now();
+        for i in 0..8u8 {
+            conn.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+        }
+        assert!(t.elapsed() < Duration::from_millis(100), "burst not throttled");
+        for i in 0..8u8 {
+            let (_, d) = b.recv().await.unwrap();
+            assert_eq!(d, vec![i]);
+        }
+    }
+
+    #[tokio::test]
+    async fn sustained_rate_is_enforced() {
+        let (a, _b) = pair::<Datagram>(1024);
+        // 100 msgs/s, burst 1: 20 messages should take ~190ms.
+        let conn = RateLimitChunnel::new(100.0, 1.0).connect_wrap(a).await.unwrap();
+        let t = Instant::now();
+        for i in 0..20u8 {
+            conn.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+        }
+        let elapsed = t.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(150),
+            "rate not enforced: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(800),
+            "over-throttled: {elapsed:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn recv_is_not_limited() {
+        let (a, b) = pair::<Datagram>(64);
+        let conn = RateLimitChunnel::new(1.0, 1.0).connect_wrap(a).await.unwrap();
+        for i in 0..10u8 {
+            b.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+        }
+        let t = Instant::now();
+        for _ in 0..10 {
+            conn.recv().await.unwrap();
+        }
+        assert!(t.elapsed() < Duration::from_millis(100));
+    }
+
+    #[tokio::test]
+    async fn invalid_config_rejected() {
+        let (a, _b) = pair::<Datagram>(1);
+        assert!(RateLimitChunnel::new(0.0, 4.0).connect_wrap(a).await.is_err());
+        let (a, _b) = pair::<Datagram>(1);
+        assert!(RateLimitChunnel::new(10.0, 0.0).connect_wrap(a).await.is_err());
+    }
+}

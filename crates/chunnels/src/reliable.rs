@@ -1,0 +1,504 @@
+//! Reliability chunnel: exactly-once delivery over a lossy datagram
+//! transport (Listings 4–5's `reliable()`).
+//!
+//! Classic ARQ: every outgoing payload gets a sequence number and is held
+//! until acknowledged; a per-connection pacer retransmits after a timeout,
+//! giving up (and failing the connection) after a retry budget. The receive
+//! side acknowledges everything and deduplicates, so the application sees
+//! each payload exactly once. Delivery order is arrival order — compose
+//! with [`ordering`](crate::ordering) for in-order delivery.
+//!
+//! A dedicated pump task owns the inner connection's receive side so ACKs
+//! are processed even when the application is not in `recv` (one-way
+//! flows). The task holds only a weak reference and exits when the
+//! connection is dropped.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Addr, Chunnel, Error};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use tokio::sync::{mpsc, Notify};
+
+const DATA: u8 = 0x02;
+const ACK: u8 = 0x03;
+
+/// Configuration for the ARQ.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliabilityConfig {
+    /// Retransmission timeout.
+    pub rto: Duration,
+    /// Retransmissions before the connection is declared dead.
+    pub max_retries: u32,
+    /// Maximum unacknowledged payloads before `send` applies backpressure.
+    pub window: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            rto: Duration::from_millis(100),
+            max_retries: 10,
+            window: 64,
+        }
+    }
+}
+
+/// The reliability chunnel. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct ReliabilityChunnel {
+    cfg: ReliabilityConfig,
+}
+
+impl ReliabilityChunnel {
+    /// ARQ with explicit parameters.
+    pub fn new(cfg: ReliabilityConfig) -> Self {
+        ReliabilityChunnel { cfg }
+    }
+}
+
+impl Negotiate for ReliabilityChunnel {
+    const CAPABILITY: u64 = guid("bertha/reliable");
+    const IMPL: u64 = guid("bertha/reliable/arq");
+    const NAME: &'static str = "reliable/arq";
+}
+
+bertha::negotiable!(ReliabilityChunnel);
+
+impl<InC> Chunnel<InC> for ReliabilityChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = ReliableConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg;
+        Box::pin(async move { Ok(ReliableConn::start(inner, cfg)) })
+    }
+}
+
+struct Pending {
+    addr: Addr,
+    frame: Vec<u8>,
+    last_sent: Instant,
+    retries: u32,
+}
+
+struct RelState {
+    next_seq: u64,
+    unacked: HashMap<u64, Pending>,
+    /// Every sequence number below this has been delivered.
+    recv_floor: u64,
+    /// Delivered sequence numbers at or above the floor.
+    recv_seen: BTreeSet<u64>,
+    /// Set when the retry budget is exhausted; fails future operations.
+    dead: Option<String>,
+}
+
+/// Connection produced by [`ReliabilityChunnel`].
+///
+/// Note: sequence numbers and deduplication are per *connection*, which in
+/// this workspace is per peer (listen-side transports demultiplex by source
+/// address before chunnels apply). Wrapping one unconnected socket that
+/// talks to many peers with a single `ReliableConn` is not supported.
+pub struct ReliableConn<C> {
+    inner: Arc<C>,
+    cfg: ReliabilityConfig,
+    state: Arc<Mutex<RelState>>,
+    acked: Arc<Notify>,
+    /// Woken when the retry budget exhausts, so a blocked `recv` fails
+    /// instead of waiting forever on a dead connection.
+    dead: Arc<Notify>,
+    delivery: tokio::sync::Mutex<mpsc::Receiver<Datagram>>,
+}
+
+fn data_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(9 + payload.len());
+    f.push(DATA);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+fn ack_frame(seq: u64) -> Vec<u8> {
+    let mut f = Vec::with_capacity(9);
+    f.push(ACK);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f
+}
+
+fn parse(buf: &[u8]) -> Result<(u8, u64, &[u8]), Error> {
+    if buf.len() < 9 {
+        return Err(Error::Encode("reliability frame too short".into()));
+    }
+    let tag = buf[0];
+    let seq = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+    Ok((tag, seq, &buf[9..]))
+}
+
+impl<C> ReliableConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn start(inner: C, cfg: ReliabilityConfig) -> Self {
+        let inner = Arc::new(inner);
+        let state = Arc::new(Mutex::new(RelState {
+            next_seq: 0,
+            unacked: HashMap::new(),
+            recv_floor: 0,
+            recv_seen: BTreeSet::new(),
+            dead: None,
+        }));
+        let acked = Arc::new(Notify::new());
+        let dead = Arc::new(Notify::new());
+        let (delivery_tx, delivery_rx) = mpsc::channel(1024);
+
+        tokio::spawn(pump(
+            Arc::downgrade(&inner),
+            Arc::clone(&state),
+            Arc::clone(&acked),
+            delivery_tx,
+        ));
+        tokio::spawn(retransmit(
+            Arc::downgrade(&inner),
+            Arc::clone(&state),
+            Arc::clone(&acked),
+            Arc::clone(&dead),
+            cfg,
+        ));
+
+        ReliableConn {
+            inner,
+            cfg,
+            state,
+            acked,
+            dead,
+            delivery: tokio::sync::Mutex::new(delivery_rx),
+        }
+    }
+
+    /// Number of payloads currently awaiting acknowledgment.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unacked.len()
+    }
+}
+
+/// Receive pump: acks incoming data, consumes acks, delivers fresh payloads.
+async fn pump<C>(
+    inner: Weak<C>,
+    state: Arc<Mutex<RelState>>,
+    acked: Arc<Notify>,
+    delivery: mpsc::Sender<Datagram>,
+) where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    loop {
+        let conn = match inner.upgrade() {
+            Some(c) => c,
+            None => return,
+        };
+        let recvd = conn.recv().await;
+        let (from, buf) = match recvd {
+            Ok(d) => d,
+            Err(e) => {
+                if e.is_closed() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let (tag, seq, payload) = match parse(&buf) {
+            Ok(p) => p,
+            Err(_) => continue, // garbage from the network: drop
+        };
+        match tag {
+            ACK => {
+                let mut st = state.lock();
+                st.unacked.remove(&seq);
+                drop(st);
+                acked.notify_waiters();
+            }
+            DATA => {
+                // Always ack, even duplicates (the first ack may have been
+                // lost).
+                let _ = conn.send((from.clone(), ack_frame(seq))).await;
+                let fresh = {
+                    let mut st = state.lock();
+                    if seq < st.recv_floor || st.recv_seen.contains(&seq) {
+                        false
+                    } else {
+                        st.recv_seen.insert(seq);
+                        let mut floor = st.recv_floor;
+                        while st.recv_seen.remove(&floor) {
+                            floor += 1;
+                        }
+                        st.recv_floor = floor;
+                        true
+                    }
+                };
+                if fresh && delivery.send((from, payload.to_vec())).await.is_err() {
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Retransmit pacer: resends expired payloads, kills the connection when
+/// the retry budget runs out.
+async fn retransmit<C>(
+    inner: Weak<C>,
+    state: Arc<Mutex<RelState>>,
+    acked: Arc<Notify>,
+    dead: Arc<Notify>,
+    cfg: ReliabilityConfig,
+) where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    let tick = cfg.rto / 4;
+    loop {
+        tokio::time::sleep(tick).await;
+        let conn = match inner.upgrade() {
+            Some(c) => c,
+            None => return,
+        };
+        let now = Instant::now();
+        let mut to_send = Vec::new();
+        {
+            let mut st = state.lock();
+            if st.dead.is_some() {
+                return;
+            }
+            let mut exhausted = false;
+            for (seq, p) in st.unacked.iter_mut() {
+                if now.duration_since(p.last_sent) >= cfg.rto {
+                    if p.retries >= cfg.max_retries {
+                        exhausted = true;
+                        break;
+                    }
+                    p.retries += 1;
+                    p.last_sent = now;
+                    to_send.push((*seq, p.addr.clone(), p.frame.clone()));
+                }
+            }
+            if exhausted {
+                st.dead = Some(format!(
+                    "gave up after {} retransmissions",
+                    cfg.max_retries
+                ));
+                drop(st);
+                // Wake both blocked senders (window waiters) and blocked
+                // receivers: neither will ever make progress again.
+                acked.notify_waiters();
+                dead.notify_waiters();
+                return;
+            }
+        }
+        for (_seq, addr, frame) in to_send {
+            let _ = conn.send((addr, frame)).await;
+        }
+    }
+}
+
+impl<C> ChunnelConnection for ReliableConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            // Window backpressure.
+            loop {
+                {
+                    let st = self.state.lock();
+                    if let Some(why) = &st.dead {
+                        return Err(Error::Other(format!("reliable connection dead: {why}")));
+                    }
+                    if st.unacked.len() < self.cfg.window {
+                        break;
+                    }
+                }
+                self.acked.notified().await;
+            }
+            let (seq, frame) = {
+                let mut st = self.state.lock();
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                let frame = data_frame(seq, &payload);
+                st.unacked.insert(
+                    seq,
+                    Pending {
+                        addr: addr.clone(),
+                        frame: frame.clone(),
+                        last_sent: Instant::now(),
+                        retries: 0,
+                    },
+                );
+                (seq, frame)
+            };
+            let _ = seq;
+            self.inner.send((addr, frame)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut rx = self.delivery.lock().await;
+            loop {
+                // Register for the death notification *before* checking, so
+                // a death that lands between the check and the select below
+                // cannot be missed.
+                let died = self.dead.notified();
+                if let Some(why) = self.state.lock().dead.clone() {
+                    return Err(Error::Other(format!("reliable connection dead: {why}")));
+                }
+                tokio::select! {
+                    d = rx.recv() => {
+                        return match d {
+                            Some(d) => Ok(d),
+                            None => {
+                                let st = self.state.lock();
+                                match &st.dead {
+                                    Some(why) => Err(Error::Other(format!(
+                                        "reliable connection dead: {why}"
+                                    ))),
+                                    None => Err(Error::ConnectionClosed),
+                                }
+                            }
+                        };
+                    }
+                    _ = died => continue,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use bertha_transport::fault::{FaultChunnel, FaultConfig};
+
+    fn addr() -> Addr {
+        Addr::Mem("peer".into())
+    }
+
+    async fn reliable_pair(
+        cfg: ReliabilityConfig,
+        fault: FaultConfig,
+    ) -> (
+        ReliableConn<impl ChunnelConnection<Data = Datagram>>,
+        ReliableConn<impl ChunnelConnection<Data = Datagram>>,
+    ) {
+        let (a, b) = pair::<Datagram>(4096);
+        let fa = FaultChunnel::new(fault).connect_wrap(a).await.unwrap();
+        let fb = FaultChunnel::new(fault).connect_wrap(b).await.unwrap();
+        let ra = ReliabilityChunnel::new(cfg).connect_wrap(fa).await.unwrap();
+        let rb = ReliabilityChunnel::new(cfg).connect_wrap(fb).await.unwrap();
+        (ra, rb)
+    }
+
+    #[tokio::test]
+    async fn lossless_round_trip() {
+        let (a, b) = reliable_pair(Default::default(), Default::default()).await;
+        a.send((addr(), b"one".to_vec())).await.unwrap();
+        let (_, d) = b.recv().await.unwrap();
+        assert_eq!(d, b"one");
+        b.send((addr(), b"two".to_vec())).await.unwrap();
+        let (_, d) = a.recv().await.unwrap();
+        assert_eq!(d, b"two");
+    }
+
+    #[tokio::test]
+    async fn delivers_exactly_once_over_lossy_link() {
+        let cfg = ReliabilityConfig {
+            rto: Duration::from_millis(20),
+            max_retries: 50,
+            window: 32,
+        };
+        let fault = FaultConfig {
+            drop: 0.3,
+            duplicate: 0.2,
+            seed: 1234,
+            ..Default::default()
+        };
+        let (a, b) = reliable_pair(cfg, fault).await;
+
+        const N: usize = 100;
+        let sender = tokio::spawn(async move {
+            for i in 0..N as u32 {
+                a.send((addr(), i.to_le_bytes().to_vec())).await.unwrap();
+            }
+            a // keep alive until the receiver is done
+        });
+
+        let mut got = Vec::with_capacity(N);
+        for _ in 0..N {
+            let (_, d) = tokio::time::timeout(Duration::from_secs(30), b.recv())
+                .await
+                .expect("should deliver despite loss")
+                .unwrap();
+            got.push(u32::from_le_bytes(d.try_into().unwrap()));
+        }
+        got.sort_unstable();
+        let expect: Vec<u32> = (0..N as u32).collect();
+        assert_eq!(got, expect, "exactly once, no dups, no losses");
+        drop(sender.await.unwrap());
+    }
+
+    #[tokio::test]
+    async fn gives_up_when_peer_is_gone() {
+        let (a, b) = pair::<Datagram>(64);
+        drop(b);
+        let cfg = ReliabilityConfig {
+            rto: Duration::from_millis(10),
+            max_retries: 3,
+            window: 4,
+        };
+        let ra = ReliabilityChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        // The first send may succeed (buffered); the connection must
+        // eventually report itself dead.
+        let _ = ra.send((addr(), vec![1])).await;
+        let res = tokio::time::timeout(Duration::from_secs(5), ra.recv()).await;
+        assert!(
+            matches!(res, Ok(Err(_))),
+            "recv must fail once retries exhaust"
+        );
+    }
+
+    #[tokio::test]
+    async fn window_backpressure_releases_on_ack() {
+        let cfg = ReliabilityConfig {
+            rto: Duration::from_millis(50),
+            max_retries: 20,
+            window: 2,
+        };
+        let (a, b) = reliable_pair(cfg, Default::default()).await;
+        for i in 0..10u8 {
+            a.send((addr(), vec![i])).await.unwrap();
+        }
+        // All ten arrive despite window = 2.
+        for i in 0..10u8 {
+            let (_, d) = b.recv().await.unwrap();
+            assert_eq!(d, vec![i]);
+        }
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[tokio::test]
+    async fn garbage_frames_are_ignored() {
+        let (a, b) = pair::<Datagram>(64);
+        let ra = ReliabilityChunnel::default().connect_wrap(a).await.unwrap();
+        b.send((addr(), vec![1, 2])).await.unwrap(); // too short
+        b.send((addr(), vec![0x7f; 16])).await.unwrap(); // unknown tag
+        ra.send((addr(), b"ok".to_vec())).await.unwrap();
+        let (_, d) = b.recv().await.unwrap();
+        let (tag, seq, payload) = parse(&d).unwrap();
+        assert_eq!((tag, seq, payload), (DATA, 0, b"ok".as_slice()));
+    }
+}

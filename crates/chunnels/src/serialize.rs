@@ -1,0 +1,180 @@
+//! Serialization chunnel: typed messages over bincode (§3.2).
+//!
+//! "The use of a serialization Chunnel changes the connection's interface:
+//! applications send and receive objects rather than bytes." Modeling
+//! serialization as a chunnel lets negotiation substitute faster
+//! implementations — including hardware-accelerated ones — without the
+//! application rebuilding (§3.2's serialization example).
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate, NegotiateSlot, Offer, SlotApply};
+use bertha::{Addr, Chunnel, Error};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::marker::PhantomData;
+
+/// Serialize `T` to/from the byte level with bincode, the paper
+/// prototype's serializer ("serialization from the widely-used bincode
+/// crate", §5).
+pub struct SerializeChunnel<T> {
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Default for SerializeChunnel<T> {
+    fn default() -> Self {
+        SerializeChunnel { _t: PhantomData }
+    }
+}
+
+impl<T> Clone for SerializeChunnel<T> {
+    fn clone(&self) -> Self {
+        SerializeChunnel { _t: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for SerializeChunnel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SerializeChunnel")
+    }
+}
+
+impl<T> Negotiate for SerializeChunnel<T> {
+    const CAPABILITY: u64 = guid("bertha/serialize");
+    const IMPL: u64 = guid("bertha/serialize/bincode");
+    const NAME: &'static str = "serialize/bincode";
+}
+
+// Hand-written slot impls (the `negotiable!` macro covers only non-generic
+// chunnels).
+impl<T> NegotiateSlot for SerializeChunnel<T> {
+    fn slot_offers(&self) -> Vec<Offer> {
+        vec![Offer::from_chunnel(self)]
+    }
+}
+
+impl<T, InC> SlotApply<InC> for SerializeChunnel<T>
+where
+    T: Serialize + DeserializeOwned + Send + 'static,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Applied = SerializeConn<T, InC>;
+
+    fn slot_apply(
+        &self,
+        pick: Offer,
+        nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>> {
+        if pick.capability != Self::CAPABILITY {
+            let msg = format!("pick {} does not match serialize slot", pick.name);
+            return Box::pin(async move { Err(Error::Negotiation(msg)) });
+        }
+        self.picked(&pick, &nonce);
+        self.connect_wrap(inner)
+    }
+}
+
+impl<T, InC> Chunnel<InC> for SerializeChunnel<T>
+where
+    T: Serialize + DeserializeOwned + Send + 'static,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = SerializeConn<T, InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        Box::pin(async move {
+            Ok(SerializeConn {
+                inner,
+                _t: PhantomData,
+            })
+        })
+    }
+}
+
+/// Connection produced by [`SerializeChunnel`]: data is `(Addr, T)`.
+pub struct SerializeConn<T, C> {
+    inner: C,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T, C> ChunnelConnection for SerializeConn<T, C>
+where
+    T: Serialize + DeserializeOwned + Send + 'static,
+    C: ChunnelConnection<Data = Datagram> + Send + Sync,
+{
+    type Data = (Addr, T);
+
+    fn send(&self, (addr, msg): (Addr, T)) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let buf = bincode::serialize(&msg)?;
+            self.inner.send((addr, buf)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<(Addr, T), Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.inner.recv().await?;
+            let msg = bincode::deserialize(&buf)?;
+            Ok((from, msg))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct KvOp {
+        key: String,
+        value: Option<Vec<u8>>,
+        version: u32,
+    }
+
+    fn addr() -> Addr {
+        Addr::Mem("peer".into())
+    }
+
+    #[tokio::test]
+    async fn typed_round_trip() {
+        let (a, b) = pair::<Datagram>(8);
+        let sa = SerializeChunnel::<KvOp>::default()
+            .connect_wrap(a)
+            .await
+            .unwrap();
+        let sb = SerializeChunnel::<KvOp>::default()
+            .connect_wrap(b)
+            .await
+            .unwrap();
+        let msg = KvOp {
+            key: "user:42".into(),
+            value: Some(vec![1, 2, 3]),
+            version: 9,
+        };
+        sa.send((addr(), msg.clone())).await.unwrap();
+        let (_, got) = sb.recv().await.unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[tokio::test]
+    async fn garbage_bytes_fail_decode() {
+        let (a, b) = pair::<Datagram>(8);
+        let sb = SerializeChunnel::<KvOp>::default()
+            .connect_wrap(b)
+            .await
+            .unwrap();
+        a.send((addr(), vec![0xff; 3])).await.unwrap();
+        assert!(matches!(sb.recv().await, Err(Error::Encode(_))));
+    }
+
+    #[tokio::test]
+    async fn slot_apply_checks_capability() {
+        let (a, _b) = pair::<Datagram>(8);
+        let c = SerializeChunnel::<KvOp>::default();
+        let mut pick = Offer::from_chunnel(&c);
+        pick.capability = guid("bogus");
+        assert!(c.slot_apply(pick, vec![], a).await.is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! `bertha-agentd`: the per-host Bertha agent.
+//!
+//! Serves the discovery registry (and rendezvous groups) on a Unix socket
+//! so every Bertha process on the host shares one view of registered
+//! implementations — the deployment §4.2 describes, in which "network
+//! operators, system administrators and offload developers register
+//! accelerated implementations ... with a Bertha discovery service" and
+//! the runtime queries it at connection establishment.
+//!
+//! Registrations can be preloaded from a config file, one per line:
+//!
+//! ```text
+//! # capability  impl             endpoints scope priority device resources
+//! bertha/shard  bertha/shard/steer Server  Host  10       host0  HostCores=1
+//! ```
+//!
+//! Devices are declared with `device <name> <kind>=<capacity>,...`.
+//!
+//! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]`
+
+use bertha_discovery::registry::Hooks;
+use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
+use bertha_discovery::{serve_uds, Registration, Registry};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: bertha-agentd --socket <path> [--config <file>]");
+    std::process::exit(2);
+}
+
+fn parse_resource_kind(s: &str) -> Result<ResourceKind, String> {
+    Ok(match s {
+        "SwitchTableSlots" => ResourceKind::SwitchTableSlots,
+        "SwitchStages" => ResourceKind::SwitchStages,
+        "NicQueues" => ResourceKind::NicQueues,
+        "SmartNicCores" => ResourceKind::SmartNicCores,
+        "HostCores" => ResourceKind::HostCores,
+        "MemoryMb" => ResourceKind::MemoryMb,
+        other => return Err(format!("unknown resource kind {other:?}")),
+    })
+}
+
+fn parse_resources(s: &str) -> Result<ResourceReq, String> {
+    if s == "-" {
+        return Ok(ResourceReq::none());
+    }
+    let mut req = ResourceReq::none();
+    for part in s.split(',') {
+        let (kind, amount) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad resource spec {part:?}"))?;
+        let amount: u64 = amount
+            .parse()
+            .map_err(|e| format!("bad amount in {part:?}: {e}"))?;
+        req.0.insert(parse_resource_kind(kind)?, amount);
+    }
+    Ok(req)
+}
+
+/// Parse one config line into a device declaration or a registration.
+fn parse_line(registry: &Registry, line: &str) -> Result<(), String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(());
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields[0] == "device" {
+        if fields.len() != 3 {
+            return Err(format!("device line needs 3 fields: {line:?}"));
+        }
+        registry.add_device(fields[1], ResourcePool::new(parse_resources(fields[2])?));
+        return Ok(());
+    }
+    if fields.len() != 7 {
+        return Err(format!(
+            "registration line needs 7 fields (capability impl endpoints scope priority device resources): {line:?}"
+        ));
+    }
+    let endpoints = match fields[2] {
+        "Both" => bertha::negotiate::Endpoints::Both,
+        "Client" => bertha::negotiate::Endpoints::Client,
+        "Server" => bertha::negotiate::Endpoints::Server,
+        "Either" => bertha::negotiate::Endpoints::Either,
+        other => return Err(format!("unknown endpoints {other:?}")),
+    };
+    let scope = match fields[3] {
+        "Application" => bertha::negotiate::Scope::Application,
+        "Host" => bertha::negotiate::Scope::Host,
+        "Cluster" => bertha::negotiate::Scope::Cluster,
+        "Global" => bertha::negotiate::Scope::Global,
+        other => return Err(format!("unknown scope {other:?}")),
+    };
+    let reg = Registration {
+        capability: bertha::negotiate::guid(fields[0]),
+        impl_guid: bertha::negotiate::guid(fields[1]),
+        name: fields[1].to_owned(),
+        endpoints,
+        scope,
+        priority: fields[4].parse().map_err(|e| format!("bad priority: {e}"))?,
+        resources: parse_resources(fields[6])?,
+        device: match fields[5] {
+            "-" => None,
+            d => Some(d.to_owned()),
+        },
+    };
+    registry.register(reg, Hooks::none()).map_err(|e| e.to_string())
+}
+
+fn load_config(registry: &Registry, path: &str) -> Result<usize, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let mut loaded = 0;
+    for (i, line) in content.lines().enumerate() {
+        parse_line(registry, line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if !line.trim().is_empty() && !line.trim().starts_with('#') {
+            loaded += 1;
+        }
+    }
+    Ok(loaded)
+}
+
+#[tokio::main]
+async fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut socket = None;
+    let mut config = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" if i + 1 < args.len() => {
+                socket = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--config" if i + 1 < args.len() => {
+                config = Some(args[i + 1].clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    let registry = Arc::new(Registry::new());
+    if let Some(cfg) = config {
+        match load_config(&registry, &cfg) {
+            Ok(n) => eprintln!("bertha-agentd: loaded {n} entries from {cfg}"),
+            Err(e) => {
+                eprintln!("bertha-agentd: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = std::path::PathBuf::from(&socket);
+    match serve_uds(registry, path).await {
+        Ok(task) => {
+            eprintln!("bertha-agentd: serving on {socket}");
+            let _ = task.await;
+        }
+        Err(e) => {
+            eprintln!("bertha-agentd: failed to bind {socket}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::negotiate::guid;
+
+    #[test]
+    fn parses_devices_and_registrations() {
+        let r = Registry::new();
+        parse_line(&r, "# a comment").unwrap();
+        parse_line(&r, "").unwrap();
+        parse_line(&r, "device host0 HostCores=4,MemoryMb=1024").unwrap();
+        parse_line(
+            &r,
+            "bertha/shard bertha/shard/steer Server Host 10 host0 HostCores=1",
+        )
+        .unwrap();
+        let regs = r.query_sync(guid("bertha/shard"));
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].priority, 10);
+        assert_eq!(regs[0].device.as_deref(), Some("host0"));
+
+        // Device-less, resource-less registration.
+        parse_line(
+            &r,
+            "bertha/compress vendor/compress-engine Both Host 5 - -",
+        )
+        .unwrap();
+        assert_eq!(r.query_sync(guid("bertha/compress")).len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let r = Registry::new();
+        assert!(parse_line(&r, "device host0").is_err());
+        assert!(parse_line(&r, "cap impl BadEndpoints Host 1 - -").is_err());
+        assert!(parse_line(&r, "cap impl Both BadScope 1 - -").is_err());
+        assert!(parse_line(&r, "cap impl Both Host notanumber - -").is_err());
+        assert!(parse_line(&r, "cap impl Both Host 1 - BadKind=3").is_err());
+        assert!(parse_line(&r, "cap impl Both Host 1 nodevice HostCores=1").is_err());
+    }
+}

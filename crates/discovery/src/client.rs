@@ -1,0 +1,249 @@
+//! [`DiscoveryClient`]: the bridge between discovery and negotiation.
+//!
+//! Attached to an endpoint as a [`bertha::negotiate::OfferFilter`], it
+//! implements §4.1's runtime behavior: "it takes as input the Chunnel DAG
+//! specified by the application, and queries the Bertha discovery service
+//! to find all available implementations for each Chunnel type in the DAG."
+//!
+//! Concretely, during negotiation it:
+//!
+//! 1. keeps in-process (`Scope::Application`) offers as-is — fallbacks are
+//!    always available;
+//! 2. gates every other offer on a registration: unregistered or
+//!    capacity-exhausted implementations are withdrawn, and registered ones
+//!    adopt the operator-registered priority;
+//! 3. on pick, claims resources and runs the implementation's init hook
+//!    (once per connection), remembering the claim for teardown.
+
+use crate::registry::{ClaimId, Registration, RegistrySource};
+use bertha::conn::BoxFut;
+use bertha::negotiate::{Offer, OfferFilter, Role, Scope};
+use bertha::Error;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// See the module docs.
+pub struct DiscoveryClient {
+    source: Arc<dyn RegistrySource>,
+    claims: Mutex<Vec<ClaimId>>,
+}
+
+impl DiscoveryClient {
+    /// A client over any registry source (in-process or remote).
+    pub fn new(source: Arc<dyn RegistrySource>) -> Arc<Self> {
+        Arc::new(DiscoveryClient {
+            source,
+            claims: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether this side of the connection is responsible for claiming a
+    /// pick's resources. The side hosting the implementation claims;
+    /// both-sided implementations are claimed by the server so they are
+    /// counted once.
+    fn should_claim(role: Role, offer: &Offer) -> bool {
+        match role {
+            Role::Server => offer.endpoints.needs_server() || offer.endpoints == bertha::negotiate::Endpoints::Either,
+            Role::Client => offer.endpoints == bertha::negotiate::Endpoints::Client,
+        }
+    }
+
+    /// Release every claim made through this client (teardown hooks run).
+    pub async fn release_all(&self) -> Result<(), Error> {
+        let claims: Vec<ClaimId> = std::mem::take(&mut *self.claims.lock());
+        for id in claims {
+            self.source.release(id).await?;
+        }
+        Ok(())
+    }
+
+    /// Number of outstanding claims.
+    pub fn outstanding_claims(&self) -> usize {
+        self.claims.lock().len()
+    }
+}
+
+impl OfferFilter for DiscoveryClient {
+    fn filter_slot<'a>(
+        &'a self,
+        _role: Role,
+        _slot: usize,
+        offers: Vec<Offer>,
+    ) -> BoxFut<'a, Result<Vec<Offer>, Error>> {
+        Box::pin(async move {
+            let mut kept = Vec::with_capacity(offers.len());
+            for mut offer in offers {
+                if offer.scope == Scope::Application {
+                    kept.push(offer);
+                    continue;
+                }
+                let regs: Vec<Registration> = self.source.query(offer.capability).await?;
+                match regs.iter().find(|r| r.impl_guid == offer.impl_guid) {
+                    Some(reg) => {
+                        offer.priority = offer.priority.max(reg.priority);
+                        kept.push(offer);
+                    }
+                    None => {
+                        // Not registered here (or out of capacity): this
+                        // implementation is unavailable on this host.
+                    }
+                }
+            }
+            Ok(kept)
+        })
+    }
+
+    fn picked<'a>(&'a self, role: Role, picks: &'a [Offer]) -> BoxFut<'a, Result<(), Error>> {
+        Box::pin(async move {
+            for pick in picks {
+                if pick.scope == Scope::Application || !Self::should_claim(role, pick) {
+                    continue;
+                }
+                // Claim only registered implementations; an Application-
+                // scoped fallback pick needs no resources.
+                let regs = self.source.query(pick.capability).await?;
+                if regs.iter().any(|r| r.impl_guid == pick.impl_guid) {
+                    let id = self.source.claim(pick.impl_guid, pick).await?;
+                    self.claims.lock().push(id);
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Hooks, Registry};
+    use crate::resources::{ResourceKind, ResourcePool, ResourceReq};
+    use bertha::negotiate::{guid, Endpoints};
+
+    fn offer(cap: &str, imp: &str, scope: Scope, endpoints: Endpoints) -> Offer {
+        Offer {
+            capability: guid(cap),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints,
+            scope,
+            priority: 0,
+            ext: vec![],
+        }
+    }
+
+    fn host_registration(cap: &str, imp: &str, priority: i32) -> Registration {
+        Registration {
+            capability: guid(cap),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints: Endpoints::Server,
+            scope: Scope::Host,
+            priority,
+            resources: ResourceReq::none(),
+            device: None,
+        }
+    }
+
+    #[tokio::test]
+    async fn application_scope_passes_through() {
+        let registry = Arc::new(Registry::new());
+        let client = DiscoveryClient::new(registry);
+        let offers = vec![offer("rel", "rel/app", Scope::Application, Endpoints::Both)];
+        let out = client
+            .filter_slot(Role::Server, 0, offers.clone())
+            .await
+            .unwrap();
+        assert_eq!(out, offers);
+    }
+
+    #[tokio::test]
+    async fn unregistered_accelerated_offer_is_withdrawn() {
+        let registry = Arc::new(Registry::new());
+        let client = DiscoveryClient::new(registry);
+        let offers = vec![
+            offer("shard", "shard/xdp", Scope::Host, Endpoints::Server),
+            offer("shard", "shard/app", Scope::Application, Endpoints::Server),
+        ];
+        let out = client.filter_slot(Role::Server, 0, offers).await.unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "shard/app");
+    }
+
+    #[tokio::test]
+    async fn registered_offer_adopts_priority_and_claims() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .register(host_registration("shard", "shard/xdp", 42), Hooks::none())
+            .unwrap();
+        let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+
+        let out = client
+            .filter_slot(
+                Role::Server,
+                0,
+                vec![offer("shard", "shard/xdp", Scope::Host, Endpoints::Server)],
+            )
+            .await
+            .unwrap();
+        assert_eq!(out[0].priority, 42);
+
+        client.picked(Role::Server, &out).await.unwrap();
+        assert_eq!(client.outstanding_claims(), 1);
+        assert_eq!(registry.active_claims(guid("shard/xdp")), 1);
+
+        client.release_all().await.unwrap();
+        assert_eq!(client.outstanding_claims(), 0);
+        assert_eq!(registry.active_claims(guid("shard/xdp")), 0);
+    }
+
+    #[tokio::test]
+    async fn client_role_claims_only_client_side_impls() {
+        let registry = Arc::new(Registry::new());
+        let mut reg = host_registration("shard", "shard/client-push", 5);
+        reg.endpoints = Endpoints::Client;
+        registry.register(reg, Hooks::none()).unwrap();
+        let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+
+        let pick_client_side = offer("shard", "shard/client-push", Scope::Host, Endpoints::Client);
+        client
+            .picked(Role::Client, std::slice::from_ref(&pick_client_side))
+            .await
+            .unwrap();
+        assert_eq!(client.outstanding_claims(), 1);
+
+        // A server-side pick is not claimed by the client role.
+        let registry2 = Arc::new(Registry::new());
+        registry2
+            .register(host_registration("shard", "shard/xdp", 9), Hooks::none())
+            .unwrap();
+        let client2 = DiscoveryClient::new(registry2);
+        let pick_server_side = offer("shard", "shard/xdp", Scope::Host, Endpoints::Server);
+        client2
+            .picked(Role::Client, std::slice::from_ref(&pick_server_side))
+            .await
+            .unwrap();
+        assert_eq!(client2.outstanding_claims(), 0);
+    }
+
+    #[tokio::test]
+    async fn capacity_exhaustion_fails_pick() {
+        let registry = Arc::new(Registry::new());
+        registry.add_device(
+            "nic0",
+            ResourcePool::new(ResourceReq::of([(ResourceKind::NicQueues, 1)])),
+        );
+        let mut reg = host_registration("crypt", "crypt/nic", 9);
+        reg.resources = ResourceReq::of([(ResourceKind::NicQueues, 1)]);
+        reg.device = Some("nic0".into());
+        registry.register(reg, Hooks::none()).unwrap();
+        let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+
+        let pick = offer("crypt", "crypt/nic", Scope::Host, Endpoints::Server);
+        client.picked(Role::Server, std::slice::from_ref(&pick)).await.unwrap();
+        // Second connection: the registration no longer shows up in query,
+        // so picked() silently skips the claim (negotiation would already
+        // have withdrawn the offer via filter_slot).
+        client.picked(Role::Server, std::slice::from_ref(&pick)).await.unwrap();
+        assert_eq!(client.outstanding_claims(), 1);
+    }
+}

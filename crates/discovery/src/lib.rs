@@ -1,0 +1,40 @@
+//! The Bertha discovery service (§4.2).
+//!
+//! "The Bertha discovery service is responsible for tracking the set of
+//! implementations available for each Chunnel type. Offload developers (or
+//! network operators and system administrators) can register
+//! implementations for a Chunnel type by interacting with the Bertha
+//! discovery service; the Bertha runtime queries the discovery service in
+//! order to determine available implementations."
+//!
+//! The pieces:
+//!
+//! - [`registry`]: the registry itself — registrations with scope and
+//!   endpoint constraints, priorities, resource requirements, and
+//!   init/teardown hooks, plus per-device resource accounting;
+//! - [`resources`]: resource kinds and pools (switch table slots, NIC
+//!   queues, ...), with admission control — an implementation whose
+//!   requirements exceed remaining capacity is not offered ("resources
+//!   required by registered implementations are already occupied", §2);
+//! - [`service`]: the registry served over a Unix-domain socket, the
+//!   per-host agent deployment the paper's latency numbers assume (the
+//!   "two additional IPC round trips" of §5 are one discovery query plus
+//!   one negotiation exchange);
+//! - [`client`]: a [`bertha::negotiate::OfferFilter`] that consults a
+//!   registry during negotiation: availability gates offers, registered
+//!   priorities override defaults, and picking runs the implementation's
+//!   init hook.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod registry;
+pub mod rendezvous;
+pub mod resources;
+pub mod service;
+
+pub use client::DiscoveryClient;
+pub use registry::{ClaimId, Registration, Registry, RegistrySource};
+pub use rendezvous::{Rendezvous, RendezvousResult};
+pub use resources::{ResourceKind, ResourcePool, ResourceReq};
+pub use service::{serve_uds, RemoteRegistry};

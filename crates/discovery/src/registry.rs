@@ -1,0 +1,440 @@
+//! The in-process registry of chunnel implementations.
+
+use crate::resources::{ResourcePool, ResourceReq};
+use bertha::conn::BoxFut;
+use bertha::negotiate::{Endpoints, Offer, Scope};
+use bertha::Error;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An implementation registered with discovery.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Registration {
+    /// Capability GUID this implements.
+    pub capability: u64,
+    /// Implementation GUID.
+    pub impl_guid: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Which endpoints must participate.
+    pub endpoints: Endpoints,
+    /// Placement scope.
+    pub scope: Scope,
+    /// Priority; accelerated implementations register higher values
+    /// (§4.3: prefer kernel bypass and hardware over standard).
+    pub priority: i32,
+    /// Resources consumed per connection using this implementation.
+    pub resources: ResourceReq,
+    /// Device hosting the implementation (must be added with
+    /// [`Registry::add_device`] first), or `None` for pure-software
+    /// implementations with no capacity constraint.
+    pub device: Option<String>,
+}
+
+impl Registration {
+    /// The [`Offer`] this registration contributes to negotiation.
+    pub fn offer(&self) -> Offer {
+        Offer {
+            capability: self.capability,
+            impl_guid: self.impl_guid,
+            name: self.name.clone(),
+            endpoints: self.endpoints,
+            scope: self.scope,
+            priority: self.priority,
+            ext: vec![],
+        }
+    }
+}
+
+/// Identifies one successful resource claim (one connection's use of a
+/// registered implementation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClaimId(pub u64);
+
+/// Admission failure: a requirement did not fit remaining capacity.
+#[derive(Clone, Debug)]
+pub struct AdmissionError {
+    /// What was asked for.
+    pub needed: ResourceReq,
+    /// What remained.
+    pub remaining: ResourceReq,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "needed {:?} but only {:?} remains",
+            self.needed.0, self.remaining.0
+        )
+    }
+}
+
+/// A configuration hook: runs with the negotiation pick (whose `ext`
+/// payload carries implementation-specific data).
+pub type HookFn = Arc<dyn Fn(&Offer) -> BoxFut<'static, Result<(), Error>> + Send + Sync>;
+
+/// Init/teardown hooks for a registered implementation (§4.2): init
+/// "configur\[es\] the system and network so that the application can use the
+/// selected Chunnel implementation"; teardown undoes it. Hooks run in the
+/// process that owns the registry — the per-host agent when the registry is
+/// served over a socket.
+pub struct Hooks {
+    /// Run when a connection's negotiation picks this implementation. The
+    /// pick (with its `ext` payload) is available for configuration — e.g.
+    /// the shard steerer reads the shard map from it.
+    pub init: HookFn,
+    /// Run when the claim is released.
+    pub teardown: HookFn,
+}
+
+impl Hooks {
+    /// Hooks that do nothing.
+    pub fn none() -> Self {
+        Hooks {
+            init: Arc::new(|_| Box::pin(async { Ok(()) })),
+            teardown: Arc::new(|_| Box::pin(async { Ok(()) })),
+        }
+    }
+
+    /// Hooks with only an init function.
+    pub fn on_init<F>(f: F) -> Self
+    where
+        F: Fn(&Offer) -> BoxFut<'static, Result<(), Error>> + Send + Sync + 'static,
+    {
+        Hooks {
+            init: Arc::new(f),
+            teardown: Hooks::none().teardown,
+        }
+    }
+}
+
+struct Entry {
+    reg: Registration,
+    hooks: Hooks,
+}
+
+struct ActiveClaim {
+    impl_guid: u64,
+    resources: ResourceReq,
+    device: Option<String>,
+    teardown: HookFn,
+    pick: Offer,
+}
+
+/// The registry: implementations by capability, devices with capacity, and
+/// active claims.
+#[derive(Default)]
+pub struct Registry {
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    by_capability: HashMap<u64, Vec<Arc<Entry>>>,
+    devices: HashMap<String, ResourcePool>,
+    claims: HashMap<ClaimId, ActiveClaim>,
+    next_claim: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add (or replace) a device and its capacity.
+    pub fn add_device(&self, name: impl Into<String>, pool: ResourcePool) {
+        self.state.lock().devices.insert(name.into(), pool);
+    }
+
+    /// Register an implementation. Fails if it names an unknown device.
+    pub fn register(&self, reg: Registration, hooks: Hooks) -> Result<(), Error> {
+        let mut st = self.state.lock();
+        if let Some(dev) = &reg.device {
+            if !st.devices.contains_key(dev) {
+                return Err(Error::NotFound(format!("device {dev:?}")));
+            }
+        }
+        let entries = st.by_capability.entry(reg.capability).or_default();
+        entries.retain(|e| e.reg.impl_guid != reg.impl_guid);
+        entries.push(Arc::new(Entry { reg, hooks }));
+        Ok(())
+    }
+
+    /// Remove an implementation. Returns whether it existed. Active claims
+    /// survive (their teardown still runs on release).
+    pub fn unregister(&self, impl_guid: u64) -> bool {
+        let mut st = self.state.lock();
+        let mut removed = false;
+        for entries in st.by_capability.values_mut() {
+            let before = entries.len();
+            entries.retain(|e| e.reg.impl_guid != impl_guid);
+            removed |= entries.len() != before;
+        }
+        removed
+    }
+
+    /// Implementations of `capability` that can currently be admitted:
+    /// registered, and with resources still available on their device.
+    pub fn query_sync(&self, capability: u64) -> Vec<Registration> {
+        let st = self.state.lock();
+        st.by_capability
+            .get(&capability)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter(|e| match &e.reg.device {
+                        None => true,
+                        Some(dev) => st
+                            .devices
+                            .get(dev)
+                            .map(|pool| pool.fits(&e.reg.resources))
+                            .unwrap_or(false),
+                    })
+                    .map(|e| e.reg.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Claim resources for (and run the init hook of) `impl_guid`, on
+    /// behalf of one connection whose negotiation picked it.
+    pub async fn claim_sync(&self, impl_guid: u64, pick: &Offer) -> Result<ClaimId, Error> {
+        let (entry, id) = {
+            let mut st = self.state.lock();
+            let entry = st
+                .by_capability
+                .values()
+                .flatten()
+                .find(|e| e.reg.impl_guid == impl_guid)
+                .cloned()
+                .ok_or_else(|| {
+                    Error::NotFound(format!("registration for impl {impl_guid:#x}"))
+                })?;
+            if let Some(dev) = &entry.reg.device {
+                let pool = st
+                    .devices
+                    .get_mut(dev)
+                    .ok_or_else(|| Error::NotFound(format!("device {dev:?}")))?;
+                pool.claim(&entry.reg.resources)
+                    .map_err(|e| Error::ResourcesExhausted(e.to_string()))?;
+            }
+            st.next_claim += 1;
+            let id = ClaimId(st.next_claim);
+            st.claims.insert(
+                id,
+                ActiveClaim {
+                    impl_guid,
+                    resources: entry.reg.resources.clone(),
+                    device: entry.reg.device.clone(),
+                    teardown: Arc::clone(&entry.hooks.teardown),
+                    pick: pick.clone(),
+                },
+            );
+            (entry, id)
+        };
+        // Run init outside the lock; roll the claim back if it fails.
+        let init = Arc::clone(&entry.hooks.init);
+        if let Err(e) = init(pick).await {
+            self.release_sync(id).await.ok();
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Release a claim: return resources and run the teardown hook.
+    pub async fn release_sync(&self, id: ClaimId) -> Result<(), Error> {
+        let claim = {
+            let mut st = self.state.lock();
+            let claim = st
+                .claims
+                .remove(&id)
+                .ok_or_else(|| Error::NotFound(format!("claim {id:?}")))?;
+            if let Some(dev) = &claim.device {
+                if let Some(pool) = st.devices.get_mut(dev) {
+                    pool.release(&claim.resources);
+                }
+            }
+            claim
+        };
+        (claim.teardown)(&claim.pick).await
+    }
+
+    /// Number of active claims for an implementation.
+    pub fn active_claims(&self, impl_guid: u64) -> usize {
+        self.state
+            .lock()
+            .claims
+            .values()
+            .filter(|c| c.impl_guid == impl_guid)
+            .count()
+    }
+
+    /// Remaining capacity of a device, if it exists.
+    pub fn device_remaining(&self, name: &str) -> Option<ResourceReq> {
+        self.state.lock().devices.get(name).map(|p| p.remaining())
+    }
+}
+
+/// A source of registrations the negotiation filter can consult: the local
+/// [`Registry`] directly, or a remote one over a socket
+/// ([`crate::service::RemoteRegistry`]).
+pub trait RegistrySource: Send + Sync {
+    /// Admissible implementations of a capability.
+    fn query<'a>(&'a self, capability: u64) -> BoxFut<'a, Result<Vec<Registration>, Error>>;
+    /// Claim resources and run init for a picked implementation.
+    fn claim<'a>(&'a self, impl_guid: u64, pick: &'a Offer) -> BoxFut<'a, Result<ClaimId, Error>>;
+    /// Release a claim.
+    fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>>;
+}
+
+impl RegistrySource for Registry {
+    fn query<'a>(&'a self, capability: u64) -> BoxFut<'a, Result<Vec<Registration>, Error>> {
+        Box::pin(async move { Ok(self.query_sync(capability)) })
+    }
+
+    fn claim<'a>(&'a self, impl_guid: u64, pick: &'a Offer) -> BoxFut<'a, Result<ClaimId, Error>> {
+        Box::pin(self.claim_sync(impl_guid, pick))
+    }
+
+    fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>> {
+        Box::pin(self.release_sync(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceKind::*;
+    use bertha::negotiate::guid;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn reg(cap: &str, imp: &str, device: Option<&str>, res: ResourceReq) -> Registration {
+        Registration {
+            capability: guid(cap),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints: Endpoints::Server,
+            scope: Scope::Host,
+            priority: 10,
+            resources: res,
+            device: device.map(Into::into),
+        }
+    }
+
+    #[test]
+    fn register_and_query() {
+        let r = Registry::new();
+        r.register(reg("shard", "xdp", None, ResourceReq::none()), Hooks::none())
+            .unwrap();
+        let found = r.query_sync(guid("shard"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "xdp");
+        assert!(r.query_sync(guid("other")).is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let r = Registry::new();
+        let mut first = reg("c", "i", None, ResourceReq::none());
+        first.priority = 1;
+        r.register(first, Hooks::none()).unwrap();
+        let mut second = reg("c", "i", None, ResourceReq::none());
+        second.priority = 99;
+        r.register(second, Hooks::none()).unwrap();
+        let found = r.query_sync(guid("c"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].priority, 99);
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let r = Registry::new();
+        let e = r
+            .register(reg("c", "i", Some("tofino0"), ResourceReq::none()), Hooks::none())
+            .unwrap_err();
+        assert!(matches!(e, Error::NotFound(_)));
+    }
+
+    #[tokio::test]
+    async fn capacity_gates_query_and_claims() {
+        let r = Registry::new();
+        r.add_device(
+            "tofino0",
+            ResourcePool::new(ResourceReq::of([(SwitchTableSlots, 10)])),
+        );
+        let registration = reg(
+            "shard",
+            "p4-shard",
+            Some("tofino0"),
+            ResourceReq::of([(SwitchTableSlots, 6)]),
+        );
+        r.register(registration.clone(), Hooks::none()).unwrap();
+        assert_eq!(r.query_sync(guid("shard")).len(), 1);
+
+        // One claim fits; afterwards a second does not, and the query
+        // stops offering the implementation.
+        let pick = registration.offer();
+        let claim = r.claim_sync(registration.impl_guid, &pick).await.unwrap();
+        assert!(r.query_sync(guid("shard")).is_empty());
+        assert!(r.claim_sync(registration.impl_guid, &pick).await.is_err());
+
+        r.release_sync(claim).await.unwrap();
+        assert_eq!(r.query_sync(guid("shard")).len(), 1);
+    }
+
+    #[tokio::test]
+    async fn hooks_run_on_claim_and_release() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        static TEARDOWNS: AtomicUsize = AtomicUsize::new(0);
+        let r = Registry::new();
+        let registration = reg("c", "i", None, ResourceReq::none());
+        r.register(
+            registration.clone(),
+            Hooks {
+                init: Arc::new(|_| {
+                    Box::pin(async {
+                        INITS.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    })
+                }),
+                teardown: Arc::new(|_| {
+                    Box::pin(async {
+                        TEARDOWNS.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    })
+                }),
+            },
+        )
+        .unwrap();
+        let pick = registration.offer();
+        let id = r.claim_sync(registration.impl_guid, &pick).await.unwrap();
+        assert_eq!(INITS.load(Ordering::SeqCst), 1);
+        r.release_sync(id).await.unwrap();
+        assert_eq!(TEARDOWNS.load(Ordering::SeqCst), 1);
+        assert!(r.release_sync(id).await.is_err(), "double release");
+    }
+
+    #[tokio::test]
+    async fn failed_init_rolls_back_claim() {
+        let r = Registry::new();
+        r.add_device(
+            "nic0",
+            ResourcePool::new(ResourceReq::of([(NicQueues, 1)])),
+        );
+        let registration = reg("c", "i", Some("nic0"), ResourceReq::of([(NicQueues, 1)]));
+        r.register(
+            registration.clone(),
+            Hooks::on_init(|_| Box::pin(async { Err(Error::msg("ethtool failed")) })),
+        )
+        .unwrap();
+        let pick = registration.offer();
+        assert!(r.claim_sync(registration.impl_guid, &pick).await.is_err());
+        // Resources must be back.
+        assert_eq!(r.device_remaining("nic0").unwrap().0[&NicQueues], 1);
+        assert_eq!(r.active_claims(registration.impl_guid), 0);
+    }
+}

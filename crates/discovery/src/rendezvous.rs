@@ -1,0 +1,222 @@
+//! Multi-party (rendezvous) negotiation.
+//!
+//! Point-to-point negotiation (§4.3) is a client/server exchange, but some
+//! connections have many endpoints: "since one end of this connection
+//! involves multiple endpoints, the argument passed into connect is a
+//! vector containing endpoints addresses, and initial discovery and
+//! negotiation involves all endpoints" (§3.2, ordered multicast). The
+//! discovery service is the natural rendezvous point: every member
+//! proposes its per-slot offers under a group name; the first proposal
+//! fixes the group's picks (via the operator policy), and later members
+//! must be able to satisfy them — otherwise their join fails, exactly like
+//! an incompatible two-party negotiation.
+
+use bertha::negotiate::{Candidate, Offer, Policy};
+use bertha::Error;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+struct GroupState {
+    picks: Vec<Offer>,
+    members: usize,
+}
+
+/// The rendezvous table: group name → agreed picks.
+#[derive(Default)]
+pub struct Rendezvous {
+    groups: Mutex<HashMap<String, GroupState>>,
+}
+
+/// The result of proposing to a group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RendezvousResult {
+    /// One pick per stack slot, identical for every member.
+    pub picks: Vec<Offer>,
+    /// How many members (including this one) have joined.
+    pub members: usize,
+    /// Whether this proposal created the group (fixed the picks).
+    pub founded: bool,
+}
+
+impl Rendezvous {
+    /// An empty rendezvous table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Propose per-slot offers for `group`. The first proposer's offers
+    /// (as chosen by `policy`) become the group's picks; later proposers
+    /// must offer the picked implementation in every slot.
+    pub fn propose(
+        &self,
+        group: &str,
+        slots: &[Vec<Offer>],
+        policy: &dyn Policy,
+    ) -> Result<RendezvousResult, Error> {
+        let mut groups = self.groups.lock();
+        match groups.get_mut(group) {
+            None => {
+                // Founder: pick from its own offers alone.
+                let mut picks = Vec::with_capacity(slots.len());
+                for (i, slot) in slots.iter().enumerate() {
+                    let cands: Vec<Candidate> = slot
+                        .iter()
+                        .map(|o| Candidate {
+                            offer: o.clone(),
+                            at_client: true,
+                            at_server: true,
+                            client_registered: false,
+                        })
+                        .collect();
+                    let chosen = policy
+                        .choose(i, &cands)
+                        .and_then(|idx| cands.get(idx))
+                        .ok_or_else(|| Error::Incompatible {
+                            slot: i,
+                            reason: "group founder offered nothing usable".into(),
+                        })?;
+                    picks.push(chosen.offer.clone());
+                }
+                groups.insert(
+                    group.to_owned(),
+                    GroupState {
+                        picks: picks.clone(),
+                        members: 1,
+                    },
+                );
+                Ok(RendezvousResult {
+                    picks,
+                    members: 1,
+                    founded: true,
+                })
+            }
+            Some(state) => {
+                if slots.len() != state.picks.len() {
+                    return Err(Error::Negotiation(format!(
+                        "group {group:?} has {} slots, joiner proposed {}",
+                        state.picks.len(),
+                        slots.len()
+                    )));
+                }
+                for (i, (pick, slot)) in state.picks.iter().zip(slots).enumerate() {
+                    if !slot.iter().any(|o| o.impl_guid == pick.impl_guid) {
+                        return Err(Error::Incompatible {
+                            slot: i,
+                            reason: format!(
+                                "group {group:?} settled on {}, which the joiner does not offer",
+                                pick.name
+                            ),
+                        });
+                    }
+                }
+                state.members += 1;
+                Ok(RendezvousResult {
+                    picks: state.picks.clone(),
+                    members: state.members,
+                    founded: false,
+                })
+            }
+        }
+    }
+
+    /// Remove a member; the group dissolves when the last member leaves.
+    pub fn leave(&self, group: &str) -> bool {
+        let mut groups = self.groups.lock();
+        match groups.get_mut(group) {
+            Some(state) => {
+                state.members -= 1;
+                if state.members == 0 {
+                    groups.remove(group);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The current member count of a group.
+    pub fn members(&self, group: &str) -> usize {
+        self.groups.lock().get(group).map(|g| g.members).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::negotiate::{guid, DefaultPolicy, Endpoints, Scope};
+
+    fn offer(imp: &str, priority: i32) -> Offer {
+        Offer {
+            capability: guid("cap/mcast"),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints: Endpoints::Both,
+            scope: Scope::Application,
+            priority,
+            ext: vec![],
+        }
+    }
+
+    #[test]
+    fn founder_fixes_picks_joiners_follow() {
+        let r = Rendezvous::new();
+        let slots = vec![vec![offer("seq", 5), offer("gossip", 1)]];
+        let a = r.propose("g", &slots, &DefaultPolicy).unwrap();
+        assert!(a.founded);
+        assert_eq!(a.picks[0].name, "seq", "higher priority wins");
+
+        let b = r.propose("g", &slots, &DefaultPolicy).unwrap();
+        assert!(!b.founded);
+        assert_eq!(b.picks, a.picks, "every member gets identical picks");
+        assert_eq!(b.members, 2);
+    }
+
+    #[test]
+    fn incompatible_joiner_is_rejected() {
+        let r = Rendezvous::new();
+        r.propose("g", &[vec![offer("seq", 5)]], &DefaultPolicy)
+            .unwrap();
+        let err = r
+            .propose("g", &[vec![offer("gossip", 9)]], &DefaultPolicy)
+            .unwrap_err();
+        assert!(matches!(err, Error::Incompatible { slot: 0, .. }));
+        assert_eq!(r.members("g"), 1, "failed join does not count");
+    }
+
+    #[test]
+    fn slot_count_mismatch_rejected() {
+        let r = Rendezvous::new();
+        r.propose("g", &[vec![offer("seq", 1)]], &DefaultPolicy)
+            .unwrap();
+        assert!(r
+            .propose("g", &[vec![offer("seq", 1)], vec![offer("seq", 1)]], &DefaultPolicy)
+            .is_err());
+    }
+
+    #[test]
+    fn group_dissolves_when_empty() {
+        let r = Rendezvous::new();
+        let slots = vec![vec![offer("seq", 1)]];
+        r.propose("g", &slots, &DefaultPolicy).unwrap();
+        r.propose("g", &slots, &DefaultPolicy).unwrap();
+        assert!(r.leave("g"));
+        assert_eq!(r.members("g"), 1);
+        assert!(r.leave("g"));
+        assert_eq!(r.members("g"), 0);
+        assert!(!r.leave("g"));
+        // A new group can form with different picks.
+        let b = r
+            .propose("g", &[vec![offer("gossip", 1)]], &DefaultPolicy)
+            .unwrap();
+        assert!(b.founded);
+        assert_eq!(b.picks[0].name, "gossip");
+    }
+
+    #[test]
+    fn founder_with_empty_slot_fails() {
+        let r = Rendezvous::new();
+        let err = r.propose("g", &[vec![]], &DefaultPolicy).unwrap_err();
+        assert!(matches!(err, Error::Incompatible { .. }));
+        assert_eq!(r.members("g"), 0);
+    }
+}

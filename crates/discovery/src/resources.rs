@@ -1,0 +1,167 @@
+//! Resource kinds, requirements, and per-device pools.
+//!
+//! Offload capacity is finite: "if two programs can benefit from offloading
+//! functionality to a P4 switch, but the switch only has capacity for one,
+//! the Bertha runtime must choose" (§6). Each registered implementation
+//! declares its requirements; each device has a pool; admission deducts
+//! from the pool and refuses what does not fit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A kind of offload resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Match-action table entries in a programmable switch.
+    SwitchTableSlots,
+    /// Pipeline stages in a programmable switch.
+    SwitchStages,
+    /// Hardware queues on a NIC.
+    NicQueues,
+    /// SmartNIC core-seconds (abstract units).
+    SmartNicCores,
+    /// Host CPU cores consumed by a software offload (e.g. an XDP program's
+    /// share).
+    HostCores,
+    /// Memory, in MiB.
+    MemoryMb,
+}
+
+/// A set of resource requirements (or capacities).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReq(pub BTreeMap<ResourceKind, u64>);
+
+impl ResourceReq {
+    /// No requirements.
+    pub fn none() -> Self {
+        ResourceReq(BTreeMap::new())
+    }
+
+    /// Build from pairs.
+    pub fn of(pairs: impl IntoIterator<Item = (ResourceKind, u64)>) -> Self {
+        ResourceReq(pairs.into_iter().collect())
+    }
+
+    /// True if every requirement is zero/absent.
+    pub fn is_empty(&self) -> bool {
+        self.0.values().all(|&v| v == 0)
+    }
+}
+
+/// Remaining capacity on one device.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourcePool {
+    capacity: ResourceReq,
+    used: ResourceReq,
+}
+
+impl ResourcePool {
+    /// A pool with the given capacities.
+    pub fn new(capacity: ResourceReq) -> Self {
+        ResourcePool {
+            capacity,
+            used: ResourceReq::none(),
+        }
+    }
+
+    /// Whether `req` fits in the remaining capacity.
+    pub fn fits(&self, req: &ResourceReq) -> bool {
+        req.0.iter().all(|(kind, amount)| {
+            let cap = self.capacity.0.get(kind).copied().unwrap_or(0);
+            let used = self.used.0.get(kind).copied().unwrap_or(0);
+            used + amount <= cap
+        })
+    }
+
+    /// Deduct `req`; fails (without partial effects) if it does not fit.
+    pub fn claim(&mut self, req: &ResourceReq) -> Result<(), crate::registry::AdmissionError> {
+        if !self.fits(req) {
+            return Err(crate::registry::AdmissionError {
+                needed: req.clone(),
+                remaining: self.remaining(),
+            });
+        }
+        for (kind, amount) in &req.0 {
+            *self.used.0.entry(*kind).or_insert(0) += amount;
+        }
+        Ok(())
+    }
+
+    /// Return `req` to the pool (saturating: releasing more than was
+    /// claimed clamps at zero rather than corrupting accounting).
+    pub fn release(&mut self, req: &ResourceReq) {
+        for (kind, amount) in &req.0 {
+            if let Some(u) = self.used.0.get_mut(kind) {
+                *u = u.saturating_sub(*amount);
+            }
+        }
+    }
+
+    /// Remaining capacity by kind.
+    pub fn remaining(&self) -> ResourceReq {
+        let mut rem = BTreeMap::new();
+        for (kind, cap) in &self.capacity.0 {
+            let used = self.used.0.get(kind).copied().unwrap_or(0);
+            rem.insert(*kind, cap.saturating_sub(used));
+        }
+        ResourceReq(rem)
+    }
+
+    /// Total capacity by kind.
+    pub fn capacity(&self) -> &ResourceReq {
+        &self.capacity
+    }
+
+    /// Currently-used amounts by kind.
+    pub fn used(&self) -> &ResourceReq {
+        &self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ResourceKind::*;
+
+    #[test]
+    fn claim_and_release_round_trip() {
+        let mut pool = ResourcePool::new(ResourceReq::of([(SwitchTableSlots, 100), (NicQueues, 4)]));
+        let req = ResourceReq::of([(SwitchTableSlots, 60)]);
+        pool.claim(&req).unwrap();
+        assert_eq!(pool.remaining().0[&SwitchTableSlots], 40);
+        assert!(!pool.fits(&ResourceReq::of([(SwitchTableSlots, 41)])));
+        pool.release(&req);
+        assert_eq!(pool.remaining().0[&SwitchTableSlots], 100);
+    }
+
+    #[test]
+    fn unknown_kind_has_zero_capacity() {
+        let mut pool = ResourcePool::new(ResourceReq::of([(NicQueues, 2)]));
+        assert!(pool.claim(&ResourceReq::of([(MemoryMb, 1)])).is_err());
+    }
+
+    #[test]
+    fn failed_claim_has_no_partial_effect() {
+        let mut pool = ResourcePool::new(ResourceReq::of([(NicQueues, 2), (MemoryMb, 10)]));
+        // NicQueues fits, MemoryMb does not: nothing may be deducted.
+        let req = ResourceReq::of([(NicQueues, 1), (MemoryMb, 11)]);
+        assert!(pool.claim(&req).is_err());
+        assert_eq!(pool.remaining().0[&NicQueues], 2);
+        assert_eq!(pool.remaining().0[&MemoryMb], 10);
+    }
+
+    #[test]
+    fn over_release_saturates() {
+        let mut pool = ResourcePool::new(ResourceReq::of([(NicQueues, 2)]));
+        pool.claim(&ResourceReq::of([(NicQueues, 1)])).unwrap();
+        pool.release(&ResourceReq::of([(NicQueues, 5)]));
+        assert_eq!(pool.remaining().0[&NicQueues], 2);
+    }
+
+    #[test]
+    fn empty_req_always_fits() {
+        let pool = ResourcePool::new(ResourceReq::none());
+        assert!(pool.fits(&ResourceReq::none()));
+        assert!(ResourceReq::none().is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! The discovery registry served over a Unix-domain socket.
+//!
+//! Deployed as a per-host agent: applications and the Bertha runtime talk
+//! to it over IPC. The §5 connection-establishment cost ("two additional
+//! IPC round trips to query the discovery service and negotiate the
+//! connection mechanism") is one request/response on this socket plus the
+//! negotiation exchange.
+//!
+//! Registrations arriving over the wire cannot carry init/teardown hooks
+//! (hooks are code); hook-bearing implementations are registered in-process
+//! by the agent that owns the [`Registry`]. Claims arriving over the wire
+//! run those hooks *in the agent*, which is exactly where a real deployment
+//! would run `ethtool`/SDN-controller calls (§4.2).
+
+use crate::registry::{ClaimId, Registration, Registry, RegistrySource};
+use crate::rendezvous::Rendezvous;
+use bertha::conn::{BoxFut, ChunnelConnection};
+use bertha::negotiate::Offer;
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream, Error};
+use bertha_transport::uds::{UdsConnector, UdsListener};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Requests understood by the discovery agent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Admissible implementations of a capability.
+    Query {
+        /// Capability GUID.
+        capability: u64,
+    },
+    /// Claim resources for a picked implementation (runs its init hook in
+    /// the agent).
+    Claim {
+        /// Implementation GUID.
+        impl_guid: u64,
+        /// The negotiation pick, with its `ext` payload.
+        pick: Offer,
+    },
+    /// Release a claim (runs the teardown hook).
+    Release {
+        /// The claim to release.
+        id: ClaimId,
+    },
+    /// Register a (hook-less) implementation.
+    Register {
+        /// The registration.
+        reg: Registration,
+    },
+    /// Remove an implementation.
+    Unregister {
+        /// Implementation GUID.
+        impl_guid: u64,
+    },
+    /// Multi-party negotiation: propose per-slot offers for a group; the
+    /// reply carries the group's agreed picks (§3.2's "negotiation
+    /// involves all endpoints").
+    Rendezvous {
+        /// Group name.
+        group: String,
+        /// Per-slot offers, outermost first.
+        slots: Vec<Vec<Offer>>,
+    },
+    /// Leave a rendezvous group.
+    RendezvousLeave {
+        /// Group name.
+        group: String,
+    },
+}
+
+/// Responses from the discovery agent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// Query result.
+    Regs(Vec<Registration>),
+    /// Claim result.
+    Claimed(ClaimId),
+    /// Rendezvous result: the group's picks and member count.
+    GroupPicks {
+        /// One pick per slot.
+        picks: Vec<Offer>,
+        /// Members after this proposal.
+        members: u32,
+    },
+    /// Success with no payload.
+    Ok,
+    /// Failure.
+    Err(String),
+}
+
+async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
+    match req {
+        Request::Query { capability } => Response::Regs(registry.query_sync(capability)),
+        Request::Claim { impl_guid, pick } => {
+            match registry.claim_sync(impl_guid, &pick).await {
+                Ok(id) => Response::Claimed(id),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Release { id } => match registry.release_sync(id).await {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(e.to_string()),
+        },
+        Request::Register { reg } => {
+            match registry.register(reg, crate::registry::Hooks::none()) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Unregister { impl_guid } => {
+            registry.unregister(impl_guid);
+            Response::Ok
+        }
+        Request::Rendezvous { group, slots } => {
+            match rendezvous.propose(&group, &slots, &bertha::negotiate::DefaultPolicy) {
+                Ok(res) => Response::GroupPicks {
+                    picks: res.picks,
+                    members: res.members as u32,
+                },
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::RendezvousLeave { group } => {
+            rendezvous.leave(&group);
+            Response::Ok
+        }
+    }
+}
+
+/// Serve `registry` on a Unix-domain socket at `path` until the returned
+/// task is aborted.
+pub async fn serve_uds(
+    registry: Arc<Registry>,
+    path: std::path::PathBuf,
+) -> Result<tokio::task::JoinHandle<()>, Error> {
+    let mut listener = UdsListener::default();
+    let mut incoming = listener.listen(Addr::Unix(path)).await?;
+    let rendezvous = Arc::new(Rendezvous::new());
+    Ok(tokio::spawn(async move {
+        while let Some(conn) = incoming.next().await {
+            let conn = match conn {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let registry = Arc::clone(&registry);
+            let rendezvous = Arc::clone(&rendezvous);
+            tokio::spawn(async move {
+                loop {
+                    let (from, buf) = match conn.recv().await {
+                        Ok(d) => d,
+                        Err(_) => return,
+                    };
+                    let resp = match bincode::deserialize::<Request>(&buf) {
+                        Ok(req) => handle(&registry, &rendezvous, req).await,
+                        Err(e) => Response::Err(format!("malformed request: {e}")),
+                    };
+                    let Ok(body) = bincode::serialize(&resp) else {
+                        return;
+                    };
+                    if conn.send((from, body)).await.is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    }))
+}
+
+/// A [`RegistrySource`] that talks to a discovery agent over its socket.
+pub struct RemoteRegistry {
+    conn: tokio::sync::Mutex<Option<bertha_transport::uds::UdsConn>>,
+    agent: Addr,
+}
+
+impl RemoteRegistry {
+    /// Use the agent at `path`.
+    pub fn new(path: std::path::PathBuf) -> Self {
+        RemoteRegistry {
+            conn: tokio::sync::Mutex::new(None),
+            agent: Addr::Unix(path),
+        }
+    }
+
+    async fn request(&self, req: &Request) -> Result<Response, Error> {
+        // One request in flight at a time keeps request/response pairing
+        // trivial; discovery traffic is one query per connection setup.
+        let mut guard = self.conn.lock().await;
+        if guard.is_none() {
+            *guard = Some(UdsConnector.connect(self.agent.clone()).await?);
+        }
+        let conn = guard.as_ref().expect("just connected");
+        conn.send((self.agent.clone(), bincode::serialize(req)?))
+            .await?;
+        let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
+            .await
+            .map_err(|_| Error::Timeout {
+                after: std::time::Duration::from_secs(5),
+                what: "discovery agent reply",
+            })??;
+        Ok(bincode::deserialize(&buf)?)
+    }
+
+    /// Multi-party negotiation through the agent: propose this endpoint's
+    /// per-slot offers for `group` and receive the group's agreed picks.
+    pub async fn rendezvous(
+        &self,
+        group: &str,
+        slots: Vec<Vec<Offer>>,
+    ) -> Result<(Vec<Offer>, u32), Error> {
+        let req = Request::Rendezvous {
+            group: group.to_owned(),
+            slots,
+        };
+        match self.request(&req).await? {
+            Response::GroupPicks { picks, members } => Ok((picks, members)),
+            Response::Err(e) => Err(Error::Negotiation(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Leave a rendezvous group.
+    pub async fn rendezvous_leave(&self, group: &str) -> Result<(), Error> {
+        match self
+            .request(&Request::RendezvousLeave {
+                group: group.to_owned(),
+            })
+            .await?
+        {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+impl RegistrySource for RemoteRegistry {
+    fn query<'a>(&'a self, capability: u64) -> BoxFut<'a, Result<Vec<Registration>, Error>> {
+        Box::pin(async move {
+            match self.request(&Request::Query { capability }).await? {
+                Response::Regs(r) => Ok(r),
+                Response::Err(e) => Err(Error::Other(e)),
+                other => Err(Error::Other(format!("unexpected response {other:?}"))),
+            }
+        })
+    }
+
+    fn claim<'a>(&'a self, impl_guid: u64, pick: &'a Offer) -> BoxFut<'a, Result<ClaimId, Error>> {
+        Box::pin(async move {
+            let req = Request::Claim {
+                impl_guid,
+                pick: pick.clone(),
+            };
+            match self.request(&req).await? {
+                Response::Claimed(id) => Ok(id),
+                Response::Err(e) => Err(Error::Other(e)),
+                other => Err(Error::Other(format!("unexpected response {other:?}"))),
+            }
+        })
+    }
+
+    fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>> {
+        Box::pin(async move {
+            match self.request(&Request::Release { id }).await? {
+                Response::Ok => Ok(()),
+                Response::Err(e) => Err(Error::Other(e)),
+                other => Err(Error::Other(format!("unexpected response {other:?}"))),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Hooks;
+    use crate::resources::{ResourceKind, ResourcePool, ResourceReq};
+    use bertha::negotiate::{guid, Endpoints, Scope};
+
+    fn scratch() -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bertha-disc-{}-{}.sock",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    fn registration() -> Registration {
+        Registration {
+            capability: guid("shard"),
+            impl_guid: guid("shard/xdp"),
+            name: "shard/xdp".into(),
+            endpoints: Endpoints::Server,
+            scope: Scope::Host,
+            priority: 20,
+            resources: ResourceReq::of([(ResourceKind::HostCores, 1)]),
+            device: Some("host0".into()),
+        }
+    }
+
+    #[tokio::test]
+    async fn full_wire_cycle() {
+        let registry = Arc::new(Registry::new());
+        registry.add_device(
+            "host0",
+            ResourcePool::new(ResourceReq::of([(ResourceKind::HostCores, 2)])),
+        );
+        registry.register(registration(), Hooks::none()).unwrap();
+        let path = scratch();
+        let server = serve_uds(Arc::clone(&registry), path.clone()).await.unwrap();
+
+        let remote = RemoteRegistry::new(path);
+        let regs = remote.query(guid("shard")).await.unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].priority, 20);
+
+        let pick = regs[0].offer();
+        let c1 = remote.claim(regs[0].impl_guid, &pick).await.unwrap();
+        let _c2 = remote.claim(regs[0].impl_guid, &pick).await.unwrap();
+        // Capacity (2 cores) exhausted: further claims fail, queries empty.
+        assert!(remote.claim(regs[0].impl_guid, &pick).await.is_err());
+        assert!(remote.query(guid("shard")).await.unwrap().is_empty());
+
+        remote.release(c1).await.unwrap();
+        assert_eq!(remote.query(guid("shard")).await.unwrap().len(), 1);
+
+        // Remote registration.
+        let mut reg2 = registration();
+        reg2.impl_guid = guid("shard/other");
+        reg2.name = "shard/other".into();
+        reg2.device = None;
+        match remote.request(&Request::Register { reg: reg2 }).await.unwrap() {
+            Response::Ok => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(remote.query(guid("shard")).await.unwrap().len(), 2);
+
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn rendezvous_over_the_wire() {
+        use bertha::negotiate::{guid, Endpoints, Scope};
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        let server = serve_uds(registry, path.clone()).await.unwrap();
+
+        let offer = |imp: &str, priority: i32| bertha::negotiate::Offer {
+            capability: guid("cap/mcast"),
+            impl_guid: guid(imp),
+            name: imp.to_owned(),
+            endpoints: Endpoints::Both,
+            scope: Scope::Application,
+            priority,
+            ext: vec![],
+        };
+
+        let a = RemoteRegistry::new(path.clone());
+        let (picks, members) = a
+            .rendezvous("grp", vec![vec![offer("seq", 5), offer("gossip", 1)]])
+            .await
+            .unwrap();
+        assert_eq!(members, 1);
+        assert_eq!(picks[0].name, "seq");
+
+        let b = RemoteRegistry::new(path.clone());
+        let (picks_b, members_b) = b
+            .rendezvous("grp", vec![vec![offer("seq", 5)]])
+            .await
+            .unwrap();
+        assert_eq!(members_b, 2);
+        assert_eq!(picks_b, picks);
+
+        // An endpoint that cannot run the agreed impl is refused.
+        let c = RemoteRegistry::new(path);
+        assert!(c
+            .rendezvous("grp", vec![vec![offer("gossip", 9)]])
+            .await
+            .is_err());
+        b.rendezvous_leave("grp").await.unwrap();
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn malformed_request_gets_error_reply() {
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        let server = serve_uds(registry, path.clone()).await.unwrap();
+        let conn = UdsConnector.connect(Addr::Unix(path.clone())).await.unwrap();
+        conn.send((Addr::Unix(path), vec![0xde, 0xad])).await.unwrap();
+        let (_, buf) = conn.recv().await.unwrap();
+        match bincode::deserialize::<Response>(&buf).unwrap() {
+            Response::Err(e) => assert!(e.contains("malformed")),
+            other => panic!("{other:?}"),
+        }
+        server.abort();
+    }
+}

@@ -1,0 +1,293 @@
+//! The KV RPC client (Listing 5's `get_key`, grown up).
+//!
+//! Wraps any byte-level connection (negotiated, sharded, or raw) with
+//! request/response matching by message id, per-request timeouts, and
+//! retries. A pump task routes responses to waiting requests, so any
+//! number of requests may be in flight concurrently.
+
+use crate::msg::{Msg, Op, Resp, Status};
+use bertha::conn::{ChunnelConnection, Datagram};
+use bertha::{Addr, Error};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::oneshot;
+
+/// Client-side request options.
+#[derive(Clone, Copy, Debug)]
+pub struct KvClientConfig {
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Retransmissions before giving up (UDP below: requests can vanish).
+    pub retries: usize,
+}
+
+impl Default for KvClientConfig {
+    fn default() -> Self {
+        KvClientConfig {
+            timeout: Duration::from_millis(500),
+            retries: 3,
+        }
+    }
+}
+
+/// See the module docs.
+pub struct KvClient<C> {
+    conn: Arc<C>,
+    service: Addr,
+    cfg: KvClientConfig,
+    next_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, oneshot::Sender<Resp>>>>,
+    pump: tokio::task::JoinHandle<()>,
+}
+
+impl<C> Drop for KvClient<C> {
+    fn drop(&mut self) {
+        self.pump.abort();
+    }
+}
+
+impl<C> KvClient<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    /// Wrap `conn`; requests are addressed to `service` (the canonical
+    /// address — a sharding chunnel below may rewrite it).
+    pub fn new(conn: C, service: Addr) -> Self {
+        Self::with_config(conn, service, KvClientConfig::default())
+    }
+
+    /// Wrap with explicit timeout/retry parameters.
+    pub fn with_config(conn: C, service: Addr, cfg: KvClientConfig) -> Self {
+        let conn = Arc::new(conn);
+        let pending: Arc<Mutex<HashMap<u64, oneshot::Sender<Resp>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let pump = {
+            let conn = Arc::clone(&conn);
+            let pending = Arc::clone(&pending);
+            tokio::spawn(async move {
+                loop {
+                    let (_, payload) = match conn.recv().await {
+                        Ok(d) => d,
+                        Err(_) => return,
+                    };
+                    let Ok(resp) = Resp::decode(&payload) else {
+                        continue;
+                    };
+                    if let Some(tx) = pending.lock().remove(&resp.id) {
+                        let _ = tx.send(resp);
+                    }
+                    // else: a late duplicate after retry already answered
+                }
+            })
+        };
+        KvClient {
+            conn,
+            service,
+            cfg,
+            next_id: AtomicU64::new(1),
+            pending,
+            pump,
+        }
+    }
+
+    async fn request(&self, op: Op, key: String, val: Option<Vec<u8>>) -> Result<Resp, Error> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let wire = Msg { id, op, key, val }.encode();
+
+        for _attempt in 0..=self.cfg.retries {
+            let (tx, rx) = oneshot::channel();
+            self.pending.lock().insert(id, tx);
+            self.conn.send((self.service.clone(), wire.clone())).await?;
+            match tokio::time::timeout(self.cfg.timeout, rx).await {
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(_)) => return Err(Error::ConnectionClosed),
+                Err(_elapsed) => {
+                    self.pending.lock().remove(&id);
+                }
+            }
+        }
+        Err(Error::Timeout {
+            after: self.cfg.timeout * (self.cfg.retries as u32 + 1),
+            what: "kv response",
+        })
+    }
+
+    /// Read a key.
+    pub async fn get(&self, key: impl Into<String>) -> Result<Option<Vec<u8>>, Error> {
+        let resp = self.request(Op::Get, key.into(), None).await?;
+        match resp.status {
+            Status::Ok => Ok(resp.val),
+            Status::NotFound => Ok(None),
+            Status::Bad => Err(Error::Other("server rejected get".into())),
+        }
+    }
+
+    /// Write a key.
+    pub async fn put(&self, key: impl Into<String>, val: Vec<u8>) -> Result<(), Error> {
+        let resp = self.request(Op::Put, key.into(), Some(val)).await?;
+        match resp.status {
+            Status::Ok => Ok(()),
+            other => Err(Error::Other(format!("put failed: {other:?}"))),
+        }
+    }
+
+    /// Remove a key. Returns whether it existed.
+    pub async fn delete(&self, key: impl Into<String>) -> Result<bool, Error> {
+        let resp = self.request(Op::Delete, key.into(), None).await?;
+        match resp.status {
+            Status::Ok => Ok(true),
+            Status::NotFound => Ok(false),
+            Status::Bad => Err(Error::Other("server rejected delete".into())),
+        }
+    }
+
+    /// Scan `count` keys in order starting at `start`.
+    pub async fn scan(
+        &self,
+        start: impl Into<String>,
+        count: u32,
+    ) -> Result<Vec<(String, Vec<u8>)>, Error> {
+        let resp = self
+            .request(Op::Scan { count }, start.into(), None)
+            .await?;
+        match (resp.status, resp.val) {
+            (Status::Ok, Some(rows)) => Ok(bincode::deserialize(&rows)?),
+            (Status::Ok, None) => Ok(vec![]),
+            (other, _) => Err(Error::Other(format!("scan failed: {other:?}"))),
+        }
+    }
+
+    /// Read-modify-write a key; returns the new value.
+    pub async fn rmw(&self, key: impl Into<String>) -> Result<Option<Vec<u8>>, Error> {
+        let resp = self.request(Op::Rmw, key.into(), None).await?;
+        match resp.status {
+            Status::Ok => Ok(resp.val),
+            Status::NotFound => Ok(None),
+            Status::Bad => Err(Error::Other("server rejected rmw".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use bertha::conn::pair;
+
+    /// A loopback "server" answering KV requests on a channel pair.
+    fn spawn_loopback_server(conn: impl ChunnelConnection<Data = Datagram> + 'static) {
+        let store = Store::new();
+        tokio::spawn(async move {
+            loop {
+                let (from, payload) = match conn.recv().await {
+                    Ok(d) => d,
+                    Err(_) => return,
+                };
+                if let Some(reply) = store.handle_payload(payload) {
+                    let _ = conn.send((from, reply)).await;
+                }
+            }
+        });
+    }
+
+    #[tokio::test]
+    async fn get_put_delete_round_trip() {
+        let (cli, srv) = pair::<Datagram>(64);
+        spawn_loopback_server(srv);
+        let client = KvClient::new(cli, Addr::Mem("svc".into()));
+
+        assert_eq!(client.get("missing").await.unwrap(), None);
+        client.put("k", b"value".to_vec()).await.unwrap();
+        assert_eq!(client.get("k").await.unwrap().unwrap(), b"value");
+        assert!(client.delete("k").await.unwrap());
+        assert!(!client.delete("k").await.unwrap());
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests_matched_by_id() {
+        let (cli, srv) = pair::<Datagram>(256);
+        spawn_loopback_server(srv);
+        let client = Arc::new(KvClient::new(cli, Addr::Mem("svc".into())));
+
+        let mut tasks = Vec::new();
+        for i in 0..50u32 {
+            let c = Arc::clone(&client);
+            tasks.push(tokio::spawn(async move {
+                let key = format!("key-{i}");
+                c.put(key.clone(), i.to_le_bytes().to_vec()).await.unwrap();
+                let got = c.get(key).await.unwrap().unwrap();
+                assert_eq!(got, i.to_le_bytes().to_vec());
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap();
+        }
+    }
+
+    #[tokio::test]
+    async fn timeout_when_server_silent() {
+        let (cli, _srv) = pair::<Datagram>(4);
+        let client = KvClient::with_config(
+            cli,
+            Addr::Mem("svc".into()),
+            KvClientConfig {
+                timeout: Duration::from_millis(10),
+                retries: 1,
+            },
+        );
+        match client.get("k").await {
+            Err(Error::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn retry_survives_one_lost_request() {
+        // A server that drops the first datagram it sees.
+        let (cli, srv) = pair::<Datagram>(64);
+        let store = Store::new();
+        tokio::spawn(async move {
+            let mut first = true;
+            loop {
+                let (from, payload) = match srv.recv().await {
+                    Ok(d) => d,
+                    Err(_) => return,
+                };
+                if std::mem::take(&mut first) {
+                    continue; // drop it
+                }
+                if let Some(reply) = store.handle_payload(payload) {
+                    let _ = srv.send((from, reply)).await;
+                }
+            }
+        });
+        let client = KvClient::with_config(
+            cli,
+            Addr::Mem("svc".into()),
+            KvClientConfig {
+                timeout: Duration::from_millis(50),
+                retries: 3,
+            },
+        );
+        client.put("k", b"v".to_vec()).await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn scan_and_rmw() {
+        let (cli, srv) = pair::<Datagram>(64);
+        spawn_loopback_server(srv);
+        let client = KvClient::new(cli, Addr::Mem("svc".into()));
+        for k in ["a", "b", "c"] {
+            client.put(k, k.as_bytes().to_vec()).await.unwrap();
+        }
+        let rows = client.scan("a", 2).await.unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a");
+        let newv = client.rmw("a").await.unwrap().unwrap();
+        assert_eq!(newv.len(), 2);
+        assert_eq!(client.rmw("zz").await.unwrap(), None);
+    }
+}

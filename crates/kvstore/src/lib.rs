@@ -1,0 +1,33 @@
+//! The key-value store evaluation application (§5).
+//!
+//! "Our server application is a key-value store which uses the hashmap
+//! implementation from Rust's standard library and serialization from the
+//! widely-used bincode crate atop UDP RPCs."
+//!
+//! Modules:
+//!
+//! - [`msg`]: the RPC wire format. The 4-byte key hash lives at payload
+//!   bytes 10..14 so the sharding function is exactly Listing 4's
+//!   `|p| hash(p.payload[10..14]) % n`, evaluable without deserialization;
+//! - [`store`]: the store itself and the request handler shard workers run;
+//! - [`server`]: wiring — spawn shard workers, serve the canonical address
+//!   with a negotiated [`bertha_shard::ShardCanonicalServer`] stack;
+//! - [`client`]: an RPC client with request/response matching, timeouts,
+//!   and retries (Listing 5's `get_key`);
+//! - [`ycsb`]: a YCSB-style workload generator (workloads A–F, uniform /
+//!   zipfian / latest key distributions), replacing the Java YCSB tool the
+//!   paper used.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod msg;
+pub mod server;
+pub mod store;
+pub mod ycsb;
+
+pub use client::KvClient;
+pub use msg::{Msg, Op, Resp, Status};
+pub use server::{serve_canonical, serve_prepared, shard_info, spawn_shards, KvShardHandle};
+pub use store::Store;
+pub use ycsb::{KeyDist, Workload, WorkloadSpec};

@@ -1,0 +1,237 @@
+//! The KV RPC wire format.
+//!
+//! Request layout (all integers little-endian):
+//!
+//! ```text
+//! offset  0..8   msgid: u64     request/response matching
+//! offset  8..10  op:    u16     operation code
+//! offset 10..14  keyhash: u32   fnv1a(key) truncated — THE SHARDING FIELD
+//! offset 14..    body           bincode (key, value, scan count)
+//! ```
+//!
+//! The key hash sits at bytes 10..14 by construction so that Listing 4's
+//! sharding function — `|p: Pkt| { p.dst_port = hash(p.payload[10..14]) % 3 }`
+//! — works verbatim on these payloads without deserializing them.
+
+use bertha::Error;
+use serde::{Deserialize, Serialize};
+
+/// Where the 4-byte sharding field lives in a request payload.
+pub const KEYHASH_OFFSET: usize = 10;
+/// Length of the sharding field.
+pub const KEYHASH_LEN: usize = 4;
+const HEADER: usize = 14;
+
+/// KV operations.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read a key.
+    Get,
+    /// Write a key.
+    Put,
+    /// Remove a key.
+    Delete,
+    /// Read up to `count` keys starting at `key` in order (YCSB workload
+    /// E's scan).
+    Scan {
+        /// Maximum keys to return.
+        count: u32,
+    },
+    /// Read-modify-write: append a byte to the value (YCSB workload F).
+    Rmw,
+}
+
+impl Op {
+    fn code(&self) -> u16 {
+        match self {
+            Op::Get => 0,
+            Op::Put => 1,
+            Op::Delete => 2,
+            Op::Scan { .. } => 3,
+            Op::Rmw => 4,
+        }
+    }
+}
+
+/// A KV request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Msg {
+    /// Request id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// The key.
+    pub key: String,
+    /// The value, for writes.
+    pub val: Option<Vec<u8>>,
+}
+
+/// Response status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Operation succeeded.
+    Ok,
+    /// Key not present.
+    NotFound,
+    /// Malformed or unsupported request.
+    Bad,
+}
+
+/// A KV response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Resp {
+    /// The request id this answers.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Value for `Get`/`Rmw`; `Scan` results are bincode inside.
+    pub val: Option<Vec<u8>>,
+}
+
+/// The FNV-1a-derived sharding field for a key — must agree with
+/// [`bertha_shard::info::fnv1a`] so client push, steerer, and fallback all
+/// route identically.
+pub fn keyhash(key: &str) -> u32 {
+    bertha_shard::info::fnv1a(key.as_bytes()) as u32
+}
+
+impl Msg {
+    /// Encode to the wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        #[derive(Serialize)]
+        struct Body<'a> {
+            op: &'a Op,
+            key: &'a str,
+            val: &'a Option<Vec<u8>>,
+        }
+        let body = bincode::serialize(&Body {
+            op: &self.op,
+            key: &self.key,
+            val: &self.val,
+        })
+        .expect("kv body serializes");
+        let mut out = Vec::with_capacity(HEADER + body.len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.op.code().to_le_bytes());
+        out.extend_from_slice(&keyhash(&self.key).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode from the wire layout, checking header/body consistency.
+    pub fn decode(buf: &[u8]) -> Result<Msg, Error> {
+        if buf.len() < HEADER {
+            return Err(Error::Encode("kv request too short".into()));
+        }
+        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let code = u16::from_le_bytes(buf[8..10].try_into().unwrap());
+        let hash = u32::from_le_bytes(buf[10..14].try_into().unwrap());
+        #[derive(Deserialize)]
+        struct Body {
+            op: Op,
+            key: String,
+            val: Option<Vec<u8>>,
+        }
+        let body: Body = bincode::deserialize(&buf[HEADER..])?;
+        if body.op.code() != code {
+            return Err(Error::Encode("kv op code mismatch".into()));
+        }
+        if keyhash(&body.key) != hash {
+            return Err(Error::Encode("kv key hash mismatch".into()));
+        }
+        Ok(Msg {
+            id,
+            op: body.op,
+            key: body.key,
+            val: body.val,
+        })
+    }
+}
+
+impl Resp {
+    /// Encode to bytes (plain bincode; responses are not sharded).
+    pub fn encode(&self) -> Vec<u8> {
+        bincode::serialize(self).expect("kv response serializes")
+    }
+
+    /// Decode from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Resp, Error> {
+        Ok(bincode::deserialize(buf)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha_shard::info::ShardFnSpec;
+
+    fn msg(key: &str) -> Msg {
+        Msg {
+            id: 77,
+            op: Op::Put,
+            key: key.into(),
+            val: Some(vec![1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = msg("user:42");
+        let wire = m.encode();
+        assert_eq!(Msg::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn keyhash_sits_at_paper_offset() {
+        let m = msg("some-key");
+        let wire = m.encode();
+        let field =
+            u32::from_le_bytes(wire[KEYHASH_OFFSET..KEYHASH_OFFSET + KEYHASH_LEN].try_into().unwrap());
+        assert_eq!(field, keyhash("some-key"));
+
+        // And the paper's shard_fn spec extracts exactly that field.
+        let spec = ShardFnSpec::paper_default();
+        assert_eq!(spec.offset, KEYHASH_OFFSET);
+        assert_eq!(spec.len, KEYHASH_LEN);
+        let h = spec.hash_payload(&wire);
+        assert_eq!(h, bertha_shard::info::fnv1a(&keyhash("some-key").to_le_bytes()));
+    }
+
+    #[test]
+    fn tampered_hash_detected() {
+        let mut wire = msg("k").encode();
+        wire[KEYHASH_OFFSET] ^= 0xff;
+        assert!(Msg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn tampered_op_detected() {
+        let mut wire = msg("k").encode();
+        wire[8] ^= 0x01;
+        assert!(Msg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn short_and_garbage_rejected() {
+        assert!(Msg::decode(&[1, 2, 3]).is_err());
+        assert!(Msg::decode(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn resp_round_trip() {
+        let r = Resp {
+            id: 9,
+            status: Status::NotFound,
+            val: None,
+        };
+        assert_eq!(Resp::decode(&r.encode()).unwrap(), r);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn encode_decode_arbitrary(id in proptest::prelude::any::<u64>(), key in "[a-z0-9:]{0,40}", val in proptest::option::of(proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256))) {
+            let m = Msg { id, op: Op::Put, key, val };
+            proptest::prop_assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+}

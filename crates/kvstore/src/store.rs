@@ -1,0 +1,203 @@
+//! The store and the shard worker's request handler.
+
+use crate::msg::{Msg, Op, Resp, Status};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One shard's data: an ordered map (ordered so YCSB workload E's scans
+/// have something to scan).
+#[derive(Default)]
+pub struct Store {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Store::default())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Execute one operation.
+    pub fn apply(&self, msg: &Msg) -> Resp {
+        let mut map = self.map.lock();
+        let (status, val) = match &msg.op {
+            Op::Get => match map.get(&msg.key) {
+                Some(v) => (Status::Ok, Some(v.clone())),
+                None => (Status::NotFound, None),
+            },
+            Op::Put => match &msg.val {
+                Some(v) => {
+                    map.insert(msg.key.clone(), v.clone());
+                    (Status::Ok, None)
+                }
+                None => (Status::Bad, None),
+            },
+            Op::Delete => match map.remove(&msg.key) {
+                Some(_) => (Status::Ok, None),
+                None => (Status::NotFound, None),
+            },
+            Op::Scan { count } => {
+                let rows: Vec<(String, Vec<u8>)> = map
+                    .range(msg.key.clone()..)
+                    .take(*count as usize)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                let encoded = bincode::serialize(&rows).expect("rows serialize");
+                (Status::Ok, Some(encoded))
+            }
+            Op::Rmw => match map.get_mut(&msg.key) {
+                Some(v) => {
+                    v.push(0x01);
+                    (Status::Ok, Some(v.clone()))
+                }
+                None => (Status::NotFound, None),
+            },
+        };
+        Resp {
+            id: msg.id,
+            status,
+            val,
+        }
+    }
+
+    /// The shard worker handler: decode, apply, encode. Malformed requests
+    /// get a `Bad` response when the id is readable, and are dropped
+    /// otherwise.
+    pub fn handle_payload(&self, payload: Vec<u8>) -> Option<Vec<u8>> {
+        match Msg::decode(&payload) {
+            Ok(msg) => Some(self.apply(&msg).encode()),
+            Err(_) if payload.len() >= 8 => {
+                let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                Some(
+                    Resp {
+                        id,
+                        status: Status::Bad,
+                        val: None,
+                    }
+                    .encode(),
+                )
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(store: &Store, key: &str, val: &[u8]) -> Resp {
+        store.apply(&Msg {
+            id: 1,
+            op: Op::Put,
+            key: key.into(),
+            val: Some(val.to_vec()),
+        })
+    }
+
+    fn get(store: &Store, key: &str) -> Resp {
+        store.apply(&Msg {
+            id: 2,
+            op: Op::Get,
+            key: key.into(),
+            val: None,
+        })
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let s = Store::new();
+        assert_eq!(get(&s, "a").status, Status::NotFound);
+        assert_eq!(put(&s, "a", b"1").status, Status::Ok);
+        let r = get(&s, "a");
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.val.unwrap(), b"1");
+        let d = s.apply(&Msg {
+            id: 3,
+            op: Op::Delete,
+            key: "a".into(),
+            val: None,
+        });
+        assert_eq!(d.status, Status::Ok);
+        assert_eq!(get(&s, "a").status, Status::NotFound);
+    }
+
+    #[test]
+    fn put_without_value_is_bad() {
+        let s = Store::new();
+        let r = s.apply(&Msg {
+            id: 1,
+            op: Op::Put,
+            key: "k".into(),
+            val: None,
+        });
+        assert_eq!(r.status, Status::Bad);
+    }
+
+    #[test]
+    fn scan_returns_ordered_range() {
+        let s = Store::new();
+        for k in ["b", "a", "d", "c", "e"] {
+            put(&s, k, k.as_bytes());
+        }
+        let r = s.apply(&Msg {
+            id: 4,
+            op: Op::Scan { count: 3 },
+            key: "b".into(),
+            val: None,
+        });
+        let rows: Vec<(String, Vec<u8>)> = bincode::deserialize(&r.val.unwrap()).unwrap();
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn rmw_appends() {
+        let s = Store::new();
+        put(&s, "k", b"v");
+        let r = s.apply(&Msg {
+            id: 5,
+            op: Op::Rmw,
+            key: "k".into(),
+            val: None,
+        });
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.val.unwrap().len(), 2);
+        assert_eq!(get(&s, "k").val.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn handler_round_trip_and_malformed() {
+        let s = Store::new();
+        let wire = Msg {
+            id: 10,
+            op: Op::Put,
+            key: "x".into(),
+            val: Some(vec![7]),
+        }
+        .encode();
+        let reply = s.handle_payload(wire).unwrap();
+        assert_eq!(Resp::decode(&reply).unwrap().status, Status::Ok);
+
+        // Malformed but with a readable id: Bad response with that id.
+        let mut bad = vec![0u8; 20];
+        bad[..8].copy_from_slice(&99u64.to_le_bytes());
+        let reply = s.handle_payload(bad).unwrap();
+        let r = Resp::decode(&reply).unwrap();
+        assert_eq!((r.id, r.status), (99, Status::Bad));
+
+        // Too short for even an id: dropped.
+        assert!(s.handle_payload(vec![1, 2]).is_none());
+    }
+}

@@ -1,0 +1,390 @@
+//! A YCSB-style workload generator.
+//!
+//! Replaces the Java YCSB tool the paper used (§5: "300,000 YCSB requests
+//! (workload A, read-heavy) with a uniform distribution of keys").
+//! Implements the standard workload mixes A–F from the YCSB paper (Cooper
+//! et al., SoCC '10) and the three key distributions they use: uniform,
+//! zipfian (the Gray et al. rejection-free sampler), and latest.
+
+use crate::msg::Op;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with the given theta (YCSB default
+    /// 0.99).
+    Zipfian {
+        /// Skew parameter in (0, 1).
+        theta: f64,
+    },
+    /// Most-recently-inserted keys are most popular.
+    Latest,
+}
+
+/// Operation mix proportions (must sum to ≤ 1; the remainder is reads).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of updates (writes to existing keys).
+    pub update: f64,
+    /// Fraction of inserts (new keys).
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+    /// Key distribution.
+    pub dist: KeyDist,
+}
+
+/// The named YCSB workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Update heavy: 50/50 read/update, zipfian.
+    A,
+    /// Read mostly: 95/5 read/update, zipfian.
+    B,
+    /// Read only, zipfian.
+    C,
+    /// Read latest: 95/5 read/insert, latest.
+    D,
+    /// Short ranges: 95/5 scan/insert, zipfian.
+    E,
+    /// Read-modify-write: 50/50 read/rmw, zipfian.
+    F,
+}
+
+impl Workload {
+    /// The standard mix for this workload.
+    pub fn spec(self) -> WorkloadSpec {
+        let zipf = KeyDist::Zipfian { theta: 0.99 };
+        match self {
+            Workload::A => WorkloadSpec {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                dist: zipf,
+            },
+            Workload::B => WorkloadSpec {
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                dist: zipf,
+            },
+            Workload::C => WorkloadSpec {
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                dist: zipf,
+            },
+            Workload::D => WorkloadSpec {
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.0,
+                rmw: 0.0,
+                dist: KeyDist::Latest,
+            },
+            Workload::E => WorkloadSpec {
+                read: 0.0,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.95,
+                rmw: 0.0,
+                dist: zipf,
+            },
+            Workload::F => WorkloadSpec {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.5,
+                dist: zipf,
+            },
+        }
+    }
+
+    /// The mix with the key distribution overridden (the paper runs
+    /// workload A with *uniform* keys).
+    pub fn with_dist(self, dist: KeyDist) -> WorkloadSpec {
+        WorkloadSpec {
+            dist,
+            ..self.spec()
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenOp {
+    /// The operation (value payloads already filled for writes).
+    pub op: Op,
+    /// The key.
+    pub key: String,
+    /// The value for writes.
+    pub val: Option<Vec<u8>>,
+}
+
+/// Zipfian sampler over `0..n` (Gray et al.'s method, as in YCSB).
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A sampler over `n` items with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Sample an item index; 0 is the most popular.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+/// A deterministic stream of KV requests.
+pub struct Generator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    record_count: u64,
+    inserted: u64,
+    value_size: usize,
+    zipf: Option<Zipf>,
+}
+
+impl Generator {
+    /// A generator over `record_count` pre-loaded records with the given
+    /// seed. `value_size` is the byte length of written values.
+    pub fn new(spec: WorkloadSpec, record_count: u64, value_size: usize, seed: u64) -> Self {
+        let zipf = match spec.dist {
+            KeyDist::Zipfian { theta } => Some(Zipf::new(record_count, theta)),
+            _ => None,
+        };
+        Generator {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            record_count,
+            inserted: 0,
+            value_size,
+            zipf,
+        }
+    }
+
+    /// The keys that should be loaded before the run.
+    pub fn preload_keys(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.record_count).map(key_name)
+    }
+
+    fn pick_key(&mut self) -> String {
+        let total = self.record_count + self.inserted;
+        let idx = match self.spec.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..total),
+            KeyDist::Zipfian { .. } => self
+                .zipf
+                .as_ref()
+                .expect("zipf sampler present")
+                .sample(&mut self.rng),
+            KeyDist::Latest => {
+                // Most recent keys most popular: zipf over recency.
+                let z = Zipf::new(total, 0.99);
+                let back = z.sample(&mut self.rng);
+                total - 1 - back.min(total - 1)
+            }
+        };
+        key_name(idx)
+    }
+
+    fn value(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        self.rng.fill(&mut v[..]);
+        v
+    }
+
+    /// Generate the next request.
+    pub fn next_op(&mut self) -> GenOp {
+        let r: f64 = self.rng.gen();
+        let s = &self.spec;
+        if r < s.read {
+            GenOp {
+                op: Op::Get,
+                key: self.pick_key(),
+                val: None,
+            }
+        } else if r < s.read + s.update {
+            let val = self.value();
+            GenOp {
+                op: Op::Put,
+                key: self.pick_key(),
+                val: Some(val),
+            }
+        } else if r < s.read + s.update + s.insert {
+            let key = key_name(self.record_count + self.inserted);
+            self.inserted += 1;
+            let val = self.value();
+            GenOp {
+                op: Op::Put,
+                key,
+                val: Some(val),
+            }
+        } else if r < s.read + s.update + s.insert + s.scan {
+            let count = self.rng.gen_range(1..=100);
+            GenOp {
+                op: Op::Scan { count },
+                key: self.pick_key(),
+                val: None,
+            }
+        } else {
+            GenOp {
+                op: Op::Rmw,
+                key: self.pick_key(),
+                val: None,
+            }
+        }
+    }
+}
+
+/// YCSB-style key naming.
+pub fn key_name(idx: u64) -> String {
+    format!("user{idx}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn workload_a_mix_is_half_and_half() {
+        let mut g = Generator::new(Workload::A.with_dist(KeyDist::Uniform), 1000, 8, 42);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..10_000 {
+            match g.next_op().op {
+                Op::Get => reads += 1,
+                Op::Put => writes += 1,
+                other => panic!("unexpected op in workload A: {other:?}"),
+            }
+        }
+        assert!((4500..5500).contains(&reads), "reads = {reads}");
+        assert!((4500..5500).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn workload_e_scans() {
+        let mut g = Generator::new(Workload::E.spec(), 1000, 8, 7);
+        let scans = (0..1000).filter(|_| matches!(g.next_op().op, Op::Scan { .. })).count();
+        assert!(scans > 900, "scans = {scans}");
+    }
+
+    #[test]
+    fn uniform_keys_spread() {
+        let mut g = Generator::new(Workload::C.with_dist(KeyDist::Uniform), 100, 8, 1);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(g.next_op().key).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let min = counts.values().min().copied().unwrap();
+        assert!(
+            max < min * 2,
+            "uniform distribution too skewed: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn zipfian_keys_skewed() {
+        let mut g = Generator::new(Workload::C.spec(), 1000, 8, 1);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(g.next_op().key).or_default() += 1;
+        }
+        // The most popular key should dwarf the median.
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            freqs[0] > 20 * freqs[freqs.len() / 2].max(1),
+            "head {} vs median {}",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_in_range_and_head_heavy() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!(s < 10_000);
+            if s < 100 {
+                head += 1;
+            }
+        }
+        assert!(head > 4000, "top 1% drew {head} of 10000 samples");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Generator::new(Workload::A.spec(), 100, 8, 9);
+        let mut b = Generator::new(Workload::A.spec(), 100, 8, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn inserts_extend_keyspace() {
+        let mut g = Generator::new(Workload::D.spec(), 10, 8, 5);
+        let mut saw_new_key = false;
+        for _ in 0..200 {
+            let op = g.next_op();
+            if let Op::Put = op.op {
+                let idx: u64 = op.key.trim_start_matches("user").parse().unwrap();
+                if idx >= 10 {
+                    saw_new_key = true;
+                }
+            }
+        }
+        assert!(saw_new_key, "workload D must insert new keys");
+    }
+}

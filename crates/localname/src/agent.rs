@@ -1,0 +1,233 @@
+//! The per-host name agent: canonical address → local fast-path address.
+
+use bertha::conn::{BoxFut, ChunnelConnection};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream, Error};
+use bertha_transport::uds::{UdsConnector, UdsListener};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Something that can resolve a canonical address to a host-local one.
+pub trait NameSource: Send + Sync {
+    /// The local address serving `canonical` on this host, if any.
+    fn resolve<'a>(&'a self, canonical: &'a Addr) -> BoxFut<'a, Result<Option<Addr>, Error>>;
+}
+
+/// The in-process name agent: a table of canonical → local mappings.
+#[derive(Default)]
+pub struct NameAgent {
+    map: RwLock<HashMap<Addr, Addr>>,
+}
+
+impl NameAgent {
+    /// An empty agent.
+    pub fn new() -> Self {
+        NameAgent::default()
+    }
+
+    /// Record that `canonical` is served locally at `local`.
+    pub fn register_local(&self, canonical: Addr, local: Addr) {
+        self.map.write().insert(canonical, local);
+    }
+
+    /// Remove a mapping; returns whether it existed.
+    pub fn unregister(&self, canonical: &Addr) -> bool {
+        self.map.write().remove(canonical).is_some()
+    }
+
+    /// Synchronous resolution.
+    pub fn resolve_sync(&self, canonical: &Addr) -> Option<Addr> {
+        self.map.read().get(canonical).cloned()
+    }
+
+    /// Number of registered mappings.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if no mappings are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl NameSource for NameAgent {
+    fn resolve<'a>(&'a self, canonical: &'a Addr) -> BoxFut<'a, Result<Option<Addr>, Error>> {
+        Box::pin(async move { Ok(self.resolve_sync(canonical)) })
+    }
+}
+
+/// The process-wide agent instance, standing in for the per-host agent in
+/// single-process experiments.
+pub fn global_agent() -> &'static NameAgent {
+    static AGENT: OnceLock<NameAgent> = OnceLock::new();
+    AGENT.get_or_init(NameAgent::default)
+}
+
+/// Wire requests for the agent served over a Unix socket.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum AgentRequest {
+    /// Resolve a canonical address.
+    Resolve(Addr),
+    /// Register a local mapping.
+    Register {
+        /// The canonical address.
+        canonical: Addr,
+        /// The host-local address serving it.
+        local: Addr,
+    },
+    /// Remove a mapping.
+    Unregister(Addr),
+}
+
+/// Wire responses from the agent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum AgentResponse {
+    /// Resolution result.
+    Resolved(Option<Addr>),
+    /// Mutation acknowledged.
+    Ok,
+}
+
+/// Serve `agent` on a Unix socket at `path`.
+pub async fn serve_agent_uds(
+    agent: Arc<NameAgent>,
+    path: std::path::PathBuf,
+) -> Result<tokio::task::JoinHandle<()>, Error> {
+    let mut listener = UdsListener::default();
+    let mut incoming = listener.listen(Addr::Unix(path)).await?;
+    Ok(tokio::spawn(async move {
+        while let Some(conn) = incoming.next().await {
+            let conn = match conn {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let agent = Arc::clone(&agent);
+            tokio::spawn(async move {
+                loop {
+                    let (from, buf) = match conn.recv().await {
+                        Ok(d) => d,
+                        Err(_) => return,
+                    };
+                    let resp = match bincode::deserialize::<AgentRequest>(&buf) {
+                        Ok(AgentRequest::Resolve(a)) => {
+                            AgentResponse::Resolved(agent.resolve_sync(&a))
+                        }
+                        Ok(AgentRequest::Register { canonical, local }) => {
+                            agent.register_local(canonical, local);
+                            AgentResponse::Ok
+                        }
+                        Ok(AgentRequest::Unregister(a)) => {
+                            agent.unregister(&a);
+                            AgentResponse::Ok
+                        }
+                        Err(_) => return,
+                    };
+                    let Ok(body) = bincode::serialize(&resp) else {
+                        return;
+                    };
+                    if conn.send((from, body)).await.is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    }))
+}
+
+/// A [`NameSource`] that queries an agent over its Unix socket: each
+/// resolution is one real IPC round trip, as in the paper's setup.
+pub struct RemoteNameAgent {
+    agent: Addr,
+    conn: tokio::sync::Mutex<Option<bertha_transport::uds::UdsConn>>,
+}
+
+impl RemoteNameAgent {
+    /// Use the agent at `path`.
+    pub fn new(path: std::path::PathBuf) -> Self {
+        RemoteNameAgent {
+            agent: Addr::Unix(path),
+            conn: tokio::sync::Mutex::new(None),
+        }
+    }
+
+    async fn request(&self, req: &AgentRequest) -> Result<AgentResponse, Error> {
+        let mut guard = self.conn.lock().await;
+        if guard.is_none() {
+            *guard = Some(UdsConnector.connect(self.agent.clone()).await?);
+        }
+        let conn = guard.as_ref().expect("just connected");
+        conn.send((self.agent.clone(), bincode::serialize(req)?))
+            .await?;
+        let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
+            .await
+            .map_err(|_| Error::Timeout {
+                after: std::time::Duration::from_secs(5),
+                what: "name agent reply",
+            })??;
+        Ok(bincode::deserialize(&buf)?)
+    }
+
+    /// Register a mapping through the socket.
+    pub async fn register_local(&self, canonical: Addr, local: Addr) -> Result<(), Error> {
+        self.request(&AgentRequest::Register { canonical, local })
+            .await
+            .map(|_| ())
+    }
+}
+
+impl NameSource for RemoteNameAgent {
+    fn resolve<'a>(&'a self, canonical: &'a Addr) -> BoxFut<'a, Result<Option<Addr>, Error>> {
+        Box::pin(async move {
+            match self.request(&AgentRequest::Resolve(canonical.clone())).await? {
+                AgentResponse::Resolved(r) => Ok(r),
+                AgentResponse::Ok => Err(Error::Other("unexpected agent response".into())),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical() -> Addr {
+        Addr::Udp("10.1.2.3:5000".parse().unwrap())
+    }
+
+    #[test]
+    fn register_resolve_unregister() {
+        let agent = NameAgent::new();
+        assert!(agent.resolve_sync(&canonical()).is_none());
+        let local = Addr::Unix("/tmp/x.sock".into());
+        agent.register_local(canonical(), local.clone());
+        assert_eq!(agent.resolve_sync(&canonical()), Some(local));
+        assert!(agent.unregister(&canonical()));
+        assert!(!agent.unregister(&canonical()));
+        assert!(agent.is_empty());
+    }
+
+    #[tokio::test]
+    async fn remote_agent_over_uds() {
+        let agent = Arc::new(NameAgent::new());
+        let path = std::env::temp_dir().join(format!(
+            "bertha-agent-{}-{}.sock",
+            std::process::id(),
+            line!()
+        ));
+        let server = serve_agent_uds(Arc::clone(&agent), path.clone()).await.unwrap();
+
+        let remote = RemoteNameAgent::new(path);
+        assert_eq!(remote.resolve(&canonical()).await.unwrap(), None);
+
+        let local = Addr::Unix("/tmp/srv.sock".into());
+        remote
+            .register_local(canonical(), local.clone())
+            .await
+            .unwrap();
+        assert_eq!(remote.resolve(&canonical()).await.unwrap(), Some(local));
+        assert_eq!(agent.len(), 1, "mutations land in the shared agent");
+        server.abort();
+    }
+}

@@ -1,0 +1,322 @@
+//! The `local_or_remote()` connector and listener (Listing 1).
+//!
+//! The connector resolves the canonical address through the name agent on
+//! **every** `connect`: same-host servers get a Unix-socket connection,
+//! remote ones a UDP connection, and a server that appears locally mid-run
+//! is picked up by the next connection with no configuration (Figure 4).
+//!
+//! The returned connection rewrites the canonical address to the resolved
+//! one on `send` and back on `recv`, so the application (and everything
+//! stacked above, including negotiation) keeps addressing the canonical
+//! address — the fast path is transparent, as a chunnel must be (§2).
+
+use crate::agent::{global_agent, NameSource};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::either::Either;
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream, Error};
+use bertha_transport::udp::{UdpConn, UdpConnector, UdpIncoming, UdpListener, UdpPeerConn};
+use bertha_transport::uds::{UdsConn, UdsConnector, UdsIncoming, UdsListener, UdsPeerConn};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Derive the Unix-socket path a local instance of `canonical` listens on.
+/// Deterministic, so the connector and listener agree without the agent
+/// (though the agent mapping is authoritative).
+pub fn local_path_for(canonical: &Addr) -> PathBuf {
+    let mut name = canonical.to_string();
+    name.retain(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-');
+    std::env::temp_dir().join(format!("bertha-local-{name}.sock"))
+}
+
+/// The client half of `local_or_remote()` (Listing 1).
+pub struct LocalOrRemote {
+    agent: Arc<dyn NameSource>,
+}
+
+impl LocalOrRemote {
+    /// Resolve through a specific name source.
+    pub fn with_agent(agent: Arc<dyn NameSource>) -> Self {
+        LocalOrRemote { agent }
+    }
+}
+
+/// `local_or_remote()` resolving through the process-global agent.
+pub fn local_or_remote() -> LocalOrRemote {
+    LocalOrRemote {
+        agent: Arc::new(GlobalAgentSource),
+    }
+}
+
+struct GlobalAgentSource;
+
+impl NameSource for GlobalAgentSource {
+    fn resolve<'a>(&'a self, canonical: &'a Addr) -> BoxFut<'a, Result<Option<Addr>, Error>> {
+        global_agent().resolve(canonical)
+    }
+}
+
+impl ChunnelConnector for LocalOrRemote {
+    type Addr = Addr;
+    type Connection = LocalOrRemoteConn;
+
+    fn connect(&mut self, canonical: Addr) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let agent = Arc::clone(&self.agent);
+        Box::pin(async move {
+            let resolved = agent.resolve(&canonical).await?;
+            match resolved {
+                Some(local @ Addr::Unix(_)) => {
+                    let conn = UdsConnector.connect(local.clone()).await?;
+                    Ok(LocalOrRemoteConn {
+                        inner: Either::Left(conn),
+                        canonical,
+                        resolved: local,
+                    })
+                }
+                // No local instance (or a non-UDS mapping): regular UDP.
+                _ => {
+                    let conn = UdpConnector.connect(canonical.clone()).await?;
+                    Ok(LocalOrRemoteConn {
+                        inner: Either::Right(conn),
+                        canonical: canonical.clone(),
+                        resolved: canonical,
+                    })
+                }
+            }
+        })
+    }
+}
+
+/// Connection produced by [`LocalOrRemote`]: addresses stay canonical.
+pub struct LocalOrRemoteConn {
+    inner: Either<UdsConn, UdpConn>,
+    canonical: Addr,
+    resolved: Addr,
+}
+
+impl LocalOrRemoteConn {
+    /// True if this connection took the Unix-socket fast path.
+    pub fn is_local(&self) -> bool {
+        self.inner.is_left()
+    }
+}
+
+impl ChunnelConnection for LocalOrRemoteConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        let addr = if addr == self.canonical {
+            self.resolved.clone()
+        } else {
+            addr
+        };
+        self.inner.send((addr, buf))
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.inner.recv().await?;
+            // Traffic from the resolved address is, logically, from the
+            // canonical one.
+            let from = if from == self.resolved || matches!(from, Addr::Unix(_)) {
+                self.canonical.clone()
+            } else {
+                from
+            };
+            Ok((from, buf))
+        })
+    }
+}
+
+/// The server half: listens on the canonical UDP address *and* a derived
+/// Unix socket, and registers the mapping with the agent so local clients
+/// take the fast path.
+#[derive(Default)]
+pub struct LocalOrRemoteListener {
+    agent: Option<Arc<crate::agent::NameAgent>>,
+}
+
+impl LocalOrRemoteListener {
+    /// Register with the process-global agent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register with a specific in-process agent.
+    pub fn with_agent(agent: Arc<crate::agent::NameAgent>) -> Self {
+        LocalOrRemoteListener { agent: Some(agent) }
+    }
+}
+
+impl ChunnelListener for LocalOrRemoteListener {
+    type Addr = Addr;
+    type Connection = Either<UdpPeerConn, UdsPeerConn>;
+    type Stream = LocalOrRemoteIncoming;
+
+    fn listen(&mut self, canonical: Addr) -> BoxFut<'static, Result<Self::Stream, Error>> {
+        let agent: Arc<dyn Fn(Addr, Addr) + Send + Sync> = {
+            let agent = self.agent.clone();
+            Arc::new(move |c, l| match &agent {
+                Some(a) => a.register_local(c, l),
+                None => global_agent().register_local(c, l),
+            })
+        };
+        let unregister: Arc<dyn Fn(&Addr) + Send + Sync> = {
+            let agent = self.agent.clone();
+            Arc::new(move |c| {
+                match &agent {
+                    Some(a) => a.unregister(c),
+                    None => global_agent().unregister(c),
+                };
+            })
+        };
+        Box::pin(async move {
+            let udp = UdpListener::default().listen(canonical.clone()).await?;
+            // The kernel may have picked the port (ephemeral listen): the
+            // canonical address for registration is the bound one.
+            let canonical = udp.local_addr();
+            let path = local_path_for(&canonical);
+            let uds = UdsListener::default()
+                .listen(Addr::Unix(path.clone()))
+                .await?;
+            agent(canonical.clone(), Addr::Unix(path));
+            Ok(LocalOrRemoteIncoming {
+                udp,
+                uds,
+                canonical,
+                unregister,
+            })
+        })
+    }
+}
+
+/// Stream of connections arriving on either the UDP address or the local
+/// fast path. Unregisters the agent mapping when dropped.
+pub struct LocalOrRemoteIncoming {
+    udp: UdpIncoming,
+    uds: UdsIncoming,
+    canonical: Addr,
+    unregister: Arc<dyn Fn(&Addr) + Send + Sync>,
+}
+
+impl LocalOrRemoteIncoming {
+    /// The canonical (UDP) address this listener serves.
+    pub fn local_addr(&self) -> Addr {
+        self.canonical.clone()
+    }
+}
+
+impl Drop for LocalOrRemoteIncoming {
+    fn drop(&mut self) {
+        (self.unregister)(&self.canonical);
+    }
+}
+
+impl ConnStream for LocalOrRemoteIncoming {
+    type Connection = Either<UdpPeerConn, UdsPeerConn>;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<Self::Connection, Error>>> {
+        Box::pin(async move {
+            let udp = self.udp.next();
+            let uds = self.uds.next();
+            tokio::select! {
+                c = udp => c.map(|r| r.map(Either::Left)),
+                c = uds => c.map(|r| r.map(Either::Right)),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::NameAgent;
+
+    /// End to end: a remote-looking client goes over UDP; after the local
+    /// listener registers, new connections take the Unix fast path.
+    #[tokio::test]
+    async fn picks_fast_path_when_registered() {
+        let agent = Arc::new(NameAgent::new());
+        let mut listener = LocalOrRemoteListener::with_agent(Arc::clone(&agent));
+        let mut incoming = listener
+            .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let canonical = incoming.local_addr();
+
+        let mut connector = LocalOrRemote::with_agent(agent.clone() as Arc<dyn NameSource>);
+        let conn = connector.connect(canonical.clone()).await.unwrap();
+        assert!(conn.is_local(), "agent has the mapping: fast path");
+
+        conn.send((canonical.clone(), b"via uds".to_vec()))
+            .await
+            .unwrap();
+        let server_conn = incoming.next().await.unwrap().unwrap();
+        assert!(matches!(server_conn, Either::Right(_)), "arrived on uds");
+        let (from, data) = server_conn.recv().await.unwrap();
+        assert_eq!(data, b"via uds");
+        server_conn.send((from, b"reply".to_vec())).await.unwrap();
+        let (from, data) = conn.recv().await.unwrap();
+        assert_eq!(data, b"reply");
+        assert_eq!(from, canonical, "sources are canonicalized");
+    }
+
+    #[tokio::test]
+    async fn falls_back_to_udp_without_mapping() {
+        // A separate, empty agent: the connector cannot see the listener's
+        // registration, as if client and server were on different hosts.
+        let empty = Arc::new(NameAgent::new());
+        let server_agent = Arc::new(NameAgent::new());
+        let mut listener = LocalOrRemoteListener::with_agent(server_agent);
+        let mut incoming = listener
+            .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let canonical = incoming.local_addr();
+
+        let mut connector = LocalOrRemote::with_agent(empty as Arc<dyn NameSource>);
+        let conn = connector.connect(canonical.clone()).await.unwrap();
+        assert!(!conn.is_local());
+        conn.send((canonical.clone(), b"via udp".to_vec()))
+            .await
+            .unwrap();
+        let server_conn = incoming.next().await.unwrap().unwrap();
+        assert!(matches!(server_conn, Either::Left(_)), "arrived on udp");
+        let (_, data) = server_conn.recv().await.unwrap();
+        assert_eq!(data, b"via udp");
+    }
+
+    /// The Figure 4 scenario: connections before a local instance exists
+    /// use UDP; after it appears, new connections switch to the fast path.
+    #[tokio::test]
+    async fn reresolution_discovers_new_local_instance() {
+        let agent = Arc::new(NameAgent::new());
+        // "Remote" server: plain UDP listener, no local registration.
+        let mut remote_incoming = UdpListener::default()
+            .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let canonical = remote_incoming.local_addr();
+
+        let mut connector = LocalOrRemote::with_agent(agent.clone() as Arc<dyn NameSource>);
+        let c1 = connector.connect(canonical.clone()).await.unwrap();
+        assert!(!c1.is_local());
+        // Exercise the UDP path so the remote listener is demonstrably live.
+        c1.send((canonical.clone(), b"hi".to_vec())).await.unwrap();
+        let rc = remote_incoming.next().await.unwrap().unwrap();
+        let (_, d) = rc.recv().await.unwrap();
+        assert_eq!(d, b"hi");
+
+        // A local instance starts (t = 4s in Figure 4): the *next*
+        // connection takes the fast path; the established one is unchanged.
+        let path = local_path_for(&canonical);
+        let _local_uds = UdsListener::default()
+            .listen(Addr::Unix(path.clone()))
+            .await
+            .unwrap();
+        agent.register_local(canonical.clone(), Addr::Unix(path));
+
+        let c2 = connector.connect(canonical.clone()).await.unwrap();
+        assert!(c2.is_local());
+        assert!(!c1.is_local());
+    }
+}

@@ -1,0 +1,27 @@
+//! Local fast-path subsystem (Listing 1, §3.2, Figures 3–4).
+//!
+//! "Prior work has shown that sending messages between containers can add
+//! significant overheads since all data between two containers must
+//! traverse the host network stack ... the `local_or_remote` Chunnel uses
+//! fast IPC calls when transferring data between containers on the same
+//! node and datagrams otherwise."
+//!
+//! The pieces:
+//!
+//! - [`agent`]: the per-host name agent mapping a canonical (UDP) address
+//!   to a local Unix-socket path when a server instance runs on this host.
+//!   Usable in-process or over a Unix socket (one IPC round trip per
+//!   resolution — half of §5's "two additional IPC round trips").
+//! - [`chunnel`]: the `local_or_remote()` connector/listener pair. The
+//!   listener binds both the UDP address and a Unix socket and registers
+//!   the mapping; the connector re-resolves **on every connection**, which
+//!   is what lets Figure 4's client discover a local replica that appears
+//!   later, with no configuration change.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod chunnel;
+
+pub use agent::{global_agent, NameAgent, NameSource, RemoteNameAgent};
+pub use chunnel::{local_or_remote, LocalOrRemote, LocalOrRemoteConn, LocalOrRemoteListener};

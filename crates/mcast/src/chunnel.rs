@@ -1,0 +1,322 @@
+//! The `ordered_mcast()` chunnel: endpoint-side ordered multicast.
+//!
+//! Wraps a datagram connection; `connect_wrap` joins the group through the
+//! sequencer, `send` publishes, and `recv` delivers the group's messages in
+//! sequence order, buffering out-of-order arrivals and NACKing gaps.
+//! Listing 2's client is `wrap!(serialize() |> ordered_mcast())`.
+
+use crate::sequencer::SeqMsg;
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{guid, Negotiate};
+use bertha::{Addr, Chunnel, Error};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration for [`OrderedMcastChunnel`].
+#[derive(Clone, Debug)]
+pub struct McastConfig {
+    /// The sequencer's address.
+    pub sequencer: Addr,
+    /// The group to join.
+    pub group: String,
+    /// Join handshake timeout per attempt.
+    pub join_timeout: Duration,
+    /// Join attempts before failing the connection.
+    pub join_retries: usize,
+    /// How often to (re-)request missing sequence numbers while a gap
+    /// blocks delivery. Retransmissions are idempotent (duplicates are
+    /// dropped), so re-NACKing until the gap closes is safe — and
+    /// necessary, since the retransmission itself can be lost.
+    pub nack_interval: Duration,
+}
+
+/// The `ordered_mcast` chunnel (Listing 2).
+#[derive(Clone, Debug)]
+pub struct OrderedMcastChunnel {
+    cfg: McastConfig,
+}
+
+/// Build an `ordered_mcast()` chunnel for a group behind a sequencer.
+pub fn ordered_mcast(sequencer: Addr, group: impl Into<String>) -> OrderedMcastChunnel {
+    OrderedMcastChunnel {
+        cfg: McastConfig {
+            sequencer,
+            group: group.into(),
+            join_timeout: Duration::from_millis(250),
+            join_retries: 8,
+            nack_interval: Duration::from_millis(20),
+        },
+    }
+}
+
+impl Negotiate for OrderedMcastChunnel {
+    const CAPABILITY: u64 = guid("bertha/ordered-mcast");
+    const IMPL: u64 = guid("bertha/ordered-mcast/sequencer");
+    const NAME: &'static str = "ordered-mcast/sequencer";
+}
+
+bertha::negotiable!(OrderedMcastChunnel);
+
+impl<InC> Chunnel<InC> for OrderedMcastChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = OrderedMcastConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg.clone();
+        Box::pin(async move {
+            // Join (rendezvous through the sequencer: "initial discovery
+            // and negotiation involves all endpoints", §3.2).
+            let join = bincode::serialize(&SeqMsg::Join {
+                group: cfg.group.clone(),
+            })?;
+            let mut next_seq = None;
+            'attempts: for _ in 0..=cfg.join_retries {
+                inner.send((cfg.sequencer.clone(), join.clone())).await?;
+                let deadline = tokio::time::Instant::now() + cfg.join_timeout;
+                loop {
+                    match tokio::time::timeout_at(deadline, inner.recv()).await {
+                        Err(_) => continue 'attempts,
+                        Ok(Err(e)) => return Err(e),
+                        Ok(Ok((_, buf))) => {
+                            if let Ok(SeqMsg::JoinAck { next_seq: ns, .. }) =
+                                bincode::deserialize::<SeqMsg>(&buf)
+                            {
+                                next_seq = Some(ns);
+                                break 'attempts;
+                            }
+                            // Not the ack (e.g. an early Deliver): keep
+                            // waiting; the ordering state below tolerates
+                            // missing it because the sequencer resends on
+                            // NACK.
+                        }
+                    }
+                }
+            }
+            let next_deliver = next_seq.ok_or(Error::Timeout {
+                after: cfg.join_timeout * (cfg.join_retries as u32 + 1),
+                what: "sequencer join ack",
+            })?;
+
+            Ok(OrderedMcastConn {
+                inner,
+                cfg,
+                state: Mutex::new(OrderState {
+                    next_deliver,
+                    buffer: BTreeMap::new(),
+                    last_nack: None,
+                }),
+            })
+        })
+    }
+}
+
+struct OrderState {
+    next_deliver: u64,
+    buffer: BTreeMap<u64, Vec<u8>>,
+    last_nack: Option<std::time::Instant>,
+}
+
+/// Connection produced by [`OrderedMcastChunnel`]. `send` publishes to the
+/// group; `recv` returns `(group address, payload)` in sequence order.
+pub struct OrderedMcastConn<C> {
+    inner: C,
+    cfg: McastConfig,
+    state: Mutex<OrderState>,
+}
+
+impl<C> OrderedMcastConn<C> {
+    /// The group this connection belongs to.
+    pub fn group(&self) -> &str {
+        &self.cfg.group
+    }
+
+    /// Sequence number of the next in-order delivery.
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next_deliver
+    }
+}
+
+impl<C> ChunnelConnection for OrderedMcastConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (_addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let publish = bincode::serialize(&SeqMsg::Publish {
+                group: self.cfg.group.clone(),
+                payload,
+            })?;
+            self.inner.send((self.cfg.sequencer.clone(), publish)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                // Drain the buffer, and decide whether a gap needs
+                // (re-)NACKing.
+                let (nack, gap) = {
+                    let mut st = self.state.lock();
+                    let next = st.next_deliver;
+                    if let Some(p) = st.buffer.remove(&next) {
+                        st.next_deliver += 1;
+                        return Ok((Addr::Named(self.cfg.group.clone()), p));
+                    }
+                    if st.buffer.is_empty() {
+                        st.last_nack = None;
+                        (None, false)
+                    } else {
+                        // A gap blocks delivery: our copy was lost. Ask
+                        // the sequencer to replay, and keep asking every
+                        // nack_interval until it lands (the replay itself
+                        // can be lost too).
+                        let due = st
+                            .last_nack
+                            .map(|t| t.elapsed() >= self.cfg.nack_interval)
+                            .unwrap_or(true);
+                        if due {
+                            st.last_nack = Some(std::time::Instant::now());
+                            let first_buffered =
+                                *st.buffer.keys().next().expect("buffer non-empty");
+                            (Some((next, first_buffered)), true)
+                        } else {
+                            (None, true)
+                        }
+                    }
+                };
+                if let Some((from, to)) = nack {
+                    let msg = bincode::serialize(&SeqMsg::Nack {
+                        group: self.cfg.group.clone(),
+                        from,
+                        to,
+                    })?;
+                    self.inner.send((self.cfg.sequencer.clone(), msg)).await?;
+                }
+
+                // While a gap is outstanding, wake up periodically to
+                // re-NACK even if nothing arrives.
+                let recvd = if gap {
+                    match tokio::time::timeout(self.cfg.nack_interval, self.inner.recv()).await
+                    {
+                        Err(_elapsed) => continue,
+                        Ok(r) => r?,
+                    }
+                } else {
+                    self.inner.recv().await?
+                };
+                let (_, buf) = recvd;
+                let Ok(SeqMsg::Deliver { group, seq, payload }) = bincode::deserialize(&buf)
+                else {
+                    continue;
+                };
+                if group != self.cfg.group {
+                    continue;
+                }
+                let mut st = self.state.lock();
+                if seq < st.next_deliver {
+                    continue; // duplicate
+                }
+                if seq == st.next_deliver {
+                    st.next_deliver += 1;
+                    return Ok((Addr::Named(group), payload));
+                }
+                st.buffer.insert(seq, payload);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequencer::run_sequencer;
+    use bertha::ChunnelConnector;
+    use bertha_transport::mem::MemConnector;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn uniq(name: &str) -> Addr {
+        static N: AtomicU64 = AtomicU64::new(0);
+        Addr::Mem(format!("mcc-{name}-{}", N.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    async fn endpoint(
+        seq_addr: &Addr,
+        group: &str,
+    ) -> OrderedMcastConn<bertha_transport::mem::MemSocket> {
+        let raw = MemConnector.connect(seq_addr.clone()).await.unwrap();
+        ordered_mcast(seq_addr.clone(), group)
+            .connect_wrap(raw)
+            .await
+            .unwrap()
+    }
+
+    #[tokio::test]
+    async fn three_endpoints_agree_on_order() {
+        let seq = run_sequencer(uniq("agree")).await.unwrap();
+        let a = endpoint(seq.addr(), "rsm").await;
+        let b = endpoint(seq.addr(), "rsm").await;
+        let c = endpoint(seq.addr(), "rsm").await;
+
+        let dst = Addr::Named("rsm".into());
+        for i in 0..5u8 {
+            a.send((dst.clone(), vec![b'a', i])).await.unwrap();
+            b.send((dst.clone(), vec![b'b', i])).await.unwrap();
+            c.send((dst.clone(), vec![b'c', i])).await.unwrap();
+        }
+        let mut logs: Vec<Vec<Vec<u8>>> = Vec::new();
+        for ep in [&a, &b, &c] {
+            let mut log = Vec::new();
+            for _ in 0..15 {
+                let (_, p) = ep.recv().await.unwrap();
+                log.push(p);
+            }
+            logs.push(log);
+        }
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+    }
+
+    #[tokio::test]
+    async fn late_joiner_starts_at_current_seq() {
+        let seq = run_sequencer(uniq("late")).await.unwrap();
+        let a = endpoint(seq.addr(), "g").await;
+        let dst = Addr::Named("g".into());
+        for i in 0..3u8 {
+            a.send((dst.clone(), vec![i])).await.unwrap();
+        }
+        for _ in 0..3 {
+            a.recv().await.unwrap();
+        }
+        // B joins after three messages: it must not stall waiting for 0..3.
+        let b = endpoint(seq.addr(), "g").await;
+        assert_eq!(b.next_seq(), 3);
+        a.send((dst.clone(), vec![9])).await.unwrap();
+        let (_, p) = b.recv().await.unwrap();
+        assert_eq!(p, vec![9]);
+    }
+
+    #[tokio::test]
+    async fn join_times_out_without_sequencer() {
+        let raw = bertha_transport::mem::MemSocket::bind(None).unwrap();
+        let dead = uniq("dead-sequencer");
+        // Bind the address so sends do not error, then never answer.
+        let _sink = bertha_transport::mem::MemSocket::bind(Some(match &dead {
+            Addr::Mem(n) => n.clone(),
+            _ => unreachable!(),
+        }))
+        .unwrap();
+        let mut chun = ordered_mcast(dead, "g");
+        chun.cfg.join_timeout = Duration::from_millis(10);
+        chun.cfg.join_retries = 1;
+        match chun.connect_wrap(raw).await {
+            Err(Error::Timeout { .. }) => {}
+            Err(other) => panic!("expected timeout, got {other}"),
+            Ok(_) => panic!("expected timeout, got a connection"),
+        }
+    }
+}

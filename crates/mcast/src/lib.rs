@@ -1,0 +1,28 @@
+//! Ordered multicast (Listing 2, §3.2) and a replicated state machine on
+//! top of it.
+//!
+//! "There is a rich body of work on accelerating consensus protocols,
+//! including the use of network offloads for packet ordering. Listing 2
+//! shows a potential component of a Speculative Paxos (or NOPaxos)
+//! implementation specifying the use of a network-ordering Chunnel
+//! (`ordered_mcast`)."
+//!
+//! The in-network sequencer (a programmable switch in NOPaxos) is
+//! simulated by [`sequencer`]: a standalone process that stamps each
+//! published message with a group-global sequence number and fans it out —
+//! exactly the switch's job, in software (see DESIGN.md substitution 4).
+//! [`chunnel`] is the endpoint side: `ordered_mcast()` joins the group,
+//! publishes via the sequencer, detects gaps, and requests retransmission,
+//! delivering every member the same messages in the same order. [`rsm`]
+//! builds the §3.2 use case on top: replicas applying an identical command
+//! sequence.
+
+#![warn(missing_docs)]
+
+pub mod chunnel;
+pub mod rsm;
+pub mod sequencer;
+
+pub use chunnel::{ordered_mcast, OrderedMcastChunnel, OrderedMcastConn};
+pub use rsm::{Replica, StateMachine};
+pub use sequencer::{run_sequencer, SeqMsg, SequencerHandle};

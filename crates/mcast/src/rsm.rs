@@ -1,0 +1,202 @@
+//! A replicated state machine over ordered multicast (§3.2's consensus use
+//! case).
+//!
+//! With the sequencer providing a single total order, replication is
+//! trivial: every replica applies the same command stream to a
+//! deterministic state machine and stays identical — the property NOPaxos
+//! exploits to skip coordination on the fast path. Commands are submitted
+//! by publishing to the group; a replica learns its own commands' results
+//! when they come back around in order.
+
+use crate::chunnel::OrderedMcastConn;
+use bertha::conn::{ChunnelConnection, Datagram};
+use bertha::{Addr, Error};
+use std::sync::Arc;
+
+/// A deterministic state machine.
+pub trait StateMachine: Send + Sync {
+    /// Apply one command, returning its result. Must be deterministic: the
+    /// same command sequence must produce the same results and state at
+    /// every replica.
+    fn apply(&self, command: &[u8]) -> Vec<u8>;
+
+    /// A digest of the current state, for convergence checks.
+    fn digest(&self) -> u64;
+}
+
+/// One replica: an ordered-multicast connection plus a state machine.
+pub struct Replica<C, S> {
+    conn: OrderedMcastConn<C>,
+    sm: Arc<S>,
+    applied: parking_lot::Mutex<u64>,
+}
+
+impl<C, S> Replica<C, S>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: StateMachine,
+{
+    /// Wrap a joined group connection and a state machine.
+    pub fn new(conn: OrderedMcastConn<C>, sm: Arc<S>) -> Self {
+        Replica {
+            conn,
+            sm,
+            applied: parking_lot::Mutex::new(0),
+        }
+    }
+
+    /// Submit a command to the group (it will be applied when delivered).
+    pub async fn submit(&self, command: Vec<u8>) -> Result<(), Error> {
+        self.conn
+            .send((Addr::Named(self.conn.group().to_owned()), command))
+            .await
+    }
+
+    /// Apply the next command in the total order; returns its result.
+    pub async fn step(&self) -> Result<Vec<u8>, Error> {
+        let (_, command) = self.conn.recv().await?;
+        let result = self.sm.apply(&command);
+        *self.applied.lock() += 1;
+        Ok(result)
+    }
+
+    /// Apply commands until `n` have been applied in total.
+    pub async fn run_until(&self, n: u64) -> Result<(), Error> {
+        while *self.applied.lock() < n {
+            self.step().await?;
+        }
+        Ok(())
+    }
+
+    /// Commands applied so far.
+    pub fn applied(&self) -> u64 {
+        *self.applied.lock()
+    }
+
+    /// The state machine's digest.
+    pub fn digest(&self) -> u64 {
+        self.sm.digest()
+    }
+}
+
+/// A small deterministic KV state machine for tests and examples.
+/// Commands: `set <key>=<value>` and `append <key>=<value>`, as bytes.
+#[derive(Default)]
+pub struct KvStateMachine {
+    map: parking_lot::Mutex<std::collections::BTreeMap<String, String>>,
+}
+
+impl KvStateMachine {
+    /// An empty machine.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Read a key (not part of the replicated command set).
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.lock().get(key).cloned()
+    }
+}
+
+impl StateMachine for KvStateMachine {
+    fn apply(&self, command: &[u8]) -> Vec<u8> {
+        let Ok(text) = std::str::from_utf8(command) else {
+            return b"err: not utf8".to_vec();
+        };
+        let mut map = self.map.lock();
+        let reply = (|| {
+            let (verb, rest) = text.split_once(' ')?;
+            let (key, value) = rest.split_once('=')?;
+            match verb {
+                "set" => {
+                    map.insert(key.to_owned(), value.to_owned());
+                    Some("ok".to_owned())
+                }
+                "append" => {
+                    map.entry(key.to_owned()).or_default().push_str(value);
+                    Some("ok".to_owned())
+                }
+                _ => None,
+            }
+        })();
+        reply.unwrap_or_else(|| "err: bad command".to_owned()).into_bytes()
+    }
+
+    fn digest(&self) -> u64 {
+        let map = self.map.lock();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in map.iter() {
+            for b in k.bytes().chain(std::iter::once(0)).chain(v.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h = h.rotate_left(7);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunnel::ordered_mcast;
+    use crate::sequencer::run_sequencer;
+    use bertha::{Chunnel, ChunnelConnector};
+    use bertha_transport::mem::MemConnector;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn uniq(name: &str) -> Addr {
+        static N: AtomicU64 = AtomicU64::new(0);
+        Addr::Mem(format!("rsm-{name}-{}", N.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    async fn replica(
+        seq_addr: &Addr,
+        group: &str,
+    ) -> Replica<bertha_transport::mem::MemSocket, KvStateMachine> {
+        let raw = MemConnector.connect(seq_addr.clone()).await.unwrap();
+        let conn = ordered_mcast(seq_addr.clone(), group)
+            .connect_wrap(raw)
+            .await
+            .unwrap();
+        Replica::new(conn, KvStateMachine::new())
+    }
+
+    #[tokio::test]
+    async fn replicas_converge_under_concurrent_writers() {
+        let seq = run_sequencer(uniq("converge")).await.unwrap();
+        let replicas = vec![
+            replica(seq.addr(), "kv").await,
+            replica(seq.addr(), "kv").await,
+            replica(seq.addr(), "kv").await,
+        ];
+
+        // Every replica concurrently appends to the same key: ordering
+        // matters, so convergence demonstrates the sequencer's total order.
+        for (i, r) in replicas.iter().enumerate() {
+            for j in 0..5 {
+                r.submit(format!("append log={}{} ", i, j).into_bytes())
+                    .await
+                    .unwrap();
+            }
+        }
+        for r in &replicas {
+            r.run_until(15).await.unwrap();
+        }
+        let d0 = replicas[0].digest();
+        for r in &replicas {
+            assert_eq!(r.digest(), d0, "replica diverged");
+            assert_eq!(r.applied(), 15);
+        }
+    }
+
+    #[tokio::test]
+    async fn command_results_flow_back() {
+        let seq = run_sequencer(uniq("results")).await.unwrap();
+        let r = replica(seq.addr(), "kv").await;
+        r.submit(b"set x=1".to_vec()).await.unwrap();
+        assert_eq!(r.step().await.unwrap(), b"ok");
+        r.submit(b"nonsense".to_vec()).await.unwrap();
+        assert_eq!(r.step().await.unwrap(), b"err: bad command");
+    }
+}

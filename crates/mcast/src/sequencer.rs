@@ -1,0 +1,319 @@
+//! The simulated in-network sequencer.
+//!
+//! One task, one socket, per-group state: members, the next sequence
+//! number, and a bounded history for retransmission. This is the software
+//! stand-in for the NOPaxos switch sequencer: it does no application
+//! processing, only stamping and fan-out.
+
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, Error};
+use bertha_transport::AnyConn;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How many past messages each group retains for retransmission.
+pub const HISTORY: usize = 4096;
+
+/// Sequencer protocol messages (bincode on the wire).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SeqMsg {
+    /// A member joins a group (its source address is recorded).
+    Join {
+        /// Group name.
+        group: String,
+    },
+    /// Join acknowledged.
+    JoinAck {
+        /// Group name.
+        group: String,
+        /// Current member count.
+        members: u32,
+        /// The next sequence number the member will see.
+        next_seq: u64,
+    },
+    /// Publish a payload to the group.
+    Publish {
+        /// Group name.
+        group: String,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// Sequenced delivery, fanned out to every member.
+    Deliver {
+        /// Group name.
+        group: String,
+        /// The group-global sequence number.
+        seq: u64,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// A member detected a gap and wants `[from, to)` again.
+    Nack {
+        /// Group name.
+        group: String,
+        /// First missing sequence number.
+        from: u64,
+        /// One past the last missing sequence number.
+        to: u64,
+    },
+}
+
+struct Group {
+    members: Vec<Addr>,
+    next_seq: u64,
+    history: VecDeque<(u64, Vec<u8>)>,
+}
+
+/// Counters for a running sequencer.
+#[derive(Default)]
+pub struct SeqStats {
+    /// Messages sequenced.
+    pub sequenced: AtomicU64,
+    /// Retransmissions served.
+    pub retransmits: AtomicU64,
+}
+
+/// A running sequencer; dropping the handle stops it.
+pub struct SequencerHandle {
+    task: tokio::task::JoinHandle<()>,
+    addr: Addr,
+    /// Live counters.
+    pub stats: Arc<SeqStats>,
+}
+
+impl SequencerHandle {
+    /// The address endpoints publish to.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+}
+
+impl Drop for SequencerHandle {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Start a sequencer on `addr` (UDP or in-memory).
+pub async fn run_sequencer(addr: Addr) -> Result<SequencerHandle, Error> {
+    let sock = match &addr {
+        Addr::Udp(_) => AnyConn::Udp(bertha_transport::udp::bind_udp(&addr).await?),
+        Addr::Mem(name) => {
+            AnyConn::Mem(bertha_transport::mem::MemSocket::bind(Some(name.clone()))?)
+        }
+        other => {
+            return Err(Error::Other(format!(
+                "sequencer cannot bind a {} address",
+                other.family()
+            )))
+        }
+    };
+    let bound = sock.local_addr()?;
+    let stats = Arc::new(SeqStats::default());
+    let task = {
+        let stats = Arc::clone(&stats);
+        tokio::spawn(async move {
+            let mut groups: HashMap<String, Group> = HashMap::new();
+            loop {
+                let (from, buf) = match sock.recv().await {
+                    Ok(d) => d,
+                    Err(_) => return,
+                };
+                let Ok(msg) = bincode::deserialize::<SeqMsg>(&buf) else {
+                    continue;
+                };
+                match msg {
+                    SeqMsg::Join { group } => {
+                        let g = groups.entry(group.clone()).or_insert_with(|| Group {
+                            members: Vec::new(),
+                            next_seq: 0,
+                            history: VecDeque::new(),
+                        });
+                        if !g.members.contains(&from) {
+                            g.members.push(from.clone());
+                        }
+                        let ack = SeqMsg::JoinAck {
+                            group,
+                            members: g.members.len() as u32,
+                            next_seq: g.next_seq,
+                        };
+                        let Ok(body) = bincode::serialize(&ack) else {
+                            continue;
+                        };
+                        let _ = sock.send((from, body)).await;
+                    }
+                    SeqMsg::Publish { group, payload } => {
+                        let Some(g) = groups.get_mut(&group) else {
+                            continue; // publish from a non-member group: drop
+                        };
+                        let seq = g.next_seq;
+                        g.next_seq += 1;
+                        g.history.push_back((seq, payload.clone()));
+                        if g.history.len() > HISTORY {
+                            g.history.pop_front();
+                        }
+                        stats.sequenced.fetch_add(1, Ordering::Relaxed);
+                        let deliver = SeqMsg::Deliver {
+                            group: group.clone(),
+                            seq,
+                            payload,
+                        };
+                        let Ok(body) = bincode::serialize(&deliver) else {
+                            continue;
+                        };
+                        for m in &g.members {
+                            let _ = sock.send((m.clone(), body.clone())).await;
+                        }
+                    }
+                    SeqMsg::Nack { group, from: lo, to } => {
+                        let Some(g) = groups.get(&group) else {
+                            continue;
+                        };
+                        for (seq, payload) in g.history.iter() {
+                            if *seq >= lo && *seq < to {
+                                stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                                let deliver = SeqMsg::Deliver {
+                                    group: group.clone(),
+                                    seq: *seq,
+                                    payload: payload.clone(),
+                                };
+                                let Ok(body) = bincode::serialize(&deliver) else {
+                                    continue;
+                                };
+                                let _ = sock.send((from.clone(), body)).await;
+                            }
+                        }
+                    }
+                    SeqMsg::JoinAck { .. } | SeqMsg::Deliver { .. } => {
+                        // Endpoint-bound messages arriving here are bugs or
+                        // forgeries; ignore.
+                    }
+                }
+            }
+        })
+    };
+    Ok(SequencerHandle {
+        task,
+        addr: bound,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::ChunnelConnector;
+    use bertha_transport::mem::MemConnector;
+
+    async fn member(seq_addr: &Addr, group: &str) -> bertha_transport::mem::MemSocket {
+        let sock = MemConnector.connect(seq_addr.clone()).await.unwrap();
+        let join = bincode::serialize(&SeqMsg::Join {
+            group: group.into(),
+        })
+        .unwrap();
+        sock.send((seq_addr.clone(), join)).await.unwrap();
+        let (_, buf) = sock.recv().await.unwrap();
+        match bincode::deserialize::<SeqMsg>(&buf).unwrap() {
+            SeqMsg::JoinAck { .. } => sock,
+            other => panic!("expected JoinAck, got {other:?}"),
+        }
+    }
+
+    fn uniq(name: &str) -> Addr {
+        static N: AtomicU64 = AtomicU64::new(0);
+        Addr::Mem(format!("seq-{name}-{}", N.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    async fn publish(sock: &bertha_transport::mem::MemSocket, seq_addr: &Addr, group: &str, p: &[u8]) {
+        let m = bincode::serialize(&SeqMsg::Publish {
+            group: group.into(),
+            payload: p.to_vec(),
+        })
+        .unwrap();
+        sock.send((seq_addr.clone(), m)).await.unwrap();
+    }
+
+    async fn next_deliver(sock: &bertha_transport::mem::MemSocket) -> (u64, Vec<u8>) {
+        loop {
+            let (_, buf) = sock.recv().await.unwrap();
+            if let Ok(SeqMsg::Deliver { seq, payload, .. }) = bincode::deserialize(&buf) {
+                return (seq, payload);
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn all_members_see_same_order() {
+        let seq = run_sequencer(uniq("order")).await.unwrap();
+        let a = member(seq.addr(), "g").await;
+        let b = member(seq.addr(), "g").await;
+
+        // Both members publish concurrently.
+        for i in 0..10u8 {
+            publish(&a, seq.addr(), "g", &[0, i]).await;
+            publish(&b, seq.addr(), "g", &[1, i]).await;
+        }
+        let mut seen_a = Vec::new();
+        let mut seen_b = Vec::new();
+        for _ in 0..20 {
+            seen_a.push(next_deliver(&a).await);
+            seen_b.push(next_deliver(&b).await);
+        }
+        assert_eq!(seen_a, seen_b, "identical order at every member");
+        let seqs: Vec<u64> = seen_a.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>(), "dense sequence");
+        assert_eq!(seq.stats.sequenced.load(Ordering::Relaxed), 20);
+    }
+
+    #[tokio::test]
+    async fn nack_replays_history() {
+        let seq = run_sequencer(uniq("nack")).await.unwrap();
+        let a = member(seq.addr(), "g").await;
+        for i in 0..5u8 {
+            publish(&a, seq.addr(), "g", &[i]).await;
+        }
+        for _ in 0..5 {
+            next_deliver(&a).await;
+        }
+        // Ask for 1..4 again.
+        let nack = bincode::serialize(&SeqMsg::Nack {
+            group: "g".into(),
+            from: 1,
+            to: 4,
+        })
+        .unwrap();
+        a.send((seq.addr().clone(), nack)).await.unwrap();
+        let mut replayed = Vec::new();
+        for _ in 0..3 {
+            replayed.push(next_deliver(&a).await.0);
+        }
+        assert_eq!(replayed, vec![1, 2, 3]);
+        assert_eq!(seq.stats.retransmits.load(Ordering::Relaxed), 3);
+    }
+
+    #[tokio::test]
+    async fn groups_are_isolated() {
+        let seq = run_sequencer(uniq("iso")).await.unwrap();
+        let a = member(seq.addr(), "g1").await;
+        let b = member(seq.addr(), "g2").await;
+        publish(&a, seq.addr(), "g1", b"one").await;
+        publish(&b, seq.addr(), "g2", b"two").await;
+        // Each group's sequence starts at 0 and members only see their own.
+        let (sa, pa) = next_deliver(&a).await;
+        let (sb, pb) = next_deliver(&b).await;
+        assert_eq!((sa, pa.as_slice()), (0, b"one".as_slice()));
+        assert_eq!((sb, pb.as_slice()), (0, b"two".as_slice()));
+    }
+
+    #[tokio::test]
+    async fn publish_to_unknown_group_is_dropped() {
+        let seq = run_sequencer(uniq("unknown")).await.unwrap();
+        let a = member(seq.addr(), "g").await;
+        publish(&a, seq.addr(), "nope", b"x").await;
+        publish(&a, seq.addr(), "g", b"real").await;
+        let (s, p) = next_deliver(&a).await;
+        assert_eq!((s, p.as_slice()), (0, b"real".as_slice()));
+    }
+}

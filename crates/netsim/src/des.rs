@@ -1,0 +1,140 @@
+//! A small discrete-event simulator: latency under load for a placed
+//! pipeline.
+//!
+//! Each device is a FIFO station with deterministic per-message service
+//! time (from the placement cost model); arrivals are Poisson. The output
+//! is the end-to-end latency distribution — the tool for asking "at what
+//! offered load does this placement's bottleneck saturate?", which is how
+//! the ablation benches compare placements beyond single-message cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One station: a FIFO server with fixed service time.
+#[derive(Clone, Copy, Debug)]
+pub struct Station {
+    /// Service time per message, nanoseconds.
+    pub service_ns: f64,
+}
+
+/// Simulation output.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Sorted end-to-end latencies, nanoseconds.
+    pub latencies_ns: Vec<f64>,
+}
+
+impl SimResult {
+    /// The `q`-quantile latency (0 ≤ q ≤ 1).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ns[idx]
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        self.latencies_ns.iter().sum::<f64>() / self.latencies_ns.len().max(1) as f64
+    }
+}
+
+/// Simulate `n_msgs` Poisson arrivals at `rate_per_ns` through the station
+/// chain. Deterministic for a given seed.
+pub fn simulate(stations: &[Station], rate_per_ns: f64, n_msgs: usize, seed: u64) -> SimResult {
+    assert!(rate_per_ns > 0.0, "offered load must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Arrival times (Poisson: exponential gaps).
+    let mut arrivals = Vec::with_capacity(n_msgs);
+    let mut t = 0.0f64;
+    for _ in 0..n_msgs {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / rate_per_ns;
+        arrivals.push(t);
+    }
+
+    // FIFO through each station: departure = max(arrival, prev departure at
+    // this station) + service.
+    let mut station_free = vec![0.0f64; stations.len()];
+    let mut latencies = Vec::with_capacity(n_msgs);
+    for &arr in &arrivals {
+        let mut when = arr;
+        for (s, station) in stations.iter().enumerate() {
+            let start = when.max(station_free[s]);
+            let done = start + station.service_ns;
+            station_free[s] = done;
+            when = done;
+        }
+        latencies.push(when - arr);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SimResult {
+        latencies_ns: latencies,
+    }
+}
+
+/// The largest station service time: the pipeline's saturation bound
+/// (throughput ≤ 1/bottleneck).
+pub fn bottleneck_ns(stations: &[Station]) -> f64 {
+    stations
+        .iter()
+        .map(|s| s.service_ns)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_latency_is_sum_of_services() {
+        let stations = [Station { service_ns: 100.0 }, Station { service_ns: 50.0 }];
+        // Very light load: essentially no queueing.
+        let r = simulate(&stations, 1e-6, 1000, 7);
+        assert!((r.quantile(0.5) - 150.0).abs() < 1.0, "{}", r.quantile(0.5));
+    }
+
+    #[test]
+    fn latency_blows_up_near_saturation() {
+        let stations = [Station { service_ns: 100.0 }];
+        let light = simulate(&stations, 0.001, 5000, 7); // 10% utilization
+        let heavy = simulate(&stations, 0.0099, 5000, 7); // 99% utilization
+        assert!(
+            heavy.quantile(0.95) > 5.0 * light.quantile(0.95),
+            "p95 light {} vs heavy {}",
+            light.quantile(0.95),
+            heavy.quantile(0.95)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let stations = [Station { service_ns: 10.0 }];
+        let a = simulate(&stations, 0.01, 100, 3);
+        let b = simulate(&stations, 0.01, 100, 3);
+        assert_eq!(a.latencies_ns, b.latencies_ns);
+    }
+
+    #[test]
+    fn bottleneck_is_max_station() {
+        let stations = [
+            Station { service_ns: 10.0 },
+            Station { service_ns: 70.0 },
+            Station { service_ns: 20.0 },
+        ];
+        assert_eq!(bottleneck_ns(&stations), 70.0);
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let r = SimResult {
+            latencies_ns: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        };
+        assert_eq!(r.quantile(0.0), 1.0);
+        assert_eq!(r.quantile(1.0), 5.0);
+        assert_eq!(r.quantile(0.5), 3.0);
+        assert!((r.mean() - 3.0).abs() < 1e-9);
+    }
+}

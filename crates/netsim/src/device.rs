@@ -1,0 +1,130 @@
+//! Device models: where chunnel stages can run.
+
+use std::collections::HashSet;
+
+/// Identifies a device within a [`PlacementProblem`](crate::placement::PlacementProblem).
+pub type DeviceId = usize;
+
+/// What kind of element a device is, which determines where it sits on the
+/// data path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// The host CPU (the application side of the PCIe bus). Fallback
+    /// implementations always run here.
+    HostCpu,
+    /// A NIC-attached engine (ASIC block, FPGA, or SmartNIC core): the far
+    /// side of the PCIe bus, before the wire.
+    Nic,
+    /// An in-network element (programmable switch): past the wire.
+    Switch,
+}
+
+/// The PCIe link between host and NIC.
+#[derive(Clone, Copy, Debug)]
+pub struct Pcie {
+    /// Sustained bandwidth in bytes per nanosecond (≈ GB/s).
+    pub bytes_per_ns: f64,
+    /// Per-crossing latency in nanoseconds (doorbell + DMA setup).
+    pub crossing_ns: f64,
+}
+
+impl Default for Pcie {
+    fn default() -> Self {
+        // Roughly PCIe 3.0 x8: ~7.8 GB/s usable, ~600 ns per crossing.
+        Pcie {
+            bytes_per_ns: 7.8,
+            crossing_ns: 600.0,
+        }
+    }
+}
+
+/// A device that can host chunnel stages.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Display name.
+    pub name: String,
+    /// Where it sits.
+    pub kind: DeviceKind,
+    /// Capability GUIDs it can execute (fused capabilities included).
+    pub capabilities: HashSet<u64>,
+    /// Processing cost per payload byte, in nanoseconds.
+    pub per_byte_ns: f64,
+    /// Fixed processing cost per message, in nanoseconds.
+    pub per_msg_ns: f64,
+    /// How many stages it can still host (switch table/stage budget).
+    pub stage_capacity: usize,
+}
+
+impl Device {
+    /// A host CPU that can run anything (software fallback), at the given
+    /// per-byte cost.
+    pub fn host_cpu(name: impl Into<String>, per_byte_ns: f64) -> Self {
+        Device {
+            name: name.into(),
+            kind: DeviceKind::HostCpu,
+            capabilities: HashSet::new(), // empty = universal (see supports)
+            per_byte_ns,
+            per_msg_ns: 150.0,
+            stage_capacity: usize::MAX,
+        }
+    }
+
+    /// A NIC engine supporting the listed capabilities, faster per byte
+    /// than the host.
+    pub fn nic(name: impl Into<String>, caps: impl IntoIterator<Item = u64>) -> Self {
+        Device {
+            name: name.into(),
+            kind: DeviceKind::Nic,
+            capabilities: caps.into_iter().collect(),
+            per_byte_ns: 0.05,
+            per_msg_ns: 80.0,
+            stage_capacity: 4,
+        }
+    }
+
+    /// A programmable switch supporting the listed capabilities.
+    pub fn switch(name: impl Into<String>, caps: impl IntoIterator<Item = u64>) -> Self {
+        Device {
+            name: name.into(),
+            kind: DeviceKind::Switch,
+            capabilities: caps.into_iter().collect(),
+            per_byte_ns: 0.01,
+            per_msg_ns: 30.0,
+            stage_capacity: 2,
+        }
+    }
+
+    /// Whether this device can execute a capability. Host CPUs run
+    /// anything (that is the fallback guarantee, §2); other devices only
+    /// what they advertise.
+    pub fn supports(&self, capability: u64) -> bool {
+        match self.kind {
+            DeviceKind::HostCpu => true,
+            _ => self.capabilities.contains(&capability),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_runs_anything_nic_only_advertised() {
+        let host = Device::host_cpu("h", 0.3);
+        let nic = Device::nic("n", [42]);
+        assert!(host.supports(7));
+        assert!(host.supports(42));
+        assert!(nic.supports(42));
+        assert!(!nic.supports(7));
+    }
+
+    #[test]
+    fn device_cost_ordering_is_sane() {
+        let host = Device::host_cpu("h", 0.3);
+        let nic = Device::nic("n", []);
+        let sw = Device::switch("s", []);
+        assert!(host.per_byte_ns > nic.per_byte_ns);
+        assert!(nic.per_byte_ns > sw.per_byte_ns);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated offload substrate for the paper's §6 research directions.
+//!
+//! The workspace has no SmartNICs or Tofino switches, so this crate models
+//! them: devices with capability sets, processing costs, and finite
+//! capacity; a PCIe cost model; a placement engine for chunnel pipelines;
+//! a small discrete-event simulator for latency-under-load; and the
+//! multi-resource scheduling policies §6 points at. The `bench` crate uses
+//! it to reproduce the §6 examples quantitatively:
+//!
+//! - **DAG reordering** ([`placement`]): the `encrypt |> http2 |> tcp`
+//!   pipeline whose naive NIC offload moves 3× the data over PCIe
+//!   (NIC–CPU–NIC), fixed by reordering and by fusing into a TLS offload;
+//! - **Scheduling** ([`sched`]): two applications competing for one P4
+//!   switch's capacity, allocated by priority alone vs. dominant-resource
+//!   fairness.
+//!
+//! Modules: [`device`] (device models), [`placement`] (placement search +
+//! cost model), [`des`] (event-driven latency simulation), [`sched`]
+//! (multi-resource allocation).
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod device;
+pub mod placement;
+pub mod sched;
+pub mod topology;
+
+pub use device::{Device, DeviceId, DeviceKind, Pcie};
+pub use placement::{place, place_greedy, placement_cost, Placement, PlacementCost, PlacementProblem};
+pub use sched::{allocate, AllocPolicy, AppRequest, Allocation};
+pub use topology::{Node, SteeringPoint, Topology};

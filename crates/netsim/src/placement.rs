@@ -1,0 +1,399 @@
+//! Placing a chunnel pipeline onto devices, and what it costs.
+//!
+//! The §6 example, quantified: "consider a Bertha connection with the
+//! pipeline `encrypt |> http2 |> tcp` running on a host where a SmartNIC
+//! can be used to offload encryption and TCP functionality. When
+//! implemented as specified, the Bertha runtime must either use a fallback
+//! implementation for encryption or incur a 3× increase (NIC-CPU-NIC) in
+//! the amount of data sent over PCIe."
+//!
+//! The model: the message starts at the application (host CPU side),
+//! traverses its stages in pipeline order on whatever devices they are
+//! placed, and exits on the wire (past the NIC). Every time consecutive
+//! stages sit on opposite sides of the PCIe bus, the message crosses it —
+//! and bytes over PCIe, plus per-stage processing, is the cost.
+
+use crate::device::{Device, DeviceId, DeviceKind, Pcie};
+use bertha::dag::StackSpec;
+
+/// A placement problem: the pipeline, the devices, the bus, the message.
+#[derive(Clone, Debug)]
+pub struct PlacementProblem {
+    /// Candidate devices.
+    pub devices: Vec<Device>,
+    /// The host↔NIC bus.
+    pub pcie: Pcie,
+    /// Message size entering the pipeline, in bytes.
+    pub message_bytes: f64,
+    /// Latency to reach an in-network (switch) device, in nanoseconds.
+    pub wire_ns: f64,
+}
+
+/// A chosen device per pipeline stage (same order as the spec).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement(pub Vec<DeviceId>);
+
+/// Cost breakdown for one placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacementCost {
+    /// Total bytes that crossed the PCIe bus.
+    pub pcie_bytes: f64,
+    /// Number of PCIe crossings.
+    pub pcie_crossings: usize,
+    /// Time spent on PCIe (bandwidth + per-crossing), nanoseconds.
+    pub pcie_ns: f64,
+    /// Processing time across stages, nanoseconds.
+    pub processing_ns: f64,
+    /// Total: PCIe + processing + wire, nanoseconds.
+    pub total_ns: f64,
+}
+
+fn side(kind: DeviceKind) -> u8 {
+    // 0 = host side of PCIe, 1 = NIC side / wire-ward.
+    match kind {
+        DeviceKind::HostCpu => 0,
+        DeviceKind::Nic | DeviceKind::Switch => 1,
+    }
+}
+
+/// Cost of running `spec` under `placement`.
+pub fn placement_cost(
+    spec: &StackSpec,
+    problem: &PlacementProblem,
+    placement: &Placement,
+) -> PlacementCost {
+    assert_eq!(placement.0.len(), spec.nodes.len(), "one device per stage");
+    let mut pcie_bytes = 0.0;
+    let mut pcie_crossings = 0usize;
+    let mut processing_ns = 0.0;
+    let mut wire_ns = 0.0;
+
+    // The message starts at the application: host side.
+    let mut cur_side = 0u8;
+    let mut cur_kind = DeviceKind::HostCpu;
+    for (i, &dev_id) in placement.0.iter().enumerate() {
+        let dev = &problem.devices[dev_id];
+        let bytes_here = spec.size_after(problem.message_bytes, i);
+        if side(dev.kind) != cur_side {
+            pcie_crossings += 1;
+            pcie_bytes += bytes_here;
+        }
+        if dev.kind == DeviceKind::Switch && cur_kind != DeviceKind::Switch {
+            wire_ns += problem.wire_ns;
+        }
+        cur_side = side(dev.kind);
+        cur_kind = dev.kind;
+        processing_ns += dev.per_msg_ns + dev.per_byte_ns * bytes_here;
+    }
+    // Exit to the wire: one more crossing if we ended on the host side.
+    let final_bytes = spec.size_after(problem.message_bytes, spec.nodes.len());
+    if cur_side == 0 {
+        pcie_crossings += 1;
+        pcie_bytes += final_bytes;
+    }
+
+    let pcie_ns =
+        pcie_bytes / problem.pcie.bytes_per_ns + pcie_crossings as f64 * problem.pcie.crossing_ns;
+    PlacementCost {
+        pcie_bytes,
+        pcie_crossings,
+        pcie_ns,
+        processing_ns,
+        total_ns: pcie_ns + processing_ns + wire_ns,
+    }
+}
+
+/// All feasible placements of `spec` (capability support and stage
+/// capacity respected).
+pub fn feasible_placements(spec: &StackSpec, problem: &PlacementProblem) -> Vec<Placement> {
+    let n = spec.nodes.len();
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+
+    fn rec(
+        spec: &StackSpec,
+        problem: &PlacementProblem,
+        current: &mut Vec<usize>,
+        depth: usize,
+        out: &mut Vec<Placement>,
+    ) {
+        if depth == spec.nodes.len() {
+            // Capacity check: stages per device within its budget.
+            let mut counts = vec![0usize; problem.devices.len()];
+            for &d in current.iter() {
+                counts[d] += 1;
+            }
+            if counts
+                .iter()
+                .zip(&problem.devices)
+                .all(|(&c, d)| c <= d.stage_capacity)
+            {
+                out.push(Placement(current.clone()));
+            }
+            return;
+        }
+        for (id, dev) in problem.devices.iter().enumerate() {
+            if dev.supports(spec.nodes[depth].capability) {
+                current[depth] = id;
+                rec(spec, problem, current, depth + 1, out);
+            }
+        }
+    }
+    rec(spec, problem, &mut current, 0, &mut out);
+    out
+}
+
+/// Greedy placement: assign stages in order, each to the device that
+/// minimizes the *incremental* cost (processing plus any PCIe crossing it
+/// introduces), respecting support and capacity. Linear in
+/// stages × devices, for pipelines too deep for [`place`]'s exhaustive
+/// search; may be suboptimal because it cannot anticipate that a cheap
+/// stage now forces an expensive crossing later.
+pub fn place_greedy(
+    spec: &StackSpec,
+    problem: &PlacementProblem,
+) -> Option<(Placement, PlacementCost)> {
+    let mut chosen = Vec::with_capacity(spec.nodes.len());
+    let mut counts = vec![0usize; problem.devices.len()];
+    let mut cur_side = 0u8; // app side
+    for (i, node) in spec.nodes.iter().enumerate() {
+        let bytes = spec.size_after(problem.message_bytes, i);
+        let best = problem
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(id, d)| d.supports(node.capability) && counts[*id] < d.stage_capacity)
+            .map(|(id, d)| {
+                let crossing = if side(d.kind) != cur_side {
+                    bytes / problem.pcie.bytes_per_ns + problem.pcie.crossing_ns
+                } else {
+                    0.0
+                };
+                let cost = d.per_msg_ns + d.per_byte_ns * bytes + crossing;
+                (id, cost)
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())?;
+        counts[best.0] += 1;
+        cur_side = side(problem.devices[best.0].kind);
+        chosen.push(best.0);
+    }
+    let placement = Placement(chosen);
+    let cost = placement_cost(spec, problem, &placement);
+    Some((placement, cost))
+}
+
+/// Find the cheapest placement of `spec` as given (no reordering).
+pub fn place(spec: &StackSpec, problem: &PlacementProblem) -> Option<(Placement, PlacementCost)> {
+    feasible_placements(spec, problem)
+        .into_iter()
+        .map(|p| {
+            let c = placement_cost(spec, problem, &p);
+            (p, c)
+        })
+        .min_by(|(_, a), (_, b)| a.total_ns.partial_cmp(&b.total_ns).unwrap())
+}
+
+/// Co-optimize ordering (legal commutations), fusion (against device
+/// capabilities), and placement: the full §6 optimization. Returns the
+/// chosen spec alongside its placement and cost.
+pub fn optimize_and_place(
+    spec: &StackSpec,
+    problem: &PlacementProblem,
+) -> Option<(StackSpec, Placement, PlacementCost)> {
+    let available: std::collections::HashSet<u64> = problem
+        .devices
+        .iter()
+        .flat_map(|d| d.capabilities.iter().copied())
+        .collect();
+    let mut best: Option<(StackSpec, Placement, PlacementCost)> = None;
+    for ordering in spec.reorderings() {
+        for candidate in [ordering.clone(), ordering.fuse(&available)] {
+            if let Some((p, c)) = place(&candidate, problem) {
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bc)) => c.total_ns < bc.total_ns,
+                };
+                if better {
+                    best = Some((candidate, p, c));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::dag::NodeSpec;
+    use bertha::negotiate::guid;
+
+    const ENCRYPT: u64 = guid("cap/encrypt");
+    const HTTP2: u64 = guid("cap/http2");
+    const TCP: u64 = guid("cap/tcp");
+    const TLS: u64 = guid("cap/tls");
+
+    fn paper_spec() -> StackSpec {
+        StackSpec::new(vec![
+            NodeSpec::opaque("encrypt", ENCRYPT)
+                .commutes([HTTP2])
+                .fuses_with(TCP, TLS, "tls"),
+            NodeSpec::opaque("http2", HTTP2),
+            NodeSpec::opaque("tcp", TCP),
+        ])
+    }
+
+    fn paper_problem(nic_caps: Vec<u64>) -> PlacementProblem {
+        PlacementProblem {
+            devices: vec![Device::host_cpu("host", 0.3), Device::nic("smartnic", nic_caps)],
+            pcie: Pcie::default(),
+            message_bytes: 16_384.0,
+            wire_ns: 5_000.0,
+        }
+    }
+
+    fn by_name(spec: &StackSpec, problem: &PlacementProblem, names: &[&str]) -> Placement {
+        Placement(
+            names
+                .iter()
+                .map(|n| {
+                    problem
+                        .devices
+                        .iter()
+                        .position(|d| d.name == *n)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .tap_check(spec)
+    }
+
+    trait Tap {
+        fn tap_check(self, spec: &StackSpec) -> Self;
+    }
+
+    impl Tap for Placement {
+        fn tap_check(self, spec: &StackSpec) -> Self {
+            assert_eq!(self.0.len(), spec.nodes.len());
+            self
+        }
+    }
+
+    #[test]
+    fn naive_nic_offload_triples_pcie_bytes() {
+        // encrypt on NIC, http2 on host, tcp on NIC: NIC-CPU-NIC.
+        let spec = paper_spec();
+        let problem = paper_problem(vec![ENCRYPT, TCP]);
+        let naive = by_name(&spec, &problem, &["smartnic", "host", "smartnic"]);
+        let naive_cost = placement_cost(&spec, &problem, &naive);
+
+        // Reordered: http2 on host first, then encrypt+tcp on the NIC.
+        let reordered = spec.reorder_by(|o| {
+            (o.nodes.len() - o.names().iter().position(|n| *n == "encrypt").unwrap()) as f64
+        });
+        assert_eq!(reordered.names(), vec!["http2", "encrypt", "tcp"]);
+        let good = by_name(&reordered, &problem, &["host", "smartnic", "smartnic"]);
+        let good_cost = placement_cost(&reordered, &problem, &good);
+
+        // The paper's 3×: bytes over PCIe.
+        let ratio = naive_cost.pcie_bytes / good_cost.pcie_bytes;
+        assert!(
+            (ratio - 3.0).abs() < 1e-9,
+            "expected exactly 3x PCIe bytes, got {ratio}"
+        );
+        assert_eq!(naive_cost.pcie_crossings, 3);
+        assert_eq!(good_cost.pcie_crossings, 1);
+    }
+
+    #[test]
+    fn all_on_host_crosses_pcie_once() {
+        let spec = paper_spec();
+        let problem = paper_problem(vec![]);
+        let host_only = by_name(&spec, &problem, &["host", "host", "host"]);
+        let c = placement_cost(&spec, &problem, &host_only);
+        assert_eq!(c.pcie_crossings, 1, "only the final exit to the wire");
+        assert!((c.pcie_bytes - problem.message_bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_respects_capabilities_and_capacity() {
+        let spec = paper_spec();
+        // NIC supports only TCP: encrypt/http2 must go to the host.
+        let problem = paper_problem(vec![TCP]);
+        let placements = feasible_placements(&spec, &problem);
+        assert!(!placements.is_empty());
+        for p in &placements {
+            // Stage 0 (encrypt) and 1 (http2) must be on the host (id 0).
+            assert_eq!(p.0[0], 0);
+            assert_eq!(p.0[1], 0);
+        }
+    }
+
+    #[test]
+    fn optimize_and_place_finds_the_fused_tls_offload() {
+        // The NIC has no separate encrypt engine but does offer TLS (the
+        // paper's second scenario: "if the SmartNIC did not explicitly
+        // offer separate offloads for encryption and TCP, but did offer
+        // one for TLS, Bertha could reorder and then merge").
+        let spec = paper_spec();
+        let problem = paper_problem(vec![TLS]);
+        let (chosen, placement, cost) = optimize_and_place(&spec, &problem).unwrap();
+        assert_eq!(chosen.names(), vec!["http2", "tls"]);
+        // tls runs on the NIC.
+        let tls_dev = &problem.devices[placement.0[1]];
+        assert_eq!(tls_dev.name, "smartnic");
+        assert_eq!(cost.pcie_crossings, 1);
+    }
+
+    #[test]
+    fn optimizer_beats_naive_placement() {
+        let spec = paper_spec();
+        let problem = paper_problem(vec![ENCRYPT, TCP]);
+        let naive = by_name(&spec, &problem, &["smartnic", "host", "smartnic"]);
+        let naive_cost = placement_cost(&spec, &problem, &naive);
+        let (_, _, best) = optimize_and_place(&spec, &problem).unwrap();
+        assert!(best.total_ns < naive_cost.total_ns);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_never_beats_exhaustive() {
+        for nic_caps in [vec![], vec![TCP], vec![ENCRYPT, TCP], vec![ENCRYPT, HTTP2, TCP]] {
+            let spec = paper_spec();
+            let problem = paper_problem(nic_caps.clone());
+            let (gp, gc) = place_greedy(&spec, &problem).expect("host always feasible");
+            let (_, ec) = place(&spec, &problem).expect("host always feasible");
+            // Feasibility: every assignment supports its stage.
+            for (i, &d) in gp.0.iter().enumerate() {
+                assert!(problem.devices[d].supports(spec.nodes[i].capability));
+            }
+            assert!(
+                gc.total_ns >= ec.total_ns - 1e-9,
+                "greedy beat exhaustive?! {nic_caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_none_when_infeasible() {
+        let spec = paper_spec();
+        let problem = PlacementProblem {
+            devices: vec![Device::nic("nic-only", vec![])],
+            pcie: Pcie::default(),
+            message_bytes: 10.0,
+            wire_ns: 0.0,
+        };
+        assert!(place_greedy(&spec, &problem).is_none());
+    }
+
+    #[test]
+    fn place_without_feasible_devices_is_none() {
+        let spec = paper_spec();
+        let problem = PlacementProblem {
+            devices: vec![Device::nic("nic-only", vec![])], // nothing runs here
+            pcie: Pcie::default(),
+            message_bytes: 100.0,
+            wire_ns: 0.0,
+        };
+        assert!(place(&spec, &problem).is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! Multi-resource scheduling of offload capacity (§6).
+//!
+//! "If two programs can benefit from offloading functionality to a P4
+//! switch, but the switch only has capacity for one, the Bertha runtime
+//! must choose between these two applications. Note that Chunnel
+//! priorities alone are insufficient ... One approach to addressing this
+//! challenge is to borrow techniques from the multi-resource scheduling
+//! literature" — i.e. dominant resource fairness (Ghodsi et al., NSDI '11).
+//!
+//! Two policies over the same inputs: priority-only first-fit (what naive
+//! priorities give you) and DRF progressive filling. The ablation bench
+//! compares the allocations' fairness and utilization.
+
+use std::collections::BTreeMap;
+
+/// A named resource dimension (switch table slots, stages, meters, ...).
+pub type Resource = &'static str;
+
+/// One application's request: a per-unit demand bundle, how many units it
+/// wants, and its (chunnel-style) priority.
+#[derive(Clone, Debug)]
+pub struct AppRequest {
+    /// Application name.
+    pub name: String,
+    /// Resources consumed per granted unit (per connection, say).
+    pub demand: BTreeMap<Resource, f64>,
+    /// Units wanted.
+    pub wanted: u64,
+    /// Priority (higher first) under the priority policy.
+    pub priority: i32,
+}
+
+/// Allocation policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Grant higher-priority apps everything they want, first-fit.
+    PriorityOnly,
+    /// Dominant-resource fairness progressive filling.
+    Drf,
+}
+
+/// The outcome for one app.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allocation {
+    /// Application name.
+    pub name: String,
+    /// Units granted.
+    pub granted: u64,
+    /// The app's dominant share after allocation (0..1).
+    pub dominant_share: f64,
+}
+
+fn fits(capacity: &BTreeMap<Resource, f64>, used: &BTreeMap<Resource, f64>, demand: &BTreeMap<Resource, f64>) -> bool {
+    demand.iter().all(|(r, d)| {
+        let cap = capacity.get(r).copied().unwrap_or(0.0);
+        let u = used.get(r).copied().unwrap_or(0.0);
+        u + d <= cap + 1e-9
+    })
+}
+
+fn add(used: &mut BTreeMap<Resource, f64>, demand: &BTreeMap<Resource, f64>) {
+    for (r, d) in demand {
+        *used.entry(r).or_insert(0.0) += d;
+    }
+}
+
+fn dominant_share(
+    capacity: &BTreeMap<Resource, f64>,
+    demand: &BTreeMap<Resource, f64>,
+    units: u64,
+) -> f64 {
+    demand
+        .iter()
+        .map(|(r, d)| {
+            let cap = capacity.get(r).copied().unwrap_or(0.0);
+            if cap <= 0.0 {
+                f64::INFINITY
+            } else {
+                units as f64 * d / cap
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Allocate `capacity` across `apps` under `policy`.
+pub fn allocate(
+    capacity: &BTreeMap<Resource, f64>,
+    apps: &[AppRequest],
+    policy: AllocPolicy,
+) -> Vec<Allocation> {
+    let mut used: BTreeMap<Resource, f64> = BTreeMap::new();
+    let mut granted = vec![0u64; apps.len()];
+
+    match policy {
+        AllocPolicy::PriorityOnly => {
+            let mut order: Vec<usize> = (0..apps.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(apps[i].priority));
+            for i in order {
+                while granted[i] < apps[i].wanted && fits(capacity, &used, &apps[i].demand) {
+                    add(&mut used, &apps[i].demand);
+                    granted[i] += 1;
+                }
+            }
+        }
+        AllocPolicy::Drf => {
+            // Progressive filling: repeatedly grant one unit to the app
+            // with the smallest dominant share that still fits and wants
+            // more.
+            loop {
+                let next = (0..apps.len())
+                    .filter(|&i| {
+                        granted[i] < apps[i].wanted && fits(capacity, &used, &apps[i].demand)
+                    })
+                    .min_by(|&a, &b| {
+                        let sa = dominant_share(capacity, &apps[a].demand, granted[a]);
+                        let sb = dominant_share(capacity, &apps[b].demand, granted[b]);
+                        sa.partial_cmp(&sb).unwrap()
+                    });
+                match next {
+                    Some(i) => {
+                        add(&mut used, &apps[i].demand);
+                        granted[i] += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    apps.iter()
+        .enumerate()
+        .map(|(i, a)| Allocation {
+            name: a.name.clone(),
+            granted: granted[i],
+            dominant_share: dominant_share(capacity, &a.demand, granted[i]),
+        })
+        .collect()
+}
+
+/// Jain's fairness index over the apps' dominant shares: 1.0 = perfectly
+/// equal, 1/n = maximally unfair.
+pub fn jain_index(allocs: &[Allocation]) -> f64 {
+    let xs: Vec<f64> = allocs.iter().map(|a| a.dominant_share).collect();
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> BTreeMap<Resource, f64> {
+        BTreeMap::from([("table_slots", 100.0), ("stages", 10.0)])
+    }
+
+    fn app(name: &str, slots: f64, stages: f64, wanted: u64, priority: i32) -> AppRequest {
+        AppRequest {
+            name: name.into(),
+            demand: BTreeMap::from([("table_slots", slots), ("stages", stages)]),
+            wanted,
+            priority,
+        }
+    }
+
+    #[test]
+    fn priority_starves_the_low_priority_app() {
+        let apps = vec![
+            app("greedy-hi", 10.0, 1.0, 100, 10),
+            app("modest-lo", 1.0, 0.1, 100, 1),
+        ];
+        let allocs = allocate(&cap(), &apps, AllocPolicy::PriorityOnly);
+        assert_eq!(allocs[0].granted, 10, "high priority takes all stages");
+        assert_eq!(allocs[1].granted, 0, "low priority starved");
+    }
+
+    #[test]
+    fn drf_equalizes_dominant_shares() {
+        let apps = vec![
+            app("a", 10.0, 0.1, 100, 10),
+            app("b", 1.0, 1.0, 100, 1),
+        ];
+        let allocs = allocate(&cap(), &apps, AllocPolicy::Drf);
+        assert!(allocs[0].granted > 0 && allocs[1].granted > 0);
+        let diff = (allocs[0].dominant_share - allocs[1].dominant_share).abs();
+        assert!(diff < 0.25, "dominant shares {allocs:?}");
+        let fairness = jain_index(&allocs);
+        assert!(fairness > 0.9, "jain {fairness}");
+    }
+
+    #[test]
+    fn drf_fairness_beats_priority_fairness_under_contention() {
+        let apps = vec![
+            app("a", 10.0, 1.0, 100, 10),
+            app("b", 10.0, 1.0, 100, 1),
+        ];
+        let drf = allocate(&cap(), &apps, AllocPolicy::Drf);
+        let pri = allocate(&cap(), &apps, AllocPolicy::PriorityOnly);
+        assert!(jain_index(&drf) > jain_index(&pri));
+    }
+
+    #[test]
+    fn no_overallocation() {
+        let apps = vec![app("a", 30.0, 1.0, 100, 1), app("b", 30.0, 1.0, 100, 1)];
+        for policy in [AllocPolicy::PriorityOnly, AllocPolicy::Drf] {
+            let allocs = allocate(&cap(), &apps, policy);
+            let slots_used: f64 = allocs.iter().map(|a| a.granted as f64 * 30.0).sum();
+            assert!(slots_used <= 100.0 + 1e-9, "{policy:?} overallocated");
+        }
+    }
+
+    #[test]
+    fn wanted_caps_grants() {
+        let apps = vec![app("a", 1.0, 0.01, 3, 1)];
+        for policy in [AllocPolicy::PriorityOnly, AllocPolicy::Drf] {
+            let allocs = allocate(&cap(), &apps, policy);
+            assert_eq!(allocs[0].granted, 3);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_resource_blocks() {
+        let capacity = BTreeMap::from([("table_slots", 0.0)]);
+        let apps = vec![app("a", 1.0, 0.0, 5, 1)];
+        let allocs = allocate(&capacity, &apps, AllocPolicy::Drf);
+        assert_eq!(allocs[0].granted, 0);
+    }
+}

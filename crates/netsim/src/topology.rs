@@ -1,0 +1,194 @@
+//! Cluster topology: hosts, switches, links, and path latency.
+//!
+//! Supports placement questions that span machines — e.g. *where should a
+//! steering element live?* A request's path depends on where redirection
+//! happens: at the client (it already knows the destination), at a switch
+//! (redirect on the way, no detour), or at the server host (a detour when
+//! the target is elsewhere, a NIC/XDP hop when local). This module
+//! computes path latency; the DES turns per-element service times into
+//! latency under load.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A node in the cluster graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A server/client machine.
+    Host(usize),
+    /// A switch.
+    Switch(usize),
+}
+
+/// The cluster graph.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    adj: HashMap<Node, Vec<(Node, f64)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a link (both directions).
+    pub fn link(&mut self, a: Node, b: Node, latency_ns: f64) -> &mut Self {
+        self.adj.entry(a).or_default().push((b, latency_ns));
+        self.adj.entry(b).or_default().push((a, latency_ns));
+        self
+    }
+
+    /// A classic single-rack topology: `n_hosts` hosts under one ToR
+    /// switch, each host link with `host_link_ns` one-way latency.
+    pub fn single_rack(n_hosts: usize, host_link_ns: f64) -> Self {
+        let mut t = Topology::new();
+        for h in 0..n_hosts {
+            t.link(Node::Host(h), Node::Switch(0), host_link_ns);
+        }
+        t
+    }
+
+    /// Fewest-hops path from `from` to `to` (BFS; links here are
+    /// uniform-cost in hops). `None` if unreachable.
+    pub fn path(&self, from: Node, to: Node) -> Option<Vec<Node>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<Node, Node> = HashMap::new();
+        let mut q = VecDeque::from([from]);
+        while let Some(n) = q.pop_front() {
+            for &(m, _) in self.adj.get(&n).into_iter().flatten() {
+                if m != from && !prev.contains_key(&m) {
+                    prev.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                            if cur == from {
+                                break;
+                            }
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// One-way latency along the fewest-hops path.
+    pub fn latency(&self, from: Node, to: Node) -> Option<f64> {
+        let path = self.path(from, to)?;
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let hop = self
+                .adj
+                .get(&w[0])?
+                .iter()
+                .find(|(n, _)| *n == w[1])
+                .map(|(_, l)| *l)?;
+            total += hop;
+        }
+        Some(total)
+    }
+
+    /// Latency of a multi-leg route visiting each node in order.
+    pub fn route_latency(&self, route: &[Node]) -> Option<f64> {
+        let mut total = 0.0;
+        for w in route.windows(2) {
+            total += self.latency(w[0], w[1])?;
+        }
+        Some(total)
+    }
+}
+
+/// Where the steering element for a sharded service runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SteeringPoint {
+    /// The client routes directly (client push).
+    Client,
+    /// The ToR switch redirects in flight.
+    Switch(usize),
+    /// The server host redirects below the app (XDP): a hairpin through
+    /// that host when the shard lives elsewhere, free when local.
+    ServerHost(usize),
+    /// The server application redirects (fallback): like `ServerHost`
+    /// plus an application-level hop.
+    ServerApp(usize),
+}
+
+/// The request route from `client` to `shard_host` under a steering point.
+pub fn request_route(steering: SteeringPoint, client: Node, shard_host: Node) -> Vec<Node> {
+    match steering {
+        SteeringPoint::Client => vec![client, shard_host],
+        SteeringPoint::Switch(s) => vec![client, Node::Switch(s), shard_host],
+        SteeringPoint::ServerHost(h) | SteeringPoint::ServerApp(h) => {
+            vec![client, Node::Host(h), shard_host]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_paths_and_latency() {
+        let t = Topology::single_rack(4, 1000.0);
+        let p = t.path(Node::Host(0), Node::Host(3)).unwrap();
+        assert_eq!(p, vec![Node::Host(0), Node::Switch(0), Node::Host(3)]);
+        assert_eq!(t.latency(Node::Host(0), Node::Host(3)).unwrap(), 2000.0);
+        assert_eq!(t.latency(Node::Host(1), Node::Host(1)).unwrap(), 0.0);
+        assert_eq!(t.latency(Node::Host(0), Node::Switch(0)).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        t.link(Node::Host(0), Node::Switch(0), 10.0);
+        assert!(t.path(Node::Host(0), Node::Host(9)).is_none());
+        assert!(t.latency(Node::Host(0), Node::Host(9)).is_none());
+    }
+
+    #[test]
+    fn multi_rack_routes_through_spine() {
+        let mut t = Topology::new();
+        // Two racks joined by a spine.
+        t.link(Node::Host(0), Node::Switch(0), 1000.0);
+        t.link(Node::Host(1), Node::Switch(1), 1000.0);
+        t.link(Node::Switch(0), Node::Switch(2), 5000.0);
+        t.link(Node::Switch(1), Node::Switch(2), 5000.0);
+        assert_eq!(
+            t.latency(Node::Host(0), Node::Host(1)).unwrap(),
+            1000.0 + 5000.0 + 5000.0 + 1000.0
+        );
+    }
+
+    #[test]
+    fn steering_routes_differ_as_expected() {
+        // Client on host 0, server (canonical) on host 1, shard on host 2,
+        // all under one ToR with 1 µs host links.
+        let t = Topology::single_rack(3, 1000.0);
+        let client = Node::Host(0);
+        let shard = Node::Host(2);
+
+        let direct = t
+            .route_latency(&request_route(SteeringPoint::Client, client, shard))
+            .unwrap();
+        let via_switch = t
+            .route_latency(&request_route(SteeringPoint::Switch(0), client, shard))
+            .unwrap();
+        let via_server = t
+            .route_latency(&request_route(SteeringPoint::ServerHost(1), client, shard))
+            .unwrap();
+
+        // All client↔shard traffic passes the ToR anyway, so switch
+        // steering adds nothing; a server-host hairpin adds a full detour.
+        assert_eq!(direct, via_switch);
+        assert_eq!(via_server, direct + 2000.0);
+    }
+}

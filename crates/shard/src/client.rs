@@ -1,0 +1,270 @@
+//! Client-side sharding chunnels.
+//!
+//! [`ShardClientChunnel`] implements client-push sharding: once negotiation
+//! picks it, the client reads the shard map from the pick's `ext` payload
+//! and sends each request directly to its shard. [`ShardDeferChunnel`] is
+//! the client-side counterpart for server-hosted implementations (steer or
+//! in-app fallback): it offers those implementations on the client's behalf
+//! and instantiates nothing — the client keeps sending to the canonical
+//! address. A client that supports both modes uses
+//! `Select::new(ShardClientChunnel::default(), ShardDeferChunnel::default())`.
+
+use crate::info::ShardInfo;
+use crate::{IMPL_CLIENT_PUSH, IMPL_FALLBACK, IMPL_STEER, SHARD_CAPABILITY};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{Endpoints, Negotiate, NegotiateSlot, Offer, Scope, SlotApply};
+use bertha::{Chunnel, Error};
+
+/// Client-push sharding (Figure 5's "Client Push" arm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardClientChunnel;
+
+impl Negotiate for ShardClientChunnel {
+    const CAPABILITY: u64 = SHARD_CAPABILITY;
+    const IMPL: u64 = IMPL_CLIENT_PUSH;
+    const NAME: &'static str = "shard/client-push";
+    const ENDPOINTS: Endpoints = Endpoints::Client;
+    const SCOPE: Scope = Scope::Application;
+
+    fn priority(&self) -> i32 {
+        1
+    }
+}
+
+impl NegotiateSlot for ShardClientChunnel {
+    fn slot_offers(&self) -> Vec<Offer> {
+        vec![Offer::from_chunnel(self)]
+    }
+}
+
+// Hand-written (not via `negotiable!`): the connection is configured from
+// the pick's `ext` payload, which only `slot_apply` sees.
+impl<InC> SlotApply<InC> for ShardClientChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Applied = ShardClientConn<InC>;
+
+    fn slot_apply(
+        &self,
+        pick: Offer,
+        _nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>> {
+        Box::pin(async move {
+            if pick.capability != SHARD_CAPABILITY {
+                return Err(Error::Negotiation(format!(
+                    "pick {} does not match shard slot",
+                    pick.name
+                )));
+            }
+            let info = ShardInfo::from_ext(&pick.ext).map_err(|e| {
+                Error::Negotiation(format!(
+                    "client-push pick carried no usable shard map: {e}"
+                ))
+            })?;
+            Ok(ShardClientConn { inner, info })
+        })
+    }
+}
+
+// Chunnel impl for direct (non-negotiated) composition in tests and tools;
+// panics without a shard map, so negotiation is the expected path.
+impl<InC> Chunnel<InC> for ShardClientChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = ShardClientConn<InC>;
+
+    fn connect_wrap(&self, _inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        Box::pin(async move {
+            Err(Error::Other(
+                "ShardClientChunnel requires negotiation (the shard map arrives in the pick)"
+                    .into(),
+            ))
+        })
+    }
+}
+
+/// Connection produced by [`ShardClientChunnel`]: requests to the canonical
+/// address are redirected to their shard.
+pub struct ShardClientConn<C> {
+    inner: C,
+    info: ShardInfo,
+}
+
+impl<C> ShardClientConn<C> {
+    /// The shard map in use.
+    pub fn shard_info(&self) -> &ShardInfo {
+        &self.info
+    }
+}
+
+impl<C> ChunnelConnection for ShardClientConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        let addr = if addr == self.info.canonical {
+            self.info.shard_addr(&payload).clone()
+        } else {
+            addr
+        };
+        self.inner.send((addr, payload))
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, payload) = self.inner.recv().await?;
+            // Replies from any shard are, logically, from the service.
+            let from = if self.info.shards.contains(&from) {
+                self.info.canonical.clone()
+            } else {
+                from
+            };
+            Ok((from, payload))
+        })
+    }
+}
+
+/// Client-side stand-in for server-hosted sharding implementations: offers
+/// `shard/steer` and `shard/fallback` (both `Endpoints::Server`) and wraps
+/// nothing when picked.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardDeferChunnel;
+
+impl NegotiateSlot for ShardDeferChunnel {
+    fn slot_offers(&self) -> Vec<Offer> {
+        vec![
+            Offer {
+                capability: SHARD_CAPABILITY,
+                impl_guid: IMPL_STEER,
+                name: "shard/steer".into(),
+                endpoints: Endpoints::Server,
+                scope: Scope::Host,
+                priority: 10,
+                ext: vec![],
+            },
+            Offer {
+                capability: SHARD_CAPABILITY,
+                impl_guid: IMPL_FALLBACK,
+                name: "shard/fallback".into(),
+                endpoints: Endpoints::Server,
+                scope: Scope::Application,
+                priority: 0,
+                ext: vec![],
+            },
+        ]
+    }
+}
+
+impl<InC> SlotApply<InC> for ShardDeferChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Applied = InC;
+
+    fn slot_apply(
+        &self,
+        pick: Offer,
+        _nonce: Vec<u8>,
+        inner: InC,
+    ) -> BoxFut<'static, Result<Self::Applied, Error>> {
+        Box::pin(async move {
+            if pick.capability != SHARD_CAPABILITY {
+                return Err(Error::Negotiation(format!(
+                    "pick {} does not match shard slot",
+                    pick.name
+                )));
+            }
+            Ok(inner)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::ShardFnSpec;
+    use bertha::conn::pair;
+    use bertha::Addr;
+
+    fn shard_info() -> ShardInfo {
+        ShardInfo {
+            canonical: Addr::Mem("svc".into()),
+            shards: vec![Addr::Mem("s0".into()), Addr::Mem("s1".into())],
+            shard_fn: ShardFnSpec::paper_default(),
+        }
+    }
+
+    fn payload_with_key(key: u32) -> Vec<u8> {
+        let mut p = vec![0u8; 14];
+        p[10..14].copy_from_slice(&key.to_le_bytes());
+        p
+    }
+
+    #[tokio::test]
+    async fn redirects_canonical_sends_to_shards() {
+        let info = shard_info();
+        let (a, b) = pair::<Datagram>(16);
+        let mut pick = Offer::from_chunnel(&ShardClientChunnel);
+        pick.ext = info.to_ext();
+        let conn = ShardClientChunnel
+            .slot_apply(pick, vec![], a)
+            .await
+            .unwrap();
+
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..50u32 {
+            let p = payload_with_key(key);
+            let expect = info.shard_addr(&p).clone();
+            conn.send((info.canonical.clone(), p)).await.unwrap();
+            let (to, _) = b.recv().await.unwrap();
+            assert_eq!(to, expect);
+            seen.insert(to);
+        }
+        assert_eq!(seen.len(), 2, "both shards receive traffic");
+    }
+
+    #[tokio::test]
+    async fn non_canonical_sends_pass_through() {
+        let info = shard_info();
+        let (a, b) = pair::<Datagram>(4);
+        let mut pick = Offer::from_chunnel(&ShardClientChunnel);
+        pick.ext = info.to_ext();
+        let conn = ShardClientChunnel.slot_apply(pick, vec![], a).await.unwrap();
+        let other = Addr::Mem("elsewhere".into());
+        conn.send((other.clone(), vec![1])).await.unwrap();
+        let (to, _) = b.recv().await.unwrap();
+        assert_eq!(to, other);
+    }
+
+    #[tokio::test]
+    async fn shard_replies_are_canonicalized() {
+        let info = shard_info();
+        let (a, b) = pair::<Datagram>(4);
+        let mut pick = Offer::from_chunnel(&ShardClientChunnel);
+        pick.ext = info.to_ext();
+        let conn = ShardClientChunnel.slot_apply(pick, vec![], a).await.unwrap();
+        b.send((Addr::Mem("s1".into()), vec![9])).await.unwrap();
+        let (from, _) = conn.recv().await.unwrap();
+        assert_eq!(from, info.canonical);
+    }
+
+    #[tokio::test]
+    async fn pick_without_ext_fails() {
+        let (a, _b) = pair::<Datagram>(1);
+        let pick = Offer::from_chunnel(&ShardClientChunnel);
+        assert!(ShardClientChunnel.slot_apply(pick, vec![], a).await.is_err());
+    }
+
+    #[test]
+    fn defer_offers_both_server_impls() {
+        let offers = ShardDeferChunnel.slot_offers();
+        assert_eq!(offers.len(), 2);
+        assert!(offers.iter().any(|o| o.impl_guid == IMPL_STEER));
+        assert!(offers.iter().any(|o| o.impl_guid == IMPL_FALLBACK));
+    }
+}

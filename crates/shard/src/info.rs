@@ -1,0 +1,164 @@
+//! The shard map and sharding function specification.
+
+use bertha::Addr;
+use serde::{Deserialize, Serialize};
+
+/// A declarative sharding function: hash `len` payload bytes starting at
+/// `offset`, modulo the shard count. Declarative (rather than a closure) so
+/// it can cross the wire in a negotiation `ext` payload and be evaluated by
+/// a steering element that never deserializes the request — the property
+/// that makes XDP/switch offload possible (§3.2: "The use of
+/// datagram-based transport allows offloads to avoid terminating
+/// connections").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFnSpec {
+    /// Byte offset of the key field in the application payload.
+    pub offset: usize,
+    /// Length of the key field.
+    pub len: usize,
+}
+
+impl ShardFnSpec {
+    /// The paper's example: `hash(p.payload[10..14])` (Listing 4).
+    pub fn paper_default() -> Self {
+        ShardFnSpec { offset: 10, len: 4 }
+    }
+
+    /// Hash the key field of `payload`. Payloads too short to contain the
+    /// field map to shard 0 (they are malformed anyway; a fixed assignment
+    /// keeps the steerer total).
+    pub fn hash_payload(&self, payload: &[u8]) -> u64 {
+        if payload.len() < self.offset + self.len {
+            return 0;
+        }
+        fnv1a(&payload[self.offset..self.offset + self.len])
+    }
+}
+
+/// FNV-1a, the steerer's hash (cheap enough for a per-packet path).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a participant needs to route requests: the canonical address,
+/// the shard addresses, and the sharding function. Carried in the
+/// negotiation `ext` payload (bincode) so clients learn it at
+/// connection-establishment time — which is what makes resharding a
+/// server-side change only.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// The canonical address clients connect to.
+    pub canonical: Addr,
+    /// Backend shard addresses.
+    pub shards: Vec<Addr>,
+    /// How to map a payload to a shard.
+    pub shard_fn: ShardFnSpec,
+}
+
+impl ShardInfo {
+    /// Which shard index handles `payload`.
+    pub fn shard_of(&self, payload: &[u8]) -> usize {
+        if self.shards.is_empty() {
+            return 0;
+        }
+        (self.shard_fn.hash_payload(payload) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard address for `payload`.
+    pub fn shard_addr(&self, payload: &[u8]) -> &Addr {
+        &self.shards[self.shard_of(payload)]
+    }
+
+    /// Serialize for a negotiation `ext` payload.
+    pub fn to_ext(&self) -> Vec<u8> {
+        bincode::serialize(self).expect("ShardInfo is serializable")
+    }
+
+    /// Parse from a negotiation `ext` payload.
+    pub fn from_ext(ext: &[u8]) -> Result<Self, bertha::Error> {
+        Ok(bincode::deserialize(ext)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(n: usize) -> ShardInfo {
+        ShardInfo {
+            canonical: Addr::Mem("canonical".into()),
+            shards: (0..n).map(|i| Addr::Mem(format!("shard-{i}"))).collect(),
+            shard_fn: ShardFnSpec::paper_default(),
+        }
+    }
+
+    fn payload_with_key(key: u32) -> Vec<u8> {
+        let mut p = vec![0u8; 14];
+        p[10..14].copy_from_slice(&key.to_le_bytes());
+        p
+    }
+
+    #[test]
+    fn same_key_same_shard() {
+        let info = info(3);
+        for key in 0..100u32 {
+            let a = info.shard_of(&payload_with_key(key));
+            let b = info.shard_of(&payload_with_key(key));
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let info = info(3);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u32 {
+            counts[info.shard_of(&payload_with_key(key))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 600,
+                "shard {i} got {c} of 3000 — distribution badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_payload_maps_to_zero() {
+        let info = info(3);
+        assert_eq!(info.shard_of(b"tiny"), 0);
+    }
+
+    #[test]
+    fn ext_round_trip() {
+        let i = info(4);
+        let ext = i.to_ext();
+        assert_eq!(ShardInfo::from_ext(&ext).unwrap(), i);
+        assert!(ShardInfo::from_ext(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn empty_shard_list_is_total() {
+        let mut i = info(0);
+        i.shards.clear();
+        assert_eq!(i.shard_of(&payload_with_key(7)), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn shard_of_is_always_in_range(payload in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..64), n in 1usize..16) {
+            let i = ShardInfo {
+                canonical: Addr::Mem("c".into()),
+                shards: (0..n).map(|k| Addr::Mem(format!("s{k}"))).collect(),
+                shard_fn: ShardFnSpec::paper_default(),
+            };
+            proptest::prop_assert!(i.shard_of(&payload) < n);
+        }
+    }
+}

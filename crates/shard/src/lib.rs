@@ -1,0 +1,46 @@
+//! Sharding subsystem (Listings 4–5, §3.2, Figure 5).
+//!
+//! A sharded service exposes one canonical address; requests are routed to
+//! one of several backend shards by hashing fixed payload bytes (Listing
+//! 4's `shard_fn = |p| hash(p.payload[10..14]) % 3`). Three implementations
+//! of the `bertha/shard` capability compete at negotiation time:
+//!
+//! - **client push** (`shard/client-push`, runs at the client): the client
+//!   learns the shard map from the pick's `ext` payload and sends each
+//!   request straight to its shard — scalable, no server bottleneck, but
+//!   complicates resharding;
+//! - **server steer** (`shard/steer`, runs on the server host): a steering
+//!   process owns the canonical address and redirects each datagram to its
+//!   shard *without deserializing* — it looks only at fixed payload bytes,
+//!   like the paper's 200-line XDP program. This is the simulated-XDP
+//!   substitution documented in DESIGN.md;
+//! - **in-app fallback** (`shard/fallback`, runs in the server): a single
+//!   application-level dispatcher forwards requests and relays replies —
+//!   correct but slow, exactly Figure 5's "Server Fallback" arm.
+//!
+//! Modules: [`info`] (the shard map and hash spec), [`client`] (client-side
+//! chunnels), [`server`] (the canonical-server chunnel), [`steer`] (the
+//! steering process), [`worker`] (shard worker loop helpers).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod info;
+pub mod server;
+pub mod steer;
+pub mod worker;
+
+pub use client::{ShardClientChunnel, ShardDeferChunnel};
+pub use info::{ShardFnSpec, ShardInfo};
+pub use server::ShardCanonicalServer;
+pub use steer::{run_steerer, steerer_registration, SteererHandle};
+pub use worker::serve_shard;
+
+/// Capability GUID for sharding.
+pub const SHARD_CAPABILITY: u64 = bertha::negotiate::guid("bertha/shard");
+/// Implementation GUID: client-push sharding.
+pub const IMPL_CLIENT_PUSH: u64 = bertha::negotiate::guid("bertha/shard/client-push");
+/// Implementation GUID: steering on the server host (simulated XDP).
+pub const IMPL_STEER: u64 = bertha::negotiate::guid("bertha/shard/steer");
+/// Implementation GUID: in-application server fallback.
+pub const IMPL_FALLBACK: u64 = bertha::negotiate::guid("bertha/shard/fallback");

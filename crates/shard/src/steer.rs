@@ -1,0 +1,320 @@
+//! The steering process: the simulated XDP sharding offload.
+//!
+//! The paper's accelerated sharding implementation is a ~200-line XDP
+//! program that rewrites packets *below* the application: requests to the
+//! canonical address are redirected to a shard by hashing fixed payload
+//! bytes, without deserialization and without terminating any connection.
+//! We cannot load kernel XDP here, so this module substitutes a dedicated
+//! steering task that owns the canonical socket and does exactly the same
+//! per-datagram work (tag check, fixed-offset hash, forward), preserving
+//! what Figure 5 measures: steering below the application vs. in it.
+//!
+//! Mechanics (a user-space NAT, like an XDP `bpf_redirect` plus rewrite):
+//!
+//! - the steerer binds the canonical address; the application server
+//!   listens on an internal address instead;
+//! - each client gets a flow socket; datagrams from the client are
+//!   forwarded through it — handshake frames to the internal server,
+//!   data frames to the shard chosen by the hash;
+//! - replies arriving on the flow socket are relayed back to the client
+//!   from the canonical address, so the client sees a single peer.
+
+use crate::info::ShardInfo;
+use crate::worker::strip_data;
+use crate::{IMPL_STEER, SHARD_CAPABILITY};
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{Endpoints, Scope, TAG_NEG};
+use bertha::{Addr, Error};
+use bertha_discovery::registry::{Hooks, Registration};
+use bertha_discovery::resources::{ResourceKind, ResourceReq};
+use bertha_transport::{bind_any, AnyConn};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters exposed by a running steerer.
+#[derive(Default)]
+pub struct SteerStats {
+    /// Data frames steered to shards.
+    pub steered: AtomicU64,
+    /// Handshake frames forwarded to the application server.
+    pub handshakes: AtomicU64,
+    /// Frames dropped (no tag, unknown type).
+    pub dropped: AtomicU64,
+    /// Replies relayed back to clients.
+    pub relayed: AtomicU64,
+}
+
+/// A running steerer. Aborting (or dropping) the handle stops it.
+pub struct SteererHandle {
+    main: tokio::task::JoinHandle<()>,
+    /// Live counters.
+    pub stats: Arc<SteerStats>,
+    canonical: Addr,
+}
+
+impl SteererHandle {
+    /// The canonical address the steerer owns.
+    pub fn canonical(&self) -> &Addr {
+        &self.canonical
+    }
+
+    /// Stop the steerer.
+    pub fn stop(&self) {
+        self.main.abort();
+    }
+}
+
+impl Drop for SteererHandle {
+    fn drop(&mut self) {
+        self.main.abort();
+    }
+}
+
+struct Flow {
+    sock: Arc<AnyConn>,
+    relay: tokio::task::JoinHandle<()>,
+}
+
+impl Drop for Flow {
+    fn drop(&mut self) {
+        self.relay.abort();
+    }
+}
+
+/// Start a steerer owning `canonical`. Handshake frames go to
+/// `internal_server`; data frames go to the shard selected by
+/// `info.shard_fn` applied to the (tag-stripped) payload.
+pub async fn run_steerer(
+    canonical: Addr,
+    internal_server: Addr,
+    info: ShardInfo,
+) -> Result<SteererHandle, Error> {
+    let canonical_sock = Arc::new(match &canonical {
+        Addr::Udp(_) => AnyConn::Udp(bertha_transport::udp::bind_udp(&canonical).await?),
+        Addr::Mem(name) => AnyConn::Mem(bertha_transport::mem::MemSocket::bind(Some(
+            name.clone(),
+        ))?),
+        other => {
+            return Err(Error::Other(format!(
+                "steerer cannot own a {} address",
+                other.family()
+            )))
+        }
+    });
+    let bound = canonical_sock.local_addr()?;
+    let stats = Arc::new(SteerStats::default());
+
+    let main = {
+        let stats = Arc::clone(&stats);
+        let canonical_sock = Arc::clone(&canonical_sock);
+        tokio::spawn(async move {
+            let mut flows: HashMap<Addr, Flow> = HashMap::new();
+            loop {
+                let (from, frame) = match canonical_sock.recv().await {
+                    Ok(d) => d,
+                    Err(_) => return,
+                };
+
+                let dst = match frame.first() {
+                    Some(&TAG_NEG) => {
+                        stats.handshakes.fetch_add(1, Ordering::Relaxed);
+                        internal_server.clone()
+                    }
+                    _ => match strip_data(&frame) {
+                        Some(payload) => {
+                            stats.steered.fetch_add(1, Ordering::Relaxed);
+                            info.shard_addr(payload).clone()
+                        }
+                        None => {
+                            stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    },
+                };
+
+                let flow = match flows.get(&from) {
+                    Some(f) => f,
+                    None => {
+                        let sock = match bind_any(&dst).await {
+                            Ok(s) => Arc::new(s),
+                            Err(_) => {
+                                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        };
+                        // Reverse path: replies on the flow socket go back
+                        // to this client from the canonical address.
+                        let relay = {
+                            let sock = Arc::clone(&sock);
+                            let canonical_sock = Arc::clone(&canonical_sock);
+                            let client = from.clone();
+                            let stats = Arc::clone(&stats);
+                            tokio::spawn(async move {
+                                loop {
+                                    let (_, reply) = match sock.recv().await {
+                                        Ok(d) => d,
+                                        Err(_) => return,
+                                    };
+                                    stats.relayed.fetch_add(1, Ordering::Relaxed);
+                                    if canonical_sock
+                                        .send((client.clone(), reply))
+                                        .await
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                            })
+                        };
+                        flows.insert(from.clone(), Flow { sock, relay });
+                        flows.get(&from).expect("just inserted")
+                    }
+                };
+                let _ = flow.sock.send((dst, frame)).await;
+            }
+        })
+    };
+
+    Ok(SteererHandle {
+        main,
+        stats,
+        canonical: bound,
+    })
+}
+
+/// The discovery registration for a steerer deployed on this host: the
+/// operator registers it so negotiation starts offering `shard/steer`
+/// (§4.2); the init hook counts per-connection activations.
+pub fn steerer_registration(device: Option<String>) -> (Registration, Hooks, Arc<AtomicU64>) {
+    let activations = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&activations);
+    let hooks = Hooks::on_init(move |_pick| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Box::pin(async { Ok(()) })
+    });
+    (
+        Registration {
+            capability: SHARD_CAPABILITY,
+            impl_guid: IMPL_STEER,
+            name: "shard/steer".into(),
+            endpoints: Endpoints::Server,
+            scope: Scope::Host,
+            priority: 10,
+            resources: ResourceReq::of([(ResourceKind::HostCores, 1)]),
+            device,
+        },
+        hooks,
+        activations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::ShardFnSpec;
+    use crate::worker::{frame_data, serve_shard};
+    use bertha::negotiate::TAG_DATA;
+    use bertha::ChunnelConnector;
+    use bertha_transport::udp::{bind_udp, UdpConnector};
+
+    fn payload_with_key(key: u32, body: &[u8]) -> Vec<u8> {
+        let mut p = vec![0u8; 14];
+        p[10..14].copy_from_slice(&key.to_le_bytes());
+        p.extend_from_slice(body);
+        p
+    }
+
+    #[tokio::test]
+    async fn steers_data_and_forwards_handshakes() {
+        // Two shards tagging replies with their index.
+        let (s0, t0, _) = serve_shard(Addr::Udp("127.0.0.1:0".parse().unwrap()), |p| async move {
+            let mut r = p;
+            r.push(0);
+            Some(r)
+        })
+        .await
+        .unwrap();
+        let (s1, t1, _) = serve_shard(Addr::Udp("127.0.0.1:0".parse().unwrap()), |p| async move {
+            let mut r = p;
+            r.push(1);
+            Some(r)
+        })
+        .await
+        .unwrap();
+
+        // An "internal server" that answers handshake frames verbatim.
+        let internal = bind_udp(&Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let internal_addr = internal.local_addr().unwrap();
+        let internal_task = tokio::spawn(async move {
+            loop {
+                let (from, frame) = match internal.recv().await {
+                    Ok(d) => d,
+                    Err(_) => return,
+                };
+                let _ = internal.send((from, frame)).await;
+            }
+        });
+
+        let info = ShardInfo {
+            canonical: Addr::Udp("127.0.0.1:0".parse().unwrap()),
+            shards: vec![s0.clone(), s1.clone()],
+            shard_fn: ShardFnSpec::paper_default(),
+        };
+        let steerer = run_steerer(info.canonical.clone(), internal_addr, info.clone())
+            .await
+            .unwrap();
+        let canonical = steerer.canonical().clone();
+
+        let client = UdpConnector.connect(canonical.clone()).await.unwrap();
+
+        // A handshake frame comes back verbatim (via the internal server).
+        let hs = vec![TAG_NEG, 0xaa, 0xbb];
+        client.send((canonical.clone(), hs.clone())).await.unwrap();
+        let (from, echoed) = client.recv().await.unwrap();
+        assert_eq!(echoed, hs);
+        assert_eq!(
+            from, canonical,
+            "the client only ever talks to the canonical address"
+        );
+
+        // Data frames are steered by key and come back from the right shard.
+        for key in 0..30u32 {
+            let req = payload_with_key(key, b"r");
+            let expect_shard = info.shard_of(&req) as u8;
+            client
+                .send((canonical.clone(), frame_data(&req)))
+                .await
+                .unwrap();
+            let (_, reply_frame) = client.recv().await.unwrap();
+            let reply = strip_data(&reply_frame).unwrap();
+            assert_eq!(*reply.last().unwrap(), expect_shard);
+        }
+
+        assert_eq!(steerer.stats.handshakes.load(Ordering::Relaxed), 1);
+        assert_eq!(steerer.stats.steered.load(Ordering::Relaxed), 30);
+        assert_eq!(steerer.stats.relayed.load(Ordering::Relaxed), 31);
+
+        // Untagged garbage is dropped.
+        client.send((canonical.clone(), vec![0x7f])).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        assert_eq!(steerer.stats.dropped.load(Ordering::Relaxed), 1);
+
+        t0.abort();
+        t1.abort();
+        internal_task.abort();
+        let _ = TAG_DATA;
+    }
+
+    #[test]
+    fn registration_shape() {
+        let (reg, _hooks, _count) = steerer_registration(Some("host0".into()));
+        assert_eq!(reg.capability, SHARD_CAPABILITY);
+        assert_eq!(reg.impl_guid, IMPL_STEER);
+        assert_eq!(reg.endpoints, Endpoints::Server);
+        assert_eq!(reg.scope, Scope::Host);
+        assert!(reg.priority > 0);
+    }
+}

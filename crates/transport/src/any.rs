@@ -1,0 +1,95 @@
+//! A transport-agnostic unconnected socket: binds whichever family an
+//! address template belongs to. Used by infrastructure elements (shard
+//! steerers, dispatchers) that must talk to peers over the same transport
+//! the application chose.
+
+use crate::mem::MemSocket;
+use crate::udp::{bind_udp, UdpConn};
+use crate::uds::{UdsConn, UdsConnector};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, Error};
+
+/// An unconnected socket of any supported datagram family.
+pub enum AnyConn {
+    /// A UDP socket.
+    Udp(UdpConn),
+    /// An in-memory endpoint.
+    Mem(MemSocket),
+    /// A Unix-domain datagram socket.
+    Uds(UdsConn),
+}
+
+impl AnyConn {
+    /// This socket's own address.
+    pub fn local_addr(&self) -> Result<Addr, Error> {
+        match self {
+            AnyConn::Udp(c) => c.local_addr(),
+            AnyConn::Mem(c) => Ok(c.local_addr()),
+            AnyConn::Uds(c) => Ok(c.local_addr()),
+        }
+    }
+}
+
+/// Bind an ephemeral socket in the same family as `peer_template`, able to
+/// exchange datagrams with addresses of that family.
+pub async fn bind_any(peer_template: &Addr) -> Result<AnyConn, Error> {
+    match peer_template {
+        Addr::Udp(sa) => Ok(AnyConn::Udp(
+            bind_udp(&Addr::Udp(crate::udp::local_bind_for(*sa))).await?,
+        )),
+        Addr::Mem(_) => Ok(AnyConn::Mem(MemSocket::bind(None)?)),
+        Addr::Unix(_) => Ok(AnyConn::Uds(
+            UdsConnector.connect(peer_template.clone()).await?,
+        )),
+        other => Err(Error::Other(format!("cannot bind a socket for {other}"))),
+    }
+}
+
+impl ChunnelConnection for AnyConn {
+    type Data = Datagram;
+
+    fn send(&self, d: Datagram) -> BoxFut<'_, Result<(), Error>> {
+        match self {
+            AnyConn::Udp(c) => c.send(d),
+            AnyConn::Mem(c) => c.send(d),
+            AnyConn::Uds(c) => c.send(d),
+        }
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        match self {
+            AnyConn::Udp(c) => c.recv(),
+            AnyConn::Mem(c) => c.recv(),
+            AnyConn::Uds(c) => c.recv(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn binds_matching_family() {
+        let udp = bind_any(&Addr::Udp("127.0.0.1:9999".parse().unwrap()))
+            .await
+            .unwrap();
+        assert!(matches!(udp.local_addr().unwrap(), Addr::Udp(_)));
+
+        let mem = bind_any(&Addr::Mem("whatever".into())).await.unwrap();
+        assert!(matches!(mem.local_addr().unwrap(), Addr::Mem(_)));
+
+        assert!(bind_any(&Addr::Named("x".into())).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn mem_round_trip_via_any() {
+        let a = bind_any(&Addr::Mem("t".into())).await.unwrap();
+        let b = bind_any(&Addr::Mem("t".into())).await.unwrap();
+        let b_addr = b.local_addr().unwrap();
+        a.send((b_addr, vec![3])).await.unwrap();
+        let (from, d) = b.recv().await.unwrap();
+        assert_eq!(d, vec![3]);
+        assert_eq!(from, a.local_addr().unwrap());
+    }
+}

@@ -1,0 +1,338 @@
+//! Fault injection for datagram connections.
+//!
+//! Wraps any byte-level connection and injects drops, duplicates,
+//! reordering, corruption, and delay on the send path, driven by a seeded
+//! RNG for reproducibility. Modeled on smoltcp's example fault injectors
+//! (`--drop-chance`, `--corrupt-chance`, ...); used by the test suite to
+//! validate that the reliability and ordering chunnels restore
+//! exactly-once in-order delivery over an adversarial transport.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Chunnel, Error};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault probabilities and parameters. All probabilities in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability a datagram is silently dropped.
+    pub drop: f64,
+    /// Probability a datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability a datagram is held back and sent after the next one.
+    pub reorder: f64,
+    /// Probability one byte of the payload is flipped.
+    pub corrupt: f64,
+    /// Fixed extra delay applied to every datagram.
+    pub delay: Duration,
+    /// How long a reorder-held datagram waits before being flushed even
+    /// if no later datagram displaces it. A network delays packets, it
+    /// does not hold them hostage: without this bound, a held final
+    /// datagram would simply never arrive.
+    pub reorder_hold: Duration,
+    /// RNG seed, for reproducible tests.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            delay: Duration::ZERO,
+            reorder_hold: Duration::from_millis(5),
+            seed: 0x6265_7274_6861,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossy network: 15% drops (smoltcp's suggested starting point).
+    pub fn lossy() -> Self {
+        FaultConfig {
+            drop: 0.15,
+            ..Default::default()
+        }
+    }
+
+    /// An adversarial network: drops, duplicates, and reordering at once.
+    pub fn adversarial(seed: u64) -> Self {
+        FaultConfig {
+            drop: 0.1,
+            duplicate: 0.1,
+            reorder: 0.1,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A chunnel that injects faults below whatever is stacked above it.
+#[derive(Clone, Debug, Default)]
+pub struct FaultChunnel {
+    cfg: FaultConfig,
+}
+
+impl FaultChunnel {
+    /// Inject faults per `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultChunnel { cfg }
+    }
+}
+
+impl<InC> Chunnel<InC> for FaultChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = FaultConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let cfg = self.cfg;
+        Box::pin(async move { Ok(FaultConn::new(inner, cfg)) })
+    }
+}
+
+/// Connection produced by [`FaultChunnel`].
+pub struct FaultConn<C> {
+    inner: Arc<C>,
+    cfg: FaultConfig,
+    state: Arc<Mutex<FaultState>>,
+}
+
+struct FaultState {
+    rng: StdRng,
+    held: Option<(u64, Datagram)>,
+    hold_gen: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    corrupted: u64,
+}
+
+impl<C> FaultConn<C> {
+    fn new(inner: C, cfg: FaultConfig) -> Self {
+        FaultConn {
+            inner: Arc::new(inner),
+            cfg,
+            state: Arc::new(Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                held: None,
+                hold_gen: 0,
+                dropped: 0,
+                duplicated: 0,
+                reordered: 0,
+                corrupted: 0,
+            })),
+        }
+    }
+
+    /// (drops, duplicates, reorders, corruptions) injected so far.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let s = self.state.lock();
+        (s.dropped, s.duplicated, s.reordered, s.corrupted)
+    }
+}
+
+impl<C> ChunnelConnection for FaultConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, mut buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            // Decide this datagram's fate under the lock, then do async
+            // sends without it.
+            let (fate, flush_held) = {
+                let mut st = self.state.lock();
+                if st.rng.gen::<f64>() < self.cfg.drop {
+                    st.dropped += 1;
+                    (Fate::Drop, None)
+                } else {
+                    if st.rng.gen::<f64>() < self.cfg.corrupt && !buf.is_empty() {
+                        let i = st.rng.gen_range(0..buf.len());
+                        buf[i] ^= 0x01;
+                        st.corrupted += 1;
+                    }
+                    if st.rng.gen::<f64>() < self.cfg.reorder && st.held.is_none() {
+                        st.reordered += 1;
+                        st.hold_gen += 1;
+                        let gen = st.hold_gen;
+                        st.held = Some((gen, (addr.clone(), buf.clone())));
+                        (Fate::Hold(gen), None)
+                    } else {
+                        let dup = st.rng.gen::<f64>() < self.cfg.duplicate;
+                        if dup {
+                            st.duplicated += 1;
+                        }
+                        (
+                            if dup { Fate::SendTwice } else { Fate::Send },
+                            st.held.take().map(|(_, d)| d),
+                        )
+                    }
+                }
+            };
+
+            if !self.cfg.delay.is_zero() {
+                tokio::time::sleep(self.cfg.delay).await;
+            }
+
+            match fate {
+                Fate::Drop => {}
+                Fate::Hold(gen) => {
+                    // Bound the hold: if nothing displaces the held
+                    // datagram, flush it after reorder_hold.
+                    let inner = Arc::clone(&self.inner);
+                    let state = Arc::clone(&self.state);
+                    let hold = self.cfg.reorder_hold;
+                    tokio::spawn(async move {
+                        tokio::time::sleep(hold).await;
+                        let taken = {
+                            let mut st = state.lock();
+                            match &st.held {
+                                Some((g, _)) if *g == gen => st.held.take().map(|(_, d)| d),
+                                _ => None,
+                            }
+                        };
+                        if let Some(d) = taken {
+                            let _ = inner.send(d).await;
+                        }
+                    });
+                }
+                Fate::Send => {
+                    self.inner.send((addr.clone(), buf.clone())).await?;
+                }
+                Fate::SendTwice => {
+                    self.inner.send((addr.clone(), buf.clone())).await?;
+                    self.inner.send((addr.clone(), buf.clone())).await?;
+                }
+            }
+            // A held (reordered) datagram goes out after the current one.
+            if let Some(held) = flush_held {
+                self.inner.send(held).await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        self.inner.recv()
+    }
+}
+
+enum Fate {
+    Drop,
+    Hold(u64),
+    Send,
+    SendTwice,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+
+    #[tokio::test]
+    async fn no_faults_is_transparent() {
+        let (a, b) = pair::<Datagram>(64);
+        let conn = FaultChunnel::default().connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        for i in 0..10u8 {
+            conn.send((addr.clone(), vec![i])).await.unwrap();
+        }
+        for i in 0..10u8 {
+            let (_, d) = b.recv().await.unwrap();
+            assert_eq!(d, vec![i]);
+        }
+        assert_eq!(conn.stats(), (0, 0, 0, 0));
+    }
+
+    #[tokio::test]
+    async fn drops_are_injected() {
+        let (a, b) = pair::<Datagram>(2048);
+        let cfg = FaultConfig {
+            drop: 0.5,
+            seed: 42,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        for i in 0..200u8 {
+            conn.send((addr.clone(), vec![i])).await.unwrap();
+        }
+        let (dropped, ..) = conn.stats();
+        assert!(dropped > 50 && dropped < 150, "dropped {dropped} of 200");
+        drop(conn);
+        let mut received = 0;
+        while let Ok((_, _)) = b.recv().await {
+            received += 1;
+        }
+        assert_eq!(received as u64, 200 - dropped);
+    }
+
+    #[tokio::test]
+    async fn duplicates_are_injected() {
+        let (a, b) = pair::<Datagram>(2048);
+        let cfg = FaultConfig {
+            duplicate: 1.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        conn.send((addr, vec![9])).await.unwrap();
+        let (_, d1) = b.recv().await.unwrap();
+        let (_, d2) = b.recv().await.unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[tokio::test]
+    async fn reorder_swaps_adjacent() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = FaultConfig {
+            reorder: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        conn.send((addr.clone(), vec![1])).await.unwrap();
+        conn.send((addr.clone(), vec![2])).await.unwrap();
+        // With reorder=1.0 the first is held; the second send flushes...
+        // but the second is also held-eligible — only one slot exists, so
+        // the second goes out first, then the first.
+        let (_, d1) = b.recv().await.unwrap();
+        let (_, d2) = b.recv().await.unwrap();
+        assert_eq!(d1, vec![2]);
+        assert_eq!(d2, vec![1]);
+    }
+
+    #[tokio::test]
+    async fn corruption_flips_one_byte() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        conn.send((addr, vec![0u8; 16])).await.unwrap();
+        let (_, d) = b.recv().await.unwrap();
+        assert_eq!(d.iter().filter(|&&x| x != 0).count(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fate() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(r1.gen::<f64>().to_bits(), r2.gen::<f64>().to_bits());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Base transports every Bertha stack bottoms out in.
+//!
+//! Each transport implements [`bertha::ChunnelConnector`] (client side) and
+//! [`bertha::ChunnelListener`] (server side), producing connections whose
+//! data is a [`bertha::Datagram`]: a `(Addr, Vec<u8>)` pair. Datagram
+//! transports demultiplex incoming traffic by source address, so a
+//! "connection" on the listen side is the flow from one peer — this is what
+//! lets negotiation (which happens per connection, §4.3) work over
+//! connectionless sockets.
+//!
+//! Transports provided:
+//!
+//! - [`udp`]: UDP sockets, the paper prototype's base transport;
+//! - [`tcp`]: TCP with 32-bit length-delimited framing;
+//! - [`uds`]: Unix-domain datagram sockets, the container fast path's
+//!   accelerated implementation (§5);
+//! - [`mem`]: an in-process transport for tests and simulation;
+//! - [`fault`]: a fault-injecting wrapper (drop / duplicate / reorder /
+//!   corrupt / delay), in the spirit of smoltcp's example fault injectors.
+
+#![warn(missing_docs)]
+
+pub mod any;
+pub mod fault;
+pub mod mem;
+pub mod tcp;
+pub mod udp;
+pub mod uds;
+
+pub use any::{bind_any, AnyConn};
+pub use fault::{FaultChunnel, FaultConfig};
+pub use mem::{MemConnector, MemListener};
+pub use tcp::{TcpConnector, TcpListener};
+pub use udp::{UdpConnector, UdpListener};
+pub use uds::{UdsConnector, UdsListener};
+
+/// Largest datagram any transport here accepts (UDP's practical limit).
+pub const MAX_DATAGRAM: usize = 65_507;

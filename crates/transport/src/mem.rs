@@ -1,0 +1,310 @@
+//! In-process datagram transport, for tests and simulation.
+//!
+//! Endpoints register a name in a process-global switchboard; sending to
+//! `Addr::Mem(name)` delivers to that endpoint's inbox. Semantics mirror
+//! UDP: unreliable under overload (a full inbox drops the datagram), but
+//! otherwise in-order and loss-free — compose with
+//! [`fault`](crate::fault) to model a lossy network.
+
+use bertha::chunnel::RecvStream;
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use tokio::sync::mpsc;
+
+/// Inbox depth for every in-memory endpoint.
+const INBOX_DEPTH: usize = 4096;
+
+/// The process-global switchboard mapping endpoint names to inboxes.
+struct Switchboard {
+    endpoints: RwLock<HashMap<String, mpsc::Sender<Datagram>>>,
+}
+
+fn switchboard() -> &'static Switchboard {
+    static SB: OnceLock<Switchboard> = OnceLock::new();
+    SB.get_or_init(|| Switchboard {
+        endpoints: RwLock::new(HashMap::new()),
+    })
+}
+
+fn expect_mem(addr: &Addr) -> Result<String, Error> {
+    match addr {
+        Addr::Mem(n) => Ok(n.clone()),
+        other => Err(Error::Other(format!("mem transport cannot reach {other}"))),
+    }
+}
+
+fn auto_name() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!("auto-{}", COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A bound in-memory endpoint. Unregisters from the switchboard on drop.
+pub struct MemSocket {
+    name: String,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Datagram>>,
+}
+
+impl MemSocket {
+    /// Bind `name` (or an automatic unique name when `None`).
+    pub fn bind(name: Option<String>) -> Result<Self, Error> {
+        let name = name.unwrap_or_else(auto_name);
+        let (tx, rx) = mpsc::channel(INBOX_DEPTH);
+        let mut eps = switchboard().endpoints.write();
+        // Re-binding over a dead endpoint is allowed (like SO_REUSEADDR
+        // after a crash); over a live one is an error.
+        if let Some(existing) = eps.get(&name) {
+            if !existing.is_closed() {
+                return Err(Error::Other(format!(
+                    "mem endpoint {name:?} is already bound"
+                )));
+            }
+        }
+        eps.insert(name.clone(), tx);
+        Ok(MemSocket {
+            name,
+            inbox: tokio::sync::Mutex::new(rx),
+        })
+    }
+
+    /// This endpoint's address.
+    pub fn local_addr(&self) -> Addr {
+        Addr::Mem(self.name.clone())
+    }
+}
+
+impl Drop for MemSocket {
+    fn drop(&mut self) {
+        // Close our receiver first so the switchboard's sender observes the
+        // endpoint as dead; otherwise the entry would outlive the socket
+        // (the receiver field is dropped only after this body runs) and
+        // sends to the dead name would silently "succeed" instead of
+        // returning NotFound.
+        self.inbox.get_mut().close();
+        let mut eps = switchboard().endpoints.write();
+        if let Some(tx) = eps.get(&self.name) {
+            if tx.is_closed() {
+                eps.remove(&self.name);
+            }
+        }
+    }
+}
+
+impl ChunnelConnection for MemSocket {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let dst = expect_mem(&addr)?;
+            let tx = switchboard()
+                .endpoints
+                .read()
+                .get(&dst)
+                .cloned()
+                .ok_or_else(|| Error::NotFound(format!("mem endpoint {dst:?}")))?;
+            // A full inbox drops the datagram, like a UDP socket buffer.
+            let _ = tx.try_send((Addr::Mem(self.name.clone()), buf));
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut inbox = self.inbox.lock().await;
+            inbox.recv().await.ok_or(Error::ConnectionClosed)
+        })
+    }
+}
+
+/// Client-side in-memory transport; binds an automatically-named endpoint
+/// per connection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemConnector;
+
+impl ChunnelConnector for MemConnector {
+    type Addr = Addr;
+    type Connection = MemSocket;
+
+    fn connect(&mut self, addr: Addr) -> BoxFut<'static, Result<MemSocket, Error>> {
+        Box::pin(async move {
+            expect_mem(&addr)?;
+            MemSocket::bind(None)
+        })
+    }
+}
+
+/// Server-side in-memory transport: binds the named endpoint and
+/// demultiplexes by source.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemListener;
+
+impl ChunnelListener for MemListener {
+    type Addr = Addr;
+    type Connection = MemPeerConn;
+    type Stream = RecvStream<MemPeerConn>;
+
+    fn listen(&mut self, addr: Addr) -> BoxFut<'static, Result<Self::Stream, Error>> {
+        Box::pin(async move {
+            let name = expect_mem(&addr)?;
+            let socket = MemSocket::bind(Some(name))?;
+            let (accept_tx, accept_rx) = mpsc::channel(64);
+            tokio::spawn(demux(socket, accept_tx));
+            Ok(RecvStream::new(accept_rx))
+        })
+    }
+}
+
+/// The demultiplexed flow from one peer endpoint.
+pub struct MemPeerConn {
+    peer: Addr,
+    local: String,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Vec<u8>>>,
+}
+
+impl MemPeerConn {
+    /// The remote peer this connection receives from.
+    pub fn peer(&self) -> Addr {
+        self.peer.clone()
+    }
+}
+
+impl ChunnelConnection for MemPeerConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let dst = expect_mem(&addr)?;
+            let tx = switchboard()
+                .endpoints
+                .read()
+                .get(&dst)
+                .cloned()
+                .ok_or_else(|| Error::NotFound(format!("mem endpoint {dst:?}")))?;
+            let _ = tx.try_send((Addr::Mem(self.local.clone()), buf));
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut inbox = self.inbox.lock().await;
+            match inbox.recv().await {
+                Some(buf) => Ok((self.peer.clone(), buf)),
+                None => Err(Error::ConnectionClosed),
+            }
+        })
+    }
+}
+
+async fn demux(socket: MemSocket, accept_tx: mpsc::Sender<Result<MemPeerConn, Error>>) {
+    let local = socket.name.clone();
+    let mut peers: HashMap<Addr, mpsc::Sender<Vec<u8>>> = HashMap::new();
+    loop {
+        let (from, payload) = {
+            let mut inbox = socket.inbox.lock().await;
+            match inbox.recv().await {
+                Some(d) => d,
+                None => return,
+            }
+        };
+
+        if peers.get(&from).map(|tx| tx.is_closed()).unwrap_or(false) {
+            peers.remove(&from);
+        }
+
+        match peers.get(&from) {
+            Some(tx) => {
+                let _ = tx.try_send(payload);
+            }
+            None => {
+                if accept_tx.is_closed() {
+                    if peers.values().all(|tx| tx.is_closed()) {
+                        return;
+                    }
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel(INBOX_DEPTH);
+                let _ = tx.try_send(payload);
+                let conn = MemPeerConn {
+                    peer: from.clone(),
+                    local: local.clone(),
+                    inbox: tokio::sync::Mutex::new(rx),
+                };
+                peers.insert(from.clone(), tx);
+                // Never block the demux on the accept queue: every
+                // established connection's traffic funnels through this
+                // loop, so a stalled accept consumer must cost only the
+                // *new* peer (whose handshake retry will re-create it),
+                // not everyone.
+                if accept_tx.try_send(Ok(conn)).is_err() {
+                    peers.remove(&from);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::chunnel::ConnStream;
+
+    #[tokio::test]
+    async fn round_trip() {
+        let addr = Addr::Mem(format!("mem-rt-{}", std::process::id()));
+        let mut stream = MemListener.listen(addr.clone()).await.unwrap();
+        let client = MemConnector.connect(addr.clone()).await.unwrap();
+        client.send((addr, b"m".to_vec())).await.unwrap();
+        let conn = stream.next().await.unwrap().unwrap();
+        let (from, data) = conn.recv().await.unwrap();
+        assert_eq!(data, b"m");
+        conn.send((from, b"r".to_vec())).await.unwrap();
+        let (_, data) = client.recv().await.unwrap();
+        assert_eq!(data, b"r");
+    }
+
+    #[tokio::test]
+    async fn double_bind_rejected() {
+        let name = "mem-double-bind".to_string();
+        let _a = MemSocket::bind(Some(name.clone())).unwrap();
+        assert!(MemSocket::bind(Some(name)).is_err());
+    }
+
+    #[tokio::test]
+    async fn rebind_after_drop_ok() {
+        let name = "mem-rebind".to_string();
+        let a = MemSocket::bind(Some(name.clone())).unwrap();
+        drop(a);
+        assert!(MemSocket::bind(Some(name)).is_ok());
+    }
+
+    #[tokio::test]
+    async fn dropped_endpoint_is_not_found() {
+        let name = "mem-drop-unbinds".to_string();
+        let s = MemSocket::bind(Some(name.clone())).unwrap();
+        let peer = MemSocket::bind(None).unwrap();
+        let peer_name = peer.local_addr();
+        drop(s);
+        // The dropped endpoint must be gone from the switchboard: sends to
+        // it fail loudly rather than silently succeeding.
+        let err = peer
+            .send((Addr::Mem(name), vec![1]))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+        let _ = peer_name;
+    }
+
+    #[tokio::test]
+    async fn send_to_unknown_endpoint_errors() {
+        let s = MemSocket::bind(None).unwrap();
+        let err = s
+            .send((Addr::Mem("mem-nobody-home".into()), vec![1]))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+}

@@ -1,0 +1,274 @@
+//! TCP transport with 32-bit length-delimited framing.
+//!
+//! Bertha connections are message-oriented, so a byte stream needs framing:
+//! each message is a little-endian `u32` length followed by that many bytes.
+//! The per-message address is the peer's socket address (checked on send:
+//! TCP cannot redirect).
+
+use bertha::chunnel::{ConnStream, RecvStream};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
+use std::net::SocketAddr;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use tokio::net::TcpStream;
+use tokio::sync::{mpsc, Mutex};
+
+/// Largest frame `recv` will accept; guards against garbage lengths.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+fn expect_tcp(addr: &Addr) -> Result<SocketAddr, Error> {
+    match addr {
+        Addr::Tcp(sa) => Ok(*sa),
+        other => Err(Error::Other(format!(
+            "tcp transport cannot reach {other}"
+        ))),
+    }
+}
+
+/// Client-side TCP transport.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpConnector {
+    /// Set `TCP_NODELAY` on new connections (default true: Bertha
+    /// messages are latency-sensitive RPCs).
+    pub nodelay: bool,
+}
+
+impl TcpConnector {
+    /// A connector with `TCP_NODELAY` enabled.
+    pub fn new() -> Self {
+        TcpConnector { nodelay: true }
+    }
+}
+
+impl ChunnelConnector for TcpConnector {
+    type Addr = Addr;
+    type Connection = TcpConn;
+
+    fn connect(&mut self, addr: Addr) -> BoxFut<'static, Result<TcpConn, Error>> {
+        let nodelay = self.nodelay;
+        Box::pin(async move {
+            let sa = expect_tcp(&addr)?;
+            let stream = TcpStream::connect(sa).await?;
+            if nodelay {
+                stream.set_nodelay(true)?;
+            }
+            Ok(TcpConn::new(stream, sa))
+        })
+    }
+}
+
+/// A framed TCP connection.
+pub struct TcpConn {
+    peer: SocketAddr,
+    rd: Mutex<OwnedReadHalf>,
+    wr: Mutex<OwnedWriteHalf>,
+}
+
+impl TcpConn {
+    fn new(stream: TcpStream, peer: SocketAddr) -> Self {
+        let (rd, wr) = stream.into_split();
+        TcpConn {
+            peer,
+            rd: Mutex::new(rd),
+            wr: Mutex::new(wr),
+        }
+    }
+
+    /// The remote peer.
+    pub fn peer(&self) -> Addr {
+        Addr::Tcp(self.peer)
+    }
+}
+
+impl ChunnelConnection for TcpConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let sa = expect_tcp(&addr)?;
+            if sa != self.peer {
+                return Err(Error::Other(format!(
+                    "tcp connection to {} cannot send to {}",
+                    self.peer, sa
+                )));
+            }
+            if buf.len() > MAX_FRAME {
+                return Err(Error::Other(format!(
+                    "frame of {} bytes exceeds the {}-byte limit",
+                    buf.len(),
+                    MAX_FRAME
+                )));
+            }
+            let mut wr = self.wr.lock().await;
+            wr.write_all(&(buf.len() as u32).to_le_bytes()).await?;
+            wr.write_all(&buf).await?;
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut rd = self.rd.lock().await;
+            let mut len = [0u8; 4];
+            if let Err(e) = rd.read_exact(&mut len).await {
+                return match e.kind() {
+                    std::io::ErrorKind::UnexpectedEof => Err(Error::ConnectionClosed),
+                    _ => Err(e.into()),
+                };
+            }
+            let len = u32::from_le_bytes(len) as usize;
+            if len > MAX_FRAME {
+                return Err(Error::Encode(format!("frame length {len} too large")));
+            }
+            let mut buf = vec![0u8; len];
+            rd.read_exact(&mut buf).await.map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => Error::ConnectionClosed,
+                _ => e.into(),
+            })?;
+            Ok((Addr::Tcp(self.peer), buf))
+        })
+    }
+}
+
+/// Server-side TCP transport.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpListener {
+    /// Set `TCP_NODELAY` on accepted connections.
+    pub nodelay: bool,
+}
+
+impl TcpListener {
+    /// A listener with `TCP_NODELAY` enabled.
+    pub fn new() -> Self {
+        TcpListener { nodelay: true }
+    }
+}
+
+impl ChunnelListener for TcpListener {
+    type Addr = Addr;
+    type Connection = TcpConn;
+    type Stream = TcpIncoming;
+
+    fn listen(&mut self, addr: Addr) -> BoxFut<'static, Result<Self::Stream, Error>> {
+        let nodelay = self.nodelay;
+        Box::pin(async move {
+            let sa = expect_tcp(&addr)?;
+            let listener = tokio::net::TcpListener::bind(sa).await?;
+            let local = listener.local_addr()?;
+            let (tx, rx) = mpsc::channel(64);
+            tokio::spawn(async move {
+                loop {
+                    match listener.accept().await {
+                        Ok((stream, peer)) => {
+                            if nodelay {
+                                let _ = stream.set_nodelay(true);
+                            }
+                            if tx.send(Ok(TcpConn::new(stream, peer))).await.is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e.into())).await;
+                            return;
+                        }
+                    }
+                }
+            });
+            Ok(TcpIncoming {
+                inner: RecvStream::new(rx),
+                local,
+            })
+        })
+    }
+}
+
+/// Stream of accepted TCP connections.
+pub struct TcpIncoming {
+    inner: RecvStream<TcpConn>,
+    local: SocketAddr,
+}
+
+impl TcpIncoming {
+    /// The bound listening address.
+    pub fn local_addr(&self) -> Addr {
+        Addr::Tcp(self.local)
+    }
+}
+
+impl ConnStream for TcpIncoming {
+    type Connection = TcpConn;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<TcpConn, Error>>> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn framed_round_trip() {
+        let mut stream = TcpListener::new()
+            .listen(Addr::Tcp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let addr = stream.local_addr();
+        let client = TcpConnector::new().connect(addr.clone()).await.unwrap();
+        client.send((addr, b"over tcp".to_vec())).await.unwrap();
+        let server = stream.next().await.unwrap().unwrap();
+        let (from, data) = server.recv().await.unwrap();
+        assert_eq!(data, b"over tcp");
+        server.send((from, vec![0u8; 100_000])).await.unwrap();
+        let (_, data) = client.recv().await.unwrap();
+        assert_eq!(data.len(), 100_000, "frames larger than one segment work");
+    }
+
+    #[tokio::test]
+    async fn send_to_wrong_peer_fails() {
+        let stream = TcpListener::new()
+            .listen(Addr::Tcp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let addr = stream.local_addr();
+        let client = TcpConnector::new().connect(addr).await.unwrap();
+        let wrong = Addr::Tcp("127.0.0.1:1".parse().unwrap());
+        assert!(client.send((wrong, vec![1])).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn peer_close_reports_closed() {
+        let mut stream = TcpListener::new()
+            .listen(Addr::Tcp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let addr = stream.local_addr();
+        let client = TcpConnector::new().connect(addr.clone()).await.unwrap();
+        client.send((addr, vec![1])).await.unwrap();
+        let server = stream.next().await.unwrap().unwrap();
+        drop(server);
+        match client.recv().await {
+            Err(Error::ConnectionClosed) => {}
+            other => panic!("expected closed, got {:?}", other.map(|(a, d)| (a, d.len()))),
+        }
+    }
+
+    #[tokio::test]
+    async fn interleaved_messages_keep_framing() {
+        let mut stream = TcpListener::new()
+            .listen(Addr::Tcp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let addr = stream.local_addr();
+        let client = std::sync::Arc::new(TcpConnector::new().connect(addr.clone()).await.unwrap());
+        for i in 0..20u8 {
+            client.send((addr.clone(), vec![i; (i as usize) + 1])).await.unwrap();
+        }
+        let server = stream.next().await.unwrap().unwrap();
+        for i in 0..20u8 {
+            let (_, data) = server.recv().await.unwrap();
+            assert_eq!(data, vec![i; (i as usize) + 1]);
+        }
+    }
+}

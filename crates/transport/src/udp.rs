@@ -1,0 +1,359 @@
+//! UDP transport: the paper prototype's base ("bincode ... atop UDP RPCs",
+//! §5).
+//!
+//! The connector binds an ephemeral socket per connection. The listener
+//! binds one socket and demultiplexes incoming datagrams by source address
+//! into per-peer connections; all per-peer connections share the socket for
+//! sending.
+
+use bertha::chunnel::{ConnStream, RecvStream};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+
+/// The local address to bind for talking to `remote`: same address family,
+/// loopback-scoped when the remote is loopback.
+pub(crate) fn local_bind_for(remote: SocketAddr) -> SocketAddr {
+    match (remote.is_ipv4(), remote.ip().is_loopback()) {
+        (true, true) => (std::net::Ipv4Addr::LOCALHOST, 0).into(),
+        (true, false) => (std::net::Ipv4Addr::UNSPECIFIED, 0).into(),
+        (false, true) => (std::net::Ipv6Addr::LOCALHOST, 0).into(),
+        (false, false) => (std::net::Ipv6Addr::UNSPECIFIED, 0).into(),
+    }
+}
+
+fn expect_udp(addr: &Addr) -> Result<SocketAddr, Error> {
+    match addr {
+        Addr::Udp(sa) => Ok(*sa),
+        other => Err(Error::Other(format!(
+            "udp transport cannot reach {other}"
+        ))),
+    }
+}
+
+/// Client-side UDP transport. Each `connect` binds a fresh ephemeral port.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdpConnector;
+
+impl ChunnelConnector for UdpConnector {
+    type Addr = Addr;
+    type Connection = UdpConn;
+
+    fn connect(&mut self, addr: Addr) -> BoxFut<'static, Result<UdpConn, Error>> {
+        Box::pin(async move {
+            let remote = expect_udp(&addr)?;
+            let socket = UdpSocket::bind(local_bind_for(remote)).await?;
+            Ok(UdpConn {
+                socket: Arc::new(socket),
+            })
+        })
+    }
+}
+
+/// An unconnected UDP socket as a Bertha connection: sends go to the
+/// address in each datagram, receives report the source.
+pub struct UdpConn {
+    socket: Arc<UdpSocket>,
+}
+
+impl UdpConn {
+    /// The local address this connection is bound to.
+    pub fn local_addr(&self) -> Result<Addr, Error> {
+        Ok(Addr::Udp(self.socket.local_addr()?))
+    }
+}
+
+impl ChunnelConnection for UdpConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            if buf.len() > crate::MAX_DATAGRAM {
+                return Err(Error::Other(format!(
+                    "datagram of {} bytes exceeds the {}-byte UDP limit",
+                    buf.len(),
+                    crate::MAX_DATAGRAM
+                )));
+            }
+            let sa = expect_udp(&addr)?;
+            self.socket.send_to(&buf, sa).await?;
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut buf = vec![0u8; crate::MAX_DATAGRAM];
+            let (n, from) = self.socket.recv_from(&mut buf).await?;
+            buf.truncate(n);
+            Ok((Addr::Udp(from), buf))
+        })
+    }
+}
+
+/// Server-side UDP transport: binds one socket, yields a connection per
+/// remote peer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdpListener {
+    /// Queue depth per peer before the demux drops datagrams (UDP
+    /// semantics: overload looks like loss, not backpressure).
+    pub per_peer_queue: usize,
+}
+
+impl UdpListener {
+    /// Listener with the given per-peer queue depth (0 means default: 512).
+    pub fn new(per_peer_queue: usize) -> Self {
+        UdpListener { per_peer_queue }
+    }
+}
+
+impl ChunnelListener for UdpListener {
+    type Addr = Addr;
+    type Connection = UdpPeerConn;
+    type Stream = UdpIncoming;
+
+    fn listen(&mut self, addr: Addr) -> BoxFut<'static, Result<Self::Stream, Error>> {
+        let queue = if self.per_peer_queue == 0 {
+            512
+        } else {
+            self.per_peer_queue
+        };
+        Box::pin(async move {
+            let sa = expect_udp(&addr)?;
+            let socket = Arc::new(UdpSocket::bind(sa).await?);
+            let local = socket.local_addr()?;
+            let (accept_tx, accept_rx) = mpsc::channel(64);
+            tokio::spawn(demux(socket, accept_tx, queue));
+            Ok(UdpIncoming {
+                inner: RecvStream::new(accept_rx),
+                local,
+            })
+        })
+    }
+}
+
+/// The stream of incoming per-peer UDP connections. Knows the bound local
+/// address, which matters when listening on an ephemeral port.
+pub struct UdpIncoming {
+    inner: RecvStream<UdpPeerConn>,
+    local: SocketAddr,
+}
+
+impl UdpIncoming {
+    /// The address the listening socket is bound to.
+    pub fn local_addr(&self) -> Addr {
+        Addr::Udp(self.local)
+    }
+}
+
+impl ConnStream for UdpIncoming {
+    type Connection = UdpPeerConn;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<UdpPeerConn, Error>>> {
+        self.inner.next()
+    }
+}
+
+/// The demultiplexed flow from one remote peer on a listening socket.
+pub struct UdpPeerConn {
+    socket: Arc<UdpSocket>,
+    peer: SocketAddr,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Vec<u8>>>,
+}
+
+impl UdpPeerConn {
+    /// The remote peer this connection receives from.
+    pub fn peer(&self) -> Addr {
+        Addr::Udp(self.peer)
+    }
+
+    /// The local address of the shared listening socket.
+    pub fn local_addr(&self) -> Result<Addr, Error> {
+        Ok(Addr::Udp(self.socket.local_addr()?))
+    }
+}
+
+impl ChunnelConnection for UdpPeerConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            if buf.len() > crate::MAX_DATAGRAM {
+                return Err(Error::Other(format!(
+                    "datagram of {} bytes exceeds the {}-byte UDP limit",
+                    buf.len(),
+                    crate::MAX_DATAGRAM
+                )));
+            }
+            // Replies usually go to the peer, but the address is honored so
+            // chunnels (e.g. sharding steer) can redirect.
+            let sa = expect_udp(&addr)?;
+            self.socket.send_to(&buf, sa).await?;
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut inbox = self.inbox.lock().await;
+            match inbox.recv().await {
+                Some(buf) => Ok((Addr::Udp(self.peer), buf)),
+                None => Err(Error::ConnectionClosed),
+            }
+        })
+    }
+}
+
+async fn demux(
+    socket: Arc<UdpSocket>,
+    accept_tx: mpsc::Sender<Result<UdpPeerConn, Error>>,
+    queue: usize,
+) {
+    let mut peers: HashMap<SocketAddr, mpsc::Sender<Vec<u8>>> = HashMap::new();
+    let mut buf = vec![0u8; crate::MAX_DATAGRAM];
+    loop {
+        let (n, from) = match socket.recv_from(&mut buf).await {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let payload = buf[..n].to_vec();
+
+        // Drop state for peers whose connection was dropped; a later
+        // datagram from the same peer starts a fresh connection.
+        if peers.get(&from).map(|tx| tx.is_closed()).unwrap_or(false) {
+            peers.remove(&from);
+        }
+
+        match peers.get(&from) {
+            Some(tx) => {
+                // Full queue: drop, like a UDP socket buffer.
+                let _ = tx.try_send(payload);
+            }
+            None => {
+                if accept_tx.is_closed() {
+                    // Nobody is accepting; if no live peers remain either,
+                    // the listener is fully abandoned.
+                    if peers.values().all(|tx| tx.is_closed()) {
+                        return;
+                    }
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel(queue);
+                let _ = tx.try_send(payload);
+                let conn = UdpPeerConn {
+                    socket: Arc::clone(&socket),
+                    peer: from,
+                    inbox: tokio::sync::Mutex::new(rx),
+                };
+                peers.insert(from, tx);
+                // Never block the demux on the accept queue: every
+                // established connection's traffic funnels through this
+                // loop, so a stalled accept consumer must cost only the
+                // *new* peer (whose handshake retry will re-create it),
+                // not everyone.
+                if accept_tx.try_send(Ok(conn)).is_err() {
+                    peers.remove(&from);
+                }
+            }
+        }
+    }
+}
+
+/// Bind an unconnected UDP socket as a standalone [`UdpConn`] — useful for
+/// fixed-address endpoints like shard sockets.
+pub async fn bind_udp(addr: &Addr) -> Result<UdpConn, Error> {
+    let sa = expect_udp(addr)?;
+    let socket = UdpSocket::bind(sa).await?;
+    Ok(UdpConn {
+        socket: Arc::new(socket),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback() -> Addr {
+        Addr::Udp("127.0.0.1:0".parse().unwrap())
+    }
+
+    async fn bound_listener() -> (Addr, UdpIncoming) {
+        let stream = UdpListener::default().listen(loopback()).await.unwrap();
+        let addr = stream.local_addr();
+        (addr, stream)
+    }
+
+    #[tokio::test]
+    async fn round_trip() {
+        let (addr, mut stream) = bound_listener().await;
+        let client = UdpConnector.connect(addr.clone()).await.unwrap();
+        client.send((addr.clone(), b"hello".to_vec())).await.unwrap();
+
+        let server_conn = stream.next().await.unwrap().unwrap();
+        let (from, data) = server_conn.recv().await.unwrap();
+        assert_eq!(data, b"hello");
+        server_conn.send((from, b"world".to_vec())).await.unwrap();
+        let (_, data) = client.recv().await.unwrap();
+        assert_eq!(data, b"world");
+    }
+
+    #[tokio::test]
+    async fn demux_separates_peers() {
+        let (addr, mut stream) = bound_listener().await;
+        let c1 = UdpConnector.connect(addr.clone()).await.unwrap();
+        let c2 = UdpConnector.connect(addr.clone()).await.unwrap();
+        c1.send((addr.clone(), b"one".to_vec())).await.unwrap();
+        let s1 = stream.next().await.unwrap().unwrap();
+        c2.send((addr.clone(), b"two".to_vec())).await.unwrap();
+        let s2 = stream.next().await.unwrap().unwrap();
+
+        let (_, d1) = s1.recv().await.unwrap();
+        let (_, d2) = s2.recv().await.unwrap();
+        assert_eq!(d1, b"one");
+        assert_eq!(d2, b"two");
+        assert_ne!(s1.peer(), s2.peer());
+    }
+
+    #[tokio::test]
+    async fn oversized_datagram_rejected() {
+        let (addr, _stream) = bound_listener().await;
+        let conn = UdpConnector.connect(addr.clone()).await.unwrap();
+        let big = vec![0u8; crate::MAX_DATAGRAM + 1];
+        assert!(conn.send((addr, big)).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn connector_matches_remote_address_family() {
+        // IPv6 loopback remote must get an IPv6 socket (an AF_INET socket
+        // cannot send to ::1).
+        let v6: SocketAddr = "[::1]:9".parse().unwrap();
+        assert!(local_bind_for(v6).is_ipv6());
+        assert!(local_bind_for(v6).ip().is_loopback());
+        let v4: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        assert!(local_bind_for(v4).is_ipv4());
+        let v6g: SocketAddr = "[2001:db8::1]:9".parse().unwrap();
+        assert!(local_bind_for(v6g).is_ipv6());
+        // End to end over the v6 loopback when the host supports it.
+        if let Ok(l) = UdpSocket::bind("[::1]:0").await {
+            let srv_addr = Addr::Udp(l.local_addr().unwrap());
+            let conn = UdpConnector.connect(srv_addr.clone()).await.unwrap();
+            conn.send((srv_addr, b"v6".to_vec())).await.unwrap();
+            let mut buf = [0u8; 8];
+            let (n, _) = l.recv_from(&mut buf).await.unwrap();
+            assert_eq!(&buf[..n], b"v6");
+        }
+    }
+
+    #[tokio::test]
+    async fn connect_to_non_udp_addr_fails() {
+        assert!(UdpConnector
+            .connect(Addr::Mem("x".into()))
+            .await
+            .is_err());
+        let _ = loopback();
+    }
+}

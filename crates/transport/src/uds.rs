@@ -1,0 +1,328 @@
+//! Unix-domain datagram transport: the container fast path's accelerated
+//! implementation (§5: "connections that use this Chunnel and connect
+//! applications on the same host transfer data using UNIX named sockets").
+//!
+//! Unix datagram sockets are bidirectional only if both sides are bound, so
+//! the connector binds a uniquely-named client socket under a scratch
+//! directory; it is unlinked when the connection drops.
+
+use bertha::chunnel::{ConnStream, RecvStream};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::UnixDatagram;
+use tokio::sync::mpsc;
+
+fn expect_unix(addr: &Addr) -> Result<PathBuf, Error> {
+    match addr {
+        Addr::Unix(p) => Ok(p.clone()),
+        other => Err(Error::Other(format!(
+            "unix transport cannot reach {other}"
+        ))),
+    }
+}
+
+fn scratch_path() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bertha-uds-{}-{}.sock",
+        std::process::id(),
+        n
+    ))
+}
+
+/// A bound Unix datagram socket that unlinks its path on drop.
+struct BoundUds {
+    socket: UnixDatagram,
+    path: PathBuf,
+}
+
+impl BoundUds {
+    fn bind(path: PathBuf) -> Result<Self, Error> {
+        // A stale socket file from a crashed process would fail the bind.
+        let _ = std::fs::remove_file(&path);
+        let socket = UnixDatagram::bind(&path)?;
+        Ok(BoundUds { socket, path })
+    }
+}
+
+impl Drop for BoundUds {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Client-side Unix-datagram transport. Binds a scratch socket per
+/// connection so the server can reply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdsConnector;
+
+impl ChunnelConnector for UdsConnector {
+    type Addr = Addr;
+    type Connection = UdsConn;
+
+    fn connect(&mut self, addr: Addr) -> BoxFut<'static, Result<UdsConn, Error>> {
+        Box::pin(async move {
+            expect_unix(&addr)?;
+            let bound = BoundUds::bind(scratch_path())?;
+            Ok(UdsConn {
+                inner: Arc::new(bound),
+            })
+        })
+    }
+}
+
+/// An unconnected Unix datagram socket as a Bertha connection.
+pub struct UdsConn {
+    inner: Arc<BoundUds>,
+}
+
+impl UdsConn {
+    /// The path this connection's socket is bound to.
+    pub fn local_addr(&self) -> Addr {
+        Addr::Unix(self.inner.path.clone())
+    }
+}
+
+impl ChunnelConnection for UdsConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let path = expect_unix(&addr)?;
+            self.inner.socket.send_to(&buf, &path).await?;
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut buf = vec![0u8; crate::MAX_DATAGRAM];
+            let (n, from) = self.inner.socket.recv_from(&mut buf).await?;
+            buf.truncate(n);
+            let from = from
+                .as_pathname()
+                .map(Path::to_path_buf)
+                .unwrap_or_default();
+            Ok((Addr::Unix(from), buf))
+        })
+    }
+}
+
+/// Server-side Unix-datagram transport: binds one named socket, yields a
+/// connection per remote (bound) peer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdsListener {
+    /// Queue depth per peer before datagrams are dropped (0: default 512).
+    pub per_peer_queue: usize,
+}
+
+impl ChunnelListener for UdsListener {
+    type Addr = Addr;
+    type Connection = UdsPeerConn;
+    type Stream = UdsIncoming;
+
+    fn listen(&mut self, addr: Addr) -> BoxFut<'static, Result<Self::Stream, Error>> {
+        let queue = if self.per_peer_queue == 0 {
+            512
+        } else {
+            self.per_peer_queue
+        };
+        Box::pin(async move {
+            let path = expect_unix(&addr)?;
+            let bound = Arc::new(BoundUds::bind(path.clone())?);
+            let (accept_tx, accept_rx) = mpsc::channel(64);
+            tokio::spawn(demux(bound, accept_tx, queue));
+            Ok(UdsIncoming {
+                inner: RecvStream::new(accept_rx),
+                local: path,
+            })
+        })
+    }
+}
+
+/// Stream of incoming per-peer Unix-datagram connections.
+pub struct UdsIncoming {
+    inner: RecvStream<UdsPeerConn>,
+    local: PathBuf,
+}
+
+impl UdsIncoming {
+    /// The path the listening socket is bound to.
+    pub fn local_addr(&self) -> Addr {
+        Addr::Unix(self.local.clone())
+    }
+}
+
+impl ConnStream for UdsIncoming {
+    type Connection = UdsPeerConn;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<UdsPeerConn, Error>>> {
+        self.inner.next()
+    }
+}
+
+/// The demultiplexed flow from one peer socket on a listening Unix socket.
+pub struct UdsPeerConn {
+    shared: Arc<BoundUds>,
+    peer: PathBuf,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Vec<u8>>>,
+}
+
+impl UdsPeerConn {
+    /// The remote peer this connection receives from.
+    pub fn peer(&self) -> Addr {
+        Addr::Unix(self.peer.clone())
+    }
+}
+
+impl ChunnelConnection for UdsPeerConn {
+    type Data = Datagram;
+
+    fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let path = expect_unix(&addr)?;
+            self.shared.socket.send_to(&buf, &path).await?;
+            Ok(())
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let mut inbox = self.inbox.lock().await;
+            match inbox.recv().await {
+                Some(buf) => Ok((Addr::Unix(self.peer.clone()), buf)),
+                None => Err(Error::ConnectionClosed),
+            }
+        })
+    }
+}
+
+async fn demux(
+    shared: Arc<BoundUds>,
+    accept_tx: mpsc::Sender<Result<UdsPeerConn, Error>>,
+    queue: usize,
+) {
+    let mut peers: HashMap<PathBuf, mpsc::Sender<Vec<u8>>> = HashMap::new();
+    let mut buf = vec![0u8; crate::MAX_DATAGRAM];
+    loop {
+        let (n, from) = match shared.socket.recv_from(&mut buf).await {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let from = match from.as_pathname() {
+            Some(p) => p.to_path_buf(),
+            // Unbound sender: no reply path, so no connection.
+            None => continue,
+        };
+        let payload = buf[..n].to_vec();
+
+        if peers.get(&from).map(|tx| tx.is_closed()).unwrap_or(false) {
+            peers.remove(&from);
+        }
+
+        match peers.get(&from) {
+            Some(tx) => {
+                let _ = tx.try_send(payload);
+            }
+            None => {
+                if accept_tx.is_closed() {
+                    if peers.values().all(|tx| tx.is_closed()) {
+                        return;
+                    }
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel(queue);
+                let _ = tx.try_send(payload);
+                let conn = UdsPeerConn {
+                    shared: Arc::clone(&shared),
+                    peer: from.clone(),
+                    inbox: tokio::sync::Mutex::new(rx),
+                };
+                peers.insert(from.clone(), tx);
+                // Never block the demux on the accept queue: every
+                // established connection's traffic funnels through this
+                // loop, so a stalled accept consumer must cost only the
+                // *new* peer (whose handshake retry will re-create it),
+                // not everyone.
+                if accept_tx.try_send(Ok(conn)).is_err() {
+                    peers.remove(&from);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn round_trip_over_uds() {
+        let srv_addr = Addr::Unix(scratch_path());
+        let mut stream = UdsListener::default()
+            .listen(srv_addr.clone())
+            .await
+            .unwrap();
+
+        let client = UdsConnector.connect(srv_addr.clone()).await.unwrap();
+        client
+            .send((srv_addr.clone(), b"ping".to_vec()))
+            .await
+            .unwrap();
+
+        let conn = stream.next().await.unwrap().unwrap();
+        let (from, data) = conn.recv().await.unwrap();
+        assert_eq!(data, b"ping");
+        assert_eq!(from, client.local_addr());
+        conn.send((from, b"pong".to_vec())).await.unwrap();
+        let (_, data) = client.recv().await.unwrap();
+        assert_eq!(data, b"pong");
+    }
+
+    #[tokio::test]
+    async fn socket_files_are_cleaned_up() {
+        let path = scratch_path();
+        {
+            let _stream = UdsListener::default()
+                .listen(Addr::Unix(path.clone()))
+                .await
+                .unwrap();
+            assert!(path.exists());
+            // Dropping the stream alone does not kill the demux (live
+            // conns may remain); dropping everything ends the process's
+            // interest, and BoundUds::drop unlinks once the task exits.
+        }
+        // The listener's socket object lives in the demux task; poke it so
+        // it notices abandonment by sending one datagram from a throwaway
+        // socket.
+        let poker = UdsConnector.connect(Addr::Unix(path.clone())).await.unwrap();
+        let _ = poker.send((Addr::Unix(path.clone()), vec![1])).await;
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        assert!(!path.exists(), "socket file should be unlinked");
+    }
+
+    #[tokio::test]
+    async fn two_clients_demuxed() {
+        let srv_addr = Addr::Unix(scratch_path());
+        let mut stream = UdsListener::default()
+            .listen(srv_addr.clone())
+            .await
+            .unwrap();
+        let c1 = UdsConnector.connect(srv_addr.clone()).await.unwrap();
+        let c2 = UdsConnector.connect(srv_addr.clone()).await.unwrap();
+        c1.send((srv_addr.clone(), b"a".to_vec())).await.unwrap();
+        c2.send((srv_addr.clone(), b"b".to_vec())).await.unwrap();
+        let s1 = stream.next().await.unwrap().unwrap();
+        let s2 = stream.next().await.unwrap().unwrap();
+        let (_, d1) = s1.recv().await.unwrap();
+        let (_, d2) = s2.recv().await.unwrap();
+        let mut got = vec![d1, d2];
+        got.sort();
+        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+}

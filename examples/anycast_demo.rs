@@ -1,0 +1,104 @@
+//! §3.2's anycast chunnel: DNS vs. IP anycast, chosen per deployment.
+//!
+//! Two instances of a service exist: one near, one far. A route-strategy
+//! client reaches the near one instantly; when routes start flapping, the
+//! auto strategy notices and switches to DNS-based resolution, trading
+//! reaction speed for stability — "applications [can] dynamically choose
+//! between DNS-based and IP-anycast based approaches depending on where
+//! they are deployed."
+//!
+//! Run: `cargo run --example anycast_demo`
+
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, ChunnelConnector};
+use bertha_anycast::{
+    Announcement, AnycastConnector, AnycastRouteTable, AnycastStrategy, DnsRecord, DnsResolver,
+};
+use bertha_transport::mem::MemSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() -> Result<(), bertha::Error> {
+    // Two instances of "svc": near and far, both echoing.
+    for name in ["svc-near", "svc-far"] {
+        let sock = MemSocket::bind(Some(name.into()))?;
+        tokio::spawn(async move {
+            while let Ok((from, data)) = sock.recv().await {
+                if sock.send((from, data)).await.is_err() {
+                    break;
+                }
+            }
+        });
+    }
+
+    let dns = Arc::new(DnsResolver::new());
+    dns.announce(
+        "svc",
+        DnsRecord {
+            addr: Addr::Mem("svc-near".into()),
+            latency_hint_us: 100,
+            ttl: Duration::from_secs(1),
+        },
+    );
+    dns.announce(
+        "svc",
+        DnsRecord {
+            addr: Addr::Mem("svc-far".into()),
+            latency_hint_us: 9000,
+            ttl: Duration::from_secs(1),
+        },
+    );
+
+    // A churning route table: 40% of resolutions are mid-flap.
+    let routes = Arc::new(AnycastRouteTable::with_instability(0.4, 7));
+    routes.announce(
+        "svc",
+        Announcement {
+            addr: Addr::Mem("svc-near".into()),
+            distance: 1,
+        },
+    );
+    routes.announce(
+        "svc",
+        Announcement {
+            addr: Addr::Mem("svc-far".into()),
+            distance: 10,
+        },
+    );
+
+    for strategy in [
+        AnycastStrategy::Dns,
+        AnycastStrategy::Route,
+        AnycastStrategy::Auto,
+    ] {
+        let mut connector =
+            AnycastConnector::new(Arc::clone(&dns), Arc::clone(&routes), strategy);
+        let mut near = 0;
+        let mut via_dns = 0;
+        const N: usize = 50;
+        for _ in 0..N {
+            let conn = connector.connect(Addr::Named("svc".into())).await?;
+            if conn.instance() == &Addr::Mem("svc-near".into()) {
+                near += 1;
+            }
+            if conn.via() == AnycastStrategy::Dns {
+                via_dns += 1;
+            }
+            // One round trip to show the path works.
+            conn.send((Addr::Named("svc".into()), b"ping".to_vec()))
+                .await?;
+            let (_, d) = conn.recv().await?;
+            assert_eq!(d, b"ping");
+        }
+        println!(
+            "{strategy:?}: {near}/{N} connections reached the near instance, {via_dns} resolved via DNS"
+        );
+    }
+    println!(
+        "route table flapped {} times during the run",
+        routes.flap_count()
+    );
+    println!("anycast_demo ok");
+    Ok(())
+}

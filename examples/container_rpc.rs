@@ -1,0 +1,84 @@
+//! Listing 1: local-fastpath routing between "containers".
+//!
+//! ```text
+//! let srv = bertha::new("container-app",
+//!     wrap!(local_or_remote()))
+//!     .listen(SocketAddr(addr, port));
+//! ```
+//!
+//! A server listens on its canonical UDP address *and* a Unix socket,
+//! registering the mapping with the per-host name agent. A client on the
+//! same host resolves the canonical address and transparently gets the
+//! IPC fast path; the same code on another host would fall back to UDP.
+//! This example runs both a same-host client (fast path) and a client with
+//! an empty name agent standing in for a remote host (UDP path), and
+//! prints the latency difference.
+//!
+//! Run: `cargo run --example container_rpc`
+
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_localname::agent::{NameAgent, NameSource};
+use bertha_localname::chunnel::{LocalOrRemote, LocalOrRemoteListener};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[tokio::main]
+async fn main() -> Result<(), bertha::Error> {
+    let agent = Arc::new(NameAgent::new());
+
+    // The containerized server: canonical UDP address + local fast path.
+    let mut listener = LocalOrRemoteListener::with_agent(Arc::clone(&agent));
+    let mut incoming = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await?;
+    let canonical = incoming.local_addr();
+    println!("server canonical address: {canonical}");
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Same-host client: the agent has the mapping, so connections take the
+    // Unix fast path.
+    let mut local_client = LocalOrRemote::with_agent(agent.clone() as Arc<dyn NameSource>);
+    let conn = local_client.connect(canonical.clone()).await?;
+    println!("same-host client fast path? {}", conn.is_local());
+    let local_rtt = measure(&conn, &canonical, 200).await?;
+
+    // "Remote" client: an empty agent (another host's agent would not have
+    // this mapping), so it uses the network stack.
+    let empty = Arc::new(NameAgent::new());
+    let mut remote_client = LocalOrRemote::with_agent(empty as Arc<dyn NameSource>);
+    let conn = remote_client.connect(canonical.clone()).await?;
+    println!("\"remote\" client fast path? {}", conn.is_local());
+    let remote_rtt = measure(&conn, &canonical, 200).await?;
+
+    println!("median RTT  fast path: {local_rtt:.1} us   network stack: {remote_rtt:.1} us");
+    server.abort();
+    Ok(())
+}
+
+async fn measure(
+    conn: &impl ChunnelConnection<Data = bertha::Datagram>,
+    addr: &Addr,
+    n: usize,
+) -> Result<f64, bertha::Error> {
+    let payload = vec![0x55u8; 512];
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = Instant::now();
+        conn.send((addr.clone(), payload.clone())).await?;
+        conn.recv().await?;
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(samples[n / 2])
+}

@@ -1,0 +1,86 @@
+//! The core Bertha story in one run: the same application binary picks up
+//! an offload when the operator registers it, loses it when capacity runs
+//! out, and falls back when it is withdrawn — without any code change
+//! (§2, §4.2, §4.3).
+//!
+//! Steps:
+//! 1. a sharded KV service starts with no offloads: connections negotiate
+//!    the in-app fallback;
+//! 2. the operator deploys a steerer and registers it with discovery
+//!    (priority 10, 2 units of host capacity): new connections pick
+//!    `shard/steer`, and the registration's init hook fires;
+//! 3. capacity runs out: the next connection silently falls back;
+//! 4. the operator unregisters the steerer: back to the fallback for all.
+//!
+//! Run: `cargo run --example offload_lifecycle`
+
+use bertha::negotiate::{negotiate_client, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener};
+use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
+use bertha_discovery::{DiscoveryClient, Registry, RegistrySource};
+use bertha_shard::{steerer_registration, ShardDeferChunnel};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+
+async fn connect_and_report(canonical: &Addr, tag: &str) -> String {
+    let raw = UdpConnector.connect(canonical.clone()).await.unwrap();
+    let (_conn, picks) = negotiate_client(
+        bertha::wrap!(ShardDeferChunnel),
+        raw,
+        canonical.clone(),
+        &NegotiateOpts::named(tag),
+    )
+    .await
+    .unwrap();
+    let picked = picks.picks[0].name.clone();
+    println!("  connection {tag:<12} picked: {picked}");
+    picked
+}
+
+#[tokio::main]
+async fn main() -> Result<(), bertha::Error> {
+    let shards = kvstore::spawn_shards(3).await?;
+    let registry = Arc::new(Registry::new());
+    registry.add_device(
+        "host0",
+        ResourcePool::new(ResourceReq::of([(ResourceKind::HostCores, 2)])),
+    );
+
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await?;
+    let canonical = raw.local_addr();
+    let info = kvstore::shard_info(canonical.clone(), &shards);
+    let opts = NegotiateOpts::named("kv-server").with_filter(DiscoveryClient::new(
+        Arc::clone(&registry) as Arc<dyn RegistrySource>,
+    ));
+    let _server = kvstore::serve_prepared(raw, info, opts);
+
+    println!("1. service up at {canonical}, no offloads registered:");
+    assert_eq!(connect_and_report(&canonical, "conn-1").await, "shard/fallback");
+
+    println!("2. operator registers the steering offload (capacity: 2 connections):");
+    let (mut reg, hooks, activations) = steerer_registration(Some("host0".into()));
+    reg.resources = ResourceReq::of([(ResourceKind::HostCores, 1)]);
+    registry.register(reg, hooks)?;
+    assert_eq!(connect_and_report(&canonical, "conn-2").await, "shard/steer");
+    assert_eq!(connect_and_report(&canonical, "conn-3").await, "shard/steer");
+    println!(
+        "  init hook ran {} times (once per accelerated connection)",
+        activations.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    println!("3. capacity exhausted: the next connection falls back, no error:");
+    assert_eq!(connect_and_report(&canonical, "conn-4").await, "shard/fallback");
+    println!(
+        "  host0 remaining: {:?}",
+        registry.device_remaining("host0").unwrap().0
+    );
+
+    println!("4. operator withdraws the offload:");
+    registry.unregister(bertha_shard::IMPL_STEER);
+    assert_eq!(connect_and_report(&canonical, "conn-5").await, "shard/fallback");
+
+    println!("offload_lifecycle ok: five connections, zero application changes");
+    Ok(())
+}

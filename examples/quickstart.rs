@@ -1,0 +1,91 @@
+//! Quickstart: a typed, reliable echo service over UDP, the Bertha way.
+//!
+//! Mirrors the paper's §3.1 endpoint API: both sides declare a chunnel
+//! stack (`wrap!(serialize |> reliable)`); when the client connects, the
+//! endpoints exchange offers and negotiation picks an implementation for
+//! each slot. The application then sends and receives *objects*, not
+//! bytes, with exactly-once delivery underneath.
+//!
+//! Run: `cargo run --example quickstart`
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::NegotiateOpts;
+use bertha::{wrap, Addr, ChunnelListener, ConnStream};
+use bertha_chunnels::{ReliabilityChunnel, SerializeChunnel};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+struct Greeting {
+    from: String,
+    body: String,
+    hops: u32,
+}
+
+#[tokio::main]
+async fn main() -> Result<(), bertha::Error> {
+    // ---- Server ----------------------------------------------------
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await?;
+    let addr = raw.local_addr();
+    println!("server listening on {addr}");
+
+    let server_stack = wrap!(
+        SerializeChunnel::<Greeting>::default() |> ReliabilityChunnel::default()
+    );
+    let mut incoming = bertha::negotiate::NegotiatedStream::new(
+        raw,
+        server_stack,
+        NegotiateOpts::named("quickstart-server"),
+    );
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, mut msg)) = conn.recv().await {
+                    println!("server got {msg:?}");
+                    msg.hops += 1;
+                    msg.from = "server".into();
+                    if conn.send((from, msg)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // ---- Client ----------------------------------------------------
+    let client_stack = wrap!(
+        SerializeChunnel::<Greeting>::default() |> ReliabilityChunnel::default()
+    );
+    let endpoint = bertha::new("quickstart-client", client_stack);
+    let (conn, picks) = endpoint.connect(&mut UdpConnector, addr.clone()).await?;
+    println!(
+        "negotiated with {}: picked [{}]",
+        picks.name,
+        picks
+            .picks
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    conn.send((
+        addr.clone(),
+        Greeting {
+            from: "client".into(),
+            body: "hello, chunnels".into(),
+            hops: 0,
+        },
+    ))
+    .await?;
+    let (_, reply) = conn.recv().await?;
+    println!("client got {reply:?}");
+    assert_eq!(reply.hops, 1);
+    assert_eq!(reply.from, "server");
+
+    server.abort();
+    println!("quickstart ok");
+    Ok(())
+}

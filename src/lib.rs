@@ -1,0 +1,1 @@
+//! Test-support crate for the Bertha workspace; see tests/ and examples/.

@@ -1,0 +1,128 @@
+//! Integration: the discovery service gates, prioritizes, and accounts for
+//! accelerated implementations during real negotiations (§4.2–§4.3).
+
+use bertha::negotiate::{negotiate_client, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener};
+use bertha_discovery::registry::Hooks;
+use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
+use bertha_discovery::{DiscoveryClient, Registry, RegistrySource};
+use bertha_shard::{steerer_registration, ShardDeferChunnel};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+
+async fn kv_deployment(
+    registry: Arc<Registry>,
+) -> (Addr, tokio::task::JoinHandle<()>, Vec<kvstore::KvShardHandle>) {
+    let shards = kvstore::spawn_shards(2).await.unwrap();
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let canonical = raw.local_addr();
+    let info = kvstore::shard_info(canonical.clone(), &shards);
+    let opts = NegotiateOpts::named("kv-server")
+        .with_filter(DiscoveryClient::new(registry as Arc<dyn RegistrySource>));
+    let server = kvstore::serve_prepared(raw, info, opts);
+    (canonical, server, shards)
+}
+
+async fn picked_impl(canonical: &Addr) -> String {
+    let raw = UdpConnector.connect(canonical.clone()).await.unwrap();
+    let (_conn, picks) = negotiate_client(
+        bertha::wrap!(ShardDeferChunnel),
+        raw,
+        canonical.clone(),
+        &NegotiateOpts::named("probe"),
+    )
+    .await
+    .unwrap();
+    picks.picks[0].name.clone()
+}
+
+#[tokio::test]
+async fn unregistered_steer_is_never_picked() {
+    let registry = Arc::new(Registry::new());
+    let (canonical, server, _shards) = kv_deployment(Arc::clone(&registry)).await;
+    assert_eq!(picked_impl(&canonical).await, "shard/fallback");
+    server.abort();
+}
+
+#[tokio::test]
+async fn registration_flips_the_pick_and_hooks_fire() {
+    let registry = Arc::new(Registry::new());
+    let (canonical, server, _shards) = kv_deployment(Arc::clone(&registry)).await;
+
+    // Before: fallback. (The steerer task itself is irrelevant to the
+    // pick; this test checks the control plane.)
+    assert_eq!(picked_impl(&canonical).await, "shard/fallback");
+
+    let (reg, hooks, activations) = steerer_registration(None);
+    registry.register(reg, hooks).unwrap();
+    assert_eq!(picked_impl(&canonical).await, "shard/steer");
+    assert_eq!(
+        activations.load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "init hook ran for the picked connection"
+    );
+
+    // Unregister: back to fallback for new connections.
+    registry.unregister(bertha_shard::IMPL_STEER);
+    assert_eq!(picked_impl(&canonical).await, "shard/fallback");
+    server.abort();
+}
+
+#[tokio::test]
+async fn capacity_exhaustion_falls_back_per_connection() {
+    let registry = Arc::new(Registry::new());
+    registry.add_device(
+        "host0",
+        ResourcePool::new(ResourceReq::of([(ResourceKind::HostCores, 1)])),
+    );
+    let (mut reg, hooks, _activations) = steerer_registration(Some("host0".into()));
+    reg.resources = ResourceReq::of([(ResourceKind::HostCores, 1)]);
+    registry.register(reg, hooks).unwrap();
+
+    let (canonical, server, _shards) = kv_deployment(Arc::clone(&registry)).await;
+
+    // First connection claims the only core: steer.
+    assert_eq!(picked_impl(&canonical).await, "shard/steer");
+    // Second connection: capacity gone, the offer is withdrawn, fallback.
+    // ("resources required by registered implementations are already
+    // occupied", §2.)
+    assert_eq!(picked_impl(&canonical).await, "shard/fallback");
+    server.abort();
+}
+
+#[tokio::test]
+async fn release_restores_capacity() {
+    let registry = Arc::new(Registry::new());
+    registry.add_device(
+        "nic0",
+        ResourcePool::new(ResourceReq::of([(ResourceKind::NicQueues, 1)])),
+    );
+    let capability = bertha::negotiate::guid("bertha/shard");
+    let registration = bertha_discovery::Registration {
+        capability,
+        impl_guid: bertha_shard::IMPL_STEER,
+        name: "shard/steer".into(),
+        endpoints: bertha::negotiate::Endpoints::Server,
+        scope: bertha::negotiate::Scope::Host,
+        priority: 10,
+        resources: ResourceReq::of([(ResourceKind::NicQueues, 1)]),
+        device: Some("nic0".into()),
+    };
+    registry.register(registration.clone(), Hooks::none()).unwrap();
+
+    let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+    let pick = registration.offer();
+    client
+        .picked(bertha::negotiate::Role::Server, std::slice::from_ref(&pick))
+        .await
+        .unwrap();
+    assert!(registry.query_sync(capability).is_empty(), "queue taken");
+    client.release_all().await.unwrap();
+    assert_eq!(registry.query_sync(capability).len(), 1, "queue back");
+}
+
+// Bring OfferFilter's methods into scope for the direct call above.
+use bertha::negotiate::OfferFilter;

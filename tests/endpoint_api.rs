@@ -1,0 +1,123 @@
+//! Integration: the paper-shaped `bertha::new(...).listen(...)` /
+//! `.connect(...)` endpoint API (§3.1), end to end over UDP.
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{Candidate, FnPolicy};
+use bertha::{wrap, Addr, ChunnelListener, ConnStream, Select};
+use bertha_chunnels::{OrderingChunnel, ReliabilityChunnel, SerializeChunnel};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+struct Note(String);
+
+#[tokio::test]
+async fn endpoint_listen_and_connect() {
+    let mut listener = UdpListener::default();
+    let raw = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = raw.local_addr();
+    let stack = wrap!(SerializeChunnel::<Note>::default() |> ReliabilityChunnel::default());
+    let mut incoming = bertha::negotiate::NegotiatedStream::new(
+        raw,
+        stack.clone(),
+        bertha::NegotiateOpts::named("note-server"),
+    );
+    let srv = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        let (from, Note(text)) = conn.recv().await.unwrap();
+        conn.send((from, Note(format!("ack: {text}")))).await.unwrap();
+    });
+
+    let client = bertha::new("note-client", stack);
+    let (conn, picks) = client.connect(&mut UdpConnector, addr.clone()).await.unwrap();
+    assert_eq!(picks.name, "note-server");
+    conn.send((addr, Note("hello".into()))).await.unwrap();
+    let (_, Note(reply)) = conn.recv().await.unwrap();
+    assert_eq!(reply, "ack: hello");
+    srv.await.unwrap();
+}
+
+#[tokio::test]
+async fn custom_policy_flips_select_outcome() {
+    // Under the default policy the higher-priority branch wins; a custom
+    // operator policy can invert that (§4.3's operator-supplied policy).
+    let mut listener = UdpListener::default();
+    let raw = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = raw.local_addr();
+
+    let server_stack = wrap!(Select::new(
+        ReliabilityChunnel::default(),
+        OrderingChunnel::default()
+    ));
+    // Prefer the LOWEST priority admissible candidate.
+    let policy = Arc::new(FnPolicy(|_slot: usize, cands: &[Candidate]| {
+        cands
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.offer.priority, c.offer.impl_guid))
+            .map(|(i, _)| i)
+    }));
+    let mut incoming = bertha::negotiate::NegotiatedStream::new(
+        raw,
+        server_stack,
+        bertha::NegotiateOpts::named("sel-srv").with_policy(policy),
+    );
+    let srv = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        let (from, d) = conn.recv().await.unwrap();
+        conn.send((from, d)).await.unwrap();
+    });
+
+    let client_stack = wrap!(Select::new(
+        ReliabilityChunnel::default(),
+        OrderingChunnel::default()
+    ));
+    let endpoint = bertha::new("sel-cli", client_stack);
+    let (conn, picks) = endpoint.connect(&mut UdpConnector, addr.clone()).await.unwrap();
+    // Deterministic outcome: whatever the policy chose, both ends agree
+    // and traffic flows.
+    assert_eq!(picks.picks.len(), 1);
+    conn.send((addr, b"policy".to_vec())).await.unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, b"policy");
+    srv.await.unwrap();
+}
+
+#[tokio::test]
+async fn connect_dynamic_through_endpoint() {
+    bertha::register_chunnel(ReliabilityChunnel::default());
+    let mut listener = UdpListener::default();
+    let raw = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = raw.local_addr();
+    let mut incoming = bertha::negotiate::NegotiatedStream::new(
+        raw,
+        wrap!(ReliabilityChunnel::default()),
+        bertha::NegotiateOpts::named("dyn-srv"),
+    );
+    let srv = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        let (from, d) = conn.recv().await.unwrap();
+        conn.send((from, d)).await.unwrap();
+    });
+
+    // Listing 5's client: empty stack, server dictates.
+    let endpoint = bertha::new("dyn-cli", wrap!());
+    let conn = endpoint
+        .connect_dynamic(&mut UdpConnector, addr.clone())
+        .await
+        .unwrap();
+    conn.send((addr, b"dictated".to_vec())).await.unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, b"dictated");
+    srv.await.unwrap();
+}

@@ -1,0 +1,122 @@
+//! Integration: the local fast path composed with negotiation — the full
+//! Listing-1 flow. A negotiated, reliability-bearing connection runs over
+//! whichever transport the name agent picks, transparently.
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{negotiate_client, negotiate_server_once, NegotiateOpts};
+use bertha::{wrap, Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_chunnels::ReliabilityChunnel;
+use bertha_localname::agent::{NameAgent, NameSource};
+use bertha_localname::chunnel::{LocalOrRemote, LocalOrRemoteListener};
+use bertha_localname::RemoteNameAgent;
+use std::sync::Arc;
+
+#[tokio::test]
+async fn negotiated_stack_over_the_fast_path() {
+    let agent = Arc::new(NameAgent::new());
+    let mut listener = LocalOrRemoteListener::with_agent(Arc::clone(&agent));
+    let mut incoming = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let canonical = incoming.local_addr();
+
+    // The server negotiates each incoming connection, whichever transport
+    // it arrived on.
+    let server = tokio::spawn(async move {
+        while let Some(Ok(raw)) = incoming.next().await {
+            tokio::spawn(async move {
+                let Ok(conn) = negotiate_server_once(
+                    wrap!(ReliabilityChunnel::default()),
+                    raw,
+                    &NegotiateOpts::named("srv"),
+                )
+                .await
+                else {
+                    return;
+                };
+                while let Ok((from, d)) = conn.recv().await {
+                    if conn.send((from, d)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Same-host client: fast path underneath, negotiation on top.
+    let mut connector = LocalOrRemote::with_agent(agent.clone() as Arc<dyn NameSource>);
+    let raw = connector.connect(canonical.clone()).await.unwrap();
+    assert!(raw.is_local());
+    let (conn, picks) = negotiate_client(
+        wrap!(ReliabilityChunnel::default()),
+        raw,
+        canonical.clone(),
+        &NegotiateOpts::named("cli"),
+    )
+    .await
+    .unwrap();
+    assert_eq!(picks.picks[0].name, "reliable/arq");
+    conn.send((canonical.clone(), b"over uds, reliably".to_vec()))
+        .await
+        .unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, b"over uds, reliably");
+
+    // "Remote" client (empty agent): same code, UDP underneath.
+    let empty = Arc::new(NameAgent::new());
+    let mut connector = LocalOrRemote::with_agent(empty as Arc<dyn NameSource>);
+    let raw = connector.connect(canonical.clone()).await.unwrap();
+    assert!(!raw.is_local());
+    let (conn, _) = negotiate_client(
+        wrap!(ReliabilityChunnel::default()),
+        raw,
+        canonical.clone(),
+        &NegotiateOpts::named("cli2"),
+    )
+    .await
+    .unwrap();
+    conn.send((canonical.clone(), b"over udp, reliably".to_vec()))
+        .await
+        .unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, b"over udp, reliably");
+
+    server.abort();
+}
+
+#[tokio::test]
+async fn agent_over_uds_drives_fast_path_choice() {
+    // The agent runs as a (simulated) separate daemon behind a socket;
+    // the client resolves through IPC exactly as the fig3 harness does.
+    let agent = Arc::new(NameAgent::new());
+    let agent_path = std::env::temp_dir().join(format!(
+        "bertha-test-agent-{}-{}.sock",
+        std::process::id(),
+        line!()
+    ));
+    let agent_task = bertha_localname::agent::serve_agent_uds(Arc::clone(&agent), agent_path.clone())
+        .await
+        .unwrap();
+
+    let mut listener = LocalOrRemoteListener::with_agent(Arc::clone(&agent));
+    let incoming = listener
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let canonical = incoming.local_addr();
+
+    let remote_agent = Arc::new(RemoteNameAgent::new(agent_path));
+    assert_eq!(
+        remote_agent.resolve(&canonical).await.unwrap().map(|a| a.family()),
+        Some("unix"),
+        "daemon resolves the canonical address to the local socket"
+    );
+    let mut connector = LocalOrRemote::with_agent(remote_agent as Arc<dyn NameSource>);
+    let conn = connector.connect(canonical).await.unwrap();
+    assert!(conn.is_local());
+
+    drop(incoming); // unregisters
+    assert!(agent.is_empty(), "listener drop must unregister");
+    agent_task.abort();
+}

@@ -1,0 +1,201 @@
+//! Integration: negotiation over real UDP sockets with multi-chunnel
+//! stacks, `Select` alternatives, incompatibility handling, and the
+//! Listing-5 dynamic client.
+
+use bertha::conn::ChunnelConnection;
+use bertha::negotiate::{
+    negotiate_client, negotiate_client_dynamic, NegotiateOpts, NegotiatedStream,
+};
+use bertha::{wrap, Addr, ChunnelConnector, ChunnelListener, ConnStream, Select};
+use bertha_chunnels::{CompressChunnel, OrderingChunnel, ReliabilityChunnel, SerializeChunnel};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+struct Ping {
+    n: u64,
+    blob: Vec<u8>,
+}
+
+async fn udp_listener() -> (Addr, bertha_transport::udp::UdpIncoming) {
+    let incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    (incoming.local_addr(), incoming)
+}
+
+#[tokio::test]
+async fn three_slot_typed_stack_over_udp() {
+    let (addr, raw) = udp_listener().await;
+    let stack = wrap!(
+        SerializeChunnel::<Ping>::default() |> CompressChunnel |> ReliabilityChunnel::default()
+    );
+    let mut incoming = NegotiatedStream::new(raw, stack.clone(), NegotiateOpts::named("srv"));
+    let server = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        for _ in 0..10 {
+            let (from, mut msg): (Addr, Ping) = conn.recv().await.unwrap();
+            msg.n += 1;
+            conn.send((from, msg)).await.unwrap();
+        }
+    });
+
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let (conn, picks) = negotiate_client(stack, raw, addr.clone(), &NegotiateOpts::named("cli"))
+        .await
+        .unwrap();
+    assert_eq!(picks.picks.len(), 3);
+    assert_eq!(picks.picks[0].name, "serialize/bincode");
+
+    for n in 0..10u64 {
+        let msg = Ping {
+            n,
+            blob: vec![0xab; 2000], // compressible, below reliability limits
+        };
+        conn.send((addr.clone(), msg.clone())).await.unwrap();
+        let (_, got): (Addr, Ping) = conn.recv().await.unwrap();
+        assert_eq!(got.n, n + 1);
+        assert_eq!(got.blob, msg.blob);
+    }
+    server.await.unwrap();
+}
+
+#[tokio::test]
+async fn select_resolves_per_the_servers_policy() {
+    // Server offers ordering-over-reliable; client offers a Select of the
+    // same reliable impl on one side. Both must converge on reliable.
+    let (addr, raw) = udp_listener().await;
+    let server_stack = wrap!(ReliabilityChunnel::default());
+    let mut incoming =
+        NegotiatedStream::new(raw, server_stack, NegotiateOpts::named("srv"));
+    let server = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        let (from, data) = conn.recv().await.unwrap();
+        conn.send((from, data)).await.unwrap();
+    });
+
+    let client_stack = wrap!(Select::new(
+        ReliabilityChunnel::default(),
+        OrderingChunnel::default()
+    ));
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let (conn, picks) = negotiate_client(
+        client_stack,
+        raw,
+        addr.clone(),
+        &NegotiateOpts::named("cli"),
+    )
+    .await
+    .unwrap();
+    assert_eq!(picks.picks[0].name, "reliable/arq");
+    // The applied connection is the Left (reliable) branch.
+    conn.send((addr.clone(), b"sel".to_vec())).await.unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, b"sel");
+    server.await.unwrap();
+}
+
+#[tokio::test]
+async fn mismatched_stacks_fail_cleanly() {
+    let (addr, raw) = udp_listener().await;
+    let mut incoming = NegotiatedStream::new(
+        raw,
+        wrap!(ReliabilityChunnel::default()),
+        NegotiateOpts::named("srv"),
+    );
+    let server = tokio::spawn(async move {
+        // The negotiation failure surfaces as an accept-stream error.
+        let result = incoming.next().await.unwrap();
+        assert!(result.is_err());
+    });
+
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let res = negotiate_client(
+        wrap!(CompressChunnel),
+        raw,
+        addr,
+        &NegotiateOpts::named("cli"),
+    )
+    .await;
+    match res {
+        Err(bertha::Error::Negotiation(msg)) => {
+            assert!(msg.contains("no shared capability") || msg.contains("incompatible"),
+                "unexpected message: {msg}");
+        }
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("negotiation should fail"),
+    }
+    server.await.unwrap();
+}
+
+#[tokio::test]
+async fn dynamic_client_follows_server_stack_over_udp() {
+    // Listing 5: the client registers fallbacks and connects with an empty
+    // stack; the server dictates compress |> reliable.
+    bertha::register_chunnel(CompressChunnel);
+    bertha::register_chunnel(ReliabilityChunnel::default());
+
+    let (addr, raw) = udp_listener().await;
+    let server_stack = wrap!(CompressChunnel |> ReliabilityChunnel::default());
+    let mut incoming = NegotiatedStream::new(raw, server_stack, NegotiateOpts::named("srv"));
+    let server = tokio::spawn(async move {
+        let conn = incoming.next().await.unwrap().unwrap();
+        let (from, data) = conn.recv().await.unwrap();
+        conn.send((from, data)).await.unwrap();
+    });
+
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let conn = negotiate_client_dynamic(raw, addr.clone(), &NegotiateOpts::named("dyn-cli"))
+        .await
+        .unwrap();
+    let payload = b"dictated by the server".repeat(50);
+    conn.send((addr.clone(), payload.clone())).await.unwrap();
+    let (_, d) = conn.recv().await.unwrap();
+    assert_eq!(d, payload);
+    server.await.unwrap();
+}
+
+#[tokio::test]
+async fn many_concurrent_clients_negotiate_against_one_listener() {
+    let (addr, raw) = udp_listener().await;
+    let stack = wrap!(ReliabilityChunnel::default());
+    let mut incoming = NegotiatedStream::new(raw, stack.clone(), NegotiateOpts::named("srv"));
+    let server = tokio::spawn(async move {
+        let mut served = 0;
+        while let Some(conn) = incoming.next().await {
+            let conn = conn.unwrap();
+            tokio::spawn(async move {
+                while let Ok((from, d)) = conn.recv().await {
+                    if conn.send((from, d)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            served += 1;
+            if served == 8 {
+                break;
+            }
+        }
+    });
+
+    let mut clients = Vec::new();
+    for i in 0..8u8 {
+        let stack = stack.clone();
+        let addr = addr.clone();
+        clients.push(tokio::spawn(async move {
+            let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+            let (conn, _) =
+                negotiate_client(stack, raw, addr.clone(), &NegotiateOpts::named("cli"))
+                    .await
+                    .unwrap();
+            conn.send((addr, vec![i; 8])).await.unwrap();
+            let (_, d) = conn.recv().await.unwrap();
+            assert_eq!(d, vec![i; 8]);
+        }));
+    }
+    for c in clients {
+        c.await.unwrap();
+    }
+    server.await.unwrap();
+}

@@ -1,0 +1,106 @@
+//! Integration: multi-party negotiation (rendezvous through the discovery
+//! agent) settling a group's chunnel implementation, then the group
+//! actually running ordered multicast with it — §3.2's "initial discovery
+//! and negotiation involves all endpoints".
+
+use bertha::negotiate::{GetOffers, NegotiateSlot, Offer};
+use bertha::{Addr, Chunnel, ChunnelConnector};
+use bertha_discovery::{serve_uds, Registry, RemoteRegistry};
+use bertha_mcast::rsm::KvStateMachine;
+use bertha_mcast::{ordered_mcast, run_sequencer, Replica};
+use bertha_transport::udp::UdpConnector;
+use std::sync::Arc;
+
+fn scratch_socket(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "bertha-rdv-{tag}-{}.sock",
+        std::process::id()
+    ))
+}
+
+#[tokio::test]
+async fn group_settles_impl_then_replicates() {
+    // A discovery agent as the rendezvous point.
+    let registry = Arc::new(Registry::new());
+    let agent_path = scratch_socket("mcast");
+    let agent = serve_uds(registry, agent_path.clone()).await.unwrap();
+
+    // The sequencer every member would use if `ordered-mcast/sequencer`
+    // wins the group negotiation.
+    let sequencer = run_sequencer(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+
+    // Three endpoints propose their mcast chunnel's offers for the group.
+    let chunnel = ordered_mcast(sequencer.addr().clone(), "rsm-group");
+    let slots = vec![chunnel.slot_offers()];
+    let mut all_picks: Vec<Vec<Offer>> = Vec::new();
+    for i in 0..3 {
+        let remote = RemoteRegistry::new(agent_path.clone());
+        let (picks, members) = remote
+            .rendezvous("rsm-group", slots.clone())
+            .await
+            .unwrap();
+        assert_eq!(members, i + 1);
+        assert_eq!(picks[0].name, "ordered-mcast/sequencer");
+        all_picks.push(picks);
+    }
+    assert!(
+        all_picks.windows(2).all(|w| w[0] == w[1]),
+        "every member must see identical picks"
+    );
+
+    // With the implementation agreed, the members join and replicate.
+    let mut replicas = Vec::new();
+    for _ in 0..3 {
+        let raw = UdpConnector.connect(sequencer.addr().clone()).await.unwrap();
+        let conn = chunnel.connect_wrap(raw).await.unwrap();
+        replicas.push(Replica::new(conn, KvStateMachine::new()));
+    }
+    for (i, r) in replicas.iter().enumerate() {
+        r.submit(format!("set key{i}=value{i}").into_bytes())
+            .await
+            .unwrap();
+    }
+    for r in &replicas {
+        r.run_until(3).await.unwrap();
+    }
+    let d = replicas[0].digest();
+    assert!(replicas.iter().all(|r| r.digest() == d));
+
+    // A member with a different (incompatible) stack cannot join.
+    let alien_offers = vec![vec![Offer {
+        capability: bertha::negotiate::guid("bertha/ordered-mcast"),
+        impl_guid: bertha::negotiate::guid("bertha/ordered-mcast/gossip"),
+        name: "ordered-mcast/gossip".into(),
+        endpoints: bertha::negotiate::Endpoints::Both,
+        scope: bertha::negotiate::Scope::Application,
+        priority: 99,
+        ext: vec![],
+    }]];
+    let remote = RemoteRegistry::new(agent_path);
+    assert!(remote.rendezvous("rsm-group", alien_offers).await.is_err());
+
+    agent.abort();
+}
+
+#[tokio::test]
+async fn stack_offers_feed_rendezvous_directly() {
+    // GetOffers output is exactly what rendezvous consumes: a typed stack
+    // can be proposed wholesale.
+    let sequencer_addr = Addr::Mem("rdv-seq".into());
+    let stack = bertha::wrap!(
+        bertha_chunnels::SerializeChunnel::<String>::default()
+            |> ordered_mcast(sequencer_addr, "g")
+    );
+    let slots = stack.offers();
+    assert_eq!(slots.len(), 2);
+
+    let rdv = bertha_discovery::Rendezvous::new();
+    let res = rdv
+        .propose("g", &slots, &bertha::negotiate::DefaultPolicy)
+        .unwrap();
+    assert_eq!(res.picks.len(), 2);
+    assert_eq!(res.picks[0].name, "serialize/bincode");
+    assert_eq!(res.picks[1].name, "ordered-mcast/sequencer");
+}

@@ -1,0 +1,190 @@
+//! Integration: all four Figure-5 sharding deployments, end to end over
+//! real UDP sockets, asserting both correctness and *which implementation
+//! negotiation picked*.
+
+use bertha::negotiate::{negotiate_client, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener};
+use bertha_discovery::{DiscoveryClient, Registry, RegistrySource};
+use bertha_shard::{
+    run_steerer, steerer_registration, ShardClientChunnel, ShardDeferChunnel, SteererHandle,
+};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use kvstore::{spawn_shards, KvClient, KvShardHandle};
+use std::sync::Arc;
+
+struct Deployment {
+    canonical: Addr,
+    shards: Vec<KvShardHandle>,
+    _steerer: Option<SteererHandle>,
+    _server: tokio::task::JoinHandle<()>,
+    registry: Arc<Registry>,
+}
+
+async fn deploy(with_steerer: bool) -> Deployment {
+    let shards = spawn_shards(3).await.unwrap();
+    let registry = Arc::new(Registry::new());
+
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let listen_addr = raw.local_addr();
+
+    let (canonical, steerer) = if with_steerer {
+        let placeholder = kvstore::shard_info(listen_addr.clone(), &shards);
+        let steerer = run_steerer(
+            Addr::Udp("127.0.0.1:0".parse().unwrap()),
+            listen_addr.clone(),
+            placeholder,
+        )
+        .await
+        .unwrap();
+        let (reg, hooks, _) = steerer_registration(None);
+        registry.register(reg, hooks).unwrap();
+        (steerer.canonical().clone(), Some(steerer))
+    } else {
+        (listen_addr, None)
+    };
+
+    let info = kvstore::shard_info(canonical.clone(), &shards);
+    let opts = NegotiateOpts::named("kv-server").with_filter(DiscoveryClient::new(
+        Arc::clone(&registry) as Arc<dyn RegistrySource>,
+    ));
+    let server = kvstore::serve_prepared(raw, info, opts);
+    Deployment {
+        canonical,
+        shards,
+        _steerer: steerer,
+        _server: server,
+        registry,
+    }
+}
+
+async fn kv_over<S>(d: &Deployment, stack: S, name: &str) -> (KvClient<S::Applied>, String)
+where
+    S: bertha::negotiate::GetOffers
+        + bertha::negotiate::Apply<
+            bertha::negotiate::NegotiatedConn<bertha_transport::udp::UdpConn>,
+        >,
+    S::Applied: bertha::conn::ChunnelConnection<Data = bertha::Datagram> + Send + Sync + 'static,
+{
+    let raw = UdpConnector.connect(d.canonical.clone()).await.unwrap();
+    let (conn, picks) = negotiate_client(stack, raw, d.canonical.clone(), &NegotiateOpts::named(name))
+        .await
+        .unwrap();
+    let picked = picks.picks[0].name.clone();
+    (KvClient::new(conn, d.canonical.clone()), picked)
+}
+
+async fn exercise<C>(client: &KvClient<C>)
+where
+    C: bertha::conn::ChunnelConnection<Data = bertha::Datagram> + Send + Sync + 'static,
+{
+    for i in 0..30u32 {
+        let key = format!("user{i}");
+        client.put(&key, i.to_le_bytes().to_vec()).await.unwrap();
+    }
+    for i in 0..30u32 {
+        let key = format!("user{i}");
+        let v = client.get(&key).await.unwrap().expect("value exists");
+        assert_eq!(v, i.to_le_bytes().to_vec());
+    }
+}
+
+fn shard_spread(shards: &[KvShardHandle]) -> Vec<usize> {
+    shards.iter().map(|s| s.store.len()).collect()
+}
+
+#[tokio::test]
+async fn client_push_deployment() {
+    let d = deploy(false).await;
+    let (client, picked) = kv_over(&d, bertha::wrap!(ShardClientChunnel), "push").await;
+    assert_eq!(picked, "shard/client-push");
+    exercise(&client).await;
+    let spread = shard_spread(&d.shards);
+    assert_eq!(spread.iter().sum::<usize>(), 30);
+    assert!(
+        spread.iter().all(|&c| c > 0),
+        "keys should spread across shards: {spread:?}"
+    );
+}
+
+#[tokio::test]
+async fn server_accelerated_deployment() {
+    let d = deploy(true).await;
+    let (client, picked) = kv_over(&d, bertha::wrap!(ShardDeferChunnel), "defer").await;
+    assert_eq!(picked, "shard/steer");
+    exercise(&client).await;
+    // The steerer did the routing.
+    let steered = d
+        ._steerer
+        .as_ref()
+        .unwrap()
+        .stats
+        .steered
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(steered >= 60, "steered {steered} frames");
+    // And the discovery claim was made (one per connection).
+    assert_eq!(d.registry.active_claims(bertha_shard::IMPL_STEER), 1);
+}
+
+#[tokio::test]
+async fn mixed_deployment() {
+    let d = deploy(true).await;
+    let (push_client, picked_push) =
+        kv_over(&d, bertha::wrap!(ShardClientChunnel), "push").await;
+    let (defer_client, picked_defer) =
+        kv_over(&d, bertha::wrap!(ShardDeferChunnel), "defer").await;
+    assert_eq!(picked_push, "shard/client-push");
+    assert_eq!(picked_defer, "shard/steer");
+
+    // Both clients see one coherent store.
+    push_client.put("shared", b"from-push".to_vec()).await.unwrap();
+    let got = defer_client.get("shared").await.unwrap().unwrap();
+    assert_eq!(got, b"from-push");
+    defer_client.put("shared", b"from-defer".to_vec()).await.unwrap();
+    let got = push_client.get("shared").await.unwrap().unwrap();
+    assert_eq!(got, b"from-defer");
+}
+
+#[tokio::test]
+async fn server_fallback_deployment() {
+    let d = deploy(false).await;
+    let (client, picked) = kv_over(&d, bertha::wrap!(ShardDeferChunnel), "defer").await;
+    assert_eq!(picked, "shard/fallback", "no steerer: in-app dispatch");
+    exercise(&client).await;
+    let spread = shard_spread(&d.shards);
+    assert_eq!(spread.iter().sum::<usize>(), 30, "dispatcher reached shards");
+}
+
+#[tokio::test]
+async fn resharding_is_a_server_side_change() {
+    // A client negotiated against a 3-shard deployment keeps working when
+    // a *new* client arrives after the server re-deploys with different
+    // shards: the map travels in each connection's negotiation.
+    let d3 = deploy(false).await;
+    let (c3, _) = kv_over(&d3, bertha::wrap!(ShardClientChunnel), "push").await;
+    c3.put("before", b"1".to_vec()).await.unwrap();
+
+    // New deployment with 2 shards on fresh ports (simulating reshard).
+    let d2 = {
+        let shards = spawn_shards(2).await.unwrap();
+        let info = kvstore::shard_info(Addr::Udp("127.0.0.1:0".parse().unwrap()), &shards);
+        let (canonical, server) =
+            kvstore::serve_canonical(info.canonical.clone(), info, NegotiateOpts::named("kv2"))
+                .await
+                .unwrap();
+        Deployment {
+            canonical,
+            shards,
+            _steerer: None,
+            _server: server,
+            registry: Arc::new(Registry::new()),
+        }
+    };
+    let (c2, _) = kv_over(&d2, bertha::wrap!(ShardClientChunnel), "push").await;
+    c2.put("after", b"2".to_vec()).await.unwrap();
+    assert_eq!(c2.get("after").await.unwrap().unwrap(), b"2");
+    // The old client still talks to the old deployment.
+    assert_eq!(c3.get("before").await.unwrap().unwrap(), b"1");
+}
