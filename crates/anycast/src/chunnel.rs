@@ -48,9 +48,7 @@ impl AnycastConnector {
     fn resolve(&self, name: &str) -> Result<(Addr, AnycastStrategy), Error> {
         match self.strategy {
             AnycastStrategy::Dns => Ok((self.dns.resolve(name)?.addr, AnycastStrategy::Dns)),
-            AnycastStrategy::Route => {
-                Ok((self.routes.route(name)?.addr, AnycastStrategy::Route))
-            }
+            AnycastStrategy::Route => Ok((self.routes.route(name)?.addr, AnycastStrategy::Route)),
             AnycastStrategy::Auto => {
                 use std::sync::atomic::Ordering;
                 let flaps_now = self.routes.flap_count();
@@ -177,7 +175,11 @@ mod tests {
         server.send((from, b"yo".to_vec())).await.unwrap();
         let (from, d) = c.recv().await.unwrap();
         assert_eq!(d, b"yo");
-        assert_eq!(from, Addr::Named("svc".into()), "source is the logical name");
+        assert_eq!(
+            from,
+            Addr::Named("svc".into()),
+            "source is the logical name"
+        );
     }
 
     #[tokio::test]
@@ -250,9 +252,6 @@ mod tests {
     async fn non_named_address_rejected() {
         let (dns, routes) = setup(0.0);
         let mut conn = AnycastConnector::new(dns, routes, AnycastStrategy::Dns);
-        assert!(conn
-            .connect(Addr::Mem("direct".into()))
-            .await
-            .is_err());
+        assert!(conn.connect(Addr::Mem("direct".into())).await.is_err());
     }
 }

@@ -27,4 +27,4 @@ pub mod route;
 
 pub use chunnel::{AnycastConnector, AnycastStrategy};
 pub use resolver::{DnsRecord, DnsResolver};
-pub use route::{AnycastRouteTable, Announcement};
+pub use route::{Announcement, AnycastRouteTable};

@@ -44,7 +44,11 @@ impl DnsResolver {
 
     /// Add an instance for `name`.
     pub fn announce(&self, name: impl Into<String>, record: DnsRecord) {
-        self.records.write().entry(name.into()).or_default().push(record);
+        self.records
+            .write()
+            .entry(name.into())
+            .or_default()
+            .push(record);
     }
 
     /// Remove an instance of `name` by address. Returns whether it existed.
@@ -69,12 +73,7 @@ impl DnsResolver {
             }
         }
         // Cache miss or expired: authoritative lookup.
-        let records = self
-            .records
-            .read()
-            .get(name)
-            .cloned()
-            .unwrap_or_default();
+        let records = self.records.read().get(name).cloned().unwrap_or_default();
         let ttl = records
             .iter()
             .map(|r| r.ttl)

@@ -51,7 +51,11 @@ impl AnycastRouteTable {
 
     /// Announce an instance of `name`.
     pub fn announce(&self, name: impl Into<String>, ann: Announcement) {
-        self.routes.write().entry(name.into()).or_default().push(ann);
+        self.routes
+            .write()
+            .entry(name.into())
+            .or_default()
+            .push(ann);
     }
 
     /// Withdraw an instance of `name` by address.

@@ -43,9 +43,12 @@ where
 }
 
 fn chunnel_stack(c: &mut Criterion) {
-    bench_wrapped(c, "roundtrip/nothing", Nothing::<Datagram>::default(), || {
-        Nothing::default()
-    });
+    bench_wrapped(
+        c,
+        "roundtrip/nothing",
+        Nothing::<Datagram>::default(),
+        || Nothing::default(),
+    );
     bench_wrapped(
         c,
         "roundtrip/reliable",
@@ -67,22 +70,35 @@ fn chunnel_stack(c: &mut Criterion) {
         }),
         BatchChunnel::default,
     );
-    bench_wrapped(c, "roundtrip/frag", FragChunnel::default(), FragChunnel::default);
+    bench_wrapped(
+        c,
+        "roundtrip/frag",
+        FragChunnel::default(),
+        FragChunnel::default,
+    );
     bench_wrapped(
         c,
         "roundtrip/compress",
         CompressChunnel,
         CompressChunnel::default,
     );
-    bench_wrapped(c, "roundtrip/crypt", CryptChunnel::demo(), CryptChunnel::demo);
+    bench_wrapped(
+        c,
+        "roundtrip/crypt",
+        CryptChunnel::demo(),
+        CryptChunnel::demo,
+    );
 
     // A realistic composed stack: crypt over compress over reliable.
     let composed = bertha::wrap!(
         CryptChunnel::demo() |> CompressChunnel |> ReliabilityChunnel::default()
     );
-    bench_wrapped(c, "roundtrip/crypt+compress+reliable", composed, || {
-        bertha::wrap!(CryptChunnel::demo() |> CompressChunnel |> ReliabilityChunnel::default())
-    });
+    bench_wrapped(
+        c,
+        "roundtrip/crypt+compress+reliable",
+        composed,
+        || bertha::wrap!(CryptChunnel::demo() |> CompressChunnel |> ReliabilityChunnel::default()),
+    );
 }
 
 fn codec_throughput(c: &mut Criterion) {

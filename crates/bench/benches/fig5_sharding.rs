@@ -75,9 +75,7 @@ fn end_to_end_get(c: &mut Criterion) {
         client
     });
     c.bench_function("fig5/client-push-get", |b| {
-        b.iter(|| {
-            rt.block_on(async { client.get("user12345").await.unwrap().unwrap() })
-        })
+        b.iter(|| rt.block_on(async { client.get("user12345").await.unwrap().unwrap() }))
     });
 }
 

@@ -59,7 +59,11 @@ fn named_placement(problem: &PlacementProblem, names: &[&str]) -> Placement {
     )
 }
 
-fn stations_for(spec: &StackSpec, problem: &PlacementProblem, placement: &Placement) -> Vec<Station> {
+fn stations_for(
+    spec: &StackSpec,
+    problem: &PlacementProblem,
+    placement: &Placement,
+) -> Vec<Station> {
     // One station per stage, service = that stage's share of the cost;
     // plus one PCIe station carrying the bus time.
     let cost = placement_cost(spec, problem, placement);
@@ -81,7 +85,13 @@ fn stations_for(spec: &StackSpec, problem: &PlacementProblem, placement: &Placem
     stations
 }
 
-fn report(arm: &str, bytes: f64, spec: &StackSpec, problem: &PlacementProblem, placement: &Placement) {
+fn report(
+    arm: &str,
+    bytes: f64,
+    spec: &StackSpec,
+    problem: &PlacementProblem,
+    placement: &Placement,
+) {
     let cost = placement_cost(spec, problem, placement);
     let stations = stations_for(spec, problem, placement);
     // 50% of the bottleneck rate.
@@ -138,7 +148,11 @@ fn main() {
         // Sanity: the optimizer can never do worse than the host fallback.
         let p_host = problem(vec![], bytes);
         let (_, _, best_host) = netsim::placement::optimize_and_place(&spec, &p_host).unwrap();
-        let host_cost = placement_cost(&spec, &p_host, &named_placement(&p_host, &["host", "host", "host"]));
+        let host_cost = placement_cost(
+            &spec,
+            &p_host,
+            &named_placement(&p_host, &["host", "host", "host"]),
+        );
         assert!(best_host.total_ns <= host_cost.total_ns + 1e-6);
         let _ = place(&spec, &p_host);
     }

@@ -93,7 +93,13 @@ fn profiles() -> Vec<(&'static str, Vec<AppRequest>)> {
 }
 
 fn main() {
-    header(&["profile", "policy", "grants", "jain_fairness", "slot_utilization"]);
+    header(&[
+        "profile",
+        "policy",
+        "grants",
+        "jain_fairness",
+        "slot_utilization",
+    ]);
     let capacity = switch_capacity();
     for (profile, apps) in profiles() {
         for policy in [AllocPolicy::PriorityOnly, AllocPolicy::Drf] {

@@ -22,8 +22,8 @@ use netsim::topology::{request_route, Node, SteeringPoint, Topology};
 /// userspace dispatcher slowest.
 fn steering_service_ns(p: SteeringPoint) -> f64 {
     match p {
-        SteeringPoint::Client => 120.0,       // in the client's send path
-        SteeringPoint::Switch(_) => 40.0,     // match-action stage
+        SteeringPoint::Client => 120.0,        // in the client's send path
+        SteeringPoint::Switch(_) => 40.0,      // match-action stage
         SteeringPoint::ServerHost(_) => 350.0, // XDP-like per-packet cost
         SteeringPoint::ServerApp(_) => 2500.0, // userspace recv+parse+send
     }
@@ -40,7 +40,11 @@ fn main() {
     let shard_hosts = [Node::Host(3), Node::Host(4), Node::Host(5)];
 
     header(&[
-        "steering", "path_ns", "steer_service_ns", "offered_rps", "p95_us",
+        "steering",
+        "path_ns",
+        "steer_service_ns",
+        "offered_rps",
+        "p95_us",
     ]);
 
     let points = [

@@ -42,7 +42,14 @@ async fn main() {
     eprintln!("fig3: {connections} connections per arm ({REQUESTS_PER_CONN} requests each)");
 
     header(&[
-        "impl", "size", "p5_us", "p25_us", "p50_us", "p75_us", "p95_us", "setup_p50_us",
+        "impl",
+        "size",
+        "p5_us",
+        "p25_us",
+        "p50_us",
+        "p75_us",
+        "p95_us",
+        "setup_p50_us",
     ]);
 
     for &size in SIZES {
@@ -102,7 +109,10 @@ async fn run_udp(size: usize, connections: usize) {
 async fn run_unix(size: usize, connections: usize) {
     let path = std::env::temp_dir().join(format!("bertha-fig3-unix-{}.sock", std::process::id()));
     let srv_addr = Addr::Unix(path);
-    let mut incoming = UdsListener::default().listen(srv_addr.clone()).await.unwrap();
+    let mut incoming = UdsListener::default()
+        .listen(srv_addr.clone())
+        .await
+        .unwrap();
     let server = tokio::spawn(async move {
         while let Some(Ok(conn)) = incoming.next().await {
             tokio::spawn(async move {
@@ -124,7 +134,9 @@ async fn run_unix(size: usize, connections: usize) {
         setup.push(t0.elapsed());
         for _ in 0..REQUESTS_PER_CONN {
             let t = Instant::now();
-            conn.send((srv_addr.clone(), payload.clone())).await.unwrap();
+            conn.send((srv_addr.clone(), payload.clone()))
+                .await
+                .unwrap();
             let _ = conn.recv().await.unwrap();
             lat.push(t.elapsed());
         }
@@ -223,7 +235,9 @@ async fn run_bertha(size: usize, connections: usize) {
         setup.push(t0.elapsed());
         for _ in 0..REQUESTS_PER_CONN {
             let t = Instant::now();
-            conn.send((canonical.clone(), payload.clone())).await.unwrap();
+            conn.send((canonical.clone(), payload.clone()))
+                .await
+                .unwrap();
             let _ = conn.recv().await.unwrap();
             lat.push(t.elapsed());
         }

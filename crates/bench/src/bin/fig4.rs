@@ -93,16 +93,24 @@ async fn main() {
         tick.tick().await;
         if local_task.is_none() && t0.elapsed() >= LOCAL_STARTS_AT {
             local_task = Some(start_local.clone()().await);
-            eprintln!("# local instance started at t={:.2}s", t0.elapsed().as_secs_f64());
+            eprintln!(
+                "# local instance started at t={:.2}s",
+                t0.elapsed().as_secs_f64()
+            );
         }
 
         // A fresh connection each interval: resolution happens *now*.
-        let mut connector =
-            LocalOrRemote::with_agent(Arc::clone(&agent) as Arc<dyn NameSource>);
+        let mut connector = LocalOrRemote::with_agent(Arc::clone(&agent) as Arc<dyn NameSource>);
         let conn = connector.connect(canonical.clone()).await.unwrap();
-        let path = if conn.is_local() { "local-uds" } else { "remote-udp" };
+        let path = if conn.is_local() {
+            "local-uds"
+        } else {
+            "remote-udp"
+        };
         let t = Instant::now();
-        conn.send((canonical.clone(), payload.clone())).await.unwrap();
+        conn.send((canonical.clone(), payload.clone()))
+            .await
+            .unwrap();
         let _ = conn.recv().await.unwrap();
         let lat_us = t.elapsed().as_secs_f64() * 1e6;
         println!("{:.2}\t{:.1}\t{}", t0.elapsed().as_secs_f64(), lat_us, path);

@@ -71,7 +71,13 @@ async fn main() {
     );
 
     header(&[
-        "scenario", "offered_rps", "achieved_rps", "err_frac", "p50_us", "p95_us", "p99_us",
+        "scenario",
+        "offered_rps",
+        "achieved_rps",
+        "err_frac",
+        "p50_us",
+        "p95_us",
+        "p99_us",
     ]);
     for &scenario in &[
         Scenario::ClientPush,
@@ -122,7 +128,9 @@ async fn setup(scenario: Scenario) -> Setup {
 
     let info = kvstore::shard_info(canonical.clone(), &shards);
     let opts = NegotiateOpts::named("kv-server")
-        .with_filter(DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn bertha_discovery::RegistrySource>));
+        .with_filter(DiscoveryClient::new(
+            Arc::clone(&registry) as Arc<dyn bertha_discovery::RegistrySource>
+        ));
     let server = kvstore::serve_prepared(raw, info.clone(), opts);
 
     let s = Setup {
@@ -195,7 +203,8 @@ async fn drive<C>(
         let op = generator.next_op();
         let client = Arc::clone(&client);
         let out2 = Arc::clone(&out);
-        out.issued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        out.issued
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         inflight.spawn(async move {
             let t = Instant::now();
             let res = match op.op {
@@ -251,7 +260,9 @@ async fn run_point(scenario: Scenario, total_rate: u64, duration: Duration) {
             .await
             .unwrap();
             let client = Arc::new(KvClient::with_config(conn, canonical, client_cfg));
-            tasks.push(tokio::spawn(drive(client, generator, per_client, duration, out)));
+            tasks.push(tokio::spawn(drive(
+                client, generator, per_client, duration, out,
+            )));
         } else {
             let raw = UdpConnector.connect(canonical.clone()).await.unwrap();
             let (conn, _picks) = bertha::negotiate::negotiate_client(
@@ -263,7 +274,9 @@ async fn run_point(scenario: Scenario, total_rate: u64, duration: Duration) {
             .await
             .unwrap();
             let client = Arc::new(KvClient::with_config(conn, canonical, client_cfg));
-            tasks.push(tokio::spawn(drive(client, generator, per_client, duration, out)));
+            tasks.push(tokio::spawn(drive(
+                client, generator, per_client, duration, out,
+            )));
         }
     }
     let t0 = Instant::now();

@@ -175,7 +175,9 @@ async fn main() {
         let mut samples = Vec::with_capacity(iters);
         for _ in 0..iters {
             let t = Instant::now();
-            conn.send((empty_addr.clone(), vec![1u8; 64])).await.unwrap();
+            conn.send((empty_addr.clone(), vec![1u8; 64]))
+                .await
+                .unwrap();
             let _ = conn.recv().await.unwrap();
             samples.push(t.elapsed());
         }

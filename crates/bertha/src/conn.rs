@@ -46,6 +46,35 @@ pub trait ChunnelConnection: Send + Sync {
 /// A type-erased byte-level connection, the substrate of dynamic stacks.
 pub type DynConn = Arc<dyn ChunnelConnection<Data = Datagram> + Send + Sync + 'static>;
 
+/// Quiescing a connection before a stack swap.
+///
+/// Runtime re-negotiation replaces the instantiated chunnel stack above a
+/// live transport. Before the swap, both sides `drain`: wait until this
+/// connection holds no in-flight state that a replacement stack would lose
+/// (for a reliability chunnel, until every sent message is acknowledged).
+/// Stateless connections are trivially drained; the default does nothing.
+pub trait Drain {
+    /// Resolve once no in-flight state remains, or with an error if the
+    /// connection can no longer make progress (e.g. it is already dead).
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async { Ok(()) })
+    }
+}
+
+impl<C: Drain + ?Sized> Drain for Arc<C> {
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        (**self).drain()
+    }
+}
+
+impl<C: Drain + ?Sized> Drain for Box<C> {
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        (**self).drain()
+    }
+}
+
+impl<D> Drain for ChanConn<D> {}
+
 impl<C: ChunnelConnection + ?Sized> ChunnelConnection for Arc<C> {
     type Data = C::Data;
 
@@ -76,10 +105,7 @@ impl<C: ChunnelConnection + ?Sized> ChunnelConnection for Box<C> {
 pub fn pair<D: Send + 'static>(capacity: usize) -> (ChanConn<D>, ChanConn<D>) {
     let (tx_ab, rx_ab) = tokio::sync::mpsc::channel(capacity);
     let (tx_ba, rx_ba) = tokio::sync::mpsc::channel(capacity);
-    (
-        ChanConn::new(tx_ab, rx_ba),
-        ChanConn::new(tx_ba, rx_ab),
-    )
+    (ChanConn::new(tx_ab, rx_ba), ChanConn::new(tx_ba, rx_ab))
 }
 
 /// One end of an in-process channel connection. See [`pair`].

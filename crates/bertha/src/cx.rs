@@ -131,7 +131,8 @@ mod tests {
 
     #[tokio::test]
     async fn wrap_macro_builds_nested_list() {
-        let stack = wrap!(Nothing::<u8>::default() |> Nothing::<u8>::default() |> Nothing::<u8>::default());
+        let stack =
+            wrap!(Nothing::<u8>::default() |> Nothing::<u8>::default() |> Nothing::<u8>::default());
         let (a, b) = pair::<u8>(1);
         let conn = stack.connect_wrap(a).await.unwrap();
         conn.send(9).await.unwrap();

@@ -290,7 +290,10 @@ mod tests {
         assert_eq!(fused.names(), vec!["http2", "tls"]);
 
         // Unavailable fused capability: no fusion.
-        assert_eq!(reordered.fuse(&HashSet::new()).names(), vec!["http2", "encrypt", "tcp"]);
+        assert_eq!(
+            reordered.fuse(&HashSet::new()).names(),
+            vec!["http2", "encrypt", "tcp"]
+        );
     }
 
     #[test]

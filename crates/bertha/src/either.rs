@@ -6,7 +6,7 @@
 //! ones ("a single application might use several different implementations
 //! of the same Chunnel type", §3.1).
 
-use crate::conn::{BoxFut, ChunnelConnection};
+use crate::conn::{BoxFut, ChunnelConnection, Drain};
 use crate::error::Error;
 
 /// One of two connection (or chunnel) alternatives.
@@ -64,6 +64,19 @@ where
         match self {
             Either::Left(a) => a.recv(),
             Either::Right(b) => b.recv(),
+        }
+    }
+}
+
+impl<A, B> Drain for Either<A, B>
+where
+    A: Drain,
+    B: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        match self {
+            Either::Left(a) => a.drain(),
+            Either::Right(b) => b.drain(),
         }
     }
 }

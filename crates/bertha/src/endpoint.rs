@@ -106,7 +106,11 @@ impl<S> Endpoint<S> {
 impl Endpoint<crate::cx::CxNil> {
     /// Connect with an empty stack, letting the server dictate the chunnels
     /// from this process's registered fallbacks (Listing 5).
-    pub async fn connect_dynamic<Cn>(&self, connector: &mut Cn, addr: Addr) -> Result<DynConn, Error>
+    pub async fn connect_dynamic<Cn>(
+        &self,
+        connector: &mut Cn,
+        addr: Addr,
+    ) -> Result<DynConn, Error>
     where
         Cn: ChunnelConnector<Addr = Addr>,
         Cn::Connection: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,

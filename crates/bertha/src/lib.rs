@@ -49,10 +49,10 @@ pub mod util;
 
 pub use addr::Addr;
 pub use chunnel::{Chunnel, ChunnelConnector, ChunnelListener, ConnStream, ConnStreamExt};
-pub use conn::{BoxFut, ChunnelConnection, Datagram, DynConn};
+pub use conn::{BoxFut, ChunnelConnection, Datagram, Drain, DynConn};
 pub use cx::{CxList, CxNil};
 pub use either::Either;
 pub use endpoint::{new, Endpoint};
 pub use error::Error;
-pub use negotiate::{register_chunnel, Negotiate, NegotiateOpts};
+pub use negotiate::{register_chunnel, Negotiate, NegotiateOpts, SwitchableConn};
 pub use select::Select;

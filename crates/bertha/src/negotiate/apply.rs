@@ -167,9 +167,9 @@ macro_rules! negotiable {
                         pick.name,
                         <$t as $crate::negotiate::Negotiate>::NAME
                     );
-                    return ::std::boxed::Box::pin(async move {
-                        Err($crate::Error::Negotiation(msg))
-                    });
+                    return ::std::boxed::Box::pin(
+                        async move { Err($crate::Error::Negotiation(msg)) },
+                    );
                 }
                 $crate::negotiate::Negotiate::picked(self, &pick, &nonce);
                 $crate::chunnel::Chunnel::connect_wrap(self, inner)
@@ -231,10 +231,7 @@ mod tests {
         let c = TestChunnel::default();
         let count = Arc::clone(&c.picked_count);
         let stack = wrap!(c.clone() |> c.clone());
-        let picks = vec![
-            Offer::from_chunnel(&c),
-            Offer::from_chunnel(&c),
-        ];
+        let picks = vec![Offer::from_chunnel(&c), Offer::from_chunnel(&c)];
         let (a, _b) = pair::<u8>(1);
         stack.apply(picks, vec![0u8; 8], a).await.unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 2);

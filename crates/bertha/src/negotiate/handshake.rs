@@ -17,9 +17,10 @@ use super::pick::{pick_stack, DefaultPolicy, PolicyRef};
 use super::types::{NegotiateMsg, Offer, ServerPicks};
 use crate::addr::Addr;
 use crate::chunnel::ConnStream;
-use crate::conn::{BoxFut, ChunnelConnection, Datagram};
+use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use crate::error::Error;
 use parking_lot::Mutex;
+use rand::Rng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,9 +64,12 @@ pub trait OfferFilter: Send + Sync {
 pub struct NegotiateOpts {
     /// Endpoint name, for debugging (§3.1's first `bertha::new` argument).
     pub name: String,
-    /// Per-attempt timeout waiting for the peer's handshake message.
+    /// Initial per-attempt timeout waiting for the peer's handshake
+    /// message. Attempts back off exponentially from here (with jitter),
+    /// doubling per retransmission.
     pub timeout: Duration,
-    /// Number of client offer (re)transmissions before giving up.
+    /// Number of client offer retransmissions after the first attempt
+    /// before giving up.
     pub retries: usize,
     /// Discovery/operator hook; `None` negotiates from the stacks alone.
     pub filter: Option<Arc<dyn OfferFilter>>,
@@ -76,10 +80,14 @@ pub struct NegotiateOpts {
 
 impl Default for NegotiateOpts {
     fn default() -> Self {
+        // 150 ms initial, doubling over 3 retries: 150 + 300 + 600 + 1200
+        // = 2.25 s maximum, the same total budget as the previous fixed
+        // 250 ms × (1 + 8) schedule, but friendlier to a congested or
+        // restarting peer (early attempts are faster, later ones back off).
         NegotiateOpts {
             name: "bertha".to_owned(),
-            timeout: Duration::from_millis(250),
-            retries: 8,
+            timeout: Duration::from_millis(150),
+            retries: 3,
             filter: None,
             policy: Arc::new(DefaultPolicy),
         }
@@ -106,16 +114,39 @@ impl NegotiateOpts {
         self.policy = p;
         self
     }
+
+    /// The total time a handshake may take before giving up: the sum of
+    /// the exponentially-backed-off per-attempt timeouts. Jitter only
+    /// shortens attempts, so this is also the worst case. The server waits
+    /// this long for a first message; the client reports it in
+    /// [`Error::Timeout`].
+    pub fn handshake_budget(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        let mut attempt = self.timeout;
+        for _ in 0..=self.retries {
+            total += attempt;
+            attempt = attempt.saturating_mul(2);
+        }
+        total
+    }
 }
 
-fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
+/// Equal jitter: wait between 50% and 100% of the backoff interval, so
+/// retransmissions from many clients recovering at once do not synchronize.
+/// Jitter never exceeds the interval, keeping [`NegotiateOpts::handshake_budget`]
+/// a hard bound.
+pub(crate) fn jittered(d: Duration) -> Duration {
+    d.mul_f64(rand::thread_rng().gen_range(0.5..=1.0))
+}
+
+pub(crate) fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(1 + body.len());
     v.push(tag);
     v.extend_from_slice(body);
     v
 }
 
-async fn apply_filter(
+pub(crate) async fn apply_filter(
     filter: &Option<Arc<dyn OfferFilter>>,
     role: Role,
     mut slots: Vec<Vec<Offer>>,
@@ -157,9 +188,10 @@ where
     let neg_frame = frame(TAG_NEG, &body);
     let mut pending = Vec::new();
 
+    let mut backoff = opts.timeout;
     for _attempt in 0..=opts.retries {
         raw.send((addr.clone(), neg_frame.clone())).await?;
-        let deadline = tokio::time::Instant::now() + opts.timeout;
+        let deadline = tokio::time::Instant::now() + jittered(backoff);
         loop {
             let recvd = tokio::time::timeout_at(deadline, raw.recv()).await;
             let (from, buf) = match recvd {
@@ -181,6 +213,12 @@ where
                                 "peer sent a ClientOffer to a client".into(),
                             ));
                         }
+                        NegotiateMsg::Renegotiate { .. }
+                        | NegotiateMsg::RenegotiateReply { .. } => {
+                            // Mid-connection control traffic from a stale
+                            // incarnation of this flow; not part of the
+                            // initial handshake. Keep waiting.
+                        }
                     }
                 }
                 Some((&TAG_DATA, body)) => {
@@ -195,9 +233,10 @@ where
                 }
             }
         }
+        backoff = backoff.saturating_mul(2);
     }
     Err(Error::Timeout {
-        after: opts.timeout * (opts.retries as u32 + 1),
+        after: opts.handshake_budget(),
         what: "negotiation reply",
     })
 }
@@ -280,6 +319,8 @@ where
     }
 }
 
+impl<C> Drain for NegotiatedConn<C> {}
+
 /// Negotiate and apply `stack` on a freshly-connected raw connection
 /// (client side). Returns the wrapped connection and the server's picks.
 pub async fn negotiate_client<S, InC>(
@@ -320,7 +361,7 @@ where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
     S: GetOffers + Apply<NegotiatedConn<InC>>,
 {
-    let handshake_deadline = opts.timeout * (opts.retries as u32 + 1);
+    let handshake_deadline = opts.handshake_budget();
     let (from, buf) = tokio::time::timeout(handshake_deadline, raw.recv())
         .await
         .map_err(|_| Error::Timeout {
@@ -520,7 +561,10 @@ mod tests {
         assert_eq!(picks.picks[0].impl_guid, Rel::IMPL);
         assert_eq!(picks.name, "srv");
 
-        cli_conn.send((addr.clone(), b"ping".to_vec())).await.unwrap();
+        cli_conn
+            .send((addr.clone(), b"ping".to_vec()))
+            .await
+            .unwrap();
         let (_, msg) = srv_conn.recv().await.unwrap();
         assert_eq!(msg, b"ping");
         srv_conn.send((addr, b"pong".to_vec())).await.unwrap();
@@ -585,7 +629,9 @@ mod tests {
             registered: vec![],
         };
         let opts = NegotiateOpts::named("cli");
-        let (picks, _) = client_handshake(&cli_raw, &addr, &offer, &opts).await.unwrap();
+        let (picks, _) = client_handshake(&cli_raw, &addr, &offer, &opts)
+            .await
+            .unwrap();
         assert_eq!(picks.picks.len(), 1);
 
         // Pretend our reply was lost: re-send the offer. The established
@@ -628,8 +674,7 @@ mod tests {
     async fn negotiated_stream_accepts_many() {
         let (conn_tx, conn_rx) = tokio::sync::mpsc::channel(8);
         let raw_stream = RecvStream::new(conn_rx);
-        let mut stream =
-            NegotiatedStream::new(raw_stream, wrap!(Rel), NegotiateOpts::named("srv"));
+        let mut stream = NegotiatedStream::new(raw_stream, wrap!(Rel), NegotiateOpts::named("srv"));
 
         let mut clients = Vec::new();
         for i in 0..3 {

@@ -9,12 +9,16 @@
 //! - [`pick`]: capability intersection and the operator policy;
 //! - [`handshake`]: the on-the-wire protocol, loss-tolerant on datagrams;
 //! - [`dynamic`]: Listing 5's registered-fallback path, where an empty
-//!   client stack is dictated by the server.
+//!   client stack is dictated by the server;
+//! - [`renegotiate`]: mid-connection re-negotiation — epoch-tagged stack
+//!   swaps on a live connection, the recovery path when an accelerated
+//!   implementation dies after establishment.
 
 pub mod apply;
 pub mod dynamic;
 pub mod handshake;
 pub mod pick;
+pub mod renegotiate;
 pub mod types;
 
 pub use apply::{Apply, GetOffers, NegotiateSlot, SlotApply};
@@ -25,5 +29,12 @@ pub use handshake::{
     client_handshake, negotiate_client, negotiate_server_once, NegotiateOpts, NegotiatedConn,
     NegotiatedStream, OfferFilter, Role, TAG_DATA, TAG_NEG,
 };
-pub use pick::{candidates_for_slot, pick_slot, pick_stack, Candidate, DefaultPolicy, FnPolicy, Policy, PolicyRef};
+pub use pick::{
+    candidates_for_slot, pick_slot, pick_stack, Candidate, DefaultPolicy, FnPolicy, Policy,
+    PolicyRef,
+};
+pub use renegotiate::{
+    negotiate_server_switchable, negotiate_switchable_client, EpochConn, StackFactory,
+    SwitchTarget, SwitchTargetRef, SwitchableConn, SwitchableStream, TAG_DATA_EPOCH,
+};
 pub use types::{guid, Endpoints, Negotiate, NegotiateMsg, Offer, Scope, ServerPicks};

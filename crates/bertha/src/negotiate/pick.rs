@@ -36,8 +36,7 @@ impl Candidate {
     /// so there the endpoint semantics govern.
     pub fn admissible(&self, dynamic_client: bool) -> bool {
         if dynamic_client {
-            self.at_server
-                && (!self.offer.endpoints.needs_client() || self.client_registered)
+            self.at_server && (!self.offer.endpoints.needs_client() || self.client_registered)
         } else {
             self.at_client && self.at_server
         }
@@ -185,6 +184,10 @@ fn names(offers: &[Offer]) -> String {
 /// its slots and registered fallbacks. An empty client stack (Listing 5)
 /// means every slot is picked from the server's offers alone, constrained by
 /// the client's registered fallbacks.
+///
+/// A [`NegotiateMsg::Renegotiate`] message carries the same offer payload
+/// (the renegotiation initiator plays the client role for the round) and is
+/// accepted interchangeably.
 pub fn pick_stack(
     server_name: &str,
     server_slots: &[Vec<Offer>],
@@ -193,6 +196,9 @@ pub fn pick_stack(
 ) -> Result<ServerPicks, Error> {
     let (client_slots, registered) = match client_msg {
         NegotiateMsg::ClientOffer {
+            slots, registered, ..
+        }
+        | NegotiateMsg::Renegotiate {
             slots, registered, ..
         } => (slots, registered),
         other => {

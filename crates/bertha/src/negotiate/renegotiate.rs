@@ -1,0 +1,1229 @@
+//! Mid-connection re-negotiation: swap the instantiated chunnel stack on a
+//! live connection (§6's "transitioning between Chunnel implementations at
+//! runtime").
+//!
+//! The initial handshake picks an implementation per slot once, at
+//! connection establishment. When an accelerated implementation later dies —
+//! its lease expires, its steering task crashes, its device is revoked —
+//! the paper's promise that "applications always work" requires moving the
+//! connection onto the software fallback *without* tearing it down. This
+//! module provides that:
+//!
+//! - Either side may call [`SwitchableConn::renegotiate`]: it quiesces the
+//!   current stack ([`Drain`]), runs a fresh offer/pick round in-band over
+//!   the same `TAG_NEG` framing as the initial handshake
+//!   ([`NegotiateMsg::Renegotiate`] / [`NegotiateMsg::RenegotiateReply`]),
+//!   and atomically swaps in the newly-picked stack.
+//! - Each swap advances an **epoch**. Data sent after a swap is tagged with
+//!   its epoch ([`TAG_DATA_EPOCH`]); frames from a superseded epoch (late
+//!   retransmissions of already-delivered messages, say) are dropped rather
+//!   than fed to the fresh stack, which would otherwise mistake them for
+//!   new messages. Frames from a *future* epoch (the peer swapped first)
+//!   are buffered and delivered after our own swap. Untagged [`TAG_DATA`]
+//!   frames are accepted at any epoch: traffic from components outside the
+//!   negotiated connection (shard workers replying through the steerer,
+//!   epoch-0 peers) is stateless with respect to the stack and must keep
+//!   flowing across swaps.
+//! - Loss safety: the initiator pauses application sends and drains its
+//!   stack before proposing the round, and the responder drains before
+//!   replying; while the responder drains, the initiator has not yet
+//!   advanced its epoch, so the initiator's old stack still acknowledges.
+//!   With a reliability chunnel in the stack, no request is lost or
+//!   duplicated across a swap.
+//!
+//! [`negotiate_server_switchable`] additionally accepts a `Renegotiate` as
+//! the *first* message of a brand-new server connection: a client that lost
+//! its peer entirely (the steering process died and the canonical address
+//! was rebound) re-proposes its next epoch and lands on whatever the
+//! reincarnated server offers — typically the software fallback.
+
+use super::apply::{Apply, GetOffers};
+use super::dynamic::global_registry;
+use super::handshake::{
+    apply_filter, client_handshake, frame, jittered, NegotiateOpts, Role, TAG_NEG,
+};
+use super::pick::pick_stack;
+use super::types::{NegotiateMsg, Offer, ServerPicks};
+use crate::addr::Addr;
+use crate::chunnel::ConnStream;
+use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use crate::error::Error;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tokio::sync::Notify;
+
+/// Frame tag: application data bound to a specific epoch. Layout:
+/// `[tag][epoch: u64 LE][payload]`. Epoch 0 traffic uses the untagged
+/// [`TAG_DATA`](super::TAG_DATA) framing for wire compatibility with peers
+/// that only speak the initial handshake.
+pub const TAG_DATA_EPOCH: u8 = 0x02;
+
+pub(crate) fn frame_epoch(epoch: u64, body: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(9 + body.len());
+    v.push(TAG_DATA_EPOCH);
+    v.extend_from_slice(&epoch.to_le_bytes());
+    v.extend_from_slice(body);
+    v
+}
+
+/// What a stack factory produces: a fully-instantiated stack usable as a
+/// datagram connection, quiescable before the next swap.
+///
+/// Blanket-implemented; any datagram connection with a [`Drain`] impl
+/// qualifies.
+pub trait SwitchTarget: ChunnelConnection<Data = Datagram> + Drain {}
+
+impl<C> SwitchTarget for C where C: ChunnelConnection<Data = Datagram> + Drain {}
+
+/// Shared handle to the currently-instantiated stack.
+pub type SwitchTargetRef = Arc<dyn SwitchTarget>;
+
+/// Instantiates the stack for one epoch from that round's picks. Captures
+/// the typed stack so swaps can happen behind a type-erased interface.
+pub type StackFactory<InC> = Arc<
+    dyn Fn(Vec<Offer>, Vec<u8>, EpochConn<InC>) -> BoxFut<'static, Result<SwitchTargetRef, Error>>
+        + Send
+        + Sync,
+>;
+
+fn factory_from_stack<S, InC>(stack: S) -> StackFactory<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    S::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    Arc::new(move |picks, nonce, conn| {
+        let stack = stack.clone();
+        Box::pin(async move {
+            let applied = stack.apply(picks, nonce, conn).await?;
+            Ok(Arc::new(applied) as SwitchTargetRef)
+        })
+    })
+}
+
+/// Placeholder target used only between `Core` construction and the first
+/// factory invocation; never observable through a constructed
+/// [`SwitchableConn`].
+struct NotYet;
+
+impl ChunnelConnection for NotYet {
+    type Data = Datagram;
+
+    fn send(&self, _: Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async { Err(Error::ConnectionClosed) })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async { Err(Error::ConnectionClosed) })
+    }
+}
+
+impl Drain for NotYet {}
+
+/// Connection state shared by the per-epoch views, the app-facing wrapper,
+/// and the responder task.
+struct Core<InC> {
+    raw: Arc<InC>,
+    role: Role,
+    peer: Addr,
+    opts: NegotiateOpts,
+    /// Unfiltered slot offers of the typed stack; re-filtered each round
+    /// (availability changes are the whole point of renegotiating).
+    base_slots: Vec<Vec<Offer>>,
+    epoch: AtomicU64,
+    current: RwLock<(u64, SwitchTargetRef)>,
+    last_picks: Mutex<Option<ServerPicks>>,
+    /// Data frames for the current epoch, awaiting a stack `recv`.
+    inbox: Mutex<VecDeque<Datagram>>,
+    /// Epoch-tagged frames from epochs we have not reached yet.
+    future: Mutex<Vec<(u64, Datagram)>>,
+    inbox_notify: Notify,
+    /// Server: serialized reply to the initial offer, re-sent on duplicates.
+    cached_reply: Mutex<Option<Vec<u8>>>,
+    /// Serialized reply to the last renegotiation we answered, re-sent when
+    /// the peer retransmits (its copy was lost).
+    cached_reneg: Mutex<Option<(u64, Vec<u8>)>>,
+    /// Initiator: the reply to our in-flight proposal.
+    reneg_reply: Mutex<Option<(u64, Result<ServerPicks, String>)>>,
+    reneg_reply_notify: Notify,
+    /// Responder: the peer's latest proposal, consumed by the responder task.
+    reneg_request: Mutex<Option<NegotiateMsg>>,
+    reneg_request_notify: Notify,
+    /// Application sends are held while a swap is in progress (counted:
+    /// local initiator and responder task may overlap).
+    paused: AtomicUsize,
+    pause_notify: Notify,
+    /// A local `renegotiate` call is in flight (simultaneous-round
+    /// tie-break).
+    initiating: AtomicBool,
+    initiate_lock: tokio::sync::Mutex<()>,
+    swap_lock: tokio::sync::Mutex<()>,
+}
+
+impl<InC> Core<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn current_snapshot(&self) -> (u64, SwitchTargetRef) {
+        let g = self.current.read();
+        (g.0, Arc::clone(&g.1))
+    }
+
+    fn pause(&self) {
+        self.paused.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn unpause(&self) {
+        if self.paused.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.pause_notify.notify_waiters();
+        }
+    }
+
+    async fn wait_unpaused(&self) {
+        loop {
+            let notified = self.pause_notify.notified();
+            if self.paused.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            notified.await;
+        }
+    }
+
+    /// Dispatch one raw frame: data to the inbox (or the future/stale
+    /// queues by epoch), control messages to their consumers. Every raw
+    /// `recv` caller routes — there is no dedicated receive task, matching
+    /// the pull model of the rest of the crate.
+    async fn route(&self, (from, buf): Datagram) -> Result<(), Error> {
+        match buf.split_first() {
+            Some((&super::TAG_DATA, body)) => {
+                // Untagged data is epoch-agnostic: it may come from an
+                // epoch-0 peer or from outside the negotiated connection
+                // entirely (a shard worker's reply). Always deliver.
+                self.inbox.lock().push_back((from, body.to_vec()));
+                self.inbox_notify.notify_waiters();
+            }
+            Some((&TAG_DATA_EPOCH, rest)) if rest.len() >= 8 => {
+                let mut eb = [0u8; 8];
+                eb.copy_from_slice(&rest[..8]);
+                let frame_epoch = u64::from_le_bytes(eb);
+                let payload = rest[8..].to_vec();
+                let cur = self.epoch.load(Ordering::Acquire);
+                if frame_epoch == cur {
+                    self.inbox.lock().push_back((from, payload));
+                    self.inbox_notify.notify_waiters();
+                } else if frame_epoch > cur {
+                    // Peer swapped first; deliver after our own swap.
+                    self.future.lock().push((frame_epoch, (from, payload)));
+                }
+                // Stale epoch: a late retransmission the old stack already
+                // handled. Dropping it is what prevents cross-epoch
+                // duplicates.
+            }
+            Some((&TAG_NEG, body)) => {
+                // Corrupt control frames are dropped like any other junk
+                // datagram; the sender retransmits.
+                let Ok(msg) = bincode::deserialize::<NegotiateMsg>(body) else {
+                    return Ok(());
+                };
+                match msg {
+                    NegotiateMsg::ClientOffer { .. } => {
+                        let cached = self.cached_reply.lock().clone();
+                        if let (Role::Server, Some(reply)) = (self.role, cached) {
+                            self.raw.send((from, reply)).await?;
+                        }
+                    }
+                    NegotiateMsg::ServerReply(_) => {
+                        // Late duplicate of the initial handshake reply.
+                    }
+                    NegotiateMsg::Renegotiate { epoch, .. } => {
+                        let answered = self.cached_reneg.lock().clone();
+                        if let Some((e, cached)) = answered {
+                            if e == epoch {
+                                // Duplicate of a round we already answered.
+                                self.raw.send((from, cached)).await?;
+                                return Ok(());
+                            }
+                        }
+                        if epoch > self.epoch.load(Ordering::Acquire) {
+                            let mut slot = self.reneg_request.lock();
+                            let replace = match &*slot {
+                                Some(NegotiateMsg::Renegotiate { epoch: held, .. }) => {
+                                    epoch > *held
+                                }
+                                _ => true,
+                            };
+                            if replace {
+                                *slot = Some(msg);
+                            }
+                            drop(slot);
+                            self.reneg_request_notify.notify_one();
+                        }
+                    }
+                    NegotiateMsg::RenegotiateReply { epoch, reply } => {
+                        let mut slot = self.reneg_reply.lock();
+                        let replace = match &*slot {
+                            Some((held, _)) => epoch > *held,
+                            None => true,
+                        };
+                        if replace {
+                            *slot = Some((epoch, reply));
+                        }
+                        drop(slot);
+                        self.reneg_reply_notify.notify_one();
+                    }
+                }
+            }
+            // Unknown tag: a stray datagram. Drop it.
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Quiesce, then instantiate `picks` at `epoch` and make it current.
+async fn swap_to<InC>(
+    core: &Arc<Core<InC>>,
+    factory: &StackFactory<InC>,
+    epoch: u64,
+    picks: ServerPicks,
+) -> Result<(), Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    let _g = core.swap_lock.lock().await;
+    if core.epoch.load(Ordering::Acquire) >= epoch {
+        // A concurrent round (simultaneous proposals) got here first.
+        return Ok(());
+    }
+    let conn = EpochConn {
+        core: Arc::clone(core),
+        epoch,
+    };
+    let target = factory(picks.picks.clone(), picks.nonce.clone(), conn).await?;
+    *core.current.write() = (epoch, target);
+    core.epoch.store(epoch, Ordering::Release);
+    *core.last_picks.lock() = Some(picks);
+    {
+        let mut inbox = core.inbox.lock();
+        let mut future = core.future.lock();
+        let mut keep = Vec::new();
+        for (e, d) in future.drain(..) {
+            match e.cmp(&epoch) {
+                std::cmp::Ordering::Equal => inbox.push_back(d),
+                std::cmp::Ordering::Greater => keep.push((e, d)),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        *future = keep;
+    }
+    // Wakes both waiters on the new stack and blocked receivers of the old
+    // one, whose per-epoch views now fail with `ConnectionClosed`.
+    core.inbox_notify.notify_waiters();
+    Ok(())
+}
+
+/// The view of the raw transport handed to one epoch's stack: frames data
+/// with this epoch's tag and fails once the epoch is superseded, so a
+/// replaced stack's internal tasks (reliability pumps, heartbeat beaters)
+/// unwind instead of stealing the successor's traffic.
+pub struct EpochConn<InC> {
+    core: Arc<Core<InC>>,
+    epoch: u64,
+}
+
+impl<InC> Clone for EpochConn<InC> {
+    fn clone(&self) -> Self {
+        EpochConn {
+            core: Arc::clone(&self.core),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl<InC> EpochConn<InC> {
+    /// The epoch this view is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<InC> ChunnelConnection for EpochConn<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, body): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            if self.epoch < self.core.epoch.load(Ordering::Acquire) {
+                return Err(Error::ConnectionClosed);
+            }
+            let framed = if self.epoch == 0 {
+                frame(super::TAG_DATA, &body)
+            } else {
+                frame_epoch(self.epoch, &body)
+            };
+            self.core.raw.send((addr, framed)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                let cur = self.core.epoch.load(Ordering::Acquire);
+                if self.epoch < cur {
+                    return Err(Error::ConnectionClosed);
+                }
+                // Register before checking the inbox so a frame routed
+                // between the check and the await still wakes us.
+                let notified = self.core.inbox_notify.notified();
+                if self.epoch == cur {
+                    if let Some(d) = self.core.inbox.lock().pop_front() {
+                        return Ok(d);
+                    }
+                }
+                tokio::select! {
+                    r = self.core.raw.recv() => {
+                        self.core.route(r?).await?;
+                    }
+                    _ = notified => {}
+                }
+            }
+        })
+    }
+}
+
+impl<InC> Drain for EpochConn<InC> {}
+
+/// Abort a background task when the last handle drops.
+struct AbortOnDrop(tokio::task::JoinHandle<()>);
+
+impl Drop for AbortOnDrop {
+    fn drop(&mut self) {
+        self.0.abort();
+    }
+}
+
+/// A connection whose chunnel stack can be re-negotiated and swapped while
+/// it is live. See the module docs for the protocol.
+///
+/// Cloneable; all clones share the connection and see swaps immediately.
+pub struct SwitchableConn<InC> {
+    core: Arc<Core<InC>>,
+    factory: StackFactory<InC>,
+    _responder: Arc<AbortOnDrop>,
+}
+
+impl<InC> Clone for SwitchableConn<InC> {
+    fn clone(&self) -> Self {
+        SwitchableConn {
+            core: Arc::clone(&self.core),
+            factory: Arc::clone(&self.factory),
+            _responder: Arc::clone(&self._responder),
+        }
+    }
+}
+
+impl<InC> SwitchableConn<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    /// The current epoch: 0 until the first successful renegotiation.
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch.load(Ordering::Acquire)
+    }
+
+    /// The picks the current stack was instantiated from.
+    pub fn picks(&self) -> Option<ServerPicks> {
+        self.core.last_picks.lock().clone()
+    }
+
+    /// Run a fresh offer/pick round on this live connection and swap to the
+    /// outcome. Offers are re-filtered, so implementations that died since
+    /// the last round are withdrawn and the pick lands on what still works
+    /// (ultimately the software fallback, which is always offerable).
+    ///
+    /// Concurrent calls coalesce; if the peer proposes a round at the same
+    /// time, exactly one round wins and both callers observe its outcome.
+    /// On failure (`Err`), the connection remains on its current stack.
+    pub async fn renegotiate(&self) -> Result<ServerPicks, Error> {
+        let _guard = self.core.initiate_lock.lock().await;
+        let next = self.core.epoch.load(Ordering::Acquire) + 1;
+        self.core.initiating.store(true, Ordering::Release);
+        self.core.pause();
+        let res = self.renegotiate_inner(next).await;
+        self.core.unpause();
+        self.core.initiating.store(false, Ordering::Release);
+        res
+    }
+
+    async fn renegotiate_inner(&self, next: u64) -> Result<ServerPicks, Error> {
+        let core = &self.core;
+        // Quiesce: anything unacknowledged would be lost with the old
+        // stack. A stack that can no longer make progress (it is why we are
+        // renegotiating) fails or times out here; proceed regardless.
+        let (_, target) = core.current_snapshot();
+        let _ = tokio::time::timeout(core.opts.handshake_budget(), target.drain()).await;
+
+        let slots = apply_filter(&core.opts.filter, core.role, core.base_slots.clone()).await?;
+        let msg = NegotiateMsg::Renegotiate {
+            epoch: next,
+            name: core.opts.name.clone(),
+            slots,
+            registered: global_registry().offers(),
+        };
+        let neg_frame = frame(TAG_NEG, &bincode::serialize(&msg)?);
+        *core.reneg_reply.lock() = None;
+
+        let mut backoff = core.opts.timeout;
+        for _attempt in 0..=core.opts.retries {
+            core.raw
+                .send((core.peer.clone(), neg_frame.clone()))
+                .await?;
+            let deadline = tokio::time::Instant::now() + jittered(backoff);
+            loop {
+                if core.epoch.load(Ordering::Acquire) >= next {
+                    // The peer proposed simultaneously and the responder
+                    // path completed the swap for us.
+                    return core
+                        .last_picks
+                        .lock()
+                        .clone()
+                        .ok_or_else(|| Error::Negotiation("epoch advanced without picks".into()));
+                }
+                let notified = core.reneg_reply_notify.notified();
+                let reply = {
+                    let mut slot = core.reneg_reply.lock();
+                    match &*slot {
+                        Some((e, _)) if *e >= next => slot.take(),
+                        _ => None,
+                    }
+                };
+                if let Some((_, outcome)) = reply {
+                    let picks = outcome.map_err(Error::Negotiation)?;
+                    if let Some(f) = &core.opts.filter {
+                        f.picked(core.role, &picks.picks).await?;
+                    }
+                    swap_to(core, &self.factory, next, picks.clone()).await?;
+                    return Ok(picks);
+                }
+                tokio::select! {
+                    _ = notified => {}
+                    r = core.raw.recv() => {
+                        core.route(r?).await?;
+                    }
+                    _ = tokio::time::sleep_until(deadline) => break,
+                }
+            }
+            backoff = backoff.saturating_mul(2);
+        }
+        Err(Error::Timeout {
+            after: core.opts.handshake_budget(),
+            what: "renegotiation reply",
+        })
+    }
+}
+
+impl<InC> ChunnelConnection for SwitchableConn<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, data: Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            loop {
+                self.core.wait_unpaused().await;
+                let (epoch, target) = self.core.current_snapshot();
+                match target.send(data.clone()).await {
+                    Ok(()) => return Ok(()),
+                    // A failure from a superseded stack is an artifact of
+                    // the swap, not of this send (the initiator drained
+                    // before swapping, so nothing admitted pre-swap is
+                    // outstanding): retry on the successor.
+                    Err(_) if self.core.epoch.load(Ordering::Acquire) != epoch => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            loop {
+                let (epoch, target) = self.core.current_snapshot();
+                match target.recv().await {
+                    Ok(d) => return Ok(d),
+                    Err(_) if self.core.epoch.load(Ordering::Acquire) != epoch => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+}
+
+impl<InC> Drain for SwitchableConn<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        let (_, target) = self.core.current_snapshot();
+        Box::pin(async move { target.drain().await })
+    }
+}
+
+/// The responder half: waits for the peer's `Renegotiate` proposals (stashed
+/// by whichever task routed the frame) and runs the pick round. One task per
+/// connection, aborted when the last [`SwitchableConn`] clone drops.
+async fn run_responder<InC>(core: Arc<Core<InC>>, factory: StackFactory<InC>)
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    loop {
+        let notified = core.reneg_request_notify.notified();
+        let taken = core.reneg_request.lock().take();
+        let Some(msg) = taken else {
+            notified.await;
+            continue;
+        };
+        let NegotiateMsg::Renegotiate { epoch, .. } = &msg else {
+            continue;
+        };
+        let epoch = *epoch;
+        if epoch <= core.epoch.load(Ordering::Acquire) {
+            continue; // raced with a completed swap; route() re-replies to dups
+        }
+        if core.role == Role::Client && core.initiating.load(Ordering::Acquire) {
+            // Simultaneous proposals: the client side's round wins, so
+            // refuse the server's. (The server side accepts the client's
+            // proposal instead; its own initiator observes the epoch
+            // advance and reports that round's outcome.)
+            let reply = NegotiateMsg::RenegotiateReply {
+                epoch,
+                reply: Err("simultaneous renegotiation: client round wins".into()),
+            };
+            if let Ok(body) = bincode::serialize(&reply) {
+                let _ = core
+                    .raw
+                    .send((core.peer.clone(), frame(TAG_NEG, &body)))
+                    .await;
+            }
+            continue;
+        }
+        core.pause();
+        let _ = respond(&core, &factory, &msg, epoch).await;
+        core.unpause();
+    }
+}
+
+async fn respond<InC>(
+    core: &Arc<Core<InC>>,
+    factory: &StackFactory<InC>,
+    msg: &NegotiateMsg,
+    epoch: u64,
+) -> Result<(), Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    // The initiator paused and drained before proposing; drain our side too
+    // (its acknowledgments still flow: the initiator's epoch only advances
+    // once it sees our reply).
+    let (_, target) = core.current_snapshot();
+    let _ = tokio::time::timeout(core.opts.handshake_budget(), target.drain()).await;
+
+    let outcome: Result<ServerPicks, Error> = async {
+        let slots = apply_filter(&core.opts.filter, core.role, core.base_slots.clone()).await?;
+        let picks = pick_stack(&core.opts.name, &slots, msg, &*core.opts.policy)?;
+        if let Some(f) = &core.opts.filter {
+            f.picked(core.role, &picks.picks)
+                .await
+                .map_err(|e| Error::Negotiation(format!("implementation init failed: {e}")))?;
+        }
+        Ok(picks)
+    }
+    .await;
+
+    let reply = NegotiateMsg::RenegotiateReply {
+        epoch,
+        reply: match &outcome {
+            Ok(p) => Ok(p.clone()),
+            Err(e) => Err(e.to_string()),
+        },
+    };
+    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    *core.cached_reneg.lock() = Some((epoch, reply_frame.clone()));
+    core.raw.send((core.peer.clone(), reply_frame)).await?;
+    if let Ok(picks) = outcome {
+        swap_to(core, factory, epoch, picks).await?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn assemble<S, InC>(
+    stack: S,
+    raw: InC,
+    role: Role,
+    peer: Addr,
+    opts: NegotiateOpts,
+    epoch: u64,
+    picks: ServerPicks,
+    pending: Vec<Datagram>,
+    cached_reply: Option<Vec<u8>>,
+    cached_reneg: Option<(u64, Vec<u8>)>,
+) -> Result<SwitchableConn<InC>, Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    S::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    let base_slots = stack.offers();
+    let factory = factory_from_stack(stack);
+    let core = Arc::new(Core {
+        raw: Arc::new(raw),
+        role,
+        peer,
+        opts,
+        base_slots,
+        epoch: AtomicU64::new(epoch),
+        current: RwLock::new((epoch, Arc::new(NotYet) as SwitchTargetRef)),
+        last_picks: Mutex::new(None),
+        inbox: Mutex::new(pending.into()),
+        future: Mutex::new(Vec::new()),
+        inbox_notify: Notify::new(),
+        cached_reply: Mutex::new(cached_reply),
+        cached_reneg: Mutex::new(cached_reneg),
+        reneg_reply: Mutex::new(None),
+        reneg_reply_notify: Notify::new(),
+        reneg_request: Mutex::new(None),
+        reneg_request_notify: Notify::new(),
+        paused: AtomicUsize::new(0),
+        pause_notify: Notify::new(),
+        initiating: AtomicBool::new(false),
+        initiate_lock: tokio::sync::Mutex::new(()),
+        swap_lock: tokio::sync::Mutex::new(()),
+    });
+    let conn = EpochConn {
+        core: Arc::clone(&core),
+        epoch,
+    };
+    let target = factory(picks.picks.clone(), picks.nonce.clone(), conn).await?;
+    *core.current.write() = (epoch, target);
+    *core.last_picks.lock() = Some(picks);
+    let responder = tokio::spawn(run_responder(Arc::clone(&core), Arc::clone(&factory)));
+    Ok(SwitchableConn {
+        core,
+        factory,
+        _responder: Arc::new(AbortOnDrop(responder)),
+    })
+}
+
+/// Like [`negotiate_client`](super::negotiate_client), but the returned
+/// connection supports mid-connection re-negotiation.
+pub async fn negotiate_switchable_client<S, InC>(
+    stack: S,
+    raw: InC,
+    addr: Addr,
+    opts: NegotiateOpts,
+) -> Result<(SwitchableConn<InC>, ServerPicks), Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    S::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    let slots = apply_filter(&opts.filter, Role::Client, stack.offers()).await?;
+    let offer = NegotiateMsg::ClientOffer {
+        name: opts.name.clone(),
+        slots,
+        registered: global_registry().offers(),
+    };
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, &opts).await?;
+    if let Some(f) = &opts.filter {
+        f.picked(Role::Client, &picks.picks).await?;
+    }
+    let conn = assemble(
+        stack,
+        raw,
+        Role::Client,
+        addr,
+        opts,
+        0,
+        picks.clone(),
+        pending,
+        None,
+        None,
+    )
+    .await?;
+    Ok((conn, picks))
+}
+
+/// Like [`negotiate_server_once`](super::negotiate_server_once), but the
+/// returned connection supports mid-connection re-negotiation — and the
+/// *first* message may itself be a [`NegotiateMsg::Renegotiate`]: a client
+/// surviving the loss of its previous peer process (a crashed steerer whose
+/// canonical address was rebound) re-proposes its next epoch on what is,
+/// from this side, a brand-new connection.
+pub async fn negotiate_server_switchable<S, InC>(
+    stack: S,
+    raw: InC,
+    opts: NegotiateOpts,
+) -> Result<SwitchableConn<InC>, Error>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    S: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    S::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    let handshake_deadline = opts.handshake_budget();
+    let (from, buf) = tokio::time::timeout(handshake_deadline, raw.recv())
+        .await
+        .map_err(|_| Error::Timeout {
+            after: handshake_deadline,
+            what: "client offer",
+        })??;
+
+    let body = match buf.split_first() {
+        Some((&TAG_NEG, body)) => body,
+        _ => {
+            return Err(Error::Negotiation(
+                "expected a negotiation handshake as the first message".into(),
+            ))
+        }
+    };
+    let client_msg: NegotiateMsg = bincode::deserialize(body)?;
+    let epoch = match &client_msg {
+        NegotiateMsg::ClientOffer { .. } => 0,
+        NegotiateMsg::Renegotiate { epoch, .. } => *epoch,
+        other => {
+            return Err(Error::Negotiation(format!(
+                "expected an offer as the first message, got {other:?}"
+            )))
+        }
+    };
+
+    let slots = apply_filter(&opts.filter, Role::Server, stack.offers()).await?;
+    let outcome = pick_stack(&opts.name, &slots, &client_msg, &*opts.policy);
+    let outcome = match outcome {
+        Ok(picks) => {
+            if let Some(f) = &opts.filter {
+                match f.picked(Role::Server, &picks.picks).await {
+                    Ok(()) => Ok(picks),
+                    Err(e) => Err(Error::Negotiation(format!(
+                        "implementation init failed: {e}"
+                    ))),
+                }
+            } else {
+                Ok(picks)
+            }
+        }
+        Err(e) => Err(e),
+    };
+
+    let (picks, reply) = match outcome {
+        Ok(picks) => {
+            let reply = if epoch == 0 {
+                NegotiateMsg::ServerReply(Ok(picks.clone()))
+            } else {
+                NegotiateMsg::RenegotiateReply {
+                    epoch,
+                    reply: Ok(picks.clone()),
+                }
+            };
+            (Some(picks), reply)
+        }
+        Err(e) => {
+            let reply = if epoch == 0 {
+                NegotiateMsg::ServerReply(Err(e.to_string()))
+            } else {
+                NegotiateMsg::RenegotiateReply {
+                    epoch,
+                    reply: Err(e.to_string()),
+                }
+            };
+            (None, reply)
+        }
+    };
+    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    raw.send((from.clone(), reply_frame.clone())).await?;
+
+    let picks = match picks {
+        Some(p) => p,
+        None => {
+            return Err(Error::Negotiation(
+                "no compatible implementation; rejection sent to client".into(),
+            ))
+        }
+    };
+    let (cached_reply, cached_reneg) = if epoch == 0 {
+        (Some(reply_frame), None)
+    } else {
+        (None, Some((epoch, reply_frame)))
+    };
+    assemble(
+        stack,
+        raw,
+        Role::Server,
+        from,
+        opts,
+        epoch,
+        picks,
+        Vec::new(),
+        cached_reply,
+        cached_reneg,
+    )
+    .await
+}
+
+/// A stream of [`SwitchableConn`]s: the re-negotiable counterpart of
+/// [`NegotiatedStream`](super::NegotiatedStream), running the server
+/// handshake concurrently per incoming connection.
+pub struct SwitchableStream<S, Stack> {
+    raw: Option<S>,
+    stack: Stack,
+    opts: Arc<NegotiateOpts>,
+    inflight: tokio::task::JoinSet<Result<SwitchableConnOf<S>, Error>>,
+}
+
+type SwitchableConnOf<S> = SwitchableConn<<S as ConnStream>::Connection>;
+
+impl<S, Stack, InC> SwitchableStream<S, Stack>
+where
+    S: ConnStream<Connection = InC>,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    Stack: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    Stack::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    /// Wrap `raw`, negotiating `stack` for each incoming connection.
+    pub fn new(raw: S, stack: Stack, opts: NegotiateOpts) -> Self {
+        SwitchableStream {
+            raw: Some(raw),
+            stack,
+            opts: Arc::new(opts),
+            inflight: tokio::task::JoinSet::new(),
+        }
+    }
+}
+
+impl<S, Stack, InC> ConnStream for SwitchableStream<S, Stack>
+where
+    S: ConnStream<Connection = InC> + Send,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    Stack: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    Stack::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    type Connection = SwitchableConn<InC>;
+
+    fn next(&mut self) -> BoxFut<'_, Option<Result<Self::Connection, Error>>> {
+        Box::pin(async move {
+            loop {
+                if self.raw.is_none() && self.inflight.is_empty() {
+                    return None;
+                }
+                tokio::select! {
+                    incoming = async {
+                        match &mut self.raw {
+                            Some(r) => r.next().await,
+                            None => None,
+                        }
+                    }, if self.raw.is_some() => {
+                        match incoming {
+                            Some(Ok(conn)) => {
+                                let stack = self.stack.clone();
+                                let opts = Arc::clone(&self.opts);
+                                self.inflight.spawn(async move {
+                                    negotiate_server_switchable(stack, conn, (*opts).clone())
+                                        .await
+                                });
+                            }
+                            Some(Err(e)) => return Some(Err(e)),
+                            None => {
+                                self.raw = None;
+                            }
+                        }
+                    }
+                    joined = self.inflight.join_next(), if !self.inflight.is_empty() => {
+                        match joined {
+                            Some(Ok(result)) => return Some(result),
+                            Some(Err(join_err)) => {
+                                return Some(Err(Error::Other(format!(
+                                    "negotiation task panicked: {join_err}"
+                                ))))
+                            }
+                            None => {}
+                        }
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::handshake::TAG_DATA;
+    use super::*;
+    use crate::chunnel::Chunnel;
+    use crate::conn::pair;
+    use crate::negotiate::{guid, Negotiate};
+    use crate::wrap;
+    use std::time::Duration;
+
+    #[derive(Clone, Copy, Debug, Default)]
+    struct Rel;
+
+    impl Negotiate for Rel {
+        const CAPABILITY: u64 = guid("test/sw-rel");
+        const IMPL: u64 = guid("test/sw-rel/basic");
+        const NAME: &'static str = "test-sw-rel";
+    }
+
+    impl<InC> Chunnel<InC> for Rel
+    where
+        InC: ChunnelConnection + Send + 'static,
+    {
+        type Connection = InC;
+
+        fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+            Box::pin(async move { Ok(inner) })
+        }
+    }
+
+    crate::negotiable!(Rel);
+
+    #[tokio::test]
+    async fn renegotiation_swaps_both_sides_and_data_flows() {
+        let (cli_raw, srv_raw) = pair::<Datagram>(32);
+        let addr = Addr::Mem("srv".into());
+
+        let srv = tokio::spawn(async move {
+            negotiate_server_switchable(wrap!(Rel), srv_raw, NegotiateOpts::named("srv")).await
+        });
+        let (cli, picks) = negotiate_switchable_client(
+            wrap!(Rel),
+            cli_raw,
+            addr.clone(),
+            NegotiateOpts::named("cli"),
+        )
+        .await
+        .unwrap();
+        let srv = srv.await.unwrap().unwrap();
+        assert_eq!(picks.picks.len(), 1);
+        assert_eq!(cli.epoch(), 0);
+        assert_eq!(srv.epoch(), 0);
+
+        // Epoch-0 traffic.
+        cli.send((addr.clone(), b"before".to_vec())).await.unwrap();
+        let (_, m) = srv.recv().await.unwrap();
+        assert_eq!(m, b"before");
+
+        // Keep the server side pumped so its responder half sees the
+        // proposal, then renegotiate from the client.
+        let srv2 = srv.clone();
+        let echo = tokio::spawn(async move {
+            let (from, m) = srv2.recv().await.unwrap();
+            srv2.send((from, m)).await.unwrap();
+        });
+        let picks = cli.renegotiate().await.unwrap();
+        assert_eq!(picks.picks.len(), 1);
+        assert_eq!(cli.epoch(), 1);
+
+        // Epoch-1 traffic still round-trips.
+        cli.send((addr, b"after".to_vec())).await.unwrap();
+        let (_, m) = cli.recv().await.unwrap();
+        assert_eq!(m, b"after");
+        assert_eq!(srv.epoch(), 1);
+        echo.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn server_side_can_initiate() {
+        let (cli_raw, srv_raw) = pair::<Datagram>(32);
+        let addr = Addr::Mem("srv".into());
+
+        let srv = tokio::spawn(async move {
+            negotiate_server_switchable(wrap!(Rel), srv_raw, NegotiateOpts::named("srv")).await
+        });
+        let (cli, _) =
+            negotiate_switchable_client(wrap!(Rel), cli_raw, addr, NegotiateOpts::named("cli"))
+                .await
+                .unwrap();
+        let srv = srv.await.unwrap().unwrap();
+
+        // Client recv pumps the connection, routing the server's proposal
+        // to the client's responder half.
+        let cli2 = cli.clone();
+        let pump = tokio::spawn(async move { cli2.recv().await });
+        srv.renegotiate().await.unwrap();
+        assert_eq!(srv.epoch(), 1);
+
+        srv.send((Addr::Mem("cli".into()), b"hi".to_vec()))
+            .await
+            .unwrap();
+        let (_, m) = pump.await.unwrap().unwrap();
+        assert_eq!(m, b"hi");
+        assert_eq!(cli.epoch(), 1);
+    }
+
+    #[tokio::test]
+    async fn stale_epoch_frames_are_dropped_future_ones_buffered() {
+        // Manual peer: drive the wire by hand to control epochs exactly.
+        let (cli_raw, peer) = pair::<Datagram>(32);
+        let addr = Addr::Mem("srv".into());
+
+        let cli_task = tokio::spawn(async move {
+            negotiate_switchable_client(wrap!(Rel), cli_raw, addr, NegotiateOpts::named("cli"))
+                .await
+        });
+
+        // Answer the initial offer.
+        let (from, buf) = peer.recv().await.unwrap();
+        assert_eq!(buf[0], TAG_NEG);
+        let pick = Offer::from_chunnel(&Rel);
+        let reply = NegotiateMsg::ServerReply(Ok(ServerPicks {
+            name: "peer".into(),
+            picks: vec![pick.clone()],
+            nonce: vec![0; 16],
+        }));
+        peer.send((
+            from.clone(),
+            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()),
+        ))
+        .await
+        .unwrap();
+        let (cli, _) = cli_task.await.unwrap().unwrap();
+
+        // A frame from epoch 2 arrives early (we are at 0): buffered, not
+        // delivered. An untagged data frame is delivered at any epoch.
+        peer.send((from.clone(), frame_epoch(2, b"too-early")))
+            .await
+            .unwrap();
+        peer.send((from.clone(), frame(TAG_DATA, b"plain")))
+            .await
+            .unwrap();
+        let (_, m) = cli.recv().await.unwrap();
+        assert_eq!(m, b"plain");
+
+        // Renegotiate; the manual peer answers the proposal for epoch 1.
+        let cli2 = cli.clone();
+        let reneg = tokio::spawn(async move { cli2.renegotiate().await });
+        let (from, buf) = peer.recv().await.unwrap();
+        assert_eq!(buf[0], TAG_NEG);
+        let msg: NegotiateMsg = bincode::deserialize(&buf[1..]).unwrap();
+        let NegotiateMsg::Renegotiate { epoch, slots, .. } = msg else {
+            panic!("expected a renegotiation proposal");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(slots.len(), 1);
+        let reply = NegotiateMsg::RenegotiateReply {
+            epoch: 1,
+            reply: Ok(ServerPicks {
+                name: "peer".into(),
+                picks: vec![pick],
+                nonce: vec![1; 16],
+            }),
+        };
+        peer.send((
+            from.clone(),
+            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()),
+        ))
+        .await
+        .unwrap();
+        reneg.await.unwrap().unwrap();
+        assert_eq!(cli.epoch(), 1);
+
+        // Stale epoch-0 tagged frames are now dropped; epoch-1 delivered.
+        peer.send((from.clone(), frame_epoch(0, b"stale")))
+            .await
+            .unwrap();
+        peer.send((from.clone(), frame_epoch(1, b"current")))
+            .await
+            .unwrap();
+        let (_, m) = cli.recv().await.unwrap();
+        assert_eq!(m, b"current");
+
+        // The client's sends are now epoch-tagged.
+        cli.send((from, b"tagged".to_vec())).await.unwrap();
+        let (_, buf) = peer.recv().await.unwrap();
+        assert_eq!(buf[0], TAG_DATA_EPOCH);
+        assert_eq!(u64::from_le_bytes(buf[1..9].try_into().unwrap()), 1);
+        assert_eq!(&buf[9..], b"tagged");
+    }
+
+    #[tokio::test]
+    async fn renegotiate_times_out_against_silent_peer() {
+        let (cli_raw, peer) = pair::<Datagram>(32);
+        let addr = Addr::Mem("srv".into());
+        let opts = NegotiateOpts {
+            timeout: Duration::from_millis(10),
+            retries: 1,
+            ..NegotiateOpts::named("cli")
+        };
+
+        let cli_task = tokio::spawn(async move {
+            negotiate_switchable_client(wrap!(Rel), cli_raw, addr, opts).await
+        });
+        let (from, _) = peer.recv().await.unwrap();
+        let reply = NegotiateMsg::ServerReply(Ok(ServerPicks {
+            name: "peer".into(),
+            picks: vec![Offer::from_chunnel(&Rel)],
+            nonce: vec![0; 16],
+        }));
+        peer.send((from, frame(TAG_NEG, &bincode::serialize(&reply).unwrap())))
+            .await
+            .unwrap();
+        let (cli, _) = cli_task.await.unwrap().unwrap();
+
+        // Peer never answers the proposal: the round fails, the connection
+        // stays on epoch 0.
+        match cli.renegotiate().await {
+            Err(Error::Timeout { what, .. }) => assert_eq!(what, "renegotiation reply"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(cli.epoch(), 0);
+    }
+
+    #[tokio::test]
+    async fn renegotiate_as_first_message_establishes_fresh_server() {
+        // A client that already advanced to epoch 3 reconnects to a fresh
+        // server incarnation: its Renegotiate is the first message.
+        let (cli_raw, srv_raw) = pair::<Datagram>(32);
+
+        let srv = tokio::spawn(async move {
+            negotiate_server_switchable(wrap!(Rel), srv_raw, NegotiateOpts::named("srv-2")).await
+        });
+
+        let msg = NegotiateMsg::Renegotiate {
+            epoch: 3,
+            name: "cli".into(),
+            slots: wrap!(Rel).offers(),
+            registered: vec![],
+        };
+        cli_raw
+            .send((
+                Addr::Mem("srv".into()),
+                frame(TAG_NEG, &bincode::serialize(&msg).unwrap()),
+            ))
+            .await
+            .unwrap();
+        let (_, buf) = cli_raw.recv().await.unwrap();
+        assert_eq!(buf[0], TAG_NEG);
+        let reply: NegotiateMsg = bincode::deserialize(&buf[1..]).unwrap();
+        let NegotiateMsg::RenegotiateReply { epoch, reply } = reply else {
+            panic!("expected a renegotiation reply");
+        };
+        assert_eq!(epoch, 3);
+        assert!(reply.is_ok());
+
+        let srv = srv.await.unwrap().unwrap();
+        assert_eq!(srv.epoch(), 3);
+
+        // Epoch-3 tagged data from the client is delivered.
+        cli_raw
+            .send((Addr::Mem("srv".into()), frame_epoch(3, b"resumed")))
+            .await
+            .unwrap();
+        let (_, m) = srv.recv().await.unwrap();
+        assert_eq!(m, b"resumed");
+    }
+}

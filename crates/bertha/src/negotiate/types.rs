@@ -156,6 +156,35 @@ pub enum NegotiateMsg {
     /// Server → client: the picked implementation for every slot, or why
     /// negotiation failed.
     ServerReply(Result<ServerPicks, String>),
+    /// Either side → peer, mid-connection: run a fresh offer/pick round on
+    /// this live connection and swap to the result at `epoch`. Carries the
+    /// same information as [`NegotiateMsg::ClientOffer`] (the initiator
+    /// plays the client role for the round regardless of which side it is).
+    ///
+    /// New variants are appended (bincode enum tags are positional) so
+    /// epoch-0 peers that only speak the original handshake still decode
+    /// the messages they know about.
+    Renegotiate {
+        /// Epoch the initiator proposes to switch to; one greater than the
+        /// epoch both sides currently share.
+        epoch: u64,
+        /// Initiator endpoint name.
+        name: String,
+        /// Per-slot offered alternatives, outermost slot first, re-filtered
+        /// at renegotiation time (availability may have changed).
+        slots: Vec<Vec<Offer>>,
+        /// Capabilities the initiator can instantiate on demand.
+        registered: Vec<Offer>,
+    },
+    /// Responder → initiator: the outcome of the renegotiation round
+    /// proposed for `epoch`.
+    RenegotiateReply {
+        /// Echo of the proposed epoch, so stale replies are discarded.
+        epoch: u64,
+        /// The picked implementations, or why the round failed (in which
+        /// case both sides stay on the current epoch's stack).
+        reply: Result<ServerPicks, String>,
+    },
 }
 
 /// The successful outcome of negotiation.

@@ -233,7 +233,9 @@ where
     fn send(&self, (addr, buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
         use std::sync::atomic::Ordering::Relaxed;
         self.counters.msgs_sent.fetch_add(1, Relaxed);
-        self.counters.bytes_sent.fetch_add(buf.len() as u64, Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(buf.len() as u64, Relaxed);
         self.inner.send((addr, buf))
     }
 
@@ -242,7 +244,9 @@ where
             use std::sync::atomic::Ordering::Relaxed;
             let (from, buf) = self.inner.recv().await?;
             self.counters.msgs_recvd.fetch_add(1, Relaxed);
-            self.counters.bytes_recvd.fetch_add(buf.len() as u64, Relaxed);
+            self.counters
+                .bytes_recvd
+                .fetch_add(buf.len() as u64, Relaxed);
             Ok((from, buf))
         })
     }

@@ -18,13 +18,8 @@ fn arb_endpoints() -> impl Strategy<Value = Endpoints> {
 }
 
 fn arb_offer(cap_space: u64, impl_space: u64) -> impl Strategy<Value = Offer> {
-    (
-        0..cap_space,
-        0..impl_space,
-        arb_endpoints(),
-        -10i32..10,
-    )
-        .prop_map(|(cap, imp, endpoints, priority)| Offer {
+    (0..cap_space, 0..impl_space, arb_endpoints(), -10i32..10).prop_map(
+        |(cap, imp, endpoints, priority)| Offer {
             capability: cap,
             impl_guid: imp * 1000 + cap, // impls are per-capability
             name: format!("impl-{imp}-of-cap-{cap}"),
@@ -32,7 +27,8 @@ fn arb_offer(cap_space: u64, impl_space: u64) -> impl Strategy<Value = Offer> {
             scope: Scope::Application,
             priority,
             ext: vec![],
-        })
+        },
+    )
 }
 
 fn arb_slot(cap_space: u64) -> impl Strategy<Value = Vec<Offer>> {

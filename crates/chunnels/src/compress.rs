@@ -7,7 +7,7 @@
 //! passed through, with a one-byte header choosing between compressed and
 //! stored representations (incompressible payloads cost exactly one byte).
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 
@@ -206,6 +206,17 @@ where
             let (from, buf) = self.inner.recv().await?;
             Ok((from, decompress(&buf)?))
         })
+    }
+}
+
+/// Stateless on the send path: draining is entirely the inner layer's
+/// concern.
+impl<C> Drain for CompressConn<C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 

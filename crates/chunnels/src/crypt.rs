@@ -14,7 +14,7 @@
 //! keystream XORed over the payload, with a 4-byte keyed checksum so
 //! tampering (or a wrong key) is detected.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use rand::RngCore;
@@ -154,6 +154,17 @@ where
             let (from, buf) = self.inner.recv().await?;
             Ok((from, open(&self.key, &buf)?))
         })
+    }
+}
+
+/// Stateless on the send path: draining is entirely the inner layer's
+/// concern.
+impl<C> Drain for CryptConn<C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 

@@ -9,7 +9,7 @@
 //!
 //! Wire format: `[msg_id: u64][idx: u16][total: u16][payload]`.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use parking_lot::Mutex;
@@ -125,10 +125,7 @@ where
                 v
             };
             if total == 1 {
-                return self
-                    .inner
-                    .send((addr, frame(msg_id, 0, 1, &payload)))
-                    .await;
+                return self.inner.send((addr, frame(msg_id, 0, 1, &payload))).await;
             }
             for (idx, chunk) in payload.chunks(mtu).enumerate() {
                 self.inner
@@ -152,9 +149,7 @@ where
                 let payload = &buf[12..];
 
                 if total == 0 || idx >= total {
-                    return Err(Error::Encode(format!(
-                        "bad fragment indices {idx}/{total}"
-                    )));
+                    return Err(Error::Encode(format!("bad fragment indices {idx}/{total}")));
                 }
                 if total == 1 {
                     return Ok((from, payload.to_vec()));
@@ -191,6 +186,17 @@ where
                 }
             }
         })
+    }
+}
+
+/// Stateless on the send path: draining is entirely the inner layer's
+/// concern.
+impl<C> Drain for FragConn<C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 

@@ -10,7 +10,7 @@
 //!
 //! Wire format: `[0x10][payload]` for data, `[0x11]` for a heartbeat.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
 use parking_lot::Mutex;
@@ -169,24 +169,23 @@ where
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
             loop {
-                let remaining = self
-                    .cfg
-                    .dead_after
-                    .checked_sub(self.silence())
-                    .ok_or(Error::Timeout {
-                        after: self.cfg.dead_after,
-                        what: "peer liveness",
-                    })?;
-                let (from, buf) =
-                    match tokio::time::timeout(remaining, self.inner.recv()).await {
-                        Err(_silent_too_long) => {
-                            return Err(Error::Timeout {
-                                after: self.cfg.dead_after,
-                                what: "peer liveness",
-                            })
-                        }
-                        Ok(r) => r?,
-                    };
+                let remaining =
+                    self.cfg
+                        .dead_after
+                        .checked_sub(self.silence())
+                        .ok_or(Error::Timeout {
+                            after: self.cfg.dead_after,
+                            what: "peer liveness",
+                        })?;
+                let (from, buf) = match tokio::time::timeout(remaining, self.inner.recv()).await {
+                    Err(_silent_too_long) => {
+                        return Err(Error::Timeout {
+                            after: self.cfg.dead_after,
+                            what: "peer liveness",
+                        })
+                    }
+                    Ok(r) => r?,
+                };
                 self.state.lock().last_heard = Instant::now();
                 match buf.split_first() {
                     Some((&DATA, payload)) => return Ok((from, payload.to_vec())),
@@ -198,15 +197,19 @@ where
     }
 }
 
+/// Heartbeats are fire-and-forget: nothing is buffered, so there is
+/// nothing to flush before a stack swap.
+impl<C> Drain for HeartbeatConn<C> where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static
+{
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bertha::conn::pair;
 
-    fn cfg_pair(
-        interval_ms: u64,
-        dead_ms: u64,
-    ) -> (HeartbeatChunnel, HeartbeatChunnel, Addr) {
+    fn cfg_pair(interval_ms: u64, dead_ms: u64) -> (HeartbeatChunnel, HeartbeatChunnel, Addr) {
         let peer = Addr::Mem("hb-peer".into());
         let c = HeartbeatChunnel::new(
             peer.clone(),

@@ -7,7 +7,7 @@
 //! [`reliable`](crate::reliable) (`wrap!(ordering() |> reliable())`), or
 //! accept that a lost datagram stalls delivery until the buffer cap evicts.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use parking_lot::Mutex;
@@ -144,6 +144,17 @@ where
                 st.buffer.insert(seq, (from, payload));
             }
         })
+    }
+}
+
+/// Stateless on the send path: draining is entirely the inner layer's
+/// concern.
+impl<C> Drain for OrderedConn<C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 

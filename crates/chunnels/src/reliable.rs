@@ -2,21 +2,24 @@
 //! transport (Listings 4–5's `reliable()`).
 //!
 //! Classic ARQ: every outgoing payload gets a sequence number and is held
-//! until acknowledged; a per-connection pacer retransmits after a timeout,
-//! giving up (and failing the connection) after a retry budget. The receive
-//! side acknowledges everything and deduplicates, so the application sees
-//! each payload exactly once. Delivery order is arrival order — compose
-//! with [`ordering`](crate::ordering) for in-order delivery.
+//! until acknowledged; a per-connection pacer retransmits on an
+//! exponentially backed-off, jittered timeout (doubling from
+//! [`ReliabilityConfig::rto`] up to [`ReliabilityConfig::rto_max`]), giving
+//! up (and failing the connection) after a retry budget. The receive side
+//! acknowledges everything and deduplicates, so the application sees each
+//! payload exactly once. Delivery order is arrival order — compose with
+//! [`ordering`](crate::ordering) for in-order delivery.
 //!
 //! A dedicated pump task owns the inner connection's receive side so ACKs
 //! are processed even when the application is not in `recv` (one-way
 //! flows). The task holds only a weak reference and exits when the
 //! connection is dropped.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
 use parking_lot::Mutex;
+use rand::Rng;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -28,22 +31,39 @@ const ACK: u8 = 0x03;
 /// Configuration for the ARQ.
 #[derive(Clone, Copy, Debug)]
 pub struct ReliabilityConfig {
-    /// Retransmission timeout.
+    /// Initial retransmission timeout. Each retransmission of a payload
+    /// doubles its timeout (capped at [`rto_max`](Self::rto_max)), and the
+    /// actual wait is jittered down by up to half so that payloads lost
+    /// together do not retransmit in lockstep.
     pub rto: Duration,
     /// Retransmissions before the connection is declared dead.
     pub max_retries: u32,
+    /// Cap on the backed-off retransmission timeout.
+    pub rto_max: Duration,
     /// Maximum unacknowledged payloads before `send` applies backpressure.
     pub window: usize,
 }
 
 impl Default for ReliabilityConfig {
     fn default() -> Self {
+        // Worst-case patience before giving up: 100 + 200 + 400 + 500ms
+        // (capped) ≈ 1.2s, equivalent to the previous fixed 100ms × 10
+        // schedule's 1.0s total budget, but with fewer wasted transmissions
+        // under sustained loss.
         ReliabilityConfig {
             rto: Duration::from_millis(100),
-            max_retries: 10,
+            max_retries: 4,
+            rto_max: Duration::from_millis(500),
             window: 64,
         }
     }
+}
+
+/// Shrink an interval by a uniformly random factor in `[0.5, 1.0]`, so
+/// concurrent losers desynchronize. Never lengthens the interval: the
+/// un-jittered doubling schedule is a hard bound on total patience.
+fn jittered(d: Duration) -> Duration {
+    d.mul_f64(rand::thread_rng().gen_range(0.5..=1.0))
 }
 
 /// The reliability chunnel. See the module docs.
@@ -82,7 +102,10 @@ where
 struct Pending {
     addr: Addr,
     frame: Vec<u8>,
-    last_sent: Instant,
+    /// When the next retransmission is due.
+    next_retx: Instant,
+    /// Current (un-jittered) backoff interval; doubles per retransmission.
+    rto: Duration,
     retries: u32,
 }
 
@@ -159,6 +182,7 @@ where
             Arc::downgrade(&inner),
             Arc::clone(&state),
             Arc::clone(&acked),
+            Arc::clone(&dead),
             delivery_tx,
         ));
         tokio::spawn(retransmit(
@@ -190,6 +214,7 @@ async fn pump<C>(
     inner: Weak<C>,
     state: Arc<Mutex<RelState>>,
     acked: Arc<Notify>,
+    dead: Arc<Notify>,
     delivery: mpsc::Sender<Datagram>,
 ) where
     C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
@@ -204,6 +229,18 @@ async fn pump<C>(
             Ok(d) => d,
             Err(e) => {
                 if e.is_closed() {
+                    // The transport is gone for good: mark the connection
+                    // dead so window-blocked senders and blocked receivers
+                    // wake with an error instead of waiting on acks that
+                    // can never arrive.
+                    {
+                        let mut st = state.lock();
+                        if st.dead.is_none() {
+                            st.dead = Some("transport closed".into());
+                        }
+                    }
+                    acked.notify_waiters();
+                    dead.notify_waiters();
                     return;
                 }
                 continue;
@@ -274,21 +311,19 @@ async fn retransmit<C>(
             }
             let mut exhausted = false;
             for (seq, p) in st.unacked.iter_mut() {
-                if now.duration_since(p.last_sent) >= cfg.rto {
+                if now >= p.next_retx {
                     if p.retries >= cfg.max_retries {
                         exhausted = true;
                         break;
                     }
                     p.retries += 1;
-                    p.last_sent = now;
+                    p.rto = (p.rto * 2).min(cfg.rto_max);
+                    p.next_retx = now + jittered(p.rto);
                     to_send.push((*seq, p.addr.clone(), p.frame.clone()));
                 }
             }
             if exhausted {
-                st.dead = Some(format!(
-                    "gave up after {} retransmissions",
-                    cfg.max_retries
-                ));
+                st.dead = Some(format!("gave up after {} retransmissions", cfg.max_retries));
                 drop(st);
                 // Wake both blocked senders (window waiters) and blocked
                 // receivers: neither will ever make progress again.
@@ -334,7 +369,8 @@ where
                     Pending {
                         addr: addr.clone(),
                         frame: frame.clone(),
-                        last_sent: Instant::now(),
+                        next_retx: Instant::now() + jittered(self.cfg.rto),
+                        rto: self.cfg.rto,
                         retries: 0,
                     },
                 );
@@ -373,6 +409,34 @@ where
                     }
                     _ = died => continue,
                 }
+            }
+        })
+    }
+}
+
+impl<C> Drain for ReliableConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    /// Resolves once every sent payload has been acknowledged (retransmitting
+    /// as needed along the way), so a stack swap cannot strand in-flight
+    /// data. Fails if the retry budget exhausts first.
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            loop {
+                // Register before checking so an ack (or death) landing
+                // between the check and the await cannot be missed.
+                let notified = self.acked.notified();
+                {
+                    let st = self.state.lock();
+                    if let Some(why) = &st.dead {
+                        return Err(Error::Other(format!("reliable connection dead: {why}")));
+                    }
+                    if st.unacked.is_empty() {
+                        return Ok(());
+                    }
+                }
+                notified.await;
             }
         })
     }
@@ -419,6 +483,7 @@ mod tests {
         let cfg = ReliabilityConfig {
             rto: Duration::from_millis(20),
             max_retries: 50,
+            rto_max: Duration::from_millis(100),
             window: 32,
         };
         let fault = FaultConfig {
@@ -458,6 +523,7 @@ mod tests {
         let cfg = ReliabilityConfig {
             rto: Duration::from_millis(10),
             max_retries: 3,
+            rto_max: Duration::from_millis(40),
             window: 4,
         };
         let ra = ReliabilityChunnel::new(cfg).connect_wrap(a).await.unwrap();
@@ -476,6 +542,7 @@ mod tests {
         let cfg = ReliabilityConfig {
             rto: Duration::from_millis(50),
             max_retries: 20,
+            rto_max: Duration::from_millis(200),
             window: 2,
         };
         let (a, b) = reliable_pair(cfg, Default::default()).await;
@@ -488,6 +555,50 @@ mod tests {
             assert_eq!(d, vec![i]);
         }
         assert_eq!(a.in_flight(), 0);
+    }
+
+    #[tokio::test]
+    async fn drain_waits_for_acks_then_resolves() {
+        let cfg = ReliabilityConfig {
+            rto: Duration::from_millis(20),
+            max_retries: 50,
+            rto_max: Duration::from_millis(100),
+            window: 32,
+        };
+        let fault = FaultConfig {
+            drop: 0.3,
+            seed: 77,
+            ..Default::default()
+        };
+        let (a, b) = reliable_pair(cfg, fault).await;
+        for i in 0..20u8 {
+            a.send((addr(), vec![i])).await.unwrap();
+        }
+        // The peer's pump acks in the background; drain must outlast the
+        // losses and resolve only once nothing is in flight.
+        tokio::time::timeout(Duration::from_secs(30), a.drain())
+            .await
+            .expect("drain should resolve")
+            .unwrap();
+        assert_eq!(a.in_flight(), 0);
+        for i in 0..20u8 {
+            let (_, d) = b.recv().await.unwrap();
+            assert_eq!(d, vec![i]);
+        }
+    }
+
+    #[tokio::test]
+    async fn closed_transport_wakes_blocked_recv() {
+        let (a, b) = pair::<Datagram>(64);
+        let ra = ReliabilityChunnel::default().connect_wrap(a).await.unwrap();
+        let blocked = tokio::spawn(async move { ra.recv().await });
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        drop(b); // transport dies under a blocked recv
+        let res = tokio::time::timeout(Duration::from_secs(5), blocked)
+            .await
+            .expect("blocked recv must wake when the transport closes")
+            .unwrap();
+        assert!(res.is_err(), "recv on a closed transport must error");
     }
 
     #[tokio::test]

@@ -6,7 +6,7 @@
 //! implementations — including hardware-accelerated ones — without the
 //! application rebuilding (§3.2's serialization example).
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate, NegotiateSlot, Offer, SlotApply};
 use bertha::{Addr, Chunnel, Error};
 use serde::de::DeserializeOwned;
@@ -117,6 +117,17 @@ where
             let msg = bincode::deserialize(&buf)?;
             Ok((from, msg))
         })
+    }
+}
+
+/// Stateless on the send path: draining is entirely the inner layer's
+/// concern.
+impl<T, C> Drain for SerializeConn<T, C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 

@@ -16,7 +16,16 @@
 //!
 //! Devices are declared with `device <name> <kind>=<capacity>,...`.
 //!
-//! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]`
+//! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]
+//! [--lease-ttl-ms <n>]`
+//!
+//! With `--lease-ttl-ms`, config-file registrations are *leased* rather
+//! than permanent: whatever supervises the underlying offload must renew
+//! them (the `Renew` request) within the TTL or the agent withdraws them
+//! — so a dead offload daemon cannot leave a stale registration steering
+//! connections onto a corpse. The agent sweeps lapsed leases on its own;
+//! registrations arriving over the wire choose per-request (`Register`
+//! vs. `RegisterLeased`).
 
 use bertha_discovery::registry::Hooks;
 use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
@@ -24,7 +33,7 @@ use bertha_discovery::{serve_uds, Registration, Registry};
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: bertha-agentd --socket <path> [--config <file>]");
+    eprintln!("usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>]");
     std::process::exit(2);
 }
 
@@ -58,7 +67,13 @@ fn parse_resources(s: &str) -> Result<ResourceReq, String> {
 }
 
 /// Parse one config line into a device declaration or a registration.
-fn parse_line(registry: &Registry, line: &str) -> Result<(), String> {
+/// With `lease`, registrations are leased for that TTL instead of being
+/// permanent.
+fn parse_line(
+    registry: &Registry,
+    line: &str,
+    lease: Option<std::time::Duration>,
+) -> Result<(), String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(());
@@ -96,21 +111,34 @@ fn parse_line(registry: &Registry, line: &str) -> Result<(), String> {
         name: fields[1].to_owned(),
         endpoints,
         scope,
-        priority: fields[4].parse().map_err(|e| format!("bad priority: {e}"))?,
+        priority: fields[4]
+            .parse()
+            .map_err(|e| format!("bad priority: {e}"))?,
         resources: parse_resources(fields[6])?,
         device: match fields[5] {
             "-" => None,
             d => Some(d.to_owned()),
         },
     };
-    registry.register(reg, Hooks::none()).map_err(|e| e.to_string())
+    match lease {
+        Some(ttl) => registry
+            .register_leased(reg, Hooks::none(), ttl)
+            .map_err(|e| e.to_string()),
+        None => registry
+            .register(reg, Hooks::none())
+            .map_err(|e| e.to_string()),
+    }
 }
 
-fn load_config(registry: &Registry, path: &str) -> Result<usize, String> {
+fn load_config(
+    registry: &Registry,
+    path: &str,
+    lease: Option<std::time::Duration>,
+) -> Result<usize, String> {
     let content = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     let mut loaded = 0;
     for (i, line) in content.lines().enumerate() {
-        parse_line(registry, line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        parse_line(registry, line, lease).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if !line.trim().is_empty() && !line.trim().starts_with('#') {
             loaded += 1;
         }
@@ -123,6 +151,7 @@ async fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut socket = None;
     let mut config = None;
+    let mut lease = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -134,6 +163,15 @@ async fn main() {
                 config = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--lease-ttl-ms" if i + 1 < args.len() => {
+                match args[i + 1].parse::<u64>() {
+                    Ok(ms) if ms > 0 => {
+                        lease = Some(std::time::Duration::from_millis(ms));
+                    }
+                    _ => usage(),
+                }
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -141,7 +179,7 @@ async fn main() {
 
     let registry = Arc::new(Registry::new());
     if let Some(cfg) = config {
-        match load_config(&registry, &cfg) {
+        match load_config(&registry, &cfg, lease) {
             Ok(n) => eprintln!("bertha-agentd: loaded {n} entries from {cfg}"),
             Err(e) => {
                 eprintln!("bertha-agentd: {e}");
@@ -171,12 +209,13 @@ mod tests {
     #[test]
     fn parses_devices_and_registrations() {
         let r = Registry::new();
-        parse_line(&r, "# a comment").unwrap();
-        parse_line(&r, "").unwrap();
-        parse_line(&r, "device host0 HostCores=4,MemoryMb=1024").unwrap();
+        parse_line(&r, "# a comment", None).unwrap();
+        parse_line(&r, "", None).unwrap();
+        parse_line(&r, "device host0 HostCores=4,MemoryMb=1024", None).unwrap();
         parse_line(
             &r,
             "bertha/shard bertha/shard/steer Server Host 10 host0 HostCores=1",
+            None,
         )
         .unwrap();
         let regs = r.query_sync(guid("bertha/shard"));
@@ -188,6 +227,7 @@ mod tests {
         parse_line(
             &r,
             "bertha/compress vendor/compress-engine Both Host 5 - -",
+            None,
         )
         .unwrap();
         assert_eq!(r.query_sync(guid("bertha/compress")).len(), 1);
@@ -196,11 +236,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         let r = Registry::new();
-        assert!(parse_line(&r, "device host0").is_err());
-        assert!(parse_line(&r, "cap impl BadEndpoints Host 1 - -").is_err());
-        assert!(parse_line(&r, "cap impl Both BadScope 1 - -").is_err());
-        assert!(parse_line(&r, "cap impl Both Host notanumber - -").is_err());
-        assert!(parse_line(&r, "cap impl Both Host 1 - BadKind=3").is_err());
-        assert!(parse_line(&r, "cap impl Both Host 1 nodevice HostCores=1").is_err());
+        assert!(parse_line(&r, "device host0", None).is_err());
+        assert!(parse_line(&r, "cap impl BadEndpoints Host 1 - -", None).is_err());
+        assert!(parse_line(&r, "cap impl Both BadScope 1 - -", None).is_err());
+        assert!(parse_line(&r, "cap impl Both Host notanumber - -", None).is_err());
+        assert!(parse_line(&r, "cap impl Both Host 1 - BadKind=3", None).is_err());
+        assert!(parse_line(&r, "cap impl Both Host 1 nodevice HostCores=1", None).is_err());
     }
 }

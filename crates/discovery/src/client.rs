@@ -14,18 +14,28 @@
 //!    adopt the operator-registered priority;
 //! 3. on pick, claims resources and runs the implementation's init hook
 //!    (once per connection), remembering the claim for teardown.
+//!
+//! A dead discovery agent degrades the client rather than failing it:
+//! queries that error withdraw every non-`Application` offer (no agent ⇒
+//! no accelerated implementations, exactly as if none were registered),
+//! so negotiation still completes on software fallbacks. The client
+//! records that it is [degraded](DiscoveryClient::is_degraded) and why.
 
 use crate::registry::{ClaimId, Registration, RegistrySource};
 use bertha::conn::BoxFut;
 use bertha::negotiate::{Offer, OfferFilter, Role, Scope};
 use bertha::Error;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// See the module docs.
 pub struct DiscoveryClient {
     source: Arc<dyn RegistrySource>,
     claims: Mutex<Vec<ClaimId>>,
+    degraded: AtomicBool,
+    last_error: Mutex<Option<String>>,
 }
 
 impl DiscoveryClient {
@@ -34,7 +44,30 @@ impl DiscoveryClient {
         Arc::new(DiscoveryClient {
             source,
             claims: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
+            last_error: Mutex::new(None),
         })
+    }
+
+    /// Whether discovery has failed at some point, leaving this client
+    /// picking software fallbacks only. Cleared by the next successful
+    /// query.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The most recent discovery failure, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    fn note_failure(&self, e: &Error) {
+        *self.last_error.lock() = Some(e.to_string());
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    fn note_success(&self) {
+        self.degraded.store(false, Ordering::Relaxed);
     }
 
     /// Whether this side of the connection is responsible for claiming a
@@ -43,23 +76,94 @@ impl DiscoveryClient {
     /// counted once.
     fn should_claim(role: Role, offer: &Offer) -> bool {
         match role {
-            Role::Server => offer.endpoints.needs_server() || offer.endpoints == bertha::negotiate::Endpoints::Either,
+            Role::Server => {
+                offer.endpoints.needs_server()
+                    || offer.endpoints == bertha::negotiate::Endpoints::Either
+            }
             Role::Client => offer.endpoints == bertha::negotiate::Endpoints::Client,
         }
     }
 
     /// Release every claim made through this client (teardown hooks run).
+    ///
+    /// Best-effort: a claim that fails to release (say, the agent died
+    /// along with its whole registry) is dropped rather than retried — the
+    /// dead agent's successor has no record of it anyway. The first error
+    /// is reported after every claim has been attempted, so a dead agent
+    /// cannot wedge teardown.
     pub async fn release_all(&self) -> Result<(), Error> {
         let claims: Vec<ClaimId> = std::mem::take(&mut *self.claims.lock());
+        let mut first_err = None;
         for id in claims {
-            self.source.release(id).await?;
+            if let Err(e) = self.source.release(id).await {
+                self.note_failure(&e);
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Number of outstanding claims.
     pub fn outstanding_claims(&self) -> usize {
         self.claims.lock().len()
+    }
+
+    /// Are all of `picks` still backed by live registrations? Application-
+    /// scoped picks are always valid (they live in-process); everything
+    /// else must still be registered — *ignoring capacity*, since this
+    /// client's own claim may have consumed the device. A revoked or
+    /// lease-expired pick returns `false`: time to renegotiate.
+    pub async fn picks_still_valid(&self, picks: &[Offer]) -> Result<bool, Error> {
+        for pick in picks {
+            if pick.scope == Scope::Application {
+                continue;
+            }
+            match self.source.registered(pick.impl_guid).await {
+                Ok(true) => {}
+                Ok(false) => return Ok(false),
+                Err(e) => {
+                    self.note_failure(&e);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Spawn a poller that publishes the registry's change counter every
+    /// `period`. Await `changed()` on the returned receiver, then call
+    /// [`picks_still_valid`](Self::picks_still_valid) and renegotiate if
+    /// it says no — the reaction half of lease expiry and revocation.
+    ///
+    /// The poller stops when this client is dropped or every receiver is
+    /// gone. Polling errors mark the client degraded (and are otherwise
+    /// swallowed: a dead agent cannot revoke anything).
+    pub fn revocations(self: &Arc<Self>, period: Duration) -> tokio::sync::watch::Receiver<u64> {
+        let (tx, rx) = tokio::sync::watch::channel(0u64);
+        let this = Arc::downgrade(self);
+        tokio::spawn(async move {
+            loop {
+                tokio::time::sleep(period).await;
+                let Some(client) = this.upgrade() else { return };
+                match client.source.version().await {
+                    Ok(v) => {
+                        tx.send_if_modified(|cur| {
+                            let moved = *cur != v;
+                            *cur = v;
+                            moved
+                        });
+                    }
+                    Err(e) => client.note_failure(&e),
+                }
+                if tx.is_closed() {
+                    return;
+                }
+            }
+        });
+        rx
     }
 }
 
@@ -77,7 +181,20 @@ impl OfferFilter for DiscoveryClient {
                     kept.push(offer);
                     continue;
                 }
-                let regs: Vec<Registration> = self.source.query(offer.capability).await?;
+                let regs: Vec<Registration> = match self.source.query(offer.capability).await {
+                    Ok(regs) => {
+                        self.note_success();
+                        regs
+                    }
+                    Err(e) => {
+                        // Discovery is unreachable: degrade instead of
+                        // failing the whole negotiation. No agent means no
+                        // accelerated implementations — withdraw the offer
+                        // exactly as if it were unregistered.
+                        self.note_failure(&e);
+                        continue;
+                    }
+                };
                 match regs.iter().find(|r| r.impl_guid == offer.impl_guid) {
                     Some(reg) => {
                         offer.priority = offer.priority.max(reg.priority);
@@ -101,7 +218,17 @@ impl OfferFilter for DiscoveryClient {
                 }
                 // Claim only registered implementations; an Application-
                 // scoped fallback pick needs no resources.
-                let regs = self.source.query(pick.capability).await?;
+                let regs = match self.source.query(pick.capability).await {
+                    Ok(regs) => regs,
+                    Err(e) => {
+                        // Degraded: a pick we cannot claim is a pick the
+                        // filter would have withdrawn had the agent been
+                        // reachable during this round; skip the claim and
+                        // let supervision renegotiate.
+                        self.note_failure(&e);
+                        continue;
+                    }
+                };
                 if regs.iter().any(|r| r.impl_guid == pick.impl_guid) {
                     let id = self.source.claim(pick.impl_guid, pick).await?;
                     self.claims.lock().push(id);
@@ -225,6 +352,115 @@ mod tests {
         assert_eq!(client2.outstanding_claims(), 0);
     }
 
+    /// A registry source that always errors, as if the agent's socket is
+    /// gone.
+    struct DeadAgent;
+
+    impl RegistrySource for DeadAgent {
+        fn query<'a>(&'a self, _capability: u64) -> BoxFut<'a, Result<Vec<Registration>, Error>> {
+            Box::pin(async { Err(Error::ConnectionClosed) })
+        }
+        fn claim<'a>(
+            &'a self,
+            _impl_guid: u64,
+            _pick: &'a Offer,
+        ) -> BoxFut<'a, Result<ClaimId, Error>> {
+            Box::pin(async { Err(Error::ConnectionClosed) })
+        }
+        fn release<'a>(&'a self, _id: ClaimId) -> BoxFut<'a, Result<(), Error>> {
+            Box::pin(async { Err(Error::ConnectionClosed) })
+        }
+        fn version<'a>(&'a self) -> BoxFut<'a, Result<u64, Error>> {
+            Box::pin(async { Err(Error::ConnectionClosed) })
+        }
+        fn registered<'a>(&'a self, _impl_guid: u64) -> BoxFut<'a, Result<bool, Error>> {
+            Box::pin(async { Err(Error::ConnectionClosed) })
+        }
+    }
+
+    #[tokio::test]
+    async fn dead_agent_degrades_to_software_only() {
+        let client = DiscoveryClient::new(Arc::new(DeadAgent));
+        let offers = vec![
+            offer("shard", "shard/xdp", Scope::Host, Endpoints::Server),
+            offer("shard", "shard/app", Scope::Application, Endpoints::Server),
+        ];
+        // Negotiation must still succeed — on the software fallback only.
+        let out = client.filter_slot(Role::Server, 0, offers).await.unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "shard/app");
+        assert!(client.is_degraded());
+        assert!(client.last_error().is_some());
+
+        // picked() on a host-scoped pick must not error either.
+        let pick = offer("shard", "shard/xdp", Scope::Host, Endpoints::Server);
+        client
+            .picked(Role::Server, std::slice::from_ref(&pick))
+            .await
+            .unwrap();
+        assert_eq!(client.outstanding_claims(), 0);
+    }
+
+    #[tokio::test]
+    async fn release_all_on_dead_agent_attempts_everything() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .register(host_registration("shard", "shard/xdp", 1), Hooks::none())
+            .unwrap();
+        let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+        let pick = offer("shard", "shard/xdp", Scope::Host, Endpoints::Server);
+        client
+            .picked(Role::Server, std::slice::from_ref(&pick))
+            .await
+            .unwrap();
+        assert_eq!(client.outstanding_claims(), 1);
+
+        // Simulate the agent dying between claim and release: a client
+        // holding claims against a source that now errors must not wedge
+        // and must clear its claim list.
+        let dead = DiscoveryClient::new(Arc::new(DeadAgent));
+        dead.claims.lock().push(ClaimId(7));
+        dead.claims.lock().push(ClaimId(8));
+        let res = tokio::time::timeout(std::time::Duration::from_secs(1), dead.release_all())
+            .await
+            .expect("release_all must not hang on a dead agent");
+        assert!(res.is_err(), "the failure is reported...");
+        assert_eq!(dead.outstanding_claims(), 0, "...but the claims are gone");
+    }
+
+    #[tokio::test]
+    async fn revocation_watcher_sees_expiry_and_picks_invalidate() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .register_leased(
+                host_registration("shard", "shard/xdp", 7),
+                Hooks::none(),
+                std::time::Duration::from_millis(40),
+            )
+            .unwrap();
+        let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
+        let pick = offer("shard", "shard/xdp", Scope::Host, Endpoints::Server);
+        assert!(client
+            .picks_still_valid(std::slice::from_ref(&pick))
+            .await
+            .unwrap());
+
+        let mut revocations = client.revocations(std::time::Duration::from_millis(10));
+        // Let the lease lapse; the sweep here is the registry's lazy expiry
+        // via the version poll... which does not expire. Force it the way
+        // an agent's sweeper would.
+        tokio::time::sleep(std::time::Duration::from_millis(60)).await;
+        registry.expire_stale();
+        tokio::time::timeout(std::time::Duration::from_secs(1), revocations.changed())
+            .await
+            .expect("watcher must observe the expiry")
+            .unwrap();
+        assert!(!client
+            .picks_still_valid(std::slice::from_ref(&pick))
+            .await
+            .unwrap());
+    }
+
     #[tokio::test]
     async fn capacity_exhaustion_fails_pick() {
         let registry = Arc::new(Registry::new());
@@ -239,11 +475,17 @@ mod tests {
         let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
 
         let pick = offer("crypt", "crypt/nic", Scope::Host, Endpoints::Server);
-        client.picked(Role::Server, std::slice::from_ref(&pick)).await.unwrap();
+        client
+            .picked(Role::Server, std::slice::from_ref(&pick))
+            .await
+            .unwrap();
         // Second connection: the registration no longer shows up in query,
         // so picked() silently skips the claim (negotiation would already
         // have withdrawn the offer via filter_slot).
-        client.picked(Role::Server, std::slice::from_ref(&pick)).await.unwrap();
+        client
+            .picked(Role::Server, std::slice::from_ref(&pick))
+            .await
+            .unwrap();
         assert_eq!(client.outstanding_claims(), 1);
     }
 }

@@ -1,4 +1,12 @@
 //! The in-process registry of chunnel implementations.
+//!
+//! Registrations may be *leased*: a registrant that wants its entry to
+//! outlive only itself registers with a TTL and renews periodically. An
+//! unrenewed lease expires, the entry is withdrawn, and the registry's
+//! change counter ticks — connection supervisors watching the counter
+//! (see [`crate::client::DiscoveryClient::revocations`]) then re-validate
+//! their picks and renegotiate onto a fallback. This is the discovery
+//! half of surviving an offload that dies after establishment.
 
 use crate::resources::{ResourcePool, ResourceReq};
 use bertha::conn::BoxFut;
@@ -8,6 +16,8 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::watch;
 
 /// An implementation registered with discovery.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -126,9 +136,20 @@ struct ActiveClaim {
 
 /// The registry: implementations by capability, devices with capacity, and
 /// active claims.
-#[derive(Default)]
 pub struct Registry {
     state: Mutex<State>,
+    /// Ticks on every membership change (register, unregister, revoke,
+    /// expiry). Watchers re-validate their picks when it moves.
+    changed: watch::Sender<u64>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            state: Mutex::new(State::default()),
+            changed: watch::channel(0).0,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -137,12 +158,52 @@ struct State {
     devices: HashMap<String, ResourcePool>,
     claims: HashMap<ClaimId, ActiveClaim>,
     next_claim: u64,
+    /// Lease deadlines by implementation GUID. Entries absent here are
+    /// permanent.
+    leases: HashMap<u64, Instant>,
+    version: u64,
+}
+
+impl State {
+    /// Drop every registration whose lease deadline has passed. Returns
+    /// the expired implementation GUIDs.
+    fn expire_locked(&mut self, now: Instant) -> Vec<u64> {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, deadline)| now >= **deadline)
+            .map(|(guid, _)| *guid)
+            .collect();
+        for guid in &expired {
+            self.leases.remove(guid);
+            for entries in self.by_capability.values_mut() {
+                entries.retain(|e| e.reg.impl_guid != *guid);
+            }
+        }
+        expired
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    fn bump(&self, st: &mut State) {
+        st.version += 1;
+        self.changed.send_replace(st.version);
+    }
+
+    /// The current change counter. Moves on every registration-set change.
+    pub fn version(&self) -> u64 {
+        self.state.lock().version
+    }
+
+    /// Watch the change counter. `changed()` on the receiver resolves
+    /// whenever a registration appears, disappears, or expires.
+    pub fn watch(&self) -> watch::Receiver<u64> {
+        self.changed.subscribe()
     }
 
     /// Add (or replace) a device and its capacity.
@@ -158,9 +219,50 @@ impl Registry {
                 return Err(Error::NotFound(format!("device {dev:?}")));
             }
         }
+        let impl_guid = reg.impl_guid;
         let entries = st.by_capability.entry(reg.capability).or_default();
-        entries.retain(|e| e.reg.impl_guid != reg.impl_guid);
+        entries.retain(|e| e.reg.impl_guid != impl_guid);
         entries.push(Arc::new(Entry { reg, hooks }));
+        // A plain registration is permanent: clear any previous lease.
+        st.leases.remove(&impl_guid);
+        self.bump(&mut st);
+        Ok(())
+    }
+
+    /// Register an implementation under a lease: unless
+    /// [`renew_lease`](Self::renew_lease)d within `ttl`, the registration
+    /// expires as if the registrant had died.
+    pub fn register_leased(
+        &self,
+        reg: Registration,
+        hooks: Hooks,
+        ttl: Duration,
+    ) -> Result<(), Error> {
+        let impl_guid = reg.impl_guid;
+        self.register(reg, hooks)?;
+        self.state
+            .lock()
+            .leases
+            .insert(impl_guid, Instant::now() + ttl);
+        Ok(())
+    }
+
+    /// Extend a leased registration's deadline to `ttl` from now. Fails if
+    /// the implementation is not currently registered (its lease may
+    /// already have expired — the registrant must re-register).
+    pub fn renew_lease(&self, impl_guid: u64, ttl: Duration) -> Result<(), Error> {
+        let mut st = self.state.lock();
+        let registered = st
+            .by_capability
+            .values()
+            .flatten()
+            .any(|e| e.reg.impl_guid == impl_guid);
+        if !registered {
+            return Err(Error::NotFound(format!(
+                "registration for impl {impl_guid:#x}"
+            )));
+        }
+        st.leases.insert(impl_guid, Instant::now() + ttl);
         Ok(())
     }
 
@@ -174,13 +276,43 @@ impl Registry {
             entries.retain(|e| e.reg.impl_guid != impl_guid);
             removed |= entries.len() != before;
         }
+        st.leases.remove(&impl_guid);
+        if removed {
+            self.bump(&mut st);
+        }
         removed
     }
 
+    /// Forcibly withdraw an implementation — the operator- or
+    /// failure-driven flavor of [`unregister`](Self::unregister), named for
+    /// what watchers observe. Returns whether it existed.
+    pub fn revoke(&self, impl_guid: u64) -> bool {
+        self.unregister(impl_guid)
+    }
+
+    /// Expire every registration whose lease has lapsed. Returns the
+    /// expired implementation GUIDs. Queries also expire lazily; this
+    /// exists so a periodic sweeper ticks the change counter promptly
+    /// (watchers should not have to wait for the next query).
+    pub fn expire_stale(&self) -> Vec<u64> {
+        let mut st = self.state.lock();
+        let expired = st.expire_locked(Instant::now());
+        if !expired.is_empty() {
+            self.bump(&mut st);
+        }
+        expired
+    }
+
     /// Implementations of `capability` that can currently be admitted:
-    /// registered, and with resources still available on their device.
+    /// registered, with an unexpired lease (if leased), and with resources
+    /// still available on their device.
     pub fn query_sync(&self, capability: u64) -> Vec<Registration> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
+        // Lazy expiry: a query must never see a lapsed registration, even
+        // if the sweeper has not run yet.
+        if !st.expire_locked(Instant::now()).is_empty() {
+            self.bump(&mut st);
+        }
         st.by_capability
             .get(&capability)
             .map(|entries| {
@@ -205,15 +337,16 @@ impl Registry {
     pub async fn claim_sync(&self, impl_guid: u64, pick: &Offer) -> Result<ClaimId, Error> {
         let (entry, id) = {
             let mut st = self.state.lock();
+            if !st.expire_locked(Instant::now()).is_empty() {
+                self.bump(&mut st);
+            }
             let entry = st
                 .by_capability
                 .values()
                 .flatten()
                 .find(|e| e.reg.impl_guid == impl_guid)
                 .cloned()
-                .ok_or_else(|| {
-                    Error::NotFound(format!("registration for impl {impl_guid:#x}"))
-                })?;
+                .ok_or_else(|| Error::NotFound(format!("registration for impl {impl_guid:#x}")))?;
             if let Some(dev) = &entry.reg.device {
                 let pool = st
                     .devices
@@ -289,6 +422,17 @@ pub trait RegistrySource: Send + Sync {
     fn claim<'a>(&'a self, impl_guid: u64, pick: &'a Offer) -> BoxFut<'a, Result<ClaimId, Error>>;
     /// Release a claim.
     fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>>;
+    /// The registry's change counter, for revocation polling. Sources that
+    /// predate leases report a constant (nothing ever appears revoked).
+    fn version<'a>(&'a self) -> BoxFut<'a, Result<u64, Error>> {
+        Box::pin(async { Ok(0) })
+    }
+    /// Whether an implementation is still registered, *ignoring capacity*.
+    /// Claim holders use this to distinguish "my pick was revoked/expired"
+    /// from "my own claim used up the device" (which `query` cannot).
+    fn registered<'a>(&'a self, _impl_guid: u64) -> BoxFut<'a, Result<bool, Error>> {
+        Box::pin(async { Ok(true) })
+    }
 }
 
 impl RegistrySource for Registry {
@@ -302,6 +446,24 @@ impl RegistrySource for Registry {
 
     fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>> {
         Box::pin(self.release_sync(id))
+    }
+
+    fn version<'a>(&'a self) -> BoxFut<'a, Result<u64, Error>> {
+        Box::pin(async move { Ok(self.version()) })
+    }
+
+    fn registered<'a>(&'a self, impl_guid: u64) -> BoxFut<'a, Result<bool, Error>> {
+        Box::pin(async move {
+            let mut st = self.state.lock();
+            if !st.expire_locked(Instant::now()).is_empty() {
+                self.bump(&mut st);
+            }
+            Ok(st
+                .by_capability
+                .values()
+                .flatten()
+                .any(|e| e.reg.impl_guid == impl_guid))
+        })
     }
 }
 
@@ -328,8 +490,11 @@ mod tests {
     #[test]
     fn register_and_query() {
         let r = Registry::new();
-        r.register(reg("shard", "xdp", None, ResourceReq::none()), Hooks::none())
-            .unwrap();
+        r.register(
+            reg("shard", "xdp", None, ResourceReq::none()),
+            Hooks::none(),
+        )
+        .unwrap();
         let found = r.query_sync(guid("shard"));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].name, "xdp");
@@ -354,9 +519,76 @@ mod tests {
     fn unknown_device_rejected() {
         let r = Registry::new();
         let e = r
-            .register(reg("c", "i", Some("tofino0"), ResourceReq::none()), Hooks::none())
+            .register(
+                reg("c", "i", Some("tofino0"), ResourceReq::none()),
+                Hooks::none(),
+            )
             .unwrap_err();
         assert!(matches!(e, Error::NotFound(_)));
+    }
+
+    #[tokio::test]
+    async fn lease_expires_without_renewal_and_ticks_version() {
+        let r = Registry::new();
+        let mut watcher = r.watch();
+        let v0 = r.version();
+        r.register_leased(
+            reg("shard", "xdp", None, ResourceReq::none()),
+            Hooks::none(),
+            std::time::Duration::from_millis(30),
+        )
+        .unwrap();
+        assert_eq!(r.query_sync(guid("shard")).len(), 1);
+        assert!(r.version() > v0, "registration must tick the counter");
+
+        // Renewal keeps it alive past the original deadline...
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        r.renew_lease(guid("xdp"), std::time::Duration::from_millis(30))
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        assert_eq!(r.query_sync(guid("shard")).len(), 1);
+
+        // ...and without renewal it lapses, visible to queries and watchers.
+        tokio::time::sleep(std::time::Duration::from_millis(40)).await;
+        assert_eq!(r.expire_stale(), vec![guid("xdp")]);
+        assert!(r.query_sync(guid("shard")).is_empty());
+        assert!(watcher.has_changed().unwrap());
+        assert!(
+            r.renew_lease(guid("xdp"), std::time::Duration::from_secs(1))
+                .is_err(),
+            "renewing a lapsed lease must fail: the registrant re-registers"
+        );
+    }
+
+    #[tokio::test]
+    async fn lazy_expiry_hides_lapsed_registrations_from_queries() {
+        let r = Registry::new();
+        r.register_leased(
+            reg("c", "i", None, ResourceReq::none()),
+            Hooks::none(),
+            std::time::Duration::from_millis(10),
+        )
+        .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+        // No sweeper ran; the query itself must not see the corpse.
+        assert!(r.query_sync(guid("c")).is_empty());
+        let registration = reg("c", "i", None, ResourceReq::none());
+        let pick = registration.offer();
+        assert!(r.claim_sync(guid("i"), &pick).await.is_err());
+        assert!(!RegistrySource::registered(&r, guid("i")).await.unwrap());
+    }
+
+    #[tokio::test]
+    async fn revoke_withdraws_and_notifies() {
+        let r = Registry::new();
+        r.register(reg("c", "i", None, ResourceReq::none()), Hooks::none())
+            .unwrap();
+        let mut watcher = r.watch();
+        watcher.borrow_and_update();
+        assert!(r.revoke(guid("i")));
+        assert!(watcher.has_changed().unwrap());
+        assert!(r.query_sync(guid("c")).is_empty());
+        assert!(!r.revoke(guid("i")), "second revoke finds nothing");
     }
 
     #[tokio::test]
@@ -421,10 +653,7 @@ mod tests {
     #[tokio::test]
     async fn failed_init_rolls_back_claim() {
         let r = Registry::new();
-        r.add_device(
-            "nic0",
-            ResourcePool::new(ResourceReq::of([(NicQueues, 1)])),
-        );
+        r.add_device("nic0", ResourcePool::new(ResourceReq::of([(NicQueues, 1)])));
         let registration = reg("c", "i", Some("nic0"), ResourceReq::of([(NicQueues, 1)]));
         r.register(
             registration.clone(),

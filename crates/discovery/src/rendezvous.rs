@@ -136,7 +136,11 @@ impl Rendezvous {
 
     /// The current member count of a group.
     pub fn members(&self, group: &str) -> usize {
-        self.groups.lock().get(group).map(|g| g.members).unwrap_or(0)
+        self.groups
+            .lock()
+            .get(group)
+            .map(|g| g.members)
+            .unwrap_or(0)
     }
 }
 
@@ -189,7 +193,11 @@ mod tests {
         r.propose("g", &[vec![offer("seq", 1)]], &DefaultPolicy)
             .unwrap();
         assert!(r
-            .propose("g", &[vec![offer("seq", 1)], vec![offer("seq", 1)]], &DefaultPolicy)
+            .propose(
+                "g",
+                &[vec![offer("seq", 1)], vec![offer("seq", 1)]],
+                &DefaultPolicy
+            )
             .is_err());
     }
 

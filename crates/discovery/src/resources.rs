@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn claim_and_release_round_trip() {
-        let mut pool = ResourcePool::new(ResourceReq::of([(SwitchTableSlots, 100), (NicQueues, 4)]));
+        let mut pool =
+            ResourcePool::new(ResourceReq::of([(SwitchTableSlots, 100), (NicQueues, 4)]));
         let req = ResourceReq::of([(SwitchTableSlots, 60)]);
         pool.claim(&req).unwrap();
         assert_eq!(pool.remaining().0[&SwitchTableSlots], 40);

@@ -66,6 +66,35 @@ pub enum Request {
         /// Group name.
         group: String,
     },
+    // New variants go at the end: bincode identifies variants by index, so
+    // reordering would break old clients against new agents.
+    /// Register a (hook-less) implementation under a lease; it expires
+    /// unless renewed within the TTL.
+    RegisterLeased {
+        /// The registration.
+        reg: Registration,
+        /// Lease TTL in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Renew a leased registration.
+    Renew {
+        /// Implementation GUID.
+        impl_guid: u64,
+        /// New lease TTL in milliseconds, from now.
+        ttl_ms: u64,
+    },
+    /// Forcibly withdraw an implementation (operator revocation).
+    Revoke {
+        /// Implementation GUID.
+        impl_guid: u64,
+    },
+    /// The registry's change counter, for revocation polling.
+    Version,
+    /// Whether an implementation is still registered, ignoring capacity.
+    Lookup {
+        /// Implementation GUID.
+        impl_guid: u64,
+    },
 }
 
 /// Responses from the discovery agent.
@@ -86,27 +115,28 @@ pub enum Response {
     Ok,
     /// Failure.
     Err(String),
+    // New variants go at the end (bincode variant indices are positional).
+    /// The change counter.
+    Version(u64),
+    /// Lookup result.
+    Found(bool),
 }
 
 async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
     match req {
         Request::Query { capability } => Response::Regs(registry.query_sync(capability)),
-        Request::Claim { impl_guid, pick } => {
-            match registry.claim_sync(impl_guid, &pick).await {
-                Ok(id) => Response::Claimed(id),
-                Err(e) => Response::Err(e.to_string()),
-            }
-        }
+        Request::Claim { impl_guid, pick } => match registry.claim_sync(impl_guid, &pick).await {
+            Ok(id) => Response::Claimed(id),
+            Err(e) => Response::Err(e.to_string()),
+        },
         Request::Release { id } => match registry.release_sync(id).await {
             Ok(()) => Response::Ok,
             Err(e) => Response::Err(e.to_string()),
         },
-        Request::Register { reg } => {
-            match registry.register(reg, crate::registry::Hooks::none()) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Err(e.to_string()),
-            }
-        }
+        Request::Register { reg } => match registry.register(reg, crate::registry::Hooks::none()) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(e.to_string()),
+        },
         Request::Unregister { impl_guid } => {
             registry.unregister(impl_guid);
             Response::Ok
@@ -124,11 +154,44 @@ async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> R
             rendezvous.leave(&group);
             Response::Ok
         }
+        Request::RegisterLeased { reg, ttl_ms } => {
+            match registry.register_leased(
+                reg,
+                crate::registry::Hooks::none(),
+                std::time::Duration::from_millis(ttl_ms),
+            ) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Renew { impl_guid, ttl_ms } => {
+            match registry.renew_lease(impl_guid, std::time::Duration::from_millis(ttl_ms)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::Revoke { impl_guid } => {
+            registry.revoke(impl_guid);
+            Response::Ok
+        }
+        Request::Version => Response::Version(registry.version()),
+        Request::Lookup { impl_guid } => {
+            match RegistrySource::registered(registry, impl_guid).await {
+                Ok(found) => Response::Found(found),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
     }
 }
 
+/// How often the serving agent sweeps lapsed leases. Queries expire
+/// lazily regardless; the sweep only bounds how late version watchers
+/// learn of an expiry.
+const LEASE_SWEEP: std::time::Duration = std::time::Duration::from_millis(25);
+
 /// Serve `registry` on a Unix-domain socket at `path` until the returned
-/// task is aborted.
+/// task is aborted. Leased registrations are swept periodically, so an
+/// agent whose registrants die withdraws their entries on its own.
 pub async fn serve_uds(
     registry: Arc<Registry>,
     path: std::path::PathBuf,
@@ -137,7 +200,19 @@ pub async fn serve_uds(
     let mut incoming = listener.listen(Addr::Unix(path)).await?;
     let rendezvous = Arc::new(Rendezvous::new());
     Ok(tokio::spawn(async move {
-        while let Some(conn) = incoming.next().await {
+        let mut sweep = tokio::time::interval(LEASE_SWEEP);
+        sweep.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+        loop {
+            let conn = tokio::select! {
+                next = incoming.next() => match next {
+                    Some(c) => c,
+                    None => return,
+                },
+                _ = sweep.tick() => {
+                    registry.expire_stale();
+                    continue;
+                }
+            };
             let conn = match conn {
                 Ok(c) => c,
                 Err(_) => continue,
@@ -218,6 +293,46 @@ impl RemoteRegistry {
         }
     }
 
+    /// Register a (hook-less) implementation under a lease; the agent
+    /// withdraws it unless [`renew`](Self::renew)ed within `ttl`.
+    pub async fn register_leased(
+        &self,
+        reg: Registration,
+        ttl: std::time::Duration,
+    ) -> Result<(), Error> {
+        let req = Request::RegisterLeased {
+            reg,
+            ttl_ms: ttl.as_millis() as u64,
+        };
+        match self.request(&req).await? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Renew a leased registration for another `ttl` from now.
+    pub async fn renew(&self, impl_guid: u64, ttl: std::time::Duration) -> Result<(), Error> {
+        let req = Request::Renew {
+            impl_guid,
+            ttl_ms: ttl.as_millis() as u64,
+        };
+        match self.request(&req).await? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Forcibly withdraw an implementation.
+    pub async fn revoke(&self, impl_guid: u64) -> Result<(), Error> {
+        match self.request(&Request::Revoke { impl_guid }).await? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Leave a rendezvous group.
     pub async fn rendezvous_leave(&self, group: &str) -> Result<(), Error> {
         match self
@@ -267,6 +382,26 @@ impl RegistrySource for RemoteRegistry {
             }
         })
     }
+
+    fn version<'a>(&'a self) -> BoxFut<'a, Result<u64, Error>> {
+        Box::pin(async move {
+            match self.request(&Request::Version).await? {
+                Response::Version(v) => Ok(v),
+                Response::Err(e) => Err(Error::Other(e)),
+                other => Err(Error::Other(format!("unexpected response {other:?}"))),
+            }
+        })
+    }
+
+    fn registered<'a>(&'a self, impl_guid: u64) -> BoxFut<'a, Result<bool, Error>> {
+        Box::pin(async move {
+            match self.request(&Request::Lookup { impl_guid }).await? {
+                Response::Found(found) => Ok(found),
+                Response::Err(e) => Err(Error::Other(e)),
+                other => Err(Error::Other(format!("unexpected response {other:?}"))),
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -307,7 +442,9 @@ mod tests {
         );
         registry.register(registration(), Hooks::none()).unwrap();
         let path = scratch();
-        let server = serve_uds(Arc::clone(&registry), path.clone()).await.unwrap();
+        let server = serve_uds(Arc::clone(&registry), path.clone())
+            .await
+            .unwrap();
 
         let remote = RemoteRegistry::new(path);
         let regs = remote.query(guid("shard")).await.unwrap();
@@ -329,7 +466,11 @@ mod tests {
         reg2.impl_guid = guid("shard/other");
         reg2.name = "shard/other".into();
         reg2.device = None;
-        match remote.request(&Request::Register { reg: reg2 }).await.unwrap() {
+        match remote
+            .request(&Request::Register { reg: reg2 })
+            .await
+            .unwrap()
+        {
             Response::Ok => {}
             other => panic!("{other:?}"),
         }
@@ -382,12 +523,86 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn leases_over_the_wire_expire_and_tick_version() {
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        let server = serve_uds(Arc::clone(&registry), path.clone())
+            .await
+            .unwrap();
+        let remote = RemoteRegistry::new(path);
+
+        let mut reg = registration();
+        reg.device = None;
+        let v0 = RegistrySource::version(&remote).await.unwrap();
+        remote
+            .register_leased(reg.clone(), std::time::Duration::from_millis(40))
+            .await
+            .unwrap();
+        assert!(RegistrySource::registered(&remote, reg.impl_guid)
+            .await
+            .unwrap());
+        let v1 = RegistrySource::version(&remote).await.unwrap();
+        assert!(v1 > v0);
+
+        // Renewals hold the lease open across the original deadline.
+        for _ in 0..3 {
+            tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+            remote
+                .renew(reg.impl_guid, std::time::Duration::from_millis(40))
+                .await
+                .unwrap();
+        }
+        assert_eq!(remote.query(guid("shard")).await.unwrap().len(), 1);
+
+        // Stop renewing: the agent's sweeper withdraws the entry and the
+        // version moves, without any query prompting it.
+        tokio::time::sleep(std::time::Duration::from_millis(120)).await;
+        let v2 = RegistrySource::version(&remote).await.unwrap();
+        assert!(v2 > v1, "sweeper must tick the version on expiry");
+        assert!(!RegistrySource::registered(&remote, reg.impl_guid)
+            .await
+            .unwrap());
+        assert!(remote.query(guid("shard")).await.unwrap().is_empty());
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn revoke_over_the_wire() {
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        let server = serve_uds(Arc::clone(&registry), path.clone())
+            .await
+            .unwrap();
+        let remote = RemoteRegistry::new(path);
+        let mut reg = registration();
+        reg.device = None;
+        match remote
+            .request(&Request::Register { reg: reg.clone() })
+            .await
+            .unwrap()
+        {
+            Response::Ok => {}
+            other => panic!("{other:?}"),
+        }
+        remote.revoke(reg.impl_guid).await.unwrap();
+        assert!(!RegistrySource::registered(&remote, reg.impl_guid)
+            .await
+            .unwrap());
+        server.abort();
+    }
+
+    #[tokio::test]
     async fn malformed_request_gets_error_reply() {
         let registry = Arc::new(Registry::new());
         let path = scratch();
         let server = serve_uds(registry, path.clone()).await.unwrap();
-        let conn = UdsConnector.connect(Addr::Unix(path.clone())).await.unwrap();
-        conn.send((Addr::Unix(path), vec![0xde, 0xad])).await.unwrap();
+        let conn = UdsConnector
+            .connect(Addr::Unix(path.clone()))
+            .await
+            .unwrap();
+        conn.send((Addr::Unix(path), vec![0xde, 0xad]))
+            .await
+            .unwrap();
         let (_, buf) = conn.recv().await.unwrap();
         match bincode::deserialize::<Response>(&buf).unwrap() {
             Response::Err(e) => assert!(e.contains("malformed")),

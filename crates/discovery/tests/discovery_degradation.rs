@@ -1,0 +1,139 @@
+//! Degradation tests: a discovery agent that crashes mid-run must degrade
+//! its clients to software-only picks — with clear errors, never hangs —
+//! and an agent that *stays* up must sweep the leases of registrants that
+//! died, so connection supervisors learn their accelerated picks are gone.
+
+use bertha::negotiate::{guid, Endpoints, Offer, OfferFilter, Role, Scope};
+use bertha_discovery::registry::Registration;
+use bertha_discovery::resources::ResourceReq;
+use bertha_discovery::{serve_uds, DiscoveryClient, Registry, RegistrySource, RemoteRegistry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn sock_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bertha-degr-{}-{}.sock", tag, std::process::id()))
+}
+
+fn accel_registration() -> Registration {
+    Registration {
+        capability: guid("degr/cap"),
+        impl_guid: guid("degr/accel"),
+        name: "degr/accel".into(),
+        endpoints: Endpoints::Server,
+        scope: Scope::Host,
+        priority: 10,
+        resources: ResourceReq::none(),
+        device: None,
+    }
+}
+
+fn offer(imp: &str, scope: Scope) -> Offer {
+    Offer {
+        capability: guid("degr/cap"),
+        impl_guid: guid(imp),
+        name: imp.to_owned(),
+        endpoints: Endpoints::Server,
+        scope,
+        priority: 0,
+        ext: vec![],
+    }
+}
+
+#[tokio::test]
+async fn agent_crash_degrades_to_software_only() {
+    let path = sock_path("crash");
+    let _ = std::fs::remove_file(&path);
+    let registry = Arc::new(Registry::new());
+    let agent = serve_uds(Arc::clone(&registry), path.clone())
+        .await
+        .unwrap();
+
+    let remote = Arc::new(RemoteRegistry::new(path.clone()));
+    remote
+        .register_leased(accel_registration(), Duration::from_secs(10))
+        .await
+        .unwrap();
+
+    // While the agent is alive: the accelerated offer is kept and claimed.
+    let client = DiscoveryClient::new(Arc::clone(&remote) as Arc<dyn RegistrySource>);
+    let offers = vec![
+        offer("degr/accel", Scope::Host),
+        offer("degr/soft", Scope::Application),
+    ];
+    let kept = client
+        .filter_slot(Role::Server, 0, offers.clone())
+        .await
+        .unwrap();
+    assert_eq!(kept.len(), 2);
+    client.picked(Role::Server, &kept[..1]).await.unwrap();
+    assert_eq!(client.outstanding_claims(), 1);
+    assert!(!client.is_degraded());
+
+    // The agent crashes and its socket disappears mid-run.
+    agent.abort();
+    let _ = std::fs::remove_file(&path);
+
+    // Filtering still completes — software-only, within a bounded time,
+    // with the failure recorded. Negotiation survives the dead agent.
+    let kept = tokio::time::timeout(
+        Duration::from_secs(3),
+        client.filter_slot(Role::Server, 0, offers.clone()),
+    )
+    .await
+    .expect("filtering must not hang on a dead agent")
+    .unwrap();
+    assert_eq!(kept.len(), 1, "only the in-process offer survives");
+    assert_eq!(kept[0].scope, Scope::Application);
+    assert!(client.is_degraded());
+    assert!(client.last_error().is_some());
+
+    // Teardown must not wedge either: releasing the claim reports a clear
+    // error, but the claim list is cleared regardless.
+    let res = tokio::time::timeout(Duration::from_secs(1), client.release_all())
+        .await
+        .expect("release_all must not hang on a dead agent");
+    assert!(res.is_err(), "the dead agent is an error, not a hang");
+    assert_eq!(client.outstanding_claims(), 0);
+}
+
+#[tokio::test]
+async fn agent_sweeps_unrenewed_leases() {
+    let path = sock_path("lease");
+    let _ = std::fs::remove_file(&path);
+    let registry = Arc::new(Registry::new());
+    let agent = serve_uds(Arc::clone(&registry), path.clone())
+        .await
+        .unwrap();
+
+    // Register under a short lease and never renew: the registrant died.
+    let remote = Arc::new(RemoteRegistry::new(path.clone()));
+    remote
+        .register_leased(accel_registration(), Duration::from_millis(80))
+        .await
+        .unwrap();
+
+    let client = DiscoveryClient::new(Arc::clone(&remote) as Arc<dyn RegistrySource>);
+    let pick = offer("degr/accel", Scope::Host);
+    assert!(client
+        .picks_still_valid(std::slice::from_ref(&pick))
+        .await
+        .unwrap());
+
+    // The agent's own sweeper withdraws the lease; a supervisor polling
+    // validity sees the pick go stale without anyone calling expire.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while client
+        .picks_still_valid(std::slice::from_ref(&pick))
+        .await
+        .unwrap()
+    {
+        assert!(
+            Instant::now() < deadline,
+            "the agent should have swept the lapsed lease"
+        );
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+
+    agent.abort();
+    let _ = std::fs::remove_file(&path);
+}

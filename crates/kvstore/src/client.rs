@@ -150,9 +150,7 @@ where
         start: impl Into<String>,
         count: u32,
     ) -> Result<Vec<(String, Vec<u8>)>, Error> {
-        let resp = self
-            .request(Op::Scan { count }, start.into(), None)
-            .await?;
+        let resp = self.request(Op::Scan { count }, start.into(), None).await?;
         match (resp.status, resp.val) {
             (Status::Ok, Some(rows)) => Ok(bincode::deserialize(&rows)?),
             (Status::Ok, None) => Ok(vec![]),

@@ -185,8 +185,11 @@ mod tests {
     fn keyhash_sits_at_paper_offset() {
         let m = msg("some-key");
         let wire = m.encode();
-        let field =
-            u32::from_le_bytes(wire[KEYHASH_OFFSET..KEYHASH_OFFSET + KEYHASH_LEN].try_into().unwrap());
+        let field = u32::from_le_bytes(
+            wire[KEYHASH_OFFSET..KEYHASH_OFFSET + KEYHASH_LEN]
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!(field, keyhash("some-key"));
 
         // And the paper's shard_fn spec extracts exactly that field.
@@ -194,7 +197,10 @@ mod tests {
         assert_eq!(spec.offset, KEYHASH_OFFSET);
         assert_eq!(spec.len, KEYHASH_LEN);
         let h = spec.hash_payload(&wire);
-        assert_eq!(h, bertha_shard::info::fnv1a(&keyhash("some-key").to_le_bytes()));
+        assert_eq!(
+            h,
+            bertha_shard::info::fnv1a(&keyhash("some-key").to_le_bytes())
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Server wiring: shard workers plus the negotiated canonical listener
-//! (Listing 4).
+//! (Listing 4). The canonical listener is *switchable*: every accepted
+//! connection supports mid-connection re-negotiation, and a client whose
+//! steered path died mid-run can open with a `Renegotiate` and land on
+//! the software fallback without losing its session.
 
 use crate::store::Store;
-use bertha::negotiate::{NegotiateOpts, NegotiatedStream};
+use bertha::negotiate::{NegotiateOpts, SwitchableStream};
 use bertha::{Addr, ChunnelListener, ConnStream, Error};
 use bertha_shard::{serve_shard, ShardCanonicalServer, ShardFnSpec, ShardInfo};
 use bertha_transport::udp::UdpListener;
@@ -37,14 +40,12 @@ pub async fn spawn_shards(n: usize) -> Result<Vec<KvShardHandle>, Error> {
     for _ in 0..n {
         let store = Store::new();
         let handler_store = Arc::clone(&store);
-        let (addr, task, _stats) = serve_shard(
-            Addr::Udp("127.0.0.1:0".parse().unwrap()),
-            move |payload| {
+        let (addr, task, _stats) =
+            serve_shard(Addr::Udp("127.0.0.1:0".parse().unwrap()), move |payload| {
                 let store = Arc::clone(&handler_store);
                 async move { store.handle_payload(payload) }
-            },
-        )
-        .await?;
+            })
+            .await?;
         out.push(KvShardHandle { addr, store, task });
     }
     Ok(out)
@@ -80,14 +81,16 @@ pub async fn serve_canonical(
 }
 
 /// Serve an already-bound listener (used when a steerer owns the canonical
-/// address and the application listens on an internal one).
+/// address and the application listens on an internal one). Connections
+/// are accepted via [`SwitchableStream`], so each one can be re-negotiated
+/// in place if the implementation it picked stops working.
 pub fn serve_prepared(
     raw: bertha_transport::udp::UdpIncoming,
     info: ShardInfo,
     opts: NegotiateOpts,
 ) -> tokio::task::JoinHandle<()> {
     let stack = bertha::wrap!(ShardCanonicalServer::new(info));
-    let mut stream = NegotiatedStream::new(raw, stack, opts);
+    let mut stream = SwitchableStream::new(raw, stack, opts);
     tokio::spawn(async move {
         let mut held = Vec::new();
         while let Some(conn) = stream.next().await {
@@ -106,9 +109,9 @@ pub fn serve_prepared(
 mod tests {
     use super::*;
     use crate::msg::{Msg, Op, Resp, Status};
-    use bertha_shard::worker::{frame_data, strip_data};
     use bertha::conn::ChunnelConnection;
     use bertha::ChunnelConnector;
+    use bertha_shard::worker::{frame_data, strip_data};
     use bertha_transport::udp::UdpConnector;
 
     #[tokio::test]

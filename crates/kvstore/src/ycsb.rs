@@ -311,7 +311,9 @@ mod tests {
     #[test]
     fn workload_e_scans() {
         let mut g = Generator::new(Workload::E.spec(), 1000, 8, 7);
-        let scans = (0..1000).filter(|_| matches!(g.next_op().op, Op::Scan { .. })).count();
+        let scans = (0..1000)
+            .filter(|_| matches!(g.next_op().op, Op::Scan { .. }))
+            .count();
         assert!(scans > 900, "scans = {scans}");
     }
 

@@ -180,7 +180,10 @@ impl RemoteNameAgent {
 impl NameSource for RemoteNameAgent {
     fn resolve<'a>(&'a self, canonical: &'a Addr) -> BoxFut<'a, Result<Option<Addr>, Error>> {
         Box::pin(async move {
-            match self.request(&AgentRequest::Resolve(canonical.clone())).await? {
+            match self
+                .request(&AgentRequest::Resolve(canonical.clone()))
+                .await?
+            {
                 AgentResponse::Resolved(r) => Ok(r),
                 AgentResponse::Ok => Err(Error::Other("unexpected agent response".into())),
             }
@@ -216,7 +219,9 @@ mod tests {
             std::process::id(),
             line!()
         ));
-        let server = serve_agent_uds(Arc::clone(&agent), path.clone()).await.unwrap();
+        let server = serve_agent_uds(Arc::clone(&agent), path.clone())
+            .await
+            .unwrap();
 
         let remote = RemoteNameAgent::new(path);
         assert_eq!(remote.resolve(&canonical()).await.unwrap(), None);

@@ -201,8 +201,7 @@ where
                 // While a gap is outstanding, wake up periodically to
                 // re-NACK even if nothing arrives.
                 let recvd = if gap {
-                    match tokio::time::timeout(self.cfg.nack_interval, self.inner.recv()).await
-                    {
+                    match tokio::time::timeout(self.cfg.nack_interval, self.inner.recv()).await {
                         Err(_elapsed) => continue,
                         Ok(r) => r?,
                     }
@@ -210,7 +209,11 @@ where
                     self.inner.recv().await?
                 };
                 let (_, buf) = recvd;
-                let Ok(SeqMsg::Deliver { group, seq, payload }) = bincode::deserialize(&buf)
+                let Ok(SeqMsg::Deliver {
+                    group,
+                    seq,
+                    payload,
+                }) = bincode::deserialize(&buf)
                 else {
                     continue;
                 };

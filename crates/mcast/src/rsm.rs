@@ -119,7 +119,9 @@ impl StateMachine for KvStateMachine {
                 _ => None,
             }
         })();
-        reply.unwrap_or_else(|| "err: bad command".to_owned()).into_bytes()
+        reply
+            .unwrap_or_else(|| "err: bad command".to_owned())
+            .into_bytes()
     }
 
     fn digest(&self) -> u64 {

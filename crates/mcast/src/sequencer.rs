@@ -167,7 +167,11 @@ pub async fn run_sequencer(addr: Addr) -> Result<SequencerHandle, Error> {
                             let _ = sock.send((m.clone(), body.clone())).await;
                         }
                     }
-                    SeqMsg::Nack { group, from: lo, to } => {
+                    SeqMsg::Nack {
+                        group,
+                        from: lo,
+                        to,
+                    } => {
                         let Some(g) = groups.get(&group) else {
                             continue;
                         };
@@ -226,7 +230,12 @@ mod tests {
         Addr::Mem(format!("seq-{name}-{}", N.fetch_add(1, Ordering::Relaxed)))
     }
 
-    async fn publish(sock: &bertha_transport::mem::MemSocket, seq_addr: &Addr, group: &str, p: &[u8]) {
+    async fn publish(
+        sock: &bertha_transport::mem::MemSocket,
+        seq_addr: &Addr,
+        group: &str,
+        p: &[u8],
+    ) {
         let m = bincode::serialize(&SeqMsg::Publish {
             group: group.into(),
             payload: p.to_vec(),

@@ -78,10 +78,7 @@ pub fn simulate(stations: &[Station], rate_per_ns: f64, n_msgs: usize, seed: u64
 /// The largest station service time: the pipeline's saturation bound
 /// (throughput ≤ 1/bottleneck).
 pub fn bottleneck_ns(stations: &[Station]) -> f64 {
-    stations
-        .iter()
-        .map(|s| s.service_ns)
-        .fold(0.0, f64::max)
+    stations.iter().map(|s| s.service_ns).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -27,6 +27,8 @@ pub mod sched;
 pub mod topology;
 
 pub use device::{Device, DeviceId, DeviceKind, Pcie};
-pub use placement::{place, place_greedy, placement_cost, Placement, PlacementCost, PlacementProblem};
-pub use sched::{allocate, AllocPolicy, AppRequest, Allocation};
+pub use placement::{
+    place, place_greedy, placement_cost, Placement, PlacementCost, PlacementProblem,
+};
+pub use sched::{allocate, AllocPolicy, Allocation, AppRequest};
 pub use topology::{Node, SteeringPoint, Topology};

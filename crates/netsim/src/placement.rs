@@ -245,7 +245,10 @@ mod tests {
 
     fn paper_problem(nic_caps: Vec<u64>) -> PlacementProblem {
         PlacementProblem {
-            devices: vec![Device::host_cpu("host", 0.3), Device::nic("smartnic", nic_caps)],
+            devices: vec![
+                Device::host_cpu("host", 0.3),
+                Device::nic("smartnic", nic_caps),
+            ],
             pcie: Pcie::default(),
             message_bytes: 16_384.0,
             wire_ns: 5_000.0,
@@ -256,13 +259,7 @@ mod tests {
         Placement(
             names
                 .iter()
-                .map(|n| {
-                    problem
-                        .devices
-                        .iter()
-                        .position(|d| d.name == *n)
-                        .unwrap()
-                })
+                .map(|n| problem.devices.iter().position(|d| d.name == *n).unwrap())
                 .collect::<Vec<_>>(),
         )
         .tap_check(spec)
@@ -357,7 +354,12 @@ mod tests {
 
     #[test]
     fn greedy_is_feasible_and_never_beats_exhaustive() {
-        for nic_caps in [vec![], vec![TCP], vec![ENCRYPT, TCP], vec![ENCRYPT, HTTP2, TCP]] {
+        for nic_caps in [
+            vec![],
+            vec![TCP],
+            vec![ENCRYPT, TCP],
+            vec![ENCRYPT, HTTP2, TCP],
+        ] {
             let spec = paper_spec();
             let problem = paper_problem(nic_caps.clone());
             let (gp, gc) = place_greedy(&spec, &problem).expect("host always feasible");

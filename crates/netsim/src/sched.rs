@@ -50,7 +50,11 @@ pub struct Allocation {
     pub dominant_share: f64,
 }
 
-fn fits(capacity: &BTreeMap<Resource, f64>, used: &BTreeMap<Resource, f64>, demand: &BTreeMap<Resource, f64>) -> bool {
+fn fits(
+    capacity: &BTreeMap<Resource, f64>,
+    used: &BTreeMap<Resource, f64>,
+    demand: &BTreeMap<Resource, f64>,
+) -> bool {
     demand.iter().all(|(r, d)| {
         let cap = capacity.get(r).copied().unwrap_or(0.0);
         let u = used.get(r).copied().unwrap_or(0.0);
@@ -179,10 +183,7 @@ mod tests {
 
     #[test]
     fn drf_equalizes_dominant_shares() {
-        let apps = vec![
-            app("a", 10.0, 0.1, 100, 10),
-            app("b", 1.0, 1.0, 100, 1),
-        ];
+        let apps = vec![app("a", 10.0, 0.1, 100, 10), app("b", 1.0, 1.0, 100, 1)];
         let allocs = allocate(&cap(), &apps, AllocPolicy::Drf);
         assert!(allocs[0].granted > 0 && allocs[1].granted > 0);
         let diff = (allocs[0].dominant_share - allocs[1].dominant_share).abs();
@@ -193,10 +194,7 @@ mod tests {
 
     #[test]
     fn drf_fairness_beats_priority_fairness_under_contention() {
-        let apps = vec![
-            app("a", 10.0, 1.0, 100, 10),
-            app("b", 10.0, 1.0, 100, 1),
-        ];
+        let apps = vec![app("a", 10.0, 1.0, 100, 10), app("b", 10.0, 1.0, 100, 1)];
         let drf = allocate(&cap(), &apps, AllocPolicy::Drf);
         let pri = allocate(&cap(), &apps, AllocPolicy::PriorityOnly);
         assert!(jain_index(&drf) > jain_index(&pri));

@@ -59,9 +59,7 @@ where
                 )));
             }
             let info = ShardInfo::from_ext(&pick.ext).map_err(|e| {
-                Error::Negotiation(format!(
-                    "client-push pick carried no usable shard map: {e}"
-                ))
+                Error::Negotiation(format!("client-push pick carried no usable shard map: {e}"))
             })?;
             Ok(ShardClientConn { inner, info })
         })
@@ -234,7 +232,10 @@ mod tests {
         let (a, b) = pair::<Datagram>(4);
         let mut pick = Offer::from_chunnel(&ShardClientChunnel);
         pick.ext = info.to_ext();
-        let conn = ShardClientChunnel.slot_apply(pick, vec![], a).await.unwrap();
+        let conn = ShardClientChunnel
+            .slot_apply(pick, vec![], a)
+            .await
+            .unwrap();
         let other = Addr::Mem("elsewhere".into());
         conn.send((other.clone(), vec![1])).await.unwrap();
         let (to, _) = b.recv().await.unwrap();
@@ -247,7 +248,10 @@ mod tests {
         let (a, b) = pair::<Datagram>(4);
         let mut pick = Offer::from_chunnel(&ShardClientChunnel);
         pick.ext = info.to_ext();
-        let conn = ShardClientChunnel.slot_apply(pick, vec![], a).await.unwrap();
+        let conn = ShardClientChunnel
+            .slot_apply(pick, vec![], a)
+            .await
+            .unwrap();
         b.send((Addr::Mem("s1".into()), vec![9])).await.unwrap();
         let (from, _) = conn.recv().await.unwrap();
         assert_eq!(from, info.canonical);
@@ -257,7 +261,10 @@ mod tests {
     async fn pick_without_ext_fails() {
         let (a, _b) = pair::<Datagram>(1);
         let pick = Offer::from_chunnel(&ShardClientChunnel);
-        assert!(ShardClientChunnel.slot_apply(pick, vec![], a).await.is_err());
+        assert!(ShardClientChunnel
+            .slot_apply(pick, vec![], a)
+            .await
+            .is_err());
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   application-level dispatcher forwards requests and relays replies —
 //!   correct but slow, exactly Figure 5's "Server Fallback" arm.
 //!
+//! The fallback is also the failure-model safety net: when a running
+//! steerer dies, [`steer::supervise_steerer`] withdraws its discovery
+//! registration, rebinds the canonical address, and serves a switchable
+//! software-only server there, so established connections re-negotiate
+//! onto `shard/fallback` instead of dying with the offload.
+//!
 //! Modules: [`info`] (the shard map and hash spec), [`client`] (client-side
 //! chunnels), [`server`] (the canonical-server chunnel), [`steer`] (the
 //! steering process), [`worker`] (shard worker loop helpers).
@@ -33,7 +39,10 @@ pub mod worker;
 pub use client::{ShardClientChunnel, ShardDeferChunnel};
 pub use info::{ShardFnSpec, ShardInfo};
 pub use server::ShardCanonicalServer;
-pub use steer::{run_steerer, steerer_registration, SteererHandle};
+pub use steer::{
+    run_steerer, serve_fallback, steerer_registration, supervise_steerer, FallbackServer,
+    SteererHandle,
+};
 pub use worker::serve_shard;
 
 /// Capability GUID for sharding.

@@ -18,7 +18,7 @@
 use crate::info::ShardInfo;
 use crate::worker::{frame_data, strip_data};
 use crate::{IMPL_CLIENT_PUSH, IMPL_FALLBACK, IMPL_STEER, SHARD_CAPABILITY};
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{Endpoints, NegotiateSlot, Offer, Scope, SlotApply};
 use bertha::{Addr, Error};
 use bertha_transport::bind_any;
@@ -31,6 +31,7 @@ use tokio::sync::mpsc;
 pub struct ShardCanonicalServer {
     info: ShardInfo,
     dispatcher: Arc<Mutex<Option<mpsc::Sender<DispatchMsg>>>>,
+    offer_steer: bool,
 }
 
 struct DispatchMsg {
@@ -46,7 +47,19 @@ impl ShardCanonicalServer {
         ShardCanonicalServer {
             info,
             dispatcher: Arc::new(Mutex::new(None)),
+            offer_steer: true,
         }
+    }
+
+    /// Stop offering `shard/steer`: used by the server incarnation that
+    /// replaces a dead steerer, where offering the accelerated
+    /// implementation again would steer clients back onto the corpse.
+    /// (Deployments with a discovery agent get the same effect from the
+    /// negotiation filter once the steerer's registration is revoked; this
+    /// covers deployments without one.)
+    pub fn software_only(mut self) -> Self {
+        self.offer_steer = false;
+        self
     }
 
     /// The shard map this server advertises.
@@ -97,8 +110,9 @@ async fn run_dispatcher(info: ShardInfo, mut rx: mpsc::Receiver<DispatchMsg>) {
 impl NegotiateSlot for ShardCanonicalServer {
     fn slot_offers(&self) -> Vec<Offer> {
         let ext = self.info.to_ext();
-        vec![
-            Offer {
+        let mut offers = Vec::with_capacity(3);
+        if self.offer_steer {
+            offers.push(Offer {
                 capability: SHARD_CAPABILITY,
                 impl_guid: IMPL_STEER,
                 name: "shard/steer".into(),
@@ -106,7 +120,9 @@ impl NegotiateSlot for ShardCanonicalServer {
                 scope: Scope::Host,
                 priority: 10,
                 ext: ext.clone(),
-            },
+            });
+        }
+        offers.extend([
             Offer {
                 capability: SHARD_CAPABILITY,
                 impl_guid: IMPL_CLIENT_PUSH,
@@ -125,7 +141,8 @@ impl NegotiateSlot for ShardCanonicalServer {
                 priority: 0,
                 ext,
             },
-        ]
+        ]);
+        offers
     }
 }
 
@@ -224,6 +241,18 @@ where
     }
 }
 
+/// The shard layer buffers nothing of its own on the send path (the
+/// fallback dispatcher replies synchronously through `reply_via`), so
+/// quiescing is entirely the inner layer's concern.
+impl<C> Drain for ShardServerConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +283,12 @@ mod tests {
         // Steer is the highest priority (it is the accelerated variant).
         let steer = offers.iter().find(|o| o.impl_guid == IMPL_STEER).unwrap();
         assert!(offers.iter().all(|o| o.priority <= steer.priority));
+
+        // The post-steerer incarnation withdraws the accelerated offer.
+        let sw = ShardCanonicalServer::new(info).software_only();
+        let offers = sw.slot_offers();
+        assert_eq!(offers.len(), 2);
+        assert!(offers.iter().all(|o| o.impl_guid != IMPL_STEER));
     }
 
     #[tokio::test]
@@ -296,7 +331,10 @@ mod tests {
         for key in 0..20u32 {
             let req = payload_with_key(key, b"req");
             let expected_suffix = if info.shard_of(&req) == 0 { b'0' } else { b'1' };
-            client.send((client_addr.clone(), req.clone())).await.unwrap();
+            client
+                .send((client_addr.clone(), req.clone()))
+                .await
+                .unwrap();
             let (to, reply) = client.recv().await.unwrap();
             assert_eq!(to, client_addr, "reply relayed to the requester");
             assert_eq!(reply[..req.len()], req[..]);

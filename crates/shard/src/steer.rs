@@ -18,19 +18,40 @@
 //!   data frames to the shard chosen by the hash;
 //! - replies arriving on the flow socket are relayed back to the client
 //!   from the canonical address, so the client sees a single peer.
+//!
+//! Epoch-tagged data frames (from clients that re-negotiated
+//! mid-connection) steer exactly like plain ones: `strip_data` skips the
+//! epoch header, the hash reads the same fixed payload bytes, and the
+//! frame is forwarded verbatim — the steerer stays stateless with respect
+//! to the client's stack incarnation.
+//!
+//! The steerer is also the canonical offload-death case this repo's
+//! failure model is built around: [`supervise_steerer`] watches a running
+//! steerer, and when it dies withdraws its discovery registration, rebinds
+//! the canonical address, and serves a *switchable software-only* server
+//! there — so clients whose steered path went dark renegotiate (their
+//! `Renegotiate` is the first message the reincarnated server sees) and
+//! land on the in-app fallback without tearing down their connections.
 
 use crate::info::ShardInfo;
+use crate::server::ShardCanonicalServer;
 use crate::worker::strip_data;
 use crate::{IMPL_STEER, SHARD_CAPABILITY};
-use bertha::conn::ChunnelConnection;
-use bertha::negotiate::{Endpoints, Scope, TAG_NEG};
-use bertha::{Addr, Error};
+use bertha::conn::{ChunnelConnection, Datagram, Drain};
+use bertha::negotiate::{
+    Apply, Endpoints, EpochConn, GetOffers, NegotiateOpts, Scope, SwitchableStream, TAG_NEG,
+};
+use bertha::ChunnelListener;
+use bertha::{Addr, ConnStream, Error};
 use bertha_discovery::registry::{Hooks, Registration};
 use bertha_discovery::resources::{ResourceKind, ResourceReq};
+use bertha_transport::udp::UdpListener;
 use bertha_transport::{bind_any, AnyConn};
 use std::collections::HashMap;
+use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Counters exposed by a running steerer.
 #[derive(Default)]
@@ -48,6 +69,8 @@ pub struct SteerStats {
 /// A running steerer. Aborting (or dropping) the handle stops it.
 pub struct SteererHandle {
     main: tokio::task::JoinHandle<()>,
+    /// Closed when the steering task exits, however it exits.
+    stopped: tokio::sync::watch::Receiver<bool>,
     /// Live counters.
     pub stats: Arc<SteerStats>,
     canonical: Addr,
@@ -62,6 +85,23 @@ impl SteererHandle {
     /// Stop the steerer.
     pub fn stop(&self) {
         self.main.abort();
+    }
+
+    /// A detached kill switch for the steering task, usable after the
+    /// handle itself has been given to [`supervise_steerer`] (tests and
+    /// chaos harnesses use this to simulate the offload crashing).
+    pub fn abort_handle(&self) -> tokio::task::AbortHandle {
+        self.main.abort_handle()
+    }
+
+    /// Resolve once the steering task has exited — crashed, hit a socket
+    /// error, or was [`stop`](Self::stop)ped. This is what a supervisor
+    /// awaits to begin failover.
+    pub async fn stopped(&self) {
+        let mut rx = self.stopped.clone();
+        // The sender lives inside the steering task; the channel closing is
+        // the task exiting (including by abort, which sends nothing).
+        while rx.changed().await.is_ok() {}
     }
 }
 
@@ -92,9 +132,9 @@ pub async fn run_steerer(
 ) -> Result<SteererHandle, Error> {
     let canonical_sock = Arc::new(match &canonical {
         Addr::Udp(_) => AnyConn::Udp(bertha_transport::udp::bind_udp(&canonical).await?),
-        Addr::Mem(name) => AnyConn::Mem(bertha_transport::mem::MemSocket::bind(Some(
-            name.clone(),
-        ))?),
+        Addr::Mem(name) => {
+            AnyConn::Mem(bertha_transport::mem::MemSocket::bind(Some(name.clone()))?)
+        }
         other => {
             return Err(Error::Other(format!(
                 "steerer cannot own a {} address",
@@ -104,11 +144,15 @@ pub async fn run_steerer(
     });
     let bound = canonical_sock.local_addr()?;
     let stats = Arc::new(SteerStats::default());
+    let (stopped_tx, stopped_rx) = tokio::sync::watch::channel(false);
 
     let main = {
         let stats = Arc::clone(&stats);
         let canonical_sock = Arc::clone(&canonical_sock);
         tokio::spawn(async move {
+            // Held for the task's lifetime; dropping it (on return or
+            // abort) closes the channel `SteererHandle::stopped` watches.
+            let _stopped_tx = stopped_tx;
             let mut flows: HashMap<Addr, Flow> = HashMap::new();
             loop {
                 let (from, frame) = match canonical_sock.recv().await {
@@ -157,11 +201,7 @@ pub async fn run_steerer(
                                         Err(_) => return,
                                     };
                                     stats.relayed.fetch_add(1, Ordering::Relaxed);
-                                    if canonical_sock
-                                        .send((client.clone(), reply))
-                                        .await
-                                        .is_err()
-                                    {
+                                    if canonical_sock.send((client.clone(), reply)).await.is_err() {
                                         return;
                                     }
                                 }
@@ -178,8 +218,129 @@ pub async fn run_steerer(
 
     Ok(SteererHandle {
         main,
+        stopped: stopped_rx,
         stats,
         canonical: bound,
+    })
+}
+
+/// The software-only canonical server a supervisor starts once the steerer
+/// is gone. Dropping (or [`stop`](Self::stop)ping) it stops the accept
+/// loop and releases the canonical address.
+pub struct FallbackServer {
+    /// The canonical address this server answers on.
+    pub canonical: Addr,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl FallbackServer {
+    /// Stop accepting connections.
+    pub fn stop(&self) {
+        self.task.abort();
+    }
+}
+
+impl Drop for FallbackServer {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Accept and hold switchable connections until the stream ends: the
+/// connections' background work (responder halves, fallback dispatch
+/// pumps) lives exactly as long as the server.
+fn hold_all<S, Stack, InC>(mut stream: SwitchableStream<S, Stack>) -> tokio::task::JoinHandle<()>
+where
+    S: ConnStream<Connection = InC> + Send + 'static,
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+    Stack: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
+    Stack::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    tokio::spawn(async move {
+        let mut held = Vec::new();
+        while let Some(conn) = stream.next().await {
+            match conn {
+                Ok(c) => held.push(c),
+                Err(_) => continue, // a failed negotiation is that client's problem
+            }
+        }
+        drop(held);
+    })
+}
+
+/// Bind `canonical` and serve a switchable, software-only canonical server
+/// there: `shard/steer` is not offered (the steerer this replaces is
+/// dead), so negotiation — initial offers and mid-connection
+/// `Renegotiate`s alike — lands on client-push or the in-app fallback.
+pub async fn serve_fallback(
+    canonical: Addr,
+    info: ShardInfo,
+    opts: NegotiateOpts,
+) -> Result<FallbackServer, Error> {
+    let stack = bertha::wrap!(ShardCanonicalServer::new(info).software_only());
+    if matches!(canonical, Addr::Udp(_)) {
+        let raw = UdpListener::default().listen(canonical).await?;
+        let bound = raw.local_addr();
+        Ok(FallbackServer {
+            canonical: bound,
+            task: hold_all(SwitchableStream::new(raw, stack, opts)),
+        })
+    } else if matches!(canonical, Addr::Mem(_)) {
+        let raw = bertha_transport::MemListener
+            .listen(canonical.clone())
+            .await?;
+        Ok(FallbackServer {
+            canonical,
+            task: hold_all(SwitchableStream::new(raw, stack, opts)),
+        })
+    } else {
+        Err(Error::Other(format!(
+            "fallback server cannot own a {} address",
+            canonical.family()
+        )))
+    }
+}
+
+/// Supervise a running steerer: when it dies, run `revoke` (withdraw its
+/// discovery registration, so re-filtered offers stop naming it), then
+/// rebind the canonical address and serve a switchable software-only
+/// server there via [`serve_fallback`]. Returns immediately; the returned
+/// task resolves to the failover outcome once the steerer has died.
+///
+/// Rebinding races the OS releasing the steerer's socket, so it is
+/// retried briefly; `revoke` failing (say, the discovery agent died with
+/// the steerer) is logged into the error path of the *registry*, not
+/// fatal here — the fallback server does not offer `shard/steer`
+/// regardless.
+pub fn supervise_steerer<F, Fut>(
+    handle: SteererHandle,
+    info: ShardInfo,
+    opts: NegotiateOpts,
+    revoke: F,
+) -> tokio::task::JoinHandle<Result<FallbackServer, Error>>
+where
+    F: FnOnce() -> Fut + Send + 'static,
+    Fut: Future<Output = Result<(), Error>> + Send,
+{
+    tokio::spawn(async move {
+        handle.stopped().await;
+        let canonical = handle.canonical().clone();
+        // Ensure the steerer's socket is dropped before we rebind.
+        drop(handle);
+        let _ = revoke().await;
+        let mut delay = Duration::from_millis(10);
+        let mut last_err = None;
+        for _ in 0..8 {
+            match serve_fallback(canonical.clone(), info.clone(), opts.clone()).await {
+                Ok(srv) => return Ok(srv),
+                Err(e) => {
+                    last_err = Some(e);
+                    tokio::time::sleep(delay).await;
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
+        Err(last_err.expect("loop ran at least once"))
     })
 }
 
@@ -306,6 +467,94 @@ mod tests {
         t1.abort();
         internal_task.abort();
         let _ = TAG_DATA;
+    }
+
+    #[tokio::test]
+    async fn supervisor_replaces_dead_steerer_with_software_fallback() {
+        use crate::client::ShardDeferChunnel;
+        use crate::IMPL_FALLBACK;
+        use bertha::negotiate::negotiate_switchable_client;
+
+        let (s0, t0, _) = serve_shard(Addr::Udp("127.0.0.1:0".parse().unwrap()), |p| async move {
+            let mut r = p;
+            r.push(b'!');
+            Some(r)
+        })
+        .await
+        .unwrap();
+
+        // An internal server address for the steered phase; it never sees
+        // traffic in this test (we only exercise the failover).
+        let internal = bind_udp(&Addr::Udp("127.0.0.1:0".parse().unwrap()))
+            .await
+            .unwrap();
+        let internal_addr = internal.local_addr().unwrap();
+
+        let mut info = ShardInfo {
+            canonical: Addr::Udp("127.0.0.1:0".parse().unwrap()),
+            shards: vec![s0],
+            shard_fn: ShardFnSpec::paper_default(),
+        };
+        let steerer = run_steerer(info.canonical.clone(), internal_addr, info.clone())
+            .await
+            .unwrap();
+        info.canonical = steerer.canonical().clone();
+        let kill = steerer.abort_handle();
+
+        let revoked = Arc::new(AtomicU64::new(0));
+        let revoked2 = Arc::clone(&revoked);
+        let supervisor = supervise_steerer(
+            steerer,
+            info.clone(),
+            bertha::negotiate::NegotiateOpts::named("supervisor"),
+            move || async move {
+                revoked2.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        );
+
+        // The offload "crashes".
+        kill.abort();
+        let fallback = tokio::time::timeout(std::time::Duration::from_secs(5), supervisor)
+            .await
+            .expect("failover must not hang")
+            .unwrap()
+            .unwrap();
+        assert_eq!(revoked.load(Ordering::Relaxed), 1, "registration revoked");
+        assert_eq!(
+            fallback.canonical, info.canonical,
+            "the canonical address was rebound"
+        );
+
+        // A negotiation on the rebound address lands on the software
+        // fallback (steer is withdrawn), and requests round-trip through
+        // the in-app dispatcher.
+        let raw = UdpConnector
+            .connect(fallback.canonical.clone())
+            .await
+            .unwrap();
+        let (conn, picks) = negotiate_switchable_client(
+            bertha::wrap!(ShardDeferChunnel),
+            raw,
+            fallback.canonical.clone(),
+            bertha::negotiate::NegotiateOpts::named("cli"),
+        )
+        .await
+        .unwrap();
+        assert_eq!(picks.picks.len(), 1);
+        assert_eq!(picks.picks[0].impl_guid, IMPL_FALLBACK);
+
+        let req = payload_with_key(3, b"req");
+        conn.send((fallback.canonical.clone(), req.clone()))
+            .await
+            .unwrap();
+        let (_, reply) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
+            .await
+            .expect("fallback dispatch must answer")
+            .unwrap();
+        assert_eq!(reply[..req.len()], req[..]);
+        assert_eq!(*reply.last().unwrap(), b'!');
+        t0.abort();
     }
 
     #[test]

@@ -10,10 +10,15 @@
 //!
 //! Requests and replies travel in established-connection framing (the
 //! negotiation layer's one-byte data tag), so clients' negotiated
-//! connections accept shard replies as ordinary traffic.
+//! connections accept shard replies as ordinary traffic. Clients that have
+//! re-negotiated mid-connection tag their data with an epoch
+//! ([`TAG_DATA_EPOCH`]); workers accept those frames too, and reply with
+//! the plain data tag — which re-negotiable connections accept at any
+//! epoch, precisely because shard workers are stateless with respect to
+//! the client's stack.
 
 use bertha::conn::ChunnelConnection;
-use bertha::negotiate::TAG_DATA;
+use bertha::negotiate::{TAG_DATA, TAG_DATA_EPOCH};
 use bertha::{Addr, Error};
 use bertha_transport::udp::bind_udp;
 use std::future::Future;
@@ -28,10 +33,15 @@ pub fn frame_data(payload: &[u8]) -> Vec<u8> {
     f
 }
 
-/// Strip the data tag, if present, from a wire frame.
+/// Strip established-connection framing, if present, from a wire frame:
+/// either the plain data tag or an epoch-tagged frame
+/// (`[tag][epoch: u64 LE][payload]`) from a client that has re-negotiated.
+/// The epoch is irrelevant to a shard worker — it names the client's stack
+/// incarnation, not anything about the request — so it is discarded.
 pub fn strip_data(frame: &[u8]) -> Option<&[u8]> {
     match frame.split_first() {
         Some((&TAG_DATA, body)) => Some(body),
+        Some((&TAG_DATA_EPOCH, rest)) if rest.len() >= 8 => Some(&rest[8..]),
         _ => None,
     }
 }
@@ -92,14 +102,16 @@ mod tests {
 
     #[tokio::test]
     async fn worker_round_trip_with_framing() {
-        let (addr, task, stats) =
-            serve_shard(Addr::Udp("127.0.0.1:0".parse().unwrap()), |req| async move {
+        let (addr, task, stats) = serve_shard(
+            Addr::Udp("127.0.0.1:0".parse().unwrap()),
+            |req| async move {
                 let mut r = req;
                 r.reverse();
                 Some(r)
-            })
-            .await
-            .unwrap();
+            },
+        )
+        .await
+        .unwrap();
 
         let client = UdpConnector.connect(addr.clone()).await.unwrap();
         client
@@ -123,5 +135,15 @@ mod tests {
         assert_eq!(strip_data(&f).unwrap(), b"payload");
         assert!(strip_data(&[0x01, 2, 3]).is_none());
         assert!(strip_data(&[]).is_none());
+    }
+
+    #[test]
+    fn epoch_tagged_frames_are_stripped_too() {
+        let mut f = vec![TAG_DATA_EPOCH];
+        f.extend_from_slice(&7u64.to_le_bytes());
+        f.extend_from_slice(b"payload");
+        assert_eq!(strip_data(&f).unwrap(), b"payload");
+        // A truncated epoch header is malformed, not an empty payload.
+        assert!(strip_data(&[TAG_DATA_EPOCH, 0, 0, 0]).is_none());
     }
 }

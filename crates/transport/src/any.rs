@@ -6,7 +6,7 @@
 use crate::mem::MemSocket;
 use crate::udp::{bind_udp, UdpConn};
 use crate::uds::{UdsConn, UdsConnector};
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, Error};
 
 /// An unconnected socket of any supported datagram family.
@@ -64,6 +64,10 @@ impl ChunnelConnection for AnyConn {
         }
     }
 }
+
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for AnyConn {}
 
 #[cfg(test)]
 mod tests {

@@ -1,17 +1,26 @@
 //! Fault injection for datagram connections.
 //!
 //! Wraps any byte-level connection and injects drops, duplicates,
-//! reordering, corruption, and delay on the send path, driven by a seeded
+//! reordering, corruption, and delay on the send path — and drops,
+//! duplicates, and corruption on the receive path — driven by a seeded
 //! RNG for reproducibility. Modeled on smoltcp's example fault injectors
 //! (`--drop-chance`, `--corrupt-chance`, ...); used by the test suite to
 //! validate that the reliability and ordering chunnels restore
 //! exactly-once in-order delivery over an adversarial transport.
+//!
+//! For chaos tests that must fail a link *mid-run* (the renegotiation
+//! fallback path), [`FaultChunnel::controlled`] returns a [`FaultHandle`]
+//! whose blackhole switch silently discards all traffic in both
+//! directions until cleared — the closest software analogue to yanking a
+//! cable or killing an offload engine.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Chunnel, Error};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +42,12 @@ pub struct FaultConfig {
     /// does not hold them hostage: without this bound, a held final
     /// datagram would simply never arrive.
     pub reorder_hold: Duration,
+    /// Probability an *incoming* datagram is silently dropped.
+    pub recv_drop: f64,
+    /// Probability an *incoming* datagram is delivered twice.
+    pub recv_duplicate: f64,
+    /// Probability one byte of an *incoming* payload is flipped.
+    pub recv_corrupt: f64,
     /// RNG seed, for reproducible tests.
     pub seed: u64,
 }
@@ -46,6 +61,9 @@ impl Default for FaultConfig {
             corrupt: 0.0,
             delay: Duration::ZERO,
             reorder_hold: Duration::from_millis(5),
+            recv_drop: 0.0,
+            recv_duplicate: 0.0,
+            recv_corrupt: 0.0,
             seed: 0x6265_7274_6861,
         }
     }
@@ -72,16 +90,53 @@ impl FaultConfig {
     }
 }
 
+/// Runtime control over a [`FaultChunnel`]'s connections.
+///
+/// Obtained from [`FaultChunnel::controlled`]; shared by every connection
+/// the chunnel wraps. Currently a single switch: the blackhole.
+#[derive(Debug, Default)]
+pub struct FaultHandle {
+    blackhole: AtomicBool,
+}
+
+impl FaultHandle {
+    /// When set, all traffic in both directions is silently discarded, as
+    /// if the link (or the offload engine implementing it) died. Clear to
+    /// restore the configured fault behavior.
+    pub fn set_blackhole(&self, on: bool) {
+        self.blackhole.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the blackhole is currently engaged.
+    pub fn is_blackhole(&self) -> bool {
+        self.blackhole.load(Ordering::Relaxed)
+    }
+}
+
 /// A chunnel that injects faults below whatever is stacked above it.
 #[derive(Clone, Debug, Default)]
 pub struct FaultChunnel {
     cfg: FaultConfig,
+    handle: Option<Arc<FaultHandle>>,
 }
 
 impl FaultChunnel {
     /// Inject faults per `cfg`.
     pub fn new(cfg: FaultConfig) -> Self {
-        FaultChunnel { cfg }
+        FaultChunnel { cfg, handle: None }
+    }
+
+    /// Inject faults per `cfg`, with a shared [`FaultHandle`] for flipping
+    /// the link into (and out of) a blackhole at runtime.
+    pub fn controlled(cfg: FaultConfig) -> (Self, Arc<FaultHandle>) {
+        let handle = Arc::new(FaultHandle::default());
+        (
+            FaultChunnel {
+                cfg,
+                handle: Some(Arc::clone(&handle)),
+            },
+            handle,
+        )
     }
 }
 
@@ -93,7 +148,8 @@ where
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg;
-        Box::pin(async move { Ok(FaultConn::new(inner, cfg)) })
+        let handle = self.handle.clone();
+        Box::pin(async move { Ok(FaultConn::new(inner, cfg, handle)) })
     }
 }
 
@@ -101,6 +157,7 @@ where
 pub struct FaultConn<C> {
     inner: Arc<C>,
     cfg: FaultConfig,
+    handle: Option<Arc<FaultHandle>>,
     state: Arc<Mutex<FaultState>>,
 }
 
@@ -108,6 +165,8 @@ struct FaultState {
     rng: StdRng,
     held: Option<(u64, Datagram)>,
     hold_gen: u64,
+    /// Receive-side duplicates waiting to be delivered on the next `recv`.
+    recv_pending: VecDeque<Datagram>,
     dropped: u64,
     duplicated: u64,
     reordered: u64,
@@ -115,14 +174,16 @@ struct FaultState {
 }
 
 impl<C> FaultConn<C> {
-    fn new(inner: C, cfg: FaultConfig) -> Self {
+    fn new(inner: C, cfg: FaultConfig, handle: Option<Arc<FaultHandle>>) -> Self {
         FaultConn {
             inner: Arc::new(inner),
             cfg,
+            handle,
             state: Arc::new(Mutex::new(FaultState {
                 rng: StdRng::seed_from_u64(cfg.seed),
                 held: None,
                 hold_gen: 0,
+                recv_pending: VecDeque::new(),
                 dropped: 0,
                 duplicated: 0,
                 reordered: 0,
@@ -131,10 +192,15 @@ impl<C> FaultConn<C> {
         }
     }
 
-    /// (drops, duplicates, reorders, corruptions) injected so far.
+    /// (drops, duplicates, reorders, corruptions) injected so far, summed
+    /// over both directions.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         let s = self.state.lock();
         (s.dropped, s.duplicated, s.reordered, s.corrupted)
+    }
+
+    fn blackholed(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| h.is_blackhole())
     }
 }
 
@@ -146,6 +212,10 @@ where
 
     fn send(&self, (addr, mut buf): Datagram) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
+            if self.blackholed() {
+                self.state.lock().dropped += 1;
+                return Ok(());
+            }
             // Decide this datagram's fate under the lock, then do async
             // sends without it.
             let (fate, flush_held) = {
@@ -221,7 +291,52 @@ where
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
-        self.inner.recv()
+        Box::pin(async move {
+            loop {
+                let queued = self.state.lock().recv_pending.pop_front();
+                if let Some(d) = queued {
+                    return Ok(d);
+                }
+                let (from, mut buf) = self.inner.recv().await?;
+                if self.blackholed() {
+                    self.state.lock().dropped += 1;
+                    continue;
+                }
+                let deliver = {
+                    let mut st = self.state.lock();
+                    if st.rng.gen::<f64>() < self.cfg.recv_drop {
+                        st.dropped += 1;
+                        false
+                    } else {
+                        if st.rng.gen::<f64>() < self.cfg.recv_corrupt && !buf.is_empty() {
+                            let i = st.rng.gen_range(0..buf.len());
+                            buf[i] ^= 0x01;
+                            st.corrupted += 1;
+                        }
+                        if st.rng.gen::<f64>() < self.cfg.recv_duplicate {
+                            st.duplicated += 1;
+                            st.recv_pending.push_back((from.clone(), buf.clone()));
+                        }
+                        true
+                    }
+                };
+                if deliver {
+                    return Ok((from, buf));
+                }
+            }
+        })
+    }
+}
+
+/// Faults are instantaneous: nothing (other than an at-most-one-datagram
+/// reorder hold, which is bounded by `reorder_hold` on its own) is queued
+/// on the send path, so draining is the inner layer's concern.
+impl<C> Drain for FaultConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
     }
 }
 
@@ -325,6 +440,87 @@ mod tests {
         conn.send((addr, vec![0u8; 16])).await.unwrap();
         let (_, d) = b.recv().await.unwrap();
         assert_eq!(d.iter().filter(|&&x| x != 0).count(), 1);
+    }
+
+    #[tokio::test]
+    async fn recv_drops_are_injected() {
+        let (a, b) = pair::<Datagram>(2048);
+        let cfg = FaultConfig {
+            recv_drop: 0.5,
+            seed: 21,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        for i in 0..200u8 {
+            a.send((addr.clone(), vec![i])).await.unwrap();
+        }
+        drop(a);
+        let mut received = 0u64;
+        while conn.recv().await.is_ok() {
+            received += 1;
+        }
+        let (dropped, ..) = conn.stats();
+        assert!(dropped > 50 && dropped < 150, "dropped {dropped} of 200");
+        assert_eq!(received, 200 - dropped);
+    }
+
+    #[tokio::test]
+    async fn recv_duplicates_are_injected() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = FaultConfig {
+            recv_duplicate: 1.0,
+            seed: 8,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        a.send((addr, vec![3])).await.unwrap();
+        let (_, d1) = conn.recv().await.unwrap();
+        let (_, d2) = conn.recv().await.unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[tokio::test]
+    async fn recv_corruption_flips_one_byte() {
+        let (a, b) = pair::<Datagram>(64);
+        let cfg = FaultConfig {
+            recv_corrupt: 1.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let conn = FaultChunnel::new(cfg).connect_wrap(b).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+        a.send((addr, vec![0u8; 16])).await.unwrap();
+        let (_, d) = conn.recv().await.unwrap();
+        assert_eq!(d.iter().filter(|&&x| x != 0).count(), 1);
+    }
+
+    #[tokio::test]
+    async fn blackhole_cuts_both_directions_until_cleared() {
+        let (a, b) = pair::<Datagram>(64);
+        let (fc, handle) = FaultChunnel::controlled(Default::default());
+        let conn = fc.connect_wrap(a).await.unwrap();
+        let addr = bertha::Addr::Mem("x".into());
+
+        conn.send((addr.clone(), vec![1])).await.unwrap();
+        let (_, d) = b.recv().await.unwrap();
+        assert_eq!(d, vec![1]);
+
+        handle.set_blackhole(true);
+        // Outgoing traffic vanishes...
+        conn.send((addr.clone(), vec![2])).await.unwrap();
+        // ...and incoming traffic is swallowed by recv.
+        b.send((addr.clone(), vec![3])).await.unwrap();
+        let starved = tokio::time::timeout(Duration::from_millis(50), conn.recv()).await;
+        assert!(starved.is_err(), "blackholed recv must deliver nothing");
+
+        handle.set_blackhole(false);
+        conn.send((addr.clone(), vec![4])).await.unwrap();
+        let (_, d) = b.recv().await.unwrap();
+        assert_eq!(d, vec![4], "the blackholed send must not resurface");
+        let (dropped, ..) = conn.stats();
+        assert_eq!(dropped, 2, "one send-side and one recv-side discard");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod udp;
 pub mod uds;
 
 pub use any::{bind_any, AnyConn};
-pub use fault::{FaultChunnel, FaultConfig};
+pub use fault::{FaultChunnel, FaultConfig, FaultHandle};
 pub use mem::{MemConnector, MemListener};
 pub use tcp::{TcpConnector, TcpListener};
 pub use udp::{UdpConnector, UdpListener};

@@ -7,7 +7,7 @@
 //! [`fault`](crate::fault) to model a lossy network.
 
 use bertha::chunnel::RecvStream;
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -247,6 +247,14 @@ async fn demux(socket: MemSocket, accept_tx: mpsc::Sender<Result<MemPeerConn, Er
     }
 }
 
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for MemSocket {}
+
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for MemPeerConn {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,10 +298,7 @@ mod tests {
         drop(s);
         // The dropped endpoint must be gone from the switchboard: sends to
         // it fail loudly rather than silently succeeding.
-        let err = peer
-            .send((Addr::Mem(name), vec![1]))
-            .await
-            .unwrap_err();
+        let err = peer.send((Addr::Mem(name), vec![1])).await.unwrap_err();
         assert!(matches!(err, Error::NotFound(_)));
         let _ = peer_name;
     }

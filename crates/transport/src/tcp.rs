@@ -6,7 +6,7 @@
 //! TCP cannot redirect).
 
 use bertha::chunnel::{ConnStream, RecvStream};
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
 use std::net::SocketAddr;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -20,9 +20,7 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 fn expect_tcp(addr: &Addr) -> Result<SocketAddr, Error> {
     match addr {
         Addr::Tcp(sa) => Ok(*sa),
-        other => Err(Error::Other(format!(
-            "tcp transport cannot reach {other}"
-        ))),
+        other => Err(Error::Other(format!("tcp transport cannot reach {other}"))),
     }
 }
 
@@ -204,6 +202,10 @@ impl ConnStream for TcpIncoming {
     }
 }
 
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for TcpConn {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,7 +252,10 @@ mod tests {
         drop(server);
         match client.recv().await {
             Err(Error::ConnectionClosed) => {}
-            other => panic!("expected closed, got {:?}", other.map(|(a, d)| (a, d.len()))),
+            other => panic!(
+                "expected closed, got {:?}",
+                other.map(|(a, d)| (a, d.len()))
+            ),
         }
     }
 
@@ -263,7 +268,10 @@ mod tests {
         let addr = stream.local_addr();
         let client = std::sync::Arc::new(TcpConnector::new().connect(addr.clone()).await.unwrap());
         for i in 0..20u8 {
-            client.send((addr.clone(), vec![i; (i as usize) + 1])).await.unwrap();
+            client
+                .send((addr.clone(), vec![i; (i as usize) + 1]))
+                .await
+                .unwrap();
         }
         let server = stream.next().await.unwrap().unwrap();
         for i in 0..20u8 {

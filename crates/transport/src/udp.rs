@@ -7,7 +7,7 @@
 //! sending.
 
 use bertha::chunnel::{ConnStream, RecvStream};
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -29,9 +29,7 @@ pub(crate) fn local_bind_for(remote: SocketAddr) -> SocketAddr {
 fn expect_udp(addr: &Addr) -> Result<SocketAddr, Error> {
     match addr {
         Addr::Udp(sa) => Ok(*sa),
-        other => Err(Error::Other(format!(
-            "udp transport cannot reach {other}"
-        ))),
+        other => Err(Error::Other(format!("udp transport cannot reach {other}"))),
     }
 }
 
@@ -273,6 +271,14 @@ pub async fn bind_udp(addr: &Addr) -> Result<UdpConn, Error> {
     })
 }
 
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for UdpConn {}
+
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for UdpPeerConn {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +297,10 @@ mod tests {
     async fn round_trip() {
         let (addr, mut stream) = bound_listener().await;
         let client = UdpConnector.connect(addr.clone()).await.unwrap();
-        client.send((addr.clone(), b"hello".to_vec())).await.unwrap();
+        client
+            .send((addr.clone(), b"hello".to_vec()))
+            .await
+            .unwrap();
 
         let server_conn = stream.next().await.unwrap().unwrap();
         let (from, data) = server_conn.recv().await.unwrap();
@@ -350,10 +359,7 @@ mod tests {
 
     #[tokio::test]
     async fn connect_to_non_udp_addr_fails() {
-        assert!(UdpConnector
-            .connect(Addr::Mem("x".into()))
-            .await
-            .is_err());
+        assert!(UdpConnector.connect(Addr::Mem("x".into())).await.is_err());
         let _ = loopback();
     }
 }

@@ -7,7 +7,7 @@
 //! directory; it is unlinked when the connection drops.
 
 use bertha::chunnel::{ConnStream, RecvStream};
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -19,20 +19,14 @@ use tokio::sync::mpsc;
 fn expect_unix(addr: &Addr) -> Result<PathBuf, Error> {
     match addr {
         Addr::Unix(p) => Ok(p.clone()),
-        other => Err(Error::Other(format!(
-            "unix transport cannot reach {other}"
-        ))),
+        other => Err(Error::Other(format!("unix transport cannot reach {other}"))),
     }
 }
 
 fn scratch_path() -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "bertha-uds-{}-{}.sock",
-        std::process::id(),
-        n
-    ))
+    std::env::temp_dir().join(format!("bertha-uds-{}-{}.sock", std::process::id(), n))
 }
 
 /// A bound Unix datagram socket that unlinks its path on drop.
@@ -257,6 +251,14 @@ async fn demux(
     }
 }
 
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for UdsConn {}
+
+/// Base transports hand datagrams straight to the kernel (or channel);
+/// nothing is buffered, so there is nothing to drain.
+impl Drain for UdsPeerConn {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,7 +302,10 @@ mod tests {
         // The listener's socket object lives in the demux task; poke it so
         // it notices abandonment by sending one datagram from a throwaway
         // socket.
-        let poker = UdsConnector.connect(Addr::Unix(path.clone())).await.unwrap();
+        let poker = UdsConnector
+            .connect(Addr::Unix(path.clone()))
+            .await
+            .unwrap();
         let _ = poker.send((Addr::Unix(path.clone()), vec![1])).await;
         tokio::time::sleep(std::time::Duration::from_millis(50)).await;
         assert!(!path.exists(), "socket file should be unlinked");

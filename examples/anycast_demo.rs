@@ -72,8 +72,7 @@ async fn main() -> Result<(), bertha::Error> {
         AnycastStrategy::Route,
         AnycastStrategy::Auto,
     ] {
-        let mut connector =
-            AnycastConnector::new(Arc::clone(&dns), Arc::clone(&routes), strategy);
+        let mut connector = AnycastConnector::new(Arc::clone(&dns), Arc::clone(&routes), strategy);
         let mut near = 0;
         let mut via_dns = 0;
         const N: usize = 50;

@@ -51,27 +51,40 @@ async fn main() -> Result<(), bertha::Error> {
         .await?;
     let canonical = raw.local_addr();
     let info = kvstore::shard_info(canonical.clone(), &shards);
-    let opts = NegotiateOpts::named("kv-server").with_filter(DiscoveryClient::new(
-        Arc::clone(&registry) as Arc<dyn RegistrySource>,
-    ));
+    let opts = NegotiateOpts::named("kv-server")
+        .with_filter(DiscoveryClient::new(
+            Arc::clone(&registry) as Arc<dyn RegistrySource>
+        ));
     let _server = kvstore::serve_prepared(raw, info, opts);
 
     println!("1. service up at {canonical}, no offloads registered:");
-    assert_eq!(connect_and_report(&canonical, "conn-1").await, "shard/fallback");
+    assert_eq!(
+        connect_and_report(&canonical, "conn-1").await,
+        "shard/fallback"
+    );
 
     println!("2. operator registers the steering offload (capacity: 2 connections):");
     let (mut reg, hooks, activations) = steerer_registration(Some("host0".into()));
     reg.resources = ResourceReq::of([(ResourceKind::HostCores, 1)]);
     registry.register(reg, hooks)?;
-    assert_eq!(connect_and_report(&canonical, "conn-2").await, "shard/steer");
-    assert_eq!(connect_and_report(&canonical, "conn-3").await, "shard/steer");
+    assert_eq!(
+        connect_and_report(&canonical, "conn-2").await,
+        "shard/steer"
+    );
+    assert_eq!(
+        connect_and_report(&canonical, "conn-3").await,
+        "shard/steer"
+    );
     println!(
         "  init hook ran {} times (once per accelerated connection)",
         activations.load(std::sync::atomic::Ordering::Relaxed)
     );
 
     println!("3. capacity exhausted: the next connection falls back, no error:");
-    assert_eq!(connect_and_report(&canonical, "conn-4").await, "shard/fallback");
+    assert_eq!(
+        connect_and_report(&canonical, "conn-4").await,
+        "shard/fallback"
+    );
     println!(
         "  host0 remaining: {:?}",
         registry.device_remaining("host0").unwrap().0
@@ -79,7 +92,10 @@ async fn main() -> Result<(), bertha::Error> {
 
     println!("4. operator withdraws the offload:");
     registry.unregister(bertha_shard::IMPL_STEER);
-    assert_eq!(connect_and_report(&canonical, "conn-5").await, "shard/fallback");
+    assert_eq!(
+        connect_and_report(&canonical, "conn-5").await,
+        "shard/fallback"
+    );
 
     println!("offload_lifecycle ok: five connections, zero application changes");
     Ok(())

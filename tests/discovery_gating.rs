@@ -12,7 +12,11 @@ use std::sync::Arc;
 
 async fn kv_deployment(
     registry: Arc<Registry>,
-) -> (Addr, tokio::task::JoinHandle<()>, Vec<kvstore::KvShardHandle>) {
+) -> (
+    Addr,
+    tokio::task::JoinHandle<()>,
+    Vec<kvstore::KvShardHandle>,
+) {
     let shards = kvstore::spawn_shards(2).await.unwrap();
     let raw = UdpListener::default()
         .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
@@ -111,7 +115,9 @@ async fn release_restores_capacity() {
         resources: ResourceReq::of([(ResourceKind::NicQueues, 1)]),
         device: Some("nic0".into()),
     };
-    registry.register(registration.clone(), Hooks::none()).unwrap();
+    registry
+        .register(registration.clone(), Hooks::none())
+        .unwrap();
 
     let client = DiscoveryClient::new(Arc::clone(&registry) as Arc<dyn RegistrySource>);
     let pick = registration.offer();

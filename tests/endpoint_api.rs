@@ -29,11 +29,16 @@ async fn endpoint_listen_and_connect() {
     let srv = tokio::spawn(async move {
         let conn = incoming.next().await.unwrap().unwrap();
         let (from, Note(text)) = conn.recv().await.unwrap();
-        conn.send((from, Note(format!("ack: {text}")))).await.unwrap();
+        conn.send((from, Note(format!("ack: {text}"))))
+            .await
+            .unwrap();
     });
 
     let client = bertha::new("note-client", stack);
-    let (conn, picks) = client.connect(&mut UdpConnector, addr.clone()).await.unwrap();
+    let (conn, picks) = client
+        .connect(&mut UdpConnector, addr.clone())
+        .await
+        .unwrap();
     assert_eq!(picks.name, "note-server");
     conn.send((addr, Note("hello".into()))).await.unwrap();
     let (_, Note(reply)) = conn.recv().await.unwrap();
@@ -80,7 +85,10 @@ async fn custom_policy_flips_select_outcome() {
         OrderingChunnel::default()
     ));
     let endpoint = bertha::new("sel-cli", client_stack);
-    let (conn, picks) = endpoint.connect(&mut UdpConnector, addr.clone()).await.unwrap();
+    let (conn, picks) = endpoint
+        .connect(&mut UdpConnector, addr.clone())
+        .await
+        .unwrap();
     // Deterministic outcome: whatever the policy chose, both ends agree
     // and traffic flows.
     assert_eq!(picks.picks.len(), 1);

@@ -95,9 +95,10 @@ async fn agent_over_uds_drives_fast_path_choice() {
         std::process::id(),
         line!()
     ));
-    let agent_task = bertha_localname::agent::serve_agent_uds(Arc::clone(&agent), agent_path.clone())
-        .await
-        .unwrap();
+    let agent_task =
+        bertha_localname::agent::serve_agent_uds(Arc::clone(&agent), agent_path.clone())
+            .await
+            .unwrap();
 
     let mut listener = LocalOrRemoteListener::with_agent(Arc::clone(&agent));
     let incoming = listener
@@ -108,7 +109,11 @@ async fn agent_over_uds_drives_fast_path_choice() {
 
     let remote_agent = Arc::new(RemoteNameAgent::new(agent_path));
     assert_eq!(
-        remote_agent.resolve(&canonical).await.unwrap().map(|a| a.family()),
+        remote_agent
+            .resolve(&canonical)
+            .await
+            .unwrap()
+            .map(|a| a.family()),
         Some("unix"),
         "daemon resolves the canonical address to the local socket"
     );

@@ -67,8 +67,7 @@ async fn select_resolves_per_the_servers_policy() {
     // same reliable impl on one side. Both must converge on reliable.
     let (addr, raw) = udp_listener().await;
     let server_stack = wrap!(ReliabilityChunnel::default());
-    let mut incoming =
-        NegotiatedStream::new(raw, server_stack, NegotiateOpts::named("srv"));
+    let mut incoming = NegotiatedStream::new(raw, server_stack, NegotiateOpts::named("srv"));
     let server = tokio::spawn(async move {
         let conn = incoming.next().await.unwrap().unwrap();
         let (from, data) = conn.recv().await.unwrap();
@@ -120,8 +119,10 @@ async fn mismatched_stacks_fail_cleanly() {
     .await;
     match res {
         Err(bertha::Error::Negotiation(msg)) => {
-            assert!(msg.contains("no shared capability") || msg.contains("incompatible"),
-                "unexpected message: {msg}");
+            assert!(
+                msg.contains("no shared capability") || msg.contains("incompatible"),
+                "unexpected message: {msg}"
+            );
         }
         Err(other) => panic!("wrong error: {other}"),
         Ok(_) => panic!("negotiation should fail"),

@@ -98,7 +98,9 @@ async fn corruption_is_detected_not_delivered() {
     let cb = CryptChunnel::demo().connect_wrap(b).await.unwrap();
 
     let addr = Addr::Mem("peer".into());
-    ca.send((addr, b"integrity matters".to_vec())).await.unwrap();
+    ca.send((addr, b"integrity matters".to_vec()))
+        .await
+        .unwrap();
     match cb.recv().await {
         Err(bertha::Error::Encode(msg)) => {
             assert!(msg.contains("checksum"), "unexpected: {msg}")

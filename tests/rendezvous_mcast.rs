@@ -12,10 +12,7 @@ use bertha_transport::udp::UdpConnector;
 use std::sync::Arc;
 
 fn scratch_socket(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "bertha-rdv-{tag}-{}.sock",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("bertha-rdv-{tag}-{}.sock", std::process::id()))
 }
 
 #[tokio::test]
@@ -37,10 +34,7 @@ async fn group_settles_impl_then_replicates() {
     let mut all_picks: Vec<Vec<Offer>> = Vec::new();
     for i in 0..3 {
         let remote = RemoteRegistry::new(agent_path.clone());
-        let (picks, members) = remote
-            .rendezvous("rsm-group", slots.clone())
-            .await
-            .unwrap();
+        let (picks, members) = remote.rendezvous("rsm-group", slots.clone()).await.unwrap();
         assert_eq!(members, i + 1);
         assert_eq!(picks[0].name, "ordered-mcast/sequencer");
         all_picks.push(picks);
@@ -53,7 +47,10 @@ async fn group_settles_impl_then_replicates() {
     // With the implementation agreed, the members join and replicate.
     let mut replicas = Vec::new();
     for _ in 0..3 {
-        let raw = UdpConnector.connect(sequencer.addr().clone()).await.unwrap();
+        let raw = UdpConnector
+            .connect(sequencer.addr().clone())
+            .await
+            .unwrap();
         let conn = chunnel.connect_wrap(raw).await.unwrap();
         replicas.push(Replica::new(conn, KvStateMachine::new()));
     }

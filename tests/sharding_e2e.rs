@@ -47,9 +47,10 @@ async fn deploy(with_steerer: bool) -> Deployment {
     };
 
     let info = kvstore::shard_info(canonical.clone(), &shards);
-    let opts = NegotiateOpts::named("kv-server").with_filter(DiscoveryClient::new(
-        Arc::clone(&registry) as Arc<dyn RegistrySource>,
-    ));
+    let opts = NegotiateOpts::named("kv-server")
+        .with_filter(DiscoveryClient::new(
+            Arc::clone(&registry) as Arc<dyn RegistrySource>
+        ));
     let server = kvstore::serve_prepared(raw, info, opts);
     Deployment {
         canonical,
@@ -63,15 +64,14 @@ async fn deploy(with_steerer: bool) -> Deployment {
 async fn kv_over<S>(d: &Deployment, stack: S, name: &str) -> (KvClient<S::Applied>, String)
 where
     S: bertha::negotiate::GetOffers
-        + bertha::negotiate::Apply<
-            bertha::negotiate::NegotiatedConn<bertha_transport::udp::UdpConn>,
-        >,
+        + bertha::negotiate::Apply<bertha::negotiate::NegotiatedConn<bertha_transport::udp::UdpConn>>,
     S::Applied: bertha::conn::ChunnelConnection<Data = bertha::Datagram> + Send + Sync + 'static,
 {
     let raw = UdpConnector.connect(d.canonical.clone()).await.unwrap();
-    let (conn, picks) = negotiate_client(stack, raw, d.canonical.clone(), &NegotiateOpts::named(name))
-        .await
-        .unwrap();
+    let (conn, picks) =
+        negotiate_client(stack, raw, d.canonical.clone(), &NegotiateOpts::named(name))
+            .await
+            .unwrap();
     let picked = picks.picks[0].name.clone();
     (KvClient::new(conn, d.canonical.clone()), picked)
 }
@@ -131,18 +131,22 @@ async fn server_accelerated_deployment() {
 #[tokio::test]
 async fn mixed_deployment() {
     let d = deploy(true).await;
-    let (push_client, picked_push) =
-        kv_over(&d, bertha::wrap!(ShardClientChunnel), "push").await;
-    let (defer_client, picked_defer) =
-        kv_over(&d, bertha::wrap!(ShardDeferChunnel), "defer").await;
+    let (push_client, picked_push) = kv_over(&d, bertha::wrap!(ShardClientChunnel), "push").await;
+    let (defer_client, picked_defer) = kv_over(&d, bertha::wrap!(ShardDeferChunnel), "defer").await;
     assert_eq!(picked_push, "shard/client-push");
     assert_eq!(picked_defer, "shard/steer");
 
     // Both clients see one coherent store.
-    push_client.put("shared", b"from-push".to_vec()).await.unwrap();
+    push_client
+        .put("shared", b"from-push".to_vec())
+        .await
+        .unwrap();
     let got = defer_client.get("shared").await.unwrap().unwrap();
     assert_eq!(got, b"from-push");
-    defer_client.put("shared", b"from-defer".to_vec()).await.unwrap();
+    defer_client
+        .put("shared", b"from-defer".to_vec())
+        .await
+        .unwrap();
     let got = push_client.get("shared").await.unwrap().unwrap();
     assert_eq!(got, b"from-defer");
 }
@@ -154,7 +158,11 @@ async fn server_fallback_deployment() {
     assert_eq!(picked, "shard/fallback", "no steerer: in-app dispatch");
     exercise(&client).await;
     let spread = shard_spread(&d.shards);
-    assert_eq!(spread.iter().sum::<usize>(), 30, "dispatcher reached shards");
+    assert_eq!(
+        spread.iter().sum::<usize>(),
+        30,
+        "dispatcher reached shards"
+    );
 }
 
 #[tokio::test]
