@@ -1,0 +1,114 @@
+//! Guard benchmark: telemetry must be (near) zero-cost when no sink is
+//! installed.
+//!
+//! Runs a per-frame-sized workload (checksum over a 4 KiB buffer — the
+//! same order of work as touching one datagram on the data path) in two
+//! variants:
+//!
+//! - **baseline**: the bare workload;
+//! - **instrumented**: the workload plus exactly what the hot paths do —
+//!   one pre-resolved relaxed counter increment and one `event!` whose
+//!   sink-absent fast path must skip field construction entirely.
+//!
+//! Takes the best of several trials for each variant (min is the right
+//! statistic for "how fast can this go"; it rejects scheduler noise),
+//! computes the relative overhead, writes
+//! `BENCH_telemetry_overhead.json`, and exits nonzero if overhead exceeds
+//! the 2% budget.
+
+use bertha_telemetry as tele;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BUF_LEN: usize = 4096;
+const ITERS: u64 = 200_000;
+const TRIALS: usize = 7;
+const BUDGET_PCT: f64 = 2.0;
+
+/// FNV-1a over the buffer: cheap, unpredictable to the optimizer, and
+/// roughly the cost of one pass over a datagram payload.
+fn workload(buf: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in buf {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_baseline(buf: &[u8]) -> (u64, f64) {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ITERS {
+        acc ^= workload(black_box(buf), i);
+    }
+    (acc, start.elapsed().as_secs_f64() * 1e9 / ITERS as f64)
+}
+
+fn run_instrumented(buf: &[u8]) -> (u64, f64) {
+    let frames = tele::counter("bench.overhead_frames");
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ITERS {
+        acc ^= workload(black_box(buf), i);
+        frames.incr();
+        tele::event!(tele::Level::Debug, "bench", "frame", "i" = i, "acc" = acc,);
+    }
+    (acc, start.elapsed().as_secs_f64() * 1e9 / ITERS as f64)
+}
+
+fn main() {
+    // The whole point: no sink installed, events must short-circuit.
+    tele::clear_sink();
+    assert!(!tele::enabled(), "no sink must mean telemetry disabled");
+
+    let buf: Vec<u8> = (0..BUF_LEN).map(|i| (i * 31 % 251) as u8).collect();
+
+    // Warm-up, and keep the checksums so nothing gets optimized out.
+    let mut sink = run_baseline(&buf).0 ^ run_instrumented(&buf).0;
+
+    let mut base_ns = f64::INFINITY;
+    let mut instr_ns = f64::INFINITY;
+    for _ in 0..TRIALS {
+        // Alternate orders within a trial so frequency ramping and cache
+        // state bias neither variant.
+        let (a, b_ns) = run_baseline(&buf);
+        let (c, i_ns) = run_instrumented(&buf);
+        sink ^= a ^ c;
+        base_ns = base_ns.min(b_ns);
+        instr_ns = instr_ns.min(i_ns);
+        let (c2, i_ns2) = run_instrumented(&buf);
+        let (a2, b_ns2) = run_baseline(&buf);
+        sink ^= a2 ^ c2;
+        base_ns = base_ns.min(b_ns2);
+        instr_ns = instr_ns.min(i_ns2);
+    }
+    black_box(sink);
+
+    let overhead_pct = (instr_ns - base_ns) / base_ns * 100.0;
+    println!(
+        "telemetry_overhead: baseline {base_ns:.1} ns/frame, \
+         instrumented {instr_ns:.1} ns/frame, overhead {overhead_pct:+.2}% \
+         (budget {BUDGET_PCT}%)"
+    );
+
+    let out = bertha_bench::write_bench_json(
+        "telemetry_overhead",
+        None,
+        &[
+            ("baseline_ns_per_frame", base_ns),
+            ("instrumented_ns_per_frame", instr_ns),
+            ("overhead_pct", overhead_pct),
+            ("budget_pct", BUDGET_PCT),
+        ],
+    )
+    .expect("write BENCH_telemetry_overhead.json");
+    println!("wrote {}", out.display());
+
+    if overhead_pct > BUDGET_PCT {
+        eprintln!(
+            "telemetry_overhead: no-sink overhead {overhead_pct:.2}% exceeds {BUDGET_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+}

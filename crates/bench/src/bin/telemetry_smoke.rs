@@ -1,0 +1,198 @@
+//! CI smoke check for the telemetry surface.
+//!
+//! Runs one negotiated, switchable connection end to end — handshake,
+//! echo traffic, a mid-connection renegotiation, more traffic — with a
+//! JSON-lines event sink installed, then verifies that:
+//!
+//! 1. the global metrics snapshot contains every metric key the
+//!    instrumented paths are supposed to produce;
+//! 2. the event sink actually captured negotiation/renegotiation events;
+//! 3. the live stack introspection surface reports the negotiated
+//!    implementation and the post-swap epoch.
+//!
+//! Writes `BENCH_telemetry_smoke.json` with the run's latency stats and
+//! the full snapshot, and exits nonzero if anything is missing — this is
+//! the CI gate for the observability layer.
+
+use bertha::conn::{pair, BoxFut, ChunnelConnection, Datagram};
+use bertha::negotiate::{
+    guid, negotiate_server_switchable, negotiate_switchable_client, Negotiate, NegotiateOpts,
+};
+use bertha::{wrap, Addr, Chunnel, Error};
+use bertha_telemetry as tele;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A trivially negotiable passthrough: the smoke test is about the
+/// telemetry around negotiation, not about what the chunnel does.
+#[derive(Clone, Copy, Debug, Default)]
+struct SmokeRelay;
+
+impl Negotiate for SmokeRelay {
+    const CAPABILITY: u64 = guid("bench/smoke");
+    const IMPL: u64 = guid("bench/smoke/soft");
+    const NAME: &'static str = "smoke/soft";
+}
+
+impl<InC> Chunnel<InC> for SmokeRelay
+where
+    InC: ChunnelConnection + Send + 'static,
+{
+    type Connection = InC;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<InC, Error>> {
+        Box::pin(async move { Ok(inner) })
+    }
+}
+
+bertha::negotiable!(SmokeRelay);
+
+/// Every metric key the instrumented handshake + switchable data path must
+/// have produced by the end of the run.
+const REQUIRED_KEYS: &[&str] = &[
+    "negotiate.client.handshakes",
+    "negotiate.client.handshake_us",
+    "negotiate.server.handshakes",
+    "negotiate.server.handshake_us",
+    "switchable.frames_sent",
+    "switchable.frames_recv",
+    "reneg.rounds_initiated",
+    "reneg.rounds_answered",
+    "reneg.epoch_swaps",
+    "reneg.swap_us",
+    "reneg.drain_us",
+];
+
+#[tokio::main]
+async fn main() {
+    let events_path = std::env::temp_dir().join(format!(
+        "bertha-telemetry-smoke-{}.jsonl",
+        std::process::id()
+    ));
+    let file_sink = tele::JsonLinesSink::create(&events_path).expect("create event sink");
+    let mem_sink = Arc::new(tele::MemorySink::new());
+    tele::set_sink(Arc::new(tele::FanoutSink::new(vec![
+        Arc::new(file_sink) as Arc<dyn tele::Sink>,
+        Arc::clone(&mem_sink) as Arc<dyn tele::Sink>,
+    ])));
+
+    let (cli_raw, srv_raw) = pair::<Datagram>(256);
+    let stack = wrap!(SmokeRelay);
+    let srv_stack = stack.clone();
+    let srv_task = tokio::spawn(async move {
+        negotiate_server_switchable(srv_stack, srv_raw, NegotiateOpts::named("smoke-srv")).await
+    });
+    let addr = Addr::Mem("smoke".into());
+    let (cli, picks) = negotiate_switchable_client(
+        stack,
+        cli_raw,
+        addr.clone(),
+        NegotiateOpts::named("smoke-cli"),
+    )
+    .await
+    .expect("client negotiation");
+    let srv = srv_task.await.expect("join").expect("server negotiation");
+    assert_eq!(picks.picks[0].name, "smoke/soft");
+
+    // Echo server.
+    let srv_conn = srv.clone();
+    tokio::spawn(async move {
+        while let Ok((from, payload)) = srv_conn.recv().await {
+            if srv_conn.send((from, payload)).await.is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut rtts = Vec::with_capacity(100);
+    let echo = |i: u64| {
+        let cli = cli.clone();
+        let addr = addr.clone();
+        async move {
+            cli.send((addr, i.to_le_bytes().to_vec()))
+                .await
+                .expect("send");
+            let (_, reply) = tokio::time::timeout(Duration::from_secs(5), cli.recv())
+                .await
+                .expect("echo within 5s")
+                .expect("recv");
+            assert_eq!(reply, i.to_le_bytes().to_vec());
+        }
+    };
+    for i in 0..50u64 {
+        let t = Instant::now();
+        echo(i).await;
+        rtts.push(t.elapsed());
+    }
+
+    // Mid-connection renegotiation: same impl wins again, but the stack is
+    // rebuilt at epoch 1 — exercising drain, swap, and the responder path.
+    cli.renegotiate().await.expect("renegotiation");
+    for i in 50..100u64 {
+        let t = Instant::now();
+        echo(i).await;
+        rtts.push(t.elapsed());
+    }
+
+    // Introspection reflects the post-swap stack.
+    let report = cli.introspect().expect("introspectable stack");
+    print!("{}", report.render());
+    assert_eq!(report.epoch, 1, "renegotiation must advance the epoch");
+    assert!(report.binds("smoke/soft"));
+    assert_eq!(cli.telemetry().epoch_swaps.get(), 1);
+
+    // Validate the snapshot against the required key set.
+    let snapshot = tele::global().snapshot();
+    let missing: Vec<&str> = REQUIRED_KEYS
+        .iter()
+        .copied()
+        .filter(|k| !snapshot.contains(k))
+        .collect();
+
+    // And the event sink must have seen the negotiation lifecycle.
+    let mut event_problems = Vec::new();
+    for (target, name) in [
+        ("negotiate", "client_picked"),
+        ("negotiate", "server_picked"),
+        ("reneg", "propose"),
+        ("reneg", "swap"),
+    ] {
+        if mem_sink.count_of(target, name) == 0 {
+            event_problems.push(format!("no {target}::{name} event"));
+        }
+    }
+    let events_on_disk = std::fs::read_to_string(&events_path).unwrap_or_default();
+    if !events_on_disk.lines().any(|l| l.contains("\"ts_us\"")) {
+        event_problems.push("JSON-lines sink file is empty or malformed".into());
+    }
+    let _ = std::fs::remove_file(&events_path);
+
+    let stats = bertha_bench::latency_stats(&mut rtts);
+    let out = bertha_bench::write_bench_json(
+        "telemetry_smoke",
+        Some(&stats),
+        &[
+            ("epoch_swaps", cli.telemetry().epoch_swaps.get() as f64),
+            ("frames_sent", cli.telemetry().frames_sent.get() as f64),
+            ("messages", 100.0),
+        ],
+    )
+    .expect("write BENCH_telemetry_smoke.json");
+    println!("wrote {}", out.display());
+
+    tele::clear_sink();
+    if !missing.is_empty() || !event_problems.is_empty() {
+        for k in &missing {
+            eprintln!("telemetry_smoke: snapshot missing required metric {k:?}");
+        }
+        for p in &event_problems {
+            eprintln!("telemetry_smoke: {p}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "telemetry_smoke ok: {} metric keys present, p50 echo {:.1} us",
+        REQUIRED_KEYS.len(),
+        stats.p50
+    );
+}

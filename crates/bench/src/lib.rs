@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+use bertha_telemetry as tele;
 use std::time::Duration;
 
 /// Latency summary statistics in microseconds.
@@ -68,6 +69,70 @@ pub fn header(cols: &[&str]) {
     println!("# {}", cols.join("\t"));
 }
 
+/// Render latency stats as a JSON object (microsecond values).
+pub fn latency_json(stats: &LatencyStats) -> String {
+    let mut out = String::from("{");
+    tele::json::push_key(&mut out, "n");
+    out.push_str(&stats.n.to_string());
+    for (k, v) in [
+        ("p5", stats.p5),
+        ("p25", stats.p25),
+        ("p50", stats.p50),
+        ("p75", stats.p75),
+        ("p95", stats.p95),
+        ("p99", stats.p99),
+        ("mean", stats.mean),
+    ] {
+        out.push(',');
+        tele::json::push_key(&mut out, k);
+        tele::json::push_f64(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+/// Render one run's artifact: the bench name, optional latency stats,
+/// caller-provided scalars, and the global telemetry snapshot.
+pub fn bench_json(name: &str, latency: Option<&LatencyStats>, extra: &[(&str, f64)]) -> String {
+    let mut out = String::from("{");
+    tele::json::push_key(&mut out, "bench");
+    tele::json::push_str(&mut out, name);
+    if let Some(stats) = latency {
+        out.push(',');
+        tele::json::push_key(&mut out, "latency_us");
+        out.push_str(&latency_json(stats));
+    }
+    out.push(',');
+    tele::json::push_key(&mut out, "extra");
+    out.push('{');
+    for (i, (k, v)) in extra.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        tele::json::push_key(&mut out, k);
+        tele::json::push_f64(&mut out, *v);
+    }
+    out.push('}');
+    out.push(',');
+    tele::json::push_key(&mut out, "metrics");
+    out.push_str(&tele::global().snapshot().to_json());
+    out.push('}');
+    out
+}
+
+/// Write a `BENCH_<name>.json` snapshot of this run into the current
+/// directory (the repo root under `cargo run`), so the perf trajectory has
+/// structured data to diff across commits. Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    latency: Option<&LatencyStats>,
+    extra: &[(&str, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, bench_json(name, latency, extra) + "\n")?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +152,18 @@ mod tests {
     #[should_panic]
     fn empty_samples_panic() {
         latency_stats(&mut []);
+    }
+
+    #[test]
+    fn bench_json_embeds_latency_and_metrics() {
+        let mut samples: Vec<Duration> = (1..=10).map(Duration::from_micros).collect();
+        let stats = latency_stats(&mut samples);
+        bertha_telemetry::counter("bench.test_marker").incr();
+        let json = bench_json("unit", Some(&stats), &[("scale", 0.5)]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bench\":\"unit\""));
+        assert!(json.contains("\"latency_us\""));
+        assert!(json.contains("\"scale\":0.5"));
+        assert!(json.contains("\"bench.test_marker\""));
     }
 }

@@ -1,0 +1,204 @@
+//! Live stack introspection: what did negotiation actually bind?
+//!
+//! Bertha's transparency cuts both ways — an application cannot tell
+//! whether a chunnel ran as the simulated offload or the software
+//! fallback, and after a runtime re-negotiation it cannot tell the stack
+//! changed at all. [`StackReport`] makes the invisible visible: the
+//! concrete negotiated DAG of a live connection — which implementation
+//! each chunnel slot bound to, with its placement constraints — plus the
+//! connection's current epoch (how many times the stack has been swapped
+//! since establishment).
+//!
+//! Reports come from [`StackIntrospect::introspect`], implemented by
+//! [`SwitchableConn`](crate::negotiate::SwitchableConn), or are built
+//! directly from a handshake's [`ServerPicks`] with
+//! [`StackReport::from_picks`] for plain negotiated connections.
+
+use crate::negotiate::{Endpoints, Offer, Scope, ServerPicks};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// The implementation one chunnel slot bound to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotBinding {
+    /// Capability GUID (what function this slot provides).
+    pub capability: u64,
+    /// Implementation GUID (which implementation won the pick).
+    pub impl_guid: u64,
+    /// Implementation name, e.g. `bertha/shard/steer`.
+    pub implementation: String,
+    /// Which endpoints instantiate it.
+    pub endpoints: Endpoints,
+    /// Where it is placed.
+    pub scope: Scope,
+    /// The priority it won with.
+    pub priority: i32,
+}
+
+impl From<&Offer> for SlotBinding {
+    fn from(o: &Offer) -> Self {
+        SlotBinding {
+            capability: o.capability,
+            impl_guid: o.impl_guid,
+            implementation: o.name.clone(),
+            endpoints: o.endpoints,
+            scope: o.scope,
+            priority: o.priority,
+        }
+    }
+}
+
+/// The concrete negotiated stack of a live connection: one binding per
+/// slot (outermost first) and the epoch they were bound at.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackReport {
+    /// Local endpoint name (from negotiation options).
+    pub endpoint: String,
+    /// Peer endpoint name (from the handshake's picks).
+    pub peer: String,
+    /// Stack incarnation: 0 at establishment, incremented per
+    /// re-negotiation swap.
+    pub epoch: u64,
+    /// Per-slot bindings, outermost slot first.
+    pub slots: Vec<SlotBinding>,
+}
+
+impl StackReport {
+    /// Build a report from a handshake outcome.
+    pub fn from_picks(endpoint: impl Into<String>, epoch: u64, picks: &ServerPicks) -> Self {
+        StackReport {
+            endpoint: endpoint.into(),
+            peer: picks.name.clone(),
+            epoch,
+            slots: picks.picks.iter().map(SlotBinding::from).collect(),
+        }
+    }
+
+    /// Names of the bound implementations, outermost first.
+    pub fn implementation_names(&self) -> Vec<&str> {
+        self.slots
+            .iter()
+            .map(|s| s.implementation.as_str())
+            .collect()
+    }
+
+    /// True if any slot bound the named implementation.
+    pub fn binds(&self, implementation: &str) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.implementation == implementation)
+    }
+
+    /// Render as a small human-readable tree, e.g.:
+    ///
+    /// ```text
+    /// negotiated stack: cli <-> kv-server (epoch 1)
+    ///   [0] bertha/shard/fallback  cap=0x93f1... impl=0x08aa... scope=Host endpoints=Server prio=0
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = writeln!(
+            out,
+            "negotiated stack: {} <-> {} (epoch {})",
+            self.endpoint, self.peer, self.epoch
+        );
+        if self.slots.is_empty() {
+            out.push_str("  (no negotiated slots: raw connection)\n");
+            return out;
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [{i}] {}  cap={:#018x} impl={:#018x} scope={:?} endpoints={:?} prio={}",
+                s.implementation, s.capability, s.impl_guid, s.scope, s.endpoints, s.priority
+            );
+        }
+        out
+    }
+}
+
+/// Connections that can report their live negotiated stack.
+///
+/// Returns `None` when the connection has no negotiated state to report
+/// (e.g. negotiation has not completed yet).
+pub trait StackIntrospect {
+    /// The concrete negotiated DAG bound to this connection right now.
+    fn introspect(&self) -> Option<StackReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn picks() -> ServerPicks {
+        ServerPicks {
+            name: "srv".into(),
+            picks: vec![
+                Offer {
+                    capability: 0xaa,
+                    impl_guid: 0xbb,
+                    name: "bertha/reliable".into(),
+                    endpoints: Endpoints::Both,
+                    scope: Scope::Application,
+                    priority: 0,
+                    ext: vec![],
+                },
+                Offer {
+                    capability: 0xcc,
+                    impl_guid: 0xdd,
+                    name: "bertha/shard/steer".into(),
+                    endpoints: Endpoints::Server,
+                    scope: Scope::Host,
+                    priority: 10,
+                    ext: vec![1],
+                },
+            ],
+            nonce: vec![9],
+        }
+    }
+
+    #[test]
+    fn report_reflects_picks() {
+        let r = StackReport::from_picks("cli", 3, &picks());
+        assert_eq!(r.peer, "srv");
+        assert_eq!(r.epoch, 3);
+        assert_eq!(
+            r.implementation_names(),
+            vec!["bertha/reliable", "bertha/shard/steer"]
+        );
+        assert!(r.binds("bertha/shard/steer"));
+        assert!(!r.binds("bertha/shard/fallback"));
+    }
+
+    #[test]
+    fn render_is_one_line_per_slot() {
+        let r = StackReport::from_picks("cli", 0, &picks());
+        let s = r.render();
+        assert_eq!(s.lines().count(), 3, "{s}");
+        assert!(s.contains("epoch 0"), "{s}");
+        assert!(s.contains("bertha/shard/steer"), "{s}");
+        assert!(s.contains("prio=10"), "{s}");
+    }
+
+    #[test]
+    fn empty_stack_renders_placeholder() {
+        let r = StackReport::from_picks(
+            "cli",
+            0,
+            &ServerPicks {
+                name: "srv".into(),
+                picks: vec![],
+                nonce: vec![],
+            },
+        );
+        assert!(r.render().contains("raw connection"));
+    }
+
+    #[test]
+    fn report_round_trips_through_bincode() {
+        let r = StackReport::from_picks("cli", 1, &picks());
+        let b = bincode::serialize(&r).unwrap();
+        let back: StackReport = bincode::deserialize(&b).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -43,6 +43,7 @@ pub mod dag;
 pub mod either;
 pub mod endpoint;
 pub mod error;
+pub mod introspect;
 pub mod negotiate;
 pub mod select;
 pub mod util;
@@ -54,5 +55,6 @@ pub use cx::{CxList, CxNil};
 pub use either::Either;
 pub use endpoint::{new, Endpoint};
 pub use error::Error;
+pub use introspect::{SlotBinding, StackIntrospect, StackReport};
 pub use negotiate::{register_chunnel, Negotiate, NegotiateOpts, SwitchableConn};
 pub use select::Select;

@@ -19,6 +19,7 @@ use crate::addr::Addr;
 use crate::chunnel::ConnStream;
 use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use crate::error::Error;
+use bertha_telemetry as tele;
 use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -139,6 +140,15 @@ pub(crate) fn jittered(d: Duration) -> Duration {
     d.mul_f64(rand::thread_rng().gen_range(0.5..=1.0))
 }
 
+/// Comma-joined implementation names of a pick set, for event fields.
+pub(crate) fn impl_names(picks: &[Offer]) -> String {
+    picks
+        .iter()
+        .map(|o| o.name.as_str())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 pub(crate) fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(1 + body.len());
     v.push(tag);
@@ -187,9 +197,14 @@ where
     let body = bincode::serialize(offer)?;
     let neg_frame = frame(TAG_NEG, &body);
     let mut pending = Vec::new();
+    tele::counter("negotiate.client.handshakes").incr();
+    let start = std::time::Instant::now();
 
     let mut backoff = opts.timeout;
-    for _attempt in 0..=opts.retries {
+    for attempt in 0..=opts.retries {
+        if attempt > 0 {
+            tele::counter("negotiate.client.retransmits").incr();
+        }
         raw.send((addr.clone(), neg_frame.clone())).await?;
         let deadline = tokio::time::Instant::now() + jittered(backoff);
         loop {
@@ -203,9 +218,31 @@ where
                     let msg: NegotiateMsg = bincode::deserialize(body)?;
                     match msg {
                         NegotiateMsg::ServerReply(Ok(picks)) => {
+                            let elapsed = start.elapsed();
+                            tele::histogram("negotiate.client.handshake_us")
+                                .record_duration(elapsed);
+                            tele::event!(
+                                tele::Level::Info,
+                                "negotiate",
+                                "client_picked",
+                                "name" = opts.name.as_str(),
+                                "peer" = picks.name.as_str(),
+                                "slots" = picks.picks.len(),
+                                "impls" = impl_names(&picks.picks),
+                                "attempts" = attempt + 1,
+                                "elapsed_us" = elapsed.as_micros() as u64,
+                            );
                             return Ok((picks, pending));
                         }
                         NegotiateMsg::ServerReply(Err(e)) => {
+                            tele::counter("negotiate.client.rejections").incr();
+                            tele::event!(
+                                tele::Level::Warn,
+                                "negotiate",
+                                "client_rejected",
+                                "name" = opts.name.as_str(),
+                                "reason" = e.as_str(),
+                            );
                             return Err(Error::Negotiation(e));
                         }
                         NegotiateMsg::ClientOffer { .. } => {
@@ -235,6 +272,14 @@ where
         }
         backoff = backoff.saturating_mul(2);
     }
+    tele::counter("negotiate.client.timeouts").incr();
+    tele::event!(
+        tele::Level::Error,
+        "negotiate",
+        "client_timeout",
+        "name" = opts.name.as_str(),
+        "attempts" = opts.retries + 1,
+    );
     Err(Error::Timeout {
         after: opts.handshake_budget(),
         what: "negotiation reply",
@@ -361,6 +406,8 @@ where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
     S: GetOffers + Apply<NegotiatedConn<InC>>,
 {
+    tele::counter("negotiate.server.handshakes").incr();
+    let start = std::time::Instant::now();
     let handshake_deadline = opts.handshake_budget();
     let (from, buf) = tokio::time::timeout(handshake_deadline, raw.recv())
         .await
@@ -402,12 +449,41 @@ where
         Err(e) => Err(e),
     };
 
+    let peer = match &client_msg {
+        NegotiateMsg::ClientOffer { name, .. } | NegotiateMsg::Renegotiate { name, .. } => {
+            name.clone()
+        }
+        _ => String::new(),
+    };
     let (picks, reply) = match outcome {
         Ok(picks) => {
+            let elapsed = start.elapsed();
+            tele::histogram("negotiate.server.handshake_us").record_duration(elapsed);
+            tele::event!(
+                tele::Level::Info,
+                "negotiate",
+                "server_picked",
+                "name" = opts.name.as_str(),
+                "peer" = peer.as_str(),
+                "slots" = picks.picks.len(),
+                "impls" = impl_names(&picks.picks),
+                "elapsed_us" = elapsed.as_micros() as u64,
+            );
             let reply = NegotiateMsg::ServerReply(Ok(picks.clone()));
             (Some(picks), reply)
         }
-        Err(e) => (None, NegotiateMsg::ServerReply(Err(e.to_string()))),
+        Err(e) => {
+            tele::counter("negotiate.server.rejections").incr();
+            tele::event!(
+                tele::Level::Warn,
+                "negotiate",
+                "server_rejected",
+                "name" = opts.name.as_str(),
+                "peer" = peer.as_str(),
+                "reason" = e.to_string(),
+            );
+            (None, NegotiateMsg::ServerReply(Err(e.to_string())))
+        }
     };
     let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
     raw.send((from, reply_frame.clone())).await?;

@@ -34,7 +34,7 @@ pub use pick::{
     PolicyRef,
 };
 pub use renegotiate::{
-    negotiate_server_switchable, negotiate_switchable_client, EpochConn, StackFactory,
-    SwitchTarget, SwitchTargetRef, SwitchableConn, SwitchableStream, TAG_DATA_EPOCH,
+    negotiate_server_switchable, negotiate_switchable_client, ConnTelemetry, EpochConn,
+    StackFactory, SwitchTarget, SwitchTargetRef, SwitchableConn, SwitchableStream, TAG_DATA_EPOCH,
 };
 pub use types::{guid, Endpoints, Negotiate, NegotiateMsg, Offer, Scope, ServerPicks};

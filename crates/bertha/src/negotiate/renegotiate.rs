@@ -39,6 +39,7 @@
 
 use super::apply::{Apply, GetOffers};
 use super::dynamic::global_registry;
+use super::handshake::impl_names;
 use super::handshake::{
     apply_filter, client_handshake, frame, jittered, NegotiateOpts, Role, TAG_NEG,
 };
@@ -48,6 +49,8 @@ use crate::addr::Addr;
 use crate::chunnel::ConnStream;
 use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use crate::error::Error;
+use crate::introspect::{StackIntrospect, StackReport};
+use bertha_telemetry as tele;
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -122,6 +125,39 @@ impl ChunnelConnection for NotYet {
 
 impl Drain for NotYet {}
 
+/// Per-connection data-path and swap counters for a [`SwitchableConn`].
+///
+/// Each counter also rolls up into the global telemetry registry (the
+/// `switchable.*` and `reneg.*` metrics); `get` reads this connection's
+/// value alone, so tests and introspection see one connection's activity
+/// without cross-talk from others in the same process.
+#[derive(Debug)]
+pub struct ConnTelemetry {
+    /// Data frames sent through any epoch's stack view.
+    pub frames_sent: tele::MirroredCounter,
+    /// Data frames delivered to the inbox (untagged or current-epoch).
+    pub frames_recv: tele::MirroredCounter,
+    /// Epoch-tagged frames dropped as stale (late retransmissions of a
+    /// superseded epoch); each drop is a prevented cross-epoch duplicate.
+    pub stale_epoch_drops: tele::MirroredCounter,
+    /// Frames from future epochs buffered until our own swap.
+    pub future_buffered: tele::MirroredCounter,
+    /// Completed epoch swaps on this connection.
+    pub epoch_swaps: tele::MirroredCounter,
+}
+
+impl ConnTelemetry {
+    fn new() -> Self {
+        ConnTelemetry {
+            frames_sent: tele::MirroredCounter::new("switchable.frames_sent"),
+            frames_recv: tele::MirroredCounter::new("switchable.frames_recv"),
+            stale_epoch_drops: tele::MirroredCounter::new("switchable.stale_epoch_drops"),
+            future_buffered: tele::MirroredCounter::new("switchable.future_buffered"),
+            epoch_swaps: tele::MirroredCounter::new("reneg.epoch_swaps"),
+        }
+    }
+}
+
 /// Connection state shared by the per-epoch views, the app-facing wrapper,
 /// and the responder task.
 struct Core<InC> {
@@ -160,6 +196,7 @@ struct Core<InC> {
     initiating: AtomicBool,
     initiate_lock: tokio::sync::Mutex<()>,
     swap_lock: tokio::sync::Mutex<()>,
+    tele: ConnTelemetry,
 }
 
 impl<InC> Core<InC>
@@ -201,6 +238,7 @@ where
                 // Untagged data is epoch-agnostic: it may come from an
                 // epoch-0 peer or from outside the negotiated connection
                 // entirely (a shard worker's reply). Always deliver.
+                self.tele.frames_recv.incr();
                 self.inbox.lock().push_back((from, body.to_vec()));
                 self.inbox_notify.notify_waiters();
             }
@@ -211,15 +249,19 @@ where
                 let payload = rest[8..].to_vec();
                 let cur = self.epoch.load(Ordering::Acquire);
                 if frame_epoch == cur {
+                    self.tele.frames_recv.incr();
                     self.inbox.lock().push_back((from, payload));
                     self.inbox_notify.notify_waiters();
                 } else if frame_epoch > cur {
                     // Peer swapped first; deliver after our own swap.
+                    self.tele.future_buffered.incr();
                     self.future.lock().push((frame_epoch, (from, payload)));
+                } else {
+                    // Stale epoch: a late retransmission the old stack
+                    // already handled. Dropping it is what prevents
+                    // cross-epoch duplicates.
+                    self.tele.stale_epoch_drops.incr();
                 }
-                // Stale epoch: a late retransmission the old stack already
-                // handled. Dropping it is what prevents cross-epoch
-                // duplicates.
             }
             Some((&TAG_NEG, body)) => {
                 // Corrupt control frames are dropped like any other junk
@@ -297,6 +339,7 @@ where
         // A concurrent round (simultaneous proposals) got here first.
         return Ok(());
     }
+    let swap_started = std::time::Instant::now();
     let conn = EpochConn {
         core: Arc::clone(core),
         epoch,
@@ -321,6 +364,21 @@ where
     // Wakes both waiters on the new stack and blocked receivers of the old
     // one, whose per-epoch views now fail with `ConnectionClosed`.
     core.inbox_notify.notify_waiters();
+    core.tele.epoch_swaps.incr();
+    let elapsed = swap_started.elapsed();
+    tele::histogram("reneg.swap_us").record_duration(elapsed);
+    tele::event!(
+        tele::Level::Info,
+        "reneg",
+        "swap",
+        "name" = core.opts.name.as_str(),
+        "epoch" = epoch,
+        "impls" = {
+            let p = core.last_picks.lock();
+            p.as_ref().map(|p| impl_names(&p.picks)).unwrap_or_default()
+        },
+        "elapsed_us" = elapsed.as_micros() as u64,
+    );
     Ok(())
 }
 
@@ -365,7 +423,11 @@ where
             } else {
                 frame_epoch(self.epoch, &body)
             };
-            self.core.raw.send((addr, framed)).await
+            let sent = self.core.raw.send((addr, framed)).await;
+            if sent.is_ok() {
+                self.core.tele.frames_sent.incr();
+            }
+            sent
         })
     }
 
@@ -440,6 +502,22 @@ where
         self.core.last_picks.lock().clone()
     }
 
+    /// Per-connection data-path and swap counters.
+    pub fn telemetry(&self) -> &ConnTelemetry {
+        &self.core.tele
+    }
+
+    /// The concrete negotiated stack bound to this connection right now:
+    /// implementation per slot, plus the current epoch.
+    pub fn introspect(&self) -> Option<StackReport> {
+        let picks = self.core.last_picks.lock().clone()?;
+        Some(StackReport::from_picks(
+            self.core.opts.name.clone(),
+            self.epoch(),
+            &picks,
+        ))
+    }
+
     /// Run a fresh offer/pick round on this live connection and swap to the
     /// outcome. Offers are re-filtered, so implementations that died since
     /// the last round are withdrawn and the pick lands on what still works
@@ -451,11 +529,29 @@ where
     pub async fn renegotiate(&self) -> Result<ServerPicks, Error> {
         let _guard = self.core.initiate_lock.lock().await;
         let next = self.core.epoch.load(Ordering::Acquire) + 1;
+        tele::counter("reneg.rounds_initiated").incr();
+        tele::event!(
+            tele::Level::Info,
+            "reneg",
+            "propose",
+            "name" = self.core.opts.name.as_str(),
+            "epoch" = next,
+        );
         self.core.initiating.store(true, Ordering::Release);
         self.core.pause();
         let res = self.renegotiate_inner(next).await;
         self.core.unpause();
         self.core.initiating.store(false, Ordering::Release);
+        if res.is_err() {
+            tele::counter("reneg.rounds_failed").incr();
+            tele::event!(
+                tele::Level::Error,
+                "reneg",
+                "round_failed",
+                "name" = self.core.opts.name.as_str(),
+                "epoch" = next,
+            );
+        }
         res
     }
 
@@ -465,7 +561,9 @@ where
         // stack. A stack that can no longer make progress (it is why we are
         // renegotiating) fails or times out here; proceed regardless.
         let (_, target) = core.current_snapshot();
+        let drain_started = std::time::Instant::now();
         let _ = tokio::time::timeout(core.opts.handshake_budget(), target.drain()).await;
+        tele::histogram("reneg.drain_us").record_duration(drain_started.elapsed());
 
         let slots = apply_filter(&core.opts.filter, core.role, core.base_slots.clone()).await?;
         let msg = NegotiateMsg::Renegotiate {
@@ -574,6 +672,15 @@ where
     }
 }
 
+impl<InC> StackIntrospect for SwitchableConn<InC>
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    fn introspect(&self) -> Option<StackReport> {
+        SwitchableConn::introspect(self)
+    }
+}
+
 /// The responder half: waits for the peer's `Renegotiate` proposals (stashed
 /// by whichever task routed the frame) and runs the pick round. One task per
 /// connection, aborted when the last [`SwitchableConn`] clone drops.
@@ -630,8 +737,11 @@ where
     // The initiator paused and drained before proposing; drain our side too
     // (its acknowledgments still flow: the initiator's epoch only advances
     // once it sees our reply).
+    tele::counter("reneg.rounds_answered").incr();
     let (_, target) = core.current_snapshot();
+    let drain_started = std::time::Instant::now();
     let _ = tokio::time::timeout(core.opts.handshake_budget(), target.drain()).await;
+    tele::histogram("reneg.drain_us").record_duration(drain_started.elapsed());
 
     let outcome: Result<ServerPicks, Error> = async {
         let slots = apply_filter(&core.opts.filter, core.role, core.base_slots.clone()).await?;
@@ -704,6 +814,7 @@ where
         initiating: AtomicBool::new(false),
         initiate_lock: tokio::sync::Mutex::new(()),
         swap_lock: tokio::sync::Mutex::new(()),
+        tele: ConnTelemetry::new(),
     });
     let conn = EpochConn {
         core: Arc::clone(&core),
@@ -1034,6 +1145,18 @@ mod tests {
         assert_eq!(m, b"after");
         assert_eq!(srv.epoch(), 1);
         echo.await.unwrap();
+
+        // Telemetry matches the ground truth of the run: one swap per
+        // side, two data frames sent by the client, none dropped.
+        assert_eq!(cli.telemetry().epoch_swaps.get(), 1);
+        assert_eq!(srv.telemetry().epoch_swaps.get(), 1);
+        assert_eq!(cli.telemetry().frames_sent.get(), 2);
+        assert_eq!(cli.telemetry().stale_epoch_drops.get(), 0);
+
+        // Introspection reports the live stack at the new epoch.
+        let report = cli.introspect().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(report.binds(Rel::NAME), "{}", report.render());
     }
 
     #[tokio::test]
@@ -1141,6 +1264,11 @@ mod tests {
             .unwrap();
         let (_, m) = cli.recv().await.unwrap();
         assert_eq!(m, b"current");
+
+        // The connection's own counters saw exactly what happened: one
+        // early frame buffered for a future epoch, one stale frame dropped.
+        assert_eq!(cli.telemetry().future_buffered.get(), 1);
+        assert_eq!(cli.telemetry().stale_epoch_drops.get(), 1);
 
         // The client's sends are now epoch-tagged.
         cli.send((from, b"tagged".to_vec())).await.unwrap();

@@ -35,12 +35,12 @@ pub mod ratelimit;
 pub mod reliable;
 pub mod serialize;
 
-pub use batch::BatchChunnel;
+pub use batch::{BatchChunnel, BatchStats};
 pub use compress::CompressChunnel;
 pub use crypt::CryptChunnel;
 pub use frag::FragChunnel;
-pub use heartbeat::HeartbeatChunnel;
+pub use heartbeat::{HeartbeatChunnel, HeartbeatStats};
 pub use ordering::OrderingChunnel;
-pub use ratelimit::RateLimitChunnel;
-pub use reliable::ReliabilityChunnel;
+pub use ratelimit::{RateLimitChunnel, RateLimitStats};
+pub use reliable::{ReliabilityChunnel, ReliableStats};
 pub use serialize::SerializeChunnel;

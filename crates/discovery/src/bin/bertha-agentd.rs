@@ -17,7 +17,7 @@
 //! Devices are declared with `device <name> <kind>=<capacity>,...`.
 //!
 //! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]
-//! [--lease-ttl-ms <n>]`
+//! [--lease-ttl-ms <n>] [--metrics-path <file>]`
 //!
 //! With `--lease-ttl-ms`, config-file registrations are *leased* rather
 //! than permanent: whatever supervises the underlying offload must renew
@@ -26,15 +26,43 @@
 //! connections onto a corpse. The agent sweeps lapsed leases on its own;
 //! registrations arriving over the wire choose per-request (`Register`
 //! vs. `RegisterLeased`).
+//!
+//! Telemetry: warn-and-worse events (malformed requests, revocations,
+//! lease expiries) always go to stderr. With `--metrics-path <file>`,
+//! every event is additionally appended to `<file>` as JSON lines, and the
+//! `DumpMetrics` request returns the agent's counter snapshot over the
+//! socket at any time.
 
 use bertha_discovery::registry::Hooks;
 use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
 use bertha_discovery::{serve_uds, Registration, Registry};
+use bertha_telemetry as tele;
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>]");
+    eprintln!(
+        "usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>] \
+         [--metrics-path <file>]"
+    );
     std::process::exit(2);
+}
+
+/// Install the agent's telemetry sinks: stderr for warnings and errors,
+/// plus a JSON-lines file carrying everything when `metrics_path` is given.
+fn install_sinks(metrics_path: Option<&str>) -> Result<(), String> {
+    let stderr: Arc<dyn tele::Sink> = Arc::new(tele::StderrSink::with_min(tele::Level::Warn));
+    match metrics_path {
+        None => tele::set_sink(stderr),
+        Some(path) => {
+            let file = tele::JsonLinesSink::create(path)
+                .map_err(|e| format!("open metrics file {path:?}: {e}"))?;
+            tele::set_sink(Arc::new(tele::FanoutSink::new(vec![
+                stderr,
+                Arc::new(file),
+            ])));
+        }
+    }
+    Ok(())
 }
 
 fn parse_resource_kind(s: &str) -> Result<ResourceKind, String> {
@@ -152,6 +180,7 @@ async fn main() {
     let mut socket = None;
     let mut config = None;
     let mut lease = None;
+    let mut metrics_path = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -172,10 +201,19 @@ async fn main() {
                 }
                 i += 2;
             }
+            "--metrics-path" if i + 1 < args.len() => {
+                metrics_path = Some(args[i + 1].clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
     let Some(socket) = socket else { usage() };
+
+    if let Err(e) = install_sinks(metrics_path.as_deref()) {
+        eprintln!("bertha-agentd: {e}");
+        std::process::exit(1);
+    }
 
     let registry = Arc::new(Registry::new());
     if let Some(cfg) = config {

@@ -25,6 +25,7 @@ use crate::registry::{ClaimId, Registration, RegistrySource};
 use bertha::conn::BoxFut;
 use bertha::negotiate::{Offer, OfferFilter, Role, Scope};
 use bertha::Error;
+use bertha_telemetry as tele;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -63,7 +64,17 @@ impl DiscoveryClient {
 
     fn note_failure(&self, e: &Error) {
         *self.last_error.lock() = Some(e.to_string());
-        self.degraded.store(true, Ordering::Relaxed);
+        // Count transitions into degraded mode, not every failed call while
+        // already degraded.
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            tele::counter("discovery.degraded_entries").incr();
+            tele::event!(
+                tele::Level::Warn,
+                "discovery",
+                "degraded",
+                "error" = e.to_string(),
+            );
+        }
     }
 
     fn note_success(&self) {

@@ -12,6 +12,7 @@ use crate::resources::{ResourcePool, ResourceReq};
 use bertha::conn::BoxFut;
 use bertha::negotiate::{Endpoints, Offer, Scope};
 use bertha::Error;
+use bertha_telemetry as tele;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -220,6 +221,15 @@ impl Registry {
             }
         }
         let impl_guid = reg.impl_guid;
+        tele::counter("discovery.registrations").incr();
+        tele::event!(
+            tele::Level::Info,
+            "discovery",
+            "register",
+            "name" = reg.name.as_str(),
+            "impl" = impl_guid,
+            "priority" = i64::from(reg.priority),
+        );
         let entries = st.by_capability.entry(reg.capability).or_default();
         entries.retain(|e| e.reg.impl_guid != impl_guid);
         entries.push(Arc::new(Entry { reg, hooks }));
@@ -240,6 +250,7 @@ impl Registry {
     ) -> Result<(), Error> {
         let impl_guid = reg.impl_guid;
         self.register(reg, hooks)?;
+        tele::counter("discovery.leases_granted").incr();
         self.state
             .lock()
             .leases
@@ -263,6 +274,7 @@ impl Registry {
             )));
         }
         st.leases.insert(impl_guid, Instant::now() + ttl);
+        tele::counter("discovery.lease_renewals").incr();
         Ok(())
     }
 
@@ -287,7 +299,12 @@ impl Registry {
     /// failure-driven flavor of [`unregister`](Self::unregister), named for
     /// what watchers observe. Returns whether it existed.
     pub fn revoke(&self, impl_guid: u64) -> bool {
-        self.unregister(impl_guid)
+        let removed = self.unregister(impl_guid);
+        if removed {
+            tele::counter("discovery.revocations").incr();
+            tele::event!(tele::Level::Warn, "discovery", "revoke", "impl" = impl_guid);
+        }
+        removed
     }
 
     /// Expire every registration whose lease has lapsed. Returns the
@@ -299,6 +316,16 @@ impl Registry {
         let expired = st.expire_locked(Instant::now());
         if !expired.is_empty() {
             self.bump(&mut st);
+            drop(st);
+            tele::counter("discovery.lease_expiries").add(expired.len() as u64);
+            for guid in &expired {
+                tele::event!(
+                    tele::Level::Warn,
+                    "discovery",
+                    "lease_expired",
+                    "impl" = *guid,
+                );
+            }
         }
         expired
     }
@@ -310,7 +337,9 @@ impl Registry {
         let mut st = self.state.lock();
         // Lazy expiry: a query must never see a lapsed registration, even
         // if the sweeper has not run yet.
-        if !st.expire_locked(Instant::now()).is_empty() {
+        let lapsed = st.expire_locked(Instant::now());
+        if !lapsed.is_empty() {
+            tele::counter("discovery.lease_expiries").add(lapsed.len() as u64);
             self.bump(&mut st);
         }
         st.by_capability

@@ -17,6 +17,7 @@ use crate::rendezvous::Rendezvous;
 use bertha::conn::{BoxFut, ChunnelConnection};
 use bertha::negotiate::Offer;
 use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream, Error};
+use bertha_telemetry as tele;
 use bertha_transport::uds::{UdsConnector, UdsListener};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -95,6 +96,9 @@ pub enum Request {
         /// Implementation GUID.
         impl_guid: u64,
     },
+    /// A JSON snapshot of the agent's telemetry registry (counters,
+    /// gauges, histograms), for operator introspection.
+    DumpMetrics,
 }
 
 /// Responses from the discovery agent.
@@ -120,6 +124,8 @@ pub enum Response {
     Version(u64),
     /// Lookup result.
     Found(bool),
+    /// A metrics snapshot, rendered as a JSON object.
+    Metrics(String),
 }
 
 async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
@@ -181,6 +187,7 @@ async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> R
                 Err(e) => Response::Err(e.to_string()),
             }
         }
+        Request::DumpMetrics => Response::Metrics(tele::global().snapshot().to_json()),
     }
 }
 
@@ -227,7 +234,17 @@ pub async fn serve_uds(
                     };
                     let resp = match bincode::deserialize::<Request>(&buf) {
                         Ok(req) => handle(&registry, &rendezvous, req).await,
-                        Err(e) => Response::Err(format!("malformed request: {e}")),
+                        Err(e) => {
+                            tele::counter("agent.malformed_requests").incr();
+                            tele::event!(
+                                tele::Level::Warn,
+                                "agent",
+                                "malformed_request",
+                                "len" = buf.len(),
+                                "error" = e.to_string(),
+                            );
+                            Response::Err(format!("malformed request: {e}"))
+                        }
                     };
                     let Ok(body) = bincode::serialize(&resp) else {
                         return;
@@ -328,6 +345,15 @@ impl RemoteRegistry {
     pub async fn revoke(&self, impl_guid: u64) -> Result<(), Error> {
         match self.request(&Request::Revoke { impl_guid }).await? {
             Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the agent's telemetry snapshot as a JSON string.
+    pub async fn dump_metrics(&self) -> Result<String, Error> {
+        match self.request(&Request::DumpMetrics).await? {
+            Response::Metrics(json) => Ok(json),
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -595,6 +621,7 @@ mod tests {
     async fn malformed_request_gets_error_reply() {
         let registry = Arc::new(Registry::new());
         let path = scratch();
+        let path2 = path.clone();
         let server = serve_uds(registry, path.clone()).await.unwrap();
         let conn = UdsConnector
             .connect(Addr::Unix(path.clone()))
@@ -608,6 +635,14 @@ mod tests {
             Response::Err(e) => assert!(e.contains("malformed")),
             other => panic!("{other:?}"),
         }
+        // The agent counts the garbage, and the counter is visible through
+        // the dump-metrics RPC on the same socket.
+        let remote = RemoteRegistry::new(path2);
+        let json = remote.dump_metrics().await.unwrap();
+        assert!(
+            json.contains("\"agent.malformed_requests\""),
+            "snapshot missing malformed-request counter: {json}"
+        );
         server.abort();
     }
 }

@@ -45,6 +45,7 @@ use bertha::ChunnelListener;
 use bertha::{Addr, ConnStream, Error};
 use bertha_discovery::registry::{Hooks, Registration};
 use bertha_discovery::resources::{ResourceKind, ResourceReq};
+use bertha_telemetry as tele;
 use bertha_transport::udp::UdpListener;
 use bertha_transport::{bind_any, AnyConn};
 use std::collections::HashMap;
@@ -53,17 +54,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Counters exposed by a running steerer.
-#[derive(Default)]
+/// Counters exposed by a running steerer, also mirrored into the global
+/// telemetry registry (`shard.*` metrics).
 pub struct SteerStats {
     /// Data frames steered to shards.
-    pub steered: AtomicU64,
+    pub steered: tele::MirroredCounter,
     /// Handshake frames forwarded to the application server.
-    pub handshakes: AtomicU64,
+    pub handshakes: tele::MirroredCounter,
     /// Frames dropped (no tag, unknown type).
-    pub dropped: AtomicU64,
+    pub dropped: tele::MirroredCounter,
     /// Replies relayed back to clients.
-    pub relayed: AtomicU64,
+    pub relayed: tele::MirroredCounter,
+    /// Steered frames by destination shard index (this steerer only).
+    per_shard: Vec<tele::Counter>,
+}
+
+impl SteerStats {
+    fn new(shards: usize) -> Self {
+        SteerStats {
+            steered: tele::MirroredCounter::new("shard.steered"),
+            handshakes: tele::MirroredCounter::new("shard.handshakes"),
+            dropped: tele::MirroredCounter::new("shard.dropped"),
+            relayed: tele::MirroredCounter::new("shard.relayed"),
+            per_shard: (0..shards).map(|_| tele::Counter::new()).collect(),
+        }
+    }
+
+    /// How many data frames were steered to each shard, by index.
+    pub fn per_shard(&self) -> Vec<u64> {
+        self.per_shard.iter().map(|c| c.get()).collect()
+    }
 }
 
 /// A running steerer. Aborting (or dropping) the handle stops it.
@@ -143,7 +163,7 @@ pub async fn run_steerer(
         }
     });
     let bound = canonical_sock.local_addr()?;
-    let stats = Arc::new(SteerStats::default());
+    let stats = Arc::new(SteerStats::new(info.shards.len()));
     let (stopped_tx, stopped_rx) = tokio::sync::watch::channel(false);
 
     let main = {
@@ -162,16 +182,20 @@ pub async fn run_steerer(
 
                 let dst = match frame.first() {
                     Some(&TAG_NEG) => {
-                        stats.handshakes.fetch_add(1, Ordering::Relaxed);
+                        stats.handshakes.incr();
                         internal_server.clone()
                     }
                     _ => match strip_data(&frame) {
                         Some(payload) => {
-                            stats.steered.fetch_add(1, Ordering::Relaxed);
-                            info.shard_addr(payload).clone()
+                            let shard = info.shard_of(payload);
+                            stats.steered.incr();
+                            if let Some(c) = stats.per_shard.get(shard) {
+                                c.incr();
+                            }
+                            info.shards[shard].clone()
                         }
                         None => {
-                            stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            stats.dropped.incr();
                             continue;
                         }
                     },
@@ -183,7 +207,7 @@ pub async fn run_steerer(
                         let sock = match bind_any(&dst).await {
                             Ok(s) => Arc::new(s),
                             Err(_) => {
-                                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                stats.dropped.incr();
                                 continue;
                             }
                         };
@@ -200,7 +224,7 @@ pub async fn run_steerer(
                                         Ok(d) => d,
                                         Err(_) => return,
                                     };
-                                    stats.relayed.fetch_add(1, Ordering::Relaxed);
+                                    stats.relayed.incr();
                                     if canonical_sock.send((client.clone(), reply)).await.is_err() {
                                         return;
                                     }
@@ -277,6 +301,14 @@ pub async fn serve_fallback(
     info: ShardInfo,
     opts: NegotiateOpts,
 ) -> Result<FallbackServer, Error> {
+    tele::counter("shard.fallback_activations").incr();
+    tele::event!(
+        tele::Level::Warn,
+        "shard",
+        "fallback_activated",
+        "canonical" = canonical.to_string(),
+        "shards" = info.shards.len(),
+    );
     let stack = bertha::wrap!(ShardCanonicalServer::new(info).software_only());
     if matches!(canonical, Addr::Udp(_)) {
         let raw = UdpListener::default().listen(canonical).await?;
@@ -454,14 +486,21 @@ mod tests {
             assert_eq!(*reply.last().unwrap(), expect_shard);
         }
 
-        assert_eq!(steerer.stats.handshakes.load(Ordering::Relaxed), 1);
-        assert_eq!(steerer.stats.steered.load(Ordering::Relaxed), 30);
-        assert_eq!(steerer.stats.relayed.load(Ordering::Relaxed), 31);
+        assert_eq!(steerer.stats.handshakes.get(), 1);
+        assert_eq!(steerer.stats.steered.get(), 30);
+        assert_eq!(steerer.stats.relayed.get(), 31);
+        let per_shard = steerer.stats.per_shard();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard.iter().sum::<u64>(), 30);
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "both shards must receive traffic: {per_shard:?}"
+        );
 
         // Untagged garbage is dropped.
         client.send((canonical.clone(), vec![0x7f])).await.unwrap();
         tokio::time::sleep(std::time::Duration::from_millis(20)).await;
-        assert_eq!(steerer.stats.dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(steerer.stats.dropped.get(), 1);
 
         t0.abort();
         t1.abort();

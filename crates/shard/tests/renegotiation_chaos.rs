@@ -280,6 +280,33 @@ async fn lease_expiry_mid_traffic_renegotiates_onto_software() {
     assert_eq!(cli.epoch(), 1);
     assert_eq!(srv.epoch(), 1);
 
+    // Telemetry agrees with the ground truth: each side swapped its stack
+    // exactly once, the client pushed at least the 90 lockstep requests
+    // through the switchable data path (more, counting retransmits and
+    // ACKs), and the server saw each of them at least once. Stale-epoch
+    // frames may have been *dropped* (that is the mechanism that prevents
+    // cross-epoch double delivery) but the exactly-once check below proves
+    // none of them were double-delivered.
+    assert_eq!(cli.telemetry().epoch_swaps.get(), 1);
+    assert_eq!(srv.telemetry().epoch_swaps.get(), 1);
+    assert!(cli.telemetry().frames_sent.get() >= 90);
+    assert!(srv.telemetry().frames_recv.get() >= 90);
+    assert!(
+        bertha_telemetry::counter("reliable.retransmits").get() > 0,
+        "a 12% lossy link must force retransmissions"
+    );
+
+    // The live introspection surface shows the post-swap reality: the
+    // software relay bound at epoch 1, the dead accelerated impl gone.
+    let report = cli.introspect().expect("a negotiated stack to introspect");
+    assert_eq!(report.epoch, 1);
+    assert!(
+        report.binds("chaos/relay/soft"),
+        "introspected stack must show the software relay:\n{}",
+        report.render()
+    );
+    assert!(!report.binds("chaos/relay/accel"));
+
     // Exactly-once across faults *and* the switchover: every request id
     // delivered to the server exactly one time.
     let mut ids = seen.lock().unwrap().clone();

@@ -1,0 +1,71 @@
+//! Minimal hand-rolled JSON rendering.
+//!
+//! The workspace carries no `serde_json`; the few places that emit JSON
+//! (metric snapshots, the JSON-lines trace sink, bench output) write it
+//! through these helpers instead. Output is always a single line unless
+//! the caller inserts newlines.
+
+/// Append `s` to `out` as a JSON string literal, with quoting and escapes.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` in a JSON-legal form (`NaN`/infinities become `null`).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Ensure a decimal point or exponent so the value re-parses as a
+        // float, not an integer.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render a `key: value` prefix (escaped key, colon) into `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str(&mut s, &format!("a\"b\\c\nd{}", char::from(1)));
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let mut s = String::new();
+        push_f64(&mut s, 3.0);
+        assert_eq!(s, "3.0");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, 0.25);
+        assert_eq!(s, "0.25");
+    }
+}

@@ -1,0 +1,47 @@
+//! Telemetry for the Bertha workspace: a lock-cheap metrics registry and a
+//! span/event tracing API with pluggable sinks.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Zero cost when disabled.** Events are gated on a single relaxed
+//!    atomic load ([`enabled`]); with no sink installed the `event!` macro
+//!    compiles to a branch over that load and never materialises its
+//!    fields. Metrics are always on, but every metric operation is a
+//!    relaxed atomic RMW on a pre-resolved handle — no global locks, no
+//!    name lookups, no allocation on the hot path.
+//! 2. **No dependencies beyond the workspace.** JSON output is rendered by
+//!    hand (the workspace deliberately carries no `serde_json`), and the
+//!    only external crate used is `parking_lot`, already a workspace
+//!    dependency.
+//! 3. **Inspectable from outside.** [`Registry::snapshot`] produces a
+//!    [`Snapshot`] renderable as a single JSON object, which is what the
+//!    discovery agent's `dump-metrics` RPC and the bench crate's
+//!    `BENCH_*.json` emission both serve.
+//!
+//! Metric handles come from the process-global registry ([`counter`],
+//! [`gauge`], [`histogram`]): resolve once at construction time, then
+//! increment for free. Per-object counters that should *also* roll up into
+//! the global registry use [`MirroredCounter`].
+//!
+//! Tracing is event-structured: an [`Event`] is a level, a `target`
+//! (subsystem: `negotiate`, `reneg`, `discovery`, `shard`, `chunnel`,
+//! `agent`), a name, and key/value fields. [`Span`] measures a duration
+//! and emits it as an event on [`Span::end`]. Install a [`Sink`]
+//! ([`StderrSink`], [`JsonLinesSink`], [`MemorySink`], or a [`FanoutSink`]
+//! of several) with [`set_sink`]; until then everything is dropped at the
+//! `enabled()` check.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    counter, gauge, global, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
+    MirroredCounter, Registry, Snapshot,
+};
+pub use trace::{
+    clear_sink, emit, enabled, set_sink, Event, FanoutSink, JsonLinesSink, Level, MemorySink, Sink,
+    Span, StderrSink, Value,
+};

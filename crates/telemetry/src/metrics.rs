@@ -1,0 +1,496 @@
+//! Counters, gauges, and log-bucketed histograms behind a process-global
+//! registry.
+//!
+//! The registry maps names to `Arc`-shared metric handles. Name lookup
+//! takes a `parking_lot` read lock and happens once, at construction time
+//! of whatever owns the handle; after that, every operation is a single
+//! relaxed atomic RMW. Nothing on the data path ever touches the registry
+//! maps.
+//!
+//! Naming convention: `subsystem.metric`, lowercase, dot-separated —
+//! `switchable.frames_sent`, `reneg.epoch_swaps`, `discovery.lease_expiries`.
+//! The full table lives in DESIGN.md §"Observability".
+
+use crate::json;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter. All operations are relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A new counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `b` holds values whose highest set
+/// bit is `b-1` (i.e. `2^(b-1) <= v < 2^b`); bucket 0 holds only zero.
+const BUCKETS: usize = 65;
+
+/// A fixed log2-bucketed histogram. Recording is two relaxed atomic adds
+/// plus one into the matching bucket; no locks, no allocation, bounded
+/// (and small) memory. Quantiles are approximate: a quantile resolves to
+/// the upper edge of the bucket that contains it, so the reported value is
+/// within 2x of the true one — plenty for the latency distributions it
+/// records (durations are recorded in microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A new, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper edge (inclusive) of bucket `b`.
+    fn bucket_edge(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then_some((Self::bucket_edge(b), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): upper edge of the containing
+    /// bucket. Zero if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: total count and sum, plus the
+/// non-empty buckets as `(upper_edge, count)` pairs in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets: `(inclusive upper edge, observation count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile (`0.0..=1.0`): upper edge of the containing
+    /// bucket. Zero if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0;
+        for &(edge, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return edge;
+            }
+        }
+        self.buckets.last().map(|&(e, _)| e).unwrap_or(0)
+    }
+
+    /// Mean of observations (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn render_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push_str(",\"mean\":");
+        json::push_f64(out, self.mean());
+        out.push_str(",\"p50\":");
+        out.push_str(&self.quantile(0.5).to_string());
+        out.push_str(",\"p99\":");
+        out.push_str(&self.quantile(0.99).to_string());
+        out.push_str(",\"buckets\":[");
+        for (i, (edge, c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&edge.to_string());
+            out.push(',');
+            out.push_str(&c.to_string());
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A per-object counter that also rolls up into a global-registry counter.
+/// `get` reads the *local* value, so tests and introspection can assert on
+/// one object's activity without cross-talk from other connections in the
+/// same process; the global aggregate feeds snapshots.
+#[derive(Debug)]
+pub struct MirroredCounter {
+    local: Counter,
+    global: Arc<Counter>,
+}
+
+impl MirroredCounter {
+    /// A new counter mirroring into the global counter named `global_name`.
+    pub fn new(global_name: &str) -> Self {
+        MirroredCounter {
+            local: Counter::new(),
+            global: counter(global_name),
+        }
+    }
+
+    /// Add one (locally and globally).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (locally and globally).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.local.add(n);
+        self.global.add(n);
+    }
+
+    /// This object's count (not the global aggregate).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.local.get()
+    }
+}
+
+/// A registry of named metrics. Handing out a handle takes a read lock on
+/// the name map (write lock only on first use of a name); using the handle
+/// never touches the registry again.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_owned()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_owned()).or_default())
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name.to_owned()).or_default())
+    }
+
+    /// Freeze every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], renderable as JSON.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Render as a single JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, v)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            v.render_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// True if a counter, gauge, or histogram with this name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.counters.contains_key(name)
+            || self.gauges.contains_key(name)
+            || self.histograms.contains_key(name)
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or create a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Get or create a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Get or create a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let snap = h.snapshot();
+        // 0 -> edge 0; 1 -> edge 1; 2,3 -> edge 3; 4 -> edge 7;
+        // 1000 -> edge 1023; u64::MAX -> edge u64::MAX.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1), (u64::MAX, 1)]
+        );
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x.y");
+        let b = r.counter("x.y");
+        a.incr();
+        b.incr();
+        assert_eq!(r.counter("x.y").get(), 2);
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn mirrored_counter_counts_locally_and_globally() {
+        let before = counter("test.mirrored").get();
+        let m = MirroredCounter::new("test.mirrored");
+        m.add(3);
+        assert_eq!(m.get(), 3);
+        assert_eq!(counter("test.mirrored").get(), before + 3);
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let r = Registry::new();
+        r.counter("a.b").add(2);
+        r.gauge("g").set(-1);
+        r.histogram("h").record(5);
+        let js = r.snapshot().to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'), "{js}");
+        assert!(js.contains("\"a.b\":2"), "{js}");
+        assert!(js.contains("\"g\":-1"), "{js}");
+        assert!(js.contains("\"count\":1"), "{js}");
+        assert!(js.contains("\"p50\":7"), "{js}");
+        assert!(r.snapshot().contains("a.b"));
+        assert!(!r.snapshot().contains("missing"));
+    }
+}

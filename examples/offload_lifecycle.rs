@@ -33,7 +33,13 @@ async fn connect_and_report(canonical: &Addr, tag: &str) -> String {
     .await
     .unwrap();
     let picked = picks.picks[0].name.clone();
-    println!("  connection {tag:<12} picked: {picked}");
+    // Render the concrete negotiated stack this connection is bound to.
+    for line in bertha::StackReport::from_picks(tag, 0, &picks)
+        .render()
+        .lines()
+    {
+        println!("  {line}");
+    }
     picked
 }
 

@@ -60,16 +60,9 @@ async fn main() -> Result<(), bertha::Error> {
     );
     let endpoint = bertha::new("quickstart-client", client_stack);
     let (conn, picks) = endpoint.connect(&mut UdpConnector, addr.clone()).await?;
-    println!(
-        "negotiated with {}: picked [{}]",
-        picks.name,
-        picks
-            .picks
-            .iter()
-            .map(|p| p.name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
+    // Introspect the concrete stack negotiation just bound for us.
+    let report = bertha::StackReport::from_picks("quickstart-client", 0, &picks);
+    print!("{}", report.render());
 
     conn.send((
         addr.clone(),

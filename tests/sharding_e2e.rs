@@ -116,13 +116,7 @@ async fn server_accelerated_deployment() {
     assert_eq!(picked, "shard/steer");
     exercise(&client).await;
     // The steerer did the routing.
-    let steered = d
-        ._steerer
-        .as_ref()
-        .unwrap()
-        .stats
-        .steered
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let steered = d._steerer.as_ref().unwrap().stats.steered.get();
     assert!(steered >= 60, "steered {steered} frames");
     // And the discovery claim was made (one per connection).
     assert_eq!(d.registry.active_claims(bertha_shard::IMPL_STEER), 1);
