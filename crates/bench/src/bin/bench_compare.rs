@@ -1,0 +1,151 @@
+//! Diff fresh `BENCH_<name>.json` snapshots against committed baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare [--baselines <dir>] [--fresh <dir>] \
+//!               [--threshold-pct <f>] [--floor-us <f>] [name ...]
+//! ```
+//!
+//! With no names, every `BENCH_*.json` in the baselines directory
+//! (default `results/baselines`) is compared against the same file name
+//! in the fresh directory (default the current directory, where the bench
+//! binaries write). Prints a markdown comparison table to stdout — pipe
+//! it into `$GITHUB_STEP_SUMMARY` in CI — and exits nonzero when any
+//! compared bench regressed beyond the thresholds. A baseline with no
+//! fresh counterpart is reported but does not fail the run (the CI job
+//! may only regenerate a subset); comparing *nothing* does fail, so a
+//! path typo cannot masquerade as a pass.
+//!
+//! Refreshing baselines after an intentional perf change is a copy:
+//! `cp BENCH_<name>.json results/baselines/` (see EXPERIMENTS.md).
+
+use bertha_bench::compare::{compare, render_rows, Thresholds, TABLE_HEADER};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare [--baselines <dir>] [--fresh <dir>] \
+         [--threshold-pct <f>] [--floor-us <f>] [name ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut baselines = PathBuf::from("results/baselines");
+    let mut fresh_dir = PathBuf::from(".");
+    let mut thr = Thresholds::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baselines" if i + 1 < args.len() => {
+                baselines = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--fresh" if i + 1 < args.len() => {
+                fresh_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--threshold-pct" if i + 1 < args.len() => {
+                thr.latency_pct = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--floor-us" if i + 1 < args.len() => {
+                thr.latency_floor_us = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(),
+            name => {
+                names.push(name.to_owned());
+                i += 1;
+            }
+        }
+    }
+
+    if names.is_empty() {
+        let entries = match std::fs::read_dir(&baselines) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("bench_compare: read {}: {e}", baselines.display());
+                std::process::exit(2);
+            }
+        };
+        for entry in entries.flatten() {
+            let file = entry.file_name().to_string_lossy().into_owned();
+            if let Some(name) = file
+                .strip_prefix("BENCH_")
+                .and_then(|f| f.strip_suffix(".json"))
+            {
+                names.push(name.to_owned());
+            }
+        }
+        names.sort();
+    }
+    if names.is_empty() {
+        eprintln!(
+            "bench_compare: no baselines found in {}",
+            baselines.display()
+        );
+        std::process::exit(2);
+    }
+
+    let mut table = String::from(TABLE_HEADER);
+    let mut failed = false;
+    let mut compared = 0usize;
+    let mut skipped: Vec<String> = Vec::new();
+    for name in &names {
+        let file = format!("BENCH_{name}.json");
+        let base_path = baselines.join(&file);
+        let fresh_path = fresh_dir.join(&file);
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_compare: read {}: {e}", base_path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(_) => {
+                skipped.push(name.clone());
+                continue;
+            }
+        };
+        match compare(&base, &fresh, &thr) {
+            Ok(report) => {
+                compared += 1;
+                table.push_str(&render_rows(name, &report));
+                if !report.passed() {
+                    failed = true;
+                    for r in &report.regressions {
+                        eprintln!("bench_compare: {name}: REGRESSION: {r}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    print!("{table}");
+    for name in &skipped {
+        println!("\n_no fresh snapshot for `{name}`; skipped_");
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: nothing compared (no fresh snapshots found)");
+        std::process::exit(2);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nbench_compare: {compared} bench(es) within thresholds \
+         (latency +{}% and +{} µs, failure counters non-increasing)",
+        thr.latency_pct, thr.latency_floor_us
+    );
+}

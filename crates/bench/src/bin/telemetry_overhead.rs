@@ -10,9 +10,11 @@
 //!   one pre-resolved relaxed counter increment and one `event!` whose
 //!   sink-absent fast path must skip field construction entirely.
 //!
-//! Takes the best of several trials for each variant (min is the right
-//! statistic for "how fast can this go"; it rejects scheduler noise),
-//! computes the relative overhead, writes
+//! Runs several interleaved A/B/B/A trials and takes the **median** per
+//! variant — the min was flaky on noisy shared runners (one lucky baseline
+//! sample fabricates overhead), while the median of an interleaved series
+//! cancels frequency ramps and background load affecting both variants
+//! equally. Computes the relative overhead, writes
 //! `BENCH_telemetry_overhead.json`, and exits nonzero if overhead exceeds
 //! the 2% budget.
 
@@ -57,9 +59,16 @@ fn run_instrumented(buf: &[u8]) -> (u64, f64) {
     (acc, start.elapsed().as_secs_f64() * 1e9 / ITERS as f64)
 }
 
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("ns values are finite"));
+    samples[samples.len() / 2]
+}
+
 fn main() {
-    // The whole point: no sink installed, events must short-circuit.
+    // The whole point: no sink installed and sampling off, events must
+    // short-circuit.
     tele::clear_sink();
+    tele::set_sample(0);
     assert!(!tele::enabled(), "no sink must mean telemetry disabled");
 
     let buf: Vec<u8> = (0..BUF_LEN).map(|i| (i * 31 % 251) as u8).collect();
@@ -67,24 +76,26 @@ fn main() {
     // Warm-up, and keep the checksums so nothing gets optimized out.
     let mut sink = run_baseline(&buf).0 ^ run_instrumented(&buf).0;
 
-    let mut base_ns = f64::INFINITY;
-    let mut instr_ns = f64::INFINITY;
+    let mut base_samples = Vec::with_capacity(TRIALS * 2);
+    let mut instr_samples = Vec::with_capacity(TRIALS * 2);
     for _ in 0..TRIALS {
         // Alternate orders within a trial so frequency ramping and cache
         // state bias neither variant.
         let (a, b_ns) = run_baseline(&buf);
         let (c, i_ns) = run_instrumented(&buf);
         sink ^= a ^ c;
-        base_ns = base_ns.min(b_ns);
-        instr_ns = instr_ns.min(i_ns);
+        base_samples.push(b_ns);
+        instr_samples.push(i_ns);
         let (c2, i_ns2) = run_instrumented(&buf);
         let (a2, b_ns2) = run_baseline(&buf);
         sink ^= a2 ^ c2;
-        base_ns = base_ns.min(b_ns2);
-        instr_ns = instr_ns.min(i_ns2);
+        base_samples.push(b_ns2);
+        instr_samples.push(i_ns2);
     }
     black_box(sink);
 
+    let base_ns = median(&mut base_samples);
+    let instr_ns = median(&mut instr_samples);
     let overhead_pct = (instr_ns - base_ns) / base_ns * 100.0;
     println!(
         "telemetry_overhead: baseline {base_ns:.1} ns/frame, \

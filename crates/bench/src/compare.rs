@@ -1,0 +1,490 @@
+//! Compare fresh `BENCH_<name>.json` snapshots against committed
+//! baselines, so a perf regression shows up in review instead of three
+//! PRs later.
+//!
+//! A snapshot (see [`crate::bench_json`]) carries optional latency
+//! quantiles, caller scalars, and the full telemetry snapshot. The
+//! comparison checks:
+//!
+//! - **Latency**: `latency_us.p50` and `latency_us.p99` may not exceed
+//!   the baseline by more than the threshold percentage — and, to keep
+//!   microsecond-scale noise from failing builds, only when the absolute
+//!   increase also exceeds a floor.
+//! - **Counter invariants**: every counter named in the baseline must
+//!   still exist in the fresh snapshot (a vanished counter means the
+//!   instrumentation regressed), and failure counters (names containing
+//!   `failed`, `malformed`, or `timeout`) may not exceed their baseline
+//!   value.
+//!
+//! The report renders as a GitHub-flavored markdown table for CI job
+//! summaries. The workspace forbids new dependencies, so the snapshot
+//! parser here is a small hand-rolled recursive-descent JSON reader —
+//! sufficient for the format `bench_json` emits (it is not a general
+//! validator).
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64, which covers every value we emit).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member of an object, by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walk nested objects: `get_path(&["metrics", "counters"])`.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at offset {}, found {:?}",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        // Surrogate pairs don't occur in our own output;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && b[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos]).map_err(|e| format!("bad utf8: {e}"))?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        members.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            other => return Err(format!("expected , or }} in object, found {other:?}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected , or ] in array, found {other:?}")),
+        }
+    }
+}
+
+/// Comparison tolerances.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Latency may grow by this much (percent) before it counts.
+    pub latency_pct: f64,
+    /// ... and only when the absolute growth also exceeds this (µs).
+    pub latency_floor_us: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            latency_pct: 25.0,
+            latency_floor_us: 5.0,
+        }
+    }
+}
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// What was compared (e.g. `latency_us.p50`).
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Whether this row regressed.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing one bench's snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Compared quantities, in comparison order.
+    pub rows: Vec<Row>,
+    /// Human-readable regression descriptions (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+impl Report {
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn is_failure_counter(name: &str) -> bool {
+    ["failed", "malformed", "timeout"]
+        .iter()
+        .any(|marker| name.contains(marker))
+}
+
+/// Compare a fresh snapshot against a baseline (both as JSON text).
+pub fn compare(baseline: &str, fresh: &str, thr: &Thresholds) -> Result<Report, String> {
+    let base = Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let fresh = Json::parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let mut report = Report::default();
+
+    for q in ["p50", "p99"] {
+        let (Some(b), Some(f)) = (
+            base.get_path(&["latency_us", q]).and_then(Json::num),
+            fresh.get_path(&["latency_us", q]).and_then(Json::num),
+        ) else {
+            continue;
+        };
+        let grew_pct = if b > 0.0 { (f - b) / b * 100.0 } else { 0.0 };
+        let regressed = grew_pct > thr.latency_pct && (f - b) > thr.latency_floor_us;
+        if regressed {
+            report.regressions.push(format!(
+                "latency_us.{q}: {b:.1} -> {f:.1} µs (+{grew_pct:.1}%, \
+                 threshold {}% and {} µs)",
+                thr.latency_pct, thr.latency_floor_us
+            ));
+        }
+        report.rows.push(Row {
+            metric: format!("latency_us.{q}"),
+            base: b,
+            fresh: f,
+            regressed,
+        });
+    }
+
+    let base_counters = base.get_path(&["metrics", "counters"]);
+    let fresh_counters = fresh.get_path(&["metrics", "counters"]);
+    if let (Some(bc), Some(fc)) = (base_counters, fresh_counters) {
+        for (name, bval) in bc.members().unwrap_or(&[]) {
+            let bval = bval.num().unwrap_or(0.0);
+            match fc.get(name).and_then(Json::num) {
+                None => {
+                    report.regressions.push(format!(
+                        "counter {name:?} present in baseline but missing from fresh snapshot"
+                    ));
+                    report.rows.push(Row {
+                        metric: format!("counters.{name}"),
+                        base: bval,
+                        fresh: f64::NAN,
+                        regressed: true,
+                    });
+                }
+                Some(fval) => {
+                    let regressed = is_failure_counter(name) && fval > bval;
+                    if regressed {
+                        report
+                            .regressions
+                            .push(format!("failure counter {name:?} grew: {bval} -> {fval}"));
+                    }
+                    // Only failure counters and mismatches make the table;
+                    // echoing every counter would drown the summary.
+                    if regressed || is_failure_counter(name) {
+                        report.rows.push(Row {
+                            metric: format!("counters.{name}"),
+                            base: bval,
+                            fresh: fval,
+                            regressed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Render one bench's report as GitHub-flavored markdown table rows
+/// (callers print the header once across benches).
+pub fn render_rows(bench: &str, report: &Report) -> String {
+    let mut out = String::new();
+    for row in &report.rows {
+        let delta = if row.base > 0.0 && row.fresh.is_finite() {
+            format!("{:+.1}%", (row.fresh - row.base) / row.base * 100.0)
+        } else {
+            "-".into()
+        };
+        let status = if row.regressed { "❌" } else { "✅" };
+        out.push_str(&format!(
+            "| {bench} | {} | {:.2} | {} | {delta} | {status} |\n",
+            row.metric,
+            row.base,
+            if row.fresh.is_finite() {
+                format!("{:.2}", row.fresh)
+            } else {
+                "missing".into()
+            },
+        ));
+    }
+    out
+}
+
+/// The markdown table header matching [`render_rows`].
+pub const TABLE_HEADER: &str =
+    "| bench | metric | baseline | fresh | delta | status |\n|---|---|---|---|---|---|\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(p50: f64, p99: f64, failed: u64) -> String {
+        format!(
+            "{{\"bench\":\"unit\",\"latency_us\":{{\"n\":100,\"p50\":{p50},\"p99\":{p99}}},\
+             \"extra\":{{}},\"metrics\":{{\"counters\":{{\"reneg.rounds_failed\":{failed},\
+             \"frames.sent\":42}},\"gauges\":{{}},\"histograms\":{{}}}}}}"
+        )
+    }
+
+    #[test]
+    fn parses_own_bench_json() {
+        bertha_telemetry::counter("compare.unit_marker").incr();
+        let json = crate::bench_json("unit", None, &[("scale", 0.5)]);
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.get("bench"), Some(&Json::Str("unit".into())));
+        assert_eq!(
+            v.get_path(&["extra", "scale"]).and_then(Json::num),
+            Some(0.5)
+        );
+        assert!(v
+            .get_path(&["metrics", "counters", "compare.unit_marker"])
+            .is_some());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a":"q\"\\\nAé","b":[1,-2.5e1,true,null]}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Str("q\"\\\nAé".into())));
+        let Some(Json::Arr(items)) = v.get("b") else {
+            panic!("b must be an array")
+        };
+        assert_eq!(items[1], Json::Num(-25.0));
+        assert_eq!(items[3], Json::Null);
+        assert!(Json::parse("{\"a\":1} junk").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let s = snapshot(10.0, 50.0, 1);
+        let report = compare(&s, &s, &Thresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.rows.iter().any(|r| r.metric == "latency_us.p50"));
+    }
+
+    #[test]
+    fn latency_regression_fails() {
+        let base = snapshot(10.0, 50.0, 0);
+        let fresh = snapshot(30.0, 50.0, 0);
+        let report = compare(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("latency_us.p50"));
+    }
+
+    #[test]
+    fn small_absolute_growth_is_noise_not_regression() {
+        // +50% but only +1 µs: under the floor, so it passes.
+        let base = snapshot(2.0, 50.0, 0);
+        let fresh = snapshot(3.0, 50.0, 0);
+        let report = compare(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn growing_failure_counter_fails() {
+        let base = snapshot(10.0, 50.0, 0);
+        let fresh = snapshot(10.0, 50.0, 3);
+        let report = compare(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("rounds_failed"));
+    }
+
+    #[test]
+    fn missing_baseline_counter_fails() {
+        let base = snapshot(10.0, 50.0, 0);
+        let fresh = base.replace("\"frames.sent\":42", "\"frames.other\":42");
+        let report = compare(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("frames.sent"));
+    }
+
+    #[test]
+    fn renders_markdown_rows() {
+        let base = snapshot(10.0, 50.0, 0);
+        let fresh = snapshot(30.0, 50.0, 0);
+        let report = compare(&base, &fresh, &Thresholds::default()).unwrap();
+        let md = render_rows("unit", &report);
+        assert!(md.contains("| unit | latency_us.p50 | 10.00 | 30.00 | +200.0% | ❌ |"));
+        assert!(TABLE_HEADER.starts_with("| bench |"));
+    }
+}

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use bertha_telemetry as tele;
 use std::time::Duration;
 

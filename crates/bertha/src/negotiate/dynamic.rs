@@ -137,7 +137,8 @@ where
         slots: vec![],
         registered: registry.offers(),
     };
-    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts).await?;
+    let ctx = bertha_telemetry::TraceContext::new_root();
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts, &ctx).await?;
     if let Some(f) = &opts.filter {
         f.picked(Role::Client, &picks.picks).await?;
     }

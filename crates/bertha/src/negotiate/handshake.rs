@@ -30,6 +30,11 @@ use std::time::Duration;
 pub const TAG_DATA: u8 = 0x00;
 /// Frame tag: negotiation message.
 pub const TAG_NEG: u8 = 0x01;
+/// Frame tag: negotiation message carrying a trace context —
+/// `[0x03][25-byte TraceContext][bincode NegotiateMsg]`. Senders always
+/// attach their context; receivers accept plain [`TAG_NEG`] too, so
+/// endpoints from before tracing interoperate.
+pub const TAG_NEG_TRACE: u8 = 0x03;
 
 /// Which side of the handshake we are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,6 +161,31 @@ pub(crate) fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
     v
 }
 
+/// Frame a negotiation message with its trace context:
+/// `[TAG_NEG_TRACE][25-byte context][body]`.
+pub(crate) fn frame_neg(ctx: &tele::TraceContext, body: &[u8]) -> Vec<u8> {
+    let enc = ctx.encode();
+    let mut v = Vec::with_capacity(1 + enc.len() + body.len());
+    v.push(TAG_NEG_TRACE);
+    v.extend_from_slice(&enc);
+    v.extend_from_slice(body);
+    v
+}
+
+/// Split a received negotiation frame into its optional trace context and
+/// the serialized message body. `None` if the buffer is not a negotiation
+/// frame (wrong tag, or a traced frame too short to hold a context).
+pub(crate) fn neg_parts(buf: &[u8]) -> Option<(Option<tele::TraceContext>, &[u8])> {
+    match buf.split_first() {
+        Some((&TAG_NEG, body)) => Some((None, body)),
+        Some((&TAG_NEG_TRACE, rest)) => {
+            let ctx = tele::TraceContext::decode(rest)?;
+            Some((Some(ctx), &rest[tele::tracectx::WIRE_LEN..]))
+        }
+        _ => None,
+    }
+}
+
 pub(crate) async fn apply_filter(
     filter: &Option<Arc<dyn OfferFilter>>,
     role: Role,
@@ -185,17 +215,23 @@ pub(crate) async fn apply_filter(
 
 /// Run the client side of the handshake on a raw connection, returning the
 /// server's picks and any data frames that arrived while we waited.
+///
+/// `ctx` is this negotiation's trace context: it rides on every offer
+/// frame (the server parents its spans under it), is bound to the
+/// handshake nonce on success so data-path chunnels can recover it, and
+/// names the trace in the flight-recorder dump on exhaustion.
 pub async fn client_handshake<C>(
     raw: &C,
     addr: &Addr,
     offer: &NegotiateMsg,
     opts: &NegotiateOpts,
+    ctx: &tele::TraceContext,
 ) -> Result<(ServerPicks, Vec<Datagram>), Error>
 where
     C: ChunnelConnection<Data = Datagram>,
 {
     let body = bincode::serialize(offer)?;
-    let neg_frame = frame(TAG_NEG, &body);
+    let neg_frame = frame_neg(ctx, &body);
     let mut pending = Vec::new();
     tele::counter("negotiate.client.handshakes").incr();
     let start = std::time::Instant::now();
@@ -214,13 +250,18 @@ where
                 Ok(r) => r?,
             };
             match buf.split_first() {
-                Some((&TAG_NEG, body)) => {
+                Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
+                    let Some((_peer_ctx, body)) = neg_parts(&buf) else {
+                        // Truncated traced frame; treat as junk.
+                        continue;
+                    };
                     let msg: NegotiateMsg = bincode::deserialize(body)?;
                     match msg {
                         NegotiateMsg::ServerReply(Ok(picks)) => {
                             let elapsed = start.elapsed();
                             tele::histogram("negotiate.client.handshake_us")
                                 .record_duration(elapsed);
+                            tele::bind_nonce(&picks.nonce, *ctx);
                             tele::event!(
                                 tele::Level::Info,
                                 "negotiate",
@@ -231,6 +272,9 @@ where
                                 "impls" = impl_names(&picks.picks),
                                 "attempts" = attempt + 1,
                                 "elapsed_us" = elapsed.as_micros() as u64,
+                                "trace_id" = ctx.trace_hex(),
+                                "span_id" = ctx.span_id,
+                                "sampled" = ctx.sampled,
                             );
                             return Ok((picks, pending));
                         }
@@ -242,6 +286,8 @@ where
                                 "client_rejected",
                                 "name" = opts.name.as_str(),
                                 "reason" = e.as_str(),
+                                "trace_id" = ctx.trace_hex(),
+                                "span_id" = ctx.span_id,
                             );
                             return Err(Error::Negotiation(e));
                         }
@@ -279,7 +325,12 @@ where
         "client_timeout",
         "name" = opts.name.as_str(),
         "attempts" = opts.retries + 1,
+        "trace_id" = ctx.trace_hex(),
+        "span_id" = ctx.span_id,
     );
+    // Handshake exhaustion is a postmortem trigger: capture the recent
+    // control-path history with the failing trace id up front.
+    let _ = tele::flight::dump("negotiate.client_timeout", Some(ctx.trace_id));
     Err(Error::Timeout {
         after: opts.handshake_budget(),
         what: "negotiation reply",
@@ -345,7 +396,7 @@ where
                 let (from, buf) = self.inner.recv().await?;
                 match buf.split_first() {
                     Some((&TAG_DATA, body)) => return Ok((from, body.to_vec())),
-                    Some((&TAG_NEG, _)) => {
+                    Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
                         // A server's established connection answers a
                         // duplicate offer by repeating its cached reply (the
                         // client's copy was lost); a client ignores late
@@ -384,7 +435,8 @@ where
         slots,
         registered: super::dynamic::global_registry().offers(),
     };
-    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts).await?;
+    let ctx = tele::TraceContext::new_root();
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, opts, &ctx).await?;
     if let Some(f) = &opts.filter {
         f.picked(Role::Client, &picks.picks).await?;
     }
@@ -416,15 +468,21 @@ where
             what: "client offer",
         })??;
 
-    let body = match buf.split_first() {
-        Some((&TAG_NEG, body)) => body,
-        _ => {
+    let (client_ctx, body) = match neg_parts(&buf) {
+        Some(parts) => parts,
+        None => {
             return Err(Error::Negotiation(
                 "expected a negotiation handshake as the first message".into(),
             ))
         }
     };
     let client_msg: NegotiateMsg = bincode::deserialize(body)?;
+    // Our spans join the client's trace when it sent one; an untraced
+    // client gets a fresh server-rooted trace.
+    let ctx = client_ctx
+        .map(|c| c.child())
+        .unwrap_or_else(tele::TraceContext::new_root);
+    let parent_span = client_ctx.map(|c| c.span_id).unwrap_or(0);
 
     let slots = apply_filter(&opts.filter, Role::Server, stack.offers()).await?;
     let outcome = pick_stack(&opts.name, &slots, &client_msg, &*opts.policy);
@@ -459,6 +517,7 @@ where
         Ok(picks) => {
             let elapsed = start.elapsed();
             tele::histogram("negotiate.server.handshake_us").record_duration(elapsed);
+            tele::bind_nonce(&picks.nonce, ctx);
             tele::event!(
                 tele::Level::Info,
                 "negotiate",
@@ -468,6 +527,9 @@ where
                 "slots" = picks.picks.len(),
                 "impls" = impl_names(&picks.picks),
                 "elapsed_us" = elapsed.as_micros() as u64,
+                "trace_id" = ctx.trace_hex(),
+                "span_id" = ctx.span_id,
+                "parent_span_id" = parent_span,
             );
             let reply = NegotiateMsg::ServerReply(Ok(picks.clone()));
             (Some(picks), reply)
@@ -481,11 +543,14 @@ where
                 "name" = opts.name.as_str(),
                 "peer" = peer.as_str(),
                 "reason" = e.to_string(),
+                "trace_id" = ctx.trace_hex(),
+                "span_id" = ctx.span_id,
+                "parent_span_id" = parent_span,
             );
             (None, NegotiateMsg::ServerReply(Err(e.to_string())))
         }
     };
-    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    let reply_frame = frame_neg(&ctx, &bincode::serialize(&reply)?);
     raw.send((from, reply_frame.clone())).await?;
 
     let picks = match picks {
@@ -636,6 +701,9 @@ mod tests {
         assert_eq!(picks.picks.len(), 1);
         assert_eq!(picks.picks[0].impl_guid, Rel::IMPL);
         assert_eq!(picks.name, "srv");
+        // The handshake bound its trace context to the nonce, so data-path
+        // chunnels can recover it in their `picked` hooks.
+        assert!(tele::nonce_context(&picks.nonce).is_some());
 
         cli_conn
             .send((addr.clone(), b"ping".to_vec()))
@@ -705,20 +773,25 @@ mod tests {
             registered: vec![],
         };
         let opts = NegotiateOpts::named("cli");
-        let (picks, _) = client_handshake(&cli_raw, &addr, &offer, &opts)
+        let ctx = tele::TraceContext::new_root();
+        let (picks, _) = client_handshake(&cli_raw, &addr, &offer, &opts, &ctx)
             .await
             .unwrap();
         assert_eq!(picks.picks.len(), 1);
 
-        // Pretend our reply was lost: re-send the offer. The established
-        // server connection must re-reply rather than treating it as data.
+        // Pretend our reply was lost: re-send the offer as a *plain*
+        // (untraced) negotiation frame — the established server connection
+        // must still recognize it and re-reply rather than treating it as
+        // data. The reply itself carries the server's trace context.
         let body = bincode::serialize(&offer).unwrap();
         cli_raw
             .send((addr.clone(), frame(TAG_NEG, &body)))
             .await
             .unwrap();
         let (_, buf) = cli_raw.recv().await.unwrap();
-        assert_eq!(buf[0], TAG_NEG, "got a re-reply");
+        assert_eq!(buf[0], TAG_NEG_TRACE, "got a re-reply");
+        let (reply_ctx, _) = neg_parts(&buf).expect("re-reply parses");
+        assert!(reply_ctx.is_some(), "re-reply carries the server context");
 
         // And data still flows.
         cli_raw
@@ -728,6 +801,25 @@ mod tests {
         let (_, buf) = cli_raw.recv().await.unwrap();
         assert_eq!(&buf, &frame(TAG_DATA, b"hello"));
         srv.await.unwrap().unwrap();
+    }
+
+    #[test]
+    fn neg_frame_helpers_roundtrip() {
+        let ctx = tele::TraceContext::new_root();
+        let body = b"payload";
+        let traced = frame_neg(&ctx, body);
+        assert_eq!(traced[0], TAG_NEG_TRACE);
+        let (got, rest) = neg_parts(&traced).unwrap();
+        assert_eq!(got, Some(ctx));
+        assert_eq!(rest, body);
+        // Plain frames parse with no context; non-negotiation tags and
+        // truncated traced frames do not parse at all.
+        let plain = frame(TAG_NEG, body);
+        let (got, rest) = neg_parts(&plain).unwrap();
+        assert!(got.is_none());
+        assert_eq!(rest, body);
+        assert!(neg_parts(&frame(TAG_DATA, body)).is_none());
+        assert!(neg_parts(&[TAG_NEG_TRACE, 1, 2]).is_none());
     }
 
     #[tokio::test]

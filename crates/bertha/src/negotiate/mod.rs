@@ -27,7 +27,7 @@ pub use dynamic::{
 };
 pub use handshake::{
     client_handshake, negotiate_client, negotiate_server_once, NegotiateOpts, NegotiatedConn,
-    NegotiatedStream, OfferFilter, Role, TAG_DATA, TAG_NEG,
+    NegotiatedStream, OfferFilter, Role, TAG_DATA, TAG_NEG, TAG_NEG_TRACE,
 };
 pub use pick::{
     candidates_for_slot, pick_slot, pick_stack, Candidate, DefaultPolicy, FnPolicy, Policy,

@@ -41,7 +41,8 @@ use super::apply::{Apply, GetOffers};
 use super::dynamic::global_registry;
 use super::handshake::impl_names;
 use super::handshake::{
-    apply_filter, client_handshake, frame, jittered, NegotiateOpts, Role, TAG_NEG,
+    apply_filter, client_handshake, frame, frame_neg, jittered, neg_parts, NegotiateOpts, Role,
+    TAG_NEG, TAG_NEG_TRACE,
 };
 use super::pick::pick_stack;
 use super::types::{NegotiateMsg, Offer, ServerPicks};
@@ -184,8 +185,9 @@ struct Core<InC> {
     /// Initiator: the reply to our in-flight proposal.
     reneg_reply: Mutex<Option<(u64, Result<ServerPicks, String>)>>,
     reneg_reply_notify: Notify,
-    /// Responder: the peer's latest proposal, consumed by the responder task.
-    reneg_request: Mutex<Option<NegotiateMsg>>,
+    /// Responder: the peer's latest proposal (and the trace context it
+    /// arrived under), consumed by the responder task.
+    reneg_request: Mutex<Option<(NegotiateMsg, Option<tele::TraceContext>)>>,
     reneg_request_notify: Notify,
     /// Application sends are held while a swap is in progress (counted:
     /// local initiator and responder task may overlap).
@@ -197,6 +199,9 @@ struct Core<InC> {
     initiate_lock: tokio::sync::Mutex<()>,
     swap_lock: tokio::sync::Mutex<()>,
     tele: ConnTelemetry,
+    /// This connection's trace context, established by the initial
+    /// handshake. Renegotiation rounds and swaps emit spans in this trace.
+    trace: tele::TraceContext,
 }
 
 impl<InC> Core<InC>
@@ -263,9 +268,12 @@ where
                     self.tele.stale_epoch_drops.incr();
                 }
             }
-            Some((&TAG_NEG, body)) => {
+            Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
                 // Corrupt control frames are dropped like any other junk
                 // datagram; the sender retransmits.
+                let Some((peer_ctx, body)) = neg_parts(&buf) else {
+                    return Ok(());
+                };
                 let Ok(msg) = bincode::deserialize::<NegotiateMsg>(body) else {
                     return Ok(());
                 };
@@ -291,13 +299,13 @@ where
                         if epoch > self.epoch.load(Ordering::Acquire) {
                             let mut slot = self.reneg_request.lock();
                             let replace = match &*slot {
-                                Some(NegotiateMsg::Renegotiate { epoch: held, .. }) => {
+                                Some((NegotiateMsg::Renegotiate { epoch: held, .. }, _)) => {
                                     epoch > *held
                                 }
                                 _ => true,
                             };
                             if replace {
-                                *slot = Some(msg);
+                                *slot = Some((msg, peer_ctx));
                             }
                             drop(slot);
                             self.reneg_request_notify.notify_one();
@@ -325,11 +333,16 @@ where
 }
 
 /// Quiesce, then instantiate `picks` at `epoch` and make it current.
+/// `ctx` is the span for this round's swap (a child of `parent_span` in
+/// the connection's trace); it is bound to the picks' nonce so stack
+/// layers applied by the factory can pick it up.
 async fn swap_to<InC>(
     core: &Arc<Core<InC>>,
     factory: &StackFactory<InC>,
     epoch: u64,
     picks: ServerPicks,
+    ctx: tele::TraceContext,
+    parent_span: u64,
 ) -> Result<(), Error>
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
@@ -344,6 +357,7 @@ where
         core: Arc::clone(core),
         epoch,
     };
+    tele::bind_nonce(&picks.nonce, ctx);
     let target = factory(picks.picks.clone(), picks.nonce.clone(), conn).await?;
     *core.current.write() = (epoch, target);
     core.epoch.store(epoch, Ordering::Release);
@@ -378,7 +392,11 @@ where
             p.as_ref().map(|p| impl_names(&p.picks)).unwrap_or_default()
         },
         "elapsed_us" = elapsed.as_micros() as u64,
+        "trace_id" = ctx.trace_hex(),
+        "span_id" = ctx.span_id,
+        "parent_span_id" = parent_span,
     );
+    let _ = tele::flight::dump("reneg.swap", Some(ctx.trace_id));
     Ok(())
 }
 
@@ -529,6 +547,9 @@ where
     pub async fn renegotiate(&self) -> Result<ServerPicks, Error> {
         let _guard = self.core.initiate_lock.lock().await;
         let next = self.core.epoch.load(Ordering::Acquire) + 1;
+        // The round gets its own span, a child of the connection's trace,
+        // carried on the proposal so the responder's spans link back here.
+        let rctx = self.core.trace.child();
         tele::counter("reneg.rounds_initiated").incr();
         tele::event!(
             tele::Level::Info,
@@ -536,10 +557,13 @@ where
             "propose",
             "name" = self.core.opts.name.as_str(),
             "epoch" = next,
+            "trace_id" = rctx.trace_hex(),
+            "span_id" = rctx.span_id,
+            "parent_span_id" = self.core.trace.span_id,
         );
         self.core.initiating.store(true, Ordering::Release);
         self.core.pause();
-        let res = self.renegotiate_inner(next).await;
+        let res = self.renegotiate_inner(next, &rctx).await;
         self.core.unpause();
         self.core.initiating.store(false, Ordering::Release);
         if res.is_err() {
@@ -550,12 +574,20 @@ where
                 "round_failed",
                 "name" = self.core.opts.name.as_str(),
                 "epoch" = next,
+                "trace_id" = rctx.trace_hex(),
+                "span_id" = rctx.span_id,
+                "parent_span_id" = self.core.trace.span_id,
             );
+            let _ = tele::flight::dump("reneg.round_failed", Some(rctx.trace_id));
         }
         res
     }
 
-    async fn renegotiate_inner(&self, next: u64) -> Result<ServerPicks, Error> {
+    async fn renegotiate_inner(
+        &self,
+        next: u64,
+        rctx: &tele::TraceContext,
+    ) -> Result<ServerPicks, Error> {
         let core = &self.core;
         // Quiesce: anything unacknowledged would be lost with the old
         // stack. A stack that can no longer make progress (it is why we are
@@ -572,7 +604,7 @@ where
             slots,
             registered: global_registry().offers(),
         };
-        let neg_frame = frame(TAG_NEG, &bincode::serialize(&msg)?);
+        let neg_frame = frame_neg(rctx, &bincode::serialize(&msg)?);
         *core.reneg_reply.lock() = None;
 
         let mut backoff = core.opts.timeout;
@@ -604,7 +636,15 @@ where
                     if let Some(f) = &core.opts.filter {
                         f.picked(core.role, &picks.picks).await?;
                     }
-                    swap_to(core, &self.factory, next, picks.clone()).await?;
+                    swap_to(
+                        core,
+                        &self.factory,
+                        next,
+                        picks.clone(),
+                        *rctx,
+                        core.trace.span_id,
+                    )
+                    .await?;
                     return Ok(picks);
                 }
                 tokio::select! {
@@ -691,7 +731,7 @@ where
     loop {
         let notified = core.reneg_request_notify.notified();
         let taken = core.reneg_request.lock().take();
-        let Some(msg) = taken else {
+        let Some((msg, peer_ctx)) = taken else {
             notified.await;
             continue;
         };
@@ -720,7 +760,7 @@ where
             continue;
         }
         core.pause();
-        let _ = respond(&core, &factory, &msg, epoch).await;
+        let _ = respond(&core, &factory, &msg, epoch, peer_ctx).await;
         core.unpause();
     }
 }
@@ -730,10 +770,17 @@ async fn respond<InC>(
     factory: &StackFactory<InC>,
     msg: &NegotiateMsg,
     epoch: u64,
+    peer_ctx: Option<tele::TraceContext>,
 ) -> Result<(), Error>
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
+    // Our span for this round: a child of the initiator's round span when
+    // the proposal carried one, else of our own connection trace.
+    let dctx = peer_ctx
+        .map(|c| c.child())
+        .unwrap_or_else(|| core.trace.child());
+    let parent_span = peer_ctx.map(|c| c.span_id).unwrap_or(core.trace.span_id);
     // The initiator paused and drained before proposing; drain our side too
     // (its acknowledgments still flow: the initiator's epoch only advances
     // once it sees our reply).
@@ -762,11 +809,11 @@ where
             Err(e) => Err(e.to_string()),
         },
     };
-    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    let reply_frame = frame_neg(&dctx, &bincode::serialize(&reply)?);
     *core.cached_reneg.lock() = Some((epoch, reply_frame.clone()));
     core.raw.send((core.peer.clone(), reply_frame)).await?;
     if let Ok(picks) = outcome {
-        swap_to(core, factory, epoch, picks).await?;
+        swap_to(core, factory, epoch, picks, dctx, parent_span).await?;
     }
     Ok(())
 }
@@ -783,6 +830,7 @@ async fn assemble<S, InC>(
     pending: Vec<Datagram>,
     cached_reply: Option<Vec<u8>>,
     cached_reneg: Option<(u64, Vec<u8>)>,
+    trace: tele::TraceContext,
 ) -> Result<SwitchableConn<InC>, Error>
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
@@ -815,11 +863,13 @@ where
         initiate_lock: tokio::sync::Mutex::new(()),
         swap_lock: tokio::sync::Mutex::new(()),
         tele: ConnTelemetry::new(),
+        trace,
     });
     let conn = EpochConn {
         core: Arc::clone(&core),
         epoch,
     };
+    tele::bind_nonce(&picks.nonce, trace);
     let target = factory(picks.picks.clone(), picks.nonce.clone(), conn).await?;
     *core.current.write() = (epoch, target);
     *core.last_picks.lock() = Some(picks);
@@ -850,7 +900,8 @@ where
         slots,
         registered: global_registry().offers(),
     };
-    let (picks, pending) = client_handshake(&raw, &addr, &offer, &opts).await?;
+    let ctx = tele::TraceContext::new_root();
+    let (picks, pending) = client_handshake(&raw, &addr, &offer, &opts, &ctx).await?;
     if let Some(f) = &opts.filter {
         f.picked(Role::Client, &picks.picks).await?;
     }
@@ -865,6 +916,7 @@ where
         pending,
         None,
         None,
+        ctx,
     )
     .await?;
     Ok((conn, picks))
@@ -894,14 +946,16 @@ where
             what: "client offer",
         })??;
 
-    let body = match buf.split_first() {
-        Some((&TAG_NEG, body)) => body,
-        _ => {
-            return Err(Error::Negotiation(
-                "expected a negotiation handshake as the first message".into(),
-            ))
-        }
+    let Some((client_ctx, body)) = neg_parts(&buf) else {
+        return Err(Error::Negotiation(
+            "expected a negotiation handshake as the first message".into(),
+        ));
     };
+    // Join the client's trace when the offer carried one; otherwise this
+    // connection roots its own trace.
+    let ctx = client_ctx
+        .map(|c| c.child())
+        .unwrap_or_else(tele::TraceContext::new_root);
     let client_msg: NegotiateMsg = bincode::deserialize(body)?;
     let epoch = match &client_msg {
         NegotiateMsg::ClientOffer { .. } => 0,
@@ -955,7 +1009,7 @@ where
             (None, reply)
         }
     };
-    let reply_frame = frame(TAG_NEG, &bincode::serialize(&reply)?);
+    let reply_frame = frame_neg(&ctx, &bincode::serialize(&reply)?);
     raw.send((from.clone(), reply_frame.clone())).await?;
 
     let picks = match picks {
@@ -982,6 +1036,7 @@ where
         Vec::new(),
         cached_reply,
         cached_reneg,
+        ctx,
     )
     .await
 }
@@ -1199,9 +1254,9 @@ mod tests {
                 .await
         });
 
-        // Answer the initial offer.
+        // Answer the initial offer (sent traced; plain replies are fine).
         let (from, buf) = peer.recv().await.unwrap();
-        assert_eq!(buf[0], TAG_NEG);
+        assert_eq!(buf[0], TAG_NEG_TRACE);
         let pick = Offer::from_chunnel(&Rel);
         let reply = NegotiateMsg::ServerReply(Ok(ServerPicks {
             name: "peer".into(),
@@ -1231,8 +1286,10 @@ mod tests {
         let cli2 = cli.clone();
         let reneg = tokio::spawn(async move { cli2.renegotiate().await });
         let (from, buf) = peer.recv().await.unwrap();
-        assert_eq!(buf[0], TAG_NEG);
-        let msg: NegotiateMsg = bincode::deserialize(&buf[1..]).unwrap();
+        assert_eq!(buf[0], TAG_NEG_TRACE);
+        let (prop_ctx, body) = neg_parts(&buf).unwrap();
+        assert!(prop_ctx.is_some(), "proposal must carry a trace context");
+        let msg: NegotiateMsg = bincode::deserialize(body).unwrap();
         let NegotiateMsg::Renegotiate { epoch, slots, .. } = msg else {
             panic!("expected a renegotiation proposal");
         };
@@ -1335,8 +1392,9 @@ mod tests {
             .await
             .unwrap();
         let (_, buf) = cli_raw.recv().await.unwrap();
-        assert_eq!(buf[0], TAG_NEG);
-        let reply: NegotiateMsg = bincode::deserialize(&buf[1..]).unwrap();
+        assert_eq!(buf[0], TAG_NEG_TRACE);
+        let (_, body) = neg_parts(&buf).unwrap();
+        let reply: NegotiateMsg = bincode::deserialize(body).unwrap();
         let NegotiateMsg::RenegotiateReply { epoch, reply } = reply else {
             panic!("expected a renegotiation reply");
         };

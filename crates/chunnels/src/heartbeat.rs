@@ -193,6 +193,7 @@ impl<C> HeartbeatConn<C> {
             "peer_dead",
             "dead_after_ms" = self.cfg.dead_after.as_millis().min(u64::MAX as u128) as u64,
         );
+        let _ = tele::flight::dump("chunnel.peer_dead", None);
         Error::Timeout {
             after: self.cfg.dead_after,
             what: "peer liveness",

@@ -20,6 +20,8 @@
 //! - [`compress`]: an in-repo LZ-style compressor;
 //! - [`crypt`]: a **toy** stream cipher standing in for an encryption
 //!   offload workload (see its module docs — not secure);
+//! - [`tracing`]: stamp sampled connections' data frames with their
+//!   negotiation-established trace context (cross-host tracing);
 //! - [`serialize`]: typed messages over bincode — "applications send and
 //!   receive objects rather than bytes" (§3.2).
 
@@ -34,6 +36,7 @@ pub mod ordering;
 pub mod ratelimit;
 pub mod reliable;
 pub mod serialize;
+pub mod tracing;
 
 pub use batch::{BatchChunnel, BatchStats};
 pub use compress::CompressChunnel;
@@ -44,3 +47,4 @@ pub use ordering::OrderingChunnel;
 pub use ratelimit::{RateLimitChunnel, RateLimitStats};
 pub use reliable::{ReliabilityChunnel, ReliableStats};
 pub use serialize::SerializeChunnel;
+pub use tracing::{TracingChunnel, TracingStats};

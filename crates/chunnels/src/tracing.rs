@@ -1,0 +1,279 @@
+//! Tracing chunnel: stamp data frames with the connection's trace context.
+//!
+//! Negotiation establishes a per-connection [`TraceContext`] (both
+//! endpoints share one trace id; see `bertha_telemetry::tracectx`). This
+//! chunnel carries that context onto the data path: when the connection's
+//! trace is *sampled*, every sent frame is prefixed with a fresh child
+//! span of the connection context, so a cross-host collector can stitch
+//! per-message timings into the negotiation trace. Unsampled connections
+//! (the overwhelming majority at the default 1-in-64 rate,
+//! `BERTHA_TRACE_SAMPLE`) send a one-byte plain prefix and skip all event
+//! emission, keeping the hot path within the no-sink overhead budget.
+//!
+//! The chunnel learns its context via the [`Negotiate::picked`] hook: the
+//! handshake binds the negotiated nonce to the connection's trace context
+//! (`bertha_telemetry::bind_nonce`), and `picked` looks the nonce up. A
+//! stack that never negotiated (manual `connect_wrap`) sends plain frames.
+//!
+//! Wire format: `[0x00][payload]` plain, `[0x01][25-byte context][payload]`
+//! traced.
+
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::negotiate::{guid, Negotiate, Offer};
+use bertha::{Chunnel, Error};
+use bertha_telemetry as tele;
+use parking_lot::Mutex;
+
+const PLAIN: u8 = 0x00;
+const TRACED: u8 = 0x01;
+
+/// The tracing chunnel. See the module docs.
+///
+/// Each negotiation application gets a fresh cell (cloning resets it), so
+/// one `TracingChunnel` value in a server stack does not leak a previous
+/// connection's context into the next.
+#[derive(Debug, Default)]
+pub struct TracingChunnel {
+    ctx: Mutex<Option<tele::TraceContext>>,
+}
+
+impl Clone for TracingChunnel {
+    fn clone(&self) -> Self {
+        TracingChunnel::default()
+    }
+}
+
+impl Negotiate for TracingChunnel {
+    const CAPABILITY: u64 = guid("bertha/tracing");
+    const IMPL: u64 = guid("bertha/tracing/inline");
+    const NAME: &'static str = "tracing/inline";
+
+    fn picked(&self, _pick: &Offer, nonce: &[u8]) {
+        *self.ctx.lock() = tele::nonce_context(nonce);
+    }
+}
+
+bertha::negotiable!(TracingChunnel);
+
+/// Per-connection tracing counters, mirrored into the global registry
+/// (`tracing.*` metrics).
+#[derive(Debug)]
+pub struct TracingStats {
+    /// Frames sent with a trace-context prefix (sampled connections).
+    pub frames_stamped: tele::MirroredCounter,
+    /// Frames sent with the plain one-byte prefix.
+    pub frames_plain: tele::MirroredCounter,
+    /// Received frames that carried a trace context.
+    pub frames_traced_recv: tele::MirroredCounter,
+}
+
+impl TracingStats {
+    fn new() -> Self {
+        TracingStats {
+            frames_stamped: tele::MirroredCounter::new("tracing.frames_stamped"),
+            frames_plain: tele::MirroredCounter::new("tracing.frames_plain"),
+            frames_traced_recv: tele::MirroredCounter::new("tracing.frames_traced_recv"),
+        }
+    }
+}
+
+/// Connection produced by [`TracingChunnel`].
+pub struct TracingConn<C> {
+    inner: C,
+    ctx: Option<tele::TraceContext>,
+    stats: TracingStats,
+}
+
+impl<C> TracingConn<C> {
+    /// This connection's tracing counters.
+    pub fn stats(&self) -> &TracingStats {
+        &self.stats
+    }
+
+    /// The trace context this connection stamps (when sampled).
+    pub fn context(&self) -> Option<tele::TraceContext> {
+        self.ctx
+    }
+}
+
+impl<InC> Chunnel<InC> for TracingChunnel
+where
+    InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Connection = TracingConn<InC>;
+
+    fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
+        let ctx = *self.ctx.lock();
+        Box::pin(async move {
+            Ok(TracingConn {
+                inner,
+                ctx,
+                stats: TracingStats::new(),
+            })
+        })
+    }
+}
+
+impl<C> ChunnelConnection for TracingConn<C>
+where
+    C: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
+{
+    type Data = Datagram;
+
+    fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        Box::pin(async move {
+            let framed = match &self.ctx {
+                Some(ctx) if ctx.sampled => {
+                    // One child span per frame: the collector sees each
+                    // message as a leaf under the connection's span.
+                    let fctx = ctx.child();
+                    let mut v = Vec::with_capacity(1 + tele::tracectx::WIRE_LEN + payload.len());
+                    v.push(TRACED);
+                    v.extend_from_slice(&fctx.encode());
+                    v.extend_from_slice(&payload);
+                    self.stats.frames_stamped.incr();
+                    tele::event!(
+                        tele::Level::Debug,
+                        "chunnel",
+                        "traced_send",
+                        "trace_id" = fctx.trace_hex(),
+                        "span_id" = fctx.span_id,
+                        "parent_span_id" = ctx.span_id,
+                        "len" = payload.len() as u64,
+                    );
+                    v
+                }
+                _ => {
+                    let mut v = Vec::with_capacity(1 + payload.len());
+                    v.push(PLAIN);
+                    v.extend_from_slice(&payload);
+                    self.stats.frames_plain.incr();
+                    v
+                }
+            };
+            self.inner.send((addr, framed)).await
+        })
+    }
+
+    fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
+        Box::pin(async move {
+            let (from, buf) = self.inner.recv().await?;
+            match buf.split_first() {
+                Some((&PLAIN, payload)) => Ok((from, payload.to_vec())),
+                Some((&TRACED, rest)) => {
+                    let Some(fctx) = tele::TraceContext::decode(rest) else {
+                        return Err(Error::Encode("truncated trace context".into()));
+                    };
+                    let payload = rest[tele::tracectx::WIRE_LEN..].to_vec();
+                    self.stats.frames_traced_recv.incr();
+                    tele::event!(
+                        tele::Level::Debug,
+                        "chunnel",
+                        "traced_recv",
+                        "trace_id" = fctx.trace_hex(),
+                        "parent_span_id" = fctx.span_id,
+                        "len" = payload.len() as u64,
+                    );
+                    Ok((from, payload))
+                }
+                _ => Err(Error::Encode("bad tracing framing".into())),
+            }
+        })
+    }
+}
+
+impl<C> Drain for TracingConn<C>
+where
+    C: Drain,
+{
+    fn drain(&self) -> BoxFut<'_, Result<(), Error>> {
+        self.inner.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertha::conn::pair;
+
+    fn conn_with(
+        ctx: Option<tele::TraceContext>,
+    ) -> (
+        TracingConn<impl ChunnelConnection<Data = Datagram>>,
+        TracingConn<impl ChunnelConnection<Data = Datagram>>,
+    ) {
+        let (a, b) = pair::<Datagram>(16);
+        (
+            TracingConn {
+                inner: a,
+                ctx,
+                stats: TracingStats::new(),
+            },
+            TracingConn {
+                inner: b,
+                ctx: None,
+                stats: TracingStats::new(),
+            },
+        )
+    }
+
+    #[tokio::test]
+    async fn plain_frames_without_context() {
+        let (tx, rx) = conn_with(None);
+        let addr = bertha::Addr::Mem("t".into());
+        tx.send((addr, b"hello".to_vec())).await.unwrap();
+        let (_, d) = rx.recv().await.unwrap();
+        assert_eq!(d, b"hello");
+        assert_eq!(tx.stats().frames_plain.get(), 1);
+        assert_eq!(tx.stats().frames_stamped.get(), 0);
+        assert_eq!(rx.stats().frames_traced_recv.get(), 0);
+    }
+
+    #[tokio::test]
+    async fn sampled_context_stamps_frames() {
+        let ctx = tele::TraceContext {
+            trace_id: 0xfeed,
+            span_id: 7,
+            sampled: true,
+        };
+        let (tx, rx) = conn_with(Some(ctx));
+        let addr = bertha::Addr::Mem("t".into());
+        tx.send((addr, b"stamped".to_vec())).await.unwrap();
+        let (_, d) = rx.recv().await.unwrap();
+        assert_eq!(d, b"stamped");
+        assert_eq!(tx.stats().frames_stamped.get(), 1);
+        assert_eq!(rx.stats().frames_traced_recv.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn unsampled_context_sends_plain() {
+        let ctx = tele::TraceContext {
+            trace_id: 0xfeed,
+            span_id: 7,
+            sampled: false,
+        };
+        let (tx, rx) = conn_with(Some(ctx));
+        let addr = bertha::Addr::Mem("t".into());
+        tx.send((addr, b"quiet".to_vec())).await.unwrap();
+        let (_, d) = rx.recv().await.unwrap();
+        assert_eq!(d, b"quiet");
+        assert_eq!(tx.stats().frames_plain.get(), 1);
+        assert_eq!(tx.stats().frames_stamped.get(), 0);
+    }
+
+    #[test]
+    fn picked_reads_nonce_binding() {
+        let ctx = tele::TraceContext {
+            trace_id: 0xabcdef,
+            span_id: 42,
+            sampled: true,
+        };
+        let nonce = b"tracing-test-nonce".to_vec();
+        tele::bind_nonce(&nonce, ctx);
+        let ch = TracingChunnel::default();
+        ch.picked(&Offer::from_chunnel(&ch), &nonce);
+        assert_eq!(ch.ctx.lock().map(|c| c.trace_id), Some(0xabcdef));
+        // Cloning (a fresh negotiation application) resets the cell.
+        assert!(ch.clone().ctx.lock().is_none());
+    }
+}

@@ -31,7 +31,9 @@
 //! lease expiries) always go to stderr. With `--metrics-path <file>`,
 //! every event is additionally appended to `<file>` as JSON lines, and the
 //! `DumpMetrics` request returns the agent's counter snapshot over the
-//! socket at any time.
+//! socket at any time; `DumpFlightRecorder` returns the in-memory ring of
+//! recent events. Setting `BERTHA_LOG` (`off|pretty|json:<path>`)
+//! overrides the default sinks entirely.
 
 use bertha_discovery::registry::Hooks;
 use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
@@ -47,9 +49,14 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Install the agent's telemetry sinks: stderr for warnings and errors,
-/// plus a JSON-lines file carrying everything when `metrics_path` is given.
+/// Install the agent's telemetry sinks: `BERTHA_LOG` takes precedence
+/// when set (the uniform env-var spelling shared by every binary);
+/// otherwise stderr for warnings and errors, plus a JSON-lines file
+/// carrying everything when `metrics_path` is given.
 fn install_sinks(metrics_path: Option<&str>) -> Result<(), String> {
+    if tele::install_from_env()? {
+        return Ok(());
+    }
     let stderr: Arc<dyn tele::Sink> = Arc::new(tele::StderrSink::with_min(tele::Level::Warn));
     match metrics_path {
         None => tele::set_sink(stderr),

@@ -97,8 +97,12 @@ pub enum Request {
         impl_guid: u64,
     },
     /// A JSON snapshot of the agent's telemetry registry (counters,
-    /// gauges, histograms), for operator introspection.
+    /// gauges, histograms), plus process uptime and event counts by
+    /// level, for operator introspection.
     DumpMetrics,
+    /// The agent's flight-recorder ring (the last N rendered events), as
+    /// JSON lines — a live postmortem without waiting for a failure dump.
+    DumpFlightRecorder,
 }
 
 /// Responses from the discovery agent.
@@ -126,6 +130,9 @@ pub enum Response {
     Found(bool),
     /// A metrics snapshot, rendered as a JSON object.
     Metrics(String),
+    /// The flight-recorder ring, one rendered JSON event per line,
+    /// oldest first.
+    FlightLines(Vec<String>),
 }
 
 async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
@@ -187,8 +194,32 @@ async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> R
                 Err(e) => Response::Err(e.to_string()),
             }
         }
-        Request::DumpMetrics => Response::Metrics(tele::global().snapshot().to_json()),
+        Request::DumpMetrics => Response::Metrics(dump_metrics_json()),
+        Request::DumpFlightRecorder => Response::FlightLines(tele::flight::snapshot_lines()),
     }
+}
+
+/// The `DumpMetrics` payload: the registry snapshot wrapped with process
+/// uptime and per-level event counts. Everything interpolated is numeric
+/// or already-rendered JSON, so no escaping is needed here.
+fn dump_metrics_json() -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"uptime_s\":");
+    out.push_str(&tele::uptime().as_secs().to_string());
+    out.push_str(",\"events_by_level\":{");
+    for (i, (level, count)) in tele::events_by_level().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(level);
+        out.push_str("\":");
+        out.push_str(&count.to_string());
+    }
+    out.push_str("},\"metrics\":");
+    out.push_str(&tele::global().snapshot().to_json());
+    out.push('}');
+    out
 }
 
 /// How often the serving agent sweeps lapsed leases. Queries expire
@@ -354,6 +385,16 @@ impl RemoteRegistry {
     pub async fn dump_metrics(&self) -> Result<String, Error> {
         match self.request(&Request::DumpMetrics).await? {
             Response::Metrics(json) => Ok(json),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the agent's flight-recorder ring: its most recent rendered
+    /// events as JSON lines, oldest first.
+    pub async fn dump_flight_recorder(&self) -> Result<Vec<String>, Error> {
+        match self.request(&Request::DumpFlightRecorder).await? {
+            Response::FlightLines(lines) => Ok(lines),
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -642,6 +683,18 @@ mod tests {
         assert!(
             json.contains("\"agent.malformed_requests\""),
             "snapshot missing malformed-request counter: {json}"
+        );
+        // The dump also reports process uptime and event counts by level
+        // (the malformed request just produced a Warn event).
+        assert!(json.contains("\"uptime_s\":"), "{json}");
+        assert!(json.contains("\"events_by_level\":{\"debug\":"), "{json}");
+        assert!(json.contains("\"warn\":"), "{json}");
+        // And the same Warn event is sitting in the flight-recorder ring,
+        // readable over the DumpFlightRecorder RPC.
+        let lines = remote.dump_flight_recorder().await.unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("malformed_request")),
+            "flight ring missing the warn event: {lines:?}"
         );
         server.abort();
     }

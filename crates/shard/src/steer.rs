@@ -309,6 +309,7 @@ pub async fn serve_fallback(
         "canonical" = canonical.to_string(),
         "shards" = info.shards.len(),
     );
+    let _ = tele::flight::dump("shard.fallback_activated", None);
     let stack = bertha::wrap!(ShardCanonicalServer::new(info).software_only());
     if matches!(canonical, Addr::Udp(_)) {
         let raw = UdpListener::default().listen(canonical).await?;

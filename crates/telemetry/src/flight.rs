@@ -1,0 +1,204 @@
+//! The flight recorder: an always-on, fixed-size ring of the most recent
+//! rendered events, dumped to disk on failure.
+//!
+//! Even with no sink installed, `Info`-and-above events are rendered and
+//! pushed into this ring (see `trace::emit`). The ring holds the last
+//! [`capacity`] JSON lines per process (default 512, override with
+//! `BERTHA_FLIGHT_CAPACITY`); pushing is one short `parking_lot` mutex
+//! hold and one `VecDeque` rotate — cheap enough for control-path events,
+//! and the per-frame data path stays at `Debug` level and never gets here
+//! without a sink.
+//!
+//! [`dump`] writes the ring as JSON-lines to
+//! `bertha-flight-<pid>-<seq>.jsonl` in `BERTHA_FLIGHT_DIR` (or the
+//! system temp dir), with a header line first carrying the trigger and —
+//! when the failure is tied to a trace — the triggering trace id, so a
+//! postmortem starts from the right trace. Failure sites that dump:
+//! handshake exhaustion, renegotiation round failure, epoch swaps,
+//! dead-peer detection, and fallback-server activation; the discovery
+//! agent also serves the live ring over its `DumpFlightRecorder` RPC.
+//! Dumps are capped at [`MAX_DUMPS`] per process so a crash loop cannot
+//! fill the disk.
+
+use crate::metrics;
+use crate::tracectx::trace_hex;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity (events), override with `BERTHA_FLIGHT_CAPACITY`.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// Maximum number of dump files one process will write.
+pub const MAX_DUMPS: u64 = 32;
+
+static RING: Mutex<VecDeque<String>> = Mutex::new(VecDeque::new());
+static DUMPS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The configured ring capacity.
+pub fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("BERTHA_FLIGHT_CAPACITY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY)
+    })
+}
+
+/// Push one rendered JSON event line into the ring, evicting the oldest
+/// past capacity. Called from `trace::emit` for `Info`-and-above events.
+pub fn record_line(line: &str) {
+    let cap = capacity();
+    let mut ring = RING.lock();
+    if ring.len() >= cap {
+        ring.pop_front();
+    }
+    ring.push_back(line.to_owned());
+}
+
+/// The ring's current contents, oldest first.
+pub fn snapshot_lines() -> Vec<String> {
+    RING.lock().iter().cloned().collect()
+}
+
+/// Number of events currently retained.
+pub fn len() -> usize {
+    RING.lock().len()
+}
+
+/// True when the ring holds no events.
+pub fn is_empty() -> bool {
+    RING.lock().is_empty()
+}
+
+/// Drop every retained event (tests).
+pub fn clear() {
+    RING.lock().clear();
+}
+
+/// Paths of every dump this process has written, oldest first.
+pub fn dump_paths() -> Vec<PathBuf> {
+    DUMPS.lock().clone()
+}
+
+fn dump_dir() -> PathBuf {
+    std::env::var_os("BERTHA_FLIGHT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+/// Dump the ring to a JSON-lines file: one header line naming the
+/// trigger (and the triggering trace id, when there is one), then every
+/// retained event, oldest first. Returns the path, or `None` if the
+/// per-process dump cap is hit or the write fails — a failed postmortem
+/// dump must never take the process down with it.
+pub fn dump(trigger: &str, trace_id: Option<u128>) -> Option<PathBuf> {
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    if seq >= MAX_DUMPS {
+        return None;
+    }
+    let lines = snapshot_lines();
+    let path = dump_dir().join(format!(
+        "bertha-flight-{}-{}.jsonl",
+        std::process::id(),
+        seq
+    ));
+    let mut header = String::with_capacity(128);
+    header.push_str("{\"flight_dump\":{\"trigger\":");
+    crate::json::push_str(&mut header, trigger);
+    header.push_str(",\"trace_id\":");
+    match trace_id {
+        Some(id) => crate::json::push_str(&mut header, &trace_hex(id)),
+        None => header.push_str("null"),
+    }
+    header.push_str(",\"ts_us\":");
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    header.push_str(&ts.to_string());
+    header.push_str(",\"pid\":");
+    header.push_str(&std::process::id().to_string());
+    header.push_str(",\"events\":");
+    header.push_str(&lines.len().to_string());
+    header.push_str("}}");
+
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(&path)?;
+        let mut w = std::io::BufWriter::new(file);
+        writeln!(w, "{header}")?;
+        for line in &lines {
+            writeln!(w, "{line}")?;
+        }
+        w.flush()
+    };
+    if write().is_err() {
+        return None;
+    }
+    metrics::counter("flight.dumps").incr();
+    DUMPS.lock().push(path.clone());
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_and_evicts() {
+        // The ring is process-global and other tests feed it; identify
+        // our own lines by a unique marker.
+        let marker = "flight-test-retain";
+        for i in 0..8 {
+            record_line(&format!("{{\"m\":\"{marker}-{i}\"}}"));
+        }
+        let ours: Vec<_> = snapshot_lines()
+            .into_iter()
+            .filter(|l| l.contains(marker))
+            .collect();
+        assert_eq!(ours.len(), 8);
+        assert!(ours[0].contains(&format!("{marker}-0")));
+        assert!(ours[7].contains(&format!("{marker}-7")));
+        assert!(len() <= capacity());
+    }
+
+    #[test]
+    fn dump_writes_header_then_events() {
+        let marker = "flight-test-dump";
+        record_line(&format!("{{\"m\":\"{marker}\"}}"));
+        let path = dump("unit.test", Some(0xabc)).expect("dump written");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mut lines = contents.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"trigger\":\"unit.test\""), "{header}");
+        assert!(
+            header.contains(&format!("\"trace_id\":\"{:032x}\"", 0xabc)),
+            "{header}"
+        );
+        assert!(contents.contains(marker), "{contents}");
+        assert!(dump_paths().contains(&path));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dump_without_trace_id_has_null() {
+        let path = dump("unit.no_trace", None).expect("dump written");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents
+                .lines()
+                .next()
+                .unwrap()
+                .contains("\"trace_id\":null"),
+            "{contents}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -57,6 +57,43 @@ mod tests {
     }
 
     #[test]
+    fn control_chars_get_u_escapes_non_ascii_passes_through() {
+        // Every C0 control character must come out as an escape — either
+        // a short form or `\uXXXX` — so a sink line stays one line.
+        for c in (0u32..0x20).map(|u| char::from_u32(u).unwrap()) {
+            let mut s = String::new();
+            push_str(&mut s, &c.to_string());
+            assert!(
+                s.len() > 3 && s.chars().nth(1) == Some('\\'),
+                "U+{:04X} rendered unescaped: {s:?}",
+                c as u32
+            );
+        }
+        let mut s = String::new();
+        push_str(&mut s, "\u{0}");
+        assert_eq!(s, "\"\\u0000\"");
+        // Non-ASCII is not escaped: the output is UTF-8 JSON, and
+        // endpoint names or error strings may carry any of it.
+        s.clear();
+        push_str(&mut s, "naïve λ калькулятор 日本語 🚀");
+        assert_eq!(s, "\"naïve λ калькулятор 日本語 🚀\"");
+        // DEL (0x7f) is above the C0 range and passes through.
+        s.clear();
+        push_str(&mut s, "\u{7f}");
+        assert_eq!(s, "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_round_trip_shape() {
+        let mut s = String::new();
+        push_str(&mut s, r#"a\"b"#);
+        assert_eq!(s, r#""a\\\"b""#);
+        s.clear();
+        push_str(&mut s, "\\\\");
+        assert_eq!(s, r#""\\\\""#);
+    }
+
+    #[test]
     fn floats_reparse_as_floats() {
         let mut s = String::new();
         push_f64(&mut s, 3.0);

@@ -4,11 +4,13 @@
 //! Design goals, in order:
 //!
 //! 1. **Zero cost when disabled.** Events are gated on a single relaxed
-//!    atomic load ([`enabled`]); with no sink installed the `event!` macro
-//!    compiles to a branch over that load and never materialises its
-//!    fields. Metrics are always on, but every metric operation is a
-//!    relaxed atomic RMW on a pre-resolved handle — no global locks, no
-//!    name lookups, no allocation on the hot path.
+//!    atomic load plus a compare ([`enabled_at`]); with no sink installed
+//!    the `event!` macro drops `Debug` (per-frame) events at that branch
+//!    and never materialises their fields, while `Info`-and-above
+//!    control-path events feed the always-on [`flight`] recorder ring.
+//!    Metrics are always on, but every metric operation is a relaxed
+//!    atomic RMW on a pre-resolved handle — no global locks, no name
+//!    lookups, no allocation on the hot path.
 //! 2. **No dependencies beyond the workspace.** JSON output is rendered by
 //!    hand (the workspace deliberately carries no `serde_json`), and the
 //!    only external crate used is `parking_lot`, already a workspace
@@ -28,20 +30,30 @@
 //! `agent`), a name, and key/value fields. [`Span`] measures a duration
 //! and emits it as an event on [`Span::end`]. Install a [`Sink`]
 //! ([`StderrSink`], [`JsonLinesSink`], [`MemorySink`], or a [`FanoutSink`]
-//! of several) with [`set_sink`]; until then everything is dropped at the
-//! `enabled()` check.
+//! of several) with [`set_sink`] — or let `BERTHA_LOG` pick one via
+//! [`install_from_env`]; until then `Debug` events are dropped at the
+//! `enabled_at()` check and `Info`-and-above land only in the flight
+//! recorder.
+//!
+//! Cross-host tracing lives in [`tracectx`]: a [`TraceContext`] carried
+//! in-band on negotiation and (sampled) data frames, so spans on both
+//! endpoints share one trace id with parent/child links.
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+pub mod tracectx;
 
 pub use metrics::{
     counter, gauge, global, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
     MirroredCounter, Registry, Snapshot,
 };
 pub use trace::{
-    clear_sink, emit, enabled, set_sink, Event, FanoutSink, JsonLinesSink, Level, MemorySink, Sink,
-    Span, StderrSink, Value,
+    clear_sink, emit, enabled, enabled_at, events_by_level, install_from_env, install_spec,
+    set_sink, uptime, Event, FanoutSink, JsonLinesSink, Level, MemorySink, Sink, Span, StderrSink,
+    Value,
 };
+pub use tracectx::{bind_nonce, nonce_context, set_sample, trace_hex, TraceContext};

@@ -454,6 +454,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edges_at_powers_of_two() {
+        // The bucket rule: a value lands in the bucket whose inclusive
+        // upper edge is the next `2^k - 1` at or above it. So `2^k - 1`
+        // sits exactly on its edge while `2^k` spills into the next
+        // bucket — the boundary is between them, never on the power.
+        for k in 1..63u32 {
+            let pow = 1u64 << k;
+            let h = Histogram::new();
+            h.record(pow - 1);
+            h.record(pow);
+            assert_eq!(
+                h.snapshot().buckets,
+                vec![(pow - 1, 1), (pow * 2 - 1, 1)],
+                "boundary at 2^{k}"
+            );
+        }
+        // Degenerate edges: zero has its own bucket, one is the first
+        // power bucket, and the top bucket's edge saturates at u64::MAX.
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().buckets, vec![(0, 1), (1, 1), (u64::MAX, 2)]);
+    }
+
+    #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(Histogram::new().quantile(0.99), 0);
     }

@@ -1,19 +1,22 @@
 //! Structured events, duration spans, and pluggable sinks.
 //!
-//! The fast path is the *disabled* path: [`enabled`] is one relaxed
-//! atomic load, and the [`event!`] macro checks it before evaluating any
-//! field expression, so uninstrumented runs pay one predictable branch
-//! per event site and nothing else. Installing a sink with [`set_sink`]
-//! flips the flag; emission then takes a `parking_lot` read lock on the
-//! sink slot (uncontended except during sink swaps) and calls
-//! [`Sink::emit`].
+//! The fast path is the *unsinked* path: [`enabled_at`] is one relaxed
+//! atomic load plus a compare, and the [`event!`] macro checks it before
+//! evaluating any field expression, so uninstrumented runs pay one
+//! predictable branch per event site and nothing else. Per-frame
+//! data-path events are `Debug` and pass the gate only once a sink is
+//! installed with [`set_sink`]; `Info`-and-above events always pass, and
+//! feed the process [`flight`](crate::flight) recorder so a postmortem
+//! has the recent control-path history even when nothing was listening.
+//! Emission takes a `parking_lot` read lock on the sink slot
+//! (uncontended except during sink swaps) and calls [`Sink::emit`].
 
-use crate::json;
+use crate::{flight, json};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Event severity, ordered `Debug < Info < Warn < Error`.
@@ -37,6 +40,16 @@ impl Level {
             Level::Info => "info",
             Level::Warn => "warn",
             Level::Error => "error",
+        }
+    }
+
+    #[inline]
+    const fn severity(self) -> u8 {
+        match self {
+            Level::Debug => 0,
+            Level::Info => 1,
+            Level::Warn => 2,
+            Level::Error => 3,
         }
     }
 }
@@ -198,56 +211,145 @@ pub trait Sink: Send + Sync {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 
-/// True if a sink is installed. The hot-path gate: one relaxed load.
+/// Minimum severity that passes the emission gate. With no sink the gate
+/// sits at `Info` — control-path events still flow (into the flight
+/// recorder); per-frame `Debug` events are dropped at one relaxed load
+/// plus a compare. Installing a sink lowers the gate to `Debug`.
+static GATE: AtomicU8 = AtomicU8::new(Level::Info.severity());
+
+/// Emitted-event counts by severity, indexed `debug..error`. Always
+/// counted for events that pass the gate, so an operator can spot error
+/// bursts from a metrics dump without a sink attached.
+static LEVEL_COUNTS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+static PROC_START: OnceLock<Instant> = OnceLock::new();
+
+/// True if a sink is installed: one relaxed load.
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Install `sink` as the process-global event sink and enable emission.
-/// Replaces any previous sink.
+/// True if an event at `level` would be emitted: the hot-path gate, one
+/// relaxed load plus a compare. `Info` and above always pass (they feed
+/// the flight recorder); `Debug` passes only with a sink installed.
+#[inline]
+pub fn enabled_at(level: Level) -> bool {
+    level.severity() >= GATE.load(Ordering::Relaxed)
+}
+
+/// Emitted-event counts by severity, as `(level name, count)` pairs in
+/// `debug, info, warn, error` order.
+pub fn events_by_level() -> [(&'static str, u64); 4] {
+    [
+        ("debug", LEVEL_COUNTS[0].load(Ordering::Relaxed)),
+        ("info", LEVEL_COUNTS[1].load(Ordering::Relaxed)),
+        ("warn", LEVEL_COUNTS[2].load(Ordering::Relaxed)),
+        ("error", LEVEL_COUNTS[3].load(Ordering::Relaxed)),
+    ]
+}
+
+/// Time since this process first touched telemetry. Binaries that want
+/// an accurate figure call this once at startup to anchor the clock.
+pub fn uptime() -> Duration {
+    PROC_START.get_or_init(Instant::now).elapsed()
+}
+
+/// Install `sink` as the process-global event sink and enable emission
+/// (including `Debug` events). Replaces any previous sink.
 pub fn set_sink(sink: Arc<dyn Sink>) {
     *SINK.write() = Some(sink);
+    GATE.store(Level::Debug.severity(), Ordering::SeqCst);
     ENABLED.store(true, Ordering::SeqCst);
 }
 
-/// Remove the sink (flushing it) and disable emission.
+/// Remove the sink (flushing it). The gate returns to `Info`:
+/// control-path events keep feeding the flight recorder.
 pub fn clear_sink() {
     ENABLED.store(false, Ordering::SeqCst);
+    GATE.store(Level::Info.severity(), Ordering::SeqCst);
     if let Some(s) = SINK.write().take() {
         s.flush();
     }
 }
 
-/// Emit one event to the installed sink, if any. Callers normally use the
-/// [`event!`] macro, which skips field construction when disabled.
-pub fn emit(level: Level, target: &str, name: &str, fields: &[(&str, Value)]) {
-    if !enabled() {
-        return;
-    }
-    let guard = SINK.read();
-    if let Some(sink) = guard.as_ref() {
-        sink.emit(&Event {
-            level,
-            target,
-            name,
-            fields,
-        });
+/// Install a sink according to the `BERTHA_LOG` environment variable:
+/// `off` (or unset) installs nothing, `pretty` prints `Info`-and-above to
+/// stderr, `json:<path>` writes JSON-lines to `<path>`. Returns whether a
+/// sink was installed; errs on an unrecognized spec or unwritable path.
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var("BERTHA_LOG") {
+        Err(_) => Ok(false),
+        Ok(v) => install_spec(&v),
     }
 }
 
-/// Emit a structured event if a sink is installed.
+/// [`install_from_env`]'s parser, callable directly with a spec string.
+pub fn install_spec(spec: &str) -> Result<bool, String> {
+    let spec = spec.trim();
+    match spec {
+        "" | "off" | "0" => Ok(false),
+        "pretty" => {
+            set_sink(Arc::new(StderrSink::new()));
+            Ok(true)
+        }
+        s => {
+            if let Some(path) = s.strip_prefix("json:") {
+                let sink = JsonLinesSink::create(path)
+                    .map_err(|e| format!("BERTHA_LOG: cannot create {path}: {e}"))?;
+                set_sink(Arc::new(sink));
+                Ok(true)
+            } else {
+                Err(format!(
+                    "BERTHA_LOG: unrecognized value {spec:?} (expected off|pretty|json:<path>)"
+                ))
+            }
+        }
+    }
+}
+
+/// Emit one event: count it, record `Info`-and-above into the flight
+/// recorder, and deliver to the installed sink, if any. Callers normally
+/// use the [`event!`] macro, which skips field construction when the
+/// level is gated off.
+pub fn emit(level: Level, target: &str, name: &str, fields: &[(&str, Value)]) {
+    if !enabled_at(level) {
+        return;
+    }
+    LEVEL_COUNTS[level.severity() as usize].fetch_add(1, Ordering::Relaxed);
+    let ev = Event {
+        level,
+        target,
+        name,
+        fields,
+    };
+    if level >= Level::Info {
+        flight::record_line(&ev.to_json_line());
+    }
+    let guard = SINK.read();
+    if let Some(sink) = guard.as_ref() {
+        sink.emit(&ev);
+    }
+}
+
+/// Emit a structured event if its level passes the gate.
 ///
 /// ```
 /// use bertha_telemetry::{event, Level};
 /// event!(Level::Info, "reneg", "swap", "epoch" = 1u64, "impl" = "relay/soft");
 /// ```
 ///
-/// Field expressions are not evaluated when no sink is installed.
+/// Field expressions are not evaluated when the level is gated off — in
+/// particular, `Debug` fields cost nothing until a sink is installed.
 #[macro_export]
 macro_rules! event {
     ($level:expr, $target:expr, $name:expr $(, $k:literal = $v:expr)* $(,)?) => {
-        if $crate::enabled() {
+        if $crate::enabled_at($level) {
             $crate::emit(
                 $level,
                 $target,
@@ -304,7 +406,7 @@ impl Span {
 
     /// End the span at an explicit level.
     pub fn end_level(mut self, level: Level) {
-        if !enabled() {
+        if !enabled_at(level) {
             return;
         }
         let us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -450,13 +552,14 @@ mod tests {
     static TEST_SINK_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
-    fn disabled_by_default_and_macro_skips_fields() {
+    fn disabled_by_default_and_macro_skips_debug_fields() {
         let _g = TEST_SINK_LOCK.lock();
         clear_sink();
         assert!(!enabled());
+        assert!(!enabled_at(Level::Debug));
         let mut evaluated = false;
         event!(
-            Level::Info,
+            Level::Debug,
             "t",
             "n",
             "k" = {
@@ -464,7 +567,64 @@ mod tests {
                 1u64
             }
         );
-        assert!(!evaluated, "field evaluated while disabled");
+        assert!(!evaluated, "debug field evaluated with no sink");
+    }
+
+    #[test]
+    fn info_events_feed_flight_recorder_without_sink() {
+        let _g = TEST_SINK_LOCK.lock();
+        clear_sink();
+        assert!(!enabled());
+        assert!(enabled_at(Level::Info));
+        let counts_before = events_by_level();
+        event!(Level::Info, "t", "flight-feed-test", "k" = 7u64);
+        let counts_after = events_by_level();
+        assert_eq!(counts_after[1].1, counts_before[1].1 + 1);
+        let hit = flight::snapshot_lines()
+            .iter()
+            .any(|l| l.contains("\"name\":\"flight-feed-test\"") && l.contains("\"k\":7"));
+        assert!(hit, "info event missing from flight ring");
+    }
+
+    #[test]
+    fn sink_lowers_gate_to_debug() {
+        let _g = TEST_SINK_LOCK.lock();
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        assert!(enabled_at(Level::Debug));
+        event!(Level::Debug, "t", "debug-through-sink");
+        clear_sink();
+        assert!(!enabled_at(Level::Debug));
+        assert_eq!(sink.count_of("t", "debug-through-sink"), 1);
+        // Debug events never reach the flight ring, even with a sink.
+        let in_ring = flight::snapshot_lines()
+            .iter()
+            .any(|l| l.contains("\"name\":\"debug-through-sink\""));
+        assert!(!in_ring, "debug event leaked into flight ring");
+    }
+
+    #[test]
+    fn install_spec_parses_and_rejects() {
+        let _g = TEST_SINK_LOCK.lock();
+        clear_sink();
+        assert_eq!(install_spec("off"), Ok(false));
+        assert_eq!(install_spec(""), Ok(false));
+        assert!(!enabled());
+        assert!(install_spec("verbose").is_err());
+        let path = std::env::temp_dir().join(format!(
+            "bertha-install-spec-test-{}.jsonl",
+            std::process::id()
+        ));
+        assert_eq!(install_spec(&format!("json:{}", path.display())), Ok(true));
+        assert!(enabled());
+        event!(Level::Info, "t", "via-env-sink");
+        clear_sink();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(content.contains("via-env-sink"), "{content}");
+        assert_eq!(install_spec("pretty"), Ok(true));
+        assert!(enabled());
+        clear_sink();
     }
 
     #[test]
@@ -483,6 +643,59 @@ mod tests {
         assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
         assert_eq!(sink.count_of("reneg", "swap"), 1);
         assert_eq!(sink.count_of("reneg", "after-clear"), 0);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_registration_order() {
+        // A sink that logs (tag, event-name) into a shared journal, so
+        // the interleaving across fanout members is observable.
+        struct Tagged {
+            tag: usize,
+            journal: Arc<Mutex<Vec<(usize, String)>>>,
+        }
+        impl Sink for Tagged {
+            fn emit(&self, ev: &Event<'_>) {
+                self.journal.lock().push((self.tag, ev.name.to_owned()));
+            }
+        }
+
+        let _g = TEST_SINK_LOCK.lock();
+        let journal = Arc::new(Mutex::new(Vec::new()));
+        let fan = FanoutSink::new(vec![
+            Arc::new(Tagged {
+                tag: 0,
+                journal: Arc::clone(&journal),
+            }) as Arc<dyn Sink>,
+            Arc::new(Tagged {
+                tag: 1,
+                journal: Arc::clone(&journal),
+            }),
+            Arc::new(Tagged {
+                tag: 2,
+                journal: Arc::clone(&journal),
+            }),
+        ]);
+        set_sink(Arc::new(fan));
+        event!(Level::Info, "t", "first");
+        event!(Level::Info, "t", "second");
+        clear_sink();
+
+        // Each event fans out to sinks 0, 1, 2 in registration order, and
+        // the second event starts only after the first finished fanning
+        // out — emission is synchronous, so events never interleave.
+        let got = journal.lock().clone();
+        let want: Vec<(usize, String)> = [
+            (0, "first"),
+            (1, "first"),
+            (2, "first"),
+            (0, "second"),
+            (1, "second"),
+            (2, "second"),
+        ]
+        .into_iter()
+        .map(|(t, n)| (t, n.to_owned()))
+        .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

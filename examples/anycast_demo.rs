@@ -20,6 +20,9 @@ use std::time::Duration;
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     // Two instances of "svc": near and far, both echoing.
     for name in ["svc-near", "svc-far"] {
         let sock = MemSocket::bind(Some(name.into()))?;

@@ -25,6 +25,9 @@ use std::time::Instant;
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     let agent = Arc::new(NameAgent::new());
 
     // The containerized server: canonical UDP address + local fast path.

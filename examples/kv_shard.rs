@@ -24,6 +24,9 @@ use kvstore::{serve_canonical, spawn_shards, KvClient};
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     // Three shards, one thread^Wtask each (§5).
     let shards = spawn_shards(3).await?;
     let info = kvstore::shard_info(Addr::Udp("127.0.0.1:0".parse().unwrap()), &shards);

@@ -45,6 +45,9 @@ async fn connect_and_report(canonical: &Addr, tag: &str) -> String {
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     let shards = kvstore::spawn_shards(3).await?;
     let registry = Arc::new(Registry::new());
     registry.add_device(

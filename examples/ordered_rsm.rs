@@ -21,6 +21,9 @@ use bertha_transport::udp::UdpConnector;
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     // The "switch": a sequencer on a UDP port.
     let sequencer = run_sequencer(Addr::Udp("127.0.0.1:0".parse().unwrap())).await?;
     println!("sequencer at {}", sequencer.addr());

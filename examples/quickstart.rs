@@ -24,6 +24,9 @@ struct Greeting {
 
 #[tokio::main]
 async fn main() -> Result<(), bertha::Error> {
+    // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
+    // across the examples and binaries.
+    bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
     // ---- Server ----------------------------------------------------
     let raw = UdpListener::default()
         .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))

@@ -1,0 +1,211 @@
+//! Integration: cross-endpoint distributed tracing through negotiation,
+//! data frames, an injected link failure, and the renegotiation that
+//! recovers from it — plus the flight-recorder dump the failure triggers.
+//!
+//! Single test function on purpose: the sink, sampler, and flight ring
+//! are process-global, and concurrent tests would race on them.
+
+use bertha::conn::pair;
+use bertha::negotiate::{negotiate_server_switchable, negotiate_switchable_client, NegotiateOpts};
+use bertha::{wrap, Addr, Datagram};
+use bertha_chunnels::TracingChunnel;
+use bertha_telemetry as tele;
+use bertha_transport::fault::{FaultChunnel, FaultConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Extract a string-valued field (`"key":"value"`) from a JSON event line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// Extract a numeric field (`"key":123`) from a JSON event line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The captured line for event `target`/`name` whose `"name"` field (the
+/// endpoint name) is `endpoint`; panics if absent. When several match
+/// (e.g. two `propose` rounds), returns the last.
+fn event_line(lines: &[String], target: &str, name: &str, endpoint: &str) -> String {
+    let tn = format!("\"target\":\"{target}\",\"name\":\"{name}\"");
+    let ep = format!("\"name\":\"{endpoint}\"");
+    lines
+        .iter()
+        .filter(|l| l.contains(&tn) && l.contains(&ep))
+        .next_back()
+        .unwrap_or_else(|| panic!("no captured {target}/{name} event for {endpoint}"))
+        .clone()
+}
+
+#[tokio::test]
+async fn trace_spans_link_across_failure_and_renegotiation() {
+    // Always-sample and capture every event in memory.
+    tele::set_sample(1);
+    let sink = Arc::new(tele::MemorySink::new());
+    tele::set_sink(sink.clone());
+    tele::flight::clear();
+
+    // In-process link with a controllable blackhole under the client.
+    let (cli_raw, srv_raw) = pair::<Datagram>(64);
+    let (fault, link) = FaultChunnel::controlled(FaultConfig::default());
+    let cli_raw = bertha::chunnel::Chunnel::connect_wrap(&fault, cli_raw)
+        .await
+        .unwrap();
+    let addr = Addr::Mem("srv".into());
+
+    // Negotiate a tracing-capable stack on both sides. Short timeouts so
+    // the blackholed round fails quickly.
+    let opts = |name: &str| NegotiateOpts {
+        timeout: Duration::from_millis(25),
+        retries: 1,
+        ..NegotiateOpts::named(name)
+    };
+    let srv_task = tokio::spawn(async move {
+        negotiate_server_switchable(wrap!(TracingChunnel::default()), srv_raw, opts("srv")).await
+    });
+    let (cli, picks) = negotiate_switchable_client(
+        wrap!(TracingChunnel::default()),
+        cli_raw,
+        addr.clone(),
+        opts("cli"),
+    )
+    .await
+    .unwrap();
+    let srv = srv_task.await.unwrap().unwrap();
+    assert_eq!(picks.picks[0].name, "tracing/inline");
+
+    // Epoch-0 traffic: the sampled context must stamp data frames.
+    let stamped_before = tele::counter("tracing.frames_stamped").get();
+    let srv2 = srv.clone();
+    let echo = tokio::spawn(async move {
+        loop {
+            let (from, m) = match srv2.recv().await {
+                Ok(d) => d,
+                Err(_) => return,
+            };
+            if srv2.send((from, m)).await.is_err() {
+                return;
+            }
+        }
+    });
+    cli.send((addr.clone(), b"hello".to_vec())).await.unwrap();
+    let (_, m) = cli.recv().await.unwrap();
+    assert_eq!(m, b"hello");
+    assert!(
+        tele::counter("tracing.frames_stamped").get() > stamped_before,
+        "sampled connection must stamp data frames with trace context"
+    );
+
+    // Inject the offload failure: the link dies, the renegotiation round
+    // times out, and the failure must auto-trigger a flight dump.
+    let dumps_before = tele::flight::dump_paths().len();
+    link.set_blackhole(true);
+    let err = cli.renegotiate().await;
+    assert!(err.is_err(), "renegotiation over a dead link must fail");
+    assert_eq!(cli.epoch(), 0);
+
+    let new_dumps: Vec<_> = tele::flight::dump_paths()[dumps_before..].to_vec();
+    assert!(!new_dumps.is_empty(), "failure must trigger a flight dump");
+    let dump = new_dumps
+        .iter()
+        .map(|p| std::fs::read_to_string(p).expect("read flight dump"))
+        .find(|txt| txt.contains("\"trigger\":\"reneg.round_failed\""))
+        .expect("a dump must name the failed round as its trigger");
+    let header = dump.lines().next().unwrap();
+    assert!(
+        header.contains("\"flight_dump\""),
+        "missing header: {header}"
+    );
+    let dump_trace = field_str(header, "trace_id").expect("trigger trace id in header");
+    // The ring retained the handshake history leading up to the failure.
+    assert!(
+        dump.contains("\"name\":\"client_picked\""),
+        "dump lacks handshake history"
+    );
+    assert!(
+        dump.contains("\"name\":\"server_picked\""),
+        "dump lacks handshake history"
+    );
+    assert!(
+        dump.contains("\"name\":\"round_failed\""),
+        "dump lacks the trigger event"
+    );
+
+    // The link recovers; renegotiation succeeds and swaps both epochs.
+    link.set_blackhole(false);
+    let picks = cli.renegotiate().await.unwrap();
+    assert_eq!(picks.picks[0].name, "tracing/inline");
+    assert_eq!(cli.epoch(), 1);
+
+    // Epoch-1 traffic still round-trips (and proves the server swapped).
+    cli.send((addr, b"again".to_vec())).await.unwrap();
+    let (_, m) = cli.recv().await.unwrap();
+    assert_eq!(m, b"again");
+    assert_eq!(srv.epoch(), 1);
+
+    // --- Span assertions over the captured events -----------------------
+    let lines = sink.lines();
+
+    // (a) every traced event on either endpoint shares ONE trace id: the
+    // client's root, propagated through the handshake, both renegotiation
+    // rounds (failed and successful), and the stamped data frames.
+    let trace_ids: Vec<String> = lines
+        .iter()
+        .filter_map(|l| field_str(l, "trace_id"))
+        .collect();
+    assert!(
+        trace_ids.len() >= 6,
+        "expected a populated trace: {lines:#?}"
+    );
+    let root_trace = trace_ids[0].clone();
+    for t in &trace_ids {
+        assert_eq!(*t, root_trace, "all spans must share the root trace id");
+    }
+    assert_eq!(
+        dump_trace, root_trace,
+        "flight dump must carry the trace id"
+    );
+
+    // Parent/child links across the wire. Client handshake root span →
+    // server handshake span:
+    let cli_hs = event_line(&lines, "negotiate", "client_picked", "cli");
+    let srv_hs = event_line(&lines, "negotiate", "server_picked", "srv");
+    let root_span = field_u64(&cli_hs, "span_id").unwrap();
+    assert_eq!(field_u64(&srv_hs, "parent_span_id").unwrap(), root_span);
+
+    // The renegotiation round is a child of the client root; the failed
+    // round's span carries the same parent.
+    let failed = event_line(&lines, "reneg", "round_failed", "cli");
+    assert_eq!(field_u64(&failed, "parent_span_id").unwrap(), root_span);
+    let propose = event_line(&lines, "reneg", "propose", "cli");
+    let round_span = field_u64(&propose, "span_id").unwrap();
+    assert_eq!(field_u64(&propose, "parent_span_id").unwrap(), root_span);
+
+    // Across the epoch swap: the client's swap IS the round span, and the
+    // server's swap span is its child — the cross-endpoint link.
+    let cli_swap = event_line(&lines, "reneg", "swap", "cli");
+    assert_eq!(field_u64(&cli_swap, "span_id").unwrap(), round_span);
+    assert_eq!(field_u64(&cli_swap, "parent_span_id").unwrap(), root_span);
+    let srv_swap = event_line(&lines, "reneg", "swap", "srv");
+    assert_eq!(field_u64(&srv_swap, "parent_span_id").unwrap(), round_span);
+    assert_ne!(field_u64(&srv_swap, "span_id").unwrap(), round_span);
+
+    // Data frames were stamped and observed on the receive side too.
+    assert!(sink.count_of("chunnel", "traced_send") >= 1);
+    assert!(sink.count_of("chunnel", "traced_recv") >= 1);
+
+    // Cleanup so a panic elsewhere can't double-report, and drop the echo.
+    drop(echo);
+    tele::clear_sink();
+    tele::set_sample(0);
+}
