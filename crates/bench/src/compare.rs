@@ -44,7 +44,7 @@ impl Json {
     pub fn parse(s: &str) -> Result<Json, String> {
         let b = s.as_bytes();
         let mut pos = 0;
-        let v = parse_value(b, &mut pos)?;
+        let v = parse_value(b, &mut pos, 0)?;
         skip_ws(b, &mut pos);
         if pos != b.len() {
             return Err(format!("trailing bytes at offset {pos}"));
@@ -106,11 +106,21 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Nesting cap: adversarial inputs like `[[[[...` must error out, not
+/// overflow the stack. Real bench snapshots are ~4 levels deep.
+const MAX_DEPTH: usize = 64;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at offset {pos}",
+            pos = *pos
+        ));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -137,6 +147,10 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     std::str::from_utf8(&b[start..*pos])
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
+        // `"1e999".parse::<f64>()` happily returns inf; a snapshot
+        // carrying it is corrupt, and inf/NaN would poison every
+        // comparison downstream.
+        .filter(|n| n.is_finite())
         .map(Json::Num)
         .ok_or_else(|| format!("bad number at offset {start}"))
 }
@@ -192,7 +206,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(b, pos);
@@ -205,7 +219,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let val = parse_value(b, pos)?;
+        let val = parse_value(b, pos, depth + 1)?;
         members.push((key, val));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -219,7 +233,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -228,7 +242,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -486,5 +500,92 @@ mod tests {
         let md = render_rows("unit", &report);
         assert!(md.contains("| unit | latency_us.p50 | 10.00 | 30.00 | +200.0% | ❌ |"));
         assert!(TABLE_HEADER.starts_with("| bench |"));
+    }
+}
+
+#[cfg(test)]
+mod adversarial {
+    //! The parser runs on untrusted artifact files pulled from CI; it
+    //! must reject malformed input with an `Err`, never panic, hang,
+    //! or smuggle non-finite numbers into the comparison.
+
+    use super::Json;
+
+    #[test]
+    fn nested_escapes_round_trip() {
+        let v = Json::parse(r#"{"k\"ey":"a\\\"b\n\tA"}"#).unwrap();
+        assert_eq!(v.get("k\"ey"), Some(&Json::Str("a\\\"b\n\tA".to_string())));
+    }
+
+    #[test]
+    fn lone_surrogate_becomes_replacement_char() {
+        let v = Json::parse(r#""\ud800""#).unwrap();
+        assert_eq!(v, Json::Str("\u{fffd}".to_string()));
+    }
+
+    #[test]
+    fn bad_escapes_and_truncated_unicode_reject() {
+        assert!(Json::parse(r#""\x""#).is_err());
+        assert!(Json::parse(r#""\u00""#).is_err());
+        assert!(Json::parse("\"\\").is_err());
+    }
+
+    #[test]
+    fn huge_numbers_reject_instead_of_becoming_inf() {
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("{\"p50\":1e999}").is_err());
+        // Large but finite still parses.
+        assert_eq!(Json::parse("1e300").unwrap().num(), Some(1e300));
+    }
+
+    #[test]
+    fn malformed_numbers_reject() {
+        for bad in ["--1", "1.2.3", "+", "e9", "0x10", "nanos"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn truncated_documents_reject() {
+        for bad in [
+            "{",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "[1,2",
+            "\"unterminated",
+            "tru",
+            "",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejects() {
+        assert!(Json::parse("{} {}").is_err());
+        assert!(Json::parse("1 1").is_err());
+        assert!(Json::parse("{\"a\":1} x").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 10k opening brackets: without the depth cap this recursed
+        // once per bracket and blew the stack.
+        let bomb = "[".repeat(10_000);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(10_000);
+        assert!(Json::parse(&obj_bomb).is_err());
+        // Shallow nesting is unaffected.
+        let fine = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+        assert!(Json::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_lookup_stable() {
+        let v = Json::parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::num), Some(1.0));
     }
 }

@@ -26,15 +26,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Frame tag: application data.
-pub const TAG_DATA: u8 = 0x00;
-/// Frame tag: negotiation message.
-pub const TAG_NEG: u8 = 0x01;
-/// Frame tag: negotiation message carrying a trace context —
-/// `[0x03][25-byte TraceContext][bincode NegotiateMsg]`. Senders always
-/// attach their context; receivers accept plain [`TAG_NEG`] too, so
-/// endpoints from before tracing interoperate.
-pub const TAG_NEG_TRACE: u8 = 0x03;
+pub use super::wire::{TAG_DATA, TAG_NEG, TAG_NEG_TRACE};
 
 /// Which side of the handshake we are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -869,6 +861,73 @@ mod tests {
         assert_eq!(seen, vec![0, 1, 2]);
         for c in clients {
             c.await.unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod frame_props {
+    use super::{frame, frame_neg, neg_parts, tele, TAG_NEG, TAG_NEG_TRACE};
+    use proptest::prelude::*;
+
+    fn ctx_strategy() -> impl Strategy<Value = tele::TraceContext> {
+        (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(trace_id, span_id, sampled)| {
+            tele::TraceContext {
+                trace_id,
+                span_id,
+                sampled,
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn traced_frame_round_trips(ctx in ctx_strategy(), body in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let framed = frame_neg(&ctx, &body);
+            let (got_ctx, got_body) = neg_parts(&framed).expect("own framing must parse");
+            prop_assert_eq!(got_ctx, Some(ctx));
+            prop_assert_eq!(got_body, &body[..]);
+        }
+
+        #[test]
+        fn plain_frame_round_trips(body in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let framed = frame(TAG_NEG, &body);
+            let (got_ctx, got_body) = neg_parts(&framed).expect("own framing must parse");
+            prop_assert_eq!(got_ctx, None);
+            prop_assert_eq!(got_body, &body[..]);
+        }
+
+        #[test]
+        fn truncated_traced_frames_reject(ctx in ctx_strategy(), cut in 0usize..26) {
+            // Anything shorter than tag + full context cannot parse, and
+            // must reject rather than panic.
+            let framed = frame_neg(&ctx, &[]);
+            prop_assert!(neg_parts(&framed[..cut]).is_none());
+        }
+
+        #[test]
+        fn unknown_tags_reject(tag in any::<u8>(), body in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assume!(tag != TAG_NEG && tag != TAG_NEG_TRACE);
+            prop_assert!(neg_parts(&frame(tag, &body)).is_none());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // The parse either succeeds or returns None; the call itself
+            // is the assertion.
+            let _ = neg_parts(&buf);
+        }
+
+        #[test]
+        fn flipped_flag_byte_only_toggles_sampling(ctx in ctx_strategy(), flags in any::<u8>()) {
+            let mut framed = frame_neg(&ctx, b"body");
+            framed[1 + tele::tracectx::WIRE_LEN - 1] = flags;
+            let (got_ctx, got_body) = neg_parts(&framed).expect("length unchanged, must parse");
+            let got_ctx = got_ctx.expect("still a traced frame");
+            prop_assert_eq!(got_ctx.trace_id, ctx.trace_id);
+            prop_assert_eq!(got_ctx.span_id, ctx.span_id);
+            prop_assert_eq!(got_ctx.sampled, flags & 1 == 1);
+            prop_assert_eq!(got_body, b"body");
         }
     }
 }

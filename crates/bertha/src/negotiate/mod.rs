@@ -20,6 +20,7 @@ pub mod handshake;
 pub mod pick;
 pub mod renegotiate;
 pub mod types;
+pub mod wire;
 
 pub use apply::{Apply, GetOffers, NegotiateSlot, SlotApply};
 pub use dynamic::{

@@ -58,11 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tokio::sync::Notify;
 
-/// Frame tag: application data bound to a specific epoch. Layout:
-/// `[tag][epoch: u64 LE][payload]`. Epoch 0 traffic uses the untagged
-/// [`TAG_DATA`](super::TAG_DATA) framing for wire compatibility with peers
-/// that only speak the initial handshake.
-pub const TAG_DATA_EPOCH: u8 = 0x02;
+pub use super::wire::TAG_DATA_EPOCH;
 
 pub(crate) fn frame_epoch(epoch: u64, body: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(9 + body.len());
@@ -70,6 +66,14 @@ pub(crate) fn frame_epoch(epoch: u64, body: &[u8]) -> Vec<u8> {
     v.extend_from_slice(&epoch.to_le_bytes());
     v.extend_from_slice(body);
     v
+}
+
+/// Where `route` put an epoch-tagged data frame; telemetry is recorded
+/// after the inbox/future locks are released.
+enum Routed {
+    Delivered,
+    Buffered,
+    Stale,
 }
 
 /// What a stack factory produces: a fully-instantiated stack usable as a
@@ -252,20 +256,41 @@ where
                 eb.copy_from_slice(&rest[..8]);
                 let frame_epoch = u64::from_le_bytes(eb);
                 let payload = rest[8..].to_vec();
-                let cur = self.epoch.load(Ordering::Acquire);
-                if frame_epoch == cur {
-                    self.tele.frames_recv.incr();
-                    self.inbox.lock().push_back((from, payload));
-                    self.inbox_notify.notify_waiters();
-                } else if frame_epoch > cur {
-                    // Peer swapped first; deliver after our own swap.
-                    self.tele.future_buffered.incr();
-                    self.future.lock().push((frame_epoch, (from, payload)));
-                } else {
-                    // Stale epoch: a late retransmission the old stack
-                    // already handled. Dropping it is what prevents
-                    // cross-epoch duplicates.
-                    self.tele.stale_epoch_drops.incr();
+                // The epoch must be read while holding the inbox and
+                // future locks: `swap_to` publishes a new epoch and
+                // flushes the future buffer under the same locks, so a
+                // frame that compared against the old epoch can neither
+                // slip into the future buffer after its epoch was
+                // installed (it would be stranded until a later swap
+                // discarded it) nor land in the inbox after a swap it
+                // should have been buffered across. The model-checked
+                // interleaving suite in `crates/check` exercises exactly
+                // this window (DESIGN.md §10).
+                let routed = {
+                    let mut inbox = self.inbox.lock();
+                    let mut future = self.future.lock();
+                    let cur = self.epoch.load(Ordering::Acquire);
+                    if frame_epoch == cur {
+                        inbox.push_back((from, payload));
+                        Routed::Delivered
+                    } else if frame_epoch > cur {
+                        // Peer swapped first; deliver after our own swap.
+                        future.push((frame_epoch, (from, payload)));
+                        Routed::Buffered
+                    } else {
+                        // Stale epoch: a late retransmission the old
+                        // stack already handled. Dropping it is what
+                        // prevents cross-epoch duplicates.
+                        Routed::Stale
+                    }
+                };
+                match routed {
+                    Routed::Delivered => {
+                        self.tele.frames_recv.incr();
+                        self.inbox_notify.notify_waiters();
+                    }
+                    Routed::Buffered => self.tele.future_buffered.incr(),
+                    Routed::Stale => self.tele.stale_epoch_drops.incr(),
                 }
             }
             Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
@@ -360,11 +385,15 @@ where
     tele::bind_nonce(&picks.nonce, ctx);
     let target = factory(picks.picks.clone(), picks.nonce.clone(), conn).await?;
     *core.current.write() = (epoch, target);
-    core.epoch.store(epoch, Ordering::Release);
     *core.last_picks.lock() = Some(picks);
     {
         let mut inbox = core.inbox.lock();
         let mut future = core.future.lock();
+        // Publish the epoch and flush the future buffer under the same
+        // locks `route` compares under (see the routing comment there):
+        // anything buffered before this point is flushed here, anything
+        // routed after it sees the new epoch.
+        core.epoch.store(epoch, Ordering::Release);
         let mut keep = Vec::new();
         for (e, d) in future.drain(..) {
             match e.cmp(&epoch) {

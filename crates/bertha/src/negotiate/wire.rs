@@ -1,0 +1,241 @@
+//! Central wire-tag registry.
+//!
+//! Every framing tag and frame-prefix byte in the workspace is defined
+//! here, grouped by *channel* — the byte stream on which the tag is the
+//! leading discriminant. Two tags on the same channel must not collide;
+//! tags on different channels may reuse values freely (a reliability
+//! frame is always nested inside a negotiated-connection data frame, so
+//! their discriminants never meet).
+//!
+//! The registry is enforced twice:
+//!
+//! - at compile time, by the `const` collision assertion at the bottom of
+//!   this file;
+//! - by `bertha-check` (`crates/check`), which rejects any
+//!   `const NAME: u8 = 0x..` tag definition outside this module and
+//!   re-parses the `// channel:` group markers below to re-verify
+//!   uniqueness (so the seeded-violation self-test works on sources that
+//!   are never compiled).
+//!
+//! To add a tag: pick the channel section (or start a new one with a
+//! `// channel: <name>` marker), add a `pub const NAME: u8` with a doc
+//! comment, and append a matching [`TagEntry`] to [`REGISTRY`]. Use the
+//! constant from here (`use bertha::negotiate::wire::...`) at the framing
+//! site; never re-declare the literal.
+
+// channel: negotiate
+//
+// The outer framing of a negotiated connection: the first byte of every
+// datagram on the raw transport underneath `NegotiatedConn` /
+// `SwitchableConn`.
+
+/// Frame tag: application data.
+pub const TAG_DATA: u8 = 0x00;
+/// Frame tag: negotiation message.
+pub const TAG_NEG: u8 = 0x01;
+/// Frame tag: application data bound to a specific epoch. Layout:
+/// `[tag][epoch: u64 LE][payload]`. Epoch 0 traffic uses the untagged
+/// [`TAG_DATA`] framing for wire compatibility with peers that only speak
+/// the initial handshake.
+pub const TAG_DATA_EPOCH: u8 = 0x02;
+/// Frame tag: negotiation message carrying a trace context —
+/// `[0x03][25-byte TraceContext][bincode NegotiateMsg]`. Senders always
+/// attach their context; receivers accept plain [`TAG_NEG`] too, so
+/// endpoints from before tracing interoperate.
+pub const TAG_NEG_TRACE: u8 = 0x03;
+
+// channel: tracing
+//
+// The one-byte prefix the tracing chunnel puts on each data frame,
+// nested inside the negotiate channel's data framing.
+
+/// Tracing prefix: plain frame, no trace context follows.
+pub const TRACING_PLAIN: u8 = 0x00;
+/// Tracing prefix: a 25-byte trace context precedes the payload.
+pub const TRACING_TRACED: u8 = 0x01;
+
+// channel: reliable
+//
+// The reliability chunnel's frame discriminant:
+// `[tag][seq: u64 LE][payload]`.
+
+/// Reliability frame: payload carrying a sequence number.
+pub const RELIABLE_DATA: u8 = 0x02;
+/// Reliability frame: acknowledgment of a sequence number.
+pub const RELIABLE_ACK: u8 = 0x03;
+
+// channel: heartbeat
+//
+// The heartbeat chunnel's frame discriminant.
+
+/// Heartbeat framing: application data follows.
+pub const HEARTBEAT_DATA: u8 = 0x10;
+/// Heartbeat framing: a bare keepalive, no payload.
+pub const HEARTBEAT_BEAT: u8 = 0x11;
+
+// channel: compress
+//
+// The compression chunnel's one-byte header.
+
+/// Compression header: payload stored raw (compression did not help).
+pub const COMPRESS_RAW: u8 = 0x00;
+/// Compression header: payload is LZSS-compressed.
+pub const COMPRESS_LZ: u8 = 0x01;
+
+/// One registered wire tag: a named byte value on a framing channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TagEntry {
+    /// The framing channel the tag is a discriminant on.
+    pub channel: &'static str,
+    /// The constant's name, for diagnostics.
+    pub name: &'static str,
+    /// The wire value.
+    pub value: u8,
+}
+
+/// Every registered tag. Kept in sync with the constants above; the
+/// collision assertion below and `bertha-check` both read this table.
+pub const REGISTRY: &[TagEntry] = &[
+    TagEntry {
+        channel: "negotiate",
+        name: "TAG_DATA",
+        value: TAG_DATA,
+    },
+    TagEntry {
+        channel: "negotiate",
+        name: "TAG_NEG",
+        value: TAG_NEG,
+    },
+    TagEntry {
+        channel: "negotiate",
+        name: "TAG_DATA_EPOCH",
+        value: TAG_DATA_EPOCH,
+    },
+    TagEntry {
+        channel: "negotiate",
+        name: "TAG_NEG_TRACE",
+        value: TAG_NEG_TRACE,
+    },
+    TagEntry {
+        channel: "tracing",
+        name: "TRACING_PLAIN",
+        value: TRACING_PLAIN,
+    },
+    TagEntry {
+        channel: "tracing",
+        name: "TRACING_TRACED",
+        value: TRACING_TRACED,
+    },
+    TagEntry {
+        channel: "reliable",
+        name: "RELIABLE_DATA",
+        value: RELIABLE_DATA,
+    },
+    TagEntry {
+        channel: "reliable",
+        name: "RELIABLE_ACK",
+        value: RELIABLE_ACK,
+    },
+    TagEntry {
+        channel: "heartbeat",
+        name: "HEARTBEAT_DATA",
+        value: HEARTBEAT_DATA,
+    },
+    TagEntry {
+        channel: "heartbeat",
+        name: "HEARTBEAT_BEAT",
+        value: HEARTBEAT_BEAT,
+    },
+    TagEntry {
+        channel: "compress",
+        name: "COMPRESS_RAW",
+        value: COMPRESS_RAW,
+    },
+    TagEntry {
+        channel: "compress",
+        name: "COMPRESS_LZ",
+        value: COMPRESS_LZ,
+    },
+];
+
+/// Look a tag up by channel and value.
+pub fn lookup(channel: &str, value: u8) -> Option<&'static TagEntry> {
+    REGISTRY
+        .iter()
+        .find(|e| e.channel == channel && e.value == value)
+}
+
+const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+const fn no_collisions() -> bool {
+    let mut i = 0;
+    while i < REGISTRY.len() {
+        let mut j = i + 1;
+        while j < REGISTRY.len() {
+            if str_eq(REGISTRY[i].channel, REGISTRY[j].channel)
+                && REGISTRY[i].value == REGISTRY[j].value
+            {
+                return false;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    true
+}
+
+const _: () = assert!(
+    no_collisions(),
+    "two wire tags on the same channel share a value"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_constants() {
+        assert_eq!(
+            lookup("negotiate", TAG_DATA).map(|e| e.name),
+            Some("TAG_DATA")
+        );
+        assert_eq!(
+            lookup("negotiate", TAG_DATA_EPOCH).map(|e| e.name),
+            Some("TAG_DATA_EPOCH")
+        );
+        assert_eq!(
+            lookup("reliable", RELIABLE_ACK).map(|e| e.name),
+            Some("RELIABLE_ACK")
+        );
+        assert!(lookup("negotiate", 0x7f).is_none());
+        assert!(lookup("nope", TAG_DATA).is_none());
+    }
+
+    #[test]
+    fn channels_are_internally_unique() {
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in &REGISTRY[i + 1..] {
+                assert!(
+                    !(a.channel == b.channel && a.value == b.value),
+                    "{} and {} collide on channel {}",
+                    a.name,
+                    b.name,
+                    a.channel
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded hot-path file: a rogue tag constant, a panicking parse, and
+//! an undocumented metric.
+
+pub const ROGUE_TAG: u8 = 0x42;
+
+pub fn recv(buf: &[u8]) -> u8 {
+    tele::counter("rogue.metric").incr();
+    let first = buf[0];
+    Some(first).unwrap()
+}

@@ -1,0 +1,11 @@
+//! Seeded fallback violation: an offload-only capability registered at
+//! Host scope with no Application-scope implementation anywhere.
+
+pub fn offload_registration() -> Registration {
+    Registration {
+        capability: guid("fixture/offload-only"),
+        impl_guid: guid("fixture/offload-only/xdp"),
+        scope: Scope::Host,
+        priority: 10,
+    }
+}

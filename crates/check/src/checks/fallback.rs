@@ -1,0 +1,333 @@
+//! Rule family 4: the fallback invariant.
+//!
+//! PAPER.md §4 and PR 1's re-negotiation machinery assume that any
+//! capability offered at an accelerated scope (`Host`/`Cluster`/
+//! `Global`) can fall back to a software implementation when the
+//! offload dies. Statically: every capability that appears in a
+//! non-test `Registration`/`Offer` literal or `Negotiate` impl with an
+//! accelerated scope must also have an `Application`-scope
+//! implementation somewhere in the workspace.
+//!
+//! Capabilities are identified by their `guid("...")` name, resolved
+//! either from a literal at the use site or through `const X: u64 =
+//! guid("...")` declarations. Sites whose capability or scope cannot be
+//! resolved textually (built from CLI input, generics, macros) are
+//! reported as advisory notes, not violations.
+
+use crate::{SourceFile, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifier.
+pub const RULE: &str = "fallback";
+
+/// A capability use site with a resolved scope.
+struct Site {
+    cap: String,
+    scope: String,
+    file: String,
+    line: usize,
+}
+
+/// Run the rule. Returns hard violations and advisory notes.
+pub fn check(files: &[SourceFile]) -> (Vec<Violation>, Vec<String>) {
+    let mut notes = Vec::new();
+    let files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| !f.rel.contains("/tests/") && !f.rel.contains("/benches/"))
+        .collect();
+
+    let guids = guid_consts(&files);
+    let mut sites: Vec<Site> = Vec::new();
+    collect_impls(&files, &guids, &mut sites);
+    collect_literals(&files, &guids, &mut sites, &mut notes);
+
+    let mut accelerated: BTreeMap<String, &Site> = BTreeMap::new();
+    let mut app_covered: BTreeSet<&str> = BTreeSet::new();
+    for s in &sites {
+        if s.scope == "Application" {
+            app_covered.insert(&s.cap);
+        } else {
+            accelerated.entry(s.cap.clone()).or_insert(s);
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (cap, site) in &accelerated {
+        if !app_covered.contains(cap.as_str()) {
+            violations.push(Violation {
+                file: site.file.clone(),
+                line: site.line,
+                rule: RULE,
+                msg: format!(
+                    "capability `{cap}` is offered at scope {} but has no \
+                     Application-scope (software fallback) implementation",
+                    site.scope
+                ),
+            });
+        }
+    }
+    (violations, notes)
+}
+
+/// Pass 1: `const IDENT: u64 = ... guid("name") ...;` declarations,
+/// keyed by the const's identifier.
+fn guid_consts(files: &[&SourceFile]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for f in files {
+        let hay = f.masked.as_bytes();
+        for p in super::word_matches(f, "const ") {
+            let mut i = p + "const ".len();
+            let id_start = i;
+            while i < hay.len() && (hay[i].is_ascii_alphanumeric() || hay[i] == b'_') {
+                i += 1;
+            }
+            if i == id_start {
+                continue;
+            }
+            let ident = f.raw[id_start..i].to_string();
+            let Some(semi) = crate::lexer::find(hay, b";", i) else {
+                continue;
+            };
+            if crate::lexer::find(&hay[..semi], b": u64", i).is_none() {
+                continue;
+            }
+            if let Some(g) = crate::lexer::find(&hay[..semi], b"guid(", i) {
+                if let Some(name) = super::literal_after(f, g + "guid(".len()) {
+                    out.insert(ident, name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2: `impl Negotiate for X { ... }` blocks — extract `CAPABILITY`
+/// and `SCOPE` (defaulting to `Application`, as the trait does).
+fn collect_impls(files: &[&SourceFile], guids: &BTreeMap<String, String>, sites: &mut Vec<Site>) {
+    for f in files {
+        for p in super::word_matches(f, "Negotiate for ") {
+            let Some((open, close)) = super::brace_block(&f.masked, p) else {
+                continue;
+            };
+            let Some(cap) = capability_in(f, guids, open, close, "const CAPABILITY") else {
+                // Macro-generated or generic; nothing to resolve.
+                continue;
+            };
+            let scope =
+                scope_in(&f.masked[open..close]).unwrap_or_else(|| "Application".to_string());
+            sites.push(Site {
+                cap,
+                scope,
+                file: f.rel.clone(),
+                line: f.line_of(p),
+            });
+        }
+    }
+}
+
+/// Pass 3: `Registration { ... }` / `Offer { ... }` struct literals with
+/// a literal `scope:` field.
+fn collect_literals(
+    files: &[&SourceFile],
+    guids: &BTreeMap<String, String>,
+    sites: &mut Vec<Site>,
+    notes: &mut Vec<String>,
+) {
+    for f in files {
+        for pat in ["Registration {", "Offer {"] {
+            for p in super::word_matches(f, pat) {
+                // `struct Offer {`, `impl Offer {`, `-> Offer {` and the
+                // like are definitions or function bodies, not literals.
+                if matches!(
+                    preceding_token(&f.masked, p).as_str(),
+                    "struct" | "impl" | "for" | "dyn" | "->" | "trait" | "enum"
+                ) {
+                    continue;
+                }
+                let open = p + pat.len() - 1;
+                let Some((open, close)) = super::brace_block(&f.masked, open) else {
+                    continue;
+                };
+                let Some(scope) = scope_in(&f.masked[open..close]) else {
+                    // Scope comes from a variable or parameter; the
+                    // registry enforces this case at runtime instead.
+                    continue;
+                };
+                match capability_in(f, guids, open, close, "capability:") {
+                    Some(cap) => sites.push(Site {
+                        cap,
+                        scope,
+                        file: f.rel.clone(),
+                        line: f.line_of(p),
+                    }),
+                    None => notes.push(format!(
+                        "{}:{}: could not statically resolve the capability of this \
+                         {} literal (scope {scope}); fallback coverage unchecked",
+                        f.rel,
+                        f.line_of(p),
+                        pat.trim_end_matches(" {"),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// The whitespace-delimited token immediately before `pos` in masked
+/// text.
+fn preceding_token(masked: &str, pos: usize) -> String {
+    let b = masked.as_bytes();
+    let mut end = pos;
+    while end > 0 && (b[end - 1] == b' ' || b[end - 1] == b'\n') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && b[start - 1] != b' ' && b[start - 1] != b'\n' {
+        start -= 1;
+    }
+    masked[start..end].to_string()
+}
+
+/// Resolve the capability named by `marker` inside `[open, close)`:
+/// either `guid("literal")` or an identifier path declared via pass 1.
+fn capability_in(
+    f: &SourceFile,
+    guids: &BTreeMap<String, String>,
+    open: usize,
+    close: usize,
+    marker: &str,
+) -> Option<String> {
+    let hay = f.masked.as_bytes();
+    let at = crate::lexer::find(&hay[..close], marker.as_bytes(), open)?;
+    let mut i = at + marker.len();
+    // For `const CAPABILITY`, skip the `: u64 =` part up to the value.
+    if marker.starts_with("const") {
+        i = crate::lexer::find(&hay[..close], b"=", i)? + 1;
+    }
+    let end = (i..close)
+        .find(|&j| hay[j] == b',' || hay[j] == b';')
+        .unwrap_or(close);
+    if let Some(g) = crate::lexer::find(&hay[..end], b"guid(", i) {
+        return super::literal_after(f, g + "guid(".len());
+    }
+    let expr = f.masked[i..end].trim();
+    if !expr.is_empty()
+        && expr
+            .bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b':')
+    {
+        let last = expr.rsplit("::").next().unwrap_or(expr);
+        return guids.get(last).cloned();
+    }
+    None
+}
+
+/// A literal `Scope::Variant` after a `scope` marker inside a masked
+/// block, if any.
+fn scope_in(block: &str) -> Option<String> {
+    let b = block.as_bytes();
+    let at = if let Some(p) = crate::lexer::find(b, b"scope: Scope::", 0) {
+        p + "scope: Scope::".len()
+    } else if let Some(p) = crate::lexer::find(b, b"SCOPE: Scope = Scope::", 0) {
+        p + "SCOPE: Scope = Scope::".len()
+    } else {
+        return None;
+    };
+    let end = (at..b.len())
+        .find(|&j| !(b[j].is_ascii_alphanumeric() || b[j] == b'_'))
+        .unwrap_or(b.len());
+    (end > at).then(|| block[at..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn accelerated_without_fallback_is_flagged() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "pub const CAP: u64 = guid(\"x/offload\");\n\
+             fn reg() -> Registration {\n    Registration {\n        capability: CAP,\n\
+             \u{20}       scope: Scope::Host,\n    }\n}\n",
+        );
+        let (v, _) = check(std::slice::from_ref(&f));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("x/offload"));
+        assert!(v[0].msg.contains("Host"));
+    }
+
+    #[test]
+    fn application_impl_satisfies_fallback() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "pub const CAP: u64 = guid(\"x/offload\");\n\
+             fn reg() -> Registration {\n    Registration {\n        capability: CAP,\n\
+             \u{20}       scope: Scope::Host,\n    }\n}\n\
+             impl Negotiate for Soft {\n    const CAPABILITY: u64 = CAP;\n\
+             \u{20}   const IMPL: u64 = guid(\"x/offload/sw\");\n}\n",
+        );
+        let (v, _) = check(std::slice::from_ref(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn application_offer_literal_satisfies_fallback() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "fn offers() -> Vec<Offer> {\n    vec![\n\
+             \u{20}       Offer {\n            capability: guid(\"y/cap\"),\n\
+             \u{20}           scope: Scope::Host,\n        },\n\
+             \u{20}       Offer {\n            capability: guid(\"y/cap\"),\n\
+             \u{20}           scope: Scope::Application,\n        },\n    ]\n}\n",
+        );
+        let (v, _) = check(std::slice::from_ref(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn explicit_accelerated_impl_scope_needs_fallback() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "impl Negotiate for Accel {\n    const CAPABILITY: u64 = guid(\"z/cap\");\n\
+             \u{20}   const SCOPE: Scope = Scope::Cluster;\n}\n",
+        );
+        let (v, _) = check(std::slice::from_ref(&f));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("Cluster"));
+    }
+
+    #[test]
+    fn unresolved_capability_is_a_note_not_a_violation() {
+        let f = sf(
+            "crates/x/src/lib.rs",
+            "fn reg(c: u64) -> Registration {\n    Registration {\n\
+             \u{20}       capability: from_cli(c),\n        scope: Scope::Host,\n    }\n}\n",
+        );
+        let (v, n) = check(std::slice::from_ref(&f));
+        assert!(v.is_empty());
+        assert_eq!(n.len(), 1);
+        assert!(n[0].contains("could not statically resolve"));
+    }
+
+    #[test]
+    fn struct_definitions_and_test_files_are_skipped() {
+        let def = sf(
+            "crates/x/src/lib.rs",
+            "pub struct Offer {\n    capability: u64,\n    scope: Scope,\n}\n",
+        );
+        let test = sf(
+            "crates/x/tests/chaos.rs",
+            "fn r() -> Registration {\n    Registration {\n\
+             \u{20}       capability: guid(\"t/cap\"),\n        scope: Scope::Host,\n    }\n}\n",
+        );
+        let (v, n) = check(&[def, test]);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(n.is_empty(), "{n:?}");
+    }
+}

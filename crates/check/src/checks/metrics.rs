@@ -1,0 +1,296 @@
+//! Rule family 3: the metric-name cross-check.
+//!
+//! Three sources of truth must agree:
+//!
+//! - the names code actually emits (`tele::counter("...")`,
+//!   `MirroredCounter::new("...")`, ...);
+//! - the DESIGN.md §9 "Metric names" table;
+//! - the counter/gauge/histogram keys recorded in `results/baselines/`.
+//!
+//! Code↔DESIGN drift is a hard error in both directions, as is a
+//! baseline key nobody documents. A code name missing from the baselines
+//! is only an advisory note: baselines cover the smoke bench, which does
+//! not exercise every subsystem.
+
+use crate::{SourceFile, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Rule identifier.
+pub const RULE: &str = "metric-names";
+
+/// Workspace-relative path of the design doc.
+pub const DESIGN_PATH: &str = "DESIGN.md";
+
+const EMITTERS: &[&str] = &["counter(", "histogram(", "gauge(", "MirroredCounter::new("];
+
+/// Run the rule. Returns hard violations and advisory notes.
+pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+
+    // name -> first emission site
+    let emitted = emitted_names(files);
+
+    let design_raw = std::fs::read_to_string(root.join(DESIGN_PATH)).unwrap_or_default();
+    if design_raw.is_empty() {
+        violations.push(Violation {
+            file: DESIGN_PATH.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "DESIGN.md is missing or unreadable; cannot cross-check metric names".to_string(),
+        });
+        return (violations, notes);
+    }
+    let documented = design_table(&design_raw);
+    if documented.is_empty() {
+        violations.push(Violation {
+            file: DESIGN_PATH.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "no `### Metric names` table found in DESIGN.md".to_string(),
+        });
+        return (violations, notes);
+    }
+
+    for (name, (file, line)) in &emitted {
+        if !documented.contains_key(name) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!("metric `{name}` is emitted but not documented in DESIGN.md §9"),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !emitted.contains_key(name) {
+            violations.push(Violation {
+                file: DESIGN_PATH.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!("metric `{name}` is documented but never emitted by code"),
+            });
+        }
+    }
+
+    let baseline = baseline_names(root);
+    for (name, file) in &baseline {
+        if !documented.contains_key(name) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: 1,
+                rule: RULE,
+                msg: format!("baseline metric key `{name}` is not documented in DESIGN.md §9"),
+            });
+        }
+    }
+    if !baseline.is_empty() {
+        for name in emitted.keys() {
+            if !baseline.contains_key(name) {
+                notes.push(format!(
+                    "metric `{name}` has no baseline key under results/baselines/ \
+                     (advisory: baselines only cover the smoke bench)"
+                ));
+            }
+        }
+    }
+
+    (violations, notes)
+}
+
+/// Every literal metric name emitted in non-test code, with its first
+/// site. Integration-test files (`crates/*/tests/`) are exempt like
+/// `#[cfg(test)]` regions.
+fn emitted_names(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    for f in files {
+        if f.rel.contains("/tests/") {
+            continue;
+        }
+        for pat in EMITTERS {
+            for pos in super::word_matches(f, pat) {
+                // Skip `fn counter(name: &str)`-style definitions and
+                // non-literal arguments.
+                let Some(name) = super::literal_after(f, pos + pat.len()) else {
+                    continue;
+                };
+                out.entry(name)
+                    .or_insert_with(|| (f.rel.clone(), f.line_of(pos)));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `### Metric names` table: name -> line. The first cell of
+/// each row holds backticked names; a token starting with `.` expands
+/// against the previous full name by replacing everything after its last
+/// dot (`` `negotiate.client.handshakes` / `.retransmits` `` documents
+/// both `negotiate.client.handshakes` and `negotiate.client.retransmits`).
+fn design_table(design: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    for (idx, line) in design.lines().enumerate() {
+        let ln = idx + 1;
+        if line.starts_with("###") {
+            in_section = line.contains("Metric names");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cell = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or_default();
+        let mut prev_full: Option<String> = None;
+        let mut parts = cell.split('`');
+        // Odd-indexed fragments of a split on backticks are the
+        // backticked tokens themselves.
+        while let (Some(_), Some(tok)) = (parts.next(), parts.next()) {
+            let tok = tok.trim();
+            if tok.is_empty() || !tok.contains('.') {
+                continue;
+            }
+            let full = if let Some(suffix) = tok.strip_prefix('.') {
+                let Some(base) = &prev_full else { continue };
+                match base.rfind('.') {
+                    Some(dot) => format!("{}.{}", &base[..dot], suffix),
+                    None => continue,
+                }
+            } else {
+                tok.to_string()
+            };
+            prev_full = Some(full.clone());
+            out.entry(full).or_insert(ln);
+        }
+    }
+    out
+}
+
+/// Metric keys recorded in `results/baselines/*.json`: name -> file.
+fn baseline_names(root: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let dir = root.join("results/baselines");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return out;
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let Ok(raw) = std::fs::read_to_string(&p) else {
+            continue;
+        };
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for name in metric_keys(&raw) {
+            out.entry(name).or_insert_with(|| rel.clone());
+        }
+    }
+    out
+}
+
+/// Pull the keys of the `"counters"`, `"gauges"`, and `"histograms"`
+/// objects out of a bench-JSON snapshot. A tiny purpose-built scan, not
+/// a JSON parser: find the section key, then collect `"key":` names at
+/// the top level of its `{...}`.
+pub fn metric_keys(raw: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        let Some(at) = raw.find(section) else {
+            continue;
+        };
+        let Some(open_rel) = raw[at..].find('{') else {
+            continue;
+        };
+        let body = &raw[at + open_rel + 1..];
+        let mut depth = 0usize;
+        let mut i = 0;
+        let b = body.as_bytes();
+        while i < b.len() {
+            match b[i] {
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b'"' if depth == 0 => {
+                    let Some(close) = body[i + 1..].find('"') else {
+                        break;
+                    };
+                    let key = &body[i + 1..i + 1 + close];
+                    let after = body[i + 1 + close + 1..].trim_start();
+                    if after.starts_with(':') {
+                        out.insert(key.to_string());
+                    }
+                    i += close + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn parses_design_suffix_expansion() {
+        let design = "### Metric names\n\n| Name | Kind |\n|---|---|\n\
+                      | `a.b.c` / `.d` / `.e_us` | counter |\n\
+                      | `x.y` | counter |\n";
+        let t = design_table(design);
+        let names: Vec<_> = t.keys().cloned().collect();
+        assert_eq!(names, ["a.b.c", "a.b.d", "a.b.e_us", "x.y"]);
+    }
+
+    #[test]
+    fn design_section_ends_at_next_heading() {
+        let design = "### Metric names\n| `a.b` | counter |\n\
+                      ### Event taxonomy\n| `not.a.metric` | event |\n";
+        let t = design_table(design);
+        assert!(t.contains_key("a.b"));
+        assert!(!t.contains_key("not.a.metric"));
+    }
+
+    #[test]
+    fn extracts_baseline_metric_keys() {
+        let raw = "{\"bench\":\"t\",\"extra\":{\"epoch_swaps\":1.0},\
+                   \"metrics\":{\"counters\":{\"a.b\":1,\"c.d\":2},\
+                   \"gauges\":{},\"histograms\":{\"h.us\":{\"p50\":1}}}}";
+        let keys = metric_keys(raw);
+        assert_eq!(
+            keys.iter().cloned().collect::<Vec<_>>(),
+            ["a.b", "c.d", "h.us"]
+        );
+    }
+
+    #[test]
+    fn collects_literal_emissions_only() {
+        let f = SourceFile::from_source(
+            "crates/x/src/lib.rs".to_string(),
+            "fn counter(name: &str) {}\n\
+             fn f() { tele::counter(\"a.b\").incr(); }\n\
+             fn g(n: &str) { tele::counter(n).incr(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { counter(\"t.only\"); } }\n"
+                .to_string(),
+        );
+        let names = emitted_names(std::slice::from_ref(&f));
+        assert_eq!(names.keys().cloned().collect::<Vec<_>>(), ["a.b"]);
+    }
+}

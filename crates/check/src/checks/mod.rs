@@ -1,0 +1,87 @@
+//! The four invariant families. Each submodule exposes a `check`
+//! function over the loaded [`crate::SourceFile`] set.
+
+pub mod fallback;
+pub mod metrics;
+pub mod panics;
+pub mod wire_tags;
+
+use crate::SourceFile;
+
+/// Find every non-test occurrence of `pat` in `f.masked`. When `pat`
+/// starts with an identifier character, the previous byte must not be
+/// one (word boundary — `const ` must not match `my_const `); patterns
+/// starting with punctuation like `.unwrap()` need no such check.
+pub(crate) fn word_matches(f: &SourceFile, pat: &str) -> Vec<usize> {
+    let hay = f.masked.as_bytes();
+    let starts_ident = pat
+        .as_bytes()
+        .first()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_');
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = crate::lexer::find(hay, pat.as_bytes(), from) {
+        from = p + 1;
+        if starts_ident && p > 0 {
+            let prev = hay[p - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        if f.in_test(p) {
+            continue;
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Read the string literal that starts at or after `pos` in masked text
+/// (skipping whitespace), returning its contents from the raw text.
+/// `None` if the next non-space token is not a string literal.
+pub(crate) fn literal_after(f: &SourceFile, pos: usize) -> Option<String> {
+    let hay = f.masked.as_bytes();
+    let mut i = pos;
+    while i < hay.len() && (hay[i] == b' ' || hay[i] == b'\n') {
+        i += 1;
+    }
+    if i >= hay.len() || hay[i] != b'"' {
+        return None;
+    }
+    let open = i;
+    let close = crate::lexer::find(hay, b"\"", open + 1)?;
+    f.raw.get(open + 1..close).map(|s| s.to_string())
+}
+
+/// Byte range of the brace-delimited block that starts at the first `{`
+/// at or after `pos` (in masked text). Returns `(open, close_exclusive)`.
+pub(crate) fn brace_block(masked: &str, pos: usize) -> Option<(usize, usize)> {
+    let b = masked.as_bytes();
+    let mut i = pos;
+    while i < b.len() && b[i] != b'{' {
+        // A `;` before any `{` means this item has no block.
+        if b[i] == b';' {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= b.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((open, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}

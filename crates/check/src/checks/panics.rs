@@ -1,0 +1,195 @@
+//! Rule family 2: the data-plane panic lint.
+//!
+//! Designated send/recv hot-path modules must not contain `unwrap()`,
+//! `expect(`, panicking macros, or slice/array index expressions in
+//! non-test code: a malformed datagram must surface as an `Err`, never
+//! abort the process (PAPER.md's fallback story assumes the data path
+//! degrades, PR 1's failure model). A justified exception is annotated
+//!
+//! ```text
+//! // check: allow(panic): <reason>
+//! ```
+//!
+//! on the same line or the line above the construct.
+
+use crate::{SourceFile, Violation};
+use std::collections::HashSet;
+
+/// Rule identifier.
+pub const RULE: &str = "panic-lint";
+
+/// Exact hot-path files.
+const HOT_FILES: &[&str] = &[
+    "crates/bertha/src/conn.rs",
+    "crates/chunnels/src/reliable.rs",
+    "crates/chunnels/src/batch.rs",
+    "crates/chunnels/src/frag.rs",
+    "crates/chunnels/src/ordering.rs",
+    "crates/chunnels/src/tracing.rs",
+];
+
+/// Is this workspace-relative path a designated hot path?
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_FILES.contains(&rel) || rel.starts_with("crates/transport/src/")
+}
+
+const CALLS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap() on the data path"),
+    (".expect(", "expect() on the data path"),
+];
+
+const MACROS: &[(&str, &str)] = &[
+    ("panic!", "panic! on the data path"),
+    ("unreachable!", "unreachable! on the data path"),
+    ("todo!", "todo! on the data path"),
+    ("unimplemented!", "unimplemented! on the data path"),
+];
+
+/// The annotation that waives a finding for its line and the next.
+pub const ALLOW_MARKER: &str = "// check: allow(panic):";
+
+/// Lines (1-based) covered by a justified `allow(panic)` annotation.
+fn allowed_lines(f: &SourceFile) -> HashSet<usize> {
+    let mut ok = HashSet::new();
+    for (idx, line) in f.raw.lines().enumerate() {
+        if let Some(at) = line.find(ALLOW_MARKER) {
+            let reason = line
+                .get(at + ALLOW_MARKER.len()..)
+                .unwrap_or_default()
+                .trim();
+            if !reason.is_empty() {
+                ok.insert(idx + 1);
+                ok.insert(idx + 2);
+            }
+        }
+    }
+    ok
+}
+
+/// Run the rule over the loaded workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| is_hot_path(&f.rel)) {
+        let allowed = allowed_lines(f);
+        let mut push = |line: usize, msg: String| {
+            if !allowed.contains(&line) {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line,
+                    rule: RULE,
+                    msg,
+                });
+            }
+        };
+
+        for (pat, what) in CALLS.iter().chain(MACROS) {
+            for pos in super::word_matches(f, pat) {
+                push(
+                    f.line_of(pos),
+                    format!("{what}; return an Err (or `{ALLOW_MARKER} <reason>`)"),
+                );
+            }
+        }
+
+        for pos in index_expressions(f) {
+            push(
+                f.line_of(pos),
+                format!(
+                    "slice/array index expression can panic on the data path; use \
+                     get()/split_first()/split_at-style accessors (or `{ALLOW_MARKER} <reason>`)"
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Positions of `[` that open an index expression in non-test masked
+/// text: the previous non-space byte is an identifier character, `)`, or
+/// `]` (a value being indexed), as opposed to attributes (`#[`), macro
+/// invocations (`vec![`), types, or array literals.
+fn index_expressions(f: &SourceFile) -> Vec<usize> {
+    let hay = f.masked.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in hay.iter().enumerate() {
+        if b != b'[' || f.in_test(i) {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match hay[j] {
+                b' ' | b'\n' => continue,
+                c if c.is_ascii_alphanumeric() || c == b'_' || c == b')' || c == b']' => {
+                    out.push(i);
+                }
+                _ => {}
+            }
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::from_source("crates/bertha/src/conn.rs".to_string(), src.to_string())
+    }
+
+    fn lint(src: &str) -> Vec<Violation> {
+        check(std::slice::from_ref(&sf(src)))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let v = lint("fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+
+        assert_eq!(lint("fn f() { y.expect(\"nope\"); }\n").len(), 1);
+        assert_eq!(lint("fn f() { panic!(\"boom\"); }\n").len(), 1);
+        assert_eq!(lint("fn f() { unreachable!() }\n").len(), 1);
+    }
+
+    #[test]
+    fn flags_index_expressions_only() {
+        // Real index expressions are flagged...
+        assert_eq!(lint("fn f(b: &[u8]) -> u8 { b[0] }\n").len(), 1);
+        assert_eq!(lint("fn f(b: &[u8]) -> &[u8] { &b[1..9] }\n").len(), 1);
+        // ...but attributes, macros, types, and array literals are not.
+        assert!(lint("#[derive(Debug)]\nstruct S;\n").is_empty());
+        assert!(lint("fn f() { let v = vec![0u8; 4]; drop(v); }\n").is_empty());
+        assert!(lint("fn f(x: [u8; 4]) -> Vec<[u8; 4]> { vec![x] }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_waives_same_or_next_line() {
+        let same = "fn f(b: &[u8]) -> u8 { b[0] } // check: allow(panic): caller checked\n";
+        assert!(lint(same).is_empty());
+        let above = "// check: allow(panic): caller checked\nfn f(b: &[u8]) -> u8 { b[0] }\n";
+        assert!(lint(above).is_empty());
+        // An annotation without a reason does not count.
+        let bare = "// check: allow(panic):\nfn f(b: &[u8]) -> u8 { b[0] }\n";
+        assert_eq!(lint(bare).len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_strings_and_comments_are_exempt() {
+        let src = "fn f() { g(\".unwrap()\"); } // .unwrap()\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn non_hot_files_are_ignored() {
+        let f = SourceFile::from_source(
+            "crates/bench/src/compare.rs".to_string(),
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n".to_string(),
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! A masking lexer: blank out comments and literal contents so textual
+//! pattern scans over the result cannot match inside them.
+//!
+//! The mask preserves byte length and newline positions, so byte offsets
+//! and line numbers computed on the masked text map 1:1 onto the raw
+//! text. String literals keep their delimiting quotes (the metric-name
+//! check uses them to locate literal arguments and then reads the
+//! contents back out of the raw text); raw strings, char literals, and
+//! comments are blanked entirely.
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_width(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead < 0xe0 {
+        2
+    } else if lead < 0xf0 {
+        3
+    } else {
+        4
+    }
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for b in out.iter_mut().take(to).skip(from) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Mask `src`. See the module docs.
+pub fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                // Ordinary (or byte) string: keep the quotes, blank the
+                // contents.
+                i += 1;
+                let start = i;
+                while i < n {
+                    match b[i] {
+                        b'\\' if i + 1 < n => i += 2,
+                        b'"' => break,
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i.min(n));
+                if i < n {
+                    i += 1; // closing quote stays
+                }
+            }
+            b'r' | b'b' if i == 0 || !is_ident(b[i - 1]) => {
+                // Possible raw-string opener: r", r#", br#", etc. Plain
+                // b"..." is handled by the '"' arm on the next iteration.
+                let mut j = i + 1;
+                if b[i] == b'b' && j < n && b[j] == b'r' {
+                    j += 1;
+                }
+                let raw_marker = b[i] == b'r' || (b[i] == b'b' && i + 1 < n && b[i + 1] == b'r');
+                let mut hashes = 0usize;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if raw_marker && j < n && b[j] == b'"' {
+                    let mut k = j + 1;
+                    let end;
+                    loop {
+                        if k >= n {
+                            end = n;
+                            break;
+                        }
+                        if b[k] == b'"' {
+                            let mut m = 0;
+                            while m < hashes && k + 1 + m < n && b[k + 1 + m] == b'#' {
+                                m += 1;
+                            }
+                            if m == hashes {
+                                end = k + 1 + hashes;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    // Escaped char literal: '\n', '\'', '\u{..}' ...
+                    let start = i;
+                    i += 2; // opening quote + backslash
+                    if i < n {
+                        i += 1; // the escaped character itself (maybe ')
+                    }
+                    while i < n && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    if i < n {
+                        i += 1; // closing quote
+                    }
+                    blank(&mut out, start, i);
+                } else if i + 1 < n {
+                    let w = utf8_width(b[i + 1]);
+                    if i + 1 + w < n && b[i + 1 + w] == b'\'' {
+                        // One-char literal like 'x'.
+                        blank(&mut out, i, i + 2 + w);
+                        i += 2 + w;
+                    } else {
+                        // Lifetime: leave as-is.
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| src.to_string())
+}
+
+/// Byte ranges of `#[cfg(test)]` items in masked text: from the
+/// attribute through the matching close brace of the item it gates.
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let b = masked.as_bytes();
+    let pat: &[u8] = b"#[cfg(test)]";
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(p) = find(b, pat, i) {
+        let mut j = p + pat.len();
+        while j < b.len() && b[j] != b'{' {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < b.len() {
+            match b[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push((p, k.max(p + 1)));
+        i = k.max(p + 1);
+    }
+    out
+}
+
+/// First occurrence of `pat` in `hay` at or after `from`.
+pub fn find(hay: &[u8], pat: &[u8], from: usize) -> Option<usize> {
+    if pat.is_empty() || hay.len() < pat.len() {
+        return None;
+    }
+    (from..=hay.len() - pat.len()).find(|&i| &hay[i..i + pat.len()] == pat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask("let x = 1; // unwrap()\n/* panic! */ let y = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(
+            m.len(),
+            "let x = 1; // unwrap()\n/* panic! */ let y = 2;".len()
+        );
+    }
+
+    #[test]
+    fn masks_string_contents_keeps_quotes() {
+        let m = mask(r#"f("ab.unwrap()cd"); g(x)"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains(r#"f(""#));
+        assert!(m.contains(r#""); g(x)"#));
+    }
+
+    #[test]
+    fn handles_escapes_and_chars_and_lifetimes() {
+        let src = r#"let a = '\''; let b: &'static str = "x\"y"; let c = 'z';"#;
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert!(m.contains("&'static str"));
+        assert!(!m.contains('z'));
+        // The escaped quote inside the string must not end it early.
+        assert!(m.contains("let c ="));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = r##"let s = r#"panic!("no")"#; done()"##;
+        let m = mask(src);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("done()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("a /* x /* y */ z */ b");
+        assert!(m.starts_with('a'));
+        assert!(m.ends_with('b'));
+        assert!(!m.contains('y'));
+        assert!(!m.contains('z'));
+    }
+
+    #[test]
+    fn newlines_survive_masking() {
+        let src = "// one\n\"two\nthree\"\n/* four\nfive */\n";
+        let m = mask(src);
+        assert_eq!(
+            m.matches('\n').count(),
+            src.matches('\n').count(),
+            "line structure must be preserved"
+        );
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn t() { x } \n}\nfn b() {}";
+        let m = mask(src);
+        let regions = test_regions(&m);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        let attr = src.find("#[cfg(test)]").unwrap();
+        assert_eq!(s, attr);
+        assert!(src[s..e].contains("mod tests"));
+        assert!(!src[s..e].contains("fn b"));
+    }
+}

@@ -1,0 +1,85 @@
+//! `bertha-check`: the workspace invariant checker. See the library
+//! docs (`crates/check/src/lib.rs`) and DESIGN.md §10 for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "bertha-check [--root <workspace-root>] [--self-test]
+
+Walks crates/**/*.rs and enforces the DESIGN.md \u{a7}10 invariants:
+wire-tag registry, data-plane panic lint, metric-name cross-check, and
+the accelerated-capability fallback rule.
+
+Exit codes: 0 clean, 1 violations found (or self-test failure), 2 usage
+or I/O error.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        return match bertha_check::selftest::run() {
+            Ok(n) => {
+                println!("self-test OK: all seeded violations detected ({n} total)");
+                ExitCode::SUCCESS
+            }
+            Err(missed) => {
+                eprintln!("self-test FAILED:");
+                for m in &missed {
+                    eprintln!("  {m}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = match bertha_check::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bertha-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for n in &report.notes {
+        println!("note: {n}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "bertha-check: {} files scanned, no violations ({} advisory notes)",
+            report.files_scanned,
+            report.notes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bertha-check: {} violation(s) across {} files scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

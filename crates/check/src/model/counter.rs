@@ -1,0 +1,76 @@
+//! A model of the telemetry `MirroredCounter`: a per-instance local
+//! counter mirrored into a global registry counter.
+//!
+//! The real `add` increments local first, then global, as two
+//! independent atomic operations. The readable invariant is therefore
+//! one-sided: at any instant the global mirror may lag the locals but
+//! can never exceed their sum — a dashboard dividing global by the sum
+//! never sees a ratio above 1.
+
+/// Shared state: per-thread locals and the global mirror.
+#[derive(Debug, Default)]
+pub struct Mirrored {
+    /// One local counter per modelled thread.
+    pub locals: Vec<u64>,
+    /// The global registry counter.
+    pub global: u64,
+}
+
+impl Mirrored {
+    /// `n` threads, all counters zero.
+    pub fn new(n: usize) -> Self {
+        Mirrored {
+            locals: vec![0; n],
+            global: 0,
+        }
+    }
+
+    /// Step 1 of `add(1)` on thread `i`: bump the local counter.
+    pub fn add_local(&mut self, i: usize) {
+        if let Some(l) = self.locals.get_mut(i) {
+            *l += 1;
+        }
+    }
+
+    /// Step 2 of `add(1)`: bump the global mirror.
+    pub fn add_global(&mut self) {
+        self.global += 1;
+    }
+
+    /// Invariant at every step: the mirror never exceeds the locals.
+    pub fn mirror_never_ahead(&self) -> Result<(), String> {
+        let sum: u64 = self.locals.iter().sum();
+        if self.global <= sum {
+            Ok(())
+        } else {
+            Err(format!("global {} ahead of locals {sum}", self.global))
+        }
+    }
+
+    /// Final-state check: everything settled, mirror equals locals.
+    pub fn settled(&self) -> Result<(), String> {
+        let sum: u64 = self.locals.iter().sum();
+        if self.global == sum {
+            Ok(())
+        } else {
+            Err(format!("global {} != locals {sum}", self.global))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_adds_settle() {
+        let mut m = Mirrored::new(2);
+        m.add_local(0);
+        m.add_global();
+        m.add_local(1);
+        m.mirror_never_ahead().unwrap();
+        assert!(m.settled().is_err());
+        m.add_global();
+        m.settled().unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! A model of the `SwitchableConn` epoch-swap routing protocol
+//! (`bertha::negotiate::renegotiate`).
+//!
+//! In the real code, `route` classifies an incoming epoch-tagged frame
+//! against the connection's current epoch while holding the inbox and
+//! future-buffer locks: matching epoch → inbox, future epoch →
+//! buffered, stale epoch → dropped (counted). `swap_to` publishes a new
+//! epoch and flushes the future buffer **under the same locks**. That
+//! lock discipline is exactly what makes each of these a single atomic
+//! step here; [`EpochCore::route_observe`]/[`EpochCore::route_act`]
+//! model the pre-fix two-step discipline (epoch read outside the
+//! locks), which the explorer must prove loses frames.
+
+/// An epoch-tagged data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Payload identity, for exactly-once accounting.
+    pub id: u64,
+    /// The epoch the sender tagged the frame with.
+    pub epoch: u64,
+}
+
+/// The shared state both the router and the swapper mutate.
+#[derive(Debug, Default)]
+pub struct EpochCore {
+    /// Currently installed epoch.
+    pub epoch: u64,
+    /// Delivered frames, each with the epoch current at acceptance.
+    pub inbox: Vec<(Frame, u64)>,
+    /// Frames buffered for a not-yet-installed epoch.
+    pub future: Vec<Frame>,
+    /// Frames dropped as stale.
+    pub stale_drops: Vec<Frame>,
+    /// Every epoch value ever installed, in order.
+    pub epoch_trace: Vec<u64>,
+    /// A router's epoch observation made outside the locks (models the
+    /// pre-fix bug; `None` once consumed).
+    pub observed: Option<u64>,
+}
+
+impl EpochCore {
+    /// Fresh core at epoch 0.
+    pub fn new() -> Self {
+        EpochCore {
+            epoch_trace: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// The fixed `route` discipline: classify and file the frame in one
+    /// critical section (epoch read under the inbox+future locks).
+    pub fn route_locked(&mut self, f: Frame) {
+        let cur = self.epoch;
+        if f.epoch == cur {
+            self.inbox.push((f, cur));
+        } else if f.epoch > cur {
+            self.future.push(f);
+        } else {
+            self.stale_drops.push(f);
+        }
+    }
+
+    /// An untagged (epoch-0 wire format) frame: always delivered at the
+    /// current epoch.
+    pub fn route_untagged(&mut self, id: u64) {
+        let cur = self.epoch;
+        self.inbox.push((Frame { id, epoch: cur }, cur));
+    }
+
+    /// The `swap_to` critical section: publish `target` and flush the
+    /// future buffer under the same locks `route_locked` files under.
+    /// A stale swap (target already superseded) is a no-op, which keeps
+    /// the installed epoch monotone.
+    pub fn swap_locked(&mut self, target: u64) {
+        if self.epoch >= target {
+            return;
+        }
+        self.epoch = target;
+        self.epoch_trace.push(target);
+        let mut kept = Vec::new();
+        for f in self.future.drain(..) {
+            if f.epoch == target {
+                self.inbox.push((f, target));
+            } else if f.epoch > target {
+                kept.push(f);
+            } else {
+                self.stale_drops.push(f);
+            }
+        }
+        self.future = kept;
+    }
+
+    /// Pre-fix `route`, step 1 of 2: observe the epoch with no locks
+    /// held.
+    pub fn route_observe(&mut self) {
+        self.observed = Some(self.epoch);
+    }
+
+    /// Pre-fix `route`, step 2 of 2: act on the (possibly stale)
+    /// observation.
+    pub fn route_act(&mut self, f: Frame) {
+        let Some(cur) = self.observed.take() else {
+            return;
+        };
+        if f.epoch == cur {
+            self.inbox.push((f, self.epoch));
+        } else if f.epoch > cur {
+            self.future.push(f);
+        } else {
+            self.stale_drops.push(f);
+        }
+    }
+
+    /// Invariant: a frame is only ever accepted into the inbox while
+    /// its own epoch is installed (no stale or early delivery).
+    /// Untagged frames are re-stamped at acceptance, so they satisfy
+    /// this by construction.
+    pub fn no_stale_acceptance(&self) -> Result<(), String> {
+        for (f, at) in &self.inbox {
+            if f.epoch != *at {
+                return Err(format!(
+                    "frame {} (epoch {}) accepted while epoch {at} was installed",
+                    f.id, f.epoch
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant: the installed epoch never goes backwards.
+    pub fn epoch_monotone(&self) -> Result<(), String> {
+        if self.epoch_trace.windows(2).all(|w| w[0] < w[1]) {
+            Ok(())
+        } else {
+            Err(format!("epoch went backwards: {:?}", self.epoch_trace))
+        }
+    }
+
+    /// How many times the frame with this id was delivered.
+    pub fn delivered(&self, id: u64) -> usize {
+        self.inbox.iter().filter(|(f, _)| f.id == id).count()
+    }
+
+    /// Final-state check: this frame ended up delivered exactly once —
+    /// not lost (stranded in the future buffer or dropped) and not
+    /// duplicated.
+    pub fn delivered_exactly_once(&self, id: u64) -> Result<(), String> {
+        match self.delivered(id) {
+            1 => Ok(()),
+            0 if self.future.iter().any(|f| f.id == id) => Err(format!(
+                "frame {id} stranded in the future buffer at epoch {}",
+                self.epoch
+            )),
+            0 => Err(format!("frame {id} lost")),
+            n => Err(format!("frame {id} delivered {n} times")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_route_then_swap_delivers() {
+        let mut c = EpochCore::new();
+        c.route_locked(Frame { id: 1, epoch: 1 });
+        assert_eq!(c.future.len(), 1);
+        c.swap_locked(1);
+        c.delivered_exactly_once(1).unwrap();
+        c.no_stale_acceptance().unwrap();
+        c.epoch_monotone().unwrap();
+    }
+
+    #[test]
+    fn stale_frames_drop_and_swaps_stay_monotone() {
+        let mut c = EpochCore::new();
+        c.swap_locked(2);
+        c.swap_locked(1); // stale swap: no-op
+        assert_eq!(c.epoch, 2);
+        c.route_locked(Frame { id: 7, epoch: 1 });
+        assert_eq!(c.delivered(7), 0);
+        assert_eq!(c.stale_drops.len(), 1);
+        c.epoch_monotone().unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! A miniature loom: exhaustive exploration of thread interleavings
+//! over explicit critical-section steps, plus models of the two
+//! concurrency protocols this workspace stakes correctness on.
+//!
+//! The real `loom` crate instruments atomics and re-runs closures under
+//! a schedule-exploring runtime. That is a heavyweight dependency; the
+//! property we actually need — "for every interleaving of these small
+//! critical sections, the invariant holds" — only requires enumerating
+//! the interleavings of hand-modelled steps, which [`sched::explore`]
+//! does in ~80 lines of std. Each lock-protected critical section in
+//! the real code becomes one atomic step in the model; anything the
+//! real code does while holding no lock must be split into separate
+//! steps.
+//!
+//! [`epoch`] models the `SwitchableConn` epoch-swap routing protocol
+//! (`bertha::negotiate::renegotiate`), [`counter`] the telemetry
+//! `MirroredCounter`. The exhaustive scenarios run from
+//! `tests/loom_epoch.rs` under `RUSTFLAGS="--cfg loom"`.
+
+pub mod counter;
+pub mod epoch;
+pub mod sched;

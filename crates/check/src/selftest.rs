@@ -1,0 +1,65 @@
+//! The analyzer's own smoke test: run every rule against
+//! `fixtures/seeded/`, a miniature workspace with one seeded violation
+//! per rule family, and assert that each one is detected. CI runs this
+//! before trusting a clean report on the real workspace — a checker
+//! that silently stopped finding anything would otherwise look like a
+//! healthy codebase.
+
+use std::path::PathBuf;
+
+/// Path to the seeded-violation fixture workspace.
+pub fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded")
+}
+
+/// Every (rule, message-substring) pair the seeded fixture must trip.
+const EXPECTED: &[(&str, &str)] = &[
+    ("wire-tags", "collision"),
+    ("wire-tags", "not under a `// channel:` marker"),
+    ("wire-tags", "0x literal"),
+    ("wire-tags", "outside the"),
+    ("panic-lint", "unwrap"),
+    ("panic-lint", "index"),
+    ("metric-names", "rogue.metric"),
+    ("metric-names", "documented.only"),
+    ("metric-names", "baseline.ghost"),
+    ("fallback", "fixture/offload-only"),
+];
+
+/// Run the self-test. `Ok(n)` is the number of violations found in the
+/// fixture; `Err` lists every expectation that failed to fire.
+pub fn run() -> Result<usize, Vec<String>> {
+    let report = match crate::run(&fixture_root()) {
+        Ok(r) => r,
+        Err(e) => return Err(vec![format!("could not scan {:?}: {e}", fixture_root())]),
+    };
+    let mut missed = Vec::new();
+    for (rule, needle) in EXPECTED {
+        let hit = report
+            .violations
+            .iter()
+            .any(|v| v.rule == *rule && v.msg.contains(needle));
+        if !hit {
+            missed.push(format!(
+                "seeded [{rule}] violation matching {needle:?} was not detected"
+            ));
+        }
+    }
+    if report.violations.is_empty() {
+        missed.push("seeded fixture produced no violations at all".to_string());
+    }
+    if missed.is_empty() {
+        Ok(report.violations.len())
+    } else {
+        Err(missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_fixture_trips_every_rule() {
+        let n = super::run().unwrap_or_else(|missed| panic!("self-test failed: {missed:#?}"));
+        assert!(n >= super::EXPECTED.len());
+    }
+}

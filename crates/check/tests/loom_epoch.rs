@@ -1,0 +1,171 @@
+//! Exhaustive interleaving exploration of the `SwitchableConn`
+//! epoch-swap protocol and the telemetry mirrored counters, in the
+//! style of loom. Run with `RUSTFLAGS="--cfg loom" cargo test -p
+//! bertha-check --test loom_epoch`.
+//!
+//! Each test builds per-thread step sequences where one step = one
+//! critical section of the real code, then checks invariants across
+//! every schedule. Scenario 2 is the negative control: it models the
+//! pre-fix `route` discipline (epoch observed outside the inbox/future
+//! locks) and asserts the explorer *finds* the frame-loss
+//! counterexample that motivated the lock-discipline fix in
+//! `bertha::negotiate::renegotiate`.
+#![cfg(loom)]
+
+use bertha_check::model::counter::Mirrored;
+use bertha_check::model::epoch::{EpochCore, Frame};
+use bertha_check::model::sched::{explore, step, Step};
+
+fn core_invariants(c: &EpochCore) -> Result<(), String> {
+    c.no_stale_acceptance()?;
+    c.epoch_monotone()
+}
+
+/// Scenario 1: a frame tagged for epoch 1 races `swap_to(1)`. Whether
+/// it arrives before the swap (buffered, then flushed) or after
+/// (delivered directly), every interleaving must deliver it exactly
+/// once.
+#[test]
+fn swap_vs_route_delivers_exactly_once() {
+    let threads: Vec<Vec<Step<EpochCore>>> = vec![
+        vec![step(|c: &mut EpochCore| {
+            c.route_locked(Frame { id: 1, epoch: 1 })
+        })],
+        vec![step(|c: &mut EpochCore| c.swap_locked(1))],
+    ];
+    let ok = explore(EpochCore::new, &threads, core_invariants, |c| {
+        c.delivered_exactly_once(1)
+    })
+    .expect("fixed lock discipline must never lose the frame");
+    assert_eq!(ok.schedules, 2);
+}
+
+/// Scenario 2 (negative): the pre-fix discipline read the epoch before
+/// taking the inbox/future locks. Splitting `route` into observe + act
+/// steps, the explorer must find the interleaving where the swap's
+/// flush runs between them: the epoch-1 frame is then filed into the
+/// future buffer *after* epoch 1 was installed and flushed, stranding
+/// it forever.
+#[test]
+fn racy_route_discipline_loses_frames() {
+    let threads: Vec<Vec<Step<EpochCore>>> = vec![
+        vec![
+            step(|c: &mut EpochCore| c.route_observe()),
+            step(|c: &mut EpochCore| c.route_act(Frame { id: 1, epoch: 1 })),
+        ],
+        vec![step(|c: &mut EpochCore| c.swap_locked(1))],
+    ];
+    let err = explore(EpochCore::new, &threads, core_invariants, |c| {
+        c.delivered_exactly_once(1)
+    })
+    .expect_err("the explorer must detect the pre-fix frame-loss bug");
+    assert!(
+        err.msg.contains("stranded"),
+        "expected a stranded-frame counterexample, got: {}",
+        err.msg
+    );
+}
+
+/// Scenario 3: a stale duplicate (epoch 0 copy of an already-swapped
+/// frame id) races the swap and a fresh epoch-1 frame. No interleaving
+/// may deliver the stale copy after the swap, and the fresh frame is
+/// delivered exactly once — the anti-double-delivery property the
+/// drain protocol is for.
+#[test]
+fn stale_duplicate_is_never_delivered_after_swap() {
+    let threads: Vec<Vec<Step<EpochCore>>> = vec![
+        vec![step(|c: &mut EpochCore| {
+            c.route_locked(Frame { id: 7, epoch: 0 })
+        })],
+        vec![step(|c: &mut EpochCore| c.swap_locked(1))],
+        vec![step(|c: &mut EpochCore| {
+            c.route_locked(Frame { id: 8, epoch: 1 })
+        })],
+    ];
+    explore(EpochCore::new, &threads, core_invariants, |c| {
+        // The stale copy either made it in at epoch 0 (before the swap)
+        // or was dropped — but it is never accepted at epoch 1.
+        for (f, at) in &c.inbox {
+            if f.id == 7 && *at != 0 {
+                return Err("stale duplicate delivered after swap".to_string());
+            }
+        }
+        if c.delivered(7) > 1 {
+            return Err("duplicate delivery".to_string());
+        }
+        c.delivered_exactly_once(8)
+    })
+    .expect("drain protocol must stop cross-epoch duplicates");
+}
+
+/// Scenario 4: two stacked swaps (1 then 2, possibly observed out of
+/// order) race an epoch-2 frame and an untagged frame. The installed
+/// epoch must stay monotone, land at 2, and both frames deliver exactly
+/// once.
+#[test]
+fn double_swap_stays_monotone() {
+    let threads: Vec<Vec<Step<EpochCore>>> = vec![
+        vec![step(|c: &mut EpochCore| c.swap_locked(1))],
+        vec![step(|c: &mut EpochCore| c.swap_locked(2))],
+        vec![step(|c: &mut EpochCore| {
+            c.route_locked(Frame { id: 3, epoch: 2 })
+        })],
+        vec![step(|c: &mut EpochCore| c.route_untagged(4))],
+    ];
+    let ok = explore(EpochCore::new, &threads, core_invariants, |c| {
+        if c.epoch != 2 {
+            return Err(format!("final epoch {} != 2", c.epoch));
+        }
+        c.delivered_exactly_once(3)?;
+        c.delivered_exactly_once(4)
+    })
+    .expect("stacked swaps must converge to the newest epoch");
+    assert_eq!(ok.schedules, 24);
+}
+
+/// Scenario 5: two threads each do `MirroredCounter::add(1)` — local
+/// bump then global bump as separate steps, the real ordering. At every
+/// intermediate point the global mirror may lag but never lead, and
+/// once both settle it equals the sum of locals.
+#[test]
+fn mirrored_counter_never_overreports() {
+    let threads: Vec<Vec<Step<Mirrored>>> = (0..2usize)
+        .map(|i| {
+            vec![
+                step(move |m: &mut Mirrored| m.add_local(i)),
+                step(move |m: &mut Mirrored| m.add_global()),
+            ]
+        })
+        .collect();
+    let ok = explore(
+        || Mirrored::new(2),
+        &threads,
+        Mirrored::mirror_never_ahead,
+        Mirrored::settled,
+    )
+    .expect("local-then-global ordering keeps the mirror honest");
+    assert_eq!(ok.schedules, 6);
+}
+
+/// The same counter modelled with the WRONG ordering (global before
+/// local) must be caught over-reporting — proving the invariant check
+/// has teeth.
+#[test]
+fn reversed_counter_ordering_is_caught() {
+    let threads: Vec<Vec<Step<Mirrored>>> = (0..2usize)
+        .map(|i| {
+            vec![
+                step(move |m: &mut Mirrored| m.add_global()),
+                step(move |m: &mut Mirrored| m.add_local(i)),
+            ]
+        })
+        .collect();
+    let err = explore(
+        || Mirrored::new(2),
+        &threads,
+        Mirrored::mirror_never_ahead,
+        Mirrored::settled,
+    )
+    .expect_err("global-first ordering must trip the mirror invariant");
+    assert!(err.msg.contains("ahead"));
+}

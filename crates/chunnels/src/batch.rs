@@ -140,16 +140,15 @@ fn unpack(from: &Addr, buf: &[u8]) -> Result<Vec<Datagram>, Error> {
     let mut out = Vec::new();
     let mut rest = buf;
     while !rest.is_empty() {
-        if rest.len() < 4 {
+        let Some((len, after)) = crate::take_u32_le(rest) else {
             return Err(Error::Encode("truncated batch header".into()));
-        }
-        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
-        rest = &rest[4..];
-        if rest.len() < len {
+        };
+        let len = len as usize;
+        let Some(payload) = after.get(..len) else {
             return Err(Error::Encode("truncated batch payload".into()));
-        }
-        out.push((from.clone(), rest[..len].to_vec()));
-        rest = &rest[len..];
+        };
+        out.push((from.clone(), payload.to_vec()));
+        rest = after.get(len..).unwrap_or(&[]);
     }
     Ok(out)
 }
@@ -199,23 +198,25 @@ where
 
             let action = {
                 let mut p = self.pending.lock();
-                match p.as_mut() {
+                // Taking the pending batch up front (and putting it back on
+                // the paths that keep it) avoids panicking re-`take()`s of a
+                // slot we only pattern-matched as occupied.
+                match p.take() {
                     // Same destination and room left: join the batch.
-                    Some(b) if b.addr == addr => {
+                    Some(mut b) if b.addr == addr => {
                         append_msg(&mut b.buf, &payload);
                         b.count += 1;
                         if b.count >= self.cfg.max_msgs || b.buf.len() >= self.cfg.max_bytes {
-                            let b = p.take().expect("just matched");
                             self.stats.flush_full.incr();
                             record_occupancy(b.count);
                             Action::FlushNow(b.addr, b.buf)
                         } else {
+                            *p = Some(b);
                             Action::Joined
                         }
                     }
                     // Different destination: flush the old batch, start new.
-                    Some(_) => {
-                        let old = p.take().expect("just matched");
+                    Some(old) => {
                         self.stats.flush_displaced.incr();
                         record_occupancy(old.count);
                         let mut buf = Vec::with_capacity(4 + payload.len());

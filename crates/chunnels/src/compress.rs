@@ -11,8 +11,7 @@ use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 
-const RAW: u8 = 0x00;
-const LZ: u8 = 0x01;
+use bertha::negotiate::wire::{COMPRESS_LZ as LZ, COMPRESS_RAW as RAW};
 const WINDOW: usize = 4096;
 const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = MIN_MATCH + 127;

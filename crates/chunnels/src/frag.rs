@@ -140,13 +140,14 @@ where
         Box::pin(async move {
             loop {
                 let (from, buf) = self.inner.recv().await?;
-                if buf.len() < HDR {
+                let header = crate::take_u64_le(&buf).and_then(|(msg_id, rest)| {
+                    let (idx, rest) = crate::take_u16_le(rest)?;
+                    let (total, payload) = crate::take_u16_le(rest)?;
+                    Some((msg_id, idx as usize, total as usize, payload))
+                });
+                let Some((msg_id, idx, total, payload)) = header else {
                     return Err(Error::Encode("fragment too short".into()));
-                }
-                let msg_id = u64::from_le_bytes(buf[..8].try_into().unwrap());
-                let idx = u16::from_le_bytes(buf[8..10].try_into().unwrap()) as usize;
-                let total = u16::from_le_bytes(buf[10..12].try_into().unwrap()) as usize;
-                let payload = &buf[12..];
+                };
 
                 if total == 0 || idx >= total {
                     return Err(Error::Encode(format!("bad fragment indices {idx}/{total}")));
@@ -171,18 +172,25 @@ where
                     partials.remove(&key);
                     continue;
                 }
-                if p.frags[idx].is_none() {
-                    p.frags[idx] = Some(payload.to_vec());
-                    p.have += 1;
+                if let Some(slot) = p.frags.get_mut(idx) {
+                    if slot.is_none() {
+                        *slot = Some(payload.to_vec());
+                        p.have += 1;
+                    }
                 }
                 if p.have == total {
-                    let p = partials.remove(&key).expect("just inserted");
-                    let mut whole =
-                        Vec::with_capacity(p.frags.iter().map(|f| f.as_ref().unwrap().len()).sum());
-                    for f in p.frags {
-                        whole.extend_from_slice(&f.unwrap());
+                    if let Some(p) = partials.remove(&key) {
+                        let mut whole = Vec::with_capacity(
+                            p.frags
+                                .iter()
+                                .map(|f| f.as_ref().map_or(0, |v| v.len()))
+                                .sum(),
+                        );
+                        for f in p.frags.into_iter().flatten() {
+                            whole.extend_from_slice(&f);
+                        }
+                        return Ok((from, whole));
                     }
-                    return Ok((from, whole));
                 }
             }
         })

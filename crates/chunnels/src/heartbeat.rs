@@ -18,8 +18,7 @@ use parking_lot::Mutex;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-const DATA: u8 = 0x10;
-const BEAT: u8 = 0x11;
+use bertha::negotiate::wire::{HEARTBEAT_BEAT as BEAT, HEARTBEAT_DATA as DATA};
 
 /// Heartbeat parameters.
 #[derive(Clone, Debug)]

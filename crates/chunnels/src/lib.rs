@@ -39,6 +39,25 @@ pub mod serialize;
 pub mod tracing;
 
 pub use batch::{BatchChunnel, BatchStats};
+
+/// Split a little-endian `u64` off the front of a buffer, panic-free.
+/// Returns `None` when the buffer is too short.
+pub(crate) fn take_u64_le(b: &[u8]) -> Option<(u64, &[u8])> {
+    let head: [u8; 8] = b.get(..8)?.try_into().ok()?;
+    Some((u64::from_le_bytes(head), b.get(8..)?))
+}
+
+/// Split a little-endian `u32` off the front of a buffer, panic-free.
+pub(crate) fn take_u32_le(b: &[u8]) -> Option<(u32, &[u8])> {
+    let head: [u8; 4] = b.get(..4)?.try_into().ok()?;
+    Some((u32::from_le_bytes(head), b.get(4..)?))
+}
+
+/// Split a little-endian `u16` off the front of a buffer, panic-free.
+pub(crate) fn take_u16_le(b: &[u8]) -> Option<(u16, &[u8])> {
+    let head: [u8; 2] = b.get(..2)?.try_into().ok()?;
+    Some((u16::from_le_bytes(head), b.get(2..)?))
+}
 pub use compress::CompressChunnel;
 pub use crypt::CryptChunnel;
 pub use frag::FragChunnel;

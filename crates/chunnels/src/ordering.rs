@@ -116,20 +116,18 @@ where
                     // Buffer overflowing: the gap is presumed lost; skip to
                     // the earliest buffered payload.
                     if st.buffer.len() >= self.max_buffer {
-                        if let Some((&seq, _)) = st.buffer.iter().next() {
+                        if let Some((seq, d)) = st.buffer.pop_first() {
                             st.next_deliver = seq + 1;
-                            let d = st.buffer.remove(&seq).expect("just observed");
                             return Ok(d);
                         }
                     }
                 }
 
                 let (from, buf) = self.inner.recv().await?;
-                if buf.len() < 8 {
+                let Some((seq, payload)) = crate::take_u64_le(&buf) else {
                     return Err(Error::Encode("ordering frame too short".into()));
-                }
-                let seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
-                let payload = buf[8..].to_vec();
+                };
+                let payload = payload.to_vec();
                 let mut st = self.state.lock();
                 if seq < st.next_deliver {
                     continue; // stale duplicate

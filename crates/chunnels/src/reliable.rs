@@ -26,8 +26,7 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use tokio::sync::{mpsc, Notify};
 
-const DATA: u8 = 0x02;
-const ACK: u8 = 0x03;
+use bertha::negotiate::wire::{RELIABLE_ACK as ACK, RELIABLE_DATA as DATA};
 
 /// Configuration for the ARQ.
 #[derive(Clone, Copy, Debug)]
@@ -184,12 +183,13 @@ fn ack_frame(seq: u64) -> Vec<u8> {
 }
 
 fn parse(buf: &[u8]) -> Result<(u8, u64, &[u8]), Error> {
-    if buf.len() < 9 {
+    let Some((&tag, rest)) = buf.split_first() else {
         return Err(Error::Encode("reliability frame too short".into()));
-    }
-    let tag = buf[0];
-    let seq = u64::from_le_bytes(buf[1..9].try_into().unwrap());
-    Ok((tag, seq, &buf[9..]))
+    };
+    let Some((seq, payload)) = crate::take_u64_le(rest) else {
+        return Err(Error::Encode("reliability frame too short".into()));
+    };
+    Ok((tag, seq, payload))
 }
 
 impl<C> ReliableConn<C>

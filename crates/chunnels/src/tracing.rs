@@ -24,8 +24,7 @@ use bertha::{Chunnel, Error};
 use bertha_telemetry as tele;
 use parking_lot::Mutex;
 
-const PLAIN: u8 = 0x00;
-const TRACED: u8 = 0x01;
+use bertha::negotiate::wire::{TRACING_PLAIN as PLAIN, TRACING_TRACED as TRACED};
 
 /// The tracing chunnel. See the module docs.
 ///
@@ -164,7 +163,11 @@ where
                     let Some(fctx) = tele::TraceContext::decode(rest) else {
                         return Err(Error::Encode("truncated trace context".into()));
                     };
-                    let payload = rest[tele::tracectx::WIRE_LEN..].to_vec();
+                    // `decode` validated the length, so the suffix exists.
+                    let Some(payload) = rest.get(tele::tracectx::WIRE_LEN..) else {
+                        return Err(Error::Encode("truncated trace context".into()));
+                    };
+                    let payload = payload.to_vec();
                     self.stats.frames_traced_recv.incr();
                     tele::event!(
                         tele::Level::Debug,

@@ -311,7 +311,14 @@ impl RemoteRegistry {
         if guard.is_none() {
             *guard = Some(UdsConnector.connect(self.agent.clone()).await?);
         }
-        let conn = guard.as_ref().expect("just connected");
+        // Degrade, don't abort: an empty slot here (it was just filled
+        // above, but never trust a panic to a registry path) surfaces as a
+        // retryable error, matching the rest of the agent failure model.
+        let Some(conn) = guard.as_ref() else {
+            return Err(Error::Other(
+                "discovery agent connection unavailable".into(),
+            ));
+        };
         conn.send((self.agent.clone(), bincode::serialize(req)?))
             .await?;
         let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())

@@ -1,0 +1,56 @@
+//! Property tests for the `TraceContext` wire codec: the 25-byte
+//! context rides on every traced data frame, so the decoder sees
+//! whatever the network delivers and must never panic or misreport.
+
+use bertha_telemetry::tracectx::{TraceContext, WIRE_LEN};
+use proptest::prelude::*;
+
+fn ctx_strategy() -> impl Strategy<Value = TraceContext> {
+    (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(trace_id, span_id, sampled)| {
+        TraceContext {
+            trace_id,
+            span_id,
+            sampled,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(ctx in ctx_strategy()) {
+        let enc = ctx.encode();
+        prop_assert_eq!(enc.len(), WIRE_LEN);
+        prop_assert_eq!(TraceContext::decode(&enc), Some(ctx));
+    }
+
+    #[test]
+    fn truncated_buffers_reject(ctx in ctx_strategy(), cut in 0usize..WIRE_LEN) {
+        let enc = ctx.encode();
+        prop_assert_eq!(TraceContext::decode(&enc[..cut]), None);
+    }
+
+    #[test]
+    fn flag_byte_only_bit0_matters(ctx in ctx_strategy(), flags in any::<u8>()) {
+        let mut enc = ctx.encode();
+        enc[WIRE_LEN - 1] = flags;
+        let got = TraceContext::decode(&enc).expect("length unchanged, must decode");
+        prop_assert_eq!(got.trace_id, ctx.trace_id);
+        prop_assert_eq!(got.span_id, ctx.span_id);
+        prop_assert_eq!(got.sampled, flags & 1 == 1);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Short buffers must reject; long enough buffers decode to
+        // whatever the bytes say. Either way: no panic.
+        let got = TraceContext::decode(&buf);
+        prop_assert_eq!(got.is_some(), buf.len() >= WIRE_LEN);
+    }
+
+    #[test]
+    fn extra_trailing_bytes_are_ignored(ctx in ctx_strategy(), tail in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut buf = ctx.encode().to_vec();
+        buf.extend_from_slice(&tail);
+        prop_assert_eq!(TraceContext::decode(&buf), Some(ctx));
+    }
+}

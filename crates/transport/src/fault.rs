@@ -226,7 +226,9 @@ where
                 } else {
                     if st.rng.gen::<f64>() < self.cfg.corrupt && !buf.is_empty() {
                         let i = st.rng.gen_range(0..buf.len());
-                        buf[i] ^= 0x01;
+                        if let Some(b) = buf.get_mut(i) {
+                            *b ^= 0x01;
+                        }
                         st.corrupted += 1;
                     }
                     if st.rng.gen::<f64>() < self.cfg.reorder && st.held.is_none() {
@@ -310,7 +312,9 @@ where
                     } else {
                         if st.rng.gen::<f64>() < self.cfg.recv_corrupt && !buf.is_empty() {
                             let i = st.rng.gen_range(0..buf.len());
-                            buf[i] ^= 0x01;
+                            if let Some(b) = buf.get_mut(i) {
+                                *b ^= 0x01;
+                            }
                             st.corrupted += 1;
                         }
                         if st.rng.gen::<f64>() < self.cfg.recv_duplicate {

@@ -218,7 +218,9 @@ async fn demux(
             Ok(r) => r,
             Err(_) => return,
         };
-        let payload = buf[..n].to_vec();
+        // `recv_from` never reports more bytes than the buffer holds; on
+        // the absurd case, an empty payload beats a data-path panic.
+        let payload = buf.get(..n).unwrap_or_default().to_vec();
 
         // Drop state for peers whose connection was dropped; a later
         // datagram from the same peer starts a fresh connection.

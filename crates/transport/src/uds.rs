@@ -213,7 +213,9 @@ async fn demux(
             // Unbound sender: no reply path, so no connection.
             None => continue,
         };
-        let payload = buf[..n].to_vec();
+        // `recv_from` never reports more bytes than the buffer holds; on
+        // the absurd case, an empty payload beats a data-path panic.
+        let payload = buf.get(..n).unwrap_or_default().to_vec();
 
         if peers.get(&from).map(|tx| tx.is_closed()).unwrap_or(false) {
             peers.remove(&from);
