@@ -125,13 +125,21 @@ pub fn bench_json(name: &str, latency: Option<&LatencyStats>, extra: &[(&str, f6
 /// Write a `BENCH_<name>.json` snapshot of this run into the current
 /// directory (the repo root under `cargo run`), so the perf trajectory has
 /// structured data to diff across commits. Returns the path written.
+///
+/// Written via [`bertha::persist::atomic_write`] (temp file + fsync +
+/// rename): a crash mid-write leaves the previous committed snapshot
+/// intact rather than a truncated JSON file.
 pub fn write_bench_json(
     name: &str,
     latency: Option<&LatencyStats>,
     extra: &[(&str, f64)],
 ) -> std::io::Result<std::path::PathBuf> {
-    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
-    std::fs::write(&path, bench_json(name, latency, extra) + "\n")?;
+    let path = std::env::current_dir()?.join(format!("BENCH_{name}.json"));
+    let body = bench_json(name, latency, extra) + "\n";
+    bertha::persist::atomic_write(&path, body.as_bytes()).map_err(|e| match e {
+        bertha::Error::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    })?;
     Ok(path)
 }
 

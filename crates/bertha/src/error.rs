@@ -29,6 +29,19 @@ pub enum Error {
         /// What we were waiting for.
         what: &'static str,
     },
+    /// The remote endpoint of an established connection stopped
+    /// responding to liveness probes: it is dead, not merely slow. A
+    /// distinct variant from [`Error::Timeout`] so supervision logic can
+    /// tell "my peer died" (renegotiate / fail over) apart from "a
+    /// control-plane request timed out" (retry / resume the session).
+    PeerDead {
+        /// How long the peer has been silent.
+        silent_for: Duration,
+        /// When we last heard from it, as milliseconds since the Unix
+        /// epoch (wall-clock, so it is meaningful across processes in
+        /// logs and flight-recorder dumps).
+        last_seen_unix_ms: u64,
+    },
     /// A name, address, or registration was not found.
     NotFound(String),
     /// A registered implementation could not be admitted because its
@@ -50,6 +63,15 @@ impl fmt::Display for Error {
             Error::ConnectionClosed => write!(f, "connection closed"),
             Error::Timeout { after, what } => {
                 write!(f, "timed out after {after:?} waiting for {what}")
+            }
+            Error::PeerDead {
+                silent_for,
+                last_seen_unix_ms,
+            } => {
+                write!(
+                    f,
+                    "peer dead: silent for {silent_for:?} (last seen at unix-ms {last_seen_unix_ms})"
+                )
             }
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::ResourcesExhausted(m) => write!(f, "resources exhausted: {m}"),
@@ -86,6 +108,12 @@ impl Error {
         matches!(self, Error::ConnectionClosed)
     }
 
+    /// True if this error means the remote endpoint of an established
+    /// connection is dead (failed liveness, not just slow or closed).
+    pub fn is_peer_dead(&self) -> bool {
+        matches!(self, Error::PeerDead { .. })
+    }
+
     /// Construct an [`Error::Other`] from anything printable.
     pub fn msg(m: impl fmt::Display) -> Self {
         Error::Other(m.to_string())
@@ -119,5 +147,19 @@ mod tests {
     fn is_closed_discriminates() {
         assert!(Error::ConnectionClosed.is_closed());
         assert!(!Error::msg("x").is_closed());
+    }
+
+    #[test]
+    fn peer_dead_is_typed_and_carries_last_seen() {
+        let e = Error::PeerDead {
+            silent_for: Duration::from_millis(750),
+            last_seen_unix_ms: 1_700_000_000_000,
+        };
+        assert!(e.is_peer_dead());
+        assert!(!e.is_closed());
+        let s = e.to_string();
+        assert!(s.contains("750"));
+        assert!(s.contains("1700000000000"));
+        assert!(!Error::ConnectionClosed.is_peer_dead());
     }
 }

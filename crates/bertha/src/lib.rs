@@ -45,6 +45,7 @@ pub mod endpoint;
 pub mod error;
 pub mod introspect;
 pub mod negotiate;
+pub mod persist;
 pub mod select;
 pub mod util;
 

@@ -1,0 +1,8 @@
+//! Seeded violations for the `journal-replay` rule: the `Orphan`
+//! variant below has no replay arm in this fixture's `registry.rs`.
+
+pub enum Record {
+    Register { name: String },
+    Unregister { name: String },
+    Orphan { id: u64 },
+}

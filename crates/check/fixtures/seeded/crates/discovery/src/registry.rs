@@ -1,0 +1,15 @@
+//! Seeded violations for the `journal-replay` rule: the replay match is
+//! missing `Record::Orphan` and hides the gap behind a wildcard arm.
+
+use super::journal::Record;
+
+pub fn apply_record(rec: Record) {
+    match rec {
+        Record::Register { name } => install(name),
+        Record::Unregister { name } => remove(name),
+        _ => {}
+    }
+}
+
+fn install(_name: String) {}
+fn remove(_name: String) {}

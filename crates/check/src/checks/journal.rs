@@ -1,0 +1,298 @@
+//! Rule family 5: journal replay completeness.
+//!
+//! The discovery agent's crash safety rests on a closed loop: every
+//! registry mutation is appended to the journal as a `Record` variant,
+//! and recovery replays each record through `apply_record` in
+//! `registry.rs`. A variant added to the enum without a matching replay
+//! arm compiles fine — bincode happily encodes it — and then silently
+//! truncates recovery at the first occurrence (or, worse, a `_ =>`
+//! wildcard swallows it and the agent restarts with state missing).
+//!
+//! Statically: in every `discovery/src/journal.rs`, each variant of
+//! `enum Record` must appear as a `Record::<Variant>` pattern inside the
+//! body of `fn apply_record` in a sibling discovery source file, and
+//! that body must not contain a catch-all `_ =>` arm (exhaustiveness is
+//! the whole point — the compiler can only enforce it if no wildcard
+//! hides the gap).
+
+use crate::{SourceFile, Violation};
+
+/// Rule identifier.
+pub const RULE: &str = "journal-replay";
+
+/// Run the rule.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for jf in files
+        .iter()
+        .filter(|f| f.rel.ends_with("discovery/src/journal.rs"))
+    {
+        let Some(&epos) = super::word_matches(jf, "enum Record").first() else {
+            continue;
+        };
+        let Some((open, close)) = super::brace_block(&jf.masked, epos) else {
+            continue;
+        };
+        let variants = record_variants(jf, open, close);
+        if variants.is_empty() {
+            continue;
+        }
+
+        // The replay path lives next to the journal: any sibling source
+        // in the same `discovery/src/` tree defining `fn apply_record`.
+        let prefix = &jf.rel[..jf.rel.len() - "journal.rs".len()];
+        let mut replay = None;
+        for rf in files.iter().filter(|f| f.rel.starts_with(prefix)) {
+            if let Some(&p) = super::word_matches(rf, "fn apply_record").first() {
+                if let Some((o, c)) = super::brace_block(&rf.masked, p) {
+                    replay = Some((rf, o, c));
+                    break;
+                }
+            }
+        }
+        let Some((rf, aopen, aclose)) = replay else {
+            out.push(Violation {
+                file: jf.rel.clone(),
+                line: jf.line_of(epos),
+                rule: RULE,
+                msg: "journal `Record` enum has no `fn apply_record` replay function in \
+                      its discovery crate — journaled state cannot be recovered"
+                    .to_string(),
+            });
+            continue;
+        };
+
+        for (name, vpos) in &variants {
+            if !has_arm(&rf.masked, aopen, aclose, name) {
+                out.push(Violation {
+                    file: jf.rel.clone(),
+                    line: jf.line_of(*vpos),
+                    rule: RULE,
+                    msg: format!(
+                        "journal record variant `{name}` has no `Record::{name}` replay \
+                         arm in {}'s apply_record — journals containing it will not \
+                         replay this mutation after a crash",
+                        rf.rel
+                    ),
+                });
+            }
+        }
+        if let Some(wpos) = wildcard_arm(&rf.masked, aopen, aclose) {
+            out.push(Violation {
+                file: rf.rel.clone(),
+                line: rf.line_of(wpos),
+                rule: RULE,
+                msg: "apply_record contains a wildcard `_ =>` arm: replay must match \
+                      journal record variants exhaustively so the compiler catches a \
+                      new variant with no recovery path"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Variant names (with byte positions) declared at the top level of the
+/// enum block `[open, close)`. A variant name is an uppercase-initial
+/// identifier at brace depth 1 whose previous significant byte is the
+/// enum's `{`, a separating `,`, the `}` closing a struct variant's
+/// fields, or the `]` closing a variant attribute.
+fn record_variants(f: &SourceFile, open: usize, close: usize) -> Vec<(String, usize)> {
+    let b = f.masked.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut prev = b'\0';
+    let mut i = open;
+    while i < close {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                prev = c;
+                i += 1;
+            }
+            b'}' | b')' | b']' => {
+                depth = depth.saturating_sub(1);
+                prev = c;
+                i += 1;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < close && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if depth == 1
+                    && c.is_ascii_uppercase()
+                    && matches!(prev, b'{' | b',' | b'}' | b']')
+                {
+                    out.push((f.masked[start..i].to_string(), start));
+                }
+                prev = b'A';
+            }
+            _ => {
+                prev = c;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `Record::<variant>` occur (word-bounded) inside `[open, close)`?
+fn has_arm(masked: &str, open: usize, close: usize, variant: &str) -> bool {
+    let pat = format!("Record::{variant}");
+    let b = masked.as_bytes();
+    let mut from = open;
+    while let Some(p) = crate::lexer::find(b, pat.as_bytes(), from) {
+        if p >= close {
+            return false;
+        }
+        let end = p + pat.len();
+        // `Record::Register` must not satisfy `RegisterLeased`'s arm.
+        let boundary = !b
+            .get(end)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_');
+        if boundary {
+            return true;
+        }
+        from = p + 1;
+    }
+    false
+}
+
+/// Position of a `_ =>` match arm inside `[open, close)`, if any.
+fn wildcard_arm(masked: &str, open: usize, close: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    let mut i = open;
+    while i < close {
+        if b[i] == b'_'
+            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
+            && !b
+                .get(i + 1)
+                .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            let mut j = i + 1;
+            while j < close && (b[j] == b' ' || b[j] == b'\n') {
+                j += 1;
+            }
+            if j + 1 < close && b[j] == b'=' && b[j + 1] == b'>' {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel.to_string(), src.to_string())
+    }
+
+    const ENUM: &str = "pub enum Record {\n\
+         \u{20}   Register { reg: Registration },\n\
+         \u{20}   Renew { impl_guid: u64, ttl_ms: u64 },\n\
+         }\n";
+
+    #[test]
+    fn complete_replay_passes() {
+        let j = sf("crates/discovery/src/journal.rs", ENUM);
+        let r = sf(
+            "crates/discovery/src/registry.rs",
+            "fn apply_record(rec: Record) {\n    match rec {\n\
+             \u{20}       Record::Register { reg } => install(reg),\n\
+             \u{20}       Record::Renew { impl_guid, ttl_ms } => renew(impl_guid, ttl_ms),\n\
+             \u{20}   }\n}\n",
+        );
+        let v = check(&[j, r]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_arm_is_flagged() {
+        let j = sf("crates/discovery/src/journal.rs", ENUM);
+        let r = sf(
+            "crates/discovery/src/registry.rs",
+            "fn apply_record(rec: Record) {\n    match rec {\n\
+             \u{20}       Record::Register { reg } => install(reg),\n\
+             \u{20}       Record::Renew { .. } | Record::RegisterLeased { .. } => {}\n\
+             \u{20}   }\n}\n",
+        );
+        // `Record::RegisterLeased` must not count as `Register`'s arm and
+        // vice versa; this replay handles both declared variants.
+        let v = check(&[j, r]);
+        assert!(v.is_empty(), "{v:?}");
+
+        let j = sf(
+            "crates/discovery/src/journal.rs",
+            "pub enum Record {\n    Register { reg: Registration },\n    Orphan { id: u64 },\n}\n",
+        );
+        let r = sf(
+            "crates/discovery/src/registry.rs",
+            "fn apply_record(rec: Record) {\n    match rec {\n\
+             \u{20}       Record::Register { reg } => install(reg),\n    }\n}\n",
+        );
+        let v = check(&[j, r]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE);
+        assert!(v[0].msg.contains("`Orphan`"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn wildcard_arm_is_flagged() {
+        let j = sf("crates/discovery/src/journal.rs", ENUM);
+        let r = sf(
+            "crates/discovery/src/registry.rs",
+            "fn apply_record(rec: Record) {\n    match rec {\n\
+             \u{20}       Record::Register { reg } => install(reg),\n\
+             \u{20}       Record::Renew { .. } => {}\n\
+             \u{20}       _ => {}\n    }\n}\n",
+        );
+        let v = check(&[j, r]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("wildcard"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn missing_apply_record_is_flagged() {
+        let j = sf("crates/discovery/src/journal.rs", ENUM);
+        let v = check(std::slice::from_ref(&j));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("no `fn apply_record`"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn unit_and_tuple_variants_are_parsed() {
+        let j = sf(
+            "crates/discovery/src/journal.rs",
+            "pub enum Record {\n    Clear,\n    Raw(Vec<u8>),\n    Add { n: u64 },\n}\n",
+        );
+        let r = sf(
+            "crates/discovery/src/registry.rs",
+            "fn apply_record(rec: Record) {\n    match rec {\n\
+             \u{20}       Record::Clear => {}\n        Record::Raw(b) => eat(b),\n\
+             \u{20}       Record::Add { n } => add(n),\n    }\n}\n",
+        );
+        let v = check(&[j, r]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn other_crates_do_not_trip_the_rule() {
+        // An unrelated `Record` enum elsewhere is not a journal.
+        let f = sf(
+            "crates/telemetry/src/lib.rs",
+            "pub enum Record {\n    Event { name: String },\n}\n",
+        );
+        let v = check(std::slice::from_ref(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,7 +1,8 @@
-//! The four invariant families. Each submodule exposes a `check`
+//! The five invariant families. Each submodule exposes a `check`
 //! function over the loaded [`crate::SourceFile`] set.
 
 pub mod fallback;
+pub mod journal;
 pub mod metrics;
 pub mod panics;
 pub mod wire_tags;

@@ -1,7 +1,7 @@
 //! `bertha-check`: a dependency-free source analyzer for the Bertha
 //! workspace, plus a small exhaustive-interleaving model checker.
 //!
-//! The analyzer walks `crates/**/*.rs` and enforces four invariant
+//! The analyzer walks `crates/**/*.rs` and enforces five invariant
 //! families (DESIGN.md §10):
 //!
 //! 1. **wire-tags** — every framing tag byte is defined in
@@ -11,7 +11,10 @@
 //! 3. **metric-names** — telemetry names emitted by code, documented in
 //!    DESIGN.md §9, and recorded in `results/baselines/` agree;
 //! 4. **fallback** — every capability registered at an accelerated scope
-//!    has a software (Application-scope) `Negotiate` implementation.
+//!    has a software (Application-scope) `Negotiate` implementation;
+//! 5. **journal-replay** — every journal `Record` variant has a matching
+//!    replay arm in the discovery agent's recovery path, with no
+//!    wildcard arm hiding a missing one.
 //!
 //! Everything is hand-rolled on `std` only, matching the workspace's
 //! no-serde_json style: a masking lexer (comments and literals blanked so
@@ -170,6 +173,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     let (fv, fn_notes) = checks::fallback::check(&files);
     violations.extend(fv);
     notes.extend(fn_notes);
+    violations.extend(checks::journal::check(&files));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(Report {

@@ -24,6 +24,8 @@ const EXPECTED: &[(&str, &str)] = &[
     ("metric-names", "documented.only"),
     ("metric-names", "baseline.ghost"),
     ("fallback", "fixture/offload-only"),
+    ("journal-replay", "`Orphan`"),
+    ("journal-replay", "wildcard"),
 ];
 
 /// Run the self-test. `Ok(n)` is the number of violations found in the

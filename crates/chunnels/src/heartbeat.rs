@@ -186,16 +186,26 @@ impl<C> HeartbeatConn<C> {
 
     fn peer_dead(&self) -> Error {
         self.stats.liveness_timeouts.incr();
+        let silent_for = self.silence();
+        let now_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let last_seen_unix_ms =
+            now_unix_ms.saturating_sub(silent_for.as_millis().min(u64::MAX as u128) as u64);
         tele::event!(
             tele::Level::Warn,
             "chunnel",
             "peer_dead",
             "dead_after_ms" = self.cfg.dead_after.as_millis().min(u64::MAX as u128) as u64,
+            "silent_for_ms" = silent_for.as_millis().min(u64::MAX as u128) as u64,
         );
         let _ = tele::flight::dump("chunnel.peer_dead", None);
-        Error::Timeout {
-            after: self.cfg.dead_after,
-            what: "peer liveness",
+        // Typed so supervision can tell a dead peer (renegotiate / fail
+        // over) from a timed-out control-plane request (retry / resume).
+        Error::PeerDead {
+            silent_for,
+            last_seen_unix_ms,
         }
     }
 }
@@ -323,8 +333,15 @@ mod tests {
         let ha = ca.connect_wrap(a).await.unwrap();
         drop(b); // peer gone: no heartbeats will arrive
         match ha.recv().await {
-            Err(Error::Timeout { what, .. }) => {
-                assert_eq!(what, "peer liveness");
+            Err(Error::PeerDead {
+                silent_for,
+                last_seen_unix_ms,
+            }) => {
+                assert!(
+                    silent_for >= Duration::from_millis(120),
+                    "silence {silent_for:?} below dead_after"
+                );
+                assert!(last_seen_unix_ms > 0, "last-seen timestamp populated");
                 // The timeout counter, not a wall-clock upper bound, is
                 // what proves detection happened via the liveness path.
                 assert_eq!(ha.stats().liveness_timeouts.get(), 1);

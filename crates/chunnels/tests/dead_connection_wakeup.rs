@@ -73,8 +73,8 @@ async fn silent_peer_times_out_heartbeat_recv() {
         .expect("recv must give up on a silent peer")
         .expect_err("a dead peer is an error");
     assert!(
-        matches!(err, Error::Timeout { .. }),
-        "expected a liveness timeout, got {err}"
+        err.is_peer_dead(),
+        "expected a typed peer-death error, got {err}"
     );
 }
 
@@ -118,7 +118,7 @@ async fn renegotiation_revives_a_dead_endpoint() {
         .await
         .expect("recv on a dead path must fail fast")
         .expect_err("a dead path is an error");
-    assert!(matches!(err, Error::Timeout { .. }), "got {err}");
+    assert!(err.is_peer_dead(), "got {err}");
 
     // The path heals; one renegotiation round revives the endpoint — same
     // connection objects, fresh stack, traffic flows again.

@@ -17,7 +17,13 @@
 //! Devices are declared with `device <name> <kind>=<capacity>,...`.
 //!
 //! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]
-//! [--lease-ttl-ms <n>] [--metrics-path <file>]`
+//! [--lease-ttl-ms <n>] [--metrics-path <file>] [--state-dir <dir>]`
+//!
+//! With `--state-dir`, registry mutations are journaled to disk and a
+//! restarted agent recovers its pre-crash state (registrations, devices,
+//! leases — expired-while-down leases get a grace window) before
+//! serving; each incarnation gets a fresh epoch so clients detect the
+//! restart and resume their sessions.
 //!
 //! With `--lease-ttl-ms`, config-file registrations are *leased* rather
 //! than permanent: whatever supervises the underlying offload must renew
@@ -44,7 +50,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>] \
-         [--metrics-path <file>]"
+         [--metrics-path <file>] [--state-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -188,11 +194,16 @@ async fn main() {
     let mut config = None;
     let mut lease = None;
     let mut metrics_path = None;
+    let mut state_dir = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--socket" if i + 1 < args.len() => {
                 socket = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--state-dir" if i + 1 < args.len() => {
+                state_dir = Some(args[i + 1].clone());
                 i += 2;
             }
             "--config" if i + 1 < args.len() => {
@@ -222,7 +233,27 @@ async fn main() {
         std::process::exit(1);
     }
 
-    let registry = Arc::new(Registry::new());
+    // With --state-dir the registry is durable: every mutation is
+    // journaled, and startup replays snapshot + journal — so a crashed
+    // agent comes back knowing everything it had committed.
+    let registry = match &state_dir {
+        None => Registry::new(),
+        Some(dir) => match Registry::recover(std::path::Path::new(dir)) {
+            Ok((registry, report)) => {
+                eprintln!(
+                    "bertha-agentd: recovered epoch {} from {dir}: {} records replayed, \
+                     {} leases in grace, {} torn bytes truncated",
+                    report.epoch, report.replayed, report.grace_leases, report.torn_bytes
+                );
+                registry
+            }
+            Err(e) => {
+                eprintln!("bertha-agentd: recovery from {dir} failed: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let registry = Arc::new(registry);
     if let Some(cfg) = config {
         match load_config(&registry, &cfg, lease) {
             Ok(n) => eprintln!("bertha-agentd: loaded {n} entries from {cfg}"),

@@ -1,0 +1,225 @@
+//! Agent-crash fault injection for the discovery control plane.
+//!
+//! Crash-safety claims are only as good as the crashes they were tested
+//! against, so this module packages the two ways to kill an agent:
+//!
+//! - [`AgentHarness`]: an in-process agent (journal-backed [`Registry`]
+//!   behind [`serve_uds`](crate::service::serve_uds)) whose `crash()` is
+//!   abrupt — the serving task is aborted mid-whatever and the socket
+//!   file removed, with no teardown of registry state. Deterministic and
+//!   fast; the default for integration tests.
+//! - [`ProcessAgent`]: a real `bertha-agentd` child process and a
+//!   `sigkill()` that is exactly what it says. The only way to prove the
+//!   journal survives losing a whole address space.
+//!
+//! [`CrashSchedule`] generates seeded, reproducible kill times so soak
+//! runs can report "schedule 3 failed" instead of "it flaked".
+
+use crate::registry::{RecoveryReport, Registry};
+use crate::service::serve_uds;
+use bertha::Error;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One running incarnation of the in-process agent.
+struct Running {
+    registry: Arc<Registry>,
+    task: tokio::task::JoinHandle<()>,
+}
+
+/// An in-process discovery agent that can be crashed and restarted
+/// against the same state directory.
+pub struct AgentHarness {
+    state_dir: PathBuf,
+    socket: PathBuf,
+    running: Option<Running>,
+}
+
+impl AgentHarness {
+    /// A harness serving on `socket`, journaling under `state_dir`.
+    /// Nothing runs until [`start`](Self::start).
+    pub fn new(state_dir: impl Into<PathBuf>, socket: impl Into<PathBuf>) -> Self {
+        AgentHarness {
+            state_dir: state_dir.into(),
+            socket: socket.into(),
+            running: None,
+        }
+    }
+
+    /// The socket path clients should dial.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The journal/snapshot directory.
+    pub fn state_dir(&self) -> &Path {
+        &self.state_dir
+    }
+
+    /// Recover from the state directory and serve. Returns the recovery
+    /// report so tests can assert on replay/grace/torn counts.
+    pub async fn start(&mut self) -> Result<RecoveryReport, Error> {
+        assert!(self.running.is_none(), "agent already running");
+        let (registry, report) = Registry::recover(&self.state_dir)?;
+        let registry = Arc::new(registry);
+        let task = serve_uds(Arc::clone(&registry), self.socket.clone()).await?;
+        self.running = Some(Running { registry, task });
+        Ok(report)
+    }
+
+    /// Abrupt crash: abort the serving task and remove the socket file.
+    /// No state is flushed beyond what the journal already committed —
+    /// that asymmetry is the point.
+    pub fn crash(&mut self) {
+        let Some(running) = self.running.take() else {
+            return;
+        };
+        running.task.abort();
+        // An aborted task never unlinks its socket; a real crashed agent
+        // wouldn't either. Remove it here so the restart's bind is not
+        // racing a stale file (BoundUds tolerates it, but tests shouldn't
+        // depend on that).
+        let _ = std::fs::remove_file(&self.socket);
+        drop(running.registry);
+    }
+
+    /// The live registry, for white-box assertions. Panics if crashed.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self
+            .running
+            .as_ref()
+            .expect("agent is not running")
+            .registry
+    }
+
+    /// Whether an incarnation is currently serving.
+    pub fn is_running(&self) -> bool {
+        self.running.is_some()
+    }
+}
+
+impl Drop for AgentHarness {
+    fn drop(&mut self) {
+        self.crash();
+    }
+}
+
+/// A real `bertha-agentd` child process, killable with SIGKILL.
+pub struct ProcessAgent {
+    child: std::process::Child,
+    socket: PathBuf,
+}
+
+impl ProcessAgent {
+    /// Spawn `bin` (an agentd binary, typically
+    /// `env!("CARGO_BIN_EXE_bertha-agentd")`) serving `socket` with its
+    /// journal under `state_dir`.
+    pub fn spawn(
+        bin: impl AsRef<Path>,
+        socket: impl Into<PathBuf>,
+        state_dir: impl AsRef<Path>,
+    ) -> std::io::Result<ProcessAgent> {
+        let socket = socket.into();
+        let child = std::process::Command::new(bin.as_ref())
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--state-dir")
+            .arg(state_dir.as_ref())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()?;
+        Ok(ProcessAgent { child, socket })
+    }
+
+    /// The socket path the child is serving.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// SIGKILL the agent and reap it. The kernel gives it no chance to
+    /// flush, unwind, or say goodbye.
+    pub fn sigkill(mut self) {
+        // `Child::kill` is SIGKILL on unix.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for ProcessAgent {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// A deterministic schedule of crash times: same seed, same kills. Uses
+/// a splitmix64 generator so the discovery crate needs no rand
+/// dependency and soak failures reproduce from the logged seed alone.
+#[derive(Clone, Debug)]
+pub struct CrashSchedule {
+    /// Delay before each crash, in order.
+    pub delays: Vec<Duration>,
+    seed: u64,
+}
+
+impl CrashSchedule {
+    /// `crashes` kill points, each 20–220ms after the previous recovery.
+    pub fn seeded(seed: u64, crashes: usize) -> CrashSchedule {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            // splitmix64: passes statistical muster and fits in six lines.
+            let mut z = x;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let delays = (0..crashes)
+            .map(|_| Duration::from_millis(20 + next() % 200))
+            .collect();
+        CrashSchedule { delays, seed }
+    }
+
+    /// The seed this schedule was built from (log it on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_distinct() {
+        let a = CrashSchedule::seeded(7, 5);
+        let b = CrashSchedule::seeded(7, 5);
+        let c = CrashSchedule::seeded(8, 5);
+        assert_eq!(a.delays, b.delays);
+        assert_ne!(a.delays, c.delays);
+        assert_eq!(a.delays.len(), 5);
+        assert!(a
+            .delays
+            .iter()
+            .all(|d| *d >= Duration::from_millis(20) && *d < Duration::from_millis(220)));
+    }
+
+    #[tokio::test]
+    async fn harness_survives_crash_restart_cycles() {
+        let dir = std::env::temp_dir().join(format!("bertha-chaos-harness-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sock = dir.join("agent.sock");
+        let mut agent = AgentHarness::new(dir.join("state"), sock);
+        let r0 = agent.start().await.unwrap();
+        assert_eq!(r0.replayed, 0);
+        let e0 = agent.registry().epoch();
+        agent.crash();
+        assert!(!agent.is_running());
+        let _ = agent.start().await.unwrap();
+        assert!(agent.registry().epoch() > e0, "epoch must move per restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -78,7 +78,13 @@ impl DiscoveryClient {
     }
 
     fn note_success(&self) {
-        self.degraded.store(false, Ordering::Relaxed);
+        // Symmetric to `note_failure`: count transitions out of degraded
+        // mode, so "how long did the outage last" is answerable from
+        // entry/exit counter pairs.
+        if self.degraded.swap(false, Ordering::Relaxed) {
+            tele::counter("discovery.degraded_exits").incr();
+            tele::event!(tele::Level::Info, "discovery", "degraded_exit",);
+        }
     }
 
     /// Whether this side of the connection is responsible for claiming a

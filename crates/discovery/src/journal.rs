@@ -1,0 +1,440 @@
+//! The discovery agent's write-ahead journal and snapshots.
+//!
+//! `bertha-agentd` is the arbiter of scopes, leases, and steering — state
+//! that must not evaporate when the agent crashes or is redeployed. Every
+//! registry mutation is appended to `journal.bin` as a length-prefixed,
+//! CRC-checked record and fsynced before the mutation is acknowledged;
+//! periodically the live state is compacted into `snapshot.bin` (written
+//! with [`bertha::persist::atomic_write`]) and the journal is reset. On
+//! startup [`Journal::open`] replays snapshot + journal, truncating a
+//! torn tail (a crash mid-append) instead of refusing to start, and bumps
+//! the persistent *epoch* in `epoch` — the generation id the service
+//! layer stamps on every response so clients can detect a restart and
+//! resume their sessions ([`crate::service::RemoteRegistry`]).
+//!
+//! Frame format, repeated to end of file:
+//!
+//! ```text
+//! [u32 payload len, LE][u32 crc32(payload), LE][bincode payload]
+//! ```
+//!
+//! Lease records carry wall-clock milliseconds (`at_unix_ms`) rather than
+//! monotonic instants: monotonic clocks do not survive a process, so
+//! replay reconciles lease deadlines against wall time and routes
+//! expired-while-down leases into a grace window (see
+//! [`crate::registry::Registry::recover`]).
+
+use crate::registry::Registration;
+use crate::resources::ResourceReq;
+use bertha::persist::atomic_write;
+use bertha::Error;
+use bertha_telemetry as tele;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Journal file name inside the agent's state directory.
+pub const JOURNAL_FILE: &str = "journal.bin";
+/// Snapshot file name inside the agent's state directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Epoch (generation id) file name inside the agent's state directory.
+pub const EPOCH_FILE: &str = "epoch";
+
+/// Records larger than this are assumed to be garbage from a torn write,
+/// not real payloads (the registry's records are tiny).
+const MAX_RECORD_LEN: u32 = 1 << 24;
+
+/// Append a compacted snapshot after this many journal records.
+pub const COMPACT_AFTER: u64 = 256;
+
+/// One journaled registry mutation.
+///
+/// New variants go at the end: bincode identifies variants by index, and
+/// journals written by an older agent must replay under a newer one.
+/// Every variant here must have a matching replay arm in the recovery
+/// path (`apply_record` in `registry.rs`) — enforced by `bertha-check`'s
+/// `journal-replay` rule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A device and its total capacity were added (or replaced).
+    AddDevice {
+        /// Device name.
+        name: String,
+        /// Total capacity (claims are not journaled; they are
+        /// re-established by resuming clients).
+        capacity: ResourceReq,
+    },
+    /// A permanent registration.
+    Register {
+        /// The registration (hooks are not journaled; replay restores
+        /// entries with no-op hooks and registrants re-register to
+        /// reattach them).
+        reg: Registration,
+    },
+    /// A leased registration.
+    RegisterLeased {
+        /// The registration.
+        reg: Registration,
+        /// Lease TTL in milliseconds.
+        ttl_ms: u64,
+        /// Wall-clock time of the grant, milliseconds since the Unix
+        /// epoch.
+        at_unix_ms: u64,
+    },
+    /// A lease renewal.
+    Renew {
+        /// Implementation GUID whose lease was renewed.
+        impl_guid: u64,
+        /// New TTL in milliseconds.
+        ttl_ms: u64,
+        /// Wall-clock time of the renewal.
+        at_unix_ms: u64,
+    },
+    /// A voluntary unregistration.
+    Unregister {
+        /// Implementation GUID removed.
+        impl_guid: u64,
+    },
+    /// An operator- or failure-driven revocation.
+    Revoke {
+        /// Implementation GUID revoked.
+        impl_guid: u64,
+    },
+}
+
+/// Wall-clock now, in milliseconds since the Unix epoch.
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise — the journal is
+/// control-plane cold path, and this avoids a table or a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frame one record into `out`.
+fn frame_into(out: &mut Vec<u8>, rec: &Record) -> Result<(), Error> {
+    let payload = bincode::serialize(rec)?;
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l <= MAX_RECORD_LEN)
+        .ok_or_else(|| Error::Encode(format!("journal record too large: {}", payload.len())))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(())
+}
+
+/// Decode a framed record stream, stopping at the first torn or corrupt
+/// frame. Returns the records and the byte length of the valid prefix —
+/// everything past it is a torn tail to truncate, not a reason to refuse
+/// to start.
+fn decode_stream(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let Some(header) = bytes.get(at..at + 8) else {
+            break; // clean EOF or torn header
+        };
+        // Split cannot fail: `header` is exactly 8 bytes.
+        let (len_b, crc_b) = header.split_at(4);
+        let len = u32::from_le_bytes(len_b.try_into().unwrap_or([0; 4])) as usize;
+        let want = u32::from_le_bytes(crc_b.try_into().unwrap_or([0; 4]));
+        if len > MAX_RECORD_LEN as usize {
+            break; // garbage length: torn or corrupt
+        }
+        let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
+            break; // torn payload
+        };
+        if crc32(payload) != want {
+            break; // corrupt payload
+        }
+        let Ok(rec) = bincode::deserialize::<Record>(payload) else {
+            break; // checksummed but undecodable: stop here too
+        };
+        records.push(rec);
+        at += 8 + len;
+    }
+    (records, at)
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The new epoch (generation id): strictly greater than any epoch a
+    /// previous incarnation of this state directory served under.
+    pub epoch: u64,
+    /// Records from the compacted snapshot, then the journal, in replay
+    /// order.
+    pub records: Vec<Record>,
+    /// Bytes of torn tail truncated from the journal (0 for a clean
+    /// shutdown).
+    pub torn_bytes: u64,
+}
+
+/// An open, append-ready journal over one agent state directory.
+pub struct Journal {
+    dir: PathBuf,
+    file: File,
+    since_snapshot: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.dir)
+            .field("since_snapshot", &self.since_snapshot)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Open (creating if needed) the state directory: bump the epoch,
+    /// load snapshot + journal, and truncate any torn journal tail.
+    pub fn open(dir: &Path) -> Result<(Journal, Recovery), Error> {
+        std::fs::create_dir_all(dir)?;
+
+        // Bump the generation id first: even if replay below fails, no
+        // future incarnation may reuse the old epoch.
+        let epoch_path = dir.join(EPOCH_FILE);
+        let prev = std::fs::read_to_string(&epoch_path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let epoch = prev + 1;
+        atomic_write(&epoch_path, format!("{epoch}\n").as_bytes())?;
+
+        let mut records = Vec::new();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if let Ok(bytes) = std::fs::read(&snap_path) {
+            // Snapshots are written atomically, so a torn snapshot means
+            // outside interference; replay the valid prefix regardless.
+            let (snap_records, _) = decode_stream(&bytes);
+            records.extend(snap_records);
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let mut torn_bytes = 0u64;
+        if let Ok(bytes) = std::fs::read(&journal_path) {
+            let (journal_records, good_len) = decode_stream(&bytes);
+            records.extend(journal_records);
+            if good_len < bytes.len() {
+                torn_bytes = (bytes.len() - good_len) as u64;
+                tele::event!(
+                    tele::Level::Warn,
+                    "discovery",
+                    "journal_torn",
+                    "torn_bytes" = torn_bytes,
+                    "good_bytes" = good_len as u64,
+                );
+                let f = OpenOptions::new().write(true).open(&journal_path)?;
+                f.set_len(good_len as u64)?;
+                f.sync_all()?;
+            }
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        let since_snapshot = records.len() as u64;
+        Ok((
+            Journal {
+                dir: dir.to_path_buf(),
+                file,
+                since_snapshot,
+            },
+            Recovery {
+                epoch,
+                records,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// Durably append one record (fsynced before returning).
+    pub fn append(&mut self, rec: &Record) -> Result<(), Error> {
+        let mut buf = Vec::new();
+        frame_into(&mut buf, rec)?;
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Records appended (or replayed) since the last compaction. When
+    /// this passes [`COMPACT_AFTER`], the owner should
+    /// [`compact`](Self::compact).
+    pub fn since_snapshot(&self) -> u64 {
+        self.since_snapshot
+    }
+
+    /// Replace the snapshot with `records` (a minimal stream that
+    /// reconstructs the live state) and reset the journal.
+    pub fn compact(&mut self, records: &[Record]) -> Result<(), Error> {
+        let mut buf = Vec::new();
+        for rec in records {
+            frame_into(&mut buf, rec)?;
+        }
+        atomic_write(&self.dir.join(SNAPSHOT_FILE), &buf)?;
+        // The snapshot now covers everything; the journal restarts empty.
+        self.file.set_len(0)?;
+        self.file.sync_all()?;
+        self.since_snapshot = 0;
+        tele::counter("discovery.journal.compactions").incr();
+        Ok(())
+    }
+
+    /// The state directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bertha-journal-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn reg(imp: &str) -> Registration {
+        Registration {
+            capability: bertha::negotiate::guid("cap"),
+            impl_guid: bertha::negotiate::guid(imp),
+            name: imp.into(),
+            endpoints: bertha::negotiate::Endpoints::Server,
+            scope: bertha::negotiate::Scope::Host,
+            priority: 5,
+            resources: ResourceReq::none(),
+            device: None,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = tmp("roundtrip");
+        let (mut j, rec0) = Journal::open(&dir).unwrap();
+        assert_eq!(rec0.epoch, 1);
+        assert!(rec0.records.is_empty());
+        j.append(&Record::Register { reg: reg("a") }).unwrap();
+        j.append(&Record::Renew {
+            impl_guid: 7,
+            ttl_ms: 100,
+            at_unix_ms: unix_ms(),
+        })
+        .unwrap();
+        drop(j);
+
+        let (_, rec1) = Journal::open(&dir).unwrap();
+        assert_eq!(rec1.epoch, 2, "each open bumps the generation id");
+        assert_eq!(rec1.records.len(), 2);
+        assert_eq!(rec1.torn_bytes, 0);
+        assert!(matches!(&rec1.records[0], Record::Register { reg } if reg.name == "a"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        j.append(&Record::Register { reg: reg("kept") }).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a plausible header, short payload.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&200u32.to_le_bytes()).unwrap();
+        f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        f.write_all(b"short").unwrap();
+        drop(f);
+
+        let (_, rec) = Journal::open(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1, "the good prefix replays");
+        assert_eq!(rec.torn_bytes, 13);
+        // The torn bytes are gone from disk: a third open is clean.
+        let (_, rec2) = Journal::open(&dir).unwrap();
+        assert_eq!(rec2.torn_bytes, 0);
+        assert_eq!(rec2.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_cuts_replay_at_the_bad_record() {
+        let dir = tmp("crc");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        j.append(&Record::Register { reg: reg("one") }).unwrap();
+        let before = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        j.append(&Record::Register { reg: reg("two") }).unwrap();
+        drop(j);
+        // Flip a byte in the second record's payload.
+        let mut bytes = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        let idx = before as usize + 9;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
+
+        let (_, rec) = Journal::open(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert!(rec.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_resets_journal() {
+        let dir = tmp("compact");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        j.append(&Record::Register { reg: reg("a") }).unwrap();
+        j.append(&Record::Unregister {
+            impl_guid: reg("a").impl_guid,
+        })
+        .unwrap();
+        j.append(&Record::Register { reg: reg("b") }).unwrap();
+        assert_eq!(j.since_snapshot(), 3);
+        // Compact to just the surviving registration.
+        j.compact(&[Record::Register { reg: reg("b") }]).unwrap();
+        assert_eq!(j.since_snapshot(), 0);
+        assert_eq!(
+            std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+            0,
+            "journal reset after compaction"
+        );
+        j.append(&Record::Register { reg: reg("c") }).unwrap();
+        drop(j);
+
+        let (_, rec) = Journal::open(&dir).unwrap();
+        let names: Vec<&str> = rec
+            .records
+            .iter()
+            .map(|r| match r {
+                Record::Register { reg } => reg.name.as_str(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, ["b", "c"], "snapshot replays before journal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

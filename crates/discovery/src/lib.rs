@@ -23,18 +23,26 @@
 //! - [`client`]: a [`bertha::negotiate::OfferFilter`] that consults a
 //!   registry during negotiation: availability gates offers, registered
 //!   priorities override defaults, and picking runs the implementation's
-//!   init hook.
+//!   init hook;
+//! - [`journal`]: a checksummed write-ahead journal plus compacted
+//!   snapshots, so an agent crash loses no committed registry mutation;
+//! - [`chaos`]: crash-injection harnesses (in-process abort and real
+//!   SIGKILL) with seeded, reproducible kill schedules.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod registry;
 pub mod rendezvous;
 pub mod resources;
 pub mod service;
 
+pub use chaos::{AgentHarness, CrashSchedule, ProcessAgent};
 pub use client::DiscoveryClient;
-pub use registry::{ClaimId, Registration, Registry, RegistrySource};
+pub use journal::{Journal, Record};
+pub use registry::{ClaimId, RecoveryReport, Registration, Registry, RegistrySource};
 pub use rendezvous::{Rendezvous, RendezvousResult};
 pub use resources::{ResourceKind, ResourcePool, ResourceReq};
 pub use service::{serve_uds, RemoteRegistry};

@@ -8,6 +8,7 @@
 //! their picks and renegotiate onto a fallback. This is the discovery
 //! half of surviving an offload that dies after establishment.
 
+use crate::journal::{unix_ms, Journal, Record, COMPACT_AFTER};
 use crate::resources::{ResourcePool, ResourceReq};
 use bertha::conn::BoxFut;
 use bertha::negotiate::{Endpoints, Offer, Scope};
@@ -16,6 +17,7 @@ use bertha_telemetry as tele;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::sync::watch;
@@ -142,6 +144,11 @@ pub struct Registry {
     /// Ticks on every membership change (register, unregister, revoke,
     /// expiry). Watchers re-validate their picks when it moves.
     changed: watch::Sender<u64>,
+    /// Generation id: 0 for a purely in-memory registry, and the
+    /// persistent epoch from the state directory for a
+    /// [`recover`](Self::recover)ed one. The service layer stamps it on
+    /// every response so clients detect restarts.
+    epoch: u64,
 }
 
 impl Default for Registry {
@@ -149,6 +156,7 @@ impl Default for Registry {
         Registry {
             state: Mutex::new(State::default()),
             changed: watch::channel(0).0,
+            epoch: 0,
         }
     }
 }
@@ -163,6 +171,172 @@ struct State {
     /// permanent.
     leases: HashMap<u64, Instant>,
     version: u64,
+    /// Write-ahead journal of mutations, when this registry is backed by
+    /// a state directory. `None` for a purely in-memory registry.
+    journal: Option<Journal>,
+}
+
+/// What [`Registry::recover`] found and did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// The new generation id (strictly greater than any previous
+    /// incarnation's).
+    pub epoch: u64,
+    /// Journal + snapshot records replayed.
+    pub replayed: u64,
+    /// Leases that expired while the agent was down and were granted a
+    /// grace window instead of instant revocation.
+    pub grace_leases: u64,
+    /// Bytes of torn journal tail truncated (0 on a clean shutdown).
+    pub torn_bytes: u64,
+}
+
+/// Insert (or replace) a registration in raw state. Fails if it names an
+/// unknown device. A plain insert makes the entry permanent: any previous
+/// lease is cleared; [`Registry::register_leased`] re-adds one.
+fn insert_locked(st: &mut State, reg: Registration, hooks: Hooks) -> Result<(), Error> {
+    if let Some(dev) = &reg.device {
+        if !st.devices.contains_key(dev) {
+            return Err(Error::NotFound(format!("device {dev:?}")));
+        }
+    }
+    let impl_guid = reg.impl_guid;
+    let entries = st.by_capability.entry(reg.capability).or_default();
+    entries.retain(|e| e.reg.impl_guid != impl_guid);
+    entries.push(Arc::new(Entry { reg, hooks }));
+    st.leases.remove(&impl_guid);
+    Ok(())
+}
+
+/// Remove a registration (and its lease) from raw state. Returns whether
+/// it existed.
+fn remove_locked(st: &mut State, impl_guid: u64) -> bool {
+    let mut removed = false;
+    for entries in st.by_capability.values_mut() {
+        let before = entries.len();
+        entries.retain(|e| e.reg.impl_guid != impl_guid);
+        removed |= entries.len() != before;
+    }
+    st.leases.remove(&impl_guid);
+    removed
+}
+
+/// Replay one journal record into raw state, reconciling lease clocks
+/// against wall time: a lease whose journaled deadline
+/// (`at_unix_ms + ttl_ms`) already passed gets `grace` from now instead
+/// of instant revocation — its registrant may be about to resume.
+///
+/// The match must stay exhaustive with an arm per [`Record`] variant (no
+/// `_` wildcard): a journal record without a replay arm is silently lost
+/// state. `bertha-check`'s `journal-replay` rule enforces this.
+fn apply_record(
+    st: &mut State,
+    rec: Record,
+    now: Instant,
+    now_unix_ms: u64,
+    grace: Duration,
+    report: &mut RecoveryReport,
+) {
+    report.replayed += 1;
+    match rec {
+        Record::AddDevice { name, capacity } => {
+            st.devices.insert(name, ResourcePool::new(capacity));
+        }
+        Record::Register { reg } => {
+            // Replay order preserves the original device check; a failure
+            // here means the journal itself skipped the AddDevice, and
+            // dropping the entry is the conservative recovery.
+            let _ = insert_locked(st, reg, Hooks::none());
+        }
+        Record::RegisterLeased {
+            reg,
+            ttl_ms,
+            at_unix_ms,
+        } => {
+            let impl_guid = reg.impl_guid;
+            if insert_locked(st, reg, Hooks::none()).is_ok() {
+                let deadline =
+                    reconcile_lease(at_unix_ms, ttl_ms, now, now_unix_ms, grace, report);
+                st.leases.insert(impl_guid, deadline);
+            }
+        }
+        Record::Renew {
+            impl_guid,
+            ttl_ms,
+            at_unix_ms,
+        } => {
+            let registered = st
+                .by_capability
+                .values()
+                .flatten()
+                .any(|e| e.reg.impl_guid == impl_guid);
+            if registered {
+                let deadline =
+                    reconcile_lease(at_unix_ms, ttl_ms, now, now_unix_ms, grace, report);
+                st.leases.insert(impl_guid, deadline);
+            }
+        }
+        Record::Unregister { impl_guid } => {
+            remove_locked(st, impl_guid);
+        }
+        Record::Revoke { impl_guid } => {
+            remove_locked(st, impl_guid);
+        }
+    }
+}
+
+/// The minimal record stream that reconstructs the live registration set
+/// (devices at full capacity, then entries, leases carried as remaining
+/// TTL). Claims are deliberately absent: they are re-established by
+/// resuming clients, not by replay.
+fn snapshot_records(st: &State) -> Vec<Record> {
+    let now = Instant::now();
+    let now_unix_ms = unix_ms();
+    let mut recs: Vec<Record> = st
+        .devices
+        .iter()
+        .map(|(name, pool)| Record::AddDevice {
+            name: name.clone(),
+            capacity: pool.capacity().clone(),
+        })
+        .collect();
+    for e in st.by_capability.values().flatten() {
+        match st.leases.get(&e.reg.impl_guid) {
+            None => recs.push(Record::Register { reg: e.reg.clone() }),
+            Some(deadline) => {
+                let ttl_ms = deadline
+                    .saturating_duration_since(now)
+                    .as_millis()
+                    .min(u64::MAX as u128) as u64;
+                recs.push(Record::RegisterLeased {
+                    reg: e.reg.clone(),
+                    ttl_ms,
+                    at_unix_ms: now_unix_ms,
+                });
+            }
+        }
+    }
+    recs
+}
+
+/// Map a journaled wall-clock lease deadline onto the monotonic clock of
+/// the recovering process. Expired-while-down deadlines become a grace
+/// window.
+fn reconcile_lease(
+    at_unix_ms: u64,
+    ttl_ms: u64,
+    now: Instant,
+    now_unix_ms: u64,
+    grace: Duration,
+    report: &mut RecoveryReport,
+) -> Instant {
+    let deadline_unix = at_unix_ms.saturating_add(ttl_ms);
+    if deadline_unix <= now_unix_ms {
+        report.grace_leases += 1;
+        now + grace
+    } else {
+        now + Duration::from_millis(deadline_unix - now_unix_ms)
+    }
 }
 
 impl State {
@@ -191,9 +365,120 @@ impl Registry {
         Registry::default()
     }
 
+    /// The default grace window for leases that expired while the agent
+    /// was down.
+    pub const DEFAULT_GRACE: Duration = Duration::from_secs(2);
+
+    /// Recover a journaled registry from `dir` (creating an empty state
+    /// directory on first start), with the default
+    /// [grace window](Self::DEFAULT_GRACE).
+    pub fn recover(dir: &Path) -> Result<(Registry, RecoveryReport), Error> {
+        Self::recover_with(dir, Self::DEFAULT_GRACE)
+    }
+
+    /// Recover a journaled registry from `dir`: bump the generation id,
+    /// replay snapshot + journal (truncating a torn tail), and reconcile
+    /// lease clocks against wall time. A lease that expired while the
+    /// agent was down gets `grace` from now to renew before the sweeper
+    /// revokes it — restart must not look like mass registrant death.
+    pub fn recover_with(dir: &Path, grace: Duration) -> Result<(Registry, RecoveryReport), Error> {
+        let (jnl, recovery) = Journal::open(dir)?;
+        let mut st = State::default();
+        let now = Instant::now();
+        let now_unix_ms = unix_ms();
+        let mut report = RecoveryReport {
+            epoch: recovery.epoch,
+            torn_bytes: recovery.torn_bytes,
+            ..RecoveryReport::default()
+        };
+        for rec in recovery.records {
+            apply_record(&mut st, rec, now, now_unix_ms, grace, &mut report);
+        }
+        st.journal = Some(jnl);
+        tele::counter("discovery.recovery.replayed").add(report.replayed);
+        tele::counter("discovery.recovery.grace_leases").add(report.grace_leases);
+        if report.torn_bytes > 0 {
+            tele::counter("discovery.recovery.torn_truncations").incr();
+        }
+        tele::event!(
+            tele::Level::Info,
+            "discovery",
+            "recovered",
+            "epoch" = report.epoch,
+            "replayed" = report.replayed,
+            "grace_leases" = report.grace_leases,
+            "torn_bytes" = report.torn_bytes,
+        );
+        let registry = Registry {
+            state: Mutex::new(st),
+            changed: watch::channel(0).0,
+            epoch: recovery.epoch,
+        };
+        Ok((registry, report))
+    }
+
+    /// This registry's generation id (0 = in-memory, never restarted).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn bump(&self, st: &mut State) {
         st.version += 1;
         self.changed.send_replace(st.version);
+    }
+
+    /// Append a mutation record to the journal, if one is attached, and
+    /// compact when the journal has grown past [`COMPACT_AFTER`]. Append
+    /// failure degrades durability, not availability: the in-memory
+    /// mutation stands, the failure is counted and logged.
+    fn log_record(&self, st: &mut State, rec: Record) {
+        if st.journal.is_none() {
+            return;
+        }
+        let want_compact = st
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.since_snapshot() + 1 >= COMPACT_AFTER);
+        let snapshot = want_compact.then(|| snapshot_records(st));
+        if let Some(jnl) = st.journal.as_mut() {
+            match jnl.append(&rec) {
+                Ok(()) => tele::counter("discovery.journal.appends").incr(),
+                Err(e) => {
+                    tele::counter("discovery.journal.append_errors").incr();
+                    tele::event!(
+                        tele::Level::Warn,
+                        "discovery",
+                        "journal_append_failed",
+                        "error" = e.to_string().as_str(),
+                    );
+                }
+            }
+            if let Some(records) = snapshot {
+                if let Err(e) = jnl.compact(&records) {
+                    tele::event!(
+                        tele::Level::Warn,
+                        "discovery",
+                        "journal_compact_failed",
+                        "error" = e.to_string().as_str(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every current registration, sorted by implementation GUID — the
+    /// comparable view chaos tests use to assert pre/post-crash
+    /// equivalence.
+    pub fn registrations(&self) -> Vec<Registration> {
+        let st = self.state.lock();
+        let mut regs: Vec<Registration> = st
+            .by_capability
+            .values()
+            .flatten()
+            .map(|e| e.reg.clone())
+            .collect();
+        regs.sort_by_key(|r| (r.capability, r.impl_guid));
+        regs
     }
 
     /// The current change counter. Moves on every registration-set change.
@@ -209,32 +494,32 @@ impl Registry {
 
     /// Add (or replace) a device and its capacity.
     pub fn add_device(&self, name: impl Into<String>, pool: ResourcePool) {
-        self.state.lock().devices.insert(name.into(), pool);
+        let name = name.into();
+        let mut st = self.state.lock();
+        self.log_record(
+            &mut st,
+            Record::AddDevice {
+                name: name.clone(),
+                capacity: pool.capacity().clone(),
+            },
+        );
+        st.devices.insert(name, pool);
     }
 
     /// Register an implementation. Fails if it names an unknown device.
     pub fn register(&self, reg: Registration, hooks: Hooks) -> Result<(), Error> {
         let mut st = self.state.lock();
-        if let Some(dev) = &reg.device {
-            if !st.devices.contains_key(dev) {
-                return Err(Error::NotFound(format!("device {dev:?}")));
-            }
-        }
-        let impl_guid = reg.impl_guid;
         tele::counter("discovery.registrations").incr();
         tele::event!(
             tele::Level::Info,
             "discovery",
             "register",
             "name" = reg.name.as_str(),
-            "impl" = impl_guid,
+            "impl" = reg.impl_guid,
             "priority" = i64::from(reg.priority),
         );
-        let entries = st.by_capability.entry(reg.capability).or_default();
-        entries.retain(|e| e.reg.impl_guid != impl_guid);
-        entries.push(Arc::new(Entry { reg, hooks }));
-        // A plain registration is permanent: clear any previous lease.
-        st.leases.remove(&impl_guid);
+        insert_locked(&mut st, reg.clone(), hooks)?;
+        self.log_record(&mut st, Record::Register { reg });
         self.bump(&mut st);
         Ok(())
     }
@@ -248,13 +533,28 @@ impl Registry {
         hooks: Hooks,
         ttl: Duration,
     ) -> Result<(), Error> {
-        let impl_guid = reg.impl_guid;
-        self.register(reg, hooks)?;
+        let mut st = self.state.lock();
+        tele::counter("discovery.registrations").incr();
+        tele::event!(
+            tele::Level::Info,
+            "discovery",
+            "register",
+            "name" = reg.name.as_str(),
+            "impl" = reg.impl_guid,
+            "priority" = i64::from(reg.priority),
+        );
+        insert_locked(&mut st, reg.clone(), hooks)?;
+        st.leases.insert(reg.impl_guid, Instant::now() + ttl);
         tele::counter("discovery.leases_granted").incr();
-        self.state
-            .lock()
-            .leases
-            .insert(impl_guid, Instant::now() + ttl);
+        self.log_record(
+            &mut st,
+            Record::RegisterLeased {
+                reg,
+                ttl_ms: ttl.as_millis().min(u64::MAX as u128) as u64,
+                at_unix_ms: unix_ms(),
+            },
+        );
+        self.bump(&mut st);
         Ok(())
     }
 
@@ -275,6 +575,14 @@ impl Registry {
         }
         st.leases.insert(impl_guid, Instant::now() + ttl);
         tele::counter("discovery.lease_renewals").incr();
+        self.log_record(
+            &mut st,
+            Record::Renew {
+                impl_guid,
+                ttl_ms: ttl.as_millis().min(u64::MAX as u128) as u64,
+                at_unix_ms: unix_ms(),
+            },
+        );
         Ok(())
     }
 
@@ -282,14 +590,9 @@ impl Registry {
     /// survive (their teardown still runs on release).
     pub fn unregister(&self, impl_guid: u64) -> bool {
         let mut st = self.state.lock();
-        let mut removed = false;
-        for entries in st.by_capability.values_mut() {
-            let before = entries.len();
-            entries.retain(|e| e.reg.impl_guid != impl_guid);
-            removed |= entries.len() != before;
-        }
-        st.leases.remove(&impl_guid);
+        let removed = remove_locked(&mut st, impl_guid);
         if removed {
+            self.log_record(&mut st, Record::Unregister { impl_guid });
             self.bump(&mut st);
         }
         removed
@@ -299,8 +602,12 @@ impl Registry {
     /// failure-driven flavor of [`unregister`](Self::unregister), named for
     /// what watchers observe. Returns whether it existed.
     pub fn revoke(&self, impl_guid: u64) -> bool {
-        let removed = self.unregister(impl_guid);
+        let mut st = self.state.lock();
+        let removed = remove_locked(&mut st, impl_guid);
         if removed {
+            self.log_record(&mut st, Record::Revoke { impl_guid });
+            self.bump(&mut st);
+            drop(st);
             tele::counter("discovery.revocations").incr();
             tele::event!(tele::Level::Warn, "discovery", "revoke", "impl" = impl_guid);
         }
@@ -312,8 +619,14 @@ impl Registry {
     /// exists so a periodic sweeper ticks the change counter promptly
     /// (watchers should not have to wait for the next query).
     pub fn expire_stale(&self) -> Vec<u64> {
+        self.expire_at(Instant::now())
+    }
+
+    /// [`expire_stale`](Self::expire_stale) against an explicit clock
+    /// reading, so lease-boundary tests are deterministic.
+    fn expire_at(&self, now: Instant) -> Vec<u64> {
         let mut st = self.state.lock();
-        let expired = st.expire_locked(Instant::now());
+        let expired = st.expire_locked(now);
         if !expired.is_empty() {
             self.bump(&mut st);
             drop(st);
@@ -694,5 +1007,182 @@ mod tests {
         // Resources must be back.
         assert_eq!(r.device_remaining("nic0").unwrap().0[&NicQueues], 1);
         assert_eq!(r.active_claims(registration.impl_guid), 0);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("bertha-registry-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    // ---- Lease-TTL boundary conditions ----
+
+    #[test]
+    fn sweep_landing_exactly_at_expiry_expires_the_lease() {
+        let r = Registry::new();
+        r.register_leased(
+            reg("c", "i", None, ResourceReq::none()),
+            Hooks::none(),
+            Duration::from_secs(3600),
+        )
+        .unwrap();
+        let deadline = *r.state.lock().leases.get(&guid("i")).unwrap();
+        // `now >= deadline` expires: a renewal landing exactly at expiry
+        // has already lost to the sweep if the sweep runs first.
+        assert_eq!(r.expire_at(deadline), vec![guid("i")]);
+        assert!(
+            r.renew_lease(guid("i"), Duration::from_secs(1)).is_err(),
+            "renewal after the boundary sweep must fail: re-register instead"
+        );
+    }
+
+    #[test]
+    fn renewal_just_before_expiry_survives_the_boundary_sweep() {
+        let r = Registry::new();
+        r.register_leased(
+            reg("c", "i", None, ResourceReq::none()),
+            Hooks::none(),
+            Duration::from_secs(3600),
+        )
+        .unwrap();
+        let original_deadline = *r.state.lock().leases.get(&guid("i")).unwrap();
+        // Renewal that beats the boundary sweep moves the deadline; a
+        // sweep at the *original* deadline then finds nothing stale.
+        r.renew_lease(guid("i"), Duration::from_secs(3600)).unwrap();
+        assert!(r.expire_at(original_deadline).is_empty());
+        assert_eq!(r.query_sync(guid("c")).len(), 1);
+    }
+
+    #[tokio::test]
+    async fn revocation_racing_renewal_leaves_no_orphan_lease() {
+        for _ in 0..100 {
+            let r = Arc::new(Registry::new());
+            r.register_leased(
+                reg("c", "i", None, ResourceReq::none()),
+                Hooks::none(),
+                Duration::from_secs(1),
+            )
+            .unwrap();
+            let (r1, r2) = (Arc::clone(&r), Arc::clone(&r));
+            let renew =
+                tokio::spawn(async move { r1.renew_lease(guid("i"), Duration::from_secs(5)) });
+            let revoke = tokio::spawn(async move { r2.revoke(guid("i")) });
+            let renew = renew.await.unwrap();
+            assert!(revoke.await.unwrap(), "the entry existed, revoke wins");
+            let st = r.state.lock();
+            assert!(
+                st.by_capability.values().flatten().next().is_none(),
+                "revoked entry must be gone whichever side won"
+            );
+            assert!(
+                st.leases.is_empty(),
+                "no orphan lease deadline may survive the race (renew was {renew:?})"
+            );
+        }
+    }
+
+    // ---- Crash recovery ----
+
+    #[test]
+    fn recovery_reproduces_registrations_and_devices() {
+        let dir = tmp("equiv");
+        let pre = {
+            let (r, rep) = Registry::recover(&dir).unwrap();
+            assert_eq!(rep.epoch, 1);
+            r.add_device("nic0", ResourcePool::new(ResourceReq::of([(NicQueues, 4)])));
+            r.register(
+                reg("shard", "steer", Some("nic0"), ResourceReq::of([(NicQueues, 1)])),
+                Hooks::none(),
+            )
+            .unwrap();
+            r.register(reg("shard", "sw", None, ResourceReq::none()), Hooks::none())
+                .unwrap();
+            r.register(reg("kv", "cache", None, ResourceReq::none()), Hooks::none())
+                .unwrap();
+            assert!(r.unregister(guid("cache")));
+            r.registrations()
+            // Simulated crash: no clean shutdown, the journal is all
+            // there is.
+        };
+        let (r2, report) = Registry::recover(&dir).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.replayed, 5, "4 mutations + 1 unregister");
+        assert_eq!(r2.registrations(), pre);
+        assert_eq!(
+            r2.device_remaining("nic0").unwrap().0[&NicQueues],
+            4,
+            "claims are not journaled; capacity replays in full"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[tokio::test]
+    async fn expired_while_down_leases_get_a_grace_window() {
+        let dir = tmp("grace");
+        {
+            let (r, _) = Registry::recover(&dir).unwrap();
+            r.register_leased(
+                reg("c", "renewed", None, ResourceReq::none()),
+                Hooks::none(),
+                Duration::from_millis(30),
+            )
+            .unwrap();
+            r.register_leased(
+                reg("c", "orphaned", None, ResourceReq::none()),
+                Hooks::none(),
+                Duration::from_millis(30),
+            )
+            .unwrap();
+        }
+        // Both leases expire in wall-clock terms while the agent is down.
+        tokio::time::sleep(Duration::from_millis(70)).await;
+        let grace = Duration::from_millis(80);
+        let (r, report) = Registry::recover_with(&dir, grace).unwrap();
+        assert_eq!(report.grace_leases, 2, "expired-while-down enters grace");
+        assert_eq!(
+            r.query_sync(guid("c")).len(),
+            2,
+            "grace window: restart is not mass revocation"
+        );
+        // One registrant resumes within the window, one never comes back.
+        r.renew_lease(guid("renewed"), Duration::from_secs(10))
+            .unwrap();
+        let after_grace = Instant::now() + grace + Duration::from_millis(10);
+        assert_eq!(r.expire_at(after_grace), vec![guid("orphaned")]);
+        let left = r.query_sync(guid("c"));
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].name, "renewed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heavy_mutation_compacts_and_still_recovers() {
+        let dir = tmp("compact");
+        let pre = {
+            let (r, _) = Registry::recover(&dir).unwrap();
+            r.register_leased(
+                reg("c", "i", None, ResourceReq::none()),
+                Hooks::none(),
+                Duration::from_secs(3600),
+            )
+            .unwrap();
+            for _ in 0..(COMPACT_AFTER + 40) {
+                r.renew_lease(guid("i"), Duration::from_secs(3600)).unwrap();
+            }
+            assert!(
+                r.state.lock().journal.as_ref().unwrap().since_snapshot() < COMPACT_AFTER,
+                "compaction must have reset the journal"
+            );
+            r.registrations()
+        };
+        let (r2, report) = Registry::recover(&dir).unwrap();
+        assert_eq!(r2.registrations(), pre);
+        assert!(
+            report.replayed < COMPACT_AFTER,
+            "replay reads the compacted snapshot, not the full history \
+             (replayed {})",
+            report.replayed
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

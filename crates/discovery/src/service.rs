@@ -133,6 +133,22 @@ pub enum Response {
     /// The flight-recorder ring, one rendered JSON event per line,
     /// oldest first.
     FlightLines(Vec<String>),
+    /// Envelope stamped on every reply from an epoch-aware agent: the
+    /// agent's registry generation id around the logical response.
+    /// Clients compare `epoch` across replies — a change means the agent
+    /// restarted (its claims died with it, leases replayed into a grace
+    /// window) and the client should transparently resume its session
+    /// ([`RemoteRegistry`] does). Old clients that predate this variant
+    /// never see it only if they never talk to a new agent; the variant
+    /// therefore sits at the end so every *other* exchange stays
+    /// wire-compatible.
+    WithEpoch {
+        /// The agent's generation id (0 = in-memory registry, never
+        /// restarted).
+        epoch: u64,
+        /// The logical response.
+        inner: Box<Response>,
+    },
 }
 
 async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
@@ -277,6 +293,12 @@ pub async fn serve_uds(
                             Response::Err(format!("malformed request: {e}"))
                         }
                     };
+                    // Every reply carries the generation id so clients
+                    // detect restarts without a dedicated probe.
+                    let resp = Response::WithEpoch {
+                        epoch: registry.epoch(),
+                        inner: Box::new(resp),
+                    };
                     let Ok(body) = bincode::serialize(&resp) else {
                         return;
                     };
@@ -289,11 +311,60 @@ pub async fn serve_uds(
     }))
 }
 
+/// One resumable claim held through a [`RemoteRegistry`].
+#[derive(Clone)]
+struct SessionClaim {
+    impl_guid: u64,
+    pick: Offer,
+    /// The id the *current* agent incarnation knows this claim by. The
+    /// id handed to the caller is client-allocated and stable across
+    /// restarts; this field is remapped on resumption.
+    current: ClaimId,
+    /// Re-claiming after a restart failed (capacity gone, impl revoked):
+    /// the claim no longer exists anywhere, so release is a local no-op.
+    lost: bool,
+}
+
+/// Client-side session state that survives agent restarts.
+#[derive(Default)]
+struct Session {
+    /// Last epoch observed in a reply; `None` until the first reply.
+    last_epoch: Option<u64>,
+    /// A resumption pass is in flight (its own requests must not
+    /// recursively trigger another).
+    resuming: bool,
+    /// Leased registrations to transparently re-register after a
+    /// restart, by implementation GUID.
+    leased: std::collections::HashMap<u64, (Registration, std::time::Duration)>,
+    /// Claims by the stable public id handed to callers.
+    claims: std::collections::HashMap<u64, SessionClaim>,
+    next_public: u64,
+}
+
 /// A [`RegistrySource`] that talks to a discovery agent over its socket.
+///
+/// Restart-transparent: every agent reply carries the registry's
+/// generation id ([`Response::WithEpoch`]), and when it changes this
+/// client resumes its session — re-registers its leased registrations,
+/// re-claims its outstanding claims (remapping claim ids behind the
+/// stable ids it handed out), and publishes the new epoch on
+/// [`epoch_watch`](Self::epoch_watch). Data-plane connections never see
+/// any of this: established picks stay valid because the restarted agent
+/// replayed its journal, so no renegotiation or `SwitchableConn` epoch
+/// swap is triggered.
 pub struct RemoteRegistry {
     conn: tokio::sync::Mutex<Option<bertha_transport::uds::UdsConn>>,
     agent: Addr,
+    session: parking_lot::Mutex<Session>,
+    epoch_tx: tokio::sync::watch::Sender<u64>,
 }
+
+/// Attempts per request before surfacing the error (reconnecting
+/// between attempts). Bounds how long a request outlives an agent that
+/// is down, while riding out a restart-in-progress.
+const REQUEST_ATTEMPTS: u32 = 3;
+/// Delay between those attempts.
+const RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(100);
 
 impl RemoteRegistry {
     /// Use the agent at `path`.
@@ -301,10 +372,23 @@ impl RemoteRegistry {
         RemoteRegistry {
             conn: tokio::sync::Mutex::new(None),
             agent: Addr::Unix(path),
+            session: parking_lot::Mutex::new(Session::default()),
+            epoch_tx: tokio::sync::watch::channel(0).0,
         }
     }
 
-    async fn request(&self, req: &Request) -> Result<Response, Error> {
+    /// The agent epoch as observed by this client: 0 until the first
+    /// reply, then the agent's generation id, updated after each
+    /// completed session resumption. `changed()` on the receiver is the
+    /// "my agent restarted and I have resumed" signal — supervisors
+    /// re-arm watchers off it without tearing anything down.
+    pub fn epoch_watch(&self) -> tokio::sync::watch::Receiver<u64> {
+        self.epoch_tx.subscribe()
+    }
+
+    /// One wire exchange. Returns the logical response and the epoch
+    /// stamped on it (`None` when talking to a pre-epoch agent).
+    async fn request_once(&self, req: &Request) -> Result<(Response, Option<u64>), Error> {
         // One request in flight at a time keeps request/response pairing
         // trivial; discovery traffic is one query per connection setup.
         let mut guard = self.conn.lock().await;
@@ -319,15 +403,127 @@ impl RemoteRegistry {
                 "discovery agent connection unavailable".into(),
             ));
         };
-        conn.send((self.agent.clone(), bincode::serialize(req)?))
-            .await?;
-        let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
-            .await
-            .map_err(|_| Error::Timeout {
-                after: std::time::Duration::from_secs(5),
-                what: "discovery agent reply",
-            })??;
-        Ok(bincode::deserialize(&buf)?)
+        let res: Result<Vec<u8>, Error> = async {
+            conn.send((self.agent.clone(), bincode::serialize(req)?))
+                .await?;
+            let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
+                .await
+                .map_err(|_| Error::Timeout {
+                    after: std::time::Duration::from_secs(5),
+                    what: "discovery agent reply",
+                })??;
+            Ok(buf)
+        }
+        .await;
+        let buf = match res {
+            Ok(buf) => buf,
+            Err(e) => {
+                // A failed exchange poisons the connected socket (the
+                // agent may have restarted under a fresh inode at the
+                // same path): reconnect on the next attempt.
+                *guard = None;
+                return Err(e);
+            }
+        };
+        Ok(match bincode::deserialize::<Response>(&buf)? {
+            Response::WithEpoch { epoch, inner } => (*inner, Some(epoch)),
+            other => (other, None),
+        })
+    }
+
+    /// A wire exchange with bounded reconnect-retry, *without* epoch
+    /// observation — the primitive resumption itself uses.
+    async fn request_plain(&self, req: &Request) -> Result<(Response, Option<u64>), Error> {
+        let mut last = None;
+        for attempt in 0..REQUEST_ATTEMPTS {
+            if attempt > 0 {
+                tokio::time::sleep(RETRY_DELAY).await;
+            }
+            match self.request_once(req).await {
+                Ok(r) => return Ok(r),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Other("discovery agent unreachable".into())))
+    }
+
+    async fn request(&self, req: &Request) -> Result<Response, Error> {
+        let (resp, epoch) = self.request_plain(req).await?;
+        if let Some(epoch) = epoch {
+            self.observe_epoch(epoch).await;
+        }
+        Ok(resp)
+    }
+
+    /// React to the epoch stamped on a reply: on first contact adopt it;
+    /// on a change, the agent restarted — transparently resume the
+    /// session (re-register leases, re-claim claims) before publishing
+    /// the new epoch to watchers.
+    async fn observe_epoch(&self, epoch: u64) {
+        let plan = {
+            let mut s = self.session.lock();
+            match s.last_epoch {
+                None => {
+                    s.last_epoch = Some(epoch);
+                    self.epoch_tx.send_replace(epoch);
+                    None
+                }
+                Some(prev) if prev == epoch => None,
+                Some(prev) => {
+                    if s.resuming {
+                        None
+                    } else {
+                        s.resuming = true;
+                        s.last_epoch = Some(epoch);
+                        let leased: Vec<_> = s.leased.values().cloned().collect();
+                        let claims: Vec<_> =
+                            s.claims.iter().map(|(id, c)| (*id, c.clone())).collect();
+                        Some((prev, leased, claims))
+                    }
+                }
+            }
+        };
+        let Some((prev, leased, claims)) = plan else {
+            return;
+        };
+        tele::counter("discovery.client.resumed").incr();
+        tele::event!(
+            tele::Level::Info,
+            "discovery",
+            "client_resumed",
+            "from_epoch" = prev,
+            "to_epoch" = epoch,
+            "leases" = leased.len() as u64,
+            "claims" = claims.len() as u64,
+        );
+        // Re-register leased registrations first (the journal replayed
+        // them into a grace window; this renews ownership), then re-claim.
+        for (reg, ttl) in leased {
+            let req = Request::RegisterLeased {
+                reg,
+                ttl_ms: ttl.as_millis().min(u64::MAX as u128) as u64,
+            };
+            let _ = self.request_plain(&req).await;
+        }
+        for (public, claim) in claims {
+            let req = Request::Claim {
+                impl_guid: claim.impl_guid,
+                pick: claim.pick.clone(),
+            };
+            let outcome = self.request_plain(&req).await;
+            let mut s = self.session.lock();
+            if let Some(sc) = s.claims.get_mut(&public) {
+                match outcome {
+                    Ok((Response::Claimed(new_id), _)) => {
+                        sc.current = new_id;
+                        sc.lost = false;
+                    }
+                    _ => sc.lost = true,
+                }
+            }
+        }
+        self.session.lock().resuming = false;
+        self.epoch_tx.send_replace(epoch);
     }
 
     /// Multi-party negotiation through the agent: propose this endpoint's
@@ -348,19 +544,34 @@ impl RemoteRegistry {
         }
     }
 
+    /// Register a (hook-less) permanent implementation through the agent.
+    pub async fn register(&self, reg: Registration) -> Result<(), Error> {
+        match self.request(&Request::Register { reg }).await? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Register a (hook-less) implementation under a lease; the agent
     /// withdraws it unless [`renew`](Self::renew)ed within `ttl`.
+    ///
+    /// The registration is remembered client-side: if the agent restarts,
+    /// the session resumption pass re-registers it transparently.
     pub async fn register_leased(
         &self,
         reg: Registration,
         ttl: std::time::Duration,
     ) -> Result<(), Error> {
         let req = Request::RegisterLeased {
-            reg,
+            reg: reg.clone(),
             ttl_ms: ttl.as_millis() as u64,
         };
         match self.request(&req).await? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                self.session.lock().leased.insert(reg.impl_guid, (reg, ttl));
+                Ok(())
+            }
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -373,7 +584,12 @@ impl RemoteRegistry {
             ttl_ms: ttl.as_millis() as u64,
         };
         match self.request(&req).await? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                if let Some((_, t)) = self.session.lock().leased.get_mut(&impl_guid) {
+                    *t = ttl;
+                }
+                Ok(())
+            }
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -382,7 +598,10 @@ impl RemoteRegistry {
     /// Forcibly withdraw an implementation.
     pub async fn revoke(&self, impl_guid: u64) -> Result<(), Error> {
         match self.request(&Request::Revoke { impl_guid }).await? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                self.session.lock().leased.remove(&impl_guid);
+                Ok(())
+            }
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -440,7 +659,24 @@ impl RegistrySource for RemoteRegistry {
                 pick: pick.clone(),
             };
             match self.request(&req).await? {
-                Response::Claimed(id) => Ok(id),
+                Response::Claimed(id) => {
+                    // Hand out a client-allocated id stable across agent
+                    // restarts (the restarted agent's claim counter resets
+                    // to zero, so its ids are not durable handles).
+                    let mut s = self.session.lock();
+                    s.next_public += 1;
+                    let public = ClaimId(u64::MAX - s.next_public);
+                    s.claims.insert(
+                        public.0,
+                        SessionClaim {
+                            impl_guid,
+                            pick: pick.clone(),
+                            current: id,
+                            lost: false,
+                        },
+                    );
+                    Ok(public)
+                }
                 Response::Err(e) => Err(Error::Other(e)),
                 other => Err(Error::Other(format!("unexpected response {other:?}"))),
             }
@@ -449,7 +685,16 @@ impl RegistrySource for RemoteRegistry {
 
     fn release<'a>(&'a self, id: ClaimId) -> BoxFut<'a, Result<(), Error>> {
         Box::pin(async move {
-            match self.request(&Request::Release { id }).await? {
+            // Translate the public handle back to the id the current
+            // agent incarnation knows. A claim lost across a restart
+            // (re-claim failed) no longer exists anywhere: dropping the
+            // local record is the whole release.
+            let wire = match self.session.lock().claims.remove(&id.0) {
+                Some(sc) if sc.lost => return Ok(()),
+                Some(sc) => sc.current,
+                None => id,
+            };
+            match self.request(&Request::Release { id: wire }).await? {
                 Response::Ok => Ok(()),
                 Response::Err(e) => Err(Error::Other(e)),
                 other => Err(Error::Other(format!("unexpected response {other:?}"))),
@@ -679,8 +924,16 @@ mod tests {
             .await
             .unwrap();
         let (_, buf) = conn.recv().await.unwrap();
+        // Even error replies ride in the epoch envelope (an in-memory
+        // registry reports epoch 0 — no recovery state behind it).
         match bincode::deserialize::<Response>(&buf).unwrap() {
-            Response::Err(e) => assert!(e.contains("malformed")),
+            Response::WithEpoch { epoch, inner } => {
+                assert_eq!(epoch, 0);
+                match *inner {
+                    Response::Err(e) => assert!(e.contains("malformed")),
+                    other => panic!("{other:?}"),
+                }
+            }
             other => panic!("{other:?}"),
         }
         // The agent counts the garbage, and the counter is visible through
@@ -704,5 +957,82 @@ mod tests {
             "flight ring missing the warn event: {lines:?}"
         );
         server.abort();
+    }
+
+    #[tokio::test]
+    async fn client_resumes_session_across_agent_restart() {
+        let state = std::env::temp_dir().join(format!(
+            "bertha-resume-state-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&state);
+        let path = scratch();
+
+        // First incarnation: journal-backed registry behind the socket.
+        let (registry, _) = Registry::recover(&state).unwrap();
+        let registry = Arc::new(registry);
+        registry.add_device(
+            "host0",
+            ResourcePool::new(ResourceReq::of([(ResourceKind::HostCores, 2)])),
+        );
+        let epoch1 = registry.epoch();
+        let server = serve_uds(Arc::clone(&registry), path.clone())
+            .await
+            .unwrap();
+
+        let remote = RemoteRegistry::new(path.clone());
+        let mut watch = remote.epoch_watch();
+        let mut leased = registration();
+        leased.device = None;
+        leased.impl_guid = guid("shard/leased");
+        leased.name = "shard/leased".into();
+        remote
+            .register_leased(leased.clone(), std::time::Duration::from_secs(30))
+            .await
+            .unwrap();
+        remote.register(registration()).await.unwrap();
+        let pick = registration().offer();
+        let claim = remote.claim(guid("shard/xdp"), &pick).await.unwrap();
+        assert_eq!(*watch.borrow_and_update(), epoch1);
+
+        // Kill the agent (task + socket file), then restart it from the
+        // same state dir under a fresh epoch.
+        server.abort();
+        let _ = std::fs::remove_file(&path);
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        let before = tele::counter("discovery.client.resumed").get();
+        let (registry2, report) = Registry::recover(&state).unwrap();
+        assert!(report.epoch > epoch1);
+        let registry2 = Arc::new(registry2);
+        let server2 = serve_uds(Arc::clone(&registry2), path.clone())
+            .await
+            .unwrap();
+
+        // The next request rides through reconnect, sees the new epoch,
+        // and resumes: the leased registration is re-registered and the
+        // claim is remapped behind its stable public id.
+        let regs = remote.query(guid("shard")).await.unwrap();
+        assert!(
+            regs.iter().any(|r| r.impl_guid == guid("shard/leased")),
+            "leased registration not resumed: {regs:?}"
+        );
+        let after = tele::counter("discovery.client.resumed").get();
+        assert!(after > before, "resumption counter did not move");
+        assert_eq!(*watch.borrow_and_update(), registry2.epoch());
+
+        // Releasing the pre-restart claim works against the new agent:
+        // the public id translates to the re-claimed id.
+        remote.release(claim).await.unwrap();
+        assert_eq!(
+            registry2.active_claims(guid("shard/xdp")),
+            0,
+            "released claim must not leak in the restarted agent"
+        );
+        server2.abort();
+        let _ = std::fs::remove_dir_all(&state);
     }
 }

@@ -40,8 +40,8 @@ pub use client::{ShardClientChunnel, ShardDeferChunnel};
 pub use info::{ShardFnSpec, ShardInfo};
 pub use server::ShardCanonicalServer;
 pub use steer::{
-    run_steerer, serve_fallback, steerer_registration, supervise_steerer, FallbackServer,
-    SteererHandle,
+    keep_steerer_registered, run_steerer, serve_fallback, steerer_registration,
+    supervise_steerer, FallbackServer, SteererHandle,
 };
 pub use worker::serve_shard;
 

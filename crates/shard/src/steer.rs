@@ -403,6 +403,59 @@ pub fn steerer_registration(device: Option<String>) -> (Registration, Hooks, Arc
     )
 }
 
+/// Supervise a steerer's presence in a per-host discovery agent: hold
+/// its registration under a lease, renew at `ttl / 3`, and re-register
+/// from scratch whenever a renewal fails (the lease lapsed across an
+/// agent restart, or the entry was revoked). Together with
+/// [`RemoteRegistry`](bertha_discovery::RemoteRegistry)'s session
+/// resumption this keeps the `shard/steer` offer alive across agent
+/// crashes without the data plane noticing; aborting the returned task
+/// stops the supervision (and lets the lease lapse, withdrawing the
+/// offer).
+pub fn keep_steerer_registered(
+    remote: Arc<bertha_discovery::RemoteRegistry>,
+    device: Option<String>,
+    ttl: Duration,
+) -> tokio::task::JoinHandle<()> {
+    let (reg, _hooks, _activations) = steerer_registration(device);
+    tokio::spawn(async move {
+        let period = (ttl / 3).max(Duration::from_millis(1));
+        loop {
+            // (Re-)establish the lease; errors back off one renewal
+            // period so a down agent is not hammered.
+            loop {
+                match remote.register_leased(reg.clone(), ttl).await {
+                    Ok(()) => break,
+                    Err(e) => {
+                        tele::event!(
+                            tele::Level::Warn,
+                            "shard",
+                            "steerer_register_failed",
+                            "error" = e.to_string(),
+                        );
+                        tokio::time::sleep(period).await;
+                    }
+                }
+            }
+            tele::counter("shard.steer.lease_registrations").incr();
+            // Renew until a renewal fails, then fall back to the
+            // registration loop above.
+            loop {
+                tokio::time::sleep(period).await;
+                if let Err(e) = remote.renew(reg.impl_guid, ttl).await {
+                    tele::event!(
+                        tele::Level::Warn,
+                        "shard",
+                        "steerer_renew_failed",
+                        "error" = e.to_string(),
+                    );
+                    break;
+                }
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,5 +658,49 @@ mod tests {
         assert_eq!(reg.endpoints, Endpoints::Server);
         assert_eq!(reg.scope, Scope::Host);
         assert!(reg.priority > 0);
+    }
+
+    #[tokio::test]
+    async fn steerer_supervision_survives_agent_restart() {
+        use bertha_discovery::registry::RegistrySource;
+        let dir = std::env::temp_dir().join(format!("bertha-steer-sup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut agent =
+            bertha_discovery::AgentHarness::new(dir.join("state"), dir.join("agent.sock"));
+        agent.start().await.unwrap();
+
+        let remote = Arc::new(bertha_discovery::RemoteRegistry::new(
+            agent.socket().to_path_buf(),
+        ));
+        let ttl = Duration::from_millis(150);
+        let sup = keep_steerer_registered(Arc::clone(&remote), None, ttl);
+
+        let registered = |remote: Arc<bertha_discovery::RemoteRegistry>| async move {
+            for _ in 0..100 {
+                if let Ok(true) = RegistrySource::registered(&*remote, IMPL_STEER).await {
+                    return true;
+                }
+                tokio::time::sleep(Duration::from_millis(20)).await;
+            }
+            false
+        };
+        assert!(
+            registered(Arc::clone(&remote)).await,
+            "steerer never registered"
+        );
+
+        // Crash the agent mid-supervision and bring it back on the same
+        // state dir: renewals fail during the outage, then supervision
+        // (plus the client's session resumption) re-establishes the
+        // lease without any new RemoteRegistry or steerer task.
+        agent.crash();
+        tokio::time::sleep(2 * ttl).await;
+        agent.start().await.unwrap();
+        assert!(
+            registered(Arc::clone(&remote)).await,
+            "steerer registration not re-established after agent restart"
+        );
+        sup.abort();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,204 @@
+//! Integration: crash-safe discovery. Kill the agent mid-workload,
+//! restart it from its journal, and assert (a) the replayed registry is
+//! equivalent to the pre-crash registry, (b) clients transparently
+//! resume their sessions — leases re-registered, claims re-claimed —
+//! without any data-plane epoch swap or renegotiation, and (c) recovery
+//! completes within a bounded deadline, even with a torn final journal
+//! record.
+
+use bertha::negotiate::{guid, negotiate_client, NegotiateOpts};
+use bertha::{Addr, ChunnelConnector, ChunnelListener};
+use bertha_discovery::registry::RegistrySource;
+use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
+use bertha_discovery::{AgentHarness, DiscoveryClient, Registration, RemoteRegistry};
+use bertha_shard::{run_steerer, steerer_registration, ShardDeferChunnel};
+use bertha_telemetry as tele;
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a restart may take before it counts as an outage in its own
+/// right (generous: recovery is file replay plus one socket bind).
+const RECOVERY_DEADLINE: Duration = Duration::from_secs(5);
+
+fn scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "bertha-crash-chaos-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ))
+}
+
+/// A client-held leased registration, distinct from the steerer's.
+fn leased_registration() -> Registration {
+    Registration {
+        capability: guid("bertha/compress"),
+        impl_guid: guid("bertha/compress/engine"),
+        name: "compress/engine".into(),
+        endpoints: bertha::negotiate::Endpoints::Both,
+        scope: bertha::negotiate::Scope::Host,
+        priority: 7,
+        resources: ResourceReq::none(),
+        device: None,
+    }
+}
+
+#[tokio::test]
+async fn agent_crash_recovers_state_and_clients_resume() {
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = dir.join("state");
+
+    // Agent incarnation one, journaling under `state`.
+    let mut agent = AgentHarness::new(&state, dir.join("agent.sock"));
+    agent.start().await.unwrap();
+    let epoch1 = agent.registry().epoch();
+    assert!(epoch1 > 0, "journal-backed agents have nonzero epochs");
+
+    // Control plane: a device, the steerer's registration (journaled via
+    // the agent-side registry so its init hooks stay live), and a
+    // client-held *leased* registration through the wire client whose
+    // session we expect to survive the crash.
+    agent.registry().add_device(
+        "host0",
+        ResourcePool::new(ResourceReq::of([(ResourceKind::HostCores, 4)])),
+    );
+    let (steer_reg, hooks, _activations) = steerer_registration(Some("host0".into()));
+    agent.registry().register(steer_reg, hooks).unwrap();
+
+    let remote = Arc::new(RemoteRegistry::new(agent.socket().to_path_buf()));
+    remote
+        .register_leased(leased_registration(), Duration::from_secs(30))
+        .await
+        .unwrap();
+
+    // Data plane: a steered kv deployment whose server-side negotiation
+    // filter consults the agent over its socket.
+    let shards = kvstore::spawn_shards(2).await.unwrap();
+    let raw = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let listen_addr = raw.local_addr();
+    let steerer = run_steerer(
+        Addr::Udp("127.0.0.1:0".parse().unwrap()),
+        listen_addr.clone(),
+        kvstore::shard_info(listen_addr.clone(), &shards),
+    )
+    .await
+    .unwrap();
+    let canonical = steerer.canonical().clone();
+    let info = kvstore::shard_info(canonical.clone(), &shards);
+    let opts = NegotiateOpts::named("kv-server").with_filter(DiscoveryClient::new(
+        Arc::clone(&remote) as Arc<dyn RegistrySource>,
+    ));
+    let server = kvstore::serve_prepared(raw, info, opts);
+
+    let rawc = UdpConnector.connect(canonical.clone()).await.unwrap();
+    let (conn, picks) = negotiate_client(
+        bertha::wrap!(ShardDeferChunnel),
+        rawc,
+        canonical.clone(),
+        &NegotiateOpts::named("chaos-client"),
+    )
+    .await
+    .unwrap();
+    assert_eq!(
+        picks.picks[0].name, "shard/steer",
+        "discovery gating should pick the registered steerer"
+    );
+    let kv = kvstore::KvClient::new(conn, canonical.clone());
+    kv.put("alpha", b"1".to_vec()).await.unwrap();
+    assert_eq!(kv.get("alpha").await.unwrap().as_deref(), Some(&b"1"[..]));
+
+    // Freeze the pre-crash picture.
+    let pre_regs = agent.registry().registrations();
+    assert!(pre_regs.len() >= 2, "steerer + leased entry expected");
+    let reneg_before = tele::counter("reneg.rounds_initiated").get();
+    let swaps_before = tele::counter("reneg.epoch_swaps").get();
+    let resumed_before = tele::counter("discovery.client.resumed").get();
+
+    // Crash mid-workload: the serving task dies mid-whatever it was
+    // doing; nothing is flushed beyond what the journal committed.
+    agent.crash();
+
+    // The data plane must not notice the control plane dying.
+    kv.put("beta", b"2".to_vec()).await.unwrap();
+    assert_eq!(kv.get("beta").await.unwrap().as_deref(), Some(&b"2"[..]));
+
+    // Simulate the crash landing mid-append: a torn half-record at the
+    // journal tail. Recovery must truncate it, not refuse to start.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(state.join("journal.bin"))
+            .unwrap();
+        f.write_all(&[0xFF; 13]).unwrap();
+    }
+
+    // Restart against the same state dir, bounded by the deadline.
+    let restart = Instant::now();
+    let report = agent.start().await.unwrap();
+    assert!(
+        restart.elapsed() < RECOVERY_DEADLINE,
+        "recovery took {:?}",
+        restart.elapsed()
+    );
+    assert!(report.epoch > epoch1, "every restart gets a fresh epoch");
+    assert!(report.replayed > 0, "journal records should replay");
+    assert_eq!(report.torn_bytes, 13, "the torn tail must be truncated");
+
+    // (a) Replayed registry state is equivalent to the pre-crash state.
+    assert_eq!(
+        agent.registry().registrations(),
+        pre_regs,
+        "recovered registry must match the pre-crash registry"
+    );
+
+    // (b) The existing client's next request rides its reconnect logic,
+    // observes the new epoch, and resumes the session: the leased
+    // registration is re-registered with the new incarnation.
+    assert!(RegistrySource::registered(&*remote, guid("bertha/compress/engine"))
+        .await
+        .unwrap());
+    assert!(
+        tele::counter("discovery.client.resumed").get() > resumed_before,
+        "client should have recorded a session resumption"
+    );
+
+    // ... without any data-plane disturbance: no epoch swap, no
+    // renegotiation round, and the kv connection still serves.
+    assert_eq!(
+        tele::counter("reneg.rounds_initiated").get(),
+        reneg_before,
+        "agent restart must not trigger renegotiation"
+    );
+    assert_eq!(
+        tele::counter("reneg.epoch_swaps").get(),
+        swaps_before,
+        "agent restart must not swap data-plane epochs"
+    );
+    assert_eq!(kv.get("alpha").await.unwrap().as_deref(), Some(&b"1"[..]));
+    kv.put("gamma", b"3".to_vec()).await.unwrap();
+    assert_eq!(kv.get("gamma").await.unwrap().as_deref(), Some(&b"3"[..]));
+
+    // New negotiations against the recovered registry still pick steer.
+    let raw2 = UdpConnector.connect(canonical.clone()).await.unwrap();
+    let (_conn2, picks2) = negotiate_client(
+        bertha::wrap!(ShardDeferChunnel),
+        raw2,
+        canonical.clone(),
+        &NegotiateOpts::named("post-restart-client"),
+    )
+    .await
+    .unwrap();
+    assert_eq!(picks2.picks[0].name, "shard/steer");
+
+    server.abort();
+    steerer.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
