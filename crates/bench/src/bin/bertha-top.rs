@@ -1,0 +1,382 @@
+//! bertha-top: live per-layer view of a running bertha stack.
+//!
+//! Polls an OpenMetrics endpoint — either the agent's `ServeMetrics`
+//! RPC over its unix socket or the `--metrics-listen` HTTP listener —
+//! and renders a refreshing table: one row per profiled layer with
+//! throughput, p50/p99 latency per direction, and a header line of
+//! stack-health counters (epoch swaps, retransmits, drops).
+//!
+//! Latency rows come from the `stack_{send,recv}_us` histogram
+//! families, faceted by the `layer` label the exporter attaches to
+//! `stack.<layer>.*` names. Timings are *inclusive* (a layer's time
+//! contains everything beneath it), so rows sort outermost-first by
+//! mean send time and the `excl` column shows the difference to the
+//! next row — the time attributable to that layer alone.
+//!
+//! Usage:
+//!   bertha-top --connect 127.0.0.1:9464 [--interval-ms 1000] [--once]
+//!   bertha-top --agent /tmp/bertha-agent.sock [--interval-ms 1000] [--once]
+//!
+//! `--once` prints a single table and exits (CI artifact mode); rates
+//! are shown as running totals since there is no previous sample to
+//! difference against.
+
+use bertha_telemetry::openmetrics::{parse_and_validate, Exposition};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read as _, Write as _};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bertha-top (--connect <host:port> | --agent <socket>) \
+         [--interval-ms <n>] [--once]"
+    );
+    std::process::exit(2);
+}
+
+/// Where to scrape from.
+enum Source {
+    /// HTTP `GET /metrics` against a `--metrics-listen` endpoint.
+    Http(String),
+    /// `ServeMetrics` RPC against an agent unix socket.
+    Agent(std::path::PathBuf),
+}
+
+impl Source {
+    fn describe(&self) -> String {
+        match self {
+            Source::Http(addr) => format!("http://{addr}/metrics"),
+            Source::Agent(path) => format!("agent {}", path.display()),
+        }
+    }
+
+    fn scrape(&self) -> Result<String, String> {
+        match self {
+            Source::Http(addr) => scrape_http(addr),
+            Source::Agent(path) => scrape_agent(path),
+        }
+    }
+}
+
+fn scrape_http(addr: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .write_all(format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_owned())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("unexpected status: {status}"));
+    }
+    Ok(body.to_owned())
+}
+
+fn scrape_agent(path: &std::path::Path) -> Result<String, String> {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("tokio runtime: {e}"))?;
+    rt.block_on(async {
+        let registry = bertha_discovery::RemoteRegistry::new(path.to_path_buf());
+        registry
+            .scrape_metrics()
+            .await
+            .map_err(|e| format!("agent scrape: {e}"))
+    })
+}
+
+/// Per-direction stats for one layer, pulled out of the exposition.
+#[derive(Debug, Default, Clone, Copy)]
+struct DirStats {
+    count: f64,
+    sum_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    frames: f64,
+    bytes: f64,
+}
+
+impl DirStats {
+    fn mean_us(&self) -> f64 {
+        if self.count > 0.0 {
+            self.sum_us / self.count
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Row {
+    send: DirStats,
+    recv: DirStats,
+}
+
+/// Smallest bucket edge whose cumulative count reaches quantile `q`.
+/// Buckets are (le, cumulative) pairs in ascending le order, per the
+/// validated exposition; returns infinity only if all mass sits in the
+/// overflow bucket.
+fn quantile(buckets: &[(f64, f64)], total: f64, q: f64) -> f64 {
+    let target = q * total;
+    for (le, cum) in buckets {
+        if *cum >= target {
+            return *le;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Histogram stats for `family` restricted to one `layer` label value.
+fn dir_stats(exp: &Exposition, dir: &str, layer: &str) -> DirStats {
+    let mut out = DirStats::default();
+    let us_family = format!("stack_{dir}_us");
+    if let Some(family) = exp.families.get(&us_family) {
+        let mut buckets: Vec<(f64, f64)> = Vec::new();
+        for s in &family.samples {
+            if s.label("layer") != Some(layer) {
+                continue;
+            }
+            if s.name == format!("{us_family}_count") {
+                out.count = s.value;
+            } else if s.name == format!("{us_family}_sum") {
+                out.sum_us = s.value;
+            } else if s.name == format!("{us_family}_bucket") {
+                let le = match s.label("le") {
+                    Some("+Inf") => f64::INFINITY,
+                    Some(v) => v.parse().unwrap_or(f64::INFINITY),
+                    None => continue,
+                };
+                buckets.push((le, s.value));
+            }
+        }
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if out.count > 0.0 {
+            out.p50_us = quantile(&buckets, out.count, 0.50);
+            out.p99_us = quantile(&buckets, out.count, 0.99);
+        }
+    }
+    out.frames = counter_value(exp, &format!("stack_{dir}_frames"), Some(layer));
+    out.bytes = counter_value(exp, &format!("stack_{dir}_bytes"), Some(layer));
+    out
+}
+
+/// Sum of a counter family's `_total` samples, optionally restricted to
+/// one `layer` label value. Missing family reads as zero — counters
+/// only exist once the code path has run.
+fn counter_value(exp: &Exposition, family: &str, layer: Option<&str>) -> f64 {
+    let Some(f) = exp.families.get(family) else {
+        return 0.0;
+    };
+    let total_name = format!("{family}_total");
+    f.samples
+        .iter()
+        .filter(|s| s.name == total_name)
+        .filter(|s| layer.is_none_or(|l| s.label("layer") == Some(l)))
+        .map(|s| s.value)
+        .sum()
+}
+
+/// All `layer` label values present on the per-layer histogram families.
+fn layers(exp: &Exposition) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for dir in ["send", "recv"] {
+        if let Some(family) = exp.families.get(&format!("stack_{dir}_us")) {
+            for s in &family.samples {
+                if let Some(layer) = s.label("layer") {
+                    out.insert(layer.to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_us(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_owned()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if v >= 1_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// One rendered frame: header counters plus the per-layer table.
+/// `prev` is the previous poll's (instant, per-layer rows) for rate
+/// differencing; `None` on the first frame or in `--once` mode, where
+/// the rate columns show running totals instead.
+fn render_frame(
+    exp: &Exposition,
+    source: &str,
+    prev: Option<&(Instant, BTreeMap<String, Row>)>,
+    now: Instant,
+) -> (String, BTreeMap<String, Row>) {
+    let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+    for layer in layers(exp) {
+        rows.insert(
+            layer.clone(),
+            Row {
+                send: dir_stats(exp, "send", &layer),
+                recv: dir_stats(exp, "recv", &layer),
+            },
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("bertha-top — {source}\n"));
+    out.push_str(&format!(
+        "epoch swaps {} | retransmits {} | dup drops {} | stale-epoch drops {} | throttle events {}\n\n",
+        counter_value(exp, "reneg_epoch_swaps", None),
+        counter_value(exp, "reliable_retransmits", None),
+        counter_value(exp, "reliable_duplicates_dropped", None),
+        counter_value(exp, "switchable_stale_epoch_drops", None),
+        counter_value(exp, "ratelimit_throttle_events", None),
+    ));
+
+    let rate_hdr = if prev.is_some() {
+        ("msgs/s", "kB/s")
+    } else {
+        ("msgs", "kB")
+    };
+    out.push_str(&format!(
+        "{:<16} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "layer", "dir", rate_hdr.0, rate_hdr.1, "p50(us)", "p99(us)", "mean(us)", "excl(us)"
+    ));
+
+    // Inclusive timings sort outermost-first by mean send latency; the
+    // exclusive column is the gap to the next (inner) row.
+    let mut ordered: Vec<(&String, &Row)> = rows.iter().collect();
+    ordered.sort_by(|a, b| b.1.send.mean_us().total_cmp(&a.1.send.mean_us()));
+
+    for (i, (layer, row)) in ordered.iter().enumerate() {
+        let inner_mean = ordered
+            .get(i + 1)
+            .map(|(_, r)| r.send.mean_us())
+            .unwrap_or(0.0);
+        let excl = (row.send.mean_us() - inner_mean).max(0.0);
+        for (dir, stats, excl_cell) in [
+            ("send", &row.send, fmt_us(excl)),
+            ("recv", &row.recv, "-".to_owned()),
+        ] {
+            let (msgs, kb) = match prev {
+                Some((t0, prev_rows)) => {
+                    let dt = now.duration_since(*t0).as_secs_f64().max(1e-9);
+                    let p = prev_rows.get(*layer).copied().unwrap_or_default();
+                    let (pf, pb) = if dir == "send" {
+                        (p.send.frames, p.send.bytes)
+                    } else {
+                        (p.recv.frames, p.recv.bytes)
+                    };
+                    (
+                        (stats.frames - pf).max(0.0) / dt,
+                        (stats.bytes - pb).max(0.0) / dt / 1000.0,
+                    )
+                }
+                None => (stats.frames, stats.bytes / 1000.0),
+            };
+            out.push_str(&format!(
+                "{:<16} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                layer,
+                dir,
+                fmt_rate(msgs),
+                fmt_rate(kb),
+                fmt_us(stats.p50_us),
+                fmt_us(stats.p99_us),
+                fmt_us(stats.mean_us()),
+                excl_cell,
+            ));
+        }
+    }
+    if ordered.is_empty() {
+        out.push_str(
+            "(no stack_* histograms yet — is the stack running with BERTHA_PROFILE=1?)\n",
+        );
+    }
+    (out, rows)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut source: Option<Source> = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let Some(addr) = args.next() else { usage() };
+                source = Some(Source::Http(addr));
+            }
+            "--agent" => {
+                let Some(path) = args.next() else { usage() };
+                source = Some(Source::Agent(path.into()));
+            }
+            "--once" => once = true,
+            "--interval-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                interval = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bertha-top: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(source) = source else { usage() };
+
+    let mut prev: Option<(Instant, BTreeMap<String, Row>)> = None;
+    loop {
+        let text = match source.scrape() {
+            Ok(text) => text,
+            Err(e) if once => {
+                eprintln!("bertha-top: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bertha-top: {e} (retrying)");
+                std::thread::sleep(interval);
+                continue;
+            }
+        };
+        let exp = match parse_and_validate(&text) {
+            Ok(exp) => exp,
+            Err(e) => {
+                eprintln!("bertha-top: invalid exposition: {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = Instant::now();
+        let (frame, rows) = render_frame(&exp, &source.describe(), prev.as_ref(), now);
+        if once {
+            print!("{frame}");
+            return;
+        }
+        // ANSI clear-screen + home keeps the table in place like top(1).
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        prev = Some((now, rows));
+        std::thread::sleep(interval);
+    }
+}

@@ -8,7 +8,15 @@
 //! - **baseline**: the bare workload;
 //! - **instrumented**: the workload plus exactly what the hot paths do —
 //!   one pre-resolved relaxed counter increment and one `event!` whose
-//!   sink-absent fast path must skip field construction entirely.
+//!   sink-absent fast path must skip field construction entirely;
+//! - **profiler-off**: the workload plus the `ProfiledConn` gate with
+//!   profiling disabled — one relaxed load and a branch, the cost every
+//!   data-path frame pays now that profiling is compiled in;
+//! - **profiler-sampled**: the same gate with `BERTHA_PROFILE=1/16`-style
+//!   sampled timing — frames/bytes counted every frame, clock reads one
+//!   frame in 16.
+//!
+//! Each variant is gated against the baseline at the same ≤2% budget.
 //!
 //! Runs several interleaved A/B/B/A trials and takes the **median** per
 //! variant — the min was flaky on noisy shared runners (one lucky baseline
@@ -59,6 +67,23 @@ fn run_instrumented(buf: &[u8]) -> (u64, f64) {
     (acc, start.elapsed().as_secs_f64() * 1e9 / ITERS as f64)
 }
 
+/// The profiler's per-frame hot path, exactly as `ProfiledConn::send`
+/// runs it: one `profiling_enabled()` gate, then (only when on) a
+/// possibly-sampled timer begin/finish around nothing extra — the
+/// workload stands in for the inner connection.
+fn run_profiled(buf: &[u8], timer: &tele::profile::LayerTimer) -> (u64, f64) {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ITERS {
+        acc ^= workload(black_box(buf), i);
+        if tele::profile::profiling_enabled() {
+            let begun = timer.begin_send();
+            timer.finish_send(begun, BUF_LEN as u64, true);
+        }
+    }
+    (acc, start.elapsed().as_secs_f64() * 1e9 / ITERS as f64)
+}
+
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("ns values are finite"));
     samples[samples.len() / 2]
@@ -72,20 +97,35 @@ fn main() {
     assert!(!tele::enabled(), "no sink must mean telemetry disabled");
 
     let buf: Vec<u8> = (0..BUF_LEN).map(|i| (i * 31 % 251) as u8).collect();
+    let timer = tele::profile::LayerTimer::new("bench_overhead");
 
     // Warm-up, and keep the checksums so nothing gets optimized out.
     let mut sink = run_baseline(&buf).0 ^ run_instrumented(&buf).0;
 
     let mut base_samples = Vec::with_capacity(TRIALS * 2);
     let mut instr_samples = Vec::with_capacity(TRIALS * 2);
+    let mut off_samples = Vec::with_capacity(TRIALS * 2);
+    let mut sampled_samples = Vec::with_capacity(TRIALS * 2);
+    let profiled_trial =
+        |denom: u64, out: &mut Vec<f64>, sink: &mut u64| {
+            tele::profile::set_profiling(denom);
+            let (acc, ns) = run_profiled(&buf, &timer);
+            *sink ^= acc;
+            out.push(ns);
+            tele::profile::set_profiling(0);
+        };
     for _ in 0..TRIALS {
         // Alternate orders within a trial so frequency ramping and cache
         // state bias neither variant.
         let (a, b_ns) = run_baseline(&buf);
         let (c, i_ns) = run_instrumented(&buf);
+        profiled_trial(0, &mut off_samples, &mut sink);
+        profiled_trial(16, &mut sampled_samples, &mut sink);
         sink ^= a ^ c;
         base_samples.push(b_ns);
         instr_samples.push(i_ns);
+        profiled_trial(16, &mut sampled_samples, &mut sink);
+        profiled_trial(0, &mut off_samples, &mut sink);
         let (c2, i_ns2) = run_instrumented(&buf);
         let (a2, b_ns2) = run_baseline(&buf);
         sink ^= a2 ^ c2;
@@ -95,13 +135,22 @@ fn main() {
     black_box(sink);
 
     let base_ns = median(&mut base_samples);
+    let pct = |ns: f64| (ns - base_ns) / base_ns * 100.0;
     let instr_ns = median(&mut instr_samples);
-    let overhead_pct = (instr_ns - base_ns) / base_ns * 100.0;
-    println!(
-        "telemetry_overhead: baseline {base_ns:.1} ns/frame, \
-         instrumented {instr_ns:.1} ns/frame, overhead {overhead_pct:+.2}% \
-         (budget {BUDGET_PCT}%)"
-    );
+    let off_ns = median(&mut off_samples);
+    let sampled_ns = median(&mut sampled_samples);
+    let gates = [
+        ("no-sink", instr_ns),
+        ("profiler-off", off_ns),
+        ("profiler-sampled(1/16)", sampled_ns),
+    ];
+    for (label, ns) in gates {
+        println!(
+            "telemetry_overhead: baseline {base_ns:.1} ns/frame, \
+             {label} {ns:.1} ns/frame, overhead {:+.2}% (budget {BUDGET_PCT}%)",
+            pct(ns)
+        );
+    }
 
     let out = bertha_bench::write_bench_json(
         "telemetry_overhead",
@@ -109,17 +158,28 @@ fn main() {
         &[
             ("baseline_ns_per_frame", base_ns),
             ("instrumented_ns_per_frame", instr_ns),
-            ("overhead_pct", overhead_pct),
+            ("profiler_off_ns_per_frame", off_ns),
+            ("profiler_sampled_ns_per_frame", sampled_ns),
+            ("overhead_pct", pct(instr_ns)),
+            ("profiler_off_overhead_pct", pct(off_ns)),
+            ("profiler_sampled_overhead_pct", pct(sampled_ns)),
             ("budget_pct", BUDGET_PCT),
         ],
     )
     .expect("write BENCH_telemetry_overhead.json");
     println!("wrote {}", out.display());
 
-    if overhead_pct > BUDGET_PCT {
-        eprintln!(
-            "telemetry_overhead: no-sink overhead {overhead_pct:.2}% exceeds {BUDGET_PCT}% budget"
-        );
+    let mut failed = false;
+    for (label, ns) in gates {
+        if pct(ns) > BUDGET_PCT {
+            eprintln!(
+                "telemetry_overhead: {label} overhead {:.2}% exceeds {BUDGET_PCT}% budget",
+                pct(ns)
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

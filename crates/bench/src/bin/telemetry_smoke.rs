@@ -8,7 +8,12 @@
 //!    instrumented paths are supposed to produce;
 //! 2. the event sink actually captured negotiation/renegotiation events;
 //! 3. the live stack introspection surface reports the negotiated
-//!    implementation and the post-swap epoch.
+//!    implementation and the post-swap epoch;
+//! 4. with profiling on, the per-layer profiler attributed send time to
+//!    the switchable layer;
+//! 5. a `ServeMetrics` scrape through a real agent socket yields a
+//!    payload that passes the OpenMetrics validator and carries the
+//!    per-layer families.
 //!
 //! Writes `BENCH_telemetry_smoke.json` with the run's latency stats and
 //! the full snapshot, and exits nonzero if anything is missing — this is
@@ -61,10 +66,16 @@ const REQUIRED_KEYS: &[&str] = &[
     "reneg.epoch_swaps",
     "reneg.swap_us",
     "reneg.drain_us",
+    "stack.switchable.send_us",
+    "stack.switchable.recv_us",
+    "stack.switchable.send_frames",
 ];
 
 #[tokio::main]
 async fn main() {
+    // Profile every frame: the smoke run is tiny, and the per-layer
+    // families must show up in the snapshot and the scrape below.
+    tele::profile::set_profiling(1);
     let events_path = std::env::temp_dir().join(format!(
         "bertha-telemetry-smoke-{}.jsonl",
         std::process::id()
@@ -167,6 +178,38 @@ async fn main() {
     }
     let _ = std::fs::remove_file(&events_path);
 
+    // Scrape the same registry through a real agent socket: the
+    // `ServeMetrics` RPC must yield a payload the OpenMetrics validator
+    // accepts, with send time attributed to the switchable layer.
+    let sock = std::env::temp_dir().join(format!("bertha-smoke-agent-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let agent = bertha_discovery::serve_uds(
+        Arc::new(bertha_discovery::Registry::new()),
+        sock.clone(),
+    )
+    .await
+    .expect("serve agent socket");
+    let scraped = bertha_discovery::RemoteRegistry::new(sock.clone())
+        .scrape_metrics()
+        .await
+        .expect("ServeMetrics scrape");
+    agent.abort();
+    let _ = std::fs::remove_file(&sock);
+    let mut scrape_problems = Vec::new();
+    match tele::openmetrics::parse_and_validate(&scraped) {
+        Ok(exposition) => {
+            let profiled_send = exposition
+                .samples_named("stack_send_us_count")
+                .iter()
+                .any(|s| s.label("layer") == Some("switchable") && s.value > 0.0);
+            if !profiled_send {
+                scrape_problems
+                    .push("scrape has no stack_send_us samples for layer=switchable".to_string());
+            }
+        }
+        Err(e) => scrape_problems.push(format!("scrape failed OpenMetrics validation: {e}")),
+    }
+
     let stats = bertha_bench::latency_stats(&mut rtts);
     let out = bertha_bench::write_bench_json(
         "telemetry_smoke",
@@ -181,17 +224,17 @@ async fn main() {
     println!("wrote {}", out.display());
 
     tele::clear_sink();
-    if !missing.is_empty() || !event_problems.is_empty() {
+    if !missing.is_empty() || !event_problems.is_empty() || !scrape_problems.is_empty() {
         for k in &missing {
             eprintln!("telemetry_smoke: snapshot missing required metric {k:?}");
         }
-        for p in &event_problems {
+        for p in event_problems.iter().chain(&scrape_problems) {
             eprintln!("telemetry_smoke: {p}");
         }
         std::process::exit(1);
     }
     println!(
-        "telemetry_smoke ok: {} metric keys present, p50 echo {:.1} us",
+        "telemetry_smoke ok: {} metric keys present, scrape valid, p50 echo {:.1} us",
         REQUIRED_KEYS.len(),
         stats.p50
     );

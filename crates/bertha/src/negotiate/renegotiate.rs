@@ -203,6 +203,11 @@ struct Core<InC> {
     initiate_lock: tokio::sync::Mutex<()>,
     swap_lock: tokio::sync::Mutex<()>,
     tele: ConnTelemetry,
+    /// Per-layer profiling handles for the switchable wrapper itself: the
+    /// `stack.switchable.*` metrics measure the whole stack (pause-wait,
+    /// epoch retry, and everything below), so differencing against the top
+    /// negotiated layer isolates the swap machinery's own cost.
+    timer: tele::profile::LayerTimer,
     /// This connection's trace context, established by the initial
     /// handshake. Renegotiation rounds and swaps emit spans in this trace.
     trace: tele::TraceContext,
@@ -701,32 +706,56 @@ where
 
     fn send(&self, data: Datagram) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
-            loop {
+            let profiled = tele::profile::profiling_enabled();
+            let bytes = if profiled { data.1.len() as u64 } else { 0 };
+            let start = if profiled {
+                self.core.timer.begin_send()
+            } else {
+                None
+            };
+            let res = loop {
                 self.core.wait_unpaused().await;
                 let (epoch, target) = self.core.current_snapshot();
                 match target.send(data.clone()).await {
-                    Ok(()) => return Ok(()),
+                    Ok(()) => break Ok(()),
                     // A failure from a superseded stack is an artifact of
                     // the swap, not of this send (the initiator drained
                     // before swapping, so nothing admitted pre-swap is
                     // outstanding): retry on the successor.
                     Err(_) if self.core.epoch.load(Ordering::Acquire) != epoch => continue,
-                    Err(e) => return Err(e),
+                    Err(e) => break Err(e),
                 }
+            };
+            if profiled {
+                self.core.timer.finish_send(start, bytes, res.is_ok());
             }
+            res
         })
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
-            loop {
+            let profiled = tele::profile::profiling_enabled();
+            let start = if profiled {
+                self.core.timer.begin_recv()
+            } else {
+                None
+            };
+            let res = loop {
                 let (epoch, target) = self.core.current_snapshot();
                 match target.recv().await {
-                    Ok(d) => return Ok(d),
+                    Ok(d) => break Ok(d),
                     Err(_) if self.core.epoch.load(Ordering::Acquire) != epoch => continue,
-                    Err(e) => return Err(e),
+                    Err(e) => break Err(e),
+                }
+            };
+            if profiled {
+                match &res {
+                    Ok((_, buf)) => self.core.timer.finish_recv(start, buf.len() as u64, true),
+                    Err(_) => self.core.timer.finish_recv(start, 0, false),
                 }
             }
+            res
         })
     }
 }
@@ -892,6 +921,7 @@ where
         initiate_lock: tokio::sync::Mutex::new(()),
         swap_lock: tokio::sync::Mutex::new(()),
         tele: ConnTelemetry::new(),
+        timer: tele::profile::LayerTimer::new("switchable"),
         trace,
     });
     let conn = EpochConn {
@@ -1073,7 +1103,7 @@ where
 /// A stream of [`SwitchableConn`]s: the re-negotiable counterpart of
 /// [`NegotiatedStream`](super::NegotiatedStream), running the server
 /// handshake concurrently per incoming connection.
-pub struct SwitchableStream<S, Stack> {
+pub struct SwitchableStream<S: ConnStream, Stack> {
     raw: Option<S>,
     stack: Stack,
     opts: Arc<NegotiateOpts>,

@@ -1,5 +1,6 @@
-//! Seeded hot-path file: a rogue tag constant, a panicking parse, and
-//! an undocumented metric.
+//! Seeded hot-path file: a rogue tag constant, a panicking parse, an
+//! undocumented metric, a unitless histogram, a `_us` counter, and an
+//! undocumented per-layer format template.
 
 pub const ROGUE_TAG: u8 = 0x42;
 
@@ -7,4 +8,10 @@ pub fn recv(buf: &[u8]) -> u8 {
     tele::counter("rogue.metric").incr();
     let first = buf[0];
     Some(first).unwrap()
+}
+
+pub fn profile(label: &str, dir: &str) {
+    tele::histogram("bad.nounit").record(1);
+    tele::counter("bad.time_us").incr();
+    let _ = format!("stack.{label}.{dir}_frames");
 }

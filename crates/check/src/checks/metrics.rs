@@ -11,6 +11,16 @@
 //! baseline key nobody documents. A code name missing from the baselines
 //! is only an advisory note: baselines cover the smoke bench, which does
 //! not exercise every subsystem.
+//!
+//! Two naming conventions are enforced on top of the cross-check:
+//! histogram names must end in a recognised unit suffix (`_us`,
+//! `_bytes`, `_frames`, `_msgs`) so the OpenMetrics exporter can emit
+//! `# UNIT` lines, and counter names must not end in `_us` — a timing
+//! belongs in a histogram. The per-layer profiler builds its names
+//! through format templates (`stack.{label}.{dir}_us`), which the
+//! literal scan cannot see; those templates are collected separately,
+//! expanded to their DESIGN.md spelling (`stack.<layer>.send_us`), and
+//! cross-checked against `<layer>` rows in the §9 table.
 
 use crate::{SourceFile, Violation};
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,15 +32,50 @@ pub const RULE: &str = "metric-names";
 /// Workspace-relative path of the design doc.
 pub const DESIGN_PATH: &str = "DESIGN.md";
 
-const EMITTERS: &[&str] = &["counter(", "histogram(", "gauge(", "MirroredCounter::new("];
+/// Emission sites and the metric kind each one creates.
+const EMITTERS: &[(&str, &str)] = &[
+    ("counter(", "counter"),
+    ("histogram(", "histogram"),
+    ("gauge(", "gauge"),
+    ("MirroredCounter::new(", "counter"),
+];
+
+/// Unit suffixes histograms must carry (mirrors
+/// `openmetrics::UNITS`).
+const UNIT_SUFFIXES: &[&str] = &["_us", "_bytes", "_frames", "_msgs"];
 
 /// Run the rule. Returns hard violations and advisory notes.
 pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>) {
     let mut violations = Vec::new();
     let mut notes = Vec::new();
 
-    // name -> first emission site
+    // name -> first emission site (and the kind it was created as)
     let emitted = emitted_names(files);
+    // DESIGN.md spelling -> first format-template site
+    let templates = stack_template_names(files);
+
+    for (name, (file, line, kind)) in &emitted {
+        match *kind {
+            "histogram" if !has_unit_suffix(name) => violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "histogram `{name}` has no unit suffix \
+                     (`_us`/`_bytes`/`_frames`/`_msgs`)"
+                ),
+            }),
+            "counter" if name.ends_with("_us") => violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "counter `{name}` ends in `_us`; record timings in a histogram"
+                ),
+            }),
+            _ => {}
+        }
+    }
 
     let design_raw = std::fs::read_to_string(root.join(DESIGN_PATH)).unwrap_or_default();
     if design_raw.is_empty() {
@@ -53,7 +98,7 @@ pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>)
         return (violations, notes);
     }
 
-    for (name, (file, line)) in &emitted {
+    for (name, (file, line, _)) in &emitted {
         if !documented.contains_key(name) {
             violations.push(Violation {
                 file: file.clone(),
@@ -63,8 +108,26 @@ pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>)
             });
         }
     }
+    for (name, (file, line)) in &templates {
+        if !documented.contains_key(name) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "per-layer metric `{name}` (emitted via a format template) \
+                     is not documented in DESIGN.md §9"
+                ),
+            });
+        }
+    }
     for (name, line) in &documented {
-        if !emitted.contains_key(name) {
+        let covered = if name.contains("<layer>") {
+            templates.contains_key(name)
+        } else {
+            emitted.contains_key(name)
+        };
+        if !covered {
             violations.push(Violation {
                 file: DESIGN_PATH.to_string(),
                 line: *line,
@@ -76,6 +139,9 @@ pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>)
 
     let baseline = baseline_names(root);
     for (name, file) in &baseline {
+        // Concrete per-layer keys (`stack.reliable_arq.send_us`) are
+        // documented under their `<layer>` spelling.
+        let name = &generalize_layer(name);
         if !documented.contains_key(name) {
             violations.push(Violation {
                 file: file.clone(),
@@ -100,15 +166,15 @@ pub fn check(files: &[SourceFile], root: &Path) -> (Vec<Violation>, Vec<String>)
 }
 
 /// Every literal metric name emitted in non-test code, with its first
-/// site. Integration-test files (`crates/*/tests/`) are exempt like
-/// `#[cfg(test)]` regions.
-fn emitted_names(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
+/// site and kind. Integration-test files (`crates/*/tests/`) are exempt
+/// like `#[cfg(test)]` regions.
+fn emitted_names(files: &[SourceFile]) -> BTreeMap<String, (String, usize, &'static str)> {
     let mut out = BTreeMap::new();
     for f in files {
         if f.rel.contains("/tests/") {
             continue;
         }
-        for pat in EMITTERS {
+        for (pat, kind) in EMITTERS {
             for pos in super::word_matches(f, pat) {
                 // Skip `fn counter(name: &str)`-style definitions and
                 // non-literal arguments.
@@ -116,11 +182,83 @@ fn emitted_names(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
                     continue;
                 };
                 out.entry(name)
-                    .or_insert_with(|| (f.rel.clone(), f.line_of(pos)));
+                    .or_insert_with(|| (f.rel.clone(), f.line_of(pos), *kind));
             }
         }
     }
     out
+}
+
+fn has_unit_suffix(name: &str) -> bool {
+    UNIT_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Rewrite a concrete per-layer key to its documented spelling:
+/// `stack.reliable_arq.send_us` → `stack.<layer>.send_us`. Names not
+/// under `stack.` pass through unchanged.
+fn generalize_layer(name: &str) -> String {
+    let mut parts = name.splitn(3, '.');
+    if let (Some("stack"), Some(_layer), Some(rest)) = (parts.next(), parts.next(), parts.next()) {
+        return format!("stack.<layer>.{rest}");
+    }
+    name.to_string()
+}
+
+/// Per-layer format templates in non-test code: string literals like
+/// `stack.{label}.{dir}_us`, expanded to the DESIGN.md spellings they
+/// generate (`stack.<layer>.send_us`, `stack.<layer>.recv_us`) and
+/// keyed to their first site.
+fn stack_template_names(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    for f in files {
+        // The checker's own source necessarily spells out the template
+        // shapes it hunts for; scanning it would flag this very rule.
+        if f.rel.contains("/tests/") || f.rel.starts_with("crates/check/") {
+            continue;
+        }
+        let hay = f.masked.as_bytes();
+        let mut i = 0;
+        while let Some(open) = crate::lexer::find(hay, b"\"", i) {
+            let Some(close) = crate::lexer::find(hay, b"\"", open + 1) else {
+                break;
+            };
+            i = close + 1;
+            if f.in_test(open) {
+                continue;
+            }
+            let Some(lit) = f.raw.get(open + 1..close) else {
+                continue;
+            };
+            if !lit.starts_with("stack.") || !lit.contains('{') {
+                continue;
+            }
+            for name in expand_template(lit) {
+                out.entry(name)
+                    .or_insert_with(|| (f.rel.clone(), f.line_of(open)));
+            }
+        }
+    }
+    out
+}
+
+/// Expand one `stack.`-prefixed format template: the layer-position
+/// placeholder becomes `<layer>`, and a `{dir}` placeholder in the rest
+/// becomes both `send` and `recv`. Any other placeholder is left
+/// verbatim, so an unconventional template surfaces as an undocumented
+/// name rather than disappearing from the check.
+fn expand_template(lit: &str) -> Vec<String> {
+    let mut parts = lit.splitn(3, '.');
+    let (Some("stack"), Some(layer), Some(rest)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Vec::new();
+    };
+    let layer = if layer.contains('{') { "<layer>" } else { layer };
+    let base = format!("stack.{layer}.{rest}");
+    if base.contains("{dir}") {
+        vec![base.replace("{dir}", "send"), base.replace("{dir}", "recv")]
+    } else {
+        vec![base]
+    }
 }
 
 /// Parse the `### Metric names` table: name -> line. The first cell of
@@ -292,5 +430,44 @@ mod tests {
         );
         let names = emitted_names(std::slice::from_ref(&f));
         assert_eq!(names.keys().cloned().collect::<Vec<_>>(), ["a.b"]);
+        assert_eq!(names["a.b"].2, "counter");
+    }
+
+    #[test]
+    fn expands_stack_templates() {
+        assert_eq!(
+            expand_template("stack.{label}.{dir}_us"),
+            ["stack.<layer>.send_us", "stack.<layer>.recv_us"]
+        );
+        assert_eq!(
+            expand_template("stack.{label}.ghost_us"),
+            ["stack.<layer>.ghost_us"]
+        );
+        assert!(expand_template("stack.only_two_parts").is_empty());
+    }
+
+    #[test]
+    fn generalizes_concrete_layer_keys() {
+        assert_eq!(
+            generalize_layer("stack.reliable_arq.send_us"),
+            "stack.<layer>.send_us"
+        );
+        assert_eq!(generalize_layer("reneg.epoch_swaps"), "reneg.epoch_swaps");
+    }
+
+    #[test]
+    fn collects_stack_templates_outside_tests_only() {
+        let f = SourceFile::from_source(
+            "crates/x/src/lib.rs".to_string(),
+            "fn f(l: &str, d: &str) { let _ = format!(\"stack.{l}.{d}_us\", l = l, d = d); }\n\
+             #[cfg(test)]\nmod tests { fn t() { let _ = \"stack.{x}.test_us\"; } }\n"
+                .to_string(),
+        );
+        let t = stack_template_names(std::slice::from_ref(&f));
+        let names: Vec<_> = t.keys().cloned().collect();
+        // `{l}`/`{d}` are not the conventional `{dir}` spelling, so the
+        // placeholders survive into the name and would flag as
+        // undocumented — but the test-region template must not appear.
+        assert_eq!(names, ["stack.<layer>.{d}_us"]);
     }
 }

@@ -23,6 +23,10 @@ const EXPECTED: &[(&str, &str)] = &[
     ("metric-names", "rogue.metric"),
     ("metric-names", "documented.only"),
     ("metric-names", "baseline.ghost"),
+    ("metric-names", "no unit suffix"),
+    ("metric-names", "`bad.time_us` ends in `_us`"),
+    ("metric-names", "stack.<layer>.send_frames"),
+    ("metric-names", "stack.<layer>.phantom_us"),
     ("fallback", "fixture/offload-only"),
     ("journal-replay", "`Orphan`"),
     ("journal-replay", "wildcard"),

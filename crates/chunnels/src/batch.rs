@@ -9,7 +9,7 @@
 //!
 //! Wire format: repeated `[len: u32 LE][payload]`.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
 use bertha_telemetry as tele;
@@ -64,18 +64,19 @@ impl<InC> Chunnel<InC> for BatchChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = BatchConn<InC>;
+    type Connection = ProfiledConn<BatchConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg;
         Box::pin(async move {
-            Ok(BatchConn {
+            let conn = BatchConn {
                 inner: Arc::new(inner),
                 cfg,
                 pending: Arc::new(Mutex::new(None)),
                 stats: Arc::new(BatchStats::new()),
                 unpacked: Mutex::new(VecDeque::new()),
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }
@@ -110,7 +111,7 @@ impl BatchStats {
 }
 
 fn record_occupancy(msgs: usize) {
-    tele::histogram("batch.occupancy").record(msgs as u64);
+    tele::histogram("batch.occupancy_msgs").record(msgs as u64);
 }
 
 struct PendingBatch {

@@ -7,7 +7,7 @@
 //! passed through, with a one-byte header choosing between compressed and
 //! stored representations (incompressible payloads cost exactly one byte).
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 
@@ -178,10 +178,10 @@ impl<InC> Chunnel<InC> for CompressChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = CompressConn<InC>;
+    type Connection = ProfiledConn<CompressConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
-        Box::pin(async move { Ok(CompressConn { inner }) })
+        Box::pin(async move { Ok(ProfiledConn::datagram(Self::NAME, CompressConn { inner })) })
     }
 }
 

@@ -14,7 +14,7 @@
 //! keystream XORed over the payload, with a 4-byte keyed checksum so
 //! tampering (or a wrong key) is detected.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use rand::RngCore;
@@ -125,11 +125,11 @@ impl<InC> Chunnel<InC> for CryptChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = CryptConn<InC>;
+    type Connection = ProfiledConn<CryptConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let key = self.key;
-        Box::pin(async move { Ok(CryptConn { inner, key }) })
+        Box::pin(async move { Ok(ProfiledConn::datagram(Self::NAME, CryptConn { inner, key })) })
     }
 }
 

@@ -9,7 +9,7 @@
 //!
 //! Wire format: `[msg_id: u64][idx: u16][total: u16][payload]`.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use parking_lot::Mutex;
@@ -62,17 +62,18 @@ impl<InC> Chunnel<InC> for FragChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = FragConn<InC>;
+    type Connection = ProfiledConn<FragConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg;
         Box::pin(async move {
-            Ok(FragConn {
+            let conn = FragConn {
                 inner: Arc::new(inner),
                 cfg,
                 next_msg_id: Mutex::new(0),
                 partial: Mutex::new(HashMap::new()),
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }

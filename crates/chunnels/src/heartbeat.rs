@@ -10,7 +10,7 @@
 //!
 //! Wire format: `[0x10][payload]` for data, `[0x11]` for a heartbeat.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
 use bertha_telemetry as tele;
@@ -106,7 +106,7 @@ impl<InC> Chunnel<InC> for HeartbeatChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = HeartbeatConn<InC>;
+    type Connection = ProfiledConn<HeartbeatConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg.clone();
@@ -130,13 +130,14 @@ where
                 Arc::clone(&stats),
                 cfg.clone(),
             ));
-            Ok(HeartbeatConn {
+            let conn = HeartbeatConn {
                 inner,
                 cfg,
                 state,
                 stats,
                 beater,
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }

@@ -7,7 +7,7 @@
 //! [`reliable`](crate::reliable) (`wrap!(ordering() |> reliable())`), or
 //! accept that a lost datagram stalls delivery until the buffer cap evicts.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use parking_lot::Mutex;
@@ -48,12 +48,12 @@ impl<InC> Chunnel<InC> for OrderingChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = OrderedConn<InC>;
+    type Connection = ProfiledConn<OrderedConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let max_buffer = self.max_buffer;
         Box::pin(async move {
-            Ok(OrderedConn {
+            let conn = OrderedConn {
                 inner: Arc::new(inner),
                 max_buffer,
                 state: Mutex::new(OrderState {
@@ -62,7 +62,8 @@ where
                     buffer: BTreeMap::new(),
                 }),
                 arrived: Notify::new(),
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }

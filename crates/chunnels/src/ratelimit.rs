@@ -5,7 +5,7 @@
 //! for sharing concerns); this is its software fallback. Sends block until
 //! a token is available, smoothing bursts to the configured rate.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
 use bertha_telemetry as tele;
@@ -94,7 +94,7 @@ impl<InC> Chunnel<InC> for RateLimitChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = RateLimitConn<InC>;
+    type Connection = ProfiledConn<RateLimitConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg;
@@ -108,7 +108,7 @@ where
                     cfg.msgs_per_sec, cfg.burst
                 )));
             }
-            Ok(RateLimitConn {
+            let conn = RateLimitConn {
                 inner: Arc::new(inner),
                 cfg,
                 bucket: Mutex::new(Bucket {
@@ -116,7 +116,8 @@ where
                     last_refill: Instant::now(),
                 }),
                 stats: RateLimitStats::new(),
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }

@@ -15,7 +15,7 @@
 //! flows). The task holds only a weak reference and exits when the
 //! connection is dropped.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
 use bertha_telemetry as tele;
@@ -91,11 +91,16 @@ impl<InC> Chunnel<InC> for ReliabilityChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = ReliableConn<InC>;
+    type Connection = ProfiledConn<ReliableConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let cfg = self.cfg;
-        Box::pin(async move { Ok(ReliableConn::start(inner, cfg)) })
+        Box::pin(async move {
+            Ok(ProfiledConn::datagram(
+                Self::NAME,
+                ReliableConn::start(inner, cfg),
+            ))
+        })
     }
 }
 

@@ -6,7 +6,7 @@
 //! implementations — including hardware-accelerated ones — without the
 //! application rebuilding (§3.2's serialization example).
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate, NegotiateSlot, Offer, SlotApply};
 use bertha::{Addr, Chunnel, Error};
 use serde::de::DeserializeOwned;
@@ -57,7 +57,7 @@ where
     T: Serialize + DeserializeOwned + Send + 'static,
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Applied = SerializeConn<T, InC>;
+    type Applied = ProfiledConn<SerializeConn<T, InC>>;
 
     fn slot_apply(
         &self,
@@ -79,14 +79,15 @@ where
     T: Serialize + DeserializeOwned + Send + 'static,
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = SerializeConn<T, InC>;
+    type Connection = ProfiledConn<SerializeConn<T, InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         Box::pin(async move {
-            Ok(SerializeConn {
+            let conn = SerializeConn {
                 inner,
                 _t: PhantomData,
-            })
+            };
+            Ok(ProfiledConn::new(Self::NAME, conn))
         })
     }
 }

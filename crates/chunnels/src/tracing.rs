@@ -18,7 +18,7 @@
 //! Wire format: `[0x00][payload]` plain, `[0x01][25-byte context][payload]`
 //! traced.
 
-use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
+use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate, Offer};
 use bertha::{Chunnel, Error};
 use bertha_telemetry as tele;
@@ -99,16 +99,17 @@ impl<InC> Chunnel<InC> for TracingChunnel
 where
     InC: ChunnelConnection<Data = Datagram> + Send + Sync + 'static,
 {
-    type Connection = TracingConn<InC>;
+    type Connection = ProfiledConn<TracingConn<InC>>;
 
     fn connect_wrap(&self, inner: InC) -> BoxFut<'static, Result<Self::Connection, Error>> {
         let ctx = *self.ctx.lock();
         Box::pin(async move {
-            Ok(TracingConn {
+            let conn = TracingConn {
                 inner,
                 ctx,
                 stats: TracingStats::new(),
-            })
+            };
+            Ok(ProfiledConn::datagram(Self::NAME, conn))
         })
     }
 }

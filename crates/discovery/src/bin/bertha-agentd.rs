@@ -17,7 +17,8 @@
 //! Devices are declared with `device <name> <kind>=<capacity>,...`.
 //!
 //! Usage: `bertha-agentd --socket /run/bertha.sock [--config regs.conf]
-//! [--lease-ttl-ms <n>] [--metrics-path <file>] [--state-dir <dir>]`
+//! [--lease-ttl-ms <n>] [--metrics-path <file>] [--state-dir <dir>]
+//! [--metrics-listen <addr>]`
 //!
 //! With `--state-dir`, registry mutations are journaled to disk and a
 //! restarted agent recovers its pre-crash state (registrations, devices,
@@ -40,6 +41,12 @@
 //! socket at any time; `DumpFlightRecorder` returns the in-memory ring of
 //! recent events. Setting `BERTHA_LOG` (`off|pretty|json:<path>`)
 //! overrides the default sinks entirely.
+//!
+//! The `ServeMetrics` request returns (or streams) the same registry in
+//! OpenMetrics text format over the socket, and `--metrics-listen
+//! <addr>` (or `BERTHA_METRICS_LISTEN`) additionally serves it over
+//! plain HTTP for Prometheus-style collectors and `bertha-top
+//! --connect`.
 
 use bertha_discovery::registry::Hooks;
 use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
@@ -50,7 +57,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>] \
-         [--metrics-path <file>] [--state-dir <dir>]"
+         [--metrics-path <file>] [--state-dir <dir>] [--metrics-listen <addr>]"
     );
     std::process::exit(2);
 }
@@ -194,6 +201,7 @@ async fn main() {
     let mut config = None;
     let mut lease = None;
     let mut metrics_path = None;
+    let mut metrics_listen = None;
     let mut state_dir = None;
     let mut i = 1;
     while i < args.len() {
@@ -221,6 +229,10 @@ async fn main() {
             }
             "--metrics-path" if i + 1 < args.len() => {
                 metrics_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--metrics-listen" if i + 1 < args.len() => {
+                metrics_listen = Some(args[i + 1].clone());
                 i += 2;
             }
             _ => usage(),
@@ -262,6 +274,27 @@ async fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // The OpenMetrics HTTP listener runs on its own thread (it serves
+    // scrapes even while the async runtime is saturated). The flag wins
+    // over BERTHA_METRICS_LISTEN; both are optional.
+    match metrics_listen {
+        Some(addr) => match tele::openmetrics::serve_http(&addr) {
+            Ok(bound) => eprintln!("bertha-agentd: metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("bertha-agentd: failed to bind metrics listener {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => match tele::openmetrics::install_listener_from_env() {
+            Ok(Some(bound)) => eprintln!("bertha-agentd: metrics on http://{bound}/metrics"),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("bertha-agentd: {e}");
+                std::process::exit(1);
+            }
+        },
     }
 
     let path = std::path::PathBuf::from(&socket);

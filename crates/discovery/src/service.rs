@@ -103,6 +103,15 @@ pub enum Request {
     /// The agent's flight-recorder ring (the last N rendered events), as
     /// JSON lines — a live postmortem without waiting for a failure dump.
     DumpFlightRecorder,
+    /// The agent's telemetry registry in OpenMetrics text format, the
+    /// scrape payload `bertha-top` and external collectors consume.
+    /// `interval_ms == 0` answers once; otherwise the agent streams a
+    /// fresh exposition every `interval_ms` on this connection until the
+    /// client goes away.
+    ServeMetrics {
+        /// Streaming interval in milliseconds; 0 = a single scrape.
+        interval_ms: u64,
+    },
 }
 
 /// Responses from the discovery agent.
@@ -149,6 +158,9 @@ pub enum Response {
         /// The logical response.
         inner: Box<Response>,
     },
+    /// One OpenMetrics text exposition (a `ServeMetrics` scrape or one
+    /// frame of a `ServeMetrics` stream).
+    MetricsText(String),
 }
 
 async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
@@ -212,6 +224,12 @@ async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> R
         }
         Request::DumpMetrics => Response::Metrics(dump_metrics_json()),
         Request::DumpFlightRecorder => Response::FlightLines(tele::flight::snapshot_lines()),
+        // Streaming (interval_ms > 0) is handled in the serve_uds
+        // connection loop, which owns the socket; by the time a request
+        // lands here it is always a one-shot scrape.
+        Request::ServeMetrics { .. } => {
+            Response::MetricsText(tele::openmetrics::render_global())
+        }
     }
 }
 
@@ -280,6 +298,29 @@ pub async fn serve_uds(
                         Err(_) => return,
                     };
                     let resp = match bincode::deserialize::<Request>(&buf) {
+                        // A streaming metrics subscription takes over this
+                        // connection: one exposition per tick until the
+                        // client disconnects (the send fails) or sends
+                        // anything else (next recv supersedes the stream).
+                        Ok(Request::ServeMetrics { interval_ms }) if interval_ms > 0 => {
+                            tele::counter("agent.metrics_streams").incr();
+                            let period = std::time::Duration::from_millis(interval_ms);
+                            loop {
+                                let frame = Response::WithEpoch {
+                                    epoch: registry.epoch(),
+                                    inner: Box::new(Response::MetricsText(
+                                        tele::openmetrics::render_global(),
+                                    )),
+                                };
+                                let Ok(body) = bincode::serialize(&frame) else {
+                                    return;
+                                };
+                                if conn.send((from.clone(), body)).await.is_err() {
+                                    return;
+                                }
+                                tokio::time::sleep(period).await;
+                            }
+                        }
                         Ok(req) => handle(&registry, &rendezvous, req).await,
                         Err(e) => {
                             tele::counter("agent.malformed_requests").incr();
@@ -611,6 +652,20 @@ impl RemoteRegistry {
     pub async fn dump_metrics(&self) -> Result<String, Error> {
         match self.request(&Request::DumpMetrics).await? {
             Response::Metrics(json) => Ok(json),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Scrape the agent's metrics once, in OpenMetrics text format. The
+    /// payload parses under [`tele::openmetrics::parse_and_validate`];
+    /// `bertha-top --agent` polls this to drive its per-layer view.
+    pub async fn scrape_metrics(&self) -> Result<String, Error> {
+        match self
+            .request(&Request::ServeMetrics { interval_ms: 0 })
+            .await?
+        {
+            Response::MetricsText(text) => Ok(text),
             Response::Err(e) => Err(Error::Other(e)),
             other => Err(Error::Other(format!("unexpected response {other:?}"))),
         }
@@ -956,6 +1011,26 @@ mod tests {
             lines.iter().any(|l| l.contains("malformed_request")),
             "flight ring missing the warn event: {lines:?}"
         );
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn metrics_scrape_serves_valid_openmetrics() {
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        let server = serve_uds(registry, path.clone()).await.unwrap();
+        let remote = RemoteRegistry::new(path);
+        // Touch a couple of metrics so the exposition is non-trivial.
+        tele::counter("agent.scrape_test_frames").incr();
+        tele::histogram("agent.scrape_test_us").record(123);
+        let text = remote.scrape_metrics().await.unwrap();
+        let exposition = tele::openmetrics::parse_and_validate(&text)
+            .unwrap_or_else(|e| panic!("scrape payload failed validation: {e}\n{text}"));
+        assert!(
+            exposition.families.contains_key("agent_scrape_test_frames"),
+            "scrape missing counter family: {text}"
+        );
+        assert!(text.ends_with("# EOF\n"), "missing EOF terminator");
         server.abort();
     }
 

@@ -44,6 +44,8 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod profile;
 pub mod trace;
 pub mod tracectx;
 
@@ -51,6 +53,7 @@ pub use metrics::{
     counter, gauge, global, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
     MirroredCounter, Registry, Snapshot,
 };
+pub use profile::{layer_label, profiling_enabled, set_profiling, Exemplar, LayerTimer};
 pub use trace::{
     clear_sink, emit, enabled, enabled_at, events_by_level, install_from_env, install_spec,
     set_sink, uptime, Event, FanoutSink, JsonLinesSink, Level, MemorySink, Sink, Span, StderrSink,

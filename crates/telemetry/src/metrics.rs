@@ -205,6 +205,21 @@ impl HistogramSnapshot {
         self.buckets.last().map(|&(e, _)| e).unwrap_or(0)
     }
 
+    /// The buckets as cumulative `(inclusive upper edge, count of
+    /// observations <= edge)` pairs — exactly OpenMetrics `le` semantics,
+    /// since the stored edges are inclusive. The final cumulative count
+    /// equals [`count`](Self::count).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut seen = 0;
+        self.buckets
+            .iter()
+            .map(|&(edge, c)| {
+                seen += c;
+                (edge, seen)
+            })
+            .collect()
+    }
+
     /// Mean of observations (0.0 if empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -483,6 +498,39 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let cum = snap.cumulative();
+        assert_eq!(cum, vec![(0, 1), (1, 2), (3, 4), (7, 5), (1023, 6)]);
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, snap.count);
+        assert!(HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        }
+        .cumulative()
+        .is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_includes_raw_buckets() {
+        // Exporters and bench_compare reconstruct full distributions from
+        // BENCH_*.json: the raw (edge, count) vector must survive the
+        // summary-stats rendering, not just p50/p99.
+        let r = Registry::new();
+        let h = r.histogram("raw.buckets_us");
+        h.record(1);
+        h.record(1000);
+        let js = r.snapshot().to_json();
+        assert!(js.contains("\"buckets\":[[1,1],[1023,1]]"), "{js}");
     }
 
     #[test]

@@ -1,0 +1,895 @@
+//! Dependency-free OpenMetrics text exposition, plus a minimal parser /
+//! validator for it.
+//!
+//! [`render`] turns a registry [`Snapshot`] into the OpenMetrics text
+//! format (the Prometheus exposition format's standardised successor):
+//! counters become `<family>_total` samples, gauges plain samples, and
+//! histograms full `_bucket{le="..."}` / `_sum` / `_count` series built
+//! from the log2 buckets — whose *inclusive* upper edges are exactly
+//! OpenMetrics `le` semantics, so no resolution is lost in translation.
+//!
+//! Name mapping: dotted registry names are mangled to underscores
+//! (`reneg.epoch_swaps` → `reneg_epoch_swaps`), except the per-layer
+//! profiler names `stack.<layer>.<rest>`, which collapse into one family
+//! per `<rest>` with a `layer` label (`stack.reliable_arq.send_us` →
+//! `stack_send_us{layer="reliable_arq"}`), so a scraper aggregates or
+//! facets across layers without regex gymnastics. Recognised unit
+//! suffixes (`_us`, `_bytes`, `_frames`, `_msgs`) emit `# UNIT` lines.
+//!
+//! Histogram buckets carry [`Exemplar`]s — `# {trace_id="..."} v ts`
+//! appended to the bucket containing the layer's worst observation — so
+//! a p99 outlier on a dashboard links straight to a trace id and from
+//! there to a flight-recorder dump.
+//!
+//! [`parse_and_validate`] is the other half, in the same hand-rolled
+//! spirit as `bench_compare`'s JSON parser: enough of the spec to gate
+//! CI on (`# EOF` termination, TYPE-before-samples, sample-suffix
+//! discipline, `le` monotonicity and cumulative consistency, label and
+//! exemplar syntax) and to power `bertha-top`'s table without pulling in
+//! a Prometheus client crate.
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::profile::{self, Exemplar};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+
+/// Unit suffixes recognised on metric names, emitted as `# UNIT` lines.
+const UNITS: &[&str] = &["us", "bytes", "frames", "msgs"];
+
+/// Mangle one dotted metric name into an OpenMetrics family name plus
+/// labels: `stack.<layer>.<rest>` collapses into `stack_<rest>` with a
+/// `layer` label; everything else maps dots (and any other invalid
+/// characters) to underscores.
+fn family_of(name: &str) -> (String, Vec<(String, String)>) {
+    let mut parts = name.splitn(3, '.');
+    if let (Some("stack"), Some(layer), Some(rest)) = (parts.next(), parts.next(), parts.next()) {
+        return (
+            format!("stack_{}", mangle(rest)),
+            vec![("layer".to_owned(), layer.to_owned())],
+        );
+    }
+    (mangle(name), Vec::new())
+}
+
+fn mangle(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn unit_of(family: &str) -> Option<&'static str> {
+    UNITS
+        .iter()
+        .find(|u| {
+            family
+                .strip_suffix(*u)
+                .is_some_and(|prefix| prefix.ends_with('_'))
+        })
+        .copied()
+}
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot, Option<Exemplar>),
+}
+
+#[derive(Debug, Default)]
+struct FamilyRender {
+    /// Original dotted names feeding this family, for HELP text.
+    sources: Vec<String>,
+    /// One series per label set, in insertion (BTreeMap-iteration) order.
+    series: Vec<(Vec<(String, String)>, Series)>,
+}
+
+/// Render a snapshot (plus histogram exemplars keyed by dotted metric
+/// name) as OpenMetrics text, terminated by `# EOF`.
+pub fn render(snap: &Snapshot, exemplars: &BTreeMap<String, Exemplar>) -> String {
+    // Group by family: counters, gauges, histograms keep separate family
+    // namespaces in the registry but must not collide in the exposition —
+    // name mangling keeps them distinct because registry names are
+    // per-kind unique and the mangling is injective enough in practice
+    // (the validator would catch a TYPE redeclaration).
+    let mut families: BTreeMap<String, (&'static str, FamilyRender)> = BTreeMap::new();
+    for (name, v) in &snap.counters {
+        let (family, labels) = family_of(name);
+        let family = family.strip_suffix("_total").unwrap_or(&family).to_owned();
+        let f = families.entry(family).or_insert_with(|| ("counter", FamilyRender::default()));
+        f.1.sources.push(name.clone());
+        f.1.series.push((labels, Series::Counter(*v)));
+    }
+    for (name, v) in &snap.gauges {
+        let (family, labels) = family_of(name);
+        let f = families.entry(family).or_insert_with(|| ("gauge", FamilyRender::default()));
+        f.1.sources.push(name.clone());
+        f.1.series.push((labels, Series::Gauge(*v)));
+    }
+    for (name, h) in &snap.histograms {
+        let (family, labels) = family_of(name);
+        let f = families.entry(family).or_insert_with(|| ("histogram", FamilyRender::default()));
+        f.1.sources.push(name.clone());
+        f.1.series.push((labels, Series::Histogram(h.clone(), exemplars.get(name).cloned())));
+    }
+
+    let mut out = String::with_capacity(4096);
+    for (family, (kind, fr)) in &families {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        if let Some(unit) = unit_of(family) {
+            let _ = writeln!(out, "# UNIT {family} {unit}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP {family} bertha {kind} {}",
+            escape_help(&fr.sources.join(", "))
+        );
+        for (labels, series) in &fr.series {
+            match series {
+                Series::Counter(v) => {
+                    out.push_str(family);
+                    out.push_str("_total");
+                    render_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                Series::Gauge(v) => {
+                    out.push_str(family);
+                    render_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                Series::Histogram(h, exemplar) => {
+                    render_histogram(&mut out, family, labels, h, exemplar.as_ref());
+                }
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn render_histogram(
+    out: &mut String,
+    family: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+    exemplar: Option<&Exemplar>,
+) {
+    for (edge, cum) in h.cumulative() {
+        out.push_str(family);
+        out.push_str("_bucket");
+        render_labels(out, labels, Some(("le", &edge.to_string())));
+        let _ = write!(out, " {cum}");
+        // The exemplar belongs to the first bucket whose range contains
+        // its value (OpenMetrics requires the exemplar to fall inside
+        // the bucket it annotates). Edges are inclusive and ascending,
+        // so that is the first edge >= value — except values beyond the
+        // last finite edge, which annotate +Inf below.
+        if let Some(ex) = exemplar {
+            if ex.value <= edge
+                && h.buckets
+                    .iter()
+                    .find(|(e, _)| *e >= ex.value)
+                    .is_some_and(|(e, _)| *e == edge)
+            {
+                write_exemplar(out, ex);
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(family);
+    out.push_str("_bucket");
+    render_labels(out, labels, Some(("le", "+Inf")));
+    let _ = write!(out, " {}", h.count);
+    if let Some(ex) = exemplar {
+        if h.buckets.last().is_none_or(|(e, _)| ex.value > *e) {
+            write_exemplar(out, ex);
+        }
+    }
+    out.push('\n');
+    out.push_str(family);
+    out.push_str("_sum");
+    render_labels(out, labels, None);
+    let _ = writeln!(out, " {}", h.sum);
+    out.push_str(family);
+    out.push_str("_count");
+    render_labels(out, labels, None);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+fn write_exemplar(out: &mut String, ex: &Exemplar) {
+    let _ = write!(
+        out,
+        " # {{trace_id=\"{}\"}} {} {}.{:06}",
+        escape_label(&ex.trace_hex),
+        ex.value,
+        ex.ts_us / 1_000_000,
+        ex.ts_us % 1_000_000
+    );
+}
+
+/// Render the process-global registry plus the profiler's exemplars.
+pub fn render_global() -> String {
+    render(&crate::metrics::global().snapshot(), &profile::exemplars())
+}
+
+// ---------------------------------------------------------------------------
+// Parser / validator
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (family plus any suffix, e.g. `foo_bucket`).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+    /// Exemplar, if present: (labels, value).
+    pub exemplar: Option<(Vec<(String, String)>, f64)>,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed metric family: its declared type, optional unit, and
+/// samples in exposition order.
+#[derive(Debug, Clone, Default)]
+pub struct Family {
+    /// Declared type: `counter`, `gauge`, `histogram`, ...
+    pub kind: String,
+    /// Declared unit, if any.
+    pub unit: Option<String>,
+    /// Samples belonging to this family.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed exposition: families keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Families by family name.
+    pub families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// The single value of sample `name` (with its family-specific
+    /// suffix already applied, e.g. `foo_total`) with no label filter;
+    /// `None` if absent or ambiguous.
+    pub fn value(&self, sample_name: &str) -> Option<f64> {
+        let mut hits = self.families.values().flat_map(|f| &f.samples).filter(|s| s.name == sample_name);
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None;
+        }
+        Some(first.value)
+    }
+
+    /// All samples named `sample_name`, across families.
+    pub fn samples_named(&self, sample_name: &str) -> Vec<&Sample> {
+        self.families
+            .values()
+            .flat_map(|f| &f.samples)
+            .filter(|s| s.name == sample_name)
+            .collect()
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(tok: &str) -> Result<f64, String> {
+    match tok {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t.parse::<f64>().map_err(|e| format!("bad value {t:?}: {e}")),
+    }
+}
+
+/// Parse `{k="v",...}` starting at `rest` (which begins with `{`);
+/// returns (labels, remainder after `}`).
+fn parse_labels(rest: &str) -> Result<(Vec<(String, String)>, &str), String> {
+    let mut labels = Vec::new();
+    if !rest.starts_with('{') {
+        return Err("expected '{'".into());
+    }
+    let mut i = 1;
+    loop {
+        if rest[i..].starts_with('}') {
+            return Ok((labels, &rest[i + 1..]));
+        }
+        // key
+        let key_end = rest[i..]
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {rest:?}"))?;
+        let key = &rest[i..i + key_end];
+        if !valid_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        i += key_end + 1;
+        if !rest[i..].starts_with('"') {
+            return Err(format!("unquoted label value in {rest:?}"));
+        }
+        i += 1;
+        // quoted, escaped value
+        let mut val = String::new();
+        let bytes = rest.as_bytes();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value in {rest:?}")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => val.push('\\'),
+                        Some(b'"') => val.push('"'),
+                        Some(b'n') => val.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in {rest:?}")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let c = rest[i..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("label value truncated in {rest:?}"))?;
+                    val.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_owned(), val));
+        if rest[i..].starts_with(',') {
+            i += 1;
+        } else if !rest[i..].starts_with('}') {
+            return Err(format!("expected ',' or '}}' after label in {rest:?}"));
+        }
+    }
+}
+
+fn parse_sample_line(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c == ' ')
+        .ok_or_else(|| format!("sample without value: {line:?}"))?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid sample name {name:?}"));
+    }
+    let (labels, rest) = if line[name_end..].starts_with('{') {
+        parse_labels(&line[name_end..])?
+    } else {
+        (Vec::new(), &line[name_end..])
+    };
+    let rest = rest.trim_start();
+    // Value, optional timestamp, optional "# {exlabels} exvalue [exts]".
+    let (main, exemplar_part) = match rest.find(" # ") {
+        Some(p) => (&rest[..p], Some(rest[p + 3..].trim())),
+        None => (rest, None),
+    };
+    let mut toks = main.split_whitespace();
+    let value = parse_value(toks.next().ok_or_else(|| format!("missing value: {line:?}"))?)?;
+    if let Some(ts) = toks.next() {
+        ts.parse::<f64>()
+            .map_err(|e| format!("bad timestamp {ts:?}: {e}"))?;
+    }
+    if toks.next().is_some() {
+        return Err(format!("trailing tokens on sample line: {line:?}"));
+    }
+    let exemplar = match exemplar_part {
+        None => None,
+        Some(ex) => {
+            if !ex.starts_with('{') {
+                return Err(format!("exemplar without labels: {line:?}"));
+            }
+            let (exl, rest) = parse_labels(ex)?;
+            let mut toks = rest.trim().split_whitespace();
+            let exv = parse_value(
+                toks.next()
+                    .ok_or_else(|| format!("exemplar without value: {line:?}"))?,
+            )?;
+            if let Some(ts) = toks.next() {
+                ts.parse::<f64>()
+                    .map_err(|e| format!("bad exemplar timestamp {ts:?}: {e}"))?;
+            }
+            if toks.next().is_some() {
+                return Err(format!("trailing tokens after exemplar: {line:?}"));
+            }
+            Some((exl, exv))
+        }
+    };
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+        exemplar,
+    })
+}
+
+/// The family a sample name belongs to, given the declared families:
+/// longest declared prefix such that the remainder is an allowed suffix
+/// for that family's type.
+fn family_for_sample<'a>(
+    families: &'a BTreeMap<String, Family>,
+    sample: &str,
+) -> Option<(&'a str, &'static str)> {
+    for (fname, fam) in families.iter().rev() {
+        if let Some(suffix) = sample.strip_prefix(fname.as_str()) {
+            let ok: Option<&'static str> = match (fam.kind.as_str(), suffix) {
+                ("counter", "_total") => Some("_total"),
+                ("gauge", "") => Some(""),
+                ("histogram", "_bucket") => Some("_bucket"),
+                ("histogram", "_sum") => Some("_sum"),
+                ("histogram", "_count") => Some("_count"),
+                _ => None,
+            };
+            if let Some(sfx) = ok {
+                return Some((fname.as_str(), sfx));
+            }
+        }
+    }
+    None
+}
+
+/// Parse and validate an OpenMetrics exposition. Checks, beyond syntax:
+/// `# EOF` termination; every sample belongs to a declared family with a
+/// type-appropriate suffix; families declared once; units are name
+/// suffixes; histogram `le` values strictly increasing with
+/// nondecreasing cumulative counts, a `+Inf` bucket, and `+Inf` count
+/// consistent with `_count`; exemplars only on `_bucket` and `_total`
+/// samples.
+pub fn parse_and_validate(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    let mut saw_eof = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix("# ") {
+            if meta == "EOF" {
+                saw_eof = true;
+                continue;
+            }
+            let mut toks = meta.splitn(3, ' ');
+            match (toks.next(), toks.next(), toks.next()) {
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: invalid family name {name:?}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "info" | "stateset" | "unknown"
+                    ) {
+                        return Err(format!("line {n}: unknown type {kind:?}"));
+                    }
+                    if kind == "counter" && name.ends_with("_total") {
+                        return Err(format!(
+                            "line {n}: counter family {name:?} must not include the _total suffix"
+                        ));
+                    }
+                    let fam = exp.families.entry(name.to_owned()).or_default();
+                    if !fam.kind.is_empty() {
+                        return Err(format!("line {n}: family {name:?} declared twice"));
+                    }
+                    fam.kind = kind.to_owned();
+                }
+                (Some("UNIT"), Some(name), Some(unit)) => {
+                    let fam = exp
+                        .families
+                        .get_mut(name)
+                        .ok_or_else(|| format!("line {n}: UNIT before TYPE for {name:?}"))?;
+                    if !name.ends_with(&format!("_{unit}")) {
+                        return Err(format!(
+                            "line {n}: unit {unit:?} is not a suffix of {name:?}"
+                        ));
+                    }
+                    fam.unit = Some(unit.to_owned());
+                }
+                (Some("HELP"), Some(name), _) => {
+                    if !exp.families.contains_key(name) {
+                        return Err(format!("line {n}: HELP before TYPE for {name:?}"));
+                    }
+                }
+                _ => return Err(format!("line {n}: malformed metadata line {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: malformed comment {line:?}"));
+        }
+        let sample = parse_sample_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        let (fname, suffix) = family_for_sample(&exp.families, &sample.name)
+            .ok_or_else(|| format!("line {n}: sample {:?} has no declared family", sample.name))?;
+        if sample.exemplar.is_some() && !matches!(suffix, "_bucket" | "_total") {
+            return Err(format!(
+                "line {n}: exemplar on non-bucket/total sample {:?}",
+                sample.name
+            ));
+        }
+        let fname = fname.to_owned();
+        if let Some(fam) = exp.families.get_mut(&fname) {
+            fam.samples.push(sample);
+        }
+    }
+    if !saw_eof {
+        return Err("missing terminal # EOF".into());
+    }
+    validate_histograms(&exp)?;
+    Ok(exp)
+}
+
+fn validate_histograms(exp: &Exposition) -> Result<(), String> {
+    for (fname, fam) in &exp.families {
+        if fam.kind != "histogram" {
+            continue;
+        }
+        // Group series by their labels minus `le`.
+        let mut groups: BTreeMap<String, (Vec<(f64, f64)>, Option<f64>)> = BTreeMap::new();
+        for s in &fam.samples {
+            let key: String = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v};"))
+                .collect();
+            let entry = groups.entry(key).or_default();
+            if s.name == format!("{fname}_bucket") {
+                let le = s
+                    .label("le")
+                    .ok_or_else(|| format!("{fname}: bucket without le label"))?;
+                let le = parse_value(le).map_err(|e| format!("{fname}: {e}"))?;
+                entry.0.push((le, s.value));
+            } else if s.name == format!("{fname}_count") {
+                entry.1 = Some(s.value);
+            }
+        }
+        for (key, (buckets, count)) in &groups {
+            if buckets.is_empty() {
+                return Err(format!("{fname}{{{key}}}: histogram without buckets"));
+            }
+            for w in buckets.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    return Err(format!(
+                        "{fname}{{{key}}}: le values not strictly increasing ({} then {})",
+                        w[0].0, w[1].0
+                    ));
+                }
+                if w[1].1 < w[0].1 {
+                    return Err(format!(
+                        "{fname}{{{key}}}: bucket counts not cumulative ({} then {})",
+                        w[0].1, w[1].1
+                    ));
+                }
+            }
+            let last = buckets
+                .last()
+                .ok_or_else(|| format!("{fname}{{{key}}}: no buckets"))?;
+            if !last.0.is_infinite() {
+                return Err(format!("{fname}{{{key}}}: missing +Inf bucket"));
+            }
+            if let Some(c) = count {
+                if *c != last.1 {
+                    return Err(format!(
+                        "{fname}{{{key}}}: +Inf bucket {} != _count {c}",
+                        last.1
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// TCP exposition listener
+// ---------------------------------------------------------------------------
+
+/// Serve the global registry as OpenMetrics over HTTP/1.0 on `addr`
+/// (e.g. `127.0.0.1:9184`). Returns the bound address (so `:0` works in
+/// tests); the accept loop runs on a detached thread for the life of the
+/// process — deliberately plain `std::net`, keeping the telemetry crate
+/// runtime-free.
+pub fn serve_http(addr: &str) -> std::io::Result<std::net::SocketAddr> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("bertha-metrics".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { continue };
+                // Drain the request head; we serve the same document for
+                // any path, so only well-formedness matters.
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let body = render_global();
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let _ = conn.write_all(head.as_bytes());
+                let _ = conn.write_all(body.as_bytes());
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Start the TCP exposition listener if `BERTHA_METRICS_LISTEN` is set
+/// to a bind address. Returns the bound address if one was started.
+pub fn install_listener_from_env() -> Result<Option<std::net::SocketAddr>, String> {
+    match std::env::var("BERTHA_METRICS_LISTEN") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() || v.trim() == "off" => Ok(None),
+        Ok(v) => serve_http(v.trim())
+            .map(Some)
+            .map_err(|e| format!("BERTHA_METRICS_LISTEN: cannot bind {v}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn render_registry(r: &Registry) -> String {
+        render(&r.snapshot(), &BTreeMap::new())
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter("reneg.epoch_swaps").add(3);
+        r.gauge("discovery.leases").set(2);
+        r.histogram("reneg.swap_us").record(100);
+        let text = render_registry(&r);
+        assert!(text.contains("# TYPE reneg_epoch_swaps counter\n"), "{text}");
+        assert!(text.contains("reneg_epoch_swaps_total 3\n"), "{text}");
+        assert!(text.contains("# TYPE discovery_leases gauge\n"), "{text}");
+        assert!(text.contains("discovery_leases 2\n"), "{text}");
+        assert!(text.contains("# TYPE reneg_swap_us histogram\n"), "{text}");
+        assert!(text.contains("# UNIT reneg_swap_us us\n"), "{text}");
+        assert!(text.contains("reneg_swap_us_bucket{le=\"127\"} 1\n"), "{text}");
+        assert!(text.contains("reneg_swap_us_bucket{le=\"+Inf\"} 1\n"), "{text}");
+        assert!(text.contains("reneg_swap_us_sum 100\n"), "{text}");
+        assert!(text.contains("reneg_swap_us_count 1\n"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        parse_and_validate(&text).expect("rendered exposition validates");
+    }
+
+    #[test]
+    fn stack_names_collapse_into_layer_labels() {
+        let r = Registry::new();
+        r.counter("stack.reliable_arq.send_frames").add(7);
+        r.counter("stack.batch_linger.send_frames").add(9);
+        r.histogram("stack.reliable_arq.send_us").record(50);
+        let text = render_registry(&r);
+        assert!(
+            text.contains("stack_send_frames_total{layer=\"reliable_arq\"} 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stack_send_frames_total{layer=\"batch_linger\"} 9\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stack_send_us_bucket{layer=\"reliable_arq\",le=\"63\"} 1\n"),
+            "{text}"
+        );
+        // One TYPE line per family, not per layer.
+        assert_eq!(text.matches("# TYPE stack_send_frames counter").count(), 1);
+        let exp = parse_and_validate(&text).expect("validates");
+        assert_eq!(exp.samples_named("stack_send_frames_total").len(), 2);
+    }
+
+    #[test]
+    fn exemplars_attach_to_the_containing_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("stack.reliable_arq.send_us");
+        h.record(5);
+        h.record(100);
+        let mut ex = BTreeMap::new();
+        ex.insert(
+            "stack.reliable_arq.send_us".to_owned(),
+            Exemplar {
+                value: 100,
+                trace_hex: "cafe".repeat(8),
+                ts_us: 1_700_000_000_123_456,
+            },
+        );
+        let text = render(&r.snapshot(), &ex);
+        // 100 lands in the (64..=127] bucket, edge 127.
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"127\""))
+            .expect("bucket line");
+        assert!(
+            line.contains("# {trace_id=\"cafecafecafecafecafecafecafecafe\"} 100 1700000000.123456"),
+            "{line}"
+        );
+        // Only that one bucket carries it.
+        assert_eq!(text.matches("trace_id").count(), 1, "{text}");
+        parse_and_validate(&text).expect("exemplar syntax validates");
+    }
+
+    #[test]
+    fn exemplar_beyond_last_bucket_annotates_inf() {
+        let r = Registry::new();
+        r.histogram("stack.x.send_us").record(5);
+        let mut ex = BTreeMap::new();
+        ex.insert(
+            "stack.x.send_us".to_owned(),
+            Exemplar {
+                value: 10_000,
+                trace_hex: "ab".repeat(16),
+                ts_us: 1,
+            },
+        );
+        let text = render(&r.snapshot(), &ex);
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("inf bucket");
+        assert!(line.contains("trace_id"), "{line}");
+        parse_and_validate(&text).expect("validates");
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let r = Registry::new();
+        r.counter("stack.we\"ird\\layer.send_frames").incr();
+        let text = render_registry(&r);
+        assert!(
+            text.contains("layer=\"we\\\"ird\\\\layer\""),
+            "{text}"
+        );
+        let exp = parse_and_validate(&text).expect("escaped labels validate");
+        let s = exp.samples_named("stack_send_frames_total");
+        assert_eq!(s[0].label("layer"), Some("we\"ird\\layer"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_errors() {
+        // No EOF.
+        assert!(parse_and_validate("# TYPE a counter\na_total 1\n")
+            .unwrap_err()
+            .contains("EOF"));
+        // Content after EOF.
+        assert!(parse_and_validate("# EOF\nx 1\n").unwrap_err().contains("after"));
+        // Sample without TYPE.
+        assert!(parse_and_validate("orphan 1\n# EOF\n")
+            .unwrap_err()
+            .contains("no declared family"));
+        // Counter sample missing _total.
+        assert!(parse_and_validate("# TYPE a counter\na 1\n# EOF\n")
+            .unwrap_err()
+            .contains("no declared family"));
+        // Counter family declared with _total.
+        assert!(
+            parse_and_validate("# TYPE a_total counter\na_total_total 1\n# EOF\n")
+                .unwrap_err()
+                .contains("_total"),
+        );
+        // Duplicate family.
+        assert!(
+            parse_and_validate("# TYPE a counter\n# TYPE a counter\n# EOF\n")
+                .unwrap_err()
+                .contains("twice")
+        );
+        // Unit not a suffix.
+        assert!(
+            parse_and_validate("# TYPE a_us histogram\n# UNIT a_us bytes\n# EOF\n")
+                .unwrap_err()
+                .contains("suffix")
+        );
+        // Unterminated label value.
+        assert!(parse_and_validate("# TYPE a gauge\na{k=\"v} 1\n# EOF\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_histogram_inconsistencies() {
+        // Non-monotone le.
+        let t = "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 9\n# EOF\n";
+        assert!(parse_and_validate(t).unwrap_err().contains("strictly increasing"));
+        // Non-cumulative counts.
+        let t = "# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 9\n# EOF\n";
+        assert!(parse_and_validate(t).unwrap_err().contains("cumulative"));
+        // Missing +Inf.
+        let t = "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_count 1\nh_sum 5\n# EOF\n";
+        assert!(parse_and_validate(t).unwrap_err().contains("+Inf"));
+        // +Inf disagrees with _count.
+        let t = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\nh_sum 5\n# EOF\n";
+        assert!(parse_and_validate(t).unwrap_err().contains("_count"));
+        // Exemplar on a gauge.
+        let t = "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n";
+        assert!(parse_and_validate(t).unwrap_err().contains("exemplar"));
+    }
+
+    #[test]
+    fn http_listener_serves_a_valid_exposition() {
+        crate::metrics::counter("openmetrics.http_test_total_probe").incr();
+        let addr = serve_http("127.0.0.1:0").expect("bind");
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("application/openmetrics-text"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let exp = parse_and_validate(body).expect("served exposition validates");
+        assert!(exp
+            .families
+            .contains_key("openmetrics_http_test_total_probe"));
+    }
+}

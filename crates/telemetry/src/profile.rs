@@ -1,0 +1,362 @@
+//! Per-layer stack profiling: where does a message's wall time go?
+//!
+//! A composed chunnel stack is opaque to the existing telemetry — PR 2/3
+//! record *that* a send was slow, never *which layer* (reliability?
+//! batching? crypto? the transport?) the time went to. This module adds
+//! the attribution: every layer wraps its connection in a
+//! `ProfiledConn` (in `bertha::conn`), which owns a [`LayerTimer`] here.
+//! The timer resolves its metric handles once, at construction:
+//!
+//! - `stack.<layer>.send_us` / `stack.<layer>.recv_us` — log2 histograms
+//!   of *inclusive* wall time: the time spent in this layer **and every
+//!   layer below it**. Per-layer exclusive time is computed at display
+//!   time by differencing adjacent layers (see `bertha-top`), which
+//!   keeps the hot path to two clock reads and one histogram record.
+//! - `stack.<layer>.{send,recv}_frames` / `.{send,recv}_bytes` —
+//!   counters, recorded on every successful frame while profiling is on.
+//!
+//! `recv_us` includes time blocked waiting for traffic below — it is a
+//! call-to-return measurement, not a processing-cost measurement; only
+//! differences between adjacent layers isolate a layer's own cost.
+//!
+//! **Gating.** Profiling is off by default and costs one relaxed atomic
+//! load plus a branch per operation when off (`ProfiledConn` forwards
+//! straight to the inner connection — no extra allocation, no clock
+//! reads). `BERTHA_PROFILE` turns it on: `1`/`on` times every frame,
+//! `1/N` (or bare `N`) counts every frame but times only one in `N`,
+//! amortizing the two `Instant::now` calls. [`set_profiling`] is the
+//! programmatic override for tests and benches. The sampled
+//! configuration must stay inside the workspace's ≤2% no-sink overhead
+//! budget (`telemetry_overhead` enforces this in CI).
+//!
+//! **Exemplars.** When a timed send observes a new per-layer maximum,
+//! the current [`last sampled trace context`](crate::tracectx::last_sampled)
+//! (if any) is attached as an OpenMetrics exemplar on that histogram, so
+//! a p99 outlier in a scrape links straight to a trace id — and from
+//! there to a flight-recorder dump. The link is correlational ("a trace
+//! that was live around the outlier"), not causal.
+
+use crate::metrics::{counter, histogram, Counter, Histogram};
+use crate::tracectx;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Profiling denominator: `u64::MAX` = uninitialised (read the env var),
+/// 0 = off, 1 = time every frame, N = time one frame in N.
+static DENOM: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The active profiling denominator: 0 = off, 1 = every frame, N = one
+/// frame in N. Reads `BERTHA_PROFILE` on first use.
+pub fn profile_denom() -> u64 {
+    let d = DENOM.load(Ordering::Relaxed);
+    if d != u64::MAX {
+        return d;
+    }
+    let parsed = std::env::var("BERTHA_PROFILE")
+        .ok()
+        .map(|v| tracectx::parse_sample(&v))
+        .unwrap_or(0);
+    DENOM.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Override the profiling rate: 0 = off, 1 = every frame, N = one in N.
+/// Takes precedence over `BERTHA_PROFILE`.
+pub fn set_profiling(denom: u64) {
+    DENOM.store(denom, Ordering::Relaxed);
+}
+
+/// True if profiling is on at any rate: the hot-path gate, one relaxed
+/// load plus a compare (after first-use initialisation).
+#[inline]
+pub fn profiling_enabled() -> bool {
+    profile_denom() != 0
+}
+
+/// Normalise a chunnel implementation name (`Negotiate::NAME`, e.g.
+/// `reliable/arq`) into the label used in metric names: lowercase, with
+/// every non-alphanumeric run replaced by `_` (`reliable_arq`). The same
+/// transform lets `bertha-top` join `StackIntrospect` slot names to
+/// `stack.<layer>.*` metrics.
+pub fn layer_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut gap = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    if out.is_empty() {
+        out.push_str("unknown");
+    }
+    out
+}
+
+/// One direction's pre-resolved handles within a [`LayerTimer`].
+#[derive(Debug)]
+struct DirMetrics {
+    us: Arc<Histogram>,
+    frames: Arc<Counter>,
+    bytes: Arc<Counter>,
+    /// Largest timed observation so far, for exemplar selection.
+    max_us: AtomicU64,
+    /// Frame tick for 1-in-N timing.
+    tick: AtomicU64,
+    /// Full `stack.<layer>.<dir>_us` name, the exemplar key.
+    us_name: String,
+}
+
+impl DirMetrics {
+    fn new(label: &str, dir: &str) -> Self {
+        let us_name = format!("stack.{label}.{dir}_us");
+        DirMetrics {
+            us: histogram(&us_name),
+            frames: counter(&format!("stack.{label}.{dir}_frames")),
+            bytes: counter(&format!("stack.{label}.{dir}_bytes")),
+            max_us: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            us_name,
+        }
+    }
+
+    /// Start timing this frame, or `None` when 1-in-N sampling skips it.
+    fn begin(&self) -> Option<Instant> {
+        match profile_denom() {
+            0 => None,
+            1 => Some(Instant::now()),
+            n => (self.tick.fetch_add(1, Ordering::Relaxed) % n == 0).then(Instant::now),
+        }
+    }
+
+    /// Account a completed frame: counters always (when `ok`), the
+    /// latency histogram only if `begin` handed out a start time.
+    fn finish(&self, start: Option<Instant>, bytes: u64, ok: bool) {
+        if ok {
+            self.frames.incr();
+            self.bytes.add(bytes);
+        }
+        if let Some(start) = start {
+            let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.us.record(us);
+            // A new maximum is rare by construction; only then do we take
+            // the exemplar lock.
+            if us > self.max_us.fetch_max(us, Ordering::Relaxed) {
+                if let Some(ctx) = tracectx::last_sampled() {
+                    record_exemplar(&self.us_name, us, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Pre-resolved per-layer metric handles, one per wrapped connection.
+/// Construction does the registry lookups (six name resolutions); after
+/// that, every recorded frame is a handful of relaxed atomic RMWs.
+#[derive(Debug)]
+pub struct LayerTimer {
+    label: String,
+    send: DirMetrics,
+    recv: DirMetrics,
+}
+
+impl LayerTimer {
+    /// A timer for the layer named `name` (a `Negotiate::NAME` such as
+    /// `reliable/arq`; normalised via [`layer_label`]).
+    pub fn new(name: &str) -> Self {
+        let label = layer_label(name);
+        let send = DirMetrics::new(&label, "send");
+        let recv = DirMetrics::new(&label, "recv");
+        LayerTimer { label, send, recv }
+    }
+
+    /// The normalised layer label (`reliable_arq`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Start timing a send; `None` when this frame is sample-skipped.
+    #[inline]
+    pub fn begin_send(&self) -> Option<Instant> {
+        self.send.begin()
+    }
+
+    /// Account a completed send (`ok` = the send succeeded).
+    #[inline]
+    pub fn finish_send(&self, start: Option<Instant>, bytes: u64, ok: bool) {
+        self.send.finish(start, bytes, ok);
+    }
+
+    /// Start timing a recv; `None` when this frame is sample-skipped.
+    #[inline]
+    pub fn begin_recv(&self) -> Option<Instant> {
+        self.recv.begin()
+    }
+
+    /// Account a completed recv (`ok` = a frame actually arrived).
+    #[inline]
+    pub fn finish_recv(&self, start: Option<Instant>, bytes: u64, ok: bool) {
+        self.recv.finish(start, bytes, ok);
+    }
+}
+
+/// One exemplar: the observed value, the trace it links to, and when it
+/// was recorded (unix microseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (microseconds, for `_us` histograms).
+    pub value: u64,
+    /// 32-hex-digit trace id the outlier links to.
+    pub trace_hex: String,
+    /// Unix timestamp of the observation, in microseconds.
+    pub ts_us: u64,
+}
+
+/// Histogram name → current exemplar. Written only on a new per-layer
+/// maximum (rare); read by the OpenMetrics exporter at scrape time.
+static EXEMPLARS: RwLock<BTreeMap<String, Exemplar>> = RwLock::new(BTreeMap::new());
+
+fn record_exemplar(name: &str, value: u64, ctx: &tracectx::TraceContext) {
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros()
+        .min(u64::MAX as u128) as u64;
+    EXEMPLARS.write().insert(
+        name.to_owned(),
+        Exemplar {
+            value,
+            trace_hex: ctx.trace_hex(),
+            ts_us,
+        },
+    );
+}
+
+/// A copy of every current exemplar, keyed by histogram name.
+pub fn exemplars() -> BTreeMap<String, Exemplar> {
+    EXEMPLARS.read().clone()
+}
+
+/// Drop all exemplars (tests).
+pub fn clear_exemplars() {
+    EXEMPLARS.write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use parking_lot::Mutex;
+
+    // The profiling denominator and exemplar map are process-global.
+    static PROFILE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn layer_labels_normalise() {
+        assert_eq!(layer_label("reliable/arq"), "reliable_arq");
+        assert_eq!(layer_label("encrypt/toy-stream"), "encrypt_toy_stream");
+        assert_eq!(layer_label("Batch/Linger"), "batch_linger");
+        assert_eq!(layer_label("//"), "unknown");
+        assert_eq!(layer_label("/udp"), "udp");
+    }
+
+    #[test]
+    fn disabled_timer_hands_out_no_starts() {
+        let _g = PROFILE_LOCK.lock();
+        set_profiling(0);
+        let t = LayerTimer::new("test/off");
+        assert!(t.begin_send().is_none());
+        assert!(t.begin_recv().is_none());
+        // Counters still advance when explicitly finished (the conn
+        // wrapper never calls finish while disabled, but the timer
+        // itself doesn't care).
+        set_profiling(0);
+    }
+
+    #[test]
+    fn enabled_timer_records_all_six_metrics() {
+        let _g = PROFILE_LOCK.lock();
+        set_profiling(1);
+        let t = LayerTimer::new("test/full-rate");
+        let start = t.begin_send();
+        assert!(start.is_some());
+        t.finish_send(start, 100, true);
+        let start = t.begin_recv();
+        t.finish_recv(start, 40, true);
+        let snap = metrics::global().snapshot();
+        assert_eq!(snap.counters["stack.test_full_rate.send_frames"], 1);
+        assert_eq!(snap.counters["stack.test_full_rate.send_bytes"], 100);
+        assert_eq!(snap.counters["stack.test_full_rate.recv_frames"], 1);
+        assert_eq!(snap.counters["stack.test_full_rate.recv_bytes"], 40);
+        assert_eq!(snap.histograms["stack.test_full_rate.send_us"].count, 1);
+        assert_eq!(snap.histograms["stack.test_full_rate.recv_us"].count, 1);
+        set_profiling(0);
+    }
+
+    #[test]
+    fn sampled_timer_times_one_in_n_but_counts_all() {
+        let _g = PROFILE_LOCK.lock();
+        set_profiling(4);
+        let t = LayerTimer::new("test/sampled");
+        let mut timed = 0;
+        for _ in 0..16 {
+            let start = t.begin_send();
+            if start.is_some() {
+                timed += 1;
+            }
+            t.finish_send(start, 1, true);
+        }
+        assert_eq!(timed, 4);
+        let snap = metrics::global().snapshot();
+        assert_eq!(snap.counters["stack.test_sampled.send_frames"], 16);
+        assert_eq!(snap.histograms["stack.test_sampled.send_us"].count, 4);
+        set_profiling(0);
+    }
+
+    #[test]
+    fn failed_frames_do_not_count() {
+        let _g = PROFILE_LOCK.lock();
+        set_profiling(1);
+        let t = LayerTimer::new("test/failures");
+        let start = t.begin_send();
+        t.finish_send(start, 512, false);
+        let snap = metrics::global().snapshot();
+        assert_eq!(snap.counters["stack.test_failures.send_frames"], 0);
+        assert_eq!(snap.counters["stack.test_failures.send_bytes"], 0);
+        // Time is still recorded — a failed send also spent wall time.
+        assert_eq!(snap.histograms["stack.test_failures.send_us"].count, 1);
+        set_profiling(0);
+    }
+
+    #[test]
+    fn new_maximum_with_sampled_trace_records_exemplar() {
+        let _g = PROFILE_LOCK.lock();
+        clear_exemplars();
+        tracectx::set_sample(1);
+        let ctx = tracectx::TraceContext::new_root();
+        tracectx::bind_nonce(b"profile-exemplar-test", ctx);
+        set_profiling(1);
+        let t = LayerTimer::new("test/exemplar");
+        let start = t.begin_send();
+        std::thread::sleep(Duration::from_millis(2));
+        t.finish_send(start, 1, true);
+        let ex = exemplars();
+        let e = ex
+            .get("stack.test_exemplar.send_us")
+            .expect("exemplar recorded on first (maximal) observation");
+        assert_eq!(e.trace_hex, ctx.trace_hex());
+        assert!(e.value >= 1000, "slept 2ms, got {}us", e.value);
+        assert!(e.ts_us > 0);
+        set_profiling(0);
+        tracectx::set_sample(0);
+        clear_exemplars();
+    }
+}

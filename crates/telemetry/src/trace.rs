@@ -452,8 +452,14 @@ impl Sink for StderrSink {
     }
 }
 
-/// JSON-lines file sink: one JSON object per event, appended to a file and
-/// flushed per event (events are low-rate; durability over throughput).
+/// JSON-lines file sink: one JSON object per event, appended to a file.
+/// Control-path events (`Info` and above) are flushed as they happen —
+/// durability over throughput — while per-frame `Debug` events stay in
+/// the `BufWriter` until the next control-path event, an explicit
+/// [`flush`](Sink::flush), or drop. Dropping the sink flushes, so a
+/// `BERTHA_LOG=json:<path>` run that exits cleanly (via [`clear_sink`],
+/// which takes the sink out of the global slot) never strands buffered
+/// tail events on the floor.
 pub struct JsonLinesSink {
     out: Mutex<std::io::BufWriter<std::fs::File>>,
 }
@@ -473,10 +479,18 @@ impl Sink for JsonLinesSink {
         let line = ev.to_json_line();
         let mut out = self.out.lock();
         let _ = writeln!(out, "{line}");
-        let _ = out.flush();
+        if ev.level >= Level::Info {
+            let _ = out.flush();
+        }
     }
 
     fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
         let _ = self.out.lock().flush();
     }
 }
@@ -726,6 +740,34 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert!(content.contains("\"pid\":42"), "{content}");
+        assert!(content.ends_with('\n'));
+    }
+
+    #[test]
+    fn json_lines_sink_flushes_buffered_debug_events_on_drop() {
+        // Regression: Debug events are buffered (only Info+ flush
+        // eagerly), so a sink dropped without an explicit flush —
+        // e.g. an example replacing or discarding its sink — used to
+        // strand the buffered tail. Drop must flush.
+        let path = std::env::temp_dir().join(format!(
+            "bertha-drop-flush-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonLinesSink::create(&path).unwrap();
+        sink.emit(&Event {
+            level: Level::Debug,
+            target: "t",
+            name: "buffered-tail",
+            fields: &[],
+        });
+        // Still buffered: a short Debug line fits comfortably inside the
+        // BufWriter, so nothing has reached the file yet.
+        let before = std::fs::read_to_string(&path).unwrap();
+        assert!(!before.contains("buffered-tail"), "{before}");
+        drop(sink);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(content.contains("buffered-tail"), "{content}");
         assert!(content.ends_with('\n'));
     }
 

@@ -210,6 +210,7 @@ pub const NONCE_CAP: usize = 256;
 /// Bind a handshake nonce to the trace context of the negotiation that
 /// produced it.
 pub fn bind_nonce(nonce: &[u8], ctx: TraceContext) {
+    note_sampled(ctx);
     let key = fnv64(nonce);
     let mut map = NONCE_BINDINGS.lock();
     if let Some(slot) = map.iter_mut().find(|(k, _)| *k == key) {
@@ -220,6 +221,26 @@ pub fn bind_nonce(nonce: &[u8], ctx: TraceContext) {
         map.pop_front();
     }
     map.push_back((key, ctx));
+}
+
+/// The most recently bound *sampled* trace context, feeding profiler
+/// exemplars: when a per-layer latency histogram observes a new maximum,
+/// the exporter attaches this context's trace id so the outlier links to
+/// a flight-recorder dump. "Most recent" is deliberately loose — an
+/// exemplar names *a* trace that was active around the outlier, not a
+/// causal attribution (see DESIGN.md §9, "Per-layer profiling").
+static LAST_SAMPLED: Mutex<Option<TraceContext>> = Mutex::new(None);
+
+/// The most recently bound sampled trace context, if any.
+pub fn last_sampled() -> Option<TraceContext> {
+    *LAST_SAMPLED.lock()
+}
+
+/// Record `ctx` as the most recent sampled context (no-op if unsampled).
+pub fn note_sampled(ctx: TraceContext) {
+    if ctx.sampled {
+        *LAST_SAMPLED.lock() = Some(ctx);
+    }
 }
 
 /// Look up the trace context bound to a handshake nonce, if any.
@@ -318,6 +339,24 @@ mod tests {
             bind_nonce(format!("flood-{i}").as_bytes(), ctx);
         }
         assert_eq!(nonce_context(b"test-nonce-bind"), None);
+        set_sample(0);
+    }
+
+    #[test]
+    fn binding_a_sampled_nonce_updates_last_sampled() {
+        let _g = SAMPLE_LOCK.lock();
+        set_sample(1);
+        let ctx = TraceContext::new_root();
+        assert!(ctx.sampled);
+        bind_nonce(b"last-sampled-probe", ctx);
+        assert_eq!(last_sampled(), Some(ctx));
+        // Unsampled bindings do not clobber the slot.
+        let unsampled = TraceContext {
+            sampled: false,
+            ..TraceContext::new_root()
+        };
+        bind_nonce(b"last-sampled-probe-2", unsampled);
+        assert_eq!(last_sampled(), Some(ctx));
         set_sample(0);
     }
 

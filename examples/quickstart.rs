@@ -7,6 +7,11 @@
 //! bytes, with exactly-once delivery underneath.
 //!
 //! Run: `cargo run --example quickstart`
+//!
+//! With `BERTHA_METRICS_LISTEN=<addr>` the process serves OpenMetrics
+//! at `GET /metrics` and stays alive after the echo so scrapers can
+//! attach; add `BERTHA_PROFILE=1` and point `bertha-top --connect
+//! <addr>` at it for the live per-layer table.
 
 use bertha::conn::ChunnelConnection;
 use bertha::negotiate::NegotiateOpts;
@@ -27,6 +32,13 @@ async fn main() -> Result<(), bertha::Error> {
     // `BERTHA_LOG=off|pretty|json:<path>` controls event output uniformly
     // across the examples and binaries.
     bertha_telemetry::install_from_env().map_err(bertha::Error::Other)?;
+    // `BERTHA_METRICS_LISTEN=<addr>` serves the metric registry as
+    // OpenMetrics for the lifetime of the process.
+    let metrics = bertha_telemetry::openmetrics::install_listener_from_env()
+        .map_err(bertha::Error::Other)?;
+    if let Some(bound) = metrics {
+        println!("serving metrics on http://{bound}/metrics");
+    }
     // ---- Server ----------------------------------------------------
     let raw = UdpListener::default()
         .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
@@ -83,5 +95,13 @@ async fn main() -> Result<(), bertha::Error> {
 
     server.abort();
     println!("quickstart ok");
+    if metrics.is_some() {
+        // Keep the metrics listener reachable for scrapers
+        // (`bertha-top --connect`); Ctrl-C to exit.
+        println!("metrics listener active; press Ctrl-C to exit");
+        loop {
+            tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
+        }
+    }
     Ok(())
 }
