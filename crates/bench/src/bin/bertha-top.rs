@@ -273,9 +273,18 @@ fn render_frame(
             .get(i + 1)
             .map(|(_, r)| r.send.mean_us())
             .unwrap_or(0.0);
-        let excl = (row.send.mean_us() - inner_mean).max(0.0);
+        // Sampling skew (layers histogram different message subsets) can
+        // make an inner layer's mean exceed its parent's; clamp to zero
+        // and flag the cell approximate rather than printing a negative
+        // exclusive time.
+        let raw_excl = row.send.mean_us() - inner_mean;
+        let excl_cell_send = if raw_excl < 0.0 {
+            "~0.0".to_owned()
+        } else {
+            fmt_us(raw_excl)
+        };
         for (dir, stats, excl_cell) in [
-            ("send", &row.send, fmt_us(excl)),
+            ("send", &row.send, excl_cell_send),
             ("recv", &row.recv, "-".to_owned()),
         ] {
             let (msgs, kb) = match prev {

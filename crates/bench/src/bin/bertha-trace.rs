@@ -1,0 +1,207 @@
+//! bertha-trace: render assembled traces from an agent's span collector.
+//!
+//! Queries the agent's `QueryTraces` RPC (the traces its tail sampler
+//! retained: slow roots, failed rounds, epoch swaps, plus a 1-in-N
+//! healthy sample) and renders each as a waterfall — one bar per span,
+//! indented by tree depth, positioned on the root's time axis, with the
+//! critical path (the chain of latest-ending children) marked `*`.
+//!
+//! Usage:
+//!   bertha-trace --agent /tmp/bertha-agent.sock [--slowest N] [--failed]
+//!                [--json]
+//!
+//! `--slowest N` keeps the N slowest roots (default 10; 0 = all);
+//! `--failed` restricts to traces containing a failed span; `--json`
+//! emits one JSON object per trace on stdout for CI assertions instead
+//! of the human waterfall.
+
+use bertha_telemetry::span::{critical_path, root_of, SpanRecord};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bertha-trace --agent <socket> [--slowest <n>] [--failed] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn query(
+    path: &std::path::Path,
+    slowest: u32,
+    failed_only: bool,
+) -> Result<Vec<bertha_discovery::TraceSummary>, String> {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("tokio runtime: {e}"))?;
+    rt.block_on(async {
+        let registry = bertha_discovery::RemoteRegistry::new(path.to_path_buf());
+        registry
+            .query_traces(slowest, failed_only)
+            .await
+            .map_err(|e| format!("agent query: {e}"))
+    })
+}
+
+/// Depth of `span` in the tree: parent hops until a root (or an orphan
+/// whose parent never arrived). Bounded by the span count, so a cycle in
+/// corrupt input terminates.
+fn depth_of(span: &SpanRecord, spans: &[SpanRecord]) -> usize {
+    let mut depth = 0;
+    let mut cur = span;
+    while cur.parent_span_id != 0 && depth < spans.len() {
+        match spans.iter().find(|s| s.span_id == cur.parent_span_id) {
+            Some(parent) => {
+                cur = parent;
+                depth += 1;
+            }
+            None => break,
+        }
+    }
+    depth
+}
+
+/// The distinct hosts contributing spans, sorted.
+fn hosts(spans: &[SpanRecord]) -> Vec<String> {
+    let mut hosts: Vec<String> = spans.iter().map(|s| s.host.clone()).collect();
+    hosts.sort();
+    hosts.dedup();
+    hosts
+}
+
+/// Render one trace as a waterfall. Bars sit on the trace's own time
+/// axis (earliest span start to latest span end) so cross-host spans
+/// line up even when the root is not the earliest record.
+fn waterfall(summary: &bertha_discovery::TraceSummary) -> String {
+    const BAR_COLS: f64 = 48.0;
+    let spans = {
+        let mut s = summary.records();
+        s.sort_by_key(|r| (r.start_us, r.span_id));
+        s
+    };
+    let crit: Vec<u64> = critical_path(&spans);
+    let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.end_us).max().unwrap_or(t0);
+    let width_us = (t1.saturating_sub(t0)).max(1) as f64;
+    let root_op = root_of(&spans).map(|r| r.op.clone()).unwrap_or_default();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {}  root {} {}us  spans {}  hosts {}{}\n",
+        summary.trace_id_hex,
+        root_op,
+        summary.root_us,
+        spans.len(),
+        hosts(&spans).join(","),
+        if summary.failed { "  FAILED" } else { "" },
+    ));
+    for span in &spans {
+        let indent = "  ".repeat(depth_of(span, &spans).min(8));
+        let lead = ((span.start_us - t0) as f64 / width_us * BAR_COLS).round() as usize;
+        let len = ((span.duration_us() as f64 / width_us * BAR_COLS).round() as usize).max(1);
+        let mark = if crit.contains(&span.span_id) { '*' } else { ' ' };
+        let status = if span.status.is_failure() {
+            format!("  [{}]", span.status.as_str())
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{mark} {:<28} {:>8}us |{}{}{}|  {}{}\n",
+            format!("{indent}{}", span.op),
+            span.duration_us(),
+            " ".repeat(lead.min(BAR_COLS as usize)),
+            "█".repeat(len.min(BAR_COLS as usize + 1 - lead.min(BAR_COLS as usize))),
+            " ".repeat((BAR_COLS as usize + 1).saturating_sub(lead.min(BAR_COLS as usize) + len)),
+            span.host,
+            status,
+        ));
+    }
+    out.push_str("  (* = critical path)\n");
+    out
+}
+
+/// One JSON object per trace, for CI: trace id, root latency, failure
+/// flag, contributing hosts, the critical path (span ids, root first),
+/// and every span with its parent link.
+fn json_trace(summary: &bertha_discovery::TraceSummary) -> String {
+    let spans = summary.records();
+    let crit = critical_path(&spans);
+    let mut out = String::from("{");
+    out.push_str(&format!("\"trace_id\":\"{}\"", summary.trace_id_hex));
+    out.push_str(&format!(",\"root_us\":{}", summary.root_us));
+    out.push_str(&format!(",\"failed\":{}", summary.failed));
+    out.push_str(",\"hosts\":[");
+    for (i, h) in hosts(&spans).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{h:?}"));
+    }
+    out.push_str("],\"critical_path\":[");
+    for (i, id) in crit.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out.push_str("],\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json_line());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut agent: Option<std::path::PathBuf> = None;
+    let mut slowest: u32 = 10;
+    let mut failed_only = false;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--agent" => {
+                let Some(path) = args.next() else { usage() };
+                agent = Some(path.into());
+            }
+            "--slowest" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                slowest = n;
+            }
+            "--failed" => failed_only = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bertha-trace: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(agent) = agent else { usage() };
+
+    let traces = match query(&agent, slowest, failed_only) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bertha-trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    if traces.is_empty() {
+        eprintln!(
+            "bertha-trace: no traces retained (is tracing sampled on and the exporter \
+             running? BERTHA_TRACE_SAMPLE=1 BERTHA_SPAN_EXPORT=<socket>)"
+        );
+        std::process::exit(1);
+    }
+    for t in &traces {
+        if json {
+            println!("{}", json_trace(t));
+        } else {
+            println!("{}", waterfall(t));
+        }
+    }
+}

@@ -254,6 +254,15 @@ where
                             tele::histogram("negotiate.client.handshake_us")
                                 .record_duration(elapsed);
                             tele::bind_nonce(&picks.nonce, *ctx);
+                            tele::span::record(
+                                "negotiate.client",
+                                &opts.name,
+                                ctx,
+                                0,
+                                start,
+                                tele::span::SpanStatus::Ok,
+                                &[("peer", picks.name.clone())],
+                            );
                             tele::event!(
                                 tele::Level::Info,
                                 "negotiate",
@@ -321,7 +330,17 @@ where
         "span_id" = ctx.span_id,
     );
     // Handshake exhaustion is a postmortem trigger: capture the recent
-    // control-path history with the failing trace id up front.
+    // control-path history with the failing trace id up front. Record the
+    // failed span first so the dump carries it.
+    tele::span::record(
+        "negotiate.client",
+        &opts.name,
+        ctx,
+        0,
+        start,
+        tele::span::SpanStatus::ClientTimeout,
+        &[("attempts", (opts.retries + 1).to_string())],
+    );
     let _ = tele::flight::dump("negotiate.client_timeout", Some(ctx.trace_id));
     Err(Error::Timeout {
         after: opts.handshake_budget(),
@@ -510,6 +529,15 @@ where
             let elapsed = start.elapsed();
             tele::histogram("negotiate.server.handshake_us").record_duration(elapsed);
             tele::bind_nonce(&picks.nonce, ctx);
+            tele::span::record(
+                "negotiate.server",
+                &opts.name,
+                &ctx,
+                parent_span,
+                start,
+                tele::span::SpanStatus::Ok,
+                &[("peer", peer.clone())],
+            );
             tele::event!(
                 tele::Level::Info,
                 "negotiate",

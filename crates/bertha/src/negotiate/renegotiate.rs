@@ -415,6 +415,19 @@ where
     core.tele.epoch_swaps.incr();
     let elapsed = swap_started.elapsed();
     tele::histogram("reneg.swap_us").record_duration(elapsed);
+    // The swap gets its own span (a fresh id: `ctx.span_id` names the
+    // round, and one id must not appear twice in the assembled tree),
+    // parented under the round, with `Swap` status so the tail sampler
+    // always retains traces that changed shape mid-flight.
+    tele::span::record(
+        "reneg.swap",
+        &core.opts.name,
+        &ctx.child(),
+        ctx.span_id,
+        swap_started,
+        tele::span::SpanStatus::Swap,
+        &[("epoch", epoch.to_string())],
+    );
     tele::event!(
         tele::Level::Info,
         "reneg",
@@ -584,6 +597,7 @@ where
         // The round gets its own span, a child of the connection's trace,
         // carried on the proposal so the responder's spans link back here.
         let rctx = self.core.trace.child();
+        let round_started = std::time::Instant::now();
         tele::counter("reneg.rounds_initiated").incr();
         tele::event!(
             tele::Level::Info,
@@ -600,6 +614,19 @@ where
         let res = self.renegotiate_inner(next, &rctx).await;
         self.core.unpause();
         self.core.initiating.store(false, Ordering::Release);
+        tele::span::record(
+            "reneg.round",
+            &self.core.opts.name,
+            &rctx,
+            self.core.trace.span_id,
+            round_started,
+            if res.is_ok() {
+                tele::span::SpanStatus::Ok
+            } else {
+                tele::span::SpanStatus::RoundFailed
+            },
+            &[("epoch", next.to_string())],
+        );
         if res.is_err() {
             tele::counter("reneg.rounds_failed").incr();
             tele::event!(
@@ -839,6 +866,7 @@ where
         .map(|c| c.child())
         .unwrap_or_else(|| core.trace.child());
     let parent_span = peer_ctx.map(|c| c.span_id).unwrap_or(core.trace.span_id);
+    let respond_started = std::time::Instant::now();
     // The initiator paused and drained before proposing; drain our side too
     // (its acknowledgments still flow: the initiator's epoch only advances
     // once it sees our reply).
@@ -870,9 +898,26 @@ where
     let reply_frame = frame_neg(&dctx, &bincode::serialize(&reply)?);
     *core.cached_reneg.lock() = Some((epoch, reply_frame.clone()));
     core.raw.send((core.peer.clone(), reply_frame)).await?;
+    let ok = outcome.is_ok();
     if let Ok(picks) = outcome {
         swap_to(core, factory, epoch, picks, dctx, parent_span).await?;
     }
+    // The responder's half of the round, parented under the initiator's
+    // round span when the proposal carried one — this record is the
+    // cross-host link in the assembled tree.
+    tele::span::record(
+        "reneg.respond",
+        &core.opts.name,
+        &dctx,
+        parent_span,
+        respond_started,
+        if ok {
+            tele::span::SpanStatus::Ok
+        } else {
+            tele::span::SpanStatus::Failed
+        },
+        &[("epoch", epoch.to_string())],
+    );
     Ok(())
 }
 
@@ -997,6 +1042,8 @@ where
     S: GetOffers + Apply<EpochConn<InC>> + Clone + Send + Sync + 'static,
     S::Applied: ChunnelConnection<Data = Datagram> + Drain + Send + Sync + 'static,
 {
+    tele::counter("negotiate.server.handshakes").incr();
+    let start = std::time::Instant::now();
     let handshake_deadline = opts.handshake_budget();
     let (from, buf) = tokio::time::timeout(handshake_deadline, raw.recv())
         .await
@@ -1015,6 +1062,7 @@ where
     let ctx = client_ctx
         .map(|c| c.child())
         .unwrap_or_else(tele::TraceContext::new_root);
+    let parent_span = client_ctx.map(|c| c.span_id).unwrap_or(0);
     let client_msg: NegotiateMsg = bincode::deserialize(body)?;
     let epoch = match &client_msg {
         NegotiateMsg::ClientOffer { .. } => 0,
@@ -1044,8 +1092,39 @@ where
         Err(e) => Err(e),
     };
 
+    let peer = match &client_msg {
+        NegotiateMsg::ClientOffer { name, .. } | NegotiateMsg::Renegotiate { name, .. } => {
+            name.clone()
+        }
+        _ => String::new(),
+    };
     let (picks, reply) = match outcome {
         Ok(picks) => {
+            let elapsed = start.elapsed();
+            tele::histogram("negotiate.server.handshake_us").record_duration(elapsed);
+            tele::bind_nonce(&picks.nonce, ctx);
+            tele::span::record(
+                "negotiate.server",
+                &opts.name,
+                &ctx,
+                parent_span,
+                start,
+                tele::span::SpanStatus::Ok,
+                &[("peer", peer.clone())],
+            );
+            tele::event!(
+                tele::Level::Info,
+                "negotiate",
+                "server_picked",
+                "name" = opts.name.as_str(),
+                "peer" = peer.as_str(),
+                "slots" = picks.picks.len(),
+                "impls" = impl_names(&picks.picks),
+                "elapsed_us" = elapsed.as_micros() as u64,
+                "trace_id" = ctx.trace_hex(),
+                "span_id" = ctx.span_id,
+                "parent_span_id" = parent_span,
+            );
             let reply = if epoch == 0 {
                 NegotiateMsg::ServerReply(Ok(picks.clone()))
             } else {

@@ -82,6 +82,25 @@ pub const COMPRESS_RAW: u8 = 0x00;
 /// Compression header: payload is LZSS-compressed.
 pub const COMPRESS_LZ: u8 = 0x01;
 
+// channel: span-record
+//
+// The header of every encoded trace `SpanRecord` — the byte stream the
+// span exporter ships to the agent's collector and the collector writes
+// to its on-disk trace ring. The canonical constants live in
+// `bertha_telemetry::span` (that crate sits below this one, so it cannot
+// `use` the registry); the assertion below keeps them in lock-step.
+
+/// Span-record header: leading magic byte.
+pub const SPAN_MAGIC: u8 = 0xB5;
+/// Span-record header: codec version.
+pub const SPAN_VERSION: u8 = 0x01;
+
+const _: () = assert!(
+    SPAN_MAGIC == bertha_telemetry::span::SPAN_MAGIC
+        && SPAN_VERSION == bertha_telemetry::span::SPAN_VERSION,
+    "wire registry and bertha_telemetry::span disagree on the span-record header"
+);
+
 /// One registered wire tag: a named byte value on a framing channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TagEntry {
@@ -155,6 +174,16 @@ pub const REGISTRY: &[TagEntry] = &[
         channel: "compress",
         name: "COMPRESS_LZ",
         value: COMPRESS_LZ,
+    },
+    TagEntry {
+        channel: "span-record",
+        name: "SPAN_MAGIC",
+        value: SPAN_MAGIC,
+    },
+    TagEntry {
+        channel: "span-record",
+        name: "SPAN_VERSION",
+        value: SPAN_VERSION,
     },
 ];
 

@@ -1,6 +1,7 @@
 //! Seeded hot-path file: a rogue tag constant, a panicking parse, an
-//! undocumented metric, a unitless histogram, a `_us` counter, and an
-//! undocumented per-layer format template.
+//! undocumented metric, a unitless histogram, a `_us` counter, an
+//! undocumented per-layer format template, a malformed span op, and an
+//! undocumented span op.
 
 pub const ROGUE_TAG: u8 = 0x42;
 
@@ -14,4 +15,9 @@ pub fn profile(label: &str, dir: &str) {
     tele::histogram("bad.nounit").record(1);
     tele::counter("bad.time_us").incr();
     let _ = format!("stack.{label}.{dir}_frames");
+}
+
+pub fn trace(ctx: &tele::tracectx::TraceContext, start: std::time::Instant) {
+    tele::span::record_local("BadOp", ctx, 0, start, tele::span::SpanStatus::Ok, &[]);
+    tele::span::record("rogue.span", "host-a", ctx, 0, start, tele::span::SpanStatus::Ok, &[]);
 }

@@ -1,10 +1,11 @@
-//! The five invariant families. Each submodule exposes a `check`
+//! The six invariant families. Each submodule exposes a `check`
 //! function over the loaded [`crate::SourceFile`] set.
 
 pub mod fallback;
 pub mod journal;
 pub mod metrics;
 pub mod panics;
+pub mod spans;
 pub mod wire_tags;
 
 use crate::SourceFile;

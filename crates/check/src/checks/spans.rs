@@ -1,0 +1,248 @@
+//! Rule family 6: the span-name cross-check.
+//!
+//! Trace spans are the unit the agent's collector assembles and
+//! `bertha-trace` renders, so their op names are an interface: operators
+//! grep waterfalls for them and DESIGN.md §9's span table explains them.
+//! Two invariants:
+//!
+//! - every literal op passed to `span::record(...)` /
+//!   `span::record_local(...)` follows the `<subsystem>.<op>` convention
+//!   (two lowercase dot-separated segments) and has a row in the
+//!   DESIGN.md `#### Span names` table;
+//! - every documented span name is actually emitted somewhere — a row
+//!   whose literal appears nowhere in non-test code is dead
+//!   documentation.
+//!
+//! Coverage is judged by literal presence anywhere in non-test source,
+//! not just `span::record` call sites, because some feed points carry
+//! their op through a field (`DirMetrics { op: "stack.send", .. }`).
+
+use crate::{SourceFile, Violation};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Rule identifier.
+pub const RULE: &str = "span-names";
+
+/// Call sites whose first argument is a span op name.
+const EMITTERS: &[&str] = &["span::record(", "span::record_local("];
+
+/// Run the rule.
+pub fn check(files: &[SourceFile], root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    let emitted = emitted_ops(files);
+    for (op, (file, line)) in &emitted {
+        if !well_formed(op) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "span op `{op}` does not follow `<subsystem>.<op>` \
+                     (two lowercase dot-separated segments)"
+                ),
+            });
+        }
+    }
+
+    let design_raw =
+        std::fs::read_to_string(root.join(super::metrics::DESIGN_PATH)).unwrap_or_default();
+    let documented = span_table(&design_raw);
+    if documented.is_empty() {
+        if !emitted.is_empty() {
+            violations.push(Violation {
+                file: super::metrics::DESIGN_PATH.to_string(),
+                line: 1,
+                rule: RULE,
+                msg: "no `#### Span names` table found in DESIGN.md §9".to_string(),
+            });
+        }
+        return violations;
+    }
+
+    for (op, (file, line)) in &emitted {
+        if well_formed(op) && !documented.contains_key(op) {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "span op `{op}` is emitted but has no row in the \
+                     DESIGN.md §9 span table"
+                ),
+            });
+        }
+    }
+
+    let present = literal_set(files);
+    for (op, line) in &documented {
+        if !present.contains_key(op) {
+            violations.push(Violation {
+                file: super::metrics::DESIGN_PATH.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!("span `{op}` is documented but never emitted by code"),
+            });
+        }
+    }
+
+    violations
+}
+
+/// `<subsystem>.<op>`: exactly two non-empty lowercase segments.
+fn well_formed(op: &str) -> bool {
+    let mut parts = op.split('.');
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    let seg_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    seg_ok(a) && seg_ok(b)
+}
+
+/// Literal ops at `span::record*` call sites in non-test code, with
+/// their first site. The checker's own sources are exempt (they spell
+/// out the patterns this rule hunts for).
+fn emitted_ops(files: &[SourceFile]) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    for f in files {
+        if f.rel.contains("/tests/") || f.rel.starts_with("crates/check/") {
+            continue;
+        }
+        for pat in EMITTERS {
+            for pos in super::word_matches(f, pat) {
+                let Some(op) = super::literal_after(f, pos + pat.len()) else {
+                    continue;
+                };
+                out.entry(op)
+                    .or_insert_with(|| (f.rel.clone(), f.line_of(pos)));
+            }
+        }
+    }
+    out
+}
+
+/// Every string literal in non-test, non-checker code, for the
+/// documented-coverage direction.
+fn literal_set(files: &[SourceFile]) -> BTreeMap<String, ()> {
+    let mut out = BTreeMap::new();
+    for f in files {
+        if f.rel.contains("/tests/") || f.rel.starts_with("crates/check/") {
+            continue;
+        }
+        let hay = f.masked.as_bytes();
+        let mut i = 0;
+        while let Some(open) = crate::lexer::find(hay, b"\"", i) {
+            let Some(close) = crate::lexer::find(hay, b"\"", open + 1) else {
+                break;
+            };
+            i = close + 1;
+            if f.in_test(open) {
+                continue;
+            }
+            if let Some(lit) = f.raw.get(open + 1..close) {
+                out.entry(lit.to_string()).or_insert(());
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `#### Span names` table under §9: op name -> line. Same
+/// backticked-first-cell shape as the metric table; the section ends at
+/// the next heading.
+fn span_table(design: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    for (idx, line) in design.lines().enumerate() {
+        let ln = idx + 1;
+        if line.starts_with('#') {
+            in_section = line.contains("Span names");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cell = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or_default();
+        let mut parts = cell.split('`');
+        while let (Some(_), Some(tok)) = (parts.next(), parts.next()) {
+            let tok = tok.trim();
+            if tok.is_empty() || !tok.contains('.') {
+                continue;
+            }
+            out.entry(tok.to_string()).or_insert(ln);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn validates_op_format() {
+        assert!(well_formed("negotiate.client"));
+        assert!(well_formed("reneg.round"));
+        assert!(well_formed("stack.send"));
+        assert!(!well_formed("BadOp"));
+        assert!(!well_formed("nodot"));
+        assert!(!well_formed("three.part.name"));
+        assert!(!well_formed("Upper.case"));
+        assert!(!well_formed("trailing."));
+        assert!(!well_formed(".leading"));
+        assert!(!well_formed("9starts.with_digit"));
+    }
+
+    #[test]
+    fn parses_span_table_and_ends_at_next_heading() {
+        let design = "### Metric names\n| `a.metric` | counter |\n\
+                      #### Span names\n| Op | Meaning |\n|---|---|\n\
+                      | `negotiate.client` | the client handshake |\n\
+                      | `reneg.round` | one renegotiation round |\n\
+                      ### Event taxonomy\n| `not.a.span` | event |\n";
+        let t = span_table(design);
+        let names: Vec<_> = t.keys().cloned().collect();
+        assert_eq!(names, ["negotiate.client", "reneg.round"]);
+    }
+
+    #[test]
+    fn collects_record_site_literals_outside_tests() {
+        let f = SourceFile::from_source(
+            "crates/x/src/lib.rs".to_string(),
+            "fn f() { tele::span::record(\"good.op\", \"h\", &c, 0, s, st, &[]); }\n\
+             fn g() { tele::span::record_local(\"other.op\", &c, 0, s, st, &[]); }\n\
+             fn h(op: &str) { tele::span::record(op, \"h\", &c, 0, s, st, &[]); }\n\
+             #[cfg(test)]\nmod tests { fn t() { tele::span::record(\"test.only\", \"h\", &c, 0, s, st, &[]); } }\n"
+                .to_string(),
+        );
+        let ops = emitted_ops(std::slice::from_ref(&f));
+        assert_eq!(
+            ops.keys().cloned().collect::<Vec<_>>(),
+            ["good.op", "other.op"]
+        );
+    }
+
+    #[test]
+    fn field_carried_ops_count_as_coverage() {
+        let f = SourceFile::from_source(
+            "crates/x/src/lib.rs".to_string(),
+            "struct D { op: &'static str }\n\
+             fn f(dir: bool) -> D { D { op: if dir { \"stack.send\" } else { \"stack.recv\" } } }\n"
+                .to_string(),
+        );
+        let lits = literal_set(std::slice::from_ref(&f));
+        assert!(lits.contains_key("stack.send"));
+        assert!(lits.contains_key("stack.recv"));
+    }
+}

@@ -1,7 +1,7 @@
 //! `bertha-check`: a dependency-free source analyzer for the Bertha
 //! workspace, plus a small exhaustive-interleaving model checker.
 //!
-//! The analyzer walks `crates/**/*.rs` and enforces five invariant
+//! The analyzer walks `crates/**/*.rs` and enforces six invariant
 //! families (DESIGN.md §10):
 //!
 //! 1. **wire-tags** — every framing tag byte is defined in
@@ -14,7 +14,10 @@
 //!    has a software (Application-scope) `Negotiate` implementation;
 //! 5. **journal-replay** — every journal `Record` variant has a matching
 //!    replay arm in the discovery agent's recovery path, with no
-//!    wildcard arm hiding a missing one.
+//!    wildcard arm hiding a missing one;
+//! 6. **span-names** — trace span ops passed to `span::record*` follow
+//!    `<subsystem>.<op>` and agree with the DESIGN.md §9 span table in
+//!    both directions.
 //!
 //! Everything is hand-rolled on `std` only, matching the workspace's
 //! no-serde_json style: a masking lexer (comments and literals blanked so
@@ -174,6 +177,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     violations.extend(fv);
     notes.extend(fn_notes);
     violations.extend(checks::journal::check(&files));
+    violations.extend(checks::spans::check(&files, root));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(Report {

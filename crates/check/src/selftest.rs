@@ -30,6 +30,9 @@ const EXPECTED: &[(&str, &str)] = &[
     ("fallback", "fixture/offload-only"),
     ("journal-replay", "`Orphan`"),
     ("journal-replay", "wildcard"),
+    ("span-names", "`BadOp` does not follow"),
+    ("span-names", "`rogue.span` is emitted but has no row"),
+    ("span-names", "`ghost.span` is documented but never emitted"),
 ];
 
 /// Run the self-test. `Ok(n)` is the number of violations found in the

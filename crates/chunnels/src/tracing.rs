@@ -122,6 +122,7 @@ where
 
     fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
+            let mut span = None;
             let framed = match &self.ctx {
                 Some(ctx) if ctx.sampled => {
                     // One child span per frame: the collector sees each
@@ -141,6 +142,7 @@ where
                         "parent_span_id" = ctx.span_id,
                         "len" = payload.len() as u64,
                     );
+                    span = Some((fctx, ctx.span_id, std::time::Instant::now()));
                     v
                 }
                 _ => {
@@ -151,12 +153,31 @@ where
                     v
                 }
             };
-            self.inner.send((addr, framed)).await
+            let len = framed.len() as u64;
+            let res = self.inner.send((addr, framed)).await;
+            // The frame's wire span doubles as its send span in the
+            // assembled tree, a leaf under the connection span.
+            if let Some((fctx, parent, start)) = span {
+                tele::span::record_local(
+                    "chunnel.send",
+                    &fctx,
+                    parent,
+                    start,
+                    if res.is_ok() {
+                        tele::span::SpanStatus::Ok
+                    } else {
+                        tele::span::SpanStatus::Failed
+                    },
+                    &[("len", len.to_string())],
+                );
+            }
+            res
         })
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
+            let start = std::time::Instant::now();
             let (from, buf) = self.inner.recv().await?;
             match buf.split_first() {
                 Some((&PLAIN, payload)) => Ok((from, payload.to_vec())),
@@ -177,6 +198,18 @@ where
                         "trace_id" = fctx.trace_hex(),
                         "parent_span_id" = fctx.span_id,
                         "len" = payload.len() as u64,
+                    );
+                    // The receive side's half of the frame, a child of the
+                    // wire span that arrived — the per-frame cross-host
+                    // link. Call-to-return timing, like the profiler: it
+                    // includes time blocked waiting for the frame.
+                    tele::span::record_local(
+                        "chunnel.recv",
+                        &fctx.child(),
+                        fctx.span_id,
+                        start,
+                        tele::span::SpanStatus::Ok,
+                        &[("len", payload.len().to_string())],
                     );
                     Ok((from, payload))
                 }

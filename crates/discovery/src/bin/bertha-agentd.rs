@@ -47,17 +47,30 @@
 //! <addr>` (or `BERTHA_METRICS_LISTEN`) additionally serves it over
 //! plain HTTP for Prometheus-style collectors and `bertha-top
 //! --connect`.
+//!
+//! Tracing: the agent is also the host's span collector. Processes
+//! export their buffered span records over `ReportSpans` (the runtime
+//! does this on its own when `BERTHA_SPAN_EXPORT` names this socket);
+//! the agent assembles them into per-trace trees, keeps the slow and
+//! failed ones (tail sampling), and serves them back over `QueryTraces`
+//! — `bertha-trace` renders the waterfalls. With `--trace-dir <dir>`,
+//! retained traces persist to a bounded on-disk ring and survive agent
+//! restarts. `--trace-downsample <n>` sets the healthy-trace lottery:
+//! keep 1-in-`n` traces that neither failed nor ran slow (default 16;
+//! `1` keeps every assembled trace — useful in CI — and `0` keeps only
+//! failed/slow ones).
 
 use bertha_discovery::registry::Hooks;
 use bertha_discovery::resources::{ResourceKind, ResourcePool, ResourceReq};
-use bertha_discovery::{serve_uds, Registration, Registry};
+use bertha_discovery::{serve_uds_with, Registration, Registry, SpanCollector, TailPolicy};
 use bertha_telemetry as tele;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bertha-agentd --socket <path> [--config <file>] [--lease-ttl-ms <n>] \
-         [--metrics-path <file>] [--state-dir <dir>] [--metrics-listen <addr>]"
+         [--metrics-path <file>] [--state-dir <dir>] [--metrics-listen <addr>] \
+         [--trace-dir <dir>] [--trace-downsample <n>]"
     );
     std::process::exit(2);
 }
@@ -203,6 +216,8 @@ async fn main() {
     let mut metrics_path = None;
     let mut metrics_listen = None;
     let mut state_dir = None;
+    let mut trace_dir = None;
+    let mut trace_downsample = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -233,6 +248,17 @@ async fn main() {
             }
             "--metrics-listen" if i + 1 < args.len() => {
                 metrics_listen = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--trace-dir" if i + 1 < args.len() => {
+                trace_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--trace-downsample" if i + 1 < args.len() => {
+                match args[i + 1].parse::<u64>() {
+                    Ok(n) => trace_downsample = Some(n),
+                    Err(_) => usage(),
+                }
                 i += 2;
             }
             _ => usage(),
@@ -297,8 +323,26 @@ async fn main() {
         },
     }
 
+    // The span collector behind ReportSpans/QueryTraces: with
+    // --trace-dir, retained traces persist to a bounded on-disk ring and
+    // a restarted agent recovers them before serving.
+    let mut policy = TailPolicy::default();
+    if let Some(n) = trace_downsample {
+        policy.downsample = n;
+    }
+    let collector = Arc::new(SpanCollector::new(
+        trace_dir.as_ref().map(std::path::PathBuf::from),
+        policy,
+    ));
+    if let Some(dir) = &trace_dir {
+        eprintln!(
+            "bertha-agentd: traces in {dir} ({} recovered)",
+            collector.kept_len()
+        );
+    }
+
     let path = std::path::PathBuf::from(&socket);
-    match serve_uds(registry, path).await {
+    match serve_uds_with(registry, path, collector).await {
         Ok(task) => {
             eprintln!("bertha-agentd: serving on {socket}");
             let _ = task.await;

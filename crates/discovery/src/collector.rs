@@ -1,0 +1,547 @@
+//! Span collection and trace assembly in the discovery agent.
+//!
+//! Processes export their buffered [`SpanRecord`]s to the local agent
+//! (`Request::ReportSpans`); the agent groups records by trace id,
+//! assembles them into trace trees (parent links stitch across epoch
+//! swaps and across hosts, since every host exports to an agent and the
+//! span ids were allocated under one shared trace id), and applies a
+//! **tail-based** retention policy: every trace whose root latency lands
+//! at or above the p99 of recent roots is kept, every trace containing a
+//! failed span (client timeout, failed renegotiation round, an epoch
+//! swap) is kept, and the healthy fast majority is deterministically
+//! downsampled to 1-in-N by the same FNV hash that drove head sampling.
+//! Kept traces persist to a bounded on-disk ring via
+//! [`bertha::persist::atomic_write`], so a slow-trace waterfall survives
+//! an agent restart, and are served back over `Request::QueryTraces`.
+
+use bertha_telemetry as tele;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use tele::span::SpanRecord;
+
+/// Tail-retention policy knobs.
+#[derive(Clone, Debug)]
+pub struct TailPolicy {
+    /// Keep 1-in-N healthy, fast traces (deterministic by trace id hash).
+    /// `0` keeps none of them — only slow and failed traces survive,
+    /// which is what tests use to make retention assertions exact.
+    pub downsample: u64,
+    /// Root-latency samples required before the p99 gate engages; until
+    /// then only failure and downsampling decide.
+    pub min_history: usize,
+    /// Completed traces kept in memory (and trace files kept on disk).
+    pub capacity: usize,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        TailPolicy {
+            downsample: 16,
+            min_history: 8,
+            capacity: 256,
+        }
+    }
+}
+
+/// Root-latency samples remembered for the p99 threshold.
+const ROOT_HISTORY: usize = 512;
+/// Traces that never produced a root span are evicted beyond this many
+/// pending entries (oldest first), bounding memory under span loss.
+const PENDING_CAP: usize = 1024;
+
+/// One assembled, retained trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The shared trace id.
+    pub trace_id: u128,
+    /// Every span reported for it, in arrival order.
+    pub spans: Vec<SpanRecord>,
+    /// Duration of the root span (parent id 0) in microseconds.
+    pub root_us: u64,
+    /// Whether any span carries a failure status.
+    pub failed: bool,
+    /// On-disk ring slot, for re-persisting after late span merges.
+    slot: u64,
+}
+
+/// The wire form a `QueryTraces` reply carries: spans stay in their
+/// compact binary codec (the telemetry crate is serde-free), so the
+/// summary is just framing around them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// 32-hex-digit trace id.
+    pub trace_id_hex: String,
+    /// Root span duration in microseconds.
+    pub root_us: u64,
+    /// Whether any span carries a failure status.
+    pub failed: bool,
+    /// The assembled spans, one encoded [`SpanRecord`] each.
+    pub spans: Vec<Vec<u8>>,
+}
+
+impl TraceSummary {
+    /// Decode the spans back into records, skipping any that fail to
+    /// decode (a version-skewed exporter, not a reason to drop the rest).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans
+            .iter()
+            .filter_map(|b| SpanRecord::decode(b))
+            .collect()
+    }
+}
+
+struct Inner {
+    /// Traces still waiting for a root span, by trace id; the Vec of
+    /// trace ids preserves arrival order for bounded eviction.
+    pending: HashMap<u128, Vec<SpanRecord>>,
+    pending_order: Vec<u128>,
+    /// Retained traces, oldest first, bounded by `policy.capacity`.
+    kept: Vec<Trace>,
+    /// Recent root latencies (kept *and* downsampled), for the p99 gate.
+    root_history: Vec<u64>,
+    /// Next on-disk ring slot.
+    seq: u64,
+}
+
+/// The agent-side span collector. Shared behind an `Arc` between the
+/// serving loop and whoever wants to inspect assembled traces in-process.
+pub struct SpanCollector {
+    inner: Mutex<Inner>,
+    dir: Option<PathBuf>,
+    policy: TailPolicy,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        SpanCollector::new(None, TailPolicy::default())
+    }
+}
+
+impl SpanCollector {
+    /// A collector retaining traces under `policy`, persisting them to
+    /// `dir` when given (recovering any trace files already there).
+    pub fn new(dir: Option<PathBuf>, policy: TailPolicy) -> Self {
+        let mut kept = Vec::new();
+        let mut seq = 0;
+        if let Some(d) = &dir {
+            let _ = std::fs::create_dir_all(d);
+            let mut slots: Vec<(u64, PathBuf)> = std::fs::read_dir(d)
+                .into_iter()
+                .flatten()
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    let slot: u64 = name
+                        .strip_prefix("trace-")?
+                        .strip_suffix(".bin")?
+                        .parse()
+                        .ok()?;
+                    Some((slot, e.path()))
+                })
+                .collect();
+            slots.sort_unstable();
+            for (slot, path) in slots {
+                let Ok(bytes) = std::fs::read(&path) else {
+                    continue;
+                };
+                let spans = decode_frames(&bytes);
+                if let Some(mut t) = assemble(&spans) {
+                    t.slot = slot;
+                    seq = seq.max(slot + 1);
+                    kept.push(t);
+                    tele::counter("trace.collector.recovered").incr();
+                }
+            }
+        }
+        SpanCollector {
+            inner: Mutex::new(Inner {
+                pending: HashMap::new(),
+                pending_order: Vec::new(),
+                kept,
+                root_history: Vec::new(),
+                seq,
+            }),
+            dir,
+            policy,
+        }
+    }
+
+    /// Ingest one exported batch of encoded span records. Returns how
+    /// many decoded; undecodable frames are counted and skipped.
+    pub fn ingest(&self, frames: &[Vec<u8>]) -> usize {
+        let mut accepted = 0;
+        let mut inner = self.inner.lock();
+        for frame in frames {
+            let Some(rec) = SpanRecord::decode(frame) else {
+                tele::counter("trace.collector.rejected").incr();
+                continue;
+            };
+            accepted += 1;
+            tele::counter("trace.collector.ingested").incr();
+            // Late spans for an already-retained trace merge in (the
+            // other host's half arriving after the keep decision).
+            if let Some(t) = inner.kept.iter_mut().find(|t| t.trace_id == rec.trace_id) {
+                if !t.spans.iter().any(|s| s.span_id == rec.span_id) {
+                    t.failed |= rec.status.is_failure();
+                    t.spans.push(rec);
+                    let slot = t.slot;
+                    let bytes = encode_frames(&t.spans);
+                    drop(inner);
+                    self.persist(slot, &bytes);
+                    inner = self.inner.lock();
+                }
+                continue;
+            }
+            if !inner.pending.contains_key(&rec.trace_id) {
+                inner.pending_order.push(rec.trace_id);
+            }
+            inner.pending.entry(rec.trace_id).or_default().push(rec);
+        }
+        // Bound rootless pending traces.
+        while inner.pending_order.len() > PENDING_CAP {
+            let evicted = inner.pending_order.remove(0);
+            inner.pending.remove(&evicted);
+            tele::counter("trace.collector.evicted").incr();
+        }
+        drop(inner);
+        self.finalize();
+        accepted
+    }
+
+    /// Move every pending trace that has a root span through the tail
+    /// decision: keep (slow, failed, or 1-in-N lucky) or drop.
+    fn finalize(&self) {
+        let mut persists: Vec<(u64, Vec<u8>)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let ready: Vec<u128> = inner
+                .pending_order
+                .iter()
+                .copied()
+                .filter(|id| {
+                    inner.pending[id]
+                        .iter()
+                        .any(|s| s.parent_span_id == 0)
+                })
+                .collect();
+            for id in ready {
+                inner.pending_order.retain(|t| *t != id);
+                let spans = inner.pending.remove(&id).unwrap_or_default();
+                let Some(trace) = assemble(&spans) else {
+                    continue;
+                };
+                inner.root_history.push(trace.root_us);
+                let overflow = inner.root_history.len().saturating_sub(ROOT_HISTORY);
+                if overflow > 0 {
+                    inner.root_history.drain(..overflow);
+                }
+                // Strictly above the p99: with `>=`, a uniform-latency
+                // workload (every root equal) would keep every trace
+                // once history saturates.
+                let slow = inner.root_history.len() >= self.policy.min_history
+                    && trace.root_us > p99(&inner.root_history);
+                let lucky = self.policy.downsample != 0
+                    && tele::tracectx::hash64(&id.to_le_bytes()) % self.policy.downsample == 0;
+                if !(trace.failed || slow || lucky) {
+                    tele::counter("trace.collector.downsampled").incr();
+                    continue;
+                }
+                tele::counter("trace.collector.kept").incr();
+                let mut trace = trace;
+                trace.slot = inner.seq % self.policy.capacity.max(1) as u64;
+                inner.seq += 1;
+                persists.push((trace.slot, encode_frames(&trace.spans)));
+                inner.kept.push(trace);
+                let overflow = inner.kept.len().saturating_sub(self.policy.capacity);
+                if overflow > 0 {
+                    inner.kept.drain(..overflow);
+                }
+            }
+        }
+        for (slot, bytes) in persists {
+            self.persist(slot, &bytes);
+        }
+    }
+
+    fn persist(&self, slot: u64, bytes: &[u8]) {
+        let Some(dir) = &self.dir else {
+            return;
+        };
+        let path = dir.join(format!("trace-{slot}.bin"));
+        if bertha::persist::atomic_write(&path, bytes).is_err() {
+            tele::counter("trace.collector.persist_errors").incr();
+        }
+    }
+
+    /// Retained traces, slowest root first. `slowest == 0` returns all;
+    /// `failed_only` restricts to traces containing a failed span.
+    pub fn query(&self, slowest: u32, failed_only: bool) -> Vec<TraceSummary> {
+        let inner = self.inner.lock();
+        let mut traces: Vec<&Trace> = inner
+            .kept
+            .iter()
+            .filter(|t| !failed_only || t.failed)
+            .collect();
+        traces.sort_by(|a, b| b.root_us.cmp(&a.root_us));
+        if slowest > 0 {
+            traces.truncate(slowest as usize);
+        }
+        traces
+            .into_iter()
+            .map(|t| TraceSummary {
+                trace_id_hex: tele::trace_hex(t.trace_id),
+                root_us: t.root_us,
+                failed: t.failed,
+                spans: t.spans.iter().map(|s| s.encode()).collect(),
+            })
+            .collect()
+    }
+
+    /// Traces currently retained in memory.
+    pub fn kept_len(&self) -> usize {
+        self.inner.lock().kept.len()
+    }
+
+    /// Whether a given trace id is retained.
+    pub fn has_trace(&self, trace_id: u128) -> bool {
+        self.inner.lock().kept.iter().any(|t| t.trace_id == trace_id)
+    }
+}
+
+/// Assemble spans into a [`Trace`]; `None` without a root span.
+fn assemble(spans: &[SpanRecord]) -> Option<Trace> {
+    let root = tele::span::root_of(spans)?;
+    if root.parent_span_id != 0 {
+        // `root_of` falls back to an unparented or first span for
+        // rendering partial traces; the collector only finalizes on a
+        // true root.
+        return None;
+    }
+    Some(Trace {
+        trace_id: root.trace_id,
+        root_us: root.duration_us(),
+        failed: spans.iter().any(|s| s.status.is_failure()),
+        spans: spans.to_vec(),
+        slot: 0,
+    })
+}
+
+/// The p99 of `samples` (nearest-rank on a sorted copy).
+fn p99(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (sorted.len().saturating_sub(1)) * 99 / 100;
+    sorted[rank]
+}
+
+/// Frame a batch of spans for the on-disk ring: `u32` LE length before
+/// each encoded record.
+fn encode_frames(spans: &[SpanRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for s in spans {
+        let b = s.encode();
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(&b);
+    }
+    out
+}
+
+fn decode_frames(mut bytes: &[u8]) -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    while bytes.len() >= 4 {
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        bytes = &bytes[4..];
+        if bytes.len() < len {
+            break;
+        }
+        if let Some(rec) = SpanRecord::decode(&bytes[..len]) {
+            out.push(rec);
+        }
+        bytes = &bytes[len..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tele::span::SpanStatus;
+
+    fn rec(
+        trace_id: u128,
+        span_id: u64,
+        parent: u64,
+        op: &str,
+        host: &str,
+        start_us: u64,
+        end_us: u64,
+        status: SpanStatus,
+    ) -> Vec<u8> {
+        SpanRecord {
+            trace_id,
+            span_id,
+            parent_span_id: parent,
+            op: op.into(),
+            host: host.into(),
+            start_us,
+            end_us,
+            status,
+            attrs: vec![],
+        }
+        .encode()
+    }
+
+    fn no_sampling() -> TailPolicy {
+        TailPolicy {
+            downsample: 0,
+            ..TailPolicy::default()
+        }
+    }
+
+    #[test]
+    fn assembles_and_keeps_failed_traces() {
+        let c = SpanCollector::new(None, no_sampling());
+        // Spans arrive out of order and across two "hosts".
+        c.ingest(&[
+            rec(0xa1, 2, 1, "reneg.round", "client", 100, 900, SpanStatus::RoundFailed),
+            rec(0xa1, 3, 2, "reneg.respond", "server", 150, 600, SpanStatus::Ok),
+        ]);
+        // No root yet: nothing finalized.
+        assert_eq!(c.kept_len(), 0);
+        c.ingest(&[rec(0xa1, 1, 0, "negotiate.client", "client", 0, 1000, SpanStatus::Ok)]);
+        assert!(c.has_trace(0xa1));
+        let out = c.query(1, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].root_us, 1000);
+        assert!(out[0].failed);
+        let records = out[0].records();
+        assert_eq!(records.len(), 3);
+        // Parent links survive the round trip.
+        let round = records.iter().find(|r| r.op == "reneg.round").unwrap();
+        assert_eq!(round.parent_span_id, 1);
+        let respond = records.iter().find(|r| r.op == "reneg.respond").unwrap();
+        assert_eq!(respond.parent_span_id, round.span_id);
+    }
+
+    #[test]
+    fn healthy_traces_downsample_but_slow_ones_stay() {
+        let c = SpanCollector::new(
+            None,
+            TailPolicy {
+                downsample: 0,
+                min_history: 8,
+                capacity: 64,
+            },
+        );
+        // Eight healthy fast traces build the latency history; with
+        // downsample = 0 none are retained.
+        for i in 0..8u128 {
+            c.ingest(&[rec(i + 1, 1, 0, "negotiate.client", "h", 0, 100, SpanStatus::Ok)]);
+        }
+        assert_eq!(c.kept_len(), 0);
+        // A trace 50x slower than the p99 of history is kept.
+        c.ingest(&[rec(0x51, 1, 0, "negotiate.client", "h", 0, 5000, SpanStatus::Ok)]);
+        assert!(c.has_trace(0x51), "slow trace must survive the tail sampler");
+        // Healthy-at-the-p99-floor traces still drop.
+        c.ingest(&[rec(0x52, 1, 0, "negotiate.client", "h", 0, 90, SpanStatus::Ok)]);
+        assert!(!c.has_trace(0x52));
+    }
+
+    #[test]
+    fn downsample_keeps_one_in_n_deterministically() {
+        let keep_all = SpanCollector::new(
+            None,
+            TailPolicy {
+                downsample: 1,
+                min_history: usize::MAX,
+                capacity: 64,
+            },
+        );
+        keep_all.ingest(&[rec(0x7, 1, 0, "negotiate.client", "h", 0, 10, SpanStatus::Ok)]);
+        assert!(keep_all.has_trace(0x7), "downsample=1 keeps everything");
+        // The verdict for a given id is a pure function of the policy and
+        // the id — two agents at the same denominator agree.
+        let n = 16;
+        let a = SpanCollector::new(
+            None,
+            TailPolicy {
+                downsample: n,
+                min_history: usize::MAX,
+                capacity: 1024,
+            },
+        );
+        let mut kept = 0;
+        for id in 1..=256u128 {
+            a.ingest(&[rec(id, 1, 0, "negotiate.client", "h", 0, 10, SpanStatus::Ok)]);
+            if a.has_trace(id) {
+                kept += 1;
+                assert_eq!(
+                    tele::tracectx::hash64(&id.to_le_bytes()) % n,
+                    0,
+                    "kept trace must be hash-selected"
+                );
+            }
+        }
+        assert!(kept > 0, "1-in-16 of 256 ids should keep some");
+        assert!(kept < 256, "and drop most");
+    }
+
+    #[test]
+    fn late_spans_merge_into_kept_traces() {
+        let c = SpanCollector::new(None, no_sampling());
+        c.ingest(&[rec(0xb2, 1, 0, "negotiate.client", "client", 0, 800, SpanStatus::ClientTimeout)]);
+        assert!(c.has_trace(0xb2));
+        // The server's half arrives after the keep decision.
+        c.ingest(&[rec(0xb2, 9, 1, "negotiate.server", "server", 10, 700, SpanStatus::Ok)]);
+        let out = c.query(0, false);
+        let t = out.iter().find(|t| t.trace_id_hex.ends_with("b2")).unwrap();
+        assert_eq!(t.spans.len(), 2);
+        // Duplicate re-exports do not double spans.
+        c.ingest(&[rec(0xb2, 9, 1, "negotiate.server", "server", 10, 700, SpanStatus::Ok)]);
+        assert_eq!(c.query(0, false)[0].spans.len(), 2);
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_not_fatal() {
+        let c = SpanCollector::new(None, no_sampling());
+        let before = tele::counter("trace.collector.rejected").get();
+        let n = c.ingest(&[
+            vec![0xde, 0xad, 0xbe, 0xef],
+            rec(0xc3, 1, 0, "negotiate.client", "h", 0, 100, SpanStatus::Swap),
+        ]);
+        assert_eq!(n, 1);
+        assert!(c.has_trace(0xc3));
+        assert!(tele::counter("trace.collector.rejected").get() > before);
+    }
+
+    #[test]
+    fn persists_and_recovers_kept_traces() {
+        let dir = std::env::temp_dir().join(format!(
+            "bertha-collector-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = SpanCollector::new(Some(dir.clone()), no_sampling());
+            c.ingest(&[
+                rec(0xd4, 1, 0, "negotiate.client", "client", 0, 2000, SpanStatus::Ok),
+                rec(0xd4, 2, 1, "reneg.round", "client", 100, 1900, SpanStatus::RoundFailed),
+            ]);
+            assert!(c.has_trace(0xd4));
+        }
+        // A fresh collector (an agent restart) recovers the ring.
+        let c2 = SpanCollector::new(Some(dir.clone()), no_sampling());
+        assert!(c2.has_trace(0xd4), "trace must survive collector restart");
+        let out = c2.query(1, false);
+        assert_eq!(out[0].root_us, 2000);
+        assert!(out[0].failed);
+        assert_eq!(out[0].records().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,9 @@
 //!   registry during negotiation: availability gates offers, registered
 //!   priorities override defaults, and picking runs the implementation's
 //!   init hook;
+//! - [`collector`]: agent-side span collection — processes export their
+//!   buffered span records here, the agent assembles them into trace
+//!   trees and tail-samples which ones to keep (slow, failed, or 1-in-N);
 //! - [`journal`]: a checksummed write-ahead journal plus compacted
 //!   snapshots, so an agent crash loses no committed registry mutation;
 //! - [`chaos`]: crash-injection harnesses (in-process abort and real
@@ -33,6 +36,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod collector;
 pub mod journal;
 pub mod registry;
 pub mod rendezvous;
@@ -45,4 +49,8 @@ pub use journal::{Journal, Record};
 pub use registry::{ClaimId, RecoveryReport, Registration, Registry, RegistrySource};
 pub use rendezvous::{Rendezvous, RendezvousResult};
 pub use resources::{ResourceKind, ResourcePool, ResourceReq};
-pub use service::{serve_uds, RemoteRegistry};
+pub use collector::{SpanCollector, TailPolicy, TraceSummary};
+pub use service::{
+    install_span_exporter, install_span_exporter_from_env, serve_uds, serve_uds_with,
+    RemoteRegistry,
+};

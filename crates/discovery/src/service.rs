@@ -12,6 +12,7 @@
 //! run those hooks *in the agent*, which is exactly where a real deployment
 //! would run `ethtool`/SDN-controller calls (§4.2).
 
+use crate::collector::{SpanCollector, TraceSummary};
 use crate::registry::{ClaimId, Registration, Registry, RegistrySource};
 use crate::rendezvous::Rendezvous;
 use bertha::conn::{BoxFut, ChunnelConnection};
@@ -112,6 +113,21 @@ pub enum Request {
         /// Streaming interval in milliseconds; 0 = a single scrape.
         interval_ms: u64,
     },
+    /// Export a batch of buffered span records (the per-process span
+    /// buffer, drained) to this agent's trace collector. Each frame is
+    /// one encoded `bertha_telemetry::SpanRecord`.
+    ReportSpans {
+        /// Encoded span records.
+        spans: Vec<Vec<u8>>,
+    },
+    /// Assembled traces retained by the tail sampler, slowest root
+    /// first. `slowest == 0` returns all retained traces.
+    QueryTraces {
+        /// Return at most this many traces (0 = no limit).
+        slowest: u32,
+        /// Only traces containing a failed span.
+        failed_only: bool,
+    },
 }
 
 /// Responses from the discovery agent.
@@ -161,9 +177,16 @@ pub enum Response {
     /// One OpenMetrics text exposition (a `ServeMetrics` scrape or one
     /// frame of a `ServeMetrics` stream).
     MetricsText(String),
+    /// A `QueryTraces` reply: assembled traces, slowest root first.
+    Traces(Vec<TraceSummary>),
 }
 
-async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> Response {
+async fn handle(
+    registry: &Registry,
+    rendezvous: &Rendezvous,
+    collector: &SpanCollector,
+    req: Request,
+) -> Response {
     match req {
         Request::Query { capability } => Response::Regs(registry.query_sync(capability)),
         Request::Claim { impl_guid, pick } => match registry.claim_sync(impl_guid, &pick).await {
@@ -230,6 +253,14 @@ async fn handle(registry: &Registry, rendezvous: &Rendezvous, req: Request) -> R
         Request::ServeMetrics { .. } => {
             Response::MetricsText(tele::openmetrics::render_global())
         }
+        Request::ReportSpans { spans } => {
+            collector.ingest(&spans);
+            Response::Ok
+        }
+        Request::QueryTraces {
+            slowest,
+            failed_only,
+        } => Response::Traces(collector.query(slowest, failed_only)),
     }
 }
 
@@ -268,6 +299,17 @@ pub async fn serve_uds(
     registry: Arc<Registry>,
     path: std::path::PathBuf,
 ) -> Result<tokio::task::JoinHandle<()>, Error> {
+    serve_uds_with(registry, path, Arc::new(SpanCollector::default())).await
+}
+
+/// [`serve_uds`] with an explicit trace collector — the agent deployment
+/// path (`bertha-agentd --trace-dir`) passes a persisting collector, and
+/// tests pass one with a deterministic tail policy.
+pub async fn serve_uds_with(
+    registry: Arc<Registry>,
+    path: std::path::PathBuf,
+    collector: Arc<SpanCollector>,
+) -> Result<tokio::task::JoinHandle<()>, Error> {
     let mut listener = UdsListener::default();
     let mut incoming = listener.listen(Addr::Unix(path)).await?;
     let rendezvous = Arc::new(Rendezvous::new());
@@ -291,6 +333,7 @@ pub async fn serve_uds(
             };
             let registry = Arc::clone(&registry);
             let rendezvous = Arc::clone(&rendezvous);
+            let collector = Arc::clone(&collector);
             tokio::spawn(async move {
                 loop {
                     let (from, buf) = match conn.recv().await {
@@ -321,7 +364,7 @@ pub async fn serve_uds(
                                 tokio::time::sleep(period).await;
                             }
                         }
-                        Ok(req) => handle(&registry, &rendezvous, req).await,
+                        Ok(req) => handle(&registry, &rendezvous, &collector, req).await,
                         Err(e) => {
                             tele::counter("agent.malformed_requests").incr();
                             tele::event!(
@@ -681,6 +724,59 @@ impl RemoteRegistry {
         }
     }
 
+    /// Export a batch of encoded span records to the agent's trace
+    /// collector. An empty batch is a no-op locally (no wire exchange).
+    pub async fn report_spans(&self, spans: Vec<Vec<u8>>) -> Result<(), Error> {
+        if spans.is_empty() {
+            return Ok(());
+        }
+        match self.request(&Request::ReportSpans { spans }).await? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Drain this process's span buffer and export it to the agent —
+    /// one exporter tick, also the deterministic flush tests use. On
+    /// failure the batch goes back into the buffer (the bounded buffer
+    /// drops overflow, counted as usual).
+    pub async fn export_spans_once(&self) -> Result<usize, Error> {
+        let records = tele::span::drain();
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let spans: Vec<Vec<u8>> = records.iter().map(|s| s.encode()).collect();
+        let n = spans.len();
+        match self.report_spans(spans).await {
+            Ok(()) => Ok(n),
+            Err(e) => {
+                for r in records {
+                    tele::span::push(r);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Assembled traces retained by the agent's tail sampler, slowest
+    /// root first. `slowest == 0` returns all retained traces.
+    pub async fn query_traces(
+        &self,
+        slowest: u32,
+        failed_only: bool,
+    ) -> Result<Vec<crate::collector::TraceSummary>, Error> {
+        let req = Request::QueryTraces {
+            slowest,
+            failed_only,
+        };
+        match self.request(&req).await? {
+            Response::Traces(traces) => Ok(traces),
+            Response::Err(e) => Err(Error::Other(e)),
+            other => Err(Error::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Leave a rendezvous group.
     pub async fn rendezvous_leave(&self, group: &str) -> Result<(), Error> {
         match self
@@ -776,6 +872,49 @@ impl RegistrySource for RemoteRegistry {
             }
         })
     }
+}
+
+/// Default span-exporter period.
+const SPAN_EXPORT_PERIOD: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Spawn a periodic span exporter: every `period`, drain this process's
+/// span buffer and ship it to the agent at `agent`'s trace collector.
+/// Failed exports are retried next tick (the batch returns to the
+/// buffer); export errors are counted under `trace.export.errors`.
+pub fn install_span_exporter(
+    agent: std::path::PathBuf,
+    period: std::time::Duration,
+) -> tokio::task::JoinHandle<()> {
+    tokio::spawn(async move {
+        let remote = RemoteRegistry::new(agent);
+        loop {
+            tokio::time::sleep(period).await;
+            match remote.export_spans_once().await {
+                Ok(n) if n > 0 => {
+                    tele::counter("trace.export.spans").add(n as u64);
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    tele::counter("trace.export.errors").incr();
+                }
+            }
+        }
+    })
+}
+
+/// Install the span exporter if `BERTHA_SPAN_EXPORT` names an agent
+/// socket. `BERTHA_SPAN_EXPORT_MS` overrides the period (default 250).
+pub fn install_span_exporter_from_env() -> Option<tokio::task::JoinHandle<()>> {
+    let path = std::env::var("BERTHA_SPAN_EXPORT").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    let period = std::env::var("BERTHA_SPAN_EXPORT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(std::time::Duration::from_millis)
+        .unwrap_or(SPAN_EXPORT_PERIOD);
+    Some(install_span_exporter(path.into(), period))
 }
 
 #[cfg(test)]
@@ -1031,6 +1170,68 @@ mod tests {
             "scrape missing counter family: {text}"
         );
         assert!(text.ends_with("# EOF\n"), "missing EOF terminator");
+        server.abort();
+    }
+
+    #[tokio::test]
+    async fn spans_report_and_query_over_the_wire() {
+        use crate::collector::TailPolicy;
+        use tele::span::{SpanRecord, SpanStatus};
+        let registry = Arc::new(Registry::new());
+        let path = scratch();
+        // Deterministic retention: no healthy downsampling, so only the
+        // failed trace below survives.
+        let collector = Arc::new(SpanCollector::new(
+            None,
+            TailPolicy {
+                downsample: 0,
+                ..TailPolicy::default()
+            },
+        ));
+        let server = serve_uds_with(Arc::clone(&registry), path.clone(), Arc::clone(&collector))
+            .await
+            .unwrap();
+        let remote = RemoteRegistry::new(path);
+
+        let rec = |span_id: u64, parent: u64, op: &str, host: &str, status: SpanStatus| {
+            SpanRecord {
+                trace_id: 0x5e7_f00d,
+                span_id,
+                parent_span_id: parent,
+                op: op.into(),
+                host: host.into(),
+                start_us: span_id * 10,
+                end_us: 1000 + span_id,
+                status,
+                attrs: vec![],
+            }
+            .encode()
+        };
+        // Two "hosts" export their halves in separate batches.
+        remote
+            .report_spans(vec![
+                rec(1, 0, "negotiate.client", "client", SpanStatus::Ok),
+                rec(2, 1, "reneg.round", "client", SpanStatus::RoundFailed),
+            ])
+            .await
+            .unwrap();
+        remote
+            .report_spans(vec![rec(3, 2, "reneg.respond", "server", SpanStatus::Ok)])
+            .await
+            .unwrap();
+
+        let traces = remote.query_traces(1, true).await.unwrap();
+        assert_eq!(traces.len(), 1, "failed trace must be retained");
+        let t = &traces[0];
+        assert!(t.failed);
+        assert_eq!(t.trace_id_hex, tele::trace_hex(0x5e7_f00d));
+        let records = t.records();
+        assert_eq!(records.len(), 3, "both hosts' spans assembled");
+        let hosts: std::collections::HashSet<_> =
+            records.iter().map(|r| r.host.clone()).collect();
+        assert_eq!(hosts.len(), 2, "trace spans two hosts: {records:?}");
+        let respond = records.iter().find(|r| r.op == "reneg.respond").unwrap();
+        assert_eq!(respond.parent_span_id, 2, "cross-host parent link");
         server.abort();
     }
 

@@ -105,6 +105,17 @@ pub fn dump(trigger: &str, trace_id: Option<u128>) -> Option<PathBuf> {
         return None;
     }
     let lines = snapshot_lines();
+    // When the failure is tied to a trace, the dump carries the buffered
+    // span records for that trace id (non-draining read: the exporter's
+    // copy is untouched), so the artifact includes its own waterfall.
+    let span_lines: Vec<String> = trace_id
+        .map(|id| {
+            crate::span::records_for_trace(id)
+                .iter()
+                .map(|r| r.to_json_line())
+                .collect()
+        })
+        .unwrap_or_default();
     let path = dump_dir().join(format!(
         "bertha-flight-{}-{}.jsonl",
         std::process::id(),
@@ -128,6 +139,8 @@ pub fn dump(trigger: &str, trace_id: Option<u128>) -> Option<PathBuf> {
     header.push_str(&std::process::id().to_string());
     header.push_str(",\"events\":");
     header.push_str(&lines.len().to_string());
+    header.push_str(",\"spans\":");
+    header.push_str(&span_lines.len().to_string());
     header.push_str("}}");
 
     let write = || -> std::io::Result<()> {
@@ -135,6 +148,9 @@ pub fn dump(trigger: &str, trace_id: Option<u128>) -> Option<PathBuf> {
         let mut w = std::io::BufWriter::new(file);
         writeln!(w, "{header}")?;
         for line in &lines {
+            writeln!(w, "{line}")?;
+        }
+        for line in &span_lines {
             writeln!(w, "{line}")?;
         }
         w.flush()
@@ -184,6 +200,40 @@ mod tests {
         );
         assert!(contents.contains(marker), "{contents}");
         assert!(dump_paths().contains(&path));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dump_carries_span_records_for_triggering_trace() {
+        // Hold the span-buffer test lock: a concurrent drain() elsewhere
+        // would steal the record between push and dump.
+        let _g = crate::span::TEST_LOCK.lock();
+        let trace_id = 0xf11e_u128;
+        let ctx = crate::tracectx::TraceContext {
+            trace_id,
+            span_id: 77,
+            sampled: true,
+        };
+        crate::span::record(
+            "unit.flightspan",
+            "dump-host",
+            &ctx,
+            0,
+            std::time::Instant::now(),
+            crate::span::SpanStatus::Ok,
+            &[],
+        );
+        let path = dump("unit.span_link", Some(trace_id)).expect("dump written");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let header = contents.lines().next().unwrap();
+        assert!(header.contains("\"spans\":1"), "{header}");
+        assert!(
+            contents.contains("\"op\":\"unit.flightspan\""),
+            "span record missing from dump: {contents}"
+        );
+        // The read is non-draining: the exporter still sees the record.
+        assert_eq!(crate::span::records_for_trace(trace_id).len(), 1);
+        crate::span::clear();
         std::fs::remove_file(&path).ok();
     }
 

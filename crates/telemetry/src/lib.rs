@@ -46,6 +46,7 @@ pub mod json;
 pub mod metrics;
 pub mod openmetrics;
 pub mod profile;
+pub mod span;
 pub mod trace;
 pub mod tracectx;
 
@@ -59,4 +60,5 @@ pub use trace::{
     set_sink, uptime, Event, FanoutSink, JsonLinesSink, Level, MemorySink, Sink, Span, StderrSink,
     Value,
 };
+pub use span::{SpanRecord, SpanStatus};
 pub use tracectx::{bind_nonce, nonce_context, set_sample, trace_hex, TraceContext};

@@ -264,9 +264,38 @@ fn write_exemplar(out: &mut String, ex: &Exemplar) {
     );
 }
 
-/// Render the process-global registry plus the profiler's exemplars.
+/// This binary's identity, as exposed in `bertha_build_info`:
+/// `(crate version, git hash)`. The hash comes from `BERTHA_GIT_HASH` at
+/// compile time (CI sets it); `unknown` otherwise.
+pub fn build_info() -> (&'static str, &'static str) {
+    (
+        option_env!("CARGO_PKG_VERSION").unwrap_or("0.0.0"),
+        option_env!("BERTHA_GIT_HASH").unwrap_or("unknown"),
+    )
+}
+
+/// Render the process-global registry plus the profiler's exemplars,
+/// refreshing the `process.uptime_s` gauge and appending the
+/// `bertha_build` info family — so every scrape can be correlated to a
+/// binary and to how long it has been up.
 pub fn render_global() -> String {
-    render(&crate::metrics::global().snapshot(), &profile::exemplars())
+    crate::metrics::gauge("process.uptime_s").set(crate::trace::uptime().as_secs() as i64);
+    let mut out = render(&crate::metrics::global().snapshot(), &profile::exemplars());
+    let tail = "# EOF\n";
+    if let Some(pos) = out.rfind(tail) {
+        out.truncate(pos);
+    }
+    let (version, git_hash) = build_info();
+    out.push_str("# TYPE bertha_build info\n");
+    out.push_str("# HELP bertha_build build identity of this binary\n");
+    let _ = writeln!(
+        out,
+        "bertha_build_info{{version=\"{}\",git_hash=\"{}\"}} 1",
+        escape_label(version),
+        escape_label(git_hash)
+    );
+    out.push_str(tail);
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +518,7 @@ fn family_for_sample<'a>(
                 ("histogram", "_bucket") => Some("_bucket"),
                 ("histogram", "_sum") => Some("_sum"),
                 ("histogram", "_count") => Some("_count"),
+                ("info", "_info") => Some("_info"),
                 _ => None,
             };
             if let Some(sfx) = ok {
@@ -704,6 +734,29 @@ mod tests {
 
     fn render_registry(r: &Registry) -> String {
         render(&r.snapshot(), &BTreeMap::new())
+    }
+
+    #[test]
+    fn global_render_carries_uptime_and_build_info_and_validates() {
+        let text = render_global();
+        assert!(text.contains("# TYPE process_uptime_s gauge\n"), "{text}");
+        assert!(text.contains("\nprocess_uptime_s "), "{text}");
+        assert!(text.contains("# TYPE bertha_build info\n"), "{text}");
+        let (version, _) = build_info();
+        assert!(
+            text.contains(&format!("bertha_build_info{{version=\"{version}\",git_hash=\"")),
+            "{text}"
+        );
+        // The whole exposition — info family included — must survive the
+        // validator, and the info sample must land in its family.
+        let exp = parse_and_validate(&text).expect("global render validates");
+        assert_eq!(exp.families["bertha_build"].kind, "info");
+        assert_eq!(exp.families["bertha_build"].samples.len(), 1);
+        assert_eq!(exp.families["bertha_build"].samples[0].value, 1.0);
+        assert_eq!(
+            exp.families["bertha_build"].samples[0].label("version"),
+            Some(version)
+        );
     }
 
     #[test]

@@ -113,6 +113,10 @@ struct DirMetrics {
     tick: AtomicU64,
     /// Full `stack.<layer>.<dir>_us` name, the exemplar key.
     us_name: String,
+    /// Span op name for timed frames (`stack.send` / `stack.recv`).
+    op: &'static str,
+    /// Normalised layer label, attached to span records as an attr.
+    label: String,
 }
 
 impl DirMetrics {
@@ -125,6 +129,12 @@ impl DirMetrics {
             max_us: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             us_name,
+            op: if dir == "send" {
+                "stack.send"
+            } else {
+                "stack.recv"
+            },
+            label: label.to_owned(),
         }
     }
 
@@ -147,12 +157,34 @@ impl DirMetrics {
         if let Some(start) = start {
             let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
             self.us.record(us);
+            let last = tracectx::last_sampled();
             // A new maximum is rare by construction; only then do we take
             // the exemplar lock.
             if us > self.max_us.fetch_max(us, Ordering::Relaxed) {
-                if let Some(ctx) = tracectx::last_sampled() {
-                    record_exemplar(&self.us_name, us, &ctx);
+                if let Some(ctx) = &last {
+                    record_exemplar(&self.us_name, us, ctx);
                 }
+            }
+            // Timed frames of a sampled trace also feed the span buffer,
+            // so an assembled waterfall carries per-layer bars. The
+            // attribution is the exemplar's: the most recent sampled
+            // trace, not a causal link. With tracing off (`last` =
+            // `None`) this is one mutex read — the overhead budget's
+            // no-sink configuration never reaches the push.
+            if let Some(ctx) = last {
+                crate::span::record(
+                    self.op,
+                    &crate::span::host_tag(),
+                    &tracectx::TraceContext {
+                        trace_id: ctx.trace_id,
+                        span_id: tracectx::next_span_id(),
+                        sampled: true,
+                    },
+                    ctx.span_id,
+                    start,
+                    crate::span::SpanStatus::Ok,
+                    &[("layer", self.label.clone())],
+                );
             }
         }
     }

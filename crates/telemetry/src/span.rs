@@ -1,0 +1,665 @@
+//! Span records and the per-process span buffer — the export half of
+//! distributed trace assembly (DESIGN.md §9 "Trace assembly and tail
+//! sampling").
+//!
+//! Events already carry `trace_id`/`span_id`/`parent_span_id` fields,
+//! but events are flat: reconstructing "where did this request spend
+//! its time, on which host?" from interleaved JSON lines across
+//! processes is archaeology. A [`SpanRecord`] is the structured form of
+//! one completed span — ids, an `<subsystem>.<op>` name, a host tag,
+//! monotonic-anchored wall-clock start/end, a status, and a few string
+//! attrs — compact enough to buffer per-process and ship to the local
+//! `bertha-agentd`, which assembles records by trace id into trace
+//! trees and applies tail-based retention.
+//!
+//! The buffer is a bounded lock-free Treiber stack: the hot path
+//! ([`record`], called only for *sampled* traces) is one allocation and
+//! one CAS; when full, new records are dropped and counted rather than
+//! blocking. Draining ([`drain`], the exporter) and non-draining reads
+//! ([`records_for_trace`], the flight-recorder cross-link) are cold
+//! paths serialized by a mutex.
+//!
+//! Wall-clock anchoring: span timestamps must be comparable *across
+//! hosts*, so they are wall-clock microseconds — but derived from one
+//! `(Instant, SystemTime)` pair captured at first use, so intra-process
+//! durations stay monotonic even if the wall clock steps.
+
+use crate::tracectx::TraceContext;
+use crate::json;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// First byte of every encoded [`SpanRecord`]. Registered as 0xB5 on the
+/// `span-record` channel in `bertha::negotiate::wire` (this crate sits
+/// below `bertha`, so the value is written in decimal here and the
+/// registry cross-asserts equality at compile time).
+pub const SPAN_MAGIC: u8 = 181;
+/// Codec version byte; decoders reject anything else. Registered as 0x01
+/// on the `span-record` channel in `bertha::negotiate::wire`.
+pub const SPAN_VERSION: u8 = 1;
+/// Fixed prefix before the variable-length tail: magic, version, trace
+/// id, span id, parent span id, start, end, status, attr count, op
+/// length.
+const FIXED_LEN: usize = 2 + 16 + 8 + 8 + 8 + 8 + 1 + 1 + 2;
+
+/// How a span ended. The failure variants mirror the flight-recorder
+/// trigger taxonomy, which is what the collector's tail sampler keys
+/// retention off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// Completed normally.
+    Ok,
+    /// A client handshake exhausted its retries.
+    ClientTimeout,
+    /// A renegotiation round failed.
+    RoundFailed,
+    /// An epoch swap (not an error, but always worth keeping: the
+    /// connection changed shape mid-flight).
+    Swap,
+    /// Any other failure.
+    Failed,
+}
+
+impl SpanStatus {
+    /// Stable wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            SpanStatus::Ok => 0,
+            SpanStatus::ClientTimeout => 1,
+            SpanStatus::RoundFailed => 2,
+            SpanStatus::Swap => 3,
+            SpanStatus::Failed => 4,
+        }
+    }
+
+    /// Decode the wire byte; `None` for unknown values.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => SpanStatus::Ok,
+            1 => SpanStatus::ClientTimeout,
+            2 => SpanStatus::RoundFailed,
+            3 => SpanStatus::Swap,
+            4 => SpanStatus::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Human/JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::ClientTimeout => "client_timeout",
+            SpanStatus::RoundFailed => "round_failed",
+            SpanStatus::Swap => "swap",
+            SpanStatus::Failed => "failed",
+        }
+    }
+
+    /// Does this status mark the whole trace as failed for tail-based
+    /// retention? (`Swap` counts: a mid-connection stack swap is always
+    /// worth a look.)
+    pub fn is_failure(self) -> bool {
+        !matches!(self, SpanStatus::Ok)
+    }
+}
+
+/// One completed span, ready for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// 128-bit id shared by every span in the trace.
+    pub trace_id: u128,
+    /// This span's 64-bit id.
+    pub span_id: u64,
+    /// Parent span id; 0 for a root span.
+    pub parent_span_id: u64,
+    /// `<subsystem>.<op>` name (`negotiate.client`, `reneg.swap`, ...);
+    /// the spellings live in the DESIGN.md §9 span table and are
+    /// cross-checked by `bertha-check`.
+    pub op: String,
+    /// Which process/endpooint produced this span (the negotiation
+    /// `opts.name` where one exists, else the process-wide host tag).
+    pub host: String,
+    /// Wall-clock start, microseconds since the Unix epoch
+    /// (monotonic-anchored; see module docs).
+    pub start_us: u64,
+    /// Wall-clock end, same basis.
+    pub end_us: u64,
+    /// Outcome.
+    pub status: SpanStatus,
+    /// Small set of key/value attributes (layer name, epoch, ...).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds (0 if the clock stepped backwards).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Encode to the length-delimited binary form `decode` accepts.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FIXED_LEN + self.op.len() + self.host.len() + 16);
+        out.push(SPAN_MAGIC);
+        out.push(SPAN_VERSION);
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.span_id.to_le_bytes());
+        out.extend_from_slice(&self.parent_span_id.to_le_bytes());
+        out.extend_from_slice(&self.start_us.to_le_bytes());
+        out.extend_from_slice(&self.end_us.to_le_bytes());
+        out.push(self.status.as_u8());
+        out.push(self.attrs.len().min(u8::MAX as usize) as u8);
+        push_str(&mut out, &self.op);
+        push_str(&mut out, &self.host);
+        for (k, v) in self.attrs.iter().take(u8::MAX as usize) {
+            push_str(&mut out, k);
+            push_str(&mut out, v);
+        }
+        out
+    }
+
+    /// Decode one record. Rejects (returns `None` on) a wrong magic or
+    /// version byte, an unknown status, any truncation, and non-UTF-8
+    /// strings; trailing bytes after a complete record are ignored.
+    /// Never panics, whatever the bytes.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < FIXED_LEN - 2 || buf[0] != SPAN_MAGIC || buf[1] != SPAN_VERSION {
+            return None;
+        }
+        let trace_id = u128::from_le_bytes(buf.get(2..18)?.try_into().ok()?);
+        let span_id = u64::from_le_bytes(buf.get(18..26)?.try_into().ok()?);
+        let parent_span_id = u64::from_le_bytes(buf.get(26..34)?.try_into().ok()?);
+        let start_us = u64::from_le_bytes(buf.get(34..42)?.try_into().ok()?);
+        let end_us = u64::from_le_bytes(buf.get(42..50)?.try_into().ok()?);
+        let status = SpanStatus::from_u8(*buf.get(50)?)?;
+        let n_attrs = *buf.get(51)? as usize;
+        let mut pos = 52;
+        let op = read_str(buf, &mut pos)?;
+        let host = read_str(buf, &mut pos)?;
+        let mut attrs = Vec::with_capacity(n_attrs.min(16));
+        for _ in 0..n_attrs {
+            let k = read_str(buf, &mut pos)?;
+            let v = read_str(buf, &mut pos)?;
+            attrs.push((k, v));
+        }
+        Some(SpanRecord {
+            trace_id,
+            span_id,
+            parent_span_id,
+            op,
+            host,
+            start_us,
+            end_us,
+            status,
+            attrs,
+        })
+    }
+
+    /// Render as one JSON line (the form flight dumps embed).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"span\":{\"trace_id\":");
+        json::push_str(&mut out, &crate::tracectx::trace_hex(self.trace_id));
+        out.push_str(",\"span_id\":");
+        out.push_str(&self.span_id.to_string());
+        out.push_str(",\"parent_span_id\":");
+        out.push_str(&self.parent_span_id.to_string());
+        out.push_str(",\"op\":");
+        json::push_str(&mut out, &self.op);
+        out.push_str(",\"host\":");
+        json::push_str(&mut out, &self.host);
+        out.push_str(",\"start_us\":");
+        out.push_str(&self.start_us.to_string());
+        out.push_str(",\"end_us\":");
+        out.push_str(&self.end_us.to_string());
+        out.push_str(",\"status\":");
+        json::push_str(&mut out, self.status.as_str());
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, k);
+            json::push_str(&mut out, v);
+        }
+        out.push_str("}}}");
+        out
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+    let len = u16::from_le_bytes(buf.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
+    *pos += 2;
+    let s = std::str::from_utf8(buf.get(*pos..*pos + len)?).ok()?;
+    *pos += len;
+    Some(s.to_string())
+}
+
+// ---------------------------------------------------------------------
+// The bounded lock-free buffer.
+
+struct Node {
+    rec: SpanRecord,
+    next: *mut Node,
+}
+
+static HEAD: AtomicPtr<Node> = AtomicPtr::new(std::ptr::null_mut());
+static LEN: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Serializes the cold paths (drain, snapshot walks, clear) against
+/// each other, so a walker never dereferences a node a drainer freed.
+/// Pushes never take it.
+static SWEEP: Mutex<()> = Mutex::new(());
+
+fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("BERTHA_SPAN_BUFFER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4096)
+    })
+}
+
+/// Push one record into the process buffer. Lock-free; when the buffer
+/// is at capacity (`BERTHA_SPAN_BUFFER`, default 4096) the record is
+/// dropped and counted instead.
+pub fn push(rec: SpanRecord) {
+    if LEN.fetch_add(1, Ordering::AcqRel) >= capacity() {
+        LEN.fetch_sub(1, Ordering::AcqRel);
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        crate::counter("trace.spans_dropped").incr();
+        return;
+    }
+    let node = Box::into_raw(Box::new(Node {
+        rec,
+        next: std::ptr::null_mut(),
+    }));
+    loop {
+        let head = HEAD.load(Ordering::Acquire);
+        // Safety: `node` is ours until the CAS publishes it.
+        unsafe { (*node).next = head };
+        if HEAD
+            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+/// Record a completed span for a *sampled* trace: unsampled contexts
+/// return immediately. The record's span id is `ctx.span_id` (matching
+/// the ids already emitted in event fields, so events and spans
+/// correlate); `parent_span_id` is explicit because the parent may live
+/// on another host. `start` is when the operation began; the record's
+/// wall-clock window is derived from the monotonic anchor.
+pub fn record(
+    op: &str,
+    host: &str,
+    ctx: &TraceContext,
+    parent_span_id: u64,
+    start: Instant,
+    status: SpanStatus,
+    attrs: &[(&str, String)],
+) {
+    if !ctx.sampled {
+        return;
+    }
+    let end_us = now_wall_us();
+    let start_us = end_us.saturating_sub(start.elapsed().as_micros() as u64);
+    push(SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_span_id,
+        op: op.to_string(),
+        host: host.to_string(),
+        start_us,
+        end_us,
+        status,
+        attrs: attrs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    });
+}
+
+/// Like [`record`], with the process-wide [`host_tag`].
+pub fn record_local(
+    op: &str,
+    ctx: &TraceContext,
+    parent_span_id: u64,
+    start: Instant,
+    status: SpanStatus,
+    attrs: &[(&str, String)],
+) {
+    record(op, &host_tag(), ctx, parent_span_id, start, status, attrs);
+}
+
+/// Drain the buffer: every buffered record, oldest first. This is the
+/// exporter's read — after it, the buffer is empty (modulo concurrent
+/// pushes, which are kept).
+pub fn drain() -> Vec<SpanRecord> {
+    let _g = SWEEP.lock();
+    let mut p = HEAD.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    let mut out = Vec::new();
+    while !p.is_null() {
+        // Safety: we own the detached chain; SWEEP excludes other
+        // walkers and drainers.
+        let node = unsafe { Box::from_raw(p) };
+        p = node.next;
+        out.push(node.rec);
+        LEN.fetch_sub(1, Ordering::AcqRel);
+    }
+    out.reverse();
+    out
+}
+
+/// Non-draining read of every buffered record for one trace, oldest
+/// first — the flight-recorder cross-link: a failure dump includes the
+/// triggering trace's spans without consuming the exporter's copy.
+pub fn records_for_trace(trace_id: u128) -> Vec<SpanRecord> {
+    let _g = SWEEP.lock();
+    let mut p = HEAD.load(Ordering::Acquire);
+    let mut out = Vec::new();
+    while !p.is_null() {
+        // Safety: nodes are only freed by drain/clear, which hold SWEEP.
+        unsafe {
+            if (*p).rec.trace_id == trace_id {
+                out.push((*p).rec.clone());
+            }
+            p = (*p).next;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Number of buffered records.
+pub fn len() -> usize {
+    LEN.load(Ordering::Acquire)
+}
+
+/// Records dropped because the buffer was full.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Empty the buffer (tests).
+pub fn clear() {
+    let _ = drain();
+}
+
+// ---------------------------------------------------------------------
+// Host tag and the monotonic wall-clock anchor.
+
+static HOST: Mutex<Option<String>> = Mutex::new(None);
+
+/// Set the process-wide host tag stamped on spans recorded without an
+/// explicit one.
+pub fn set_host_tag(name: &str) {
+    *HOST.lock() = Some(name.to_string());
+}
+
+/// The process-wide host tag: `set_host_tag` value, else
+/// `BERTHA_SPAN_HOST`, else `pid-<pid>`. The default is computed once
+/// and cached, so callers on timed paths don't repeat the env lookup.
+pub fn host_tag() -> String {
+    let mut h = HOST.lock();
+    if let Some(h) = h.as_ref() {
+        return h.clone();
+    }
+    let def = std::env::var("BERTHA_SPAN_HOST")
+        .unwrap_or_else(|_| format!("pid-{}", std::process::id()));
+    *h = Some(def.clone());
+    def
+}
+
+fn anchor() -> (Instant, u64) {
+    static ANCHOR: OnceLock<(Instant, u64)> = OnceLock::new();
+    *ANCHOR.get_or_init(|| {
+        let wall = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        (Instant::now(), wall)
+    })
+}
+
+/// Wall-clock "now" in microseconds since the Unix epoch, derived from
+/// the process's monotonic anchor: comparable across hosts (to clock
+/// sync precision), monotonic within the process.
+pub fn now_wall_us() -> u64 {
+    let (i0, w0) = anchor();
+    w0.saturating_add(i0.elapsed().as_micros() as u64)
+}
+
+// ---------------------------------------------------------------------
+// Trace-tree helpers shared by the collector and `bertha-trace`.
+
+/// The root span of an assembled trace: `parent_span_id == 0`, or (for
+/// a trace whose true root was lost) the span no other span parents.
+pub fn root_of(spans: &[SpanRecord]) -> Option<&SpanRecord> {
+    if let Some(r) = spans.iter().find(|s| s.parent_span_id == 0) {
+        return Some(r);
+    }
+    spans
+        .iter()
+        .find(|s| !spans.iter().any(|p| p.span_id == s.parent_span_id))
+        .or_else(|| spans.first())
+}
+
+/// The critical path of an assembled trace: starting at the root,
+/// repeatedly descend into the child with the latest end time (the one
+/// still running when its siblings were done — the chain that
+/// determined when the trace finished). Returns span ids, root first.
+pub fn critical_path(spans: &[SpanRecord]) -> Vec<u64> {
+    let Some(root) = root_of(spans) else {
+        return Vec::new();
+    };
+    let mut path = vec![root.span_id];
+    let mut cur = root.span_id;
+    loop {
+        let next = spans
+            .iter()
+            .filter(|s| s.parent_span_id == cur && s.span_id != cur)
+            .max_by_key(|s| s.end_us);
+        match next {
+            Some(s) if !path.contains(&s.span_id) => {
+                path.push(s.span_id);
+                cur = s.span_id;
+            }
+            _ => return path,
+        }
+    }
+}
+
+/// Serializes tests (across the crate's modules) that read or drain the
+/// process-global span buffer.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-buffer tests share the process buffer; serialize them.
+    // Tests in *other* modules may still push concurrently (they don't
+    // hold this lock), so assertions filter by test-unique trace ids
+    // rather than counting the whole buffer.
+    use super::TEST_LOCK as SPAN_TEST_LOCK;
+
+    fn rec(trace: u128, span: u64, parent: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: span,
+            parent_span_id: parent,
+            op: "test.op".into(),
+            host: "h".into(),
+            start_us: 100,
+            end_us: 250,
+            status: SpanStatus::Ok,
+            attrs: vec![("k".into(), "v".into())],
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let r = SpanRecord {
+            trace_id: 0xdead_beef_cafe,
+            span_id: 7,
+            parent_span_id: 3,
+            op: "negotiate.client".into(),
+            host: "cli-α".into(),
+            start_us: 1_700_000_000_000_000,
+            end_us: 1_700_000_000_001_234,
+            status: SpanStatus::RoundFailed,
+            attrs: vec![("epoch".into(), "1".into()), ("layer".into(), "x".into())],
+        };
+        let enc = r.encode();
+        assert_eq!(SpanRecord::decode(&enc), Some(r.clone()));
+        // Trailing bytes are ignored.
+        let mut long = enc.clone();
+        long.extend_from_slice(b"junk");
+        assert_eq!(SpanRecord::decode(&long), Some(r));
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_garbage() {
+        let enc = rec(1, 2, 0).encode();
+        for cut in 0..enc.len() {
+            assert_eq!(SpanRecord::decode(&enc[..cut]), None, "cut at {cut}");
+        }
+        let mut bad_magic = enc.clone();
+        bad_magic[0] = 0x00;
+        assert!(SpanRecord::decode(&bad_magic).is_none());
+        let mut bad_version = enc.clone();
+        bad_version[1] = 0x7f;
+        assert!(SpanRecord::decode(&bad_version).is_none());
+        let mut bad_status = enc.clone();
+        bad_status[50] = 0xff;
+        assert!(SpanRecord::decode(&bad_status).is_none());
+        assert!(SpanRecord::decode(&[]).is_none());
+        assert!(SpanRecord::decode(&[0xB5]).is_none());
+    }
+
+    #[test]
+    fn buffer_push_drain_preserves_order_and_bounds() {
+        let _g = SPAN_TEST_LOCK.lock();
+        let trace = 0x7e57_0001_u128;
+        for i in 0..10 {
+            push(rec(trace, i as u64 + 1, 0));
+        }
+        let got: Vec<SpanRecord> = drain()
+            .into_iter()
+            .filter(|r| r.trace_id == trace)
+            .collect();
+        assert_eq!(got.len(), 10);
+        assert!(records_for_trace(trace).is_empty(), "drain must consume");
+        let ids: Vec<u64> = got.iter().map(|r| r.span_id).collect();
+        assert_eq!(ids, (1..=10).collect::<Vec<_>>(), "oldest first");
+    }
+
+    #[test]
+    fn records_for_trace_does_not_drain() {
+        let _g = SPAN_TEST_LOCK.lock();
+        let (ta, tb) = (0x7e57_0002_u128, 0x7e57_0003_u128);
+        push(rec(ta, 1, 0));
+        push(rec(tb, 2, 0));
+        push(rec(ta, 3, 1));
+        let a = records_for_trace(ta);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].span_id, 1);
+        assert_eq!(a[1].span_id, 3);
+        // Non-draining: a second read sees the same records.
+        assert_eq!(records_for_trace(ta).len(), 2, "snapshot must not consume");
+        assert_eq!(records_for_trace(tb).len(), 1);
+        clear();
+    }
+
+    #[test]
+    fn record_skips_unsampled_contexts() {
+        let _g = SPAN_TEST_LOCK.lock();
+        let trace = 0x7e57_0004_u128;
+        let unsampled = TraceContext {
+            trace_id: trace,
+            span_id: 1,
+            sampled: false,
+        };
+        record("a.b", "h", &unsampled, 0, Instant::now(), SpanStatus::Ok, &[]);
+        assert!(records_for_trace(trace).is_empty());
+        let sampled = TraceContext {
+            trace_id: trace,
+            span_id: 1,
+            sampled: true,
+        };
+        record("a.b", "h", &sampled, 0, Instant::now(), SpanStatus::Ok, &[]);
+        let got = records_for_trace(trace);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].span_id, 1);
+        assert_eq!(got[0].op, "a.b");
+        assert!(got[0].end_us >= got[0].start_us);
+        clear();
+    }
+
+    #[test]
+    fn critical_path_descends_latest_ending_children() {
+        // root(1) -> a(2, ends 300), b(3, ends 500) -> b-child(4, ends 450)
+        let mut spans = vec![rec(1, 1, 0), rec(1, 2, 1), rec(1, 3, 1), rec(1, 4, 3)];
+        spans[1].end_us = 300;
+        spans[2].end_us = 500;
+        spans[3].end_us = 450;
+        assert_eq!(critical_path(&spans), vec![1, 3, 4]);
+        assert_eq!(root_of(&spans).map(|r| r.span_id), Some(1));
+    }
+
+    #[test]
+    fn critical_path_survives_cycles_and_missing_roots() {
+        // No parent==0 root; 5 and 6 parent each other (corrupt input).
+        let mut a = rec(1, 5, 6);
+        let mut b = rec(1, 6, 5);
+        a.end_us = 10;
+        b.end_us = 20;
+        let spans = vec![a, b];
+        let path = critical_path(&spans);
+        assert!(!path.is_empty(), "must terminate");
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let line = rec(0xab, 2, 1).to_json_line();
+        assert!(line.starts_with("{\"span\":{\"trace_id\":\""));
+        assert!(line.contains("\"op\":\"test.op\""));
+        assert!(line.contains("\"status\":\"ok\""));
+        assert!(line.contains("\"attrs\":{\"k\":\"v\"}"));
+        assert!(line.ends_with("}}}"));
+    }
+
+    #[test]
+    fn host_tag_default_and_override() {
+        let _g = SPAN_TEST_LOCK.lock();
+        let saved = HOST.lock().clone();
+        *HOST.lock() = None;
+        assert!(host_tag().starts_with("pid-") || std::env::var("BERTHA_SPAN_HOST").is_ok());
+        set_host_tag("host-a");
+        assert_eq!(host_tag(), "host-a");
+        *HOST.lock() = saved;
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let a = now_wall_us();
+        let b = now_wall_us();
+        assert!(b >= a);
+        assert!(a > 1_000_000_000_000_000, "anchored to the Unix epoch");
+    }
+}

@@ -370,6 +370,7 @@ pub struct Span {
     name: &'static str,
     start: Instant,
     fields: Vec<(&'static str, Value)>,
+    trace: Option<(crate::tracectx::TraceContext, u64)>,
 }
 
 impl Span {
@@ -380,7 +381,17 @@ impl Span {
             name,
             start: Instant::now(),
             fields: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Attach a trace context (builder style): when the span ends, a
+    /// `SpanRecord` named `<target>.<name>` is pushed into the process
+    /// span buffer — if the trace is sampled — parented under
+    /// `parent_span_id` (0 for a root span).
+    pub fn with_trace(mut self, ctx: crate::tracectx::TraceContext, parent_span_id: u64) -> Self {
+        self.trace = Some((ctx, parent_span_id));
+        self
     }
 
     /// Attach a field (builder style).
@@ -406,6 +417,22 @@ impl Span {
 
     /// End the span at an explicit level.
     pub fn end_level(mut self, level: Level) {
+        if let Some((ctx, parent)) = self.trace {
+            let op = format!("{}.{}", self.target, self.name);
+            let attrs: Vec<(&str, String)> = self
+                .fields
+                .iter()
+                .map(|(k, v)| (*k, v.to_string()))
+                .collect();
+            crate::span::record_local(
+                &op,
+                &ctx,
+                parent,
+                self.start,
+                crate::span::SpanStatus::Ok,
+                &attrs,
+            );
+        }
         if !enabled_at(level) {
             return;
         }
@@ -724,6 +751,38 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("\"elapsed_us\":"), "{}", lines[0]);
         assert!(lines[0].contains("\"attempt\":1"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn span_with_trace_feeds_span_buffer() {
+        let _b = crate::span::TEST_LOCK.lock();
+        let ctx = crate::tracectx::TraceContext {
+            trace_id: 0x7e57_57a0,
+            span_id: 11,
+            sampled: true,
+        };
+        Span::begin("negotiate", "client")
+            .with("attempt", 2u64)
+            .with_trace(ctx, 5)
+            .end();
+        let recs = crate::span::records_for_trace(ctx.trace_id);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].op, "negotiate.client");
+        assert_eq!(recs[0].span_id, 11);
+        assert_eq!(recs[0].parent_span_id, 5);
+        assert_eq!(
+            recs[0].attrs,
+            vec![("attempt".to_string(), "2".to_string())]
+        );
+        // Unsampled contexts feed nothing.
+        let off = crate::tracectx::TraceContext {
+            trace_id: 0x7e57_57a1,
+            span_id: 12,
+            sampled: false,
+        };
+        Span::begin("negotiate", "client").with_trace(off, 0).end();
+        assert!(crate::span::records_for_trace(off.trace_id).is_empty());
+        crate::span::clear();
     }
 
     #[test]

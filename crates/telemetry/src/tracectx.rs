@@ -113,6 +113,14 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The FNV-1a hash behind every per-trace decision (head sampling here,
+/// tail downsampling in the collector), exported so out-of-process
+/// components reach the *same* deterministic verdict for a trace id that
+/// every host reached when stamping it.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    fnv64(bytes)
+}
+
 static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 fn entropy_seed() -> u64 {
@@ -144,6 +152,13 @@ fn next_id() -> u64 {
     } else {
         id
     }
+}
+
+/// A fresh span id from the process-global generator, for spans that
+/// need an id distinct from any `TraceContext` (e.g. per-frame profile
+/// samples parented under a connection's span).
+pub(crate) fn next_span_id() -> u64 {
+    next_id()
 }
 
 /// Sampling denominator: 0 = off, 1 = always, N = one trace in N.

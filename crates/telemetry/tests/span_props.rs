@@ -1,0 +1,116 @@
+//! Property tests for the `SpanRecord` codec and the deterministic
+//! samplers. Span records cross process boundaries (exporter → agent)
+//! and an on-disk ring, so the decoder sees whatever arrives and must
+//! never panic, and the head/tail sampling hashes must reach the same
+//! verdict on every host.
+
+use bertha_telemetry::span::{SpanRecord, SpanStatus, SPAN_MAGIC, SPAN_VERSION};
+use bertha_telemetry::tracectx;
+use proptest::prelude::*;
+
+fn status_strategy() -> impl Strategy<Value = SpanStatus> {
+    prop_oneof![
+        Just(SpanStatus::Ok),
+        Just(SpanStatus::ClientTimeout),
+        Just(SpanStatus::RoundFailed),
+        Just(SpanStatus::Swap),
+        Just(SpanStatus::Failed),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = SpanRecord> {
+    (
+        any::<u128>(),
+        any::<u64>(),
+        any::<u64>(),
+        "[a-z]{1,12}\\.[a-z_]{1,12}",
+        "[a-zA-Z0-9._-]{0,24}",
+        any::<u64>(),
+        any::<u64>(),
+        status_strategy(),
+        proptest::collection::vec(("[a-z_]{1,8}", "[ -~]{0,16}"), 0..4),
+    )
+        .prop_map(
+            |(trace_id, span_id, parent_span_id, op, host, start_us, end_us, status, attrs)| {
+                SpanRecord {
+                    trace_id,
+                    span_id,
+                    parent_span_id,
+                    op,
+                    host,
+                    start_us,
+                    end_us,
+                    status,
+                    attrs,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(rec in record_strategy()) {
+        let enc = rec.encode();
+        prop_assert_eq!(enc[0], SPAN_MAGIC);
+        prop_assert_eq!(enc[1], SPAN_VERSION);
+        prop_assert_eq!(SpanRecord::decode(&enc), Some(rec));
+    }
+
+    #[test]
+    fn truncated_buffers_reject(rec in record_strategy(), frac in 0.0f64..1.0) {
+        let enc = rec.encode();
+        let cut = (enc.len() as f64 * frac) as usize;
+        prop_assert!(cut < enc.len());
+        prop_assert_eq!(SpanRecord::decode(&enc[..cut]), None);
+    }
+
+    #[test]
+    fn extra_trailing_bytes_are_ignored(rec in record_strategy(), tail in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut buf = rec.encode();
+        buf.extend_from_slice(&tail);
+        prop_assert_eq!(SpanRecord::decode(&buf), Some(rec));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Garbage either rejects or decodes; the only contract here is
+        // no panic, and anything that *does* decode re-encodes (the
+        // collector persists what it accepted).
+        if let Some(rec) = SpanRecord::decode(&buf) {
+            prop_assert!(SpanRecord::decode(&rec.encode()).is_some());
+        }
+    }
+
+    #[test]
+    fn bad_magic_or_version_rejects(rec in record_strategy(), byte in any::<u8>()) {
+        let mut enc = rec.encode();
+        if byte != SPAN_MAGIC {
+            enc[0] = byte;
+            prop_assert_eq!(SpanRecord::decode(&enc), None);
+        }
+        let mut enc2 = rec.encode();
+        if byte != SPAN_VERSION {
+            enc2[1] = byte;
+            prop_assert_eq!(SpanRecord::decode(&enc2), None);
+        }
+    }
+
+    // The head sampler is a pure function of the trace id: two hosts
+    // that share a trace id (the client minted it, the server adopted
+    // it off the wire) must reach the same sampling verdict with no
+    // coordination — that is the whole reason the hash is FNV over the
+    // id bytes rather than a per-process coin flip.
+    #[test]
+    fn head_sampler_agrees_across_hosts(trace_id in any::<u128>()) {
+        let client_verdict = tracectx::sample_decision(trace_id);
+        // "The other host": same id arriving over the wire, decided in
+        // a fresh call with no shared state beyond the configuration.
+        let server_verdict = tracectx::sample_decision(trace_id);
+        prop_assert_eq!(client_verdict, server_verdict);
+        // And the exported hash both samplers build on is stable.
+        prop_assert_eq!(
+            tracectx::hash64(&trace_id.to_le_bytes()),
+            tracectx::hash64(&trace_id.to_le_bytes())
+        );
+    }
+}

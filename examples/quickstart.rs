@@ -39,6 +39,11 @@ async fn main() -> Result<(), bertha::Error> {
     if let Some(bound) = metrics {
         println!("serving metrics on http://{bound}/metrics");
     }
+    // `BERTHA_SPAN_EXPORT=<agent socket>` ships sampled trace spans to the
+    // local agent's collector in the background (sampling itself is
+    // `BERTHA_TRACE_SAMPLE`); `bertha-trace --agent <socket>` renders the
+    // retained traces as waterfalls.
+    let span_exporter = bertha_discovery::install_span_exporter_from_env();
     // ---- Server ----------------------------------------------------
     let raw = UdpListener::default()
         .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
@@ -94,6 +99,15 @@ async fn main() -> Result<(), bertha::Error> {
     assert_eq!(reply.from, "server");
 
     server.abort();
+    // Flush the run's remaining spans synchronously — the process exits
+    // well inside the background exporter's first period.
+    if span_exporter.is_some() {
+        if let Ok(path) = std::env::var("BERTHA_SPAN_EXPORT") {
+            let _ = bertha_discovery::RemoteRegistry::new(path.into())
+                .export_spans_once()
+                .await;
+        }
+    }
     println!("quickstart ok");
     if metrics.is_some() {
         // Keep the metrics listener reachable for scrapers

@@ -84,6 +84,33 @@ async fn trace_spans_link_across_failure_and_renegotiation() {
     let srv = srv_task.await.unwrap().unwrap();
     assert_eq!(picks.picks[0].name, "tracing/inline");
 
+    // A local "agent": span collector behind the UDS RPC surface, in
+    // pure-tail mode (downsample 0) so retention is deterministic —
+    // only failed or slow traces survive.
+    let agent_sock = std::env::temp_dir().join(format!(
+        "bertha-trace-e2e-{}-{}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    let _ = std::fs::remove_file(&agent_sock);
+    let agent = bertha_discovery::serve_uds_with(
+        Arc::new(bertha_discovery::Registry::new()),
+        agent_sock.clone(),
+        Arc::new(bertha_discovery::SpanCollector::new(
+            None,
+            bertha_discovery::TailPolicy {
+                downsample: 0,
+                ..bertha_discovery::TailPolicy::default()
+            },
+        )),
+    )
+    .await
+    .unwrap();
+    let remote = bertha_discovery::RemoteRegistry::new(agent_sock.clone());
+
     // Epoch-0 traffic: the sampled context must stamp data frames.
     let stamped_before = tele::counter("tracing.frames_stamped").get();
     let srv2 = srv.clone();
@@ -139,6 +166,30 @@ async fn trace_spans_link_across_failure_and_renegotiation() {
     assert!(
         dump.contains("\"name\":\"round_failed\""),
         "dump lacks the trigger event"
+    );
+
+    // --- Pass 1: export what happened so far and query the assembly.
+    // At this instant the latest-ending child of the client root is the
+    // failed renegotiation round, so the critical path must run through
+    // it — exactly what an operator debugging the outage wants marked.
+    assert!(
+        remote.export_spans_once().await.unwrap() > 0,
+        "the scenario must have buffered span records to export"
+    );
+    let traces = remote.query_traces(1, true).await.unwrap();
+    assert_eq!(traces.len(), 1, "failed trace retained by the tail sampler");
+    let recs = traces[0].records();
+    let root_rec = tele::span::root_of(&recs).expect("assembled trace has a root");
+    assert_eq!(root_rec.op, "negotiate.client");
+    assert_eq!(root_rec.parent_span_id, 0);
+    let failed_round = recs
+        .iter()
+        .find(|r| r.op == "reneg.round" && r.status == tele::span::SpanStatus::RoundFailed)
+        .expect("failed round span assembled");
+    assert_eq!(failed_round.parent_span_id, root_rec.span_id);
+    assert!(
+        tele::span::critical_path(&recs).contains(&failed_round.span_id),
+        "critical path must run through the failed round: {recs:?}"
     );
 
     // The link recovers; renegotiation succeeds and swaps both epochs.
@@ -204,8 +255,77 @@ async fn trace_spans_link_across_failure_and_renegotiation() {
     assert!(sink.count_of("chunnel", "traced_send") >= 1);
     assert!(sink.count_of("chunnel", "traced_recv") >= 1);
 
+    // --- Pass 2: the recovery's spans are late arrivals — they must
+    // merge into the already-retained trace, linking both endpoints of
+    // the epoch swap under the successful round.
+    remote.export_spans_once().await.unwrap();
+    let traces = remote.query_traces(1, true).await.unwrap();
+    assert_eq!(traces.len(), 1, "still exactly one retained trace");
+    let merged = traces[0].records();
+    assert_eq!(traces[0].trace_id_hex, root_trace);
+    let hosts: std::collections::HashSet<_> = merged.iter().map(|r| r.host.clone()).collect();
+    assert!(
+        hosts.len() >= 2,
+        "assembled trace must span both endpoints: {hosts:?}"
+    );
+    // Parent links across the swap, hop by hop: the client's round span
+    // parents the server's respond span (the cross-endpoint link), which
+    // parents the server's swap; the client's own swap hangs off the
+    // same round.
+    let srv_respond = merged
+        .iter()
+        .find(|r| r.op == "reneg.respond" && r.host == "srv")
+        .expect("server respond span merged into the kept trace");
+    assert_eq!(
+        srv_respond.parent_span_id, round_span,
+        "cross-endpoint parent link into the responder"
+    );
+    let srv_swap_rec = merged
+        .iter()
+        .find(|r| r.op == "reneg.swap" && r.host == "srv")
+        .expect("server swap span merged into the kept trace");
+    assert_eq!(
+        srv_swap_rec.parent_span_id, srv_respond.span_id,
+        "server swap is a child of its respond span"
+    );
+    assert!(merged
+        .iter()
+        .any(|r| r.op == "reneg.swap" && r.host == "cli" && r.parent_span_id == round_span));
+
+    // --- Head × tail sampling: a healthy echo trace admitted at 1-in-16
+    // head sampling still gets dropped by the pure-tail collector — it
+    // neither failed nor ran slow, and downsample 0 keeps no healthy
+    // baseline.
+    tele::set_sample(16);
+    let healthy = std::iter::repeat_with(tele::TraceContext::new_root)
+        .find(|c| c.sampled)
+        .unwrap();
+    tele::span::record(
+        "negotiate.client",
+        "cli",
+        &healthy,
+        0,
+        std::time::Instant::now(),
+        tele::span::SpanStatus::Ok,
+        &[],
+    );
+    remote.export_spans_once().await.unwrap();
+    let traces = remote.query_traces(0, false).await.unwrap();
+    assert_eq!(
+        traces.len(),
+        1,
+        "healthy trace must be downsampled, failed trace retained"
+    );
+    assert_eq!(traces[0].trace_id_hex, root_trace);
+    assert!(
+        tele::counter("trace.collector.downsampled").get() >= 1,
+        "collector must account for the dropped healthy trace"
+    );
+
     // Cleanup so a panic elsewhere can't double-report, and drop the echo.
     drop(echo);
+    agent.abort();
+    let _ = std::fs::remove_file(&agent_sock);
     tele::clear_sink();
     tele::set_sample(0);
 }
