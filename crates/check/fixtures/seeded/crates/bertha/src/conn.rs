@@ -1,7 +1,7 @@
 //! Seeded hot-path file: a rogue tag constant, a panicking parse, an
 //! undocumented metric, a unitless histogram, a `_us` counter, an
-//! undocumented per-layer format template, a malformed span op, and an
-//! undocumented span op.
+//! undocumented per-layer format template, a malformed span op, an
+//! undocumented span op, and a blocking sleep in an async fn.
 
 pub const ROGUE_TAG: u8 = 0x42;
 
@@ -15,6 +15,10 @@ pub fn profile(label: &str, dir: &str) {
     tele::histogram("bad.nounit").record(1);
     tele::counter("bad.time_us").incr();
     let _ = format!("stack.{label}.{dir}_frames");
+}
+
+pub async fn drain(&self) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
 }
 
 pub fn trace(ctx: &tele::tracectx::TraceContext, start: std::time::Instant) {

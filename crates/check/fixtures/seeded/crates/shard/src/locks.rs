@@ -1,0 +1,55 @@
+//! Seeded concurrency violations: an opposite-order acquisition cycle,
+//! a stale lock-order waiver, a blocking guard held across an `.await`,
+//! a temporary guard sharing its statement with an `.await`, and a
+//! stale `allow(block)` annotation. One legitimate nested pair
+//! (`slots` acquired under `queue`) is also here so the canonical-order
+//! table in the seeded DESIGN.md has a valid row.
+
+// check: lock-order(shard.locks.ghost < shard.locks.phantom): seeded stale waiver
+
+pub struct Steering {
+    map: parking_lot::Mutex<u32>,
+    epoch: parking_lot::Mutex<u32>,
+    queue: parking_lot::Mutex<u32>,
+    slots: parking_lot::Mutex<u32>,
+    tx: tokio::sync::mpsc::Sender<u32>,
+}
+
+impl Steering {
+    /// Seeded: acquires `map` then `epoch` ...
+    pub fn forward(&self) {
+        let m = self.map.lock();
+        let e = self.epoch.lock();
+        let _ = (*m, *e);
+    }
+
+    /// ... while this path acquires `epoch` then `map`: a deadlock
+    /// cycle the analyzer must report.
+    pub fn backward(&self) {
+        let e = self.epoch.lock();
+        let m = self.map.lock();
+        let _ = (*e, *m);
+    }
+
+    /// A reviewed nesting: `slots` under `queue`, recorded in the
+    /// seeded DESIGN.md canonical-order table.
+    pub fn drain(&self) {
+        let q = self.queue.lock();
+        let s = self.slots.lock();
+        let _ = (*q, *s);
+    }
+
+    /// Seeded: a blocking guard held across an `.await`.
+    pub async fn held_across(&self) {
+        let g = self.map.lock();
+        self.tx.send(*g).await.ok();
+    }
+
+    /// Seeded: a temporary guard sharing its statement with an `.await`.
+    pub async fn temporary_across(&self) {
+        self.tx.send(*self.epoch.lock()).await.ok();
+    }
+}
+
+// check: allow(block): seeded stale annotation, suppresses nothing
+pub fn nothing_blocking_here() {}

@@ -1,0 +1,386 @@
+//! Rule family 8: the blocking-in-async lint.
+//!
+//! The executor-starvation bug class: a *blocking* lock guard
+//! (`parking_lot` / `std::sync` — anything acquired by a bare
+//! `.lock()` / `.read()` / `.write()` without `.await`) held across an
+//! `.await` pins the lock while the task is parked. Every other task
+//! that touches the lock then blocks its worker thread; with enough of
+//! them the runtime deadlocks without a single lock-order inversion.
+//! Similarly `std::thread::sleep` or blocking I/O inside an `async fn`
+//! on the data path stalls a whole worker.
+//!
+//! Two sub-rules over the concurrency-scoped crates:
+//!
+//! 1. **guard-across-await** — a blocking guard bound by `let` (or a
+//!    re-bind) must be dropped (scope end or explicit `drop`) before
+//!    the next `.await` in its block; a guard born as a temporary must
+//!    not share its statement with an `.await`. Acquisitions that are
+//!    themselves awaited (`.lock().await`, the tokio flavour) are
+//!    exempt — holding those across `.await` is what they are for.
+//! 2. **blocking calls in async** — `thread::sleep`, `std::fs::…`,
+//!    `std::net::…`, and `.recv_timeout(` inside `async fn` bodies of
+//!    the designated data-path modules (the panic-lint file set).
+//!
+//! A justified exception is annotated
+//!
+//! ```text
+//! // check: allow(block): <reason>
+//! ```
+//!
+//! on the same line or the line above. An annotation that suppresses
+//! nothing is itself reported as stale.
+
+use super::lock_order::{acquisition_at, binding_name, stmt_start};
+use super::panics::is_hot_path;
+use crate::{SourceFile, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifier.
+pub const RULE: &str = "blocking-in-async";
+
+/// The annotation that waives a finding for its line and the next.
+pub const ALLOW_MARKER: &str = "// check: allow(block):";
+
+/// The crates whose async discipline is linted (same scope as the
+/// lock-order analyzer).
+fn in_scope(rel: &str) -> bool {
+    [
+        "crates/bertha/",
+        "crates/chunnels/",
+        "crates/discovery/",
+        "crates/kvstore/",
+        "crates/shard/",
+        "crates/telemetry/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+        && !rel.contains("/tests/")
+}
+
+/// Blocking calls that must not appear in data-path `async fn` bodies.
+const BLOCKING_CALLS: &[(&str, &str)] = &[
+    ("thread::sleep(", "thread::sleep in async fn blocks the worker"),
+    ("std::fs::", "blocking std::fs I/O in async fn"),
+    ("std::net::", "blocking std::net I/O in async fn"),
+    (".recv_timeout(", "blocking channel recv_timeout in async fn"),
+];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Justified `allow(block)` annotations: line (1-based) -> waiver text
+/// position, so stale ones can be reported.
+fn allow_lines(f: &SourceFile) -> BTreeMap<usize, ()> {
+    let mut ok = BTreeMap::new();
+    for (idx, line) in f.raw.lines().enumerate() {
+        if let Some(at) = line.find(ALLOW_MARKER) {
+            let reason = line
+                .get(at + ALLOW_MARKER.len()..)
+                .unwrap_or_default()
+                .trim();
+            if !reason.is_empty() {
+                ok.insert(idx + 1, ());
+            }
+        }
+    }
+    ok
+}
+
+/// Brace depth of `pos` in masked text.
+fn depth_at(hay: &[u8], pos: usize) -> usize {
+    let mut d = 0usize;
+    for &b in &hay[..pos] {
+        match b {
+            b'{' => d += 1,
+            b'}' => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Is the acquisition at `p` (method length `mlen`) awaited, i.e. a
+/// tokio-style async lock?
+fn is_awaited(hay: &[u8], p: usize, mlen: usize) -> bool {
+    let mut i = p + mlen;
+    while i < hay.len() && (hay[i] == b' ' || hay[i] == b'\n') {
+        i += 1;
+    }
+    hay[i..].starts_with(b".await")
+}
+
+/// Position of the first `.await` in `hay[from..to]`, if any.
+fn await_in(hay: &[u8], from: usize, to: usize) -> Option<usize> {
+    let to = to.min(hay.len());
+    let mut i = from;
+    while i + 6 <= to {
+        if &hay[i..i + 6] == b".await" && !hay.get(i + 6).copied().is_some_and(is_ident) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Sub-rule 1: blocking guards held across `.await`.
+fn guards_across_await(f: &SourceFile, fired: &mut BTreeSet<usize>) -> Vec<Violation> {
+    let hay = f.masked.as_bytes();
+    let allowed = allow_lines(f);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < hay.len() {
+        let Some(mlen) = acquisition_at(hay, i) else {
+            i += 1;
+            continue;
+        };
+        let site = i;
+        i += mlen;
+        if f.in_test(site) || is_awaited(hay, site, mlen) {
+            continue;
+        }
+        let line = f.line_of(site);
+        let waiver_line = if allowed.contains_key(&line) {
+            Some(line)
+        } else if allowed.contains_key(&(line.saturating_sub(1))) {
+            Some(line - 1)
+        } else {
+            None
+        };
+
+        let stmt = stmt_start(hay, site);
+        let held_across = match binding_name(hay, stmt, site + mlen) {
+            Some(name) => {
+                // Bound guard: scan from the end of the binding
+                // statement to the close of its block (or `drop(name)`)
+                // for an `.await`.
+                let bind_depth = depth_at(hay, site);
+                let mut j = site + mlen;
+                let mut depth = bind_depth;
+                let mut hit = None;
+                while j < hay.len() {
+                    match hay[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth = depth.saturating_sub(1);
+                            if depth < bind_depth {
+                                break;
+                            }
+                        }
+                        b'd' if hay[j..].starts_with(b"drop(")
+                            && !hay.get(j.wrapping_sub(1)).copied().is_some_and(is_ident) =>
+                        {
+                            let rest = &hay[j + 5..];
+                            if rest.starts_with(name.as_bytes())
+                                && rest.get(name.len()) == Some(&b')')
+                            {
+                                break;
+                            }
+                        }
+                        b'.' if await_in(hay, j, j + 6).is_some() => {
+                            hit = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                hit.map(|at| (name.clone(), at))
+            }
+            None => {
+                // Temporary guard: lives to the end of its statement;
+                // flag an `.await` in the same statement.
+                let mut end = site + mlen;
+                while end < hay.len() && hay[end] != b';' && hay[end] != b'{' && hay[end] != b'}'
+                {
+                    end += 1;
+                }
+                await_in(hay, site + mlen, end).map(|at| ("<temporary>".to_string(), at))
+            }
+        };
+
+        if let Some((name, at)) = held_across {
+            match waiver_line {
+                Some(w) => {
+                    fired.insert(w);
+                }
+                None => out.push(Violation {
+                    file: f.rel.clone(),
+                    line,
+                    rule: RULE,
+                    msg: format!(
+                        "blocking lock guard `{name}` is held across the `.await` on line {}; \
+                         drop it first, use a tokio lock, or annotate \
+                         `{ALLOW_MARKER} <reason>`",
+                        f.line_of(at)
+                    ),
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Byte ranges of `async fn` bodies in masked text.
+fn async_fn_bodies(f: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for pos in super::word_matches(f, "async fn ") {
+        if let Some(body) = super::brace_block(&f.masked, pos) {
+            out.push(body);
+        }
+    }
+    out
+}
+
+/// Sub-rule 2: blocking calls inside data-path `async fn` bodies.
+fn blocking_calls(f: &SourceFile, fired: &mut BTreeSet<usize>) -> Vec<Violation> {
+    if !is_hot_path(&f.rel) {
+        return Vec::new();
+    }
+    let allowed = allow_lines(f);
+    let bodies = async_fn_bodies(f);
+    let mut out = Vec::new();
+    for (pat, what) in BLOCKING_CALLS {
+        for pos in super::word_matches(f, pat) {
+            if !bodies.iter().any(|&(s, e)| pos > s && pos < e) {
+                continue;
+            }
+            let line = f.line_of(pos);
+            if allowed.contains_key(&line) {
+                fired.insert(line);
+            } else if line > 1 && allowed.contains_key(&(line - 1)) {
+                fired.insert(line - 1);
+            } else {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line,
+                    rule: RULE,
+                    msg: format!(
+                        "{what}; use the tokio equivalent (or `{ALLOW_MARKER} <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run the rule over the loaded workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| in_scope(&f.rel)) {
+        let mut fired: BTreeSet<usize> = BTreeSet::new();
+        out.extend(guards_across_await(f, &mut fired));
+        out.extend(blocking_calls(f, &mut fired));
+        // Stale waivers: an allow(block) annotation that suppressed
+        // nothing on its line or the line below.
+        for (&line, ()) in allow_lines(f).iter() {
+            if !fired.contains(&line) {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line,
+                    rule: RULE,
+                    msg: "stale waiver: this `allow(block)` annotation suppresses no finding; \
+                          remove it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::from_source(
+            "crates/bertha/src/negotiate/renegotiate.rs".to_string(),
+            src.to_string(),
+        )
+    }
+
+    fn lint(src: &str) -> Vec<Violation> {
+        check(std::slice::from_ref(&sf(src)))
+    }
+
+    #[test]
+    fn guard_across_await_is_flagged() {
+        let v = lint(
+            "async fn f(&self) {\n    let g = self.inbox.lock();\n    self.raw.send(x).await;\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].msg.contains("held across"));
+    }
+
+    #[test]
+    fn dropped_or_scoped_guard_is_fine() {
+        assert!(lint(
+            "async fn f(&self) {\n    let g = self.inbox.lock();\n    drop(g);\n    self.raw.send(x).await;\n}\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "async fn f(&self) {\n    { let g = self.inbox.lock(); }\n    self.raw.send(x).await;\n}\n"
+        )
+        .is_empty());
+        // Temporary dropped at statement end before the next await.
+        assert!(lint(
+            "async fn f(&self) {\n    self.inbox.lock().push(1);\n    self.raw.send(x).await;\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn temporary_sharing_a_statement_with_await_is_flagged() {
+        let v = lint(
+            "async fn f(&self) {\n    self.raw.send(self.inbox.lock().front()).await;\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("<temporary>"));
+    }
+
+    #[test]
+    fn tokio_locks_are_exempt() {
+        assert!(lint(
+            "async fn f(&self) {\n    let _g = self.swap_lock.lock().await;\n    self.raw.send(x).await;\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_and_stale_waiver_reports() {
+        let ok = "async fn f(&self) {\n    // check: allow(block): swap is rare and bounded\n    let g = self.inbox.lock();\n    self.raw.send(x).await;\n}\n";
+        assert!(lint(ok).is_empty(), "{:?}", lint(ok));
+        let stale = "fn f() {}\n// check: allow(block): nothing here\n";
+        let v = lint(stale);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("stale waiver"));
+    }
+
+    #[test]
+    fn blocking_calls_flagged_only_in_async_fns_on_hot_paths() {
+        let hot = SourceFile::from_source(
+            "crates/chunnels/src/reliable.rs".to_string(),
+            "async fn f() {\n    std::thread::sleep(d);\n}\nfn sync_ok() {\n    std::thread::sleep(d);\n}\n"
+                .to_string(),
+        );
+        let v = check(std::slice::from_ref(&hot));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+
+        let cold = SourceFile::from_source(
+            "crates/discovery/src/chaos.rs".to_string(),
+            "async fn f() {\n    std::thread::sleep(d);\n}\n".to_string(),
+        );
+        assert!(check(std::slice::from_ref(&cold)).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    async fn f(&self) {\n        let g = x.lock();\n        y.await;\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,927 @@
+//! Rule family 7: the lock-order (deadlock) analyzer.
+//!
+//! Live reconfiguration means epoch swaps, lease revocation, and crash
+//! recovery all run concurrently with the data path; two code paths
+//! that take the same pair of locks in opposite orders can deadlock
+//! under exactly the interleavings the rest of this crate exists to
+//! defend. This rule builds a whole-workspace lock acquisition graph
+//! and rejects cycles.
+//!
+//! **Nodes.** A lock is identified as `<crate>.<file-stem>.<field>`:
+//! the last path segment of the receiver of a `.lock()` / `.read()` /
+//! `.write()` acquisition, scoped by the file that declares the
+//! acquiring function (`self.inbox.lock()` in
+//! `crates/bertha/src/negotiate/renegotiate.rs` is
+//! `bertha.renegotiate.inbox`). Same-named fields in different files
+//! are distinct nodes — the analyzer may miss aliased cycles across
+//! files but never invents one from a name collision. Async
+//! (`.lock().await`) and blocking guards are both nodes.
+//!
+//! **Edges.** Within each function the analyzer tracks which guards
+//! are held (a `let g = x.lock();` binding holds until `drop(g)` or
+//! the end of its block; a guard consumed inside one statement is a
+//! temporary) and adds an edge `held -> acquired` for every
+//! acquisition made while another guard is held. One level of
+//! intra-crate call edges is resolved: a call to a same-crate function
+//! made while holding a guard contributes `held -> X` for every lock
+//! `X` that function acquires directly, so cross-function nesting is
+//! seen. Acquisitions inside `async`/spawn blocks that merely *start*
+//! while a guard is held run on another task and do not inherit the
+//! holder's edges.
+//!
+//! **Cycles** in the resulting graph are hard errors, reported with
+//! the exact acquisition chain. A reviewed nesting is waived with
+//!
+//! ```text
+//! // check: lock-order(<first> < <second>): <reason>
+//! ```
+//!
+//! which removes the edge `<first> -> <second>` (i.e. "<second>
+//! acquired while <first> is held") from the graph before cycle
+//! detection. A waiver that removes no edge is itself reported as
+//! stale. The collapsed edge list must match the canonical-order table
+//! in DESIGN.md §10 ("Lock ordering") — regenerate it with
+//! `bertha-check --lock-order-table`.
+
+use crate::{SourceFile, Violation};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Rule identifier.
+pub const RULE: &str = "lock-order";
+
+/// The crates whose lock discipline is analyzed.
+const CRATES: &[&str] = &[
+    "bertha",
+    "chunnels",
+    "discovery",
+    "kvstore",
+    "shard",
+    "telemetry",
+];
+
+/// The waiver marker. Grammar: `// check: lock-order(<a> < <b>): <reason>`.
+pub const WAIVER_MARKER: &str = "// check: lock-order(";
+
+/// Header of the canonical-order table in DESIGN.md §10.
+const DESIGN_HEADING: &str = "<!-- lock-order-table -->";
+
+/// One `held -> acquired` observation.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// File of the nested acquisition.
+    pub file: String,
+    /// Line of the nested acquisition.
+    pub line: usize,
+    /// The lock being held.
+    pub held: String,
+    /// The lock being acquired (or the callee whose locks are acquired).
+    pub via: Option<String>,
+}
+
+/// A parsed waiver annotation.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Edge tail (the lock held first).
+    pub first: String,
+    /// Edge head (the lock acquired under it).
+    pub second: String,
+    /// Where the annotation lives.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: usize,
+}
+
+/// The whole-workspace acquisition graph plus its waivers.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// `held -> acquired`, with every observation site.
+    pub edges: BTreeMap<(String, String), Vec<Witness>>,
+    /// Every `lock-order` waiver found in scanned sources.
+    pub waivers: Vec<Waiver>,
+}
+
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let name = rest.split('/').next()?;
+    CRATES.contains(&name).then_some(name)
+}
+
+fn file_stem(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let last = parts.last().copied().unwrap_or_default();
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    if (stem == "mod" || stem == "lib") && parts.len() >= 2 {
+        let parent = parts[parts.len() - 2];
+        if parent != "src" {
+            return parent.to_string();
+        }
+    }
+    stem.to_string()
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A currently-held guard during the linear scan.
+struct Held {
+    node: String,
+    name: String,
+    depth: usize,
+    pos: usize,
+    /// Task boundary generation: edges only connect guards on the same
+    /// side of an async/spawn block boundary.
+    boundary: usize,
+}
+
+/// Keywords and builtins that look like call sites but are not.
+const NOT_CALLS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "let", "move", "async", "await",
+    "lock", "read", "write", "drop", "Some", "Ok", "Err", "None", "Box", "Vec", "Arc", "new",
+    "clone", "len", "push", "pop", "insert", "remove", "get", "set", "iter", "into", "from",
+    "format", "unwrap", "expect", "map", "and_then", "unwrap_or", "unwrap_or_default",
+];
+
+/// `.lock()`, `.read()`, `.write()` (empty parens) at `p` in `hay`?
+/// Returns the method length including parens.
+pub(crate) fn acquisition_at(hay: &[u8], p: usize) -> Option<usize> {
+    for m in [".lock()", ".read()", ".write()"] {
+        if hay[p..].starts_with(m.as_bytes()) {
+            return Some(m.len());
+        }
+    }
+    None
+}
+
+/// Walk backwards from the `.` of the acquiring method call and return
+/// the last identifier of the receiver chain (`self.core.inbox` ->
+/// `inbox`). `None` when the receiver is not a plain field/ident chain
+/// (e.g. ends in `)`).
+fn receiver_field(hay: &[u8], dot: usize) -> Option<String> {
+    let mut end = dot;
+    // Allow `self.inbox .lock()` spacing.
+    while end > 0 && (hay[end - 1] == b' ' || hay[end - 1] == b'\n') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(hay[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&hay[start..end]).into_owned())
+}
+
+/// Start offset of the statement containing `pos`: one past the
+/// previous `;`, `{` or `}` in masked text.
+pub(crate) fn stmt_start(hay: &[u8], pos: usize) -> usize {
+    let mut i = pos;
+    while i > 0 {
+        match hay[i - 1] {
+            b';' | b'{' | b'}' => return i,
+            _ => i -= 1,
+        }
+    }
+    0
+}
+
+/// Does the acquisition ending at `after` terminate its statement
+/// (optionally via a trailing `.await`, `.unwrap()` or `.expect(..)`),
+/// i.e. the guard itself is what the statement stores?
+pub(crate) fn guard_is_stored(hay: &[u8], mut after: usize) -> bool {
+    loop {
+        while after < hay.len() && (hay[after] == b' ' || hay[after] == b'\n') {
+            after += 1;
+        }
+        if after >= hay.len() {
+            return false;
+        }
+        if hay[after] == b';' {
+            return true;
+        }
+        if hay[after..].starts_with(b".await") {
+            after += ".await".len();
+            continue;
+        }
+        if hay[after..].starts_with(b".unwrap()") {
+            after += ".unwrap()".len();
+            continue;
+        }
+        if hay[after..].starts_with(b".expect(") {
+            // Skip to the matching close paren.
+            let mut depth = 0usize;
+            let mut i = after + ".expect(".len() - 1;
+            while i < hay.len() {
+                match hay[i] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            after = i + 1;
+            continue;
+        }
+        return false;
+    }
+}
+
+/// The guard-binding name when the statement stores the guard:
+/// `let [mut] g = …` or a plain `g = …` re-bind of an existing guard.
+pub(crate) fn binding_name(hay: &[u8], stmt: usize, acq_end: usize) -> Option<String> {
+    if !guard_is_stored(hay, acq_end) {
+        return None;
+    }
+    let mut i = stmt;
+    while i < hay.len() && (hay[i] == b' ' || hay[i] == b'\n') {
+        i += 1;
+    }
+    let rest = &hay[i..];
+    let mut j = i;
+    if rest.starts_with(b"let ") {
+        j = i + 4;
+        while j < hay.len() && (hay[j] == b' ' || hay[j] == b'\n') {
+            j += 1;
+        }
+        if hay[j..].starts_with(b"mut ") {
+            j += 4;
+        }
+    }
+    let start = j;
+    while j < hay.len() && is_ident(hay[j]) {
+        j += 1;
+    }
+    if start == j {
+        return None;
+    }
+    // The ident must be directly assigned: next non-space char is `=`
+    // (and not `==`).
+    let mut k = j;
+    while k < hay.len() && (hay[k] == b' ' || hay[k] == b'\n') {
+        k += 1;
+    }
+    if k >= hay.len() || hay[k] != b'=' || hay.get(k + 1) == Some(&b'=') {
+        return None;
+    }
+    let name = String::from_utf8_lossy(&hay[start..j]).into_owned();
+    // `let _ = x.lock()` drops the guard immediately.
+    if name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+/// Function item: name plus body byte range in masked text.
+struct FnItem {
+    name: String,
+    body: (usize, usize),
+}
+
+fn functions(f: &SourceFile) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for pos in super::word_matches(f, "fn ") {
+        let hay = f.masked.as_bytes();
+        let mut i = pos + 3;
+        while i < hay.len() && (hay[i] == b' ' || hay[i] == b'\n') {
+            i += 1;
+        }
+        let start = i;
+        while i < hay.len() && is_ident(hay[i]) {
+            i += 1;
+        }
+        if start == i {
+            continue;
+        }
+        let name = String::from_utf8_lossy(&hay[start..i]).into_owned();
+        let Some(body) = super::brace_block(&f.masked, i) else {
+            continue;
+        };
+        out.push(FnItem { name, body });
+    }
+    out
+}
+
+/// Positions (relative to the body) where an async/spawn block starts a
+/// new task boundary, mapped to the end of that block.
+fn task_boundaries(masked: &str, body: (usize, usize)) -> Vec<(usize, usize)> {
+    let hay = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = body.0;
+    while i < body.1 {
+        let at = &hay[i..body.1];
+        let word_start = i == 0 || !is_ident(hay[i - 1]);
+        let is_async =
+            word_start && at.starts_with(b"async") && !at.get(5).copied().is_some_and(is_ident);
+        let is_spawn = word_start && at.starts_with(b"spawn(");
+        if is_async || is_spawn {
+            // Find the block the task body lives in: the first `{` within
+            // a short window (skipping `move`, closure params, call
+            // parens).
+            let window = (i + 48).min(body.1);
+            let mut j = i;
+            while j < window && hay[j] != b'{' {
+                j += 1;
+            }
+            if j < window {
+                if let Some((_, end)) = super::brace_block(masked, j) {
+                    out.push((i, end.min(body.1)));
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Analyze one crate-scoped file, contributing direct edges and the
+/// per-function acquisition summary used for call-edge resolution.
+fn scan_file(
+    f: &SourceFile,
+    edges: &mut BTreeMap<(String, String), Vec<Witness>>,
+    fn_locks: &mut HashMap<(String, String), BTreeSet<String>>,
+    calls: &mut Vec<(String, String, usize, Vec<(String, usize, usize)>)>,
+) {
+    let Some(krate) = crate_of(&f.rel) else {
+        return;
+    };
+    let stem = file_stem(&f.rel);
+    let hay = f.masked.as_bytes();
+
+    for item in functions(f) {
+        if f.in_test(item.body.0) {
+            continue;
+        }
+        let boundaries = task_boundaries(&f.masked, item.body);
+        let boundary_at = |pos: usize| -> usize {
+            boundaries
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, e))| pos > s && pos < e)
+                .map(|(k, _)| k + 1)
+                .last()
+                .unwrap_or(0)
+        };
+
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut acquired_here = BTreeSet::new();
+        let mut i = item.body.0;
+        while i < item.body.1 {
+            match hay[i] {
+                b'{' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    held.retain(|h| h.depth <= depth);
+                    i += 1;
+                }
+                b'.' => {
+                    if let Some(mlen) = acquisition_at(hay, i) {
+                        if let Some(field) = receiver_field(hay, i) {
+                            let node = format!("{krate}.{stem}.{field}");
+                            let b = boundary_at(i);
+                            if b == 0 {
+                                acquired_here.insert(node.clone());
+                            }
+                            for h in &held {
+                                if h.boundary == b && h.node != node {
+                                    edges
+                                        .entry((h.node.clone(), node.clone()))
+                                        .or_default()
+                                        .push(Witness {
+                                            file: f.rel.clone(),
+                                            line: f.line_of(i),
+                                            held: h.node.clone(),
+                                            via: None,
+                                        });
+                                }
+                            }
+                            let stmt = stmt_start(hay, i);
+                            if let Some(name) = binding_name(hay, stmt, i + mlen) {
+                                held.retain(|h| h.name != name);
+                                held.push(Held {
+                                    node,
+                                    name,
+                                    depth,
+                                    pos: i,
+                                    boundary: b,
+                                });
+                            }
+                            i += mlen;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                b'd' if hay[i..].starts_with(b"drop(") && (i == 0 || !is_ident(hay[i - 1])) => {
+                    let start = i + 5;
+                    let mut j = start;
+                    while j < item.body.1 && is_ident(hay[j]) {
+                        j += 1;
+                    }
+                    if hay.get(j) == Some(&b')') {
+                        let name = String::from_utf8_lossy(&hay[start..j]).into_owned();
+                        held.retain(|h| h.name != name);
+                    }
+                    i = j;
+                }
+                c if is_ident(c) && (i == 0 || !is_ident(hay[i - 1])) => {
+                    // A potential call site `ident(`, recorded for
+                    // one-level cross-function edge resolution.
+                    let start = i;
+                    let mut j = i;
+                    while j < item.body.1 && is_ident(hay[j]) {
+                        j += 1;
+                    }
+                    if hay.get(j) == Some(&b'(') && !held.is_empty() {
+                        let name = String::from_utf8_lossy(&hay[start..j]).into_owned();
+                        if !NOT_CALLS.contains(&name.as_str()) {
+                            let b = boundary_at(i);
+                            let holders: Vec<(String, usize, usize)> = held
+                                .iter()
+                                .filter(|h| h.boundary == b)
+                                .map(|h| (h.node.clone(), h.pos, f.line_of(start)))
+                                .collect();
+                            if !holders.is_empty() {
+                                calls.push((krate.to_string(), name, i, holders));
+                            }
+                        }
+                    }
+                    i = j;
+                }
+                _ => i += 1,
+            }
+        }
+        fn_locks
+            .entry((krate.to_string(), item.name))
+            .or_default()
+            .extend(acquired_here);
+    }
+}
+
+/// Parse every `lock-order` waiver out of the raw text of the
+/// concurrency-scoped `files` (the analyzer's own sources and fixtures
+/// discuss the grammar without declaring waivers).
+fn parse_waivers(files: &[SourceFile]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| crate_of(&f.rel).is_some()) {
+        for (idx, line) in f.raw.lines().enumerate() {
+            let Some(at) = line.find(WAIVER_MARKER) else {
+                continue;
+            };
+            let rest = &line[at + WAIVER_MARKER.len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let inner = &rest[..close];
+            let Some((first, second)) = inner.split_once('<') else {
+                continue;
+            };
+            let reason = rest[close + 1..].trim_start_matches(':').trim();
+            if reason.is_empty() {
+                continue;
+            }
+            out.push(Waiver {
+                first: first.trim().to_string(),
+                second: second.trim().to_string(),
+                file: f.rel.clone(),
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Build the whole-workspace acquisition graph.
+pub fn graph(files: &[SourceFile]) -> Graph {
+    let mut edges = BTreeMap::new();
+    let mut fn_locks: HashMap<(String, String), BTreeSet<String>> = HashMap::new();
+    let mut calls = Vec::new();
+    let mut file_of_call: Vec<(String, usize)> = Vec::new();
+
+    for f in files {
+        let before = calls.len();
+        scan_file(f, &mut edges, &mut fn_locks, &mut calls);
+        for _ in before..calls.len() {
+            file_of_call.push((f.rel.clone(), 0));
+        }
+    }
+
+    // One level of intra-crate call-edge resolution.
+    for (k, (krate, callee, _pos, holders)) in calls.iter().enumerate() {
+        let Some(locks) = fn_locks.get(&(krate.clone(), callee.clone())) else {
+            continue;
+        };
+        let (file, _) = &file_of_call[k];
+        for (held, _hpos, call_line) in holders {
+            for lock in locks {
+                if lock == held {
+                    continue;
+                }
+                edges
+                    .entry((held.clone(), lock.clone()))
+                    .or_default()
+                    .push(Witness {
+                        file: file.clone(),
+                        line: *call_line,
+                        held: held.clone(),
+                        via: Some(callee.clone()),
+                    });
+            }
+        }
+    }
+
+    Graph {
+        edges,
+        waivers: parse_waivers(files),
+    }
+}
+
+/// Find one cycle in `adj` (if any), returned as the node sequence
+/// `n0 -> n1 -> … -> n0`.
+fn find_cycle(adj: &BTreeMap<&String, Vec<&String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let nodes: Vec<&String> = adj.keys().copied().collect();
+    let mut mark: HashMap<&String, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+
+    fn dfs<'a>(
+        n: &'a String,
+        adj: &BTreeMap<&'a String, Vec<&'a String>>,
+        mark: &mut HashMap<&'a String, Mark>,
+        stack: &mut Vec<&'a String>,
+    ) -> Option<Vec<String>> {
+        mark.insert(n, Mark::Grey);
+        stack.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match mark.get(m).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let from = stack.iter().position(|&s| s == m).unwrap_or(0);
+                    let mut cyc: Vec<String> = stack[from..].iter().map(|s| s.to_string()).collect();
+                    cyc.push(m.clone());
+                    return Some(cyc);
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(m, adj, mark, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        mark.insert(n, Mark::Black);
+        None
+    }
+
+    for n in &nodes {
+        if mark.get(n).copied().unwrap_or(Mark::White) == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(n, adj, &mut mark, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// The collapsed canonical-order rows (after waiver removal), sorted:
+/// one `(first, second)` pair per surviving edge.
+pub fn canonical_rows(g: &Graph) -> Vec<(String, String)> {
+    g.edges
+        .keys()
+        .filter(|(a, b)| {
+            !g.waivers
+                .iter()
+                .any(|w| &w.first == a && &w.second == b)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Render the canonical-order table as it must appear in DESIGN.md §10.
+pub fn render_table(g: &Graph) -> String {
+    let mut s = String::new();
+    s.push_str(DESIGN_HEADING);
+    s.push('\n');
+    s.push_str("| held first | acquired under it |\n|---|---|\n");
+    for (a, b) in canonical_rows(g) {
+        s.push_str(&format!("| `{a}` | `{b}` |\n"));
+    }
+    s
+}
+
+/// Parse the canonical-order table out of DESIGN.md (the rows after the
+/// `<!-- lock-order-table -->` marker).
+fn design_rows(design: &str) -> Option<Vec<(String, String)>> {
+    let at = design.find(DESIGN_HEADING)?;
+    let mut rows = Vec::new();
+    for line in design[at..].lines().skip(1) {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            break;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').collect();
+        if cells.len() != 2 {
+            continue;
+        }
+        let a = cells[0].trim().trim_matches('`');
+        let b = cells[1].trim().trim_matches('`');
+        if a.is_empty() || a.starts_with('-') || a == "held first" {
+            continue;
+        }
+        rows.push((a.to_string(), b.to_string()));
+    }
+    Some(rows)
+}
+
+/// Run the rule: build the graph, apply waivers, detect cycles, check
+/// waiver staleness, and cross-check the DESIGN.md table.
+pub fn check(files: &[SourceFile], root: &std::path::Path) -> Vec<Violation> {
+    let g = graph(files);
+    let mut out = Vec::new();
+
+    // Stale waivers: a waiver must remove at least one observed edge.
+    for w in &g.waivers {
+        if !g
+            .edges
+            .keys()
+            .any(|(a, b)| a == &w.first && b == &w.second)
+        {
+            out.push(Violation {
+                file: w.file.clone(),
+                line: w.line,
+                rule: RULE,
+                msg: format!(
+                    "stale waiver: no `{} -> {}` acquisition edge exists (remove the \
+                     `lock-order({} < {})` annotation)",
+                    w.first, w.second, w.first, w.second
+                ),
+            });
+        }
+    }
+
+    // Cycle detection over the waived graph.
+    let live: Vec<(&String, &String)> = g
+        .edges
+        .keys()
+        .filter(|(a, b)| {
+            !g.waivers
+                .iter()
+                .any(|w| &w.first == a && &w.second == b)
+        })
+        .map(|(a, b)| (a, b))
+        .collect();
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in &live {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        let mut chain = String::new();
+        let mut anchor: Option<(String, usize)> = None;
+        for pair in cycle.windows(2) {
+            let key = (pair[0].clone(), pair[1].clone());
+            let w = g.edges.get(&key).and_then(|ws| ws.first());
+            if let Some(w) = w {
+                if anchor.is_none() {
+                    anchor = Some((w.file.clone(), w.line));
+                }
+                let via = w
+                    .via
+                    .as_ref()
+                    .map(|c| format!(" via {c}()"))
+                    .unwrap_or_default();
+                chain.push_str(&format!(
+                    "{} -> {} ({}:{}{}); ",
+                    pair[0], pair[1], w.file, w.line, via
+                ));
+            }
+        }
+        let (file, line) = anchor.unwrap_or_default();
+        out.push(Violation {
+            file,
+            line,
+            rule: RULE,
+            msg: format!(
+                "lock-order cycle: {} — fix the acquisition order or add a reviewed \
+                 `// check: lock-order(<first> < <second>): <reason>` waiver",
+                chain.trim_end_matches("; ")
+            ),
+        });
+    }
+
+    // Canonical table cross-check against DESIGN.md §10.
+    let design_path = root.join("DESIGN.md");
+    if let Ok(design) = std::fs::read_to_string(&design_path) {
+        let want = canonical_rows(&g);
+        match design_rows(&design) {
+            None => {
+                if !want.is_empty() {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_string(),
+                        line: 1,
+                        rule: RULE,
+                        msg: "DESIGN.md has no `<!-- lock-order-table -->` canonical-order \
+                              table; generate one with `bertha-check --lock-order-table`"
+                            .to_string(),
+                    });
+                }
+            }
+            Some(have) => {
+                for row in want.iter().filter(|r| !have.contains(r)) {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_string(),
+                        line: 1,
+                        rule: RULE,
+                        msg: format!(
+                            "lock-order edge `{}` -> `{}` is observed in code but missing \
+                             from the DESIGN.md canonical-order table (regenerate with \
+                             `bertha-check --lock-order-table`)",
+                            row.0, row.1
+                        ),
+                    });
+                }
+                for row in have.iter().filter(|r| !want.contains(r)) {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_string(),
+                        line: 1,
+                        rule: RULE,
+                        msg: format!(
+                            "DESIGN.md canonical-order row `{}` -> `{}` matches no \
+                             acquisition edge in code (regenerate with \
+                             `bertha-check --lock-order-table`)",
+                            row.0, row.1
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn nested_guards_make_edges_and_temporaries_do_not() {
+        let f = sf(
+            "crates/bertha/src/conn.rs",
+            "fn f(&self) {\n    let a = self.inbox.lock();\n    let b = self.future.lock();\n    drop(b); drop(a);\n}\n\
+             fn g(&self) {\n    self.inbox.lock().push(1);\n    let c = self.future.lock();\n    drop(c);\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        let keys: Vec<_> = g.edges.keys().cloned().collect();
+        assert_eq!(
+            keys,
+            vec![(
+                "bertha.conn.inbox".to_string(),
+                "bertha.conn.future".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn drop_and_block_scope_release_guards() {
+        let f = sf(
+            "crates/bertha/src/conn.rs",
+            "fn f(&self) {\n    { let a = self.inbox.lock(); drop(a); }\n    let b = self.future.lock();\n    drop(b);\n    { let c = self.inbox.lock(); }\n    let d = self.other.lock();\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(g.edges.is_empty(), "released guards must not create edges: {:?}", g.edges);
+    }
+
+    #[test]
+    fn cycle_is_detected_and_waiver_suppresses_it() {
+        let src_cycle = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n\
+                         fn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n";
+        let f = sf("crates/bertha/src/conn.rs", src_cycle);
+        let tmp = std::env::temp_dir().join("bertha-check-no-design");
+        let v = check(std::slice::from_ref(&f), &tmp);
+        assert!(
+            v.iter().any(|v| v.msg.contains("lock-order cycle")),
+            "opposite-order acquisitions must cycle: {v:?}"
+        );
+
+        let waived = format!(
+            "// check: lock-order(bertha.conn.beta < bertha.conn.alpha): f and g are \
+             never concurrent (test)\n{src_cycle}"
+        );
+        let f = sf("crates/bertha/src/conn.rs", &waived);
+        let v = check(std::slice::from_ref(&f), &tmp);
+        assert!(
+            !v.iter().any(|v| v.msg.contains("lock-order cycle")),
+            "waiver must break the cycle: {v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let f = sf(
+            "crates/bertha/src/conn.rs",
+            "// check: lock-order(bertha.conn.ghost < bertha.conn.phantom): nothing here\nfn f() {}\n",
+        );
+        let tmp = std::env::temp_dir().join("bertha-check-no-design");
+        let v = check(std::slice::from_ref(&f), &tmp);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("stale waiver"), "{v:?}");
+    }
+
+    #[test]
+    fn call_edges_resolve_one_level() {
+        let f = sf(
+            "crates/discovery/src/registry.rs",
+            "fn outer(&self) {\n    let st = self.state.lock();\n    helper(self);\n}\n\
+             fn helper(&self) {\n    let j = self.journal.lock();\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(
+            g.edges.contains_key(&(
+                "discovery.registry.state".to_string(),
+                "discovery.registry.journal".to_string()
+            )),
+            "cross-function nesting must be seen: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn async_block_boundaries_cut_edges() {
+        let f = sf(
+            "crates/discovery/src/service.rs",
+            "fn f(&self) {\n    let st = self.state.lock();\n    tokio::spawn(async move {\n        let o = self.other.lock();\n    });\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(
+            g.edges.is_empty(),
+            "a spawned task does not inherit the spawner's guards: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn rebind_keeps_tracking_the_guard() {
+        let f = sf(
+            "crates/discovery/src/collector.rs",
+            "fn f(&self) {\n    let mut inner = self.inner.lock();\n    drop(inner);\n    inner = self.inner.lock();\n    let o = self.other.lock();\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(
+            g.edges.contains_key(&(
+                "discovery.collector.inner".to_string(),
+                "discovery.collector.other".to_string()
+            )),
+            "re-bound guard must be tracked as held: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn tokio_guards_and_await_acquisitions_are_nodes() {
+        let f = sf(
+            "crates/bertha/src/negotiate/renegotiate.rs",
+            "async fn f(core: &Core) {\n    let _g = core.swap_lock.lock().await;\n    let mut inbox = core.inbox.lock();\n}\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(
+            g.edges.contains_key(&(
+                "bertha.renegotiate.swap_lock".to_string(),
+                "bertha.renegotiate.inbox".to_string()
+            )),
+            "{:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let f = sf(
+            "crates/bench/src/compare.rs",
+            "fn f(&self) { let a = self.x.lock(); let b = self.y.lock(); }\n",
+        );
+        let g = graph(std::slice::from_ref(&f));
+        assert!(g.edges.is_empty());
+    }
+}

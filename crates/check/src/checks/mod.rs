@@ -1,8 +1,10 @@
-//! The six invariant families. Each submodule exposes a `check`
+//! The eight invariant families. Each submodule exposes a `check`
 //! function over the loaded [`crate::SourceFile`] set.
 
+pub mod blocking;
 pub mod fallback;
 pub mod journal;
+pub mod lock_order;
 pub mod metrics;
 pub mod panics;
 pub mod spans;

@@ -10,7 +10,9 @@
 //! // check: allow(panic): <reason>
 //! ```
 //!
-//! on the same line or the line above the construct.
+//! on the same line or the line above the construct. An annotation
+//! that suppresses nothing is itself reported as stale — waivers must
+//! not outlive the code they excuse.
 
 use crate::{SourceFile, Violation};
 use std::collections::HashSet;
@@ -48,9 +50,10 @@ const MACROS: &[(&str, &str)] = &[
 /// The annotation that waives a finding for its line and the next.
 pub const ALLOW_MARKER: &str = "// check: allow(panic):";
 
-/// Lines (1-based) covered by a justified `allow(panic)` annotation.
-fn allowed_lines(f: &SourceFile) -> HashSet<usize> {
-    let mut ok = HashSet::new();
+/// 1-based lines carrying a justified `allow(panic)` annotation. Each
+/// covers its own line and the next.
+fn annotation_lines(f: &SourceFile) -> Vec<usize> {
+    let mut anns = Vec::new();
     for (idx, line) in f.raw.lines().enumerate() {
         if let Some(at) = line.find(ALLOW_MARKER) {
             let reason = line
@@ -58,21 +61,29 @@ fn allowed_lines(f: &SourceFile) -> HashSet<usize> {
                 .unwrap_or_default()
                 .trim();
             if !reason.is_empty() {
-                ok.insert(idx + 1);
-                ok.insert(idx + 2);
+                anns.push(idx + 1);
             }
         }
     }
-    ok
+    anns
 }
 
 /// Run the rule over the loaded workspace.
 pub fn check(files: &[SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in files.iter().filter(|f| is_hot_path(&f.rel)) {
-        let allowed = allowed_lines(f);
+        let anns = annotation_lines(f);
+        let allowed: HashSet<usize> = anns.iter().flat_map(|&l| [l, l + 1]).collect();
+        let mut fired: HashSet<usize> = HashSet::new();
         let mut push = |line: usize, msg: String| {
-            if !allowed.contains(&line) {
+            if allowed.contains(&line) {
+                // Credit the annotation on this line, else the one above.
+                if anns.contains(&line) {
+                    fired.insert(line);
+                } else {
+                    fired.insert(line - 1);
+                }
+            } else {
                 out.push(Violation {
                     file: f.rel.clone(),
                     line,
@@ -99,6 +110,17 @@ pub fn check(files: &[SourceFile]) -> Vec<Violation> {
                      get()/split_first()/split_at-style accessors (or `{ALLOW_MARKER} <reason>`)"
                 ),
             );
+        }
+
+        for &line in anns.iter().filter(|l| !fired.contains(l)) {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line,
+                rule: RULE,
+                msg: "stale waiver: this `allow(panic)` annotation suppresses no finding; \
+                      remove it"
+                    .to_string(),
+            });
         }
     }
     out
@@ -175,6 +197,18 @@ mod tests {
         // An annotation without a reason does not count.
         let bare = "// check: allow(panic):\nfn f(b: &[u8]) -> u8 { b[0] }\n";
         assert_eq!(lint(bare).len(), 1);
+    }
+
+    #[test]
+    fn stale_allow_annotation_is_reported() {
+        let stale = "// check: allow(panic): nothing panics below any more\nfn f() -> u8 { 0 }\n";
+        let v = lint(stale);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].msg.contains("stale waiver"));
+        // A firing annotation is not stale.
+        let live = "// check: allow(panic): caller checked\nfn f(b: &[u8]) -> u8 { b[0] }\n";
+        assert!(lint(live).is_empty());
     }
 
     #[test]

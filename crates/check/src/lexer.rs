@@ -3,10 +3,12 @@
 //!
 //! The mask preserves byte length and newline positions, so byte offsets
 //! and line numbers computed on the masked text map 1:1 onto the raw
-//! text. String literals keep their delimiting quotes (the metric-name
+//! text. String literals — ordinary, byte, C, and raw (`r#"…"#`,
+//! `br"…"`, `cr#"…"#`) — keep their delimiting quotes (the metric-name
 //! check uses them to locate literal arguments and then reads the
-//! contents back out of the raw text); raw strings, char literals, and
-//! comments are blanked entirely.
+//! contents back out of the raw text); char literals and comments are
+//! blanked entirely. Raw strings additionally have their prefix and
+//! `#` fences blanked, so only the two quotes survive.
 
 fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
@@ -81,25 +83,29 @@ pub fn mask(src: &str) -> String {
                     i += 1; // closing quote stays
                 }
             }
-            b'r' | b'b' if i == 0 || !is_ident(b[i - 1]) => {
-                // Possible raw-string opener: r", r#", br#", etc. Plain
-                // b"..." is handled by the '"' arm on the next iteration.
+            b'r' | b'b' | b'c' if i == 0 || !is_ident(b[i - 1]) => {
+                // Possible raw-string opener: r", r#", br#", cr#", etc.
+                // Plain b"..." / c"..." is handled by the '"' arm on the
+                // next iteration (those prefixes allow escapes).
                 let mut j = i + 1;
-                if b[i] == b'b' && j < n && b[j] == b'r' {
+                if (b[i] == b'b' || b[i] == b'c') && j < n && b[j] == b'r' {
                     j += 1;
                 }
-                let raw_marker = b[i] == b'r' || (b[i] == b'b' && i + 1 < n && b[i + 1] == b'r');
+                let raw_marker = b[i] == b'r' || j > i + 1;
                 let mut hashes = 0usize;
                 while j < n && b[j] == b'#' {
                     hashes += 1;
                     j += 1;
                 }
                 if raw_marker && j < n && b[j] == b'"' {
+                    // No escapes in raw strings: the literal closes at
+                    // the first `"` followed by the opener's hash count.
+                    let open = j;
                     let mut k = j + 1;
-                    let end;
+                    let close;
                     loop {
                         if k >= n {
-                            end = n;
+                            close = n;
                             break;
                         }
                         if b[k] == b'"' {
@@ -108,14 +114,25 @@ pub fn mask(src: &str) -> String {
                                 m += 1;
                             }
                             if m == hashes {
-                                end = k + 1 + hashes;
+                                close = k;
                                 break;
                             }
                         }
                         k += 1;
                     }
-                    blank(&mut out, i, end);
-                    i = end;
+                    if close >= n {
+                        // Unterminated: blank to EOF.
+                        blank(&mut out, i, n);
+                        i = n;
+                    } else {
+                        // Keep the two delimiting quotes (consistent
+                        // with ordinary strings, so literal arguments
+                        // stay visible); blank prefix, fences, contents.
+                        blank(&mut out, i, open);
+                        blank(&mut out, open + 1, close);
+                        blank(&mut out, close + 1, close + 1 + hashes);
+                        i = close + 1 + hashes;
+                    }
                 } else {
                     i += 1;
                 }
@@ -239,6 +256,94 @@ mod tests {
         let m = mask(src);
         assert!(!m.contains("panic"));
         assert!(m.contains("done()"));
+    }
+
+    #[test]
+    fn raw_string_variants_blank_contents_and_keep_quotes() {
+        // Every raw-string flavour: contents gone, trailing code intact,
+        // delimiting quotes retained so `literal_after` still sees a
+        // literal argument there.
+        for src in [
+            r#"let s = r"a.unwrap()"; done()"#,
+            r##"let s = r#"a.unwrap()"#; done()"##,
+            r###"let s = r##"x "# y.unwrap()"##; done()"###,
+            r##"let s = br#"a.unwrap()"#; done()"##,
+            r##"let s = cr#"a.unwrap()"#; done()"##,
+            r##"f(r#".unwrap()"#); done()"##,
+        ] {
+            let m = mask(src);
+            assert_eq!(m.len(), src.len(), "length must be preserved: {src}");
+            assert!(!m.contains("unwrap"), "contents must be blanked: {src}");
+            assert!(m.contains("done()"), "code after must survive: {src}");
+            assert_eq!(
+                m.matches('"').count(),
+                2,
+                "exactly the two delimiting quotes survive: {src} -> {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn c_string_escapes_do_not_desync() {
+        // `cr#"a\"#` is a raw C string: the backslash is NOT an escape.
+        // A lexer that routes it through the escaping scanner swallows
+        // the closing fence and blanks the rest of the file.
+        let src = r##"let p = cr#"a\"#; x.unwrap()"##;
+        let m = mask(src);
+        assert!(m.contains(".unwrap()"), "code after cr raw string must survive: {m}");
+        // Plain C strings do escape.
+        let src = r#"let p = c"a\"b"; tail()"#;
+        let m = mask(src);
+        assert!(!m.contains("a\\"), "c-string contents blanked");
+        assert!(m.contains("tail()"));
+    }
+
+    #[test]
+    fn multiline_and_ident_prefixed_raw_strings() {
+        let src = "let s = r#\"line1.unwrap()\nline2.expect(\"#; done()";
+        let m = mask(src);
+        assert!(!m.contains("unwrap") && !m.contains("expect"));
+        assert!(m.contains("done()"));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        // An identifier merely ending in r/b/c is not a literal prefix.
+        let src = "let xr = 1; f(xr); tail()";
+        assert_eq!(mask(src), src);
+        // Unterminated raw string blanks to EOF without panicking.
+        let m = mask(r##"let s = r#"never closed"##);
+        assert!(!m.contains("never"));
+    }
+
+    #[test]
+    fn nested_block_comment_variants() {
+        for (src, survivor) in [
+            ("a /* x /* y.unwrap() */ z */ b()", "b()"),
+            ("a /* /* /* deep.unwrap() */ */ */ b()", "b()"),
+            ("/* line // not closing\n still.unwrap() */ after()", "after()"),
+            ("/** doc /* nested.unwrap() */ end */ keep()", "keep()"),
+            ("/**/ keep()", "keep()"),
+        ] {
+            let m = mask(src);
+            assert!(!m.contains("unwrap"), "comment contents blanked: {src}");
+            assert!(m.contains(survivor), "code after comment survives: {src}");
+        }
+        // Unterminated nesting blanks to EOF: nothing after may survive.
+        let m = mask("a /* x /* y.unwrap() */ still comment");
+        assert!(!m.contains("unwrap") && !m.contains("still"));
+        assert!(m.starts_with('a'));
+    }
+
+    #[test]
+    fn literals_inside_comments_and_comments_inside_literals() {
+        // A quote inside a comment must not open a string...
+        let m = mask("/* \" */ x.keep() /* \" */ tail()");
+        assert!(m.contains("keep") && m.contains("tail()"));
+        // ...a comment opener inside a raw string must not open a comment...
+        let m = mask("let s = r#\"/* not a comment \"#; x.keep()");
+        assert!(!m.contains("not a comment"));
+        assert!(m.contains("keep"));
+        // ...and a raw-string opener inside a comment is inert.
+        let m = mask("/* r#\" */ x.keep() // tail");
+        assert!(m.contains("keep"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `bertha-check`: a dependency-free source analyzer for the Bertha
 //! workspace, plus a small exhaustive-interleaving model checker.
 //!
-//! The analyzer walks `crates/**/*.rs` and enforces six invariant
+//! The analyzer walks `crates/**/*.rs` and enforces eight invariant
 //! families (DESIGN.md §10):
 //!
 //! 1. **wire-tags** — every framing tag byte is defined in
@@ -17,7 +17,14 @@
 //!    wildcard arm hiding a missing one;
 //! 6. **span-names** — trace span ops passed to `span::record*` follow
 //!    `<subsystem>.<op>` and agree with the DESIGN.md §9 span table in
-//!    both directions.
+//!    both directions;
+//! 7. **lock-order** — the whole-workspace lock acquisition graph
+//!    (guards held across nested acquisitions, one level of intra-crate
+//!    call edges) is acyclic, and the surviving edges match the
+//!    canonical-order table in DESIGN.md §10;
+//! 8. **blocking-in-async** — no blocking lock guard is held across an
+//!    `.await`, and no `thread::sleep`/blocking I/O appears in
+//!    data-path `async fn` bodies.
 //!
 //! Everything is hand-rolled on `std` only, matching the workspace's
 //! no-serde_json style: a masking lexer (comments and literals blanked so
@@ -178,6 +185,8 @@ pub fn run(root: &Path) -> io::Result<Report> {
     notes.extend(fn_notes);
     violations.extend(checks::journal::check(&files));
     violations.extend(checks::spans::check(&files, root));
+    violations.extend(checks::lock_order::check(&files, root));
+    violations.extend(checks::blocking::check(&files));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(Report {

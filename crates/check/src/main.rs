@@ -4,18 +4,74 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "bertha-check [--root <workspace-root>] [--self-test]
+const USAGE: &str = "bertha-check [--root <workspace-root>] [--self-test] [--format text|json]
+             [--lock-order-table]
 
 Walks crates/**/*.rs and enforces the DESIGN.md \u{a7}10 invariants:
-wire-tag registry, data-plane panic lint, metric-name cross-check, and
-the accelerated-capability fallback rule.
+wire-tag registry, data-plane panic lint, metric-name cross-check, the
+accelerated-capability fallback rule, journal-replay closure, span
+names, the lock-order acquisition graph, and the blocking-in-async
+lint.
+
+--format json prints machine-readable findings (one object with
+`violations` and `notes` arrays) instead of the human lines.
+--lock-order-table prints the canonical lock-order table exactly as it
+must appear in DESIGN.md \u{a7}10.
 
 Exit codes: 0 clean, 1 violations found (or self-test failure), 2 usage
 or I/O error.";
 
+/// Minimal JSON string escaping (the workspace's no-serde_json style).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &bertha_check::Report) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"violations\": [\n",
+        report.files_scanned
+    ));
+    for (i, v) in report.violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"error\", \
+             \"msg\": \"{}\"}}{}\n",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.rule),
+            json_escape(&v.msg),
+            if i + 1 < report.violations.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"notes\": [\n");
+    for (i, n) in report.notes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"severity\": \"note\", \"msg\": \"{}\"}}{}\n",
+            json_escape(n),
+            if i + 1 < report.notes.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}");
+    println!("{s}");
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut self_test = false;
+    let mut json = false;
+    let mut lock_table = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -27,6 +83,15 @@ fn main() -> ExitCode {
                 }
             },
             "--self-test" => self_test = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format requires `text` or `json`, got {other:?}\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--lock-order-table" => lock_table = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -54,6 +119,19 @@ fn main() -> ExitCode {
         };
     }
 
+    if lock_table {
+        let files = match bertha_check::load_sources(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bertha-check: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let g = bertha_check::checks::lock_order::graph(&files);
+        print!("{}", bertha_check::checks::lock_order::render_table(&g));
+        return ExitCode::SUCCESS;
+    }
+
     let report = match bertha_check::run(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -61,18 +139,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for v in &report.violations {
-        println!("{v}");
-    }
-    for n in &report.notes {
-        println!("note: {n}");
+    if json {
+        print_json(&report);
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        for n in &report.notes {
+            println!("note: {n}");
+        }
     }
     if report.violations.is_empty() {
-        println!(
-            "bertha-check: {} files scanned, no violations ({} advisory notes)",
-            report.files_scanned,
-            report.notes.len()
-        );
+        if !json {
+            println!(
+                "bertha-check: {} files scanned, no violations ({} advisory notes)",
+                report.files_scanned,
+                report.notes.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(

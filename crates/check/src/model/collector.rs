@@ -1,0 +1,223 @@
+//! A model of the trace collector's ingest → tail-decision →
+//! ring-persistence pipeline (`discovery::collector::SpanCollector`).
+//!
+//! The real collector ingests span batches into a pending map (bounded
+//! by `PENDING_CAP`, oldest rootless trace evicted), moves rooted
+//! traces through the tail decision (keep or downsample), and persists
+//! each kept trace into an on-disk ring file named by its slot
+//! (`trace-<slot>.bin`, `slot = seq % capacity`). Persistence happens
+//! *after* the inner lock is dropped — `ingest`'s late-span merge and
+//! `finalize` both queue bytes under the lock and write them outside it
+//! — so a slot can be reassigned to a newer trace while an older write
+//! for the same slot is still in flight.
+//!
+//! The protocol that makes this safe is stamp-guarded persistence:
+//! every keep takes a monotone stamp under the lock, the slot remembers
+//! its current owner's stamp, and a queued write only lands if its
+//! stamp still owns the slot ([`CollectorCore::persist_guarded`]). The
+//! pre-fix [`CollectorCore::persist_blind`] writes unconditionally,
+//! and the explorer must find the interleaving where a stale write
+//! clobbers a newer trace's file — disk then disagrees with the ring
+//! that crash recovery will rebuild from.
+
+use std::collections::BTreeMap;
+
+/// One kept trace: id, ring slot, and the stamp (monotone keep
+/// sequence number) under which it owns the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kept {
+    /// Trace identity.
+    pub id: u64,
+    /// Ring slot (`stamp % capacity`).
+    pub slot: u64,
+    /// Keep-sequence stamp; the slot's current owner has the highest.
+    pub stamp: u64,
+}
+
+/// Shared collector state: pending traces, the kept ring, the persist
+/// queue, and the on-disk ring contents.
+#[derive(Debug)]
+pub struct CollectorCore {
+    /// Rootless/undecided trace ids in arrival order.
+    pub pending: Vec<u64>,
+    /// Bound on `pending` (the real `PENDING_CAP`).
+    pub pending_cap: usize,
+    /// Traces evicted from `pending` before their root arrived.
+    pub evicted: Vec<u64>,
+    /// The in-memory kept ring, oldest first.
+    pub kept: Vec<Kept>,
+    /// Ring capacity (the real `TailPolicy::capacity`).
+    pub capacity: u64,
+    /// Monotone keep counter (the real `Inner::seq`).
+    pub seq: u64,
+    /// Writes queued under the lock, applied outside it.
+    pub queue: Vec<Kept>,
+    /// On-disk ring: slot -> (trace id, stamp) last written.
+    pub disk: BTreeMap<u64, (u64, u64)>,
+}
+
+impl CollectorCore {
+    /// Fresh collector with the given ring capacity and pending bound.
+    pub fn new(capacity: u64, pending_cap: usize) -> Self {
+        CollectorCore {
+            pending: Vec::new(),
+            pending_cap,
+            evicted: Vec::new(),
+            kept: Vec::new(),
+            capacity: capacity.max(1),
+            seq: 0,
+            queue: Vec::new(),
+            disk: BTreeMap::new(),
+        }
+    }
+
+    /// Ingest one trace's spans into pending, evicting the oldest
+    /// rootless trace beyond the cap — `ingest`'s critical section.
+    pub fn ingest_locked(&mut self, id: u64) {
+        self.pending.push(id);
+        while self.pending.len() > self.pending_cap {
+            let evicted = self.pending.remove(0);
+            self.evicted.push(evicted);
+        }
+    }
+
+    /// The tail decision keeps `id`: assign the next ring slot, displace
+    /// the slot's previous owner, and queue the persist — `finalize`'s
+    /// critical section.
+    pub fn keep_locked(&mut self, id: u64) {
+        if let Some(at) = self.pending.iter().position(|p| *p == id) {
+            self.pending.remove(at);
+        } else {
+            return; // already decided or evicted
+        }
+        let stamp = self.seq;
+        self.seq += 1;
+        let slot = stamp % self.capacity;
+        self.kept.retain(|k| k.slot != slot);
+        let k = Kept { id, slot, stamp };
+        self.kept.push(k);
+        self.queue.push(k);
+    }
+
+    /// Take the queued write for `id` (each flusher thread owns its own
+    /// trace's bytes; the queue is not FIFO across threads).
+    fn take_write(&mut self, id: u64) -> Option<Kept> {
+        let at = self.queue.iter().position(|w| w.id == id)?;
+        Some(self.queue.remove(at))
+    }
+
+    /// Apply `id`'s queued write with stamp guarding: the write lands
+    /// only if its stamp still owns the slot.
+    pub fn persist_guarded(&mut self, id: u64) {
+        let Some(w) = self.take_write(id) else {
+            return;
+        };
+        let owner = self.kept.iter().find(|k| k.slot == w.slot);
+        if owner.map(|k| k.stamp) == Some(w.stamp) {
+            self.disk.insert(w.slot, (w.id, w.stamp));
+        }
+    }
+
+    /// Pre-fix: apply `id`'s queued write unconditionally, even if the
+    /// slot has been reassigned since the bytes were encoded.
+    pub fn persist_blind(&mut self, id: u64) {
+        let Some(w) = self.take_write(id) else {
+            return;
+        };
+        self.disk.insert(w.slot, (w.id, w.stamp));
+    }
+
+    /// Invariant: no trace is simultaneously pending and decided, or
+    /// both kept and evicted.
+    pub fn states_disjoint(&self) -> Result<(), String> {
+        for k in &self.kept {
+            if self.pending.contains(&k.id) {
+                return Err(format!("trace {} both pending and kept", k.id));
+            }
+            if self.evicted.contains(&k.id) {
+                return Err(format!("trace {} both evicted and kept", k.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Final-state check (run once the persist queue has drained): the
+    /// on-disk ring mirrors the in-memory ring — recovery rebuilds
+    /// exactly the kept set.
+    pub fn disk_mirrors_ring(&self) -> Result<(), String> {
+        if !self.queue.is_empty() {
+            return Err(format!("{} persists never applied", self.queue.len()));
+        }
+        for k in &self.kept {
+            match self.disk.get(&k.slot) {
+                Some(&(id, stamp)) if id == k.id && stamp == k.stamp => {}
+                Some(&(id, _)) => {
+                    return Err(format!(
+                        "slot {} clobbered: ring holds trace {}, disk holds trace {id}",
+                        k.slot, k.id
+                    ));
+                }
+                None => {
+                    return Err(format!("kept trace {} never persisted", k.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keep_persist_mirrors() {
+        let mut c = CollectorCore::new(2, 8);
+        c.ingest_locked(1);
+        c.ingest_locked(2);
+        c.keep_locked(1);
+        c.keep_locked(2);
+        c.persist_guarded(1);
+        c.persist_guarded(2);
+        c.states_disjoint().unwrap();
+        c.disk_mirrors_ring().unwrap();
+        assert_eq!(c.kept.len(), 2);
+    }
+
+    #[test]
+    fn ring_wrap_with_blind_persist_clobbers() {
+        // Capacity 1: both keeps use slot 0. Applying the writes in
+        // reverse order leaves trace 1's bytes in trace 2's file.
+        let mut c = CollectorCore::new(1, 8);
+        c.ingest_locked(1);
+        c.ingest_locked(2);
+        c.keep_locked(1);
+        c.keep_locked(2);
+        c.persist_blind(2);
+        c.persist_blind(1); // the stale in-flight write lands last
+        let err = c.disk_mirrors_ring().unwrap_err();
+        assert!(err.contains("clobbered"), "{err}");
+
+        // Guarded persistence skips the stale write instead.
+        let mut c = CollectorCore::new(1, 8);
+        c.ingest_locked(1);
+        c.ingest_locked(2);
+        c.keep_locked(1);
+        c.keep_locked(2);
+        c.persist_guarded(2);
+        c.persist_guarded(1);
+        c.disk_mirrors_ring().unwrap();
+    }
+
+    #[test]
+    fn pending_cap_evicts_oldest() {
+        let mut c = CollectorCore::new(4, 2);
+        c.ingest_locked(1);
+        c.ingest_locked(2);
+        c.ingest_locked(3);
+        assert_eq!(c.evicted, vec![1]);
+        c.keep_locked(1); // evicted: the keep is a no-op
+        assert!(c.kept.is_empty());
+        c.states_disjoint().unwrap();
+    }
+}

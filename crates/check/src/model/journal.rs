@@ -1,0 +1,128 @@
+//! A model of the discovery agent's journal/snapshot/replay protocol
+//! (`discovery::journal` + `discovery::registry::log_record`).
+//!
+//! In the real code every mutation is applied to in-memory state and
+//! appended to `journal.bin` under the one registry state lock, and
+//! compaction — snapshotting the live state and resetting the journal —
+//! runs under that same lock ([`Journal::compact`] is only reachable
+//! through the registry's locked paths). Crash recovery replays
+//! `snapshot.bin` then `journal.bin`, so correctness is exactly:
+//! *snapshot ++ journal always reconstructs the live state*.
+//!
+//! The pre-fix discipline modelled by [`JournalCore::compact_observe`] /
+//! [`JournalCore::compact_act`] snapshots an *observed copy* of the
+//! state and then truncates the journal as a second step. An append
+//! that lands between the two is in neither file: the snapshot predates
+//! it and the truncation destroys it. The explorer must find that
+//! lost-record interleaving; the single-critical-section
+//! [`JournalCore::compact_locked`] must never exhibit it.
+
+/// Shared state of the agent: live registrations plus the two on-disk
+/// streams. Records are modelled as opaque ids.
+#[derive(Debug, Default)]
+pub struct JournalCore {
+    /// Mutations applied to in-memory state, in order.
+    pub live: Vec<u64>,
+    /// Contents of `snapshot.bin`.
+    pub snapshot: Vec<u64>,
+    /// Contents of `journal.bin` (since the last compaction).
+    pub journal: Vec<u64>,
+    /// Pre-fix only: the state copy observed for snapshotting before
+    /// the journal truncation step ran.
+    pub observed: Option<Vec<u64>>,
+}
+
+impl JournalCore {
+    /// Fresh agent with empty state and files.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a mutation and append it to the journal — one critical
+    /// section, the registry's `log_record` discipline.
+    pub fn append_locked(&mut self, id: u64) {
+        self.live.push(id);
+        self.journal.push(id);
+    }
+
+    /// The fixed compaction: snapshot the live state and reset the
+    /// journal in the same critical section.
+    pub fn compact_locked(&mut self) {
+        self.snapshot = self.live.clone();
+        self.journal.clear();
+    }
+
+    /// Pre-fix compaction, step 1 of 2: copy the state for the snapshot
+    /// with no lock held across the whole operation.
+    pub fn compact_observe(&mut self) {
+        self.observed = Some(self.live.clone());
+    }
+
+    /// Pre-fix compaction, step 2 of 2: install the (possibly stale)
+    /// snapshot and truncate the journal.
+    pub fn compact_act(&mut self) {
+        if let Some(snap) = self.observed.take() {
+            self.snapshot = snap;
+            self.journal.clear();
+        }
+    }
+
+    /// What a crash-restart reconstructs: snapshot, then journal.
+    pub fn replay(&self) -> Vec<u64> {
+        let mut out = self.snapshot.clone();
+        out.extend_from_slice(&self.journal);
+        out
+    }
+
+    /// Invariant: a crash at this instant recovers exactly the live
+    /// state — no record lost, duplicated, or reordered.
+    pub fn replay_matches_live(&self) -> Result<(), String> {
+        // Mid-flight the pre-fix variant holds an observed copy; the
+        // durable invariant is only claimed between operations, so a
+        // pending two-step compaction defers the check to `compact_act`.
+        if self.observed.is_some() {
+            return Ok(());
+        }
+        let got = self.replay();
+        if got == self.live {
+            Ok(())
+        } else {
+            Err(format!(
+                "replay diverges from live state: recovered {:?}, live {:?} \
+                 (record lost between snapshot and truncation)",
+                got, self.live
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_append_compact_append_replays() {
+        let mut j = JournalCore::new();
+        j.append_locked(1);
+        j.append_locked(2);
+        j.replay_matches_live().unwrap();
+        j.compact_locked();
+        assert!(j.journal.is_empty());
+        j.append_locked(3);
+        assert_eq!(j.replay(), vec![1, 2, 3]);
+        j.replay_matches_live().unwrap();
+    }
+
+    #[test]
+    fn two_step_compaction_loses_an_interleaved_append() {
+        // The exact schedule the explorer must also find: observe,
+        // append, act.
+        let mut j = JournalCore::new();
+        j.append_locked(1);
+        j.compact_observe();
+        j.append_locked(2);
+        j.compact_act();
+        assert_eq!(j.replay(), vec![1], "record 2 is in neither file");
+        assert!(j.replay_matches_live().is_err());
+    }
+}

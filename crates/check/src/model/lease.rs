@@ -1,0 +1,242 @@
+//! A model of lease renewal vs. expiry sweep vs. the client's
+//! degraded-mode flip (`discovery::registry` + `discovery::client`).
+//!
+//! In the real registry, `renew` updates a lease deadline and the
+//! expiry sweep (`expire_locked`) withdraws past-deadline
+//! registrations — both under the single registry state lock, so a
+//! renewal that wins the lock keeps the entry alive and one that loses
+//! it finds the entry already gone (and re-registers). The property is
+//! *no live revocation*: an entry is only ever withdrawn while its
+//! current deadline has actually passed. The pre-fix
+//! [`LeaseCore::sweep_observe`] / [`LeaseCore::sweep_act`] split checks
+//! the deadline and acts on the stale answer as two steps; a renewal
+//! landing in between is silently thrown away — the explorer must find
+//! that revoked-though-renewed interleaving.
+//!
+//! The client side models `DiscoveryClient`'s degraded flag: entry and
+//! exit transitions are counted via an atomic `swap`, so concurrent
+//! failures count one transition, not one per failure. The pre-fix
+//! read-then-store split double-counts — the mirrored-counter bug class
+//! again, at the client's availability boundary.
+
+/// Shared state: logical clock, one leased registration, the agent's
+/// version counter, and the client's degraded flag.
+#[derive(Debug, Default)]
+pub struct LeaseCore {
+    /// Logical now (ticks).
+    pub now: u64,
+    /// The lease deadline (absolute tick).
+    pub deadline: u64,
+    /// Is the registration still present?
+    pub registered: bool,
+    /// Tick at which the sweep revoked, if it did.
+    pub revoked_at: Option<u64>,
+    /// Deadline that was current at the instant of revocation.
+    pub deadline_at_revoke: u64,
+    /// Registry version (bumped on every withdrawal).
+    pub version: u64,
+    /// Pre-fix only: the sweep's lock-free expiry observation.
+    pub observed_expired: Option<bool>,
+    /// Client: degraded flag (the `AtomicBool`).
+    pub degraded: bool,
+    /// Client: counted transitions into degraded mode.
+    pub degraded_entries: u64,
+    /// Client: counted transitions out of degraded mode.
+    pub degraded_exits: u64,
+    /// Pre-fix only: each racing failure path's lock-free read of
+    /// `degraded` (one slot per modelled thread).
+    pub observed_degraded: [Option<bool>; 2],
+    /// Watcher: last registry version it saw.
+    pub watcher_seen: u64,
+    /// Watcher: has it invalidated the client's cached picks?
+    pub invalidated: bool,
+}
+
+impl LeaseCore {
+    /// Fresh core: registered with a deadline `ttl` ticks out.
+    pub fn new(ttl: u64) -> Self {
+        LeaseCore {
+            deadline: ttl,
+            registered: true,
+            ..Default::default()
+        }
+    }
+
+    /// Advance the logical clock.
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Renew the lease: push the deadline `ttl` past now. A renewal
+    /// after withdrawal is a no-op (the real client re-registers).
+    pub fn renew_locked(&mut self, ttl: u64) {
+        if self.registered {
+            self.deadline = self.now + ttl;
+        }
+    }
+
+    /// The fixed sweep: check and withdraw in one critical section.
+    pub fn sweep_locked(&mut self) {
+        if self.registered && self.now >= self.deadline {
+            self.registered = false;
+            self.revoked_at = Some(self.now);
+            self.deadline_at_revoke = self.deadline;
+            self.version += 1;
+        }
+    }
+
+    /// Pre-fix sweep, step 1 of 2: observe expiry without holding the
+    /// lock for the withdrawal.
+    pub fn sweep_observe(&mut self) {
+        self.observed_expired = Some(self.registered && self.now >= self.deadline);
+    }
+
+    /// Pre-fix sweep, step 2 of 2: act on the (possibly stale) answer.
+    pub fn sweep_act(&mut self) {
+        if self.observed_expired.take() == Some(true) && self.registered {
+            self.registered = false;
+            self.revoked_at = Some(self.now);
+            self.deadline_at_revoke = self.deadline;
+            self.version += 1;
+        }
+    }
+
+    /// The watcher's poll: observe the version; any withdrawal since
+    /// the last poll invalidates cached picks.
+    pub fn watcher_poll(&mut self) {
+        if self.version > self.watcher_seen {
+            self.watcher_seen = self.version;
+            self.invalidated = true;
+        }
+    }
+
+    /// Client failure path, fixed: `swap(true)` — flag and count in one
+    /// atomic step, entries counted only on the transition.
+    pub fn fail_swap(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.degraded_entries += 1;
+        }
+    }
+
+    /// Client success path, fixed: `swap(false)`.
+    pub fn recover_swap(&mut self) {
+        if self.degraded {
+            self.degraded = false;
+            self.degraded_exits += 1;
+        }
+    }
+
+    /// Pre-fix failure path, step 1 of 2: thread `i` reads the flag.
+    pub fn fail_observe(&mut self, i: usize) {
+        self.observed_degraded[i] = Some(self.degraded);
+    }
+
+    /// Pre-fix failure path, step 2 of 2: thread `i` stores and counts
+    /// based on its stale read.
+    pub fn fail_act(&mut self, i: usize) {
+        if self.observed_degraded[i].take() == Some(false) {
+            self.degraded = true;
+            self.degraded_entries += 1;
+        }
+    }
+
+    /// Invariant: no live revocation — if the sweep withdrew the entry,
+    /// the deadline current at that instant had really passed. A
+    /// renewal that won the lock must never be thrown away.
+    pub fn no_live_revocation(&self) -> Result<(), String> {
+        match self.revoked_at {
+            Some(at) if self.deadline_at_revoke > at => Err(format!(
+                "lease revoked at tick {at} though renewed to {}: a renewal was lost",
+                self.deadline_at_revoke
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Invariant: transition counting stays consistent — the flag
+    /// equals entries minus exits, which never exceeds one transition
+    /// in flight.
+    pub fn transitions_consistent(&self) -> Result<(), String> {
+        let net = self.degraded_entries as i64 - self.degraded_exits as i64;
+        let flag = self.degraded as i64;
+        if net == flag {
+            Ok(())
+        } else {
+            Err(format!(
+                "degraded flag {} but entries-exits = {net}: a transition was \
+                 double-counted",
+                self.degraded
+            ))
+        }
+    }
+
+    /// Invariant: the watcher never observes a version the registry has
+    /// not published.
+    pub fn watcher_never_ahead(&self) -> Result<(), String> {
+        if self.watcher_seen <= self.version {
+            Ok(())
+        } else {
+            Err(format!(
+                "watcher saw version {} before the registry published {}",
+                self.watcher_seen, self.version
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renewal_winning_the_lock_survives_the_sweep() {
+        let mut c = LeaseCore::new(2);
+        c.tick();
+        c.tick(); // now == deadline
+        c.renew_locked(2);
+        c.sweep_locked();
+        assert!(c.registered);
+        c.no_live_revocation().unwrap();
+    }
+
+    #[test]
+    fn expired_unrenewed_lease_is_withdrawn_and_watched() {
+        let mut c = LeaseCore::new(1);
+        c.tick();
+        c.sweep_locked();
+        assert!(!c.registered);
+        c.no_live_revocation().unwrap();
+        c.watcher_poll();
+        assert!(c.invalidated);
+        c.watcher_never_ahead().unwrap();
+    }
+
+    #[test]
+    fn split_sweep_loses_a_renewal() {
+        // The schedule the explorer must find: observe (expired), renew
+        // (wins the lock), act (stale withdrawal).
+        let mut c = LeaseCore::new(1);
+        c.tick();
+        c.sweep_observe();
+        c.renew_locked(5);
+        c.sweep_act();
+        assert!(c.no_live_revocation().is_err());
+    }
+
+    #[test]
+    fn split_degraded_flip_double_counts() {
+        let mut c = LeaseCore::new(1);
+        c.fail_observe(0);
+        c.fail_observe(1); // both racers read `false`
+        c.fail_act(0);
+        c.fail_act(1);
+        assert!(c.transitions_consistent().is_err());
+        // The swap discipline cannot double-count.
+        let mut c = LeaseCore::new(1);
+        c.fail_swap();
+        c.fail_swap();
+        c.transitions_consistent().unwrap();
+        assert_eq!(c.degraded_entries, 1);
+    }
+}

@@ -14,9 +14,19 @@
 //!
 //! [`epoch`] models the `SwitchableConn` epoch-swap routing protocol
 //! (`bertha::negotiate::renegotiate`), [`counter`] the telemetry
-//! `MirroredCounter`. The exhaustive scenarios run from
-//! `tests/loom_epoch.rs` under `RUSTFLAGS="--cfg loom"`.
+//! `MirroredCounter`, [`journal`] the discovery agent's
+//! journal/snapshot/replay compaction protocol, [`collector`] the
+//! trace collector's ingest/tail-decision/ring-persistence pipeline,
+//! and [`lease`] lease renewal vs. expiry sweep vs. the client's
+//! degraded-mode flip. The exhaustive scenarios run from
+//! `tests/loom_{epoch,journal,collector,lease}.rs` under
+//! `RUSTFLAGS="--cfg loom"`; each file pairs the fixed discipline
+//! (every interleaving passes) with the pre-fix split discipline (the
+//! explorer must find the seeded counterexample).
 
+pub mod collector;
 pub mod counter;
 pub mod epoch;
+pub mod journal;
+pub mod lease;
 pub mod sched;

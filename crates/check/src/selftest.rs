@@ -33,6 +33,14 @@ const EXPECTED: &[(&str, &str)] = &[
     ("span-names", "`BadOp` does not follow"),
     ("span-names", "`rogue.span` is emitted but has no row"),
     ("span-names", "`ghost.span` is documented but never emitted"),
+    ("lock-order", "lock-order cycle"),
+    ("lock-order", "stale waiver"),
+    ("lock-order", "is observed in code but missing"),
+    ("lock-order", "matches no acquisition edge"),
+    ("blocking-in-async", "held across"),
+    ("blocking-in-async", "<temporary>"),
+    ("blocking-in-async", "thread::sleep"),
+    ("blocking-in-async", "stale waiver"),
 ];
 
 /// Run the self-test. `Ok(n)` is the number of violations found in the

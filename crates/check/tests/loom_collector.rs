@@ -1,0 +1,137 @@
+//! Exhaustive interleaving exploration of the trace collector's
+//! ingest → tail-decision → ring-persistence pipeline
+//! (`discovery::collector::SpanCollector`), in the style of loom. Run
+//! with `RUSTFLAGS="--cfg loom" cargo test -p bertha-check --test
+//! loom_collector`.
+//!
+//! The collector persists kept traces *outside* its inner lock, so the
+//! protocol under test is stamp-guarded persistence: a queued write
+//! only lands if its stamp still owns the ring slot. The negative
+//! scenario models the pre-fix unconditional write and asserts the
+//! explorer finds the slot-clobbering interleaving.
+#![cfg(loom)]
+
+use bertha_check::model::collector::CollectorCore;
+use bertha_check::model::sched::{explore, step, Step};
+
+/// Scenario 1: two traces race through keep + persist with a ring big
+/// enough for both. Disk must end up mirroring the ring under every
+/// schedule.
+#[test]
+fn concurrent_keeps_mirror_to_disk() {
+    let threads: Vec<Vec<Step<CollectorCore>>> = vec![
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(1)),
+            step(|c: &mut CollectorCore| c.persist_guarded(1)),
+        ],
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(2)),
+            step(|c: &mut CollectorCore| c.persist_guarded(2)),
+        ],
+    ];
+    let ok = explore(
+        || {
+            let mut c = CollectorCore::new(2, 8);
+            c.ingest_locked(1);
+            c.ingest_locked(2);
+            c
+        },
+        &threads,
+        CollectorCore::states_disjoint,
+        CollectorCore::disk_mirrors_ring,
+    )
+    .expect("guarded persistence must keep disk and ring in agreement");
+    assert_eq!(ok.schedules, 6);
+}
+
+/// Scenario 2: ring wrap — capacity 1, so the second keep reuses the
+/// first trace's slot while the first write may still be in flight.
+/// Stamp guarding must drop the stale write under every schedule.
+#[test]
+fn ring_wrap_suppresses_the_stale_write() {
+    let threads: Vec<Vec<Step<CollectorCore>>> = vec![
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(1)),
+            step(|c: &mut CollectorCore| c.persist_guarded(1)),
+        ],
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(2)),
+            step(|c: &mut CollectorCore| c.persist_guarded(2)),
+        ],
+    ];
+    explore(
+        || {
+            let mut c = CollectorCore::new(1, 8);
+            c.ingest_locked(1);
+            c.ingest_locked(2);
+            c
+        },
+        &threads,
+        CollectorCore::states_disjoint,
+        CollectorCore::disk_mirrors_ring,
+    )
+    .expect("a displaced trace's in-flight write must not clobber the slot");
+}
+
+/// Scenario 3: ingest races the pending-cap eviction and the tail
+/// decision. A trace is pending, kept, or evicted — never two at once —
+/// and whatever is kept ends up on disk.
+#[test]
+fn ingest_eviction_and_keep_stay_disjoint() {
+    let threads: Vec<Vec<Step<CollectorCore>>> = vec![
+        vec![
+            step(|c: &mut CollectorCore| c.ingest_locked(10)),
+            step(|c: &mut CollectorCore| c.ingest_locked(11)),
+            step(|c: &mut CollectorCore| c.ingest_locked(12)),
+        ],
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(10)),
+            step(|c: &mut CollectorCore| c.persist_guarded(10)),
+        ],
+    ];
+    explore(
+        || CollectorCore::new(4, 2),
+        &threads,
+        CollectorCore::states_disjoint,
+        |c| {
+            c.states_disjoint()?;
+            c.disk_mirrors_ring()
+        },
+    )
+    .expect("pending/kept/evicted must partition the traces");
+}
+
+/// Scenario 4 (negative): the pre-fix unconditional persist. With a
+/// capacity-1 ring the explorer must find the schedule where trace 1's
+/// stale bytes land after trace 2 took the slot, leaving disk
+/// disagreeing with the ring crash recovery rebuilds from.
+#[test]
+fn blind_persist_clobbers_the_wrapped_slot() {
+    let threads: Vec<Vec<Step<CollectorCore>>> = vec![
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(1)),
+            step(|c: &mut CollectorCore| c.persist_blind(1)),
+        ],
+        vec![
+            step(|c: &mut CollectorCore| c.keep_locked(2)),
+            step(|c: &mut CollectorCore| c.persist_blind(2)),
+        ],
+    ];
+    let err = explore(
+        || {
+            let mut c = CollectorCore::new(1, 8);
+            c.ingest_locked(1);
+            c.ingest_locked(2);
+            c
+        },
+        &threads,
+        CollectorCore::states_disjoint,
+        CollectorCore::disk_mirrors_ring,
+    )
+    .expect_err("the explorer must detect the stale-write clobber");
+    assert!(
+        err.msg.contains("clobbered"),
+        "expected a slot-clobber counterexample, got: {}",
+        err.msg
+    );
+}

@@ -1,0 +1,146 @@
+//! Exhaustive interleaving exploration of lease renewal vs. the expiry
+//! sweep vs. the client's degraded-mode flip (`discovery::registry` +
+//! `discovery::client`), in the style of loom. Run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p bertha-check --test
+//! loom_lease`.
+//!
+//! Two properties: *no live revocation* (a renewal that wins the
+//! registry lock is never thrown away by the sweep) and *transition
+//! counting* (concurrent failures flip the degraded flag once, not once
+//! per failure). Each gets a fixed-discipline scenario that must pass
+//! under every schedule and a pre-fix split-discipline scenario whose
+//! counterexample the explorer must find.
+#![cfg(loom)]
+
+use bertha_check::model::lease::LeaseCore;
+use bertha_check::model::sched::{explore, step, Step};
+
+fn lease_invariants(c: &LeaseCore) -> Result<(), String> {
+    c.no_live_revocation()?;
+    c.watcher_never_ahead()
+}
+
+/// Scenario 1: a renewal races the sweep exactly at the deadline.
+/// Whoever wins the lock, the outcome is consistent: either the lease
+/// lives on with the new deadline, or it was withdrawn while genuinely
+/// expired and the watcher's next poll invalidates the picks.
+#[test]
+fn renewal_vs_sweep_is_consistent_either_way() {
+    let threads: Vec<Vec<Step<LeaseCore>>> = vec![
+        vec![step(|c: &mut LeaseCore| c.renew_locked(5))],
+        vec![step(|c: &mut LeaseCore| c.sweep_locked())],
+        vec![step(|c: &mut LeaseCore| c.watcher_poll())],
+    ];
+    let ok = explore(
+        || {
+            let mut c = LeaseCore::new(1);
+            c.tick(); // now == deadline: the lease is due
+            c
+        },
+        &threads,
+        lease_invariants,
+        |c| {
+            lease_invariants(c)?;
+            if c.registered {
+                // The renewal won: deadline pushed out, nothing revoked.
+                if c.deadline == c.now + 5 && c.revoked_at.is_none() {
+                    Ok(())
+                } else {
+                    Err(format!("renewed lease in odd state: {c:?}"))
+                }
+            } else {
+                // The sweep won: the withdrawal bumped the version.
+                if c.version == 1 {
+                    Ok(())
+                } else {
+                    Err(format!("withdrawal did not publish: {c:?}"))
+                }
+            }
+        },
+    )
+    .expect("locked renewal and sweep must serialize cleanly");
+    assert_eq!(ok.schedules, 6);
+}
+
+/// Scenario 2 (negative): the pre-fix sweep observes expiry, a renewal
+/// lands, and the sweep acts on its stale answer. The explorer must
+/// find the lost-renewal interleaving.
+#[test]
+fn split_sweep_revokes_a_renewed_lease() {
+    let threads: Vec<Vec<Step<LeaseCore>>> = vec![
+        vec![step(|c: &mut LeaseCore| c.renew_locked(5))],
+        vec![
+            step(|c: &mut LeaseCore| c.sweep_observe()),
+            step(|c: &mut LeaseCore| c.sweep_act()),
+        ],
+    ];
+    let err = explore(
+        || {
+            let mut c = LeaseCore::new(1);
+            c.tick();
+            c
+        },
+        &threads,
+        lease_invariants,
+        lease_invariants,
+    )
+    .expect_err("the explorer must detect the observe/act revocation window");
+    assert!(
+        err.msg.contains("a renewal was lost"),
+        "expected the lost-renewal counterexample, got: {}",
+        err.msg
+    );
+}
+
+/// Scenario 3: two failing calls race the degraded flip (the client's
+/// `AtomicBool::swap` discipline) plus a recovery. The flag and the
+/// transition counters must agree at every step.
+#[test]
+fn concurrent_failures_count_one_transition() {
+    let threads: Vec<Vec<Step<LeaseCore>>> = vec![
+        vec![step(|c: &mut LeaseCore| c.fail_swap())],
+        vec![step(|c: &mut LeaseCore| c.fail_swap())],
+        vec![step(|c: &mut LeaseCore| c.recover_swap())],
+    ];
+    explore(
+        || LeaseCore::new(1),
+        &threads,
+        LeaseCore::transitions_consistent,
+        |c| {
+            c.transitions_consistent()?;
+            if c.degraded_entries <= 2 {
+                Ok(())
+            } else {
+                Err(format!("{} entries for two failures", c.degraded_entries))
+            }
+        },
+    )
+    .expect("swap-based flips must count transitions exactly");
+}
+
+/// Scenario 4 (negative): the pre-fix read-then-store flip. Both
+/// failure paths read `degraded == false`, then both store and count —
+/// the explorer must find the double-counted transition.
+#[test]
+fn split_degraded_flip_double_counts() {
+    let threads: Vec<Vec<Step<LeaseCore>>> = (0..2usize)
+        .map(|i| {
+            vec![
+                step(move |c: &mut LeaseCore| c.fail_observe(i)),
+                step(move |c: &mut LeaseCore| c.fail_act(i)),
+            ]
+        })
+        .collect();
+    let err = explore(
+        || LeaseCore::new(1),
+        &threads,
+        LeaseCore::transitions_consistent,
+        LeaseCore::transitions_consistent,
+    )
+    .expect_err("the explorer must detect the read/store double count");
+    assert!(
+        err.msg.contains("double-counted"),
+        "expected the double-count counterexample, got: {}",
+        err.msg
+    );
+}

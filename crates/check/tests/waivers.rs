@@ -1,0 +1,143 @@
+//! Table-driven test of every waiver form the analyzer understands:
+//! `// check: allow(panic)`, `// check: allow(block)`, and
+//! `// check: lock-order(<a> < <b>)`. For each family the same three
+//! properties must hold: the unwaived snippet trips exactly the seeded
+//! finding, the waived snippet suppresses exactly that one finding (and
+//! nothing else appears), and a waiver with nothing to excuse is itself
+//! reported as stale.
+
+use bertha_check::{checks, SourceFile};
+
+struct Case {
+    name: &'static str,
+    /// Workspace-relative path the snippet pretends to live at (picked
+    /// so the family's scoping rules apply).
+    rel: &'static str,
+    /// Snippet with one violation and no waiver.
+    dirty: &'static str,
+    /// Same snippet with the waiver annotation added.
+    waived: &'static str,
+    /// A waiver annotation with nothing to excuse.
+    stale: &'static str,
+    rule: &'static str,
+    /// Substring of the dirty finding's message.
+    needle: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "allow(panic) on a hot-path unwrap",
+        rel: "crates/bertha/src/conn.rs",
+        dirty: "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        waived: "fn f(x: Option<u8>) -> u8 {\n    // check: allow(panic): fed from a checked table\n    x.unwrap()\n}\n",
+        stale: "// check: allow(panic): nothing here\nfn f() -> u8 { 0 }\n",
+        rule: "panic-lint",
+        needle: "unwrap",
+    },
+    Case {
+        name: "allow(block) on a guard held across .await",
+        rel: "crates/bertha/src/negotiate/renegotiate.rs",
+        dirty: "async fn f(&self) {\n    let g = self.inbox.lock();\n    self.raw.send(x).await;\n}\n",
+        waived: "async fn f(&self) {\n    // check: allow(block): swap is rare and bounded\n    let g = self.inbox.lock();\n    self.raw.send(x).await;\n}\n",
+        stale: "fn f() {}\n// check: allow(block): nothing here\n",
+        rule: "blocking-in-async",
+        needle: "held across",
+    },
+    Case {
+        name: "lock-order(a < b) on an acquisition cycle",
+        rel: "crates/bertha/src/conn.rs",
+        dirty: "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\nfn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n",
+        waived: "// check: lock-order(bertha.conn.beta < bertha.conn.alpha): f and g never run concurrently\nfn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\nfn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n",
+        stale: "// check: lock-order(bertha.conn.ghost < bertha.conn.phantom): nothing here\nfn f() {}\n",
+        rule: "lock-order",
+        needle: "lock-order cycle",
+    },
+];
+
+/// Run one family's check over a single in-memory file. The lock-order
+/// family also cross-checks DESIGN.md; pointing it at a directory with
+/// no DESIGN.md skips that sub-check, which is what a snippet test
+/// wants.
+fn run_family(rule: &str, rel: &str, src: &str) -> Vec<bertha_check::Violation> {
+    let f = SourceFile::from_source(rel.to_string(), src.to_string());
+    let files = [f];
+    match rule {
+        "panic-lint" => checks::panics::check(&files),
+        "blocking-in-async" => checks::blocking::check(&files),
+        "lock-order" => {
+            let no_design = std::env::temp_dir().join("bertha-check-waiver-test-no-design");
+            checks::lock_order::check(&files, &no_design)
+        }
+        other => panic!("no such rule family: {other}"),
+    }
+}
+
+#[test]
+fn every_waiver_form_parses_suppresses_and_goes_stale() {
+    for case in CASES {
+        // 1. The dirty snippet trips exactly the seeded finding.
+        let dirty = run_family(case.rule, case.rel, case.dirty);
+        assert_eq!(
+            dirty.len(),
+            1,
+            "[{}] dirty snippet must produce exactly one finding: {dirty:?}",
+            case.name
+        );
+        assert_eq!(dirty[0].rule, case.rule, "[{}]", case.name);
+        assert!(
+            dirty[0].msg.contains(case.needle),
+            "[{}] finding {:?} must mention {:?}",
+            case.name,
+            dirty[0].msg,
+            case.needle
+        );
+
+        // 2. The waiver suppresses that one finding and introduces none.
+        let waived = run_family(case.rule, case.rel, case.waived);
+        assert!(
+            waived.is_empty(),
+            "[{}] waived snippet must be clean: {waived:?}",
+            case.name
+        );
+
+        // 3. A waiver with nothing to excuse is reported as stale.
+        let stale = run_family(case.rule, case.rel, case.stale);
+        assert_eq!(
+            stale.len(),
+            1,
+            "[{}] stale snippet must produce exactly the staleness finding: {stale:?}",
+            case.name
+        );
+        assert_eq!(stale[0].rule, case.rule, "[{}]", case.name);
+        assert!(
+            stale[0].msg.contains("stale waiver"),
+            "[{}] {:?}",
+            case.name,
+            stale[0].msg
+        );
+    }
+}
+
+#[test]
+fn waivers_without_a_reason_do_not_waive() {
+    // Every form requires a non-empty reason after the colon.
+    let v = run_family(
+        "panic-lint",
+        "crates/bertha/src/conn.rs",
+        "// check: allow(panic):\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("unwrap"));
+
+    let v = run_family(
+        "lock-order",
+        "crates/bertha/src/conn.rs",
+        "// check: lock-order(bertha.conn.beta < bertha.conn.alpha):\n\
+         fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n\
+         fn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n",
+    );
+    assert!(
+        v.iter().any(|v| v.msg.contains("lock-order cycle")),
+        "reasonless lock-order waiver must not break the cycle: {v:?}"
+    );
+}
