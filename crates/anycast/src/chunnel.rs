@@ -167,12 +167,12 @@ mod tests {
         let c = conn.connect(Addr::Named("svc".into())).await.unwrap();
         assert_eq!(c.via(), AnycastStrategy::Dns);
 
-        c.send((Addr::Named("svc".into()), b"hi".to_vec()))
+        c.send((Addr::Named("svc".into()), b"hi".into()))
             .await
             .unwrap();
         let (from, d) = server.recv().await.unwrap();
         assert_eq!(d, b"hi");
-        server.send((from, b"yo".to_vec())).await.unwrap();
+        server.send((from, b"yo".into())).await.unwrap();
         let (from, d) = c.recv().await.unwrap();
         assert_eq!(d, b"yo");
         assert_eq!(

@@ -96,7 +96,7 @@ async fn run_udp(size: usize, connections: usize) {
         setup.push(t0.elapsed());
         for _ in 0..REQUESTS_PER_CONN {
             let t = Instant::now();
-            conn.send((addr.clone(), payload.clone())).await.unwrap();
+            conn.send((addr.clone(), payload.clone().into())).await.unwrap();
             let _ = conn.recv().await.unwrap();
             lat.push(t.elapsed());
         }
@@ -134,7 +134,7 @@ async fn run_unix(size: usize, connections: usize) {
         setup.push(t0.elapsed());
         for _ in 0..REQUESTS_PER_CONN {
             let t = Instant::now();
-            conn.send((srv_addr.clone(), payload.clone()))
+            conn.send((srv_addr.clone(), payload.clone().into()))
                 .await
                 .unwrap();
             let _ = conn.recv().await.unwrap();
@@ -235,7 +235,7 @@ async fn run_bertha(size: usize, connections: usize) {
         setup.push(t0.elapsed());
         for _ in 0..REQUESTS_PER_CONN {
             let t = Instant::now();
-            conn.send((canonical.clone(), payload.clone()))
+            conn.send((canonical.clone(), payload.clone().into()))
                 .await
                 .unwrap();
             let _ = conn.recv().await.unwrap();

@@ -108,7 +108,7 @@ async fn main() {
             "remote-udp"
         };
         let t = Instant::now();
-        conn.send((canonical.clone(), payload.clone()))
+        conn.send((canonical.clone(), payload.clone().into()))
             .await
             .unwrap();
         let _ = conn.recv().await.unwrap();

@@ -91,7 +91,7 @@ async fn main() {
     for _ in 0..iters {
         let t = Instant::now();
         let conn = UdpConnector.connect(raw_addr.clone()).await.unwrap();
-        conn.send((raw_addr.clone(), vec![1u8; 64])).await.unwrap();
+        conn.send((raw_addr.clone(), vec![1u8; 64].into())).await.unwrap();
         let _ = conn.recv().await.unwrap();
         samples.push(t.elapsed());
     }
@@ -132,7 +132,7 @@ async fn main() {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
-        conn.send((raw_addr.clone(), vec![1u8; 64])).await.unwrap();
+        conn.send((raw_addr.clone(), vec![1u8; 64].into())).await.unwrap();
         let _ = conn.recv().await.unwrap();
         samples.push(t.elapsed());
     }
@@ -175,7 +175,7 @@ async fn main() {
         let mut samples = Vec::with_capacity(iters);
         for _ in 0..iters {
             let t = Instant::now();
-            conn.send((empty_addr.clone(), vec![1u8; 64]))
+            conn.send((empty_addr.clone(), vec![1u8; 64].into()))
                 .await
                 .unwrap();
             let _ = conn.recv().await.unwrap();
@@ -199,7 +199,7 @@ async fn main() {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
-        conn.send((addr.clone(), vec![1u8; 64])).await.unwrap();
+        conn.send((addr.clone(), vec![1u8; 64].into())).await.unwrap();
         let _ = tokio::time::timeout(Duration::from_secs(5), conn.recv())
             .await
             .expect("echo within 5s")

@@ -120,7 +120,7 @@ async fn main() {
         let cli = cli.clone();
         let addr = addr.clone();
         async move {
-            cli.send((addr, i.to_le_bytes().to_vec()))
+            cli.send((addr, i.to_le_bytes().into()))
                 .await
                 .expect("send");
             let (_, reply) = tokio::time::timeout(Duration::from_secs(5), cli.recv())

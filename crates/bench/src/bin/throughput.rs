@@ -1,0 +1,211 @@
+//! Zero-copy datapath throughput: loopback-UDP echo packets-per-second
+//! and goodput for the sizes the pooled-frame work targets (DESIGN.md
+//! §12).
+//!
+//! Three arms:
+//! - `64b`: minimum-size datagrams — per-packet overhead dominates, so
+//!   this arm is the most sensitive to allocator traffic and syscall
+//!   count;
+//! - `1400b`: common-MTU datagrams — the acceptance arm for the batched
+//!   `sendmmsg`/`recvmmsg` wire edge;
+//! - `frag8k`: 8 KiB payloads through [`FragChunnel`] (6 fragments per
+//!   message) — exercises in-place fragment prepend and the single-lease
+//!   reassembly path.
+//!
+//! Each arm bursts a window of messages at an echo server and drains the
+//! echoes, so the wire edge sees deep batches (the `udp.batch.*`
+//! telemetry in the JSON snapshot records the realized frames-per-call).
+//! Loopback UDP may drop under load; throughput counts messages that
+//! came back, so loss shows up as lower pps, never as a hang.
+//!
+//! Output columns: arm, payload bytes, messages echoed, pps, goodput in
+//! Mbit/s, and the echo round-trip p50. `--json` prints the bench JSON
+//! (also written to `BENCH_throughput.json`) to stdout. Run with
+//! `--full` for the committed-baseline scale.
+
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, Chunnel, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_bench::{header, latency_stats, scale_from_args, write_bench_json, LatencyStats};
+use bertha_chunnels::frag::{FragChunnel, FragConfig};
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Messages in flight per burst: deep enough that the wire edge has
+/// multiple frames to coalesce per `sendmmsg`, shallow enough to stay
+/// inside default loopback socket buffers at max datagram size.
+const WINDOW: usize = 32;
+
+/// Per-echo receive deadline. Long enough that a scheduler hiccup does
+/// not count as loss; short enough that a genuinely dropped burst does
+/// not dominate the run.
+const RECV_DEADLINE: Duration = Duration::from_millis(250);
+
+struct ArmResult {
+    name: &'static str,
+    size: usize,
+    echoed: usize,
+    pps: f64,
+    goodput_mbps: f64,
+    rtt: LatencyStats,
+}
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() {
+    let scale = scale_from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let messages = ((200_000.0 * scale) as usize).max(2 * WINDOW);
+    eprintln!("throughput: {messages} messages per arm, window {WINDOW}");
+
+    header(&["arm", "size", "echoed", "pps", "goodput_mbps", "rtt_p50_us"]);
+
+    let plain_64 = run_arm("64b", 64, messages, false).await;
+    let plain_1400 = run_arm("1400b", 1400, messages, false).await;
+    // Fragmented arm moves 6x the bytes per message; scale the count so
+    // all three arms take comparable wall clock.
+    let frag_8k = run_arm("frag8k", 8 * 1024, (messages / 4).max(2 * WINDOW), true).await;
+
+    let mut extra: Vec<(&str, f64)> = Vec::new();
+    for arm in [&plain_64, &plain_1400, &frag_8k] {
+        print_row(arm);
+    }
+    let keys: [(&str, &str, &ArmResult); 3] = [
+        ("pps_64b", "goodput_mbps_64b", &plain_64),
+        ("pps_1400b", "goodput_mbps_1400b", &plain_1400),
+        ("pps_frag8k", "goodput_mbps_frag8k", &frag_8k),
+    ];
+    for (pps_key, gp_key, arm) in keys {
+        extra.push((pps_key, arm.pps));
+        extra.push((gp_key, arm.goodput_mbps));
+    }
+
+    // The 1400-byte arm is the acceptance arm: its round-trip stats ride
+    // in the snapshot's latency block, the rest as scalars.
+    match write_bench_json("throughput", Some(&plain_1400.rtt), &extra) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("throughput: write snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            bertha_bench::bench_json("throughput", Some(&plain_1400.rtt), &extra)
+        );
+    }
+}
+
+fn print_row(arm: &ArmResult) {
+    println!(
+        "{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}",
+        arm.name, arm.size, arm.echoed, arm.pps, arm.goodput_mbps, arm.rtt.p50
+    );
+}
+
+/// One arm: echo `messages` payloads of `size` bytes over loopback UDP,
+/// optionally through the fragmentation chunnel on both ends.
+async fn run_arm(name: &'static str, size: usize, messages: usize, frag: bool) -> ArmResult {
+    let mut incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = incoming.local_addr();
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                if frag {
+                    let conn = FragChunnel::default().connect_wrap(conn).await.unwrap();
+                    echo_loop(conn).await;
+                } else {
+                    echo_loop(conn).await;
+                }
+            });
+        }
+    });
+
+    let raw = UdpConnector.connect(addr.clone()).await.unwrap();
+    let (echoed, elapsed, rtt) = if frag {
+        let conn = FragChunnel::new(FragConfig::default())
+            .connect_wrap(raw)
+            .await
+            .unwrap();
+        drive(Arc::new(conn), addr, size, messages).await
+    } else {
+        drive(Arc::new(raw), addr, size, messages).await
+    };
+    server.abort();
+
+    let pps = echoed as f64 / elapsed.as_secs_f64();
+    ArmResult {
+        name,
+        size,
+        echoed,
+        pps,
+        goodput_mbps: pps * size as f64 * 8.0 / 1e6,
+        rtt,
+    }
+}
+
+async fn echo_loop<C>(conn: C)
+where
+    C: ChunnelConnection<Data = bertha::Datagram>,
+{
+    while let Ok((from, data)) = conn.recv().await {
+        if conn.send((from, data)).await.is_err() {
+            break;
+        }
+    }
+}
+
+/// Burst `WINDOW` messages, drain the echoes (tolerating loss via a
+/// deadline), repeat until `messages` have been sent. Returns how many
+/// echoes arrived, the wall clock over the whole measured region, and
+/// burst round-trip stats.
+async fn drive<C>(
+    conn: Arc<C>,
+    addr: Addr,
+    size: usize,
+    messages: usize,
+) -> (usize, Duration, LatencyStats)
+where
+    C: ChunnelConnection<Data = bertha::Datagram> + Send + Sync + 'static,
+{
+    let payload: bertha::buf::Frame = vec![0x42u8; size].into();
+
+    // Warmup: populate the slab pool and ARP/route caches outside the
+    // measured region, and prove the path works end to end.
+    for _ in 0..4 {
+        conn.send((addr.clone(), payload.clone())).await.unwrap();
+        tokio::time::timeout(Duration::from_secs(5), conn.recv())
+            .await
+            .expect("warmup echo timed out")
+            .unwrap();
+    }
+
+    let mut echoed = 0usize;
+    let mut sent = 0usize;
+    let mut rtts = Vec::with_capacity(messages / WINDOW + 1);
+    let t0 = Instant::now();
+    while sent < messages {
+        let burst = WINDOW.min(messages - sent);
+        let tb = Instant::now();
+        for _ in 0..burst {
+            // Clone bumps the slab refcount; the wire edge sees the same
+            // pooled bytes every iteration.
+            if conn.send((addr.clone(), payload.clone())).await.is_err() {
+                break;
+            }
+        }
+        sent += burst;
+        for _ in 0..burst {
+            match tokio::time::timeout(RECV_DEADLINE, conn.recv()).await {
+                Ok(Ok(_)) => echoed += 1,
+                Ok(Err(_)) | Err(_) => break,
+            }
+        }
+        rtts.push(tb.elapsed() / burst as u32);
+    }
+    let elapsed = t0.elapsed();
+    (echoed, elapsed, latency_stats(&mut rtts))
+}

@@ -1,0 +1,680 @@
+//! Pooled, reference-counted frame buffers for the zero-copy datapath.
+//!
+//! Every datagram that crosses the stack is a [`Frame`]: a window into a
+//! pooled slab laid out as `[headroom | payload | tailroom]`. Chunnels that
+//! add a header ([`Frame::prepend`]) write into the reserved headroom in
+//! place instead of allocating a fresh `Vec` per layer, and chunnels that
+//! remove one ([`Frame::strip`]) just advance the window. Cloning a frame
+//! bumps a refcount — retransmit queues hold the same bytes the socket
+//! sent — and mutation of a shared frame copies on write, so no clone can
+//! observe another's edits.
+//!
+//! Slabs come from a global two-class pool (small frames for common MTUs,
+//! large for max-size datagrams) and return to it on drop, so a
+//! steady-state echo loop recycles the same storage with zero allocator
+//! traffic. Pool behaviour is observable as `buf.pool.hits` /
+//! `buf.pool.misses` counters and the `buf.pool.inflight` gauge
+//! (DESIGN.md §12).
+
+use bertha_telemetry as tele;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Headroom reserved at the front of every pooled slab. Sized for the
+/// worst-case header stack (reliable 9 + ordering 8 + frag 12 + batch 5 +
+/// tracing 1+36 + crypt 13 + compress 1 + heartbeat 1 ≈ 86 bytes) with
+/// slack for future layers.
+pub const HEADROOM: usize = 128;
+
+/// Total size of a small-class slab: headroom plus a payload budget that
+/// covers common-MTU datagrams and every control frame.
+const SMALL_TOTAL: usize = 4096;
+
+/// Total size of a large-class slab: headroom plus the largest UDP payload
+/// (65 507 bytes, matching `bertha_transport::MAX_DATAGRAM`).
+const LARGE_TOTAL: usize = HEADROOM + 65_507;
+
+/// Retention caps: slabs returned beyond these are dropped instead of
+/// pooled, bounding idle memory at ~1 MiB small + ~2 MiB large.
+const SMALL_CAP: usize = 256;
+const LARGE_CAP: usize = 32;
+
+/// The global two-class slab pool. Both inner locks are leaf locks: no
+/// other lock is ever acquired while holding one.
+struct Pool {
+    small: Mutex<Vec<Box<[u8]>>>,
+    large: Mutex<Vec<Box<[u8]>>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: std::sync::OnceLock<Pool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        small: Mutex::new(Vec::new()),
+        large: Mutex::new(Vec::new()),
+    })
+}
+
+/// Lease a slab whose total size is at least `total` bytes. Pool hit or
+/// miss is recorded; oversize requests (beyond the large class) are
+/// allocated exactly and will not be pooled on return.
+fn lease(total: usize) -> Box<[u8]> {
+    let p = pool();
+    let (shelf, size) = if total <= SMALL_TOTAL {
+        (&p.small, SMALL_TOTAL)
+    } else if total <= LARGE_TOTAL {
+        (&p.large, LARGE_TOTAL)
+    } else {
+        tele::counter("buf.pool.misses").incr();
+        tele::gauge("buf.pool.inflight").add(1);
+        return vec![0u8; total].into_boxed_slice();
+    };
+    let reused = shelf.lock().pop();
+    tele::gauge("buf.pool.inflight").add(1);
+    match reused {
+        Some(b) => {
+            tele::counter("buf.pool.hits").incr();
+            b
+        }
+        None => {
+            tele::counter("buf.pool.misses").incr();
+            vec![0u8; size].into_boxed_slice()
+        }
+    }
+}
+
+/// Return a slab to the pool (or drop it if its shelf is full or it is an
+/// oversize one-off allocation).
+fn give(slab: Box<[u8]>) {
+    tele::gauge("buf.pool.inflight").add(-1);
+    let p = pool();
+    let shelf = match slab.len() {
+        SMALL_TOTAL => &p.small,
+        LARGE_TOTAL => &p.large,
+        _ => return,
+    };
+    let cap = if slab.len() == SMALL_TOTAL {
+        SMALL_CAP
+    } else {
+        LARGE_CAP
+    };
+    let mut shelf = shelf.lock();
+    if shelf.len() < cap {
+        shelf.push(slab);
+    }
+}
+
+/// The backing storage of one or more [`Frame`]s. Returns its slab to the
+/// pool when the last frame referencing it drops.
+struct Slab {
+    data: Box<[u8]>,
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        give(std::mem::take(&mut self.data));
+    }
+}
+
+/// A pooled, reference-counted datagram buffer with reserved headroom.
+///
+/// A frame is a `[head, head+len)` window into a shared slab. All byte
+/// access (`Deref`, comparisons, hashing) sees only the window. See the
+/// module docs for the sharing and copy-on-write rules.
+pub struct Frame {
+    slab: Arc<Slab>,
+    head: usize,
+    len: usize,
+}
+
+// Safety note: `Frame` mutation goes through `Arc::get_mut`, which only
+// yields access when the refcount is 1, so shared slabs are read-only.
+impl Frame {
+    /// An empty frame positioned with full headroom, ready for payload
+    /// writes via [`Frame::extend_from_slice`].
+    pub fn empty() -> Frame {
+        Frame {
+            slab: Arc::new(Slab {
+                data: lease(SMALL_TOTAL),
+            }),
+            head: HEADROOM,
+            len: 0,
+        }
+    }
+
+    /// A frame containing a copy of `payload`, positioned after full
+    /// headroom so the header stack can prepend without reallocating.
+    pub fn copy_from(payload: &[u8]) -> Frame {
+        let mut data = lease(HEADROOM + payload.len());
+        let head = HEADROOM.min(data.len() - payload.len());
+        data[head..head + payload.len()].copy_from_slice(payload);
+        Frame {
+            slab: Arc::new(Slab { data }),
+            head,
+            len: payload.len(),
+        }
+    }
+
+    /// A frame leased for receiving: its window is the slab's entire
+    /// post-headroom capacity (`max_len` bytes or the large class,
+    /// whichever is smaller), to be shrunk with [`Frame::truncate`] once
+    /// the actual datagram length is known.
+    pub fn recv_lease(max_len: usize) -> Frame {
+        let data = lease(HEADROOM + max_len);
+        let len = data.len() - HEADROOM;
+        Frame {
+            slab: Arc::new(Slab { data }),
+            head: HEADROOM,
+            len: len.min(max_len),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Headroom currently available in front of the payload.
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// Whether this frame is the only reference to its slab.
+    pub fn is_unique(&mut self) -> bool {
+        Arc::get_mut(&mut self.slab).is_some()
+    }
+
+    /// Prepend `header` in front of the payload.
+    ///
+    /// Fast path: the frame is unique and has `header.len()` bytes of
+    /// headroom — the header is written in place and the window grows
+    /// backwards. Otherwise (shared slab, or headroom exhausted by deeper
+    /// stacks) the frame falls back to re-leasing a slab and copying, so
+    /// the call always succeeds and never corrupts a clone.
+    pub fn prepend(&mut self, header: &[u8]) {
+        let n = header.len();
+        if n == 0 {
+            return;
+        }
+        if self.head >= n {
+            if let Some(slab) = Arc::get_mut(&mut self.slab) {
+                let start = self.head - n;
+                slab.data[start..self.head].copy_from_slice(header);
+                self.head = start;
+                self.len += n;
+                return;
+            }
+        }
+        // Slow path: shared or out of headroom. Re-lease with fresh
+        // headroom so repeated prepends on deep stacks stay cheap.
+        let mut data = lease(HEADROOM + n + self.len);
+        let head = HEADROOM.min(data.len() - n - self.len);
+        data[head..head + n].copy_from_slice(header);
+        data[head + n..head + n + self.len].copy_from_slice(&self.slab.data[self.head..self.head + self.len]);
+        self.slab = Arc::new(Slab { data });
+        self.head = head;
+        self.len += n;
+    }
+
+    /// Drop the first `n` bytes of the payload, reclaiming them as
+    /// headroom. O(1) even on shared frames (only this frame's window
+    /// moves). Panics if `n > len`.
+    pub fn strip(&mut self, n: usize) {
+        assert!(n <= self.len, "strip({n}) of a {}-byte frame", self.len);
+        self.head += n;
+        self.len -= n;
+    }
+
+    /// Split off and return the first `n` bytes as a new frame sharing
+    /// this slab; `self` becomes the remainder. O(1): no bytes move.
+    /// Panics if `n > len`.
+    pub fn split_to(&mut self, n: usize) -> Frame {
+        assert!(n <= self.len, "split_to({n}) of a {}-byte frame", self.len);
+        let front = Frame {
+            slab: Arc::clone(&self.slab),
+            head: self.head,
+            len: n,
+        };
+        self.head += n;
+        self.len -= n;
+        front
+    }
+
+    /// Shrink the payload to at most `n` bytes (tail bytes become
+    /// tailroom). No-op if the payload is already shorter.
+    pub fn truncate(&mut self, n: usize) {
+        self.len = self.len.min(n);
+    }
+
+    /// Reset this frame to empty-with-full-headroom for reuse, without a
+    /// pool round-trip. Fails (returns `false`, frame untouched) when the
+    /// slab is shared, since resetting would alias live payload bytes.
+    pub fn try_reclaim(&mut self) -> bool {
+        if Arc::get_mut(&mut self.slab).is_some() {
+            self.head = HEADROOM.min(self.slab.data.len());
+            self.len = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append `bytes` after the payload, using tailroom in place when the
+    /// frame is unique and has room, re-leasing otherwise.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        let n = bytes.len();
+        if n == 0 {
+            return;
+        }
+        let end = self.head + self.len;
+        if end + n <= self.slab.data.len() {
+            if let Some(slab) = Arc::get_mut(&mut self.slab) {
+                slab.data[end..end + n].copy_from_slice(bytes);
+                self.len += n;
+                return;
+            }
+        }
+        let mut data = lease(HEADROOM + self.len + n);
+        let head = HEADROOM.min(data.len() - self.len - n);
+        data[head..head + self.len].copy_from_slice(&self.slab.data[self.head..end]);
+        data[head + self.len..head + self.len + n].copy_from_slice(bytes);
+        self.slab = Arc::new(Slab { data });
+        self.head = head;
+        self.len += n;
+    }
+
+    /// The payload as a fresh `Vec`. An explicit copy — hot-path code
+    /// should pass the frame itself instead.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    /// Consume the frame into a `Vec` of its payload (copies; the slab
+    /// returns to the pool).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.to_vec()
+    }
+
+    /// Mutable access to the payload window without copy-on-write.
+    ///
+    /// Returns `None` when the slab is shared. Used by the transports to
+    /// fill a freshly leased recv buffer in place.
+    pub fn payload_mut(&mut self) -> Option<&mut [u8]> {
+        let head = self.head;
+        let len = self.len;
+        Arc::get_mut(&mut self.slab).map(|s| &mut s.data[head..head + len])
+    }
+
+    /// Copy-on-write: ensure the slab is uniquely owned, cloning the
+    /// payload into a fresh lease if it is shared.
+    fn make_unique(&mut self) {
+        if Arc::get_mut(&mut self.slab).is_some() {
+            return;
+        }
+        let mut data = lease(HEADROOM + self.len);
+        let head = HEADROOM.min(data.len() - self.len);
+        data[head..head + self.len].copy_from_slice(&self.slab.data[self.head..self.head + self.len]);
+        self.slab = Arc::new(Slab { data });
+        self.head = head;
+    }
+}
+
+impl std::ops::Deref for Frame {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.slab.data[self.head..self.head + self.len]
+    }
+}
+
+impl std::ops::DerefMut for Frame {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.make_unique();
+        let (head, len) = (self.head, self.len);
+        // make_unique guarantees the refcount is 1 here.
+        match Arc::get_mut(&mut self.slab) {
+            Some(s) => &mut s.data[head..head + len],
+            None => unreachable!("frame slab still shared after make_unique"),
+        }
+    }
+}
+
+/// Cheap: bumps the slab refcount; no bytes are copied. A later mutation
+/// of either clone copies on write.
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        Frame {
+            slab: Arc::clone(&self.slab),
+            head: self.head,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Frame {
+        Frame::empty()
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("len", &self.len)
+            .field("headroom", &self.head)
+            .field("payload", &&self[..self.len.min(32)])
+            .finish()
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(v: Vec<u8>) -> Frame {
+        Frame::copy_from(&v)
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(v: &[u8]) -> Frame {
+        Frame::copy_from(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Frame {
+    fn from(v: [u8; N]) -> Frame {
+        Frame::copy_from(&v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Frame {
+    fn from(v: &[u8; N]) -> Frame {
+        Frame::copy_from(v)
+    }
+}
+
+impl From<Frame> for Vec<u8> {
+    fn from(f: Frame) -> Vec<u8> {
+        f.into_vec()
+    }
+}
+
+impl FromIterator<u8> for Frame {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Frame {
+        let mut f = Frame::empty();
+        // Collect through a stack Vec only when the iterator is not
+        // sliceable; extend_from_slice keeps it one copy.
+        let v: Vec<u8> = iter.into_iter().collect();
+        f.extend_from_slice(&v);
+        f
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Frame {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Frame {}
+
+impl PartialOrd for Frame {
+    fn partial_cmp(&self, other: &Frame) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frame {
+    fn cmp(&self, other: &Frame) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Frame {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+macro_rules! eq_bytes {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Frame {
+            fn eq(&self, other: &$t) -> bool {
+                self[..] == other[..]
+            }
+        }
+        impl PartialEq<Frame> for $t {
+            fn eq(&self, other: &Frame) -> bool {
+                self[..] == other[..]
+            }
+        }
+    )*};
+}
+
+eq_bytes!([u8], &[u8], Vec<u8>);
+
+impl<const N: usize> PartialEq<[u8; N]> for Frame {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Frame {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<Frame> for [u8; N] {
+    fn eq(&self, other: &Frame) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<Frame> for &[u8; N] {
+    fn eq(&self, other: &Frame) -> bool {
+        self[..] == other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_from_round_trips() {
+        let f = Frame::copy_from(b"hello");
+        assert_eq!(&f[..], b"hello");
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.headroom(), HEADROOM);
+        assert_eq!(f, *b"hello");
+        assert_eq!(f, b"hello".to_vec());
+    }
+
+    #[test]
+    fn prepend_uses_headroom_in_place() {
+        let mut f = Frame::copy_from(b"payload");
+        let before = f.headroom();
+        f.prepend(b"HDR");
+        assert_eq!(&f[..], b"HDRpayload");
+        assert_eq!(f.headroom(), before - 3, "no realloc: window grew back");
+    }
+
+    #[test]
+    fn strip_reclaims_headroom() {
+        let mut f = Frame::copy_from(b"HDRpayload");
+        f.strip(3);
+        assert_eq!(&f[..], b"payload");
+        assert_eq!(f.headroom(), HEADROOM + 3);
+        f.prepend(b"XY");
+        assert_eq!(&f[..], b"XYpayload");
+    }
+
+    #[test]
+    fn prepend_strip_round_trip() {
+        let mut f = Frame::copy_from(b"data");
+        for hdr in [&b"aa"[..], b"bbb", b"cccc"] {
+            f.prepend(hdr);
+        }
+        f.strip(4);
+        f.strip(3);
+        f.strip(2);
+        assert_eq!(&f[..], b"data");
+    }
+
+    #[test]
+    fn headroom_exhaustion_falls_back() {
+        let mut f = Frame::copy_from(b"x");
+        // Far more than HEADROOM bytes of headers.
+        for _ in 0..HEADROOM {
+            f.prepend(b"AB");
+        }
+        assert_eq!(f.len(), 1 + 2 * HEADROOM);
+        assert_eq!(&f[f.len() - 1..], b"x");
+        assert_eq!(&f[..2], b"AB");
+    }
+
+    #[test]
+    fn clone_is_shared_and_cow_protects_it() {
+        let mut f = Frame::copy_from(b"original");
+        let snapshot = f.clone();
+        assert!(!f.is_unique());
+        f[0] = b'O'; // copy-on-write via DerefMut
+        assert_eq!(&f[..], b"Original");
+        assert_eq!(&snapshot[..], b"original", "clone unaffected by mutation");
+        assert!(f.is_unique(), "mutator got its own slab");
+    }
+
+    #[test]
+    fn prepend_on_shared_frame_does_not_corrupt_clone() {
+        let mut f = Frame::copy_from(b"body");
+        let keep = f.clone();
+        f.prepend(b"H1");
+        assert_eq!(&f[..], b"H1body");
+        assert_eq!(&keep[..], b"body");
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut f = Frame::copy_from(b"headtail");
+        let front = f.split_to(4);
+        assert_eq!(&front[..], b"head");
+        assert_eq!(&f[..], b"tail");
+        assert!(Arc::ptr_eq(&front.slab, &f.slab), "split is zero-copy");
+    }
+
+    #[test]
+    fn split_then_mutate_does_not_alias() {
+        let mut f = Frame::copy_from(b"headtail");
+        let mut front = f.split_to(4);
+        front[0] = b'H';
+        f[0] = b'T';
+        assert_eq!(&front[..], b"Head");
+        assert_eq!(&f[..], b"Tail");
+    }
+
+    #[test]
+    fn try_reclaim_only_when_unique() {
+        let mut f = Frame::copy_from(b"data");
+        let held = f.clone();
+        assert!(!f.try_reclaim(), "shared frame must not be reclaimed");
+        assert_eq!(&f[..], b"data");
+        drop(held);
+        assert!(f.try_reclaim());
+        assert!(f.is_empty());
+        assert_eq!(f.headroom(), HEADROOM);
+    }
+
+    #[test]
+    fn extend_appends_in_tailroom() {
+        let mut f = Frame::empty();
+        f.extend_from_slice(b"one");
+        f.extend_from_slice(b"two");
+        assert_eq!(&f[..], b"onetwo");
+    }
+
+    #[test]
+    fn extend_grows_past_small_class() {
+        let mut f = Frame::copy_from(&[7u8; 4000]);
+        f.extend_from_slice(&[8u8; 4000]);
+        assert_eq!(f.len(), 8000);
+        assert_eq!(f[0], 7);
+        assert_eq!(f[7999], 8);
+    }
+
+    #[test]
+    fn recv_lease_exposes_full_window() {
+        let mut f = Frame::recv_lease(65_507);
+        assert_eq!(f.len(), 65_507);
+        let w = f.payload_mut().unwrap();
+        w[0] = 0xAA;
+        w[65_506] = 0xBB;
+        f.truncate(1);
+        assert_eq!(&f[..], &[0xAA]);
+    }
+
+    #[test]
+    fn payload_mut_refuses_shared() {
+        let mut f = Frame::copy_from(b"x");
+        let _held = f.clone();
+        assert!(f.payload_mut().is_none());
+    }
+
+    #[test]
+    fn pool_round_trip_hits() {
+        // Drain whatever the other tests left, then check recycling.
+        let f = Frame::copy_from(b"seed");
+        drop(f);
+        let hits_before = tele::counter("buf.pool.hits").get();
+        let f2 = Frame::copy_from(b"next");
+        drop(f2);
+        let hits_after = tele::counter("buf.pool.hits").get();
+        assert!(hits_after > hits_before, "second lease should reuse the slab");
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_payload() {
+        use std::collections::HashSet;
+        let a = Frame::copy_from(b"aaa");
+        let b = Frame::copy_from(b"bbb");
+        assert!(a < b);
+        let mut set = HashSet::new();
+        set.insert(Frame::copy_from(b"k"));
+        assert!(set.contains(&Frame::copy_from(b"k")));
+    }
+
+    #[test]
+    fn conversions() {
+        let f: Frame = vec![1, 2, 3].into();
+        let v: Vec<u8> = f.clone().into();
+        assert_eq!(v, vec![1, 2, 3]);
+        let g: Frame = b"abc".into();
+        assert_eq!(g, *b"abc");
+        let h: Frame = (&b"abc"[..]).into();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn oversize_frames_work_unpooled() {
+        let big = vec![3u8; 100_000];
+        let mut f = Frame::copy_from(&big);
+        assert_eq!(f.len(), 100_000);
+        f.prepend(b"H");
+        assert_eq!(f.len(), 100_001);
+        assert_eq!(f[0], b'H');
+    }
+}

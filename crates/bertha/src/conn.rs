@@ -25,8 +25,11 @@ pub type BoxFut<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
 /// The unit of transfer on a base (byte-level) connection: a peer address
 /// and a payload.
 ///
-/// On `send`, the address is the destination; on `recv`, the source.
-pub type Datagram = (Addr, Vec<u8>);
+/// On `send`, the address is the destination; on `recv`, the source. The
+/// payload is a pooled [`crate::buf::Frame`], so passing a datagram down
+/// the stack moves a slab handle, not bytes; chunnels add and remove
+/// headers in the frame's reserved headroom (DESIGN.md §12).
+pub type Datagram = (Addr, crate::buf::Frame);
 
 /// A connection that can send and receive typed data.
 ///
@@ -295,14 +298,14 @@ mod tests {
         let a = ProfiledConn::datagram("test/profiled-conn", a);
         // Disabled (the default): pure passthrough, nothing recorded.
         profile::set_profiling(0);
-        a.send((Addr::Mem("b".into()), vec![1, 2, 3])).await.unwrap();
+        a.send((Addr::Mem("b".into()), vec![1, 2, 3].into())).await.unwrap();
         assert_eq!(b.recv().await.unwrap().1, vec![1, 2, 3]);
         let snap = bertha_telemetry::global().snapshot();
         assert!(!snap.contains("stack.test_profiled_conn.send_frames"));
         // Enabled: frames, bytes, and timings accumulate.
         profile::set_profiling(1);
-        a.send((Addr::Mem("b".into()), vec![9; 10])).await.unwrap();
-        b.send((Addr::Mem("a".into()), vec![7; 4])).await.unwrap();
+        a.send((Addr::Mem("b".into()), vec![9; 10].into())).await.unwrap();
+        b.send((Addr::Mem("a".into()), vec![7; 4].into())).await.unwrap();
         b.recv().await.unwrap();
         a.recv().await.unwrap();
         profile::set_profiling(0);

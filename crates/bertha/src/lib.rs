@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod buf;
 pub mod chunnel;
 pub mod conn;
 pub mod cx;
@@ -50,6 +51,7 @@ pub mod select;
 pub mod util;
 
 pub use addr::Addr;
+pub use buf::Frame;
 pub use chunnel::{Chunnel, ChunnelConnector, ChunnelListener, ConnStream, ConnStreamExt};
 pub use conn::{BoxFut, ChunnelConnection, Datagram, Drain, DynConn};
 pub use cx::{CxList, CxNil};

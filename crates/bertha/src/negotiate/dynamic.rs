@@ -229,10 +229,10 @@ mod tests {
             .unwrap();
         let srv_conn = srv.await.unwrap().unwrap();
 
-        conn.send((addr, b"abc".to_vec())).await.unwrap();
+        conn.send((addr, b"abc".into())).await.unwrap();
         let (from, data) = srv_conn.recv().await.unwrap();
         assert_eq!(data, b"abc", "xor must cancel out end-to-end");
-        srv_conn.send((from, b"xyz".to_vec())).await.unwrap();
+        srv_conn.send((from, b"xyz".into())).await.unwrap();
         let (_, data) = conn.recv().await.unwrap();
         assert_eq!(data, b"xyz");
     }

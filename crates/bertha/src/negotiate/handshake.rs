@@ -16,6 +16,7 @@ use super::apply::{Apply, GetOffers};
 use super::pick::{pick_stack, DefaultPolicy, PolicyRef};
 use super::types::{NegotiateMsg, Offer, ServerPicks};
 use crate::addr::Addr;
+use crate::buf::Frame;
 use crate::chunnel::ConnStream;
 use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use crate::error::Error;
@@ -223,7 +224,7 @@ where
     C: ChunnelConnection<Data = Datagram>,
 {
     let body = bincode::serialize(offer)?;
-    let neg_frame = frame_neg(ctx, &body);
+    let neg_frame: Frame = frame_neg(ctx, &body).into();
     let mut pending = Vec::new();
     tele::counter("negotiate.client.handshakes").incr();
     let start = std::time::Instant::now();
@@ -237,12 +238,12 @@ where
         let deadline = tokio::time::Instant::now() + jittered(backoff);
         loop {
             let recvd = tokio::time::timeout_at(deadline, raw.recv()).await;
-            let (from, buf) = match recvd {
+            let (from, mut buf) = match recvd {
                 Err(_elapsed) => break, // per-attempt timeout: retransmit
                 Ok(r) => r?,
             };
-            match buf.split_first() {
-                Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
+            match buf.first().copied() {
+                Some(TAG_NEG) | Some(TAG_NEG_TRACE) => {
                     let Some((_peer_ctx, body)) = neg_parts(&buf) else {
                         // Truncated traced frame; treat as junk.
                         continue;
@@ -305,10 +306,12 @@ where
                         }
                     }
                 }
-                Some((&TAG_DATA, body)) => {
+                Some(TAG_DATA) => {
                     // Data reordered ahead of the reply; deliver it after
-                    // the stack is applied.
-                    pending.push((from, body.to_vec()));
+                    // the stack is applied. Stripping the tag is O(1) on
+                    // the pooled frame.
+                    buf.strip(1);
+                    pending.push((from, buf));
                 }
                 _ => {
                     // Unknown tag: a stray datagram from something else on
@@ -354,7 +357,7 @@ pub struct NegotiatedConn<C> {
     inner: C,
     role: Role,
     /// Server: the serialized reply frame, re-sent on duplicate offers.
-    cached_reply: Option<Vec<u8>>,
+    cached_reply: Option<Frame>,
     /// Data frames that arrived during the handshake.
     pending: Mutex<VecDeque<Datagram>>,
 }
@@ -373,7 +376,7 @@ impl<C> NegotiatedConn<C> {
 
     /// Server-side wrapper. `reply_frame` is re-sent when the client
     /// retransmits its offer (its copy of our reply was lost).
-    pub fn server(inner: C, reply_frame: Vec<u8>) -> Self {
+    pub fn server(inner: C, reply_frame: Frame) -> Self {
         NegotiatedConn {
             inner,
             role: Role::Server,
@@ -394,8 +397,9 @@ where
 {
     type Data = Datagram;
 
-    fn send(&self, (addr, body): Datagram) -> BoxFut<'_, Result<(), Error>> {
-        self.inner.send((addr, frame(TAG_DATA, &body)))
+    fn send(&self, (addr, mut body): Datagram) -> BoxFut<'_, Result<(), Error>> {
+        body.prepend(&[TAG_DATA]);
+        self.inner.send((addr, body))
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
@@ -404,10 +408,13 @@ where
                 return Ok(d);
             }
             loop {
-                let (from, buf) = self.inner.recv().await?;
-                match buf.split_first() {
-                    Some((&TAG_DATA, body)) => return Ok((from, body.to_vec())),
-                    Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
+                let (from, mut buf) = self.inner.recv().await?;
+                match buf.first().copied() {
+                    Some(TAG_DATA) => {
+                        buf.strip(1);
+                        return Ok((from, buf));
+                    }
+                    Some(TAG_NEG) | Some(TAG_NEG_TRACE) => {
                         // A server's established connection answers a
                         // duplicate offer by repeating its cached reply (the
                         // client's copy was lost); a client ignores late
@@ -570,7 +577,7 @@ where
             (None, NegotiateMsg::ServerReply(Err(e.to_string())))
         }
     };
-    let reply_frame = frame_neg(&ctx, &bincode::serialize(&reply)?);
+    let reply_frame: Frame = frame_neg(&ctx, &bincode::serialize(&reply)?).into();
     raw.send((from, reply_frame.clone())).await?;
 
     let picks = match picks {
@@ -726,12 +733,12 @@ mod tests {
         assert!(tele::nonce_context(&picks.nonce).is_some());
 
         cli_conn
-            .send((addr.clone(), b"ping".to_vec()))
+            .send((addr.clone(), b"ping".into()))
             .await
             .unwrap();
         let (_, msg) = srv_conn.recv().await.unwrap();
         assert_eq!(msg, b"ping");
-        srv_conn.send((addr, b"pong".to_vec())).await.unwrap();
+        srv_conn.send((addr, b"pong".into())).await.unwrap();
         let (_, msg) = cli_conn.recv().await.unwrap();
         assert_eq!(msg, b"pong");
     }
@@ -805,7 +812,7 @@ mod tests {
         // data. The reply itself carries the server's trace context.
         let body = bincode::serialize(&offer).unwrap();
         cli_raw
-            .send((addr.clone(), frame(TAG_NEG, &body)))
+            .send((addr.clone(), frame(TAG_NEG, &body).into()))
             .await
             .unwrap();
         let (_, buf) = cli_raw.recv().await.unwrap();
@@ -815,7 +822,7 @@ mod tests {
 
         // And data still flows.
         cli_raw
-            .send((addr.clone(), frame(TAG_DATA, b"hello")))
+            .send((addr.clone(), frame(TAG_DATA, b"hello").into()))
             .await
             .unwrap();
         let (_, buf) = cli_raw.recv().await.unwrap();
@@ -874,7 +881,7 @@ mod tests {
                     negotiate_client(wrap!(Rel), cli_raw, addr.clone(), &NegotiateOpts::default())
                         .await
                         .unwrap();
-                conn.send((addr, vec![i as u8])).await.unwrap();
+                conn.send((addr, vec![i as u8].into())).await.unwrap();
             }));
         }
         drop(conn_tx);

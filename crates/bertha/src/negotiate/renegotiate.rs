@@ -47,6 +47,7 @@ use super::handshake::{
 use super::pick::pick_stack;
 use super::types::{NegotiateMsg, Offer, ServerPicks};
 use crate::addr::Addr;
+use crate::buf::Frame;
 use crate::chunnel::ConnStream;
 use crate::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use crate::error::Error;
@@ -60,6 +61,7 @@ use tokio::sync::Notify;
 
 pub use super::wire::TAG_DATA_EPOCH;
 
+#[cfg(test)]
 pub(crate) fn frame_epoch(epoch: u64, body: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(9 + body.len());
     v.push(TAG_DATA_EPOCH);
@@ -182,10 +184,10 @@ struct Core<InC> {
     future: Mutex<Vec<(u64, Datagram)>>,
     inbox_notify: Notify,
     /// Server: serialized reply to the initial offer, re-sent on duplicates.
-    cached_reply: Mutex<Option<Vec<u8>>>,
+    cached_reply: Mutex<Option<Frame>>,
     /// Serialized reply to the last renegotiation we answered, re-sent when
     /// the peer retransmits (its copy was lost).
-    cached_reneg: Mutex<Option<(u64, Vec<u8>)>>,
+    cached_reneg: Mutex<Option<(u64, Frame)>>,
     /// Initiator: the reply to our in-flight proposal.
     reneg_reply: Mutex<Option<(u64, Result<ServerPicks, String>)>>,
     reneg_reply_notify: Notify,
@@ -246,21 +248,23 @@ where
     /// queues by epoch), control messages to their consumers. Every raw
     /// `recv` caller routes — there is no dedicated receive task, matching
     /// the pull model of the rest of the crate.
-    async fn route(&self, (from, buf): Datagram) -> Result<(), Error> {
-        match buf.split_first() {
-            Some((&super::TAG_DATA, body)) => {
+    async fn route(&self, (from, mut buf): Datagram) -> Result<(), Error> {
+        match buf.first().copied() {
+            Some(super::TAG_DATA) => {
                 // Untagged data is epoch-agnostic: it may come from an
                 // epoch-0 peer or from outside the negotiated connection
                 // entirely (a shard worker's reply). Always deliver.
                 self.tele.frames_recv.incr();
-                self.inbox.lock().push_back((from, body.to_vec()));
+                buf.strip(1);
+                self.inbox.lock().push_back((from, buf));
                 self.inbox_notify.notify_waiters();
             }
-            Some((&TAG_DATA_EPOCH, rest)) if rest.len() >= 8 => {
+            Some(TAG_DATA_EPOCH) if buf.len() >= 9 => {
                 let mut eb = [0u8; 8];
-                eb.copy_from_slice(&rest[..8]);
+                eb.copy_from_slice(&buf[1..9]);
                 let frame_epoch = u64::from_le_bytes(eb);
-                let payload = rest[8..].to_vec();
+                buf.strip(9);
+                let payload = buf;
                 // The epoch must be read while holding the inbox and
                 // future locks: `swap_to` publishes a new epoch and
                 // flushes the future buffer under the same locks, so a
@@ -298,7 +302,7 @@ where
                     Routed::Stale => self.tele.stale_epoch_drops.incr(),
                 }
             }
-            Some((&TAG_NEG, _)) | Some((&TAG_NEG_TRACE, _)) => {
+            Some(TAG_NEG) | Some(TAG_NEG_TRACE) => {
                 // Corrupt control frames are dropped like any other junk
                 // datagram; the sender retransmits.
                 let Some((peer_ctx, body)) = neg_parts(&buf) else {
@@ -478,17 +482,21 @@ where
 {
     type Data = Datagram;
 
-    fn send(&self, (addr, body): Datagram) -> BoxFut<'_, Result<(), Error>> {
+    fn send(&self, (addr, mut body): Datagram) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
             if self.epoch < self.core.epoch.load(Ordering::Acquire) {
                 return Err(Error::ConnectionClosed);
             }
-            let framed = if self.epoch == 0 {
-                frame(super::TAG_DATA, &body)
+            // Tag in the frame's reserved headroom: no per-send Vec.
+            if self.epoch == 0 {
+                body.prepend(&[super::TAG_DATA]);
             } else {
-                frame_epoch(self.epoch, &body)
-            };
-            let sent = self.core.raw.send((addr, framed)).await;
+                let mut hdr = [0u8; 9];
+                hdr[0] = TAG_DATA_EPOCH;
+                hdr[1..].copy_from_slice(&self.epoch.to_le_bytes());
+                body.prepend(&hdr);
+            }
+            let sent = self.core.raw.send((addr, body)).await;
             if sent.is_ok() {
                 self.core.tele.frames_sent.incr();
             }
@@ -665,7 +673,7 @@ where
             slots,
             registered: global_registry().offers(),
         };
-        let neg_frame = frame_neg(rctx, &bincode::serialize(&msg)?);
+        let neg_frame: Frame = frame_neg(rctx, &bincode::serialize(&msg)?).into();
         *core.reneg_reply.lock() = None;
 
         let mut backoff = core.opts.timeout;
@@ -839,7 +847,7 @@ where
             if let Ok(body) = bincode::serialize(&reply) {
                 let _ = core
                     .raw
-                    .send((core.peer.clone(), frame(TAG_NEG, &body)))
+                    .send((core.peer.clone(), frame(TAG_NEG, &body).into()))
                     .await;
             }
             continue;
@@ -895,7 +903,7 @@ where
             Err(e) => Err(e.to_string()),
         },
     };
-    let reply_frame = frame_neg(&dctx, &bincode::serialize(&reply)?);
+    let reply_frame: Frame = frame_neg(&dctx, &bincode::serialize(&reply)?).into();
     *core.cached_reneg.lock() = Some((epoch, reply_frame.clone()));
     core.raw.send((core.peer.clone(), reply_frame)).await?;
     let ok = outcome.is_ok();
@@ -931,8 +939,8 @@ async fn assemble<S, InC>(
     epoch: u64,
     picks: ServerPicks,
     pending: Vec<Datagram>,
-    cached_reply: Option<Vec<u8>>,
-    cached_reneg: Option<(u64, Vec<u8>)>,
+    cached_reply: Option<Frame>,
+    cached_reneg: Option<(u64, Frame)>,
     trace: tele::TraceContext,
 ) -> Result<SwitchableConn<InC>, Error>
 where
@@ -1147,7 +1155,7 @@ where
             (None, reply)
         }
     };
-    let reply_frame = frame_neg(&ctx, &bincode::serialize(&reply)?);
+    let reply_frame: Frame = frame_neg(&ctx, &bincode::serialize(&reply)?).into();
     raw.send((from.clone(), reply_frame.clone())).await?;
 
     let picks = match picks {
@@ -1317,7 +1325,7 @@ mod tests {
         assert_eq!(srv.epoch(), 0);
 
         // Epoch-0 traffic.
-        cli.send((addr.clone(), b"before".to_vec())).await.unwrap();
+        cli.send((addr.clone(), b"before".into())).await.unwrap();
         let (_, m) = srv.recv().await.unwrap();
         assert_eq!(m, b"before");
 
@@ -1333,7 +1341,7 @@ mod tests {
         assert_eq!(cli.epoch(), 1);
 
         // Epoch-1 traffic still round-trips.
-        cli.send((addr, b"after".to_vec())).await.unwrap();
+        cli.send((addr, b"after".into())).await.unwrap();
         let (_, m) = cli.recv().await.unwrap();
         assert_eq!(m, b"after");
         assert_eq!(srv.epoch(), 1);
@@ -1373,7 +1381,7 @@ mod tests {
         srv.renegotiate().await.unwrap();
         assert_eq!(srv.epoch(), 1);
 
-        srv.send((Addr::Mem("cli".into()), b"hi".to_vec()))
+        srv.send((Addr::Mem("cli".into()), b"hi".into()))
             .await
             .unwrap();
         let (_, m) = pump.await.unwrap().unwrap();
@@ -1403,7 +1411,7 @@ mod tests {
         }));
         peer.send((
             from.clone(),
-            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()),
+            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()).into(),
         ))
         .await
         .unwrap();
@@ -1411,10 +1419,10 @@ mod tests {
 
         // A frame from epoch 2 arrives early (we are at 0): buffered, not
         // delivered. An untagged data frame is delivered at any epoch.
-        peer.send((from.clone(), frame_epoch(2, b"too-early")))
+        peer.send((from.clone(), frame_epoch(2, b"too-early").into()))
             .await
             .unwrap();
-        peer.send((from.clone(), frame(TAG_DATA, b"plain")))
+        peer.send((from.clone(), frame(TAG_DATA, b"plain").into()))
             .await
             .unwrap();
         let (_, m) = cli.recv().await.unwrap();
@@ -1443,7 +1451,7 @@ mod tests {
         };
         peer.send((
             from.clone(),
-            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()),
+            frame(TAG_NEG, &bincode::serialize(&reply).unwrap()).into(),
         ))
         .await
         .unwrap();
@@ -1451,10 +1459,10 @@ mod tests {
         assert_eq!(cli.epoch(), 1);
 
         // Stale epoch-0 tagged frames are now dropped; epoch-1 delivered.
-        peer.send((from.clone(), frame_epoch(0, b"stale")))
+        peer.send((from.clone(), frame_epoch(0, b"stale").into()))
             .await
             .unwrap();
-        peer.send((from.clone(), frame_epoch(1, b"current")))
+        peer.send((from.clone(), frame_epoch(1, b"current").into()))
             .await
             .unwrap();
         let (_, m) = cli.recv().await.unwrap();
@@ -1466,7 +1474,7 @@ mod tests {
         assert_eq!(cli.telemetry().stale_epoch_drops.get(), 1);
 
         // The client's sends are now epoch-tagged.
-        cli.send((from, b"tagged".to_vec())).await.unwrap();
+        cli.send((from, b"tagged".into())).await.unwrap();
         let (_, buf) = peer.recv().await.unwrap();
         assert_eq!(buf[0], TAG_DATA_EPOCH);
         assert_eq!(u64::from_le_bytes(buf[1..9].try_into().unwrap()), 1);
@@ -1492,7 +1500,7 @@ mod tests {
             picks: vec![Offer::from_chunnel(&Rel)],
             nonce: vec![0; 16],
         }));
-        peer.send((from, frame(TAG_NEG, &bincode::serialize(&reply).unwrap())))
+        peer.send((from, frame(TAG_NEG, &bincode::serialize(&reply).unwrap()).into()))
             .await
             .unwrap();
         let (cli, _) = cli_task.await.unwrap().unwrap();
@@ -1525,7 +1533,7 @@ mod tests {
         cli_raw
             .send((
                 Addr::Mem("srv".into()),
-                frame(TAG_NEG, &bincode::serialize(&msg).unwrap()),
+                frame(TAG_NEG, &bincode::serialize(&msg).unwrap()).into(),
             ))
             .await
             .unwrap();
@@ -1544,7 +1552,7 @@ mod tests {
 
         // Epoch-3 tagged data from the client is delivered.
         cli_raw
-            .send((Addr::Mem("srv".into()), frame_epoch(3, b"resumed")))
+            .send((Addr::Mem("srv".into()), frame_epoch(3, b"resumed").into()))
             .await
             .unwrap();
         let (_, m) = srv.recv().await.unwrap();

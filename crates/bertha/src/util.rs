@@ -286,10 +286,10 @@ mod tests {
         let counters = instrument.counters();
         let conn = instrument.connect_wrap(a).await.unwrap();
         let addr = Addr::Mem("peer".into());
-        conn.send((addr.clone(), vec![0u8; 10])).await.unwrap();
-        conn.send((addr.clone(), vec![0u8; 5])).await.unwrap();
+        conn.send((addr.clone(), vec![0u8; 10].into())).await.unwrap();
+        conn.send((addr.clone(), vec![0u8; 5].into())).await.unwrap();
         b.recv().await.unwrap();
-        b.send((addr, vec![0u8; 3])).await.unwrap();
+        b.send((addr, vec![0u8; 3].into())).await.unwrap();
         conn.recv().await.unwrap();
         assert_eq!(counters.snapshot(), (2, 1, 15, 3));
     }

@@ -1,0 +1,198 @@
+//! Property tests for the pooled frame buffer (DESIGN.md §12): whatever
+//! sequence of window operations a chunnel stack performs, a [`Frame`]
+//! must stay byte-for-byte equivalent to a plain `Vec<u8>` model, and no
+//! clone may ever observe another clone's mutations.
+
+use bertha::buf::{Frame, HEADROOM};
+use proptest::prelude::*;
+
+/// One window operation, as a chunnel layer would perform it. Sizes are
+/// taken modulo the current payload length at apply time so every
+/// generated sequence is valid on every intermediate state.
+#[derive(Debug, Clone)]
+enum Op {
+    Prepend(Vec<u8>),
+    Strip(usize),
+    SplitTo(usize),
+    Truncate(usize),
+    Extend(Vec<u8>),
+    CloneDrop,
+    CloneMutate,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::Prepend),
+        (0usize..256).prop_map(Op::Strip),
+        (0usize..256).prop_map(Op::SplitTo),
+        (0usize..512).prop_map(Op::Truncate),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::Extend),
+        Just(Op::CloneDrop),
+        Just(Op::CloneMutate),
+    ]
+}
+
+/// Apply `op` to the frame and the `Vec` model in lockstep, checking that
+/// detached clones keep their snapshot contents.
+fn apply(op: &Op, f: &mut Frame, model: &mut Vec<u8>) {
+    match op {
+        Op::Prepend(h) => {
+            f.prepend(h);
+            model.splice(0..0, h.iter().copied());
+        }
+        Op::Strip(n) => {
+            let n = if model.is_empty() { 0 } else { n % (model.len() + 1) };
+            f.strip(n);
+            model.drain(..n);
+        }
+        Op::SplitTo(n) => {
+            let n = if model.is_empty() { 0 } else { n % (model.len() + 1) };
+            let front = f.split_to(n);
+            let mfront: Vec<u8> = model.drain(..n).collect();
+            assert_eq!(&front[..], &mfront[..], "split-off front mismatch");
+        }
+        Op::Truncate(n) => {
+            f.truncate(*n);
+            model.truncate(*n);
+        }
+        Op::Extend(b) => {
+            f.extend_from_slice(b);
+            model.extend_from_slice(b);
+        }
+        Op::CloneDrop => {
+            let snap = f.clone();
+            assert_eq!(&snap[..], &model[..]);
+            drop(snap);
+        }
+        Op::CloneMutate => {
+            let snap = f.clone();
+            if !f.is_empty() {
+                f[0] = f[0].wrapping_add(1); // copy-on-write
+                model[0] = model[0].wrapping_add(1);
+            }
+            // The clone took its snapshot before the mutation and must
+            // not see it — this is the aliasing property the retransmit
+            // queue depends on.
+            let expected_snap: Vec<u8> = {
+                let mut v = model.clone();
+                if !v.is_empty() {
+                    v[0] = v[0].wrapping_sub(1);
+                }
+                v
+            };
+            assert_eq!(&snap[..], &expected_snap[..], "clone saw a COW edit");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A frame under any op sequence matches the `Vec<u8>` model.
+    #[test]
+    fn frame_equals_vec_model(
+        initial in proptest::collection::vec(any::<u8>(), 0..2048),
+        ops in proptest::collection::vec(arb_op(), 0..32),
+    ) {
+        let mut f: Frame = initial.clone().into();
+        let mut model = initial;
+        for op in &ops {
+            apply(op, &mut f, &mut model);
+            prop_assert_eq!(&f[..], &model[..]);
+            prop_assert_eq!(f.len(), model.len());
+            prop_assert_eq!(f.is_empty(), model.is_empty());
+        }
+    }
+
+    /// Prepending headers then stripping their total length restores the
+    /// original payload exactly, even past headroom exhaustion.
+    #[test]
+    fn prepend_strip_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        headers in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..40), 0..12),
+    ) {
+        let mut f: Frame = payload.clone().into();
+        for h in headers.iter().rev() {
+            f.prepend(h);
+        }
+        for h in &headers {
+            prop_assert_eq!(&f[..h.len()], &h[..]);
+            f.strip(h.len());
+        }
+        prop_assert_eq!(&f[..], &payload[..]);
+    }
+
+    /// Deep header stacks far beyond [`HEADROOM`] still produce the right
+    /// bytes (the slow path re-leases instead of corrupting).
+    #[test]
+    fn headroom_exhaustion_is_correct(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        hdr in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..64,
+    ) {
+        let total = hdr.len() * reps;
+        prop_assume!(total > HEADROOM); // force at least one slow path
+        let mut f: Frame = payload.clone().into();
+        for _ in 0..reps {
+            f.prepend(&hdr);
+        }
+        prop_assert_eq!(f.len(), payload.len() + total);
+        for i in 0..reps {
+            prop_assert_eq!(&f[i * hdr.len()..(i + 1) * hdr.len()], &hdr[..]);
+        }
+        prop_assert_eq!(&f[total..], &payload[..]);
+    }
+
+    /// Splitting a frame and mutating both halves never aliases: each
+    /// half owns its window, COW isolates the shared slab.
+    #[test]
+    fn split_then_mutate_never_aliases(
+        payload in proptest::collection::vec(any::<u8>(), 2..2048),
+        cut in 1usize..2047,
+    ) {
+        let cut = cut % (payload.len() - 1) + 1;
+        let mut rest: Frame = payload.clone().into();
+        let mut front = rest.split_to(cut);
+        prop_assert_eq!(&front[..], &payload[..cut]);
+        prop_assert_eq!(&rest[..], &payload[cut..]);
+        front[0] = front[0].wrapping_add(1);
+        let last = rest.len() - 1;
+        rest[last] = rest[last].wrapping_add(1);
+        prop_assert_eq!(front[0], payload[0].wrapping_add(1));
+        prop_assert_eq!(&front[1..], &payload[1..cut]);
+        prop_assert_eq!(rest[last], payload[payload.len() - 1].wrapping_add(1));
+        prop_assert_eq!(&rest[..last], &payload[cut..payload.len() - 1]);
+    }
+
+    /// `try_reclaim` succeeds exactly when the frame is unique, and a
+    /// reclaimed frame is a fresh empty frame with full headroom.
+    #[test]
+    fn reclaim_respects_sharing(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        share in any::<bool>(),
+    ) {
+        let mut f: Frame = payload.clone().into();
+        let held = if share { Some(f.clone()) } else { None };
+        let reclaimed = f.try_reclaim();
+        prop_assert_eq!(reclaimed, !share);
+        if let Some(h) = held {
+            // The live clone still reads the original payload.
+            prop_assert_eq!(&h[..], &payload[..]);
+            prop_assert_eq!(&f[..], &payload[..]);
+        } else {
+            prop_assert!(f.is_empty());
+            prop_assert_eq!(f.headroom(), HEADROOM);
+        }
+    }
+
+    /// Round-tripping through the `Vec` conversions used at serde edges
+    /// is lossless.
+    #[test]
+    fn vec_conversions_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let f: Frame = payload.clone().into();
+        prop_assert_eq!(f.to_vec(), payload.clone());
+        let back: Vec<u8> = f.into();
+        prop_assert_eq!(back, payload);
+    }
+}

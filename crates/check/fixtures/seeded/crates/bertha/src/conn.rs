@@ -1,7 +1,8 @@
 //! Seeded hot-path file: a rogue tag constant, a panicking parse, an
 //! undocumented metric, a unitless histogram, a `_us` counter, an
 //! undocumented per-layer format template, a malformed span op, an
-//! undocumented span op, and a blocking sleep in an async fn.
+//! undocumented span op, a blocking sleep in an async fn, a payload
+//! copy with a payload-ish clone, and a stale alloc waiver.
 
 pub const ROGUE_TAG: u8 = 0x42;
 
@@ -25,3 +26,11 @@ pub fn trace(ctx: &tele::tracectx::TraceContext, start: std::time::Instant) {
     tele::span::record_local("BadOp", ctx, 0, start, tele::span::SpanStatus::Ok, &[]);
     tele::span::record("rogue.span", "host-a", ctx, 0, start, tele::span::SpanStatus::Ok, &[]);
 }
+
+pub fn copy_out(payload: &Frame) -> Vec<u8> {
+    let dup = payload.clone();
+    dup.to_vec()
+}
+
+// check: allow(alloc): nothing below allocates any more
+pub fn idle_alloc() {}

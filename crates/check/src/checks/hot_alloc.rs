@@ -1,0 +1,206 @@
+//! Rule family 9: the data-plane allocation lint.
+//!
+//! The zero-copy datapath (DESIGN.md §12) moves payload bytes exactly
+//! once per direction: receives fill a pooled [`Frame`] lease in place,
+//! headers prepend into reserved headroom, and retransmit/duplication
+//! hold refcounted clones. A `.to_vec()` — always a full payload copy —
+//! or a `.clone()` of a payload-ish binding in a designated hot-path
+//! module is therefore either a regression off the pooled path or an
+//! intentional refcount bump that deserves a recorded justification:
+//!
+//! ```text
+//! // check: allow(alloc): <reason>
+//! ```
+//!
+//! on the same line or the line above. As with the panic lint, a waiver
+//! that suppresses nothing is itself reported as stale.
+//!
+//! The clone heuristic is deliberately narrow: only receivers whose
+//! final path segment is a payload-ish name (`payload`, `frame`, `buf`,
+//! `data`, `body`, `bytes`) fire, so `addr.clone()` / `self.cfg.clone()`
+//! control-plane clones stay out of scope.
+
+use crate::{SourceFile, Violation};
+use std::collections::HashSet;
+
+/// Rule identifier.
+pub const RULE: &str = "hot-alloc";
+
+/// The annotation that waives a finding for its line and the next.
+pub const ALLOW_MARKER: &str = "// check: allow(alloc):";
+
+/// Receiver names (final path segment) whose `.clone()` is payload-ish.
+const PAYLOAD_NAMES: &[&str] = &["payload", "frame", "buf", "data", "body", "bytes"];
+
+/// 1-based lines carrying a justified `allow(alloc)` annotation.
+fn annotation_lines(f: &SourceFile) -> Vec<usize> {
+    let mut anns = Vec::new();
+    for (idx, line) in f.raw.lines().enumerate() {
+        if let Some(at) = line.find(ALLOW_MARKER) {
+            let reason = line
+                .get(at + ALLOW_MARKER.len()..)
+                .unwrap_or_default()
+                .trim();
+            if !reason.is_empty() {
+                anns.push(idx + 1);
+            }
+        }
+    }
+    anns
+}
+
+/// Run the rule over the loaded workspace. Scope: the same hot-path
+/// module set as the panic lint — the files a datagram traverses.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| super::panics::is_hot_path(&f.rel)) {
+        let anns = annotation_lines(f);
+        let allowed: HashSet<usize> = anns.iter().flat_map(|&l| [l, l + 1]).collect();
+        let mut fired: HashSet<usize> = HashSet::new();
+        let mut push = |line: usize, msg: String| {
+            if allowed.contains(&line) {
+                if anns.contains(&line) {
+                    fired.insert(line);
+                } else {
+                    fired.insert(line - 1);
+                }
+            } else {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line,
+                    rule: RULE,
+                    msg,
+                });
+            }
+        };
+
+        for pos in super::word_matches(f, ".to_vec()") {
+            push(
+                f.line_of(pos),
+                format!(
+                    "to_vec() copies the payload on the data path; pass the Frame \
+                     itself or use strip/split_to (or `{ALLOW_MARKER} <reason>`)"
+                ),
+            );
+        }
+
+        for (pos, recv) in payload_clones(f) {
+            push(
+                f.line_of(pos),
+                format!(
+                    "`{recv}.clone()` on the data path: if this is a deliberate \
+                     refcount bump, say so with `{ALLOW_MARKER} <reason>`; \
+                     otherwise restructure to move the frame"
+                ),
+            );
+        }
+
+        for &line in anns.iter().filter(|l| !fired.contains(l)) {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line,
+                rule: RULE,
+                msg: "stale waiver: this `allow(alloc)` annotation suppresses no finding; \
+                      remove it"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Non-test `.clone()` calls whose receiver's final identifier is
+/// payload-ish. Returns `(position, receiver-name)` pairs.
+fn payload_clones(f: &SourceFile) -> Vec<(usize, String)> {
+    let hay = f.masked.as_bytes();
+    let mut out = Vec::new();
+    for pos in super::word_matches(f, ".clone()") {
+        // Walk back over the identifier immediately before the dot.
+        let mut start = pos;
+        while start > 0 {
+            let c = hay[start - 1];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        if start == pos {
+            continue; // `).clone()` etc: no simple receiver name
+        }
+        let name = &f.masked[start..pos];
+        if PAYLOAD_NAMES.contains(&name) {
+            out.push((pos, name.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::from_source("crates/chunnels/src/frag.rs".to_string(), src.to_string())
+    }
+
+    fn lint(src: &str) -> Vec<Violation> {
+        check(std::slice::from_ref(&sf(src)))
+    }
+
+    #[test]
+    fn flags_to_vec_and_payload_clone() {
+        let v = lint("fn f(frame: &Frame) -> Vec<u8> {\n    frame.to_vec()\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].msg.contains("to_vec"));
+
+        let v = lint("fn f(payload: &Frame) -> Frame {\n    payload.clone()\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("`payload.clone()`"));
+        assert_eq!(lint("fn f(buf: &Frame) -> Frame { buf.clone() }\n").len(), 1);
+    }
+
+    #[test]
+    fn control_plane_clones_do_not_fire() {
+        assert!(lint("fn f(addr: &Addr) -> Addr { addr.clone() }\n").is_empty());
+        assert!(lint("fn f(cfg: &Config) -> Config { cfg.clone() }\n").is_empty());
+        // Field access ending in a payload name still fires...
+        assert_eq!(lint("fn f(p: &P) -> Frame { p.frame.clone() }\n").len(), 1);
+        // ...but a call-result receiver has no simple name.
+        assert!(lint("fn f(p: &P) -> Frame { (p.get()).clone() }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_waives_same_or_next_line() {
+        let same =
+            "fn f(buf: &Frame) -> Frame { buf.clone() } // check: allow(alloc): refcount bump\n";
+        assert!(lint(same).is_empty());
+        let above =
+            "// check: allow(alloc): retransmit holds the sent bytes\nfn f(b: &Frame) -> Vec<u8> { b.to_vec() }\n";
+        assert!(lint(above).is_empty());
+        // An annotation without a reason does not count.
+        let bare = "// check: allow(alloc):\nfn f(b: &Frame) -> Vec<u8> { b.to_vec() }\n";
+        assert_eq!(lint(bare).len(), 1);
+    }
+
+    #[test]
+    fn stale_allow_annotation_is_reported() {
+        let stale = "// check: allow(alloc): nothing copies below any more\nfn f() -> u8 { 0 }\n";
+        let v = lint(stale);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("stale waiver"));
+    }
+
+    #[test]
+    fn test_code_and_non_hot_files_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(b: &Frame) { b.to_vec(); }\n}\n";
+        assert!(lint(src).is_empty());
+        let f = SourceFile::from_source(
+            "crates/kvstore/src/client.rs".to_string(),
+            "fn f(b: &Frame) -> Vec<u8> { b.to_vec() }\n".to_string(),
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+}

@@ -1,8 +1,9 @@
-//! The eight invariant families. Each submodule exposes a `check`
+//! The nine invariant families. Each submodule exposes a `check`
 //! function over the loaded [`crate::SourceFile`] set.
 
 pub mod blocking;
 pub mod fallback;
+pub mod hot_alloc;
 pub mod journal;
 pub mod lock_order;
 pub mod metrics;

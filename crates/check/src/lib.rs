@@ -1,7 +1,7 @@
 //! `bertha-check`: a dependency-free source analyzer for the Bertha
 //! workspace, plus a small exhaustive-interleaving model checker.
 //!
-//! The analyzer walks `crates/**/*.rs` and enforces eight invariant
+//! The analyzer walks `crates/**/*.rs` and enforces nine invariant
 //! families (DESIGN.md §10):
 //!
 //! 1. **wire-tags** — every framing tag byte is defined in
@@ -24,7 +24,11 @@
 //!    canonical-order table in DESIGN.md §10;
 //! 8. **blocking-in-async** — no blocking lock guard is held across an
 //!    `.await`, and no `thread::sleep`/blocking I/O appears in
-//!    data-path `async fn` bodies.
+//!    data-path `async fn` bodies;
+//! 9. **hot-alloc** — no `.to_vec()` payload copies or unexplained
+//!    payload-ish `.clone()`s in the same hot-path modules: the
+//!    zero-copy datapath (DESIGN.md §12) moves bytes once per
+//!    direction, and deliberate refcount bumps carry a waiver.
 //!
 //! Everything is hand-rolled on `std` only, matching the workspace's
 //! no-serde_json style: a masking lexer (comments and literals blanked so
@@ -187,6 +191,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     violations.extend(checks::spans::check(&files, root));
     violations.extend(checks::lock_order::check(&files, root));
     violations.extend(checks::blocking::check(&files));
+    violations.extend(checks::hot_alloc::check(&files));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(Report {

@@ -41,6 +41,9 @@ const EXPECTED: &[(&str, &str)] = &[
     ("blocking-in-async", "<temporary>"),
     ("blocking-in-async", "thread::sleep"),
     ("blocking-in-async", "stale waiver"),
+    ("hot-alloc", "to_vec() copies the payload"),
+    ("hot-alloc", "`payload.clone()`"),
+    ("hot-alloc", "stale waiver"),
 ];
 
 /// Run the self-test. `Ok(n)` is the number of violations found in the

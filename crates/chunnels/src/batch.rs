@@ -9,6 +9,7 @@
 //!
 //! Wire format: repeated `[len: u32 LE][payload]`.
 
+use bertha::buf::Frame;
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Addr, Chunnel, Error};
@@ -116,7 +117,9 @@ fn record_occupancy(msgs: usize) {
 
 struct PendingBatch {
     addr: Addr,
-    buf: Vec<u8>,
+    /// The packed batch, built in a pooled frame (headroom intact for the
+    /// layers below).
+    buf: Frame,
     count: usize,
     /// Generation counter distinguishing this batch from its successors,
     /// so a lingering flush task flushes only its own batch.
@@ -132,24 +135,25 @@ pub struct BatchConn<C> {
     unpacked: Mutex<VecDeque<Datagram>>,
 }
 
-fn append_msg(buf: &mut Vec<u8>, payload: &[u8]) {
+fn append_msg(buf: &mut Frame, payload: &[u8]) {
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
 }
 
-fn unpack(from: &Addr, buf: &[u8]) -> Result<Vec<Datagram>, Error> {
+/// Split a packed batch into its messages. Each message is a view into the
+/// batch's slab (`split_to`), so unpacking copies nothing.
+fn unpack(from: &Addr, mut buf: Frame) -> Result<Vec<Datagram>, Error> {
     let mut out = Vec::new();
-    let mut rest = buf;
-    while !rest.is_empty() {
-        let Some((len, after)) = crate::take_u32_le(rest) else {
+    while !buf.is_empty() {
+        let Some((len, _)) = crate::take_u32_le(&buf) else {
             return Err(Error::Encode("truncated batch header".into()));
         };
         let len = len as usize;
-        let Some(payload) = after.get(..len) else {
+        if buf.len() < 4 + len {
             return Err(Error::Encode("truncated batch payload".into()));
-        };
-        out.push((from.clone(), payload.to_vec()));
-        rest = after.get(len..).unwrap_or(&[]);
+        }
+        buf.strip(4);
+        out.push((from.clone(), buf.split_to(len)));
     }
     Ok(out)
 }
@@ -185,12 +189,12 @@ where
         Box::pin(async move {
             enum Action {
                 // Flush this full buffer now.
-                FlushNow(Addr, Vec<u8>),
+                FlushNow(Addr, Frame),
                 // Flush a displaced batch and then this one, immediately.
-                FlushTwo(Addr, Vec<u8>, Addr, Vec<u8>),
+                FlushTwo(Addr, Frame, Addr, Frame),
                 // Flush a displaced batch, then arm a linger timer for the
                 // new one.
-                FlushThenLinger(Addr, Vec<u8>, u64),
+                FlushThenLinger(Addr, Frame, u64),
                 // First message of a batch: arm a linger timer for `gen`.
                 Linger(u64),
                 // Joined an existing batch; its timer will flush it.
@@ -220,7 +224,7 @@ where
                     Some(old) => {
                         self.stats.flush_displaced.incr();
                         record_occupancy(old.count);
-                        let mut buf = Vec::with_capacity(4 + payload.len());
+                        let mut buf = Frame::empty();
                         append_msg(&mut buf, &payload);
                         if 1 >= self.cfg.max_msgs || buf.len() >= self.cfg.max_bytes {
                             // Degenerate config or oversized first message:
@@ -240,7 +244,7 @@ where
                         }
                     }
                     None => {
-                        let mut buf = Vec::with_capacity(4 + payload.len());
+                        let mut buf = Frame::empty();
                         append_msg(&mut buf, &payload);
                         if 1 >= self.cfg.max_msgs || buf.len() >= self.cfg.max_bytes {
                             self.stats.flush_full.incr();
@@ -287,7 +291,7 @@ where
                     return Ok(d);
                 }
                 let (from, buf) = self.inner.recv().await?;
-                let msgs = unpack(&from, &buf)?;
+                let msgs = unpack(&from, buf)?;
                 let mut q = self.unpacked.lock();
                 q.extend(msgs);
             }
@@ -360,11 +364,11 @@ mod tests {
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
         for i in 0..4u8 {
-            ba.send((addr(), vec![i])).await.unwrap();
+            ba.send((addr(), vec![i].into())).await.unwrap();
         }
         // One underlying datagram carrying four messages.
         let (_, raw) = b.recv().await.unwrap();
-        let msgs = unpack(&addr(), &raw).unwrap();
+        let msgs = unpack(&addr(), raw).unwrap();
         assert_eq!(msgs.len(), 4);
         assert_eq!(msgs[2].1, vec![2]);
     }
@@ -379,7 +383,7 @@ mod tests {
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
         let bb = BatchChunnel::new(cfg).connect_wrap(b).await.unwrap();
-        ba.send((addr(), b"only one".to_vec())).await.unwrap();
+        ba.send((addr(), b"only one".into())).await.unwrap();
         let (_, d) = bb.recv().await.unwrap();
         assert_eq!(d, b"only one");
         assert_eq!(ba.stats().flush_linger.get(), 1);
@@ -397,7 +401,7 @@ mod tests {
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
         let bb = BatchChunnel::new(cfg).connect_wrap(b).await.unwrap();
         for i in 0..3u8 {
-            ba.send((addr(), vec![i; 2])).await.unwrap();
+            ba.send((addr(), vec![i; 2].into())).await.unwrap();
         }
         for i in 0..3u8 {
             let (_, d) = bb.recv().await.unwrap();
@@ -414,11 +418,11 @@ mod tests {
             ..Default::default()
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
-        ba.send((Addr::Mem("x".into()), vec![1])).await.unwrap();
-        ba.send((Addr::Mem("y".into()), vec![2])).await.unwrap();
+        ba.send((Addr::Mem("x".into()), vec![1].into())).await.unwrap();
+        ba.send((Addr::Mem("y".into()), vec![2].into())).await.unwrap();
         // The x-batch must have been flushed by the y send.
         let (_, raw) = b.recv().await.unwrap();
-        let msgs = unpack(&Addr::Mem("x".into()), &raw).unwrap();
+        let msgs = unpack(&Addr::Mem("x".into()), raw).unwrap();
         assert_eq!(msgs[0].1, vec![1]);
     }
 
@@ -431,14 +435,14 @@ mod tests {
             ..Default::default()
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
-        ba.send((addr(), vec![7])).await.unwrap();
+        ba.send((addr(), vec![7].into())).await.unwrap();
         let (_, raw) = b.recv().await.unwrap();
         // The flush-kind counters say *why* the batch went out, which is
         // robust on loaded CI machines where wall-clock bounds are not:
         // a cap-full flush, never a lingered one.
         assert_eq!(ba.stats().flush_full.get(), 1);
         assert_eq!(ba.stats().flush_linger.get(), 0);
-        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1, vec![7]);
+        assert_eq!(unpack(&addr(), raw).unwrap()[0].1, vec![7]);
     }
 
     #[tokio::test]
@@ -450,20 +454,20 @@ mod tests {
             linger: Duration::from_secs(100),
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
-        ba.send((addr(), vec![0u8; 64])).await.unwrap();
+        ba.send((addr(), vec![0u8; 64].into())).await.unwrap();
         let (_, raw) = b.recv().await.unwrap();
         // Counter-based: an over-`max_bytes` first message must flush as
         // cap-full, never via the (100 s) linger timer.
         assert_eq!(ba.stats().flush_full.get(), 1);
         assert_eq!(ba.stats().flush_linger.get(), 0);
-        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1.len(), 64);
+        assert_eq!(unpack(&addr(), raw).unwrap()[0].1.len(), 64);
     }
 
     #[tokio::test]
     async fn truncated_batch_is_an_error() {
         let (a, b) = pair::<Datagram>(8);
         let bb = BatchChunnel::default().connect_wrap(b).await.unwrap();
-        a.send((addr(), vec![9, 0, 0, 0, 1])).await.unwrap(); // claims 9 bytes, has 1
+        a.send((addr(), vec![9, 0, 0, 0, 1].into())).await.unwrap(); // claims 9 bytes, has 1
         assert!(matches!(bb.recv().await, Err(Error::Encode(_))));
     }
 
@@ -476,10 +480,10 @@ mod tests {
             ..Default::default()
         };
         let ba = BatchChunnel::new(cfg).connect_wrap(a).await.unwrap();
-        ba.send((addr(), vec![5])).await.unwrap();
+        ba.send((addr(), vec![5].into())).await.unwrap();
         ba.flush().await.unwrap();
         let (_, raw) = b.recv().await.unwrap();
-        assert_eq!(unpack(&addr(), &raw).unwrap()[0].1, vec![5]);
+        assert_eq!(unpack(&addr(), raw).unwrap()[0].1, vec![5]);
         assert_eq!(ba.stats().flush_explicit.get(), 1);
     }
 }

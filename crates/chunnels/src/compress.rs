@@ -197,13 +197,19 @@ where
     type Data = Datagram;
 
     fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
-        Box::pin(async move { self.inner.send((addr, compress(&payload))).await })
+        Box::pin(async move { self.inner.send((addr, compress(&payload).into())).await })
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
-            let (from, buf) = self.inner.recv().await?;
-            Ok((from, decompress(&buf)?))
+            let (from, mut buf) = self.inner.recv().await?;
+            // Stored-raw payloads skip the codec entirely: strip the tag
+            // byte in place and hand the pooled frame up unchanged.
+            if buf.first() == Some(&RAW) {
+                buf.strip(1);
+                return Ok((from, buf));
+            }
+            Ok((from, decompress(&buf)?.into()))
         })
     }
 }
@@ -265,7 +271,7 @@ mod tests {
         let cb = CompressChunnel.connect_wrap(b).await.unwrap();
         let addr = Addr::Mem("peer".into());
         let payload = b"the quick brown fox jumps over the lazy dog, twice: the quick brown fox jumps over the lazy dog".to_vec();
-        ca.send((addr, payload.clone())).await.unwrap();
+        ca.send((addr, payload.clone().into())).await.unwrap();
         let (_, d) = cb.recv().await.unwrap();
         assert_eq!(d, payload);
     }

@@ -146,13 +146,42 @@ where
     type Data = Datagram;
 
     fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
-        Box::pin(async move { self.inner.send((addr, seal(&self.key, &payload))).await })
+        Box::pin(async move {
+            // In-place seal: encrypt the frame's bytes where they sit, then
+            // grow into the reserved headroom (nonce) and tailroom (tag).
+            let mut frame = payload;
+            let mut nonce = [0u8; 8];
+            rand::thread_rng().fill_bytes(&mut nonce);
+            let seed = seed_from(&self.key, &nonce);
+            let tag = checksum(seed, &frame);
+            apply_keystream(seed, &mut frame);
+            frame.prepend(&nonce);
+            frame.extend_from_slice(&tag.to_le_bytes());
+            self.inner.send((addr, frame)).await
+        })
     }
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
-            let (from, buf) = self.inner.recv().await?;
-            Ok((from, open(&self.key, &buf)?))
+            let (from, mut buf) = self.inner.recv().await?;
+            if buf.len() < 12 {
+                return Err(Error::Encode("sealed payload too short".into()));
+            }
+            let nonce: [u8; 8] = buf[..8].try_into().unwrap();
+            let tag = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+            let seed = seed_from(&self.key, &nonce);
+            // Trim framing with O(1) window adjustments, then decrypt the
+            // ciphertext in place.
+            buf.strip(8);
+            let body_len = buf.len() - 4;
+            buf.truncate(body_len);
+            apply_keystream(seed, &mut buf);
+            if checksum(seed, &buf) != tag {
+                return Err(Error::Encode(
+                    "ciphertext checksum mismatch (tampering or wrong key)".into(),
+                ));
+            }
+            Ok((from, buf))
         })
     }
 }
@@ -213,7 +242,7 @@ mod tests {
         let ca = CryptChunnel::new(key).connect_wrap(a).await.unwrap();
         let cb = CryptChunnel::new(key).connect_wrap(b).await.unwrap();
         let addr = Addr::Mem("peer".into());
-        ca.send((addr, b"secret".to_vec())).await.unwrap();
+        ca.send((addr, b"secret".into())).await.unwrap();
         let (_, d) = cb.recv().await.unwrap();
         assert_eq!(d, b"secret");
     }

@@ -9,6 +9,7 @@
 //!
 //! Wire format: `[msg_id: u64][idx: u16][total: u16][payload]`.
 
+use bertha::buf::Frame;
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain, ProfiledConn};
 use bertha::negotiate::{guid, Negotiate};
 use bertha::{Chunnel, Error};
@@ -79,7 +80,7 @@ where
 }
 
 struct Partial {
-    frags: Vec<Option<Vec<u8>>>,
+    frags: Vec<Option<Frame>>,
     have: usize,
     started: Instant,
 }
@@ -92,11 +93,21 @@ pub struct FragConn<C> {
     partial: Mutex<HashMap<(bertha::Addr, u64), Partial>>,
 }
 
+fn header(msg_id: u64, idx: u16, total: u16) -> [u8; HDR] {
+    let mut h = [0u8; HDR];
+    // check: allow(panic): constant ranges into a fixed HDR-byte array
+    h[..8].copy_from_slice(&msg_id.to_le_bytes());
+    // check: allow(panic): constant ranges into a fixed HDR-byte array
+    h[8..10].copy_from_slice(&idx.to_le_bytes());
+    // check: allow(panic): constant ranges into a fixed HDR-byte array
+    h[10..12].copy_from_slice(&total.to_le_bytes());
+    h
+}
+
+#[cfg(test)]
 fn frame(msg_id: u64, idx: u16, total: u16, payload: &[u8]) -> Vec<u8> {
     let mut f = Vec::with_capacity(HDR + payload.len());
-    f.extend_from_slice(&msg_id.to_le_bytes());
-    f.extend_from_slice(&idx.to_le_bytes());
-    f.extend_from_slice(&total.to_le_bytes());
+    f.extend_from_slice(&header(msg_id, idx, total));
     f.extend_from_slice(payload);
     f
 }
@@ -126,12 +137,21 @@ where
                 v
             };
             if total == 1 {
-                return self.inner.send((addr, frame(msg_id, 0, 1, &payload))).await;
+                // Common case: the header lands in the frame's headroom.
+                let mut f = payload;
+                f.prepend(&header(msg_id, 0, 1));
+                return self.inner.send((addr, f)).await;
             }
-            for (idx, chunk) in payload.chunks(mtu).enumerate() {
-                self.inner
-                    .send((addr.clone(), frame(msg_id, idx as u16, total as u16, chunk)))
-                    .await?;
+            // Fragments are O(1) slab-sharing views; the prepend falls back
+            // to a per-fragment copy because the views alias one slab.
+            let mut rest = payload;
+            let mut idx: u16 = 0;
+            while !rest.is_empty() {
+                let take = rest.len().min(mtu);
+                let mut chunk = rest.split_to(take);
+                chunk.prepend(&header(msg_id, idx, total as u16));
+                self.inner.send((addr.clone(), chunk)).await?;
+                idx += 1;
             }
             Ok(())
         })
@@ -140,21 +160,22 @@ where
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
             loop {
-                let (from, buf) = self.inner.recv().await?;
-                let header = crate::take_u64_le(&buf).and_then(|(msg_id, rest)| {
+                let (from, mut buf) = self.inner.recv().await?;
+                let hdr = crate::take_u64_le(&buf).and_then(|(msg_id, rest)| {
                     let (idx, rest) = crate::take_u16_le(rest)?;
-                    let (total, payload) = crate::take_u16_le(rest)?;
-                    Some((msg_id, idx as usize, total as usize, payload))
+                    let (total, _) = crate::take_u16_le(rest)?;
+                    Some((msg_id, idx as usize, total as usize))
                 });
-                let Some((msg_id, idx, total, payload)) = header else {
+                let Some((msg_id, idx, total)) = hdr else {
                     return Err(Error::Encode("fragment too short".into()));
                 };
+                buf.strip(HDR);
 
                 if total == 0 || idx >= total {
                     return Err(Error::Encode(format!("bad fragment indices {idx}/{total}")));
                 }
                 if total == 1 {
-                    return Ok((from, payload.to_vec()));
+                    return Ok((from, buf));
                 }
 
                 let mut partials = self.partial.lock();
@@ -175,21 +196,32 @@ where
                 }
                 if let Some(slot) = p.frags.get_mut(idx) {
                     if slot.is_none() {
-                        *slot = Some(payload.to_vec());
+                        // Park the received frame itself; no copy until
+                        // reassembly.
+                        *slot = Some(buf);
                         p.have += 1;
                     }
                 }
                 if p.have == total {
                     if let Some(p) = partials.remove(&key) {
-                        let mut whole = Vec::with_capacity(
-                            p.frags
-                                .iter()
-                                .map(|f| f.as_ref().map_or(0, |v| v.len()))
-                                .sum(),
-                        );
+                        let total_len: usize = p
+                            .frags
+                            .iter()
+                            .map(|f| f.as_ref().map_or(0, |v| v.len()))
+                            .sum();
+                        // One lease sized up front; fragments copy into it
+                        // exactly once.
+                        let mut whole = Frame::recv_lease(total_len);
+                        let Some(window) = whole.payload_mut() else {
+                            continue;
+                        };
+                        let mut off = 0;
                         for f in p.frags.into_iter().flatten() {
-                            whole.extend_from_slice(&f);
+                            // check: allow(panic): off + fragment lengths sum to the lease size
+                            window[off..off + f.len()].copy_from_slice(&f);
+                            off += f.len();
                         }
+                        whole.truncate(off);
                         return Ok((from, whole));
                     }
                 }
@@ -225,7 +257,7 @@ mod tests {
         let (a, b) = pair::<Datagram>(64);
         let fa = FragChunnel::default().connect_wrap(a).await.unwrap();
         let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
-        fa.send((addr(), b"tiny".to_vec())).await.unwrap();
+        fa.send((addr(), b"tiny".into())).await.unwrap();
         let (_, d) = fb.recv().await.unwrap();
         assert_eq!(d, b"tiny");
     }
@@ -240,7 +272,7 @@ mod tests {
         let fa = FragChunnel::new(cfg).connect_wrap(a).await.unwrap();
         let fb = FragChunnel::new(cfg).connect_wrap(b).await.unwrap();
         let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
-        fa.send((addr(), payload.clone())).await.unwrap();
+        fa.send((addr(), payload.clone().into())).await.unwrap();
         let (_, d) = fb.recv().await.unwrap();
         assert_eq!(d, payload);
     }
@@ -257,11 +289,11 @@ mod tests {
         let m0: Vec<u8> = vec![0xaa; 25];
         let m1: Vec<u8> = vec![0xbb; 15];
         let f = |id: u64, idx: u16, total: u16, chunk: &[u8]| frame(id, idx, total, chunk);
-        a.send((addr(), f(0, 0, 3, &m0[..10]))).await.unwrap();
-        a.send((addr(), f(1, 0, 2, &m1[..10]))).await.unwrap();
-        a.send((addr(), f(0, 1, 3, &m0[10..20]))).await.unwrap();
-        a.send((addr(), f(1, 1, 2, &m1[10..]))).await.unwrap();
-        a.send((addr(), f(0, 2, 3, &m0[20..]))).await.unwrap();
+        a.send((addr(), f(0, 0, 3, &m0[..10]).into())).await.unwrap();
+        a.send((addr(), f(1, 0, 2, &m1[..10]).into())).await.unwrap();
+        a.send((addr(), f(0, 1, 3, &m0[10..20]).into())).await.unwrap();
+        a.send((addr(), f(1, 1, 2, &m1[10..]).into())).await.unwrap();
+        a.send((addr(), f(0, 2, 3, &m0[20..]).into())).await.unwrap();
 
         let (_, d1) = fb.recv().await.unwrap();
         assert_eq!(d1, m1, "second message completes first");
@@ -273,7 +305,7 @@ mod tests {
     async fn bad_indices_rejected() {
         let (a, b) = pair::<Datagram>(8);
         let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
-        a.send((addr(), frame(0, 5, 2, b"x"))).await.unwrap();
+        a.send((addr(), frame(0, 5, 2, b"x").into())).await.unwrap();
         assert!(fb.recv().await.is_err());
     }
 
@@ -282,7 +314,7 @@ mod tests {
         let (a, b) = pair::<Datagram>(8);
         let fa = FragChunnel::default().connect_wrap(a).await.unwrap();
         let fb = FragChunnel::default().connect_wrap(b).await.unwrap();
-        fa.send((addr(), vec![])).await.unwrap();
+        fa.send((addr(), vec![].into())).await.unwrap();
         let (_, d) = fb.recv().await.unwrap();
         assert!(d.is_empty());
     }
@@ -297,7 +329,7 @@ mod tests {
                 let cfg = FragConfig { mtu, ..Default::default() };
                 let fa = FragChunnel::new(cfg).connect_wrap(a).await.unwrap();
                 let fb = FragChunnel::new(cfg).connect_wrap(b).await.unwrap();
-                fa.send((addr(), payload.clone())).await.unwrap();
+                fa.send((addr(), payload.clone().into())).await.unwrap();
                 let (_, d) = fb.recv().await.unwrap();
                 assert_eq!(d, payload);
             });

@@ -160,7 +160,7 @@ async fn beat<C>(
             st.last_sent.elapsed() >= cfg.interval
         };
         if due {
-            if conn.send((cfg.peer.clone(), vec![BEAT])).await.is_err() {
+            if conn.send((cfg.peer.clone(), [BEAT].into())).await.is_err() {
                 return;
             }
             stats.beats_sent.incr();
@@ -219,9 +219,9 @@ where
 
     fn send(&self, (addr, payload): Datagram) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
-            let mut framed = Vec::with_capacity(1 + payload.len());
-            framed.push(DATA);
-            framed.extend_from_slice(&payload);
+            // Tag byte lands in the frame's reserved headroom.
+            let mut framed = payload;
+            framed.prepend(&[DATA]);
             self.inner.send((addr, framed)).await?;
             self.state.lock().last_sent = Instant::now();
             Ok(())
@@ -240,9 +240,14 @@ where
                     Ok(r) => r?,
                 };
                 self.state.lock().last_heard = Instant::now();
-                match buf.split_first() {
-                    Some((&DATA, payload)) => return Ok((from, payload.to_vec())),
-                    Some((&BEAT, _)) => {
+                let mut buf = buf;
+                match buf.first().copied() {
+                    Some(DATA) => {
+                        // O(1) window adjustment, not a copy.
+                        buf.strip(1);
+                        return Ok((from, buf));
+                    }
+                    Some(BEAT) => {
                         self.stats.beats_heard.incr();
                         continue; // liveness only
                     }
@@ -281,7 +286,7 @@ mod tests {
         let (a, b) = pair::<Datagram>(64);
         let ha = ca.connect_wrap(a).await.unwrap();
         let hb = cb.connect_wrap(b).await.unwrap();
-        ha.send((peer, b"beat this".to_vec())).await.unwrap();
+        ha.send((peer, b"beat this".into())).await.unwrap();
         let (_, d) = hb.recv().await.unwrap();
         assert_eq!(d, b"beat this");
     }
@@ -360,7 +365,7 @@ mod tests {
         let hb = cb.connect_wrap(b).await.unwrap();
         tokio::time::sleep(Duration::from_millis(50)).await;
         assert!(ha.silence() >= Duration::from_millis(40));
-        hb.send((peer, vec![1])).await.unwrap();
+        hb.send((peer, vec![1].into())).await.unwrap();
         ha.recv().await.unwrap();
         assert!(ha.silence() < Duration::from_millis(40));
     }

@@ -96,9 +96,9 @@ where
                 st.next_send += 1;
                 s
             };
-            let mut framed = Vec::with_capacity(8 + payload.len());
-            framed.extend_from_slice(&seq.to_le_bytes());
-            framed.extend_from_slice(&payload);
+            // Sequence header lands in the frame's reserved headroom.
+            let mut framed = payload;
+            framed.prepend(&seq.to_le_bytes());
             self.inner.send((addr, framed)).await
         })
     }
@@ -124,11 +124,13 @@ where
                     }
                 }
 
-                let (from, buf) = self.inner.recv().await?;
-                let Some((seq, payload)) = crate::take_u64_le(&buf) else {
+                let (from, mut buf) = self.inner.recv().await?;
+                let Some((seq, _)) = crate::take_u64_le(&buf) else {
                     return Err(Error::Encode("ordering frame too short".into()));
                 };
-                let payload = payload.to_vec();
+                // O(1) window adjustment, not a copy.
+                buf.strip(8);
+                let payload = buf;
                 let mut st = self.state.lock();
                 if seq < st.next_deliver {
                     continue; // stale duplicate
@@ -174,7 +176,7 @@ mod tests {
         let oa = OrderingChunnel::default().connect_wrap(a).await.unwrap();
         let ob = OrderingChunnel::default().connect_wrap(b).await.unwrap();
         for i in 0..20u8 {
-            oa.send((addr(), vec![i])).await.unwrap();
+            oa.send((addr(), vec![i].into())).await.unwrap();
         }
         for i in 0..20u8 {
             let (_, d) = ob.recv().await.unwrap();
@@ -198,11 +200,11 @@ mod tests {
 
         const N: u32 = 200;
         for i in 0..N {
-            oa.send((addr(), i.to_le_bytes().to_vec())).await.unwrap();
+            oa.send((addr(), i.to_le_bytes().into())).await.unwrap();
         }
         for i in 0..N {
             let (_, d) = ob.recv().await.unwrap();
-            assert_eq!(u32::from_le_bytes(d.try_into().unwrap()), i);
+            assert_eq!(u32::from_le_bytes(d[..].try_into().unwrap()), i);
         }
     }
 
@@ -214,7 +216,7 @@ mod tests {
         for seq in 1..=5u64 {
             let mut f = seq.to_le_bytes().to_vec();
             f.push(seq as u8);
-            a.send((addr(), f)).await.unwrap();
+            a.send((addr(), f.into())).await.unwrap();
         }
         // With max_buffer = 4, the gap is eventually declared lost and
         // delivery resumes from seq 1.
@@ -230,11 +232,11 @@ mod tests {
         let ob = OrderingChunnel::default().connect_wrap(b).await.unwrap();
         let mut f0 = 0u64.to_le_bytes().to_vec();
         f0.push(7);
-        a.send((addr(), f0.clone())).await.unwrap();
-        a.send((addr(), f0)).await.unwrap(); // duplicate
+        a.send((addr(), f0.clone().into())).await.unwrap();
+        a.send((addr(), f0.into())).await.unwrap(); // duplicate
         let mut f1 = 1u64.to_le_bytes().to_vec();
         f1.push(8);
-        a.send((addr(), f1)).await.unwrap();
+        a.send((addr(), f1.into())).await.unwrap();
         let (_, d) = ob.recv().await.unwrap();
         assert_eq!(d, vec![7]);
         let (_, d) = ob.recv().await.unwrap();

@@ -201,7 +201,7 @@ mod tests {
             .await
             .unwrap();
         for i in 0..8u8 {
-            conn.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+            conn.send((Addr::Mem("x".into()), vec![i].into())).await.unwrap();
         }
         // Counter-based, not wall-clock: the bucket starts with 8 tokens
         // and refills only add, so none of the 8 sends may ever block.
@@ -223,7 +223,7 @@ mod tests {
             .unwrap();
         let t = Instant::now();
         for i in 0..20u8 {
-            conn.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+            conn.send((Addr::Mem("x".into()), vec![i].into())).await.unwrap();
         }
         let elapsed = t.elapsed();
         // The lower bound is pure token math (19 refills at 100/s) and
@@ -248,7 +248,7 @@ mod tests {
             .await
             .unwrap();
         for i in 0..10u8 {
-            b.send((Addr::Mem("x".into()), vec![i])).await.unwrap();
+            b.send((Addr::Mem("x".into()), vec![i].into())).await.unwrap();
         }
         for _ in 0..10 {
             conn.recv().await.unwrap();

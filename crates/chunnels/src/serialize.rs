@@ -108,7 +108,7 @@ where
     fn send(&self, (addr, msg): (Addr, T)) -> BoxFut<'_, Result<(), Error>> {
         Box::pin(async move {
             let buf = bincode::serialize(&msg)?;
-            self.inner.send((addr, buf)).await
+            self.inner.send((addr, buf.into())).await
         })
     }
 
@@ -177,7 +177,7 @@ mod tests {
             .connect_wrap(b)
             .await
             .unwrap();
-        a.send((addr(), vec![0xff; 3])).await.unwrap();
+        a.send((addr(), vec![0xff; 3].into())).await.unwrap();
         assert!(matches!(sb.recv().await, Err(Error::Encode(_))));
     }
 

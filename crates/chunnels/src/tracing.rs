@@ -128,10 +128,16 @@ where
                     // One child span per frame: the collector sees each
                     // message as a leaf under the connection's span.
                     let fctx = ctx.child();
-                    let mut v = Vec::with_capacity(1 + tele::tracectx::WIRE_LEN + payload.len());
-                    v.push(TRACED);
-                    v.extend_from_slice(&fctx.encode());
-                    v.extend_from_slice(&payload);
+                    let plen = payload.len() as u64;
+                    // Tag byte and trace context land in the frame's
+                    // reserved headroom.
+                    let mut hdr = [0u8; 1 + tele::tracectx::WIRE_LEN];
+                    // check: allow(panic): constant indices into a fixed-size array
+                    hdr[0] = TRACED;
+                    // check: allow(panic): constant indices into a fixed-size array
+                    hdr[1..].copy_from_slice(&fctx.encode());
+                    let mut v = payload;
+                    v.prepend(&hdr);
                     self.stats.frames_stamped.incr();
                     tele::event!(
                         tele::Level::Debug,
@@ -140,15 +146,14 @@ where
                         "trace_id" = fctx.trace_hex(),
                         "span_id" = fctx.span_id,
                         "parent_span_id" = ctx.span_id,
-                        "len" = payload.len() as u64,
+                        "len" = plen,
                     );
                     span = Some((fctx, ctx.span_id, std::time::Instant::now()));
                     v
                 }
                 _ => {
-                    let mut v = Vec::with_capacity(1 + payload.len());
-                    v.push(PLAIN);
-                    v.extend_from_slice(&payload);
+                    let mut v = payload;
+                    v.prepend(&[PLAIN]);
                     self.stats.frames_plain.incr();
                     v
                 }
@@ -178,18 +183,22 @@ where
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
             let start = std::time::Instant::now();
-            let (from, buf) = self.inner.recv().await?;
-            match buf.split_first() {
-                Some((&PLAIN, payload)) => Ok((from, payload.to_vec())),
-                Some((&TRACED, rest)) => {
-                    let Some(fctx) = tele::TraceContext::decode(rest) else {
+            let (from, mut buf) = self.inner.recv().await?;
+            match buf.first().copied() {
+                Some(PLAIN) => {
+                    // O(1) window adjustment, not a copy.
+                    buf.strip(1);
+                    Ok((from, buf))
+                }
+                Some(TRACED) => {
+                    // check: allow(panic): first() matched, so the frame has a byte 0
+                    let Some(fctx) = tele::TraceContext::decode(&buf[1..]) else {
                         return Err(Error::Encode("truncated trace context".into()));
                     };
-                    // `decode` validated the length, so the suffix exists.
-                    let Some(payload) = rest.get(tele::tracectx::WIRE_LEN..) else {
-                        return Err(Error::Encode("truncated trace context".into()));
-                    };
-                    let payload = payload.to_vec();
+                    // `decode` validated the length, so the strip is in
+                    // bounds.
+                    buf.strip(1 + tele::tracectx::WIRE_LEN);
+                    let payload = buf;
                     self.stats.frames_traced_recv.incr();
                     tele::event!(
                         tele::Level::Debug,
@@ -258,7 +267,7 @@ mod tests {
     async fn plain_frames_without_context() {
         let (tx, rx) = conn_with(None);
         let addr = bertha::Addr::Mem("t".into());
-        tx.send((addr, b"hello".to_vec())).await.unwrap();
+        tx.send((addr, b"hello".into())).await.unwrap();
         let (_, d) = rx.recv().await.unwrap();
         assert_eq!(d, b"hello");
         assert_eq!(tx.stats().frames_plain.get(), 1);
@@ -275,7 +284,7 @@ mod tests {
         };
         let (tx, rx) = conn_with(Some(ctx));
         let addr = bertha::Addr::Mem("t".into());
-        tx.send((addr, b"stamped".to_vec())).await.unwrap();
+        tx.send((addr, b"stamped".into())).await.unwrap();
         let (_, d) = rx.recv().await.unwrap();
         assert_eq!(d, b"stamped");
         assert_eq!(tx.stats().frames_stamped.get(), 1);
@@ -291,7 +300,7 @@ mod tests {
         };
         let (tx, rx) = conn_with(Some(ctx));
         let addr = bertha::Addr::Mem("t".into());
-        tx.send((addr, b"quiet".to_vec())).await.unwrap();
+        tx.send((addr, b"quiet".into())).await.unwrap();
         let (_, d) = rx.recv().await.unwrap();
         assert_eq!(d, b"quiet");
         assert_eq!(tx.stats().frames_plain.get(), 1);

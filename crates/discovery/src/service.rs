@@ -358,7 +358,7 @@ pub async fn serve_uds_with(
                                 let Ok(body) = bincode::serialize(&frame) else {
                                     return;
                                 };
-                                if conn.send((from.clone(), body)).await.is_err() {
+                                if conn.send((from.clone(), body.into())).await.is_err() {
                                     return;
                                 }
                                 tokio::time::sleep(period).await;
@@ -386,7 +386,7 @@ pub async fn serve_uds_with(
                     let Ok(body) = bincode::serialize(&resp) else {
                         return;
                     };
-                    if conn.send((from, body)).await.is_err() {
+                    if conn.send((from, body.into())).await.is_err() {
                         return;
                     }
                 }
@@ -487,8 +487,8 @@ impl RemoteRegistry {
                 "discovery agent connection unavailable".into(),
             ));
         };
-        let res: Result<Vec<u8>, Error> = async {
-            conn.send((self.agent.clone(), bincode::serialize(req)?))
+        let res: Result<bertha::buf::Frame, Error> = async {
+            conn.send((self.agent.clone(), bincode::serialize(req)?.into()))
                 .await?;
             let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
                 .await
@@ -1114,7 +1114,7 @@ mod tests {
             .connect(Addr::Unix(path.clone()))
             .await
             .unwrap();
-        conn.send((Addr::Unix(path), vec![0xde, 0xad]))
+        conn.send((Addr::Unix(path), vec![0xde, 0xad].into()))
             .await
             .unwrap();
         let (_, buf) = conn.recv().await.unwrap();

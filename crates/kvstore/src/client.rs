@@ -100,7 +100,7 @@ where
         for _attempt in 0..=self.cfg.retries {
             let (tx, rx) = oneshot::channel();
             self.pending.lock().insert(id, tx);
-            self.conn.send((self.service.clone(), wire.clone())).await?;
+            self.conn.send((self.service.clone(), wire.clone().into())).await?;
             match tokio::time::timeout(self.cfg.timeout, rx).await {
                 Ok(Ok(resp)) => return Ok(resp),
                 Ok(Err(_)) => return Err(Error::ConnectionClosed),
@@ -184,8 +184,8 @@ mod tests {
                     Ok(d) => d,
                     Err(_) => return,
                 };
-                if let Some(reply) = store.handle_payload(payload) {
-                    let _ = conn.send((from, reply)).await;
+                if let Some(reply) = store.handle_payload(payload.into_vec()) {
+                    let _ = conn.send((from, reply.into())).await;
                 }
             }
         });
@@ -257,8 +257,8 @@ mod tests {
                 if std::mem::take(&mut first) {
                     continue; // drop it
                 }
-                if let Some(reply) = store.handle_payload(payload) {
-                    let _ = srv.send((from, reply)).await;
+                if let Some(reply) = store.handle_payload(payload.into_vec()) {
+                    let _ = srv.send((from, reply.into())).await;
                 }
             }
         });

@@ -126,7 +126,7 @@ mod tests {
             val: Some(b"v".to_vec()),
         };
         client
-            .send((shards[0].addr.clone(), frame_data(&put.encode())))
+            .send((shards[0].addr.clone(), frame_data(&put.encode()).into()))
             .await
             .unwrap();
         let (_, frame) = client.recv().await.unwrap();

@@ -127,7 +127,7 @@ pub async fn serve_agent_uds(
                     let Ok(body) = bincode::serialize(&resp) else {
                         return;
                     };
-                    if conn.send((from, body)).await.is_err() {
+                    if conn.send((from, body.into())).await.is_err() {
                         return;
                     }
                 }
@@ -158,7 +158,7 @@ impl RemoteNameAgent {
             *guard = Some(UdsConnector.connect(self.agent.clone()).await?);
         }
         let conn = guard.as_ref().expect("just connected");
-        conn.send((self.agent.clone(), bincode::serialize(req)?))
+        conn.send((self.agent.clone(), bincode::serialize(req)?.into()))
             .await?;
         let (_, buf) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())
             .await

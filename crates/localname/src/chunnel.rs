@@ -247,14 +247,14 @@ mod tests {
         let conn = connector.connect(canonical.clone()).await.unwrap();
         assert!(conn.is_local(), "agent has the mapping: fast path");
 
-        conn.send((canonical.clone(), b"via uds".to_vec()))
+        conn.send((canonical.clone(), b"via uds".into()))
             .await
             .unwrap();
         let server_conn = incoming.next().await.unwrap().unwrap();
         assert!(matches!(server_conn, Either::Right(_)), "arrived on uds");
         let (from, data) = server_conn.recv().await.unwrap();
         assert_eq!(data, b"via uds");
-        server_conn.send((from, b"reply".to_vec())).await.unwrap();
+        server_conn.send((from, b"reply".into())).await.unwrap();
         let (from, data) = conn.recv().await.unwrap();
         assert_eq!(data, b"reply");
         assert_eq!(from, canonical, "sources are canonicalized");
@@ -276,7 +276,7 @@ mod tests {
         let mut connector = LocalOrRemote::with_agent(empty as Arc<dyn NameSource>);
         let conn = connector.connect(canonical.clone()).await.unwrap();
         assert!(!conn.is_local());
-        conn.send((canonical.clone(), b"via udp".to_vec()))
+        conn.send((canonical.clone(), b"via udp".into()))
             .await
             .unwrap();
         let server_conn = incoming.next().await.unwrap().unwrap();
@@ -301,7 +301,7 @@ mod tests {
         let c1 = connector.connect(canonical.clone()).await.unwrap();
         assert!(!c1.is_local());
         // Exercise the UDP path so the remote listener is demonstrably live.
-        c1.send((canonical.clone(), b"hi".to_vec())).await.unwrap();
+        c1.send((canonical.clone(), b"hi".into())).await.unwrap();
         let rc = remote_incoming.next().await.unwrap().unwrap();
         let (_, d) = rc.recv().await.unwrap();
         assert_eq!(d, b"hi");

@@ -74,7 +74,7 @@ where
             })?;
             let mut next_seq = None;
             'attempts: for _ in 0..=cfg.join_retries {
-                inner.send((cfg.sequencer.clone(), join.clone())).await?;
+                inner.send((cfg.sequencer.clone(), join.clone().into())).await?;
                 let deadline = tokio::time::Instant::now() + cfg.join_timeout;
                 loop {
                     match tokio::time::timeout_at(deadline, inner.recv()).await {
@@ -149,9 +149,11 @@ where
         Box::pin(async move {
             let publish = bincode::serialize(&SeqMsg::Publish {
                 group: self.cfg.group.clone(),
-                payload,
+                payload: payload.into_vec(),
             })?;
-            self.inner.send((self.cfg.sequencer.clone(), publish)).await
+            self.inner
+                .send((self.cfg.sequencer.clone(), publish.into()))
+                .await
         })
     }
 
@@ -165,7 +167,7 @@ where
                     let next = st.next_deliver;
                     if let Some(p) = st.buffer.remove(&next) {
                         st.next_deliver += 1;
-                        return Ok((Addr::Named(self.cfg.group.clone()), p));
+                        return Ok((Addr::Named(self.cfg.group.clone()), p.into()));
                     }
                     if st.buffer.is_empty() {
                         st.last_nack = None;
@@ -195,7 +197,7 @@ where
                         from,
                         to,
                     })?;
-                    self.inner.send((self.cfg.sequencer.clone(), msg)).await?;
+                    self.inner.send((self.cfg.sequencer.clone(), msg.into())).await?;
                 }
 
                 // While a gap is outstanding, wake up periodically to
@@ -226,7 +228,7 @@ where
                 }
                 if seq == st.next_deliver {
                     st.next_deliver += 1;
-                    return Ok((Addr::Named(group), payload));
+                    return Ok((Addr::Named(group), payload.into()));
                 }
                 st.buffer.insert(seq, payload);
             }
@@ -267,11 +269,11 @@ mod tests {
 
         let dst = Addr::Named("rsm".into());
         for i in 0..5u8 {
-            a.send((dst.clone(), vec![b'a', i])).await.unwrap();
-            b.send((dst.clone(), vec![b'b', i])).await.unwrap();
-            c.send((dst.clone(), vec![b'c', i])).await.unwrap();
+            a.send((dst.clone(), vec![b'a', i].into())).await.unwrap();
+            b.send((dst.clone(), vec![b'b', i].into())).await.unwrap();
+            c.send((dst.clone(), vec![b'c', i].into())).await.unwrap();
         }
-        let mut logs: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut logs: Vec<Vec<bertha::buf::Frame>> = Vec::new();
         for ep in [&a, &b, &c] {
             let mut log = Vec::new();
             for _ in 0..15 {
@@ -290,7 +292,7 @@ mod tests {
         let a = endpoint(seq.addr(), "g").await;
         let dst = Addr::Named("g".into());
         for i in 0..3u8 {
-            a.send((dst.clone(), vec![i])).await.unwrap();
+            a.send((dst.clone(), vec![i].into())).await.unwrap();
         }
         for _ in 0..3 {
             a.recv().await.unwrap();
@@ -298,7 +300,7 @@ mod tests {
         // B joins after three messages: it must not stall waiting for 0..3.
         let b = endpoint(seq.addr(), "g").await;
         assert_eq!(b.next_seq(), 3);
-        a.send((dst.clone(), vec![9])).await.unwrap();
+        a.send((dst.clone(), vec![9].into())).await.unwrap();
         let (_, p) = b.recv().await.unwrap();
         assert_eq!(p, vec![9]);
     }

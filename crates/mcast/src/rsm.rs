@@ -48,7 +48,7 @@ where
     /// Submit a command to the group (it will be applied when delivered).
     pub async fn submit(&self, command: Vec<u8>) -> Result<(), Error> {
         self.conn
-            .send((Addr::Named(self.conn.group().to_owned()), command))
+            .send((Addr::Named(self.conn.group().to_owned()), command.into()))
             .await
     }
 

@@ -142,7 +142,7 @@ pub async fn run_sequencer(addr: Addr) -> Result<SequencerHandle, Error> {
                         let Ok(body) = bincode::serialize(&ack) else {
                             continue;
                         };
-                        let _ = sock.send((from, body)).await;
+                        let _ = sock.send((from, body.into())).await;
                     }
                     SeqMsg::Publish { group, payload } => {
                         let Some(g) = groups.get_mut(&group) else {
@@ -164,7 +164,7 @@ pub async fn run_sequencer(addr: Addr) -> Result<SequencerHandle, Error> {
                             continue;
                         };
                         for m in &g.members {
-                            let _ = sock.send((m.clone(), body.clone())).await;
+                            let _ = sock.send((m.clone(), body.clone().into())).await;
                         }
                     }
                     SeqMsg::Nack {
@@ -186,7 +186,7 @@ pub async fn run_sequencer(addr: Addr) -> Result<SequencerHandle, Error> {
                                 let Ok(body) = bincode::serialize(&deliver) else {
                                     continue;
                                 };
-                                let _ = sock.send((from.clone(), body)).await;
+                                let _ = sock.send((from.clone(), body.into())).await;
                             }
                         }
                     }
@@ -217,7 +217,7 @@ mod tests {
             group: group.into(),
         })
         .unwrap();
-        sock.send((seq_addr.clone(), join)).await.unwrap();
+        sock.send((seq_addr.clone(), join.into())).await.unwrap();
         let (_, buf) = sock.recv().await.unwrap();
         match bincode::deserialize::<SeqMsg>(&buf).unwrap() {
             SeqMsg::JoinAck { .. } => sock,
@@ -241,7 +241,7 @@ mod tests {
             payload: p.to_vec(),
         })
         .unwrap();
-        sock.send((seq_addr.clone(), m)).await.unwrap();
+        sock.send((seq_addr.clone(), m.into())).await.unwrap();
     }
 
     async fn next_deliver(sock: &bertha_transport::mem::MemSocket) -> (u64, Vec<u8>) {
@@ -293,7 +293,7 @@ mod tests {
             to: 4,
         })
         .unwrap();
-        a.send((seq.addr().clone(), nack)).await.unwrap();
+        a.send((seq.addr().clone(), nack.into())).await.unwrap();
         let mut replayed = Vec::new();
         for _ in 0..3 {
             replayed.push(next_deliver(&a).await.0);

@@ -218,7 +218,7 @@ mod tests {
         for key in 0..50u32 {
             let p = payload_with_key(key);
             let expect = info.shard_addr(&p).clone();
-            conn.send((info.canonical.clone(), p)).await.unwrap();
+            conn.send((info.canonical.clone(), p.into())).await.unwrap();
             let (to, _) = b.recv().await.unwrap();
             assert_eq!(to, expect);
             seen.insert(to);
@@ -237,7 +237,7 @@ mod tests {
             .await
             .unwrap();
         let other = Addr::Mem("elsewhere".into());
-        conn.send((other.clone(), vec![1])).await.unwrap();
+        conn.send((other.clone(), vec![1].into())).await.unwrap();
         let (to, _) = b.recv().await.unwrap();
         assert_eq!(to, other);
     }
@@ -252,7 +252,7 @@ mod tests {
             .slot_apply(pick, vec![], a)
             .await
             .unwrap();
-        b.send((Addr::Mem("s1".into()), vec![9])).await.unwrap();
+        b.send((Addr::Mem("s1".into()), vec![9].into())).await.unwrap();
         let (from, _) = conn.recv().await.unwrap();
         assert_eq!(from, info.canonical);
     }

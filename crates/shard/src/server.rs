@@ -16,7 +16,8 @@
 //!   still provides correctness").
 
 use crate::info::ShardInfo;
-use crate::worker::{frame_data, strip_data};
+use crate::worker::strip_data;
+use bertha::negotiate::TAG_DATA;
 use crate::{IMPL_CLIENT_PUSH, IMPL_FALLBACK, IMPL_STEER, SHARD_CAPABILITY};
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::negotiate::{Endpoints, NegotiateSlot, Offer, Scope, SlotApply};
@@ -35,7 +36,7 @@ pub struct ShardCanonicalServer {
 }
 
 struct DispatchMsg {
-    payload: Vec<u8>,
+    payload: bertha::buf::Frame,
     reply_to: Addr,
     reply_via: Arc<dyn ChunnelConnection<Data = Datagram> + Send + Sync>,
 }
@@ -91,16 +92,22 @@ async fn run_dispatcher(info: ShardInfo, mut rx: mpsc::Receiver<DispatchMsg>) {
     };
     while let Some(msg) = rx.recv().await {
         let shard = info.shard_addr(&msg.payload).clone();
-        if out.send((shard, frame_data(&msg.payload))).await.is_err() {
+        // Tag in place: the request frame came off the wire with headroom.
+        let mut req = msg.payload;
+        req.prepend(&[TAG_DATA]);
+        if out.send((shard, req)).await.is_err() {
             continue;
         }
         // Serial request/reply: the fallback's defining inefficiency.
         let reply = match tokio::time::timeout(std::time::Duration::from_secs(5), out.recv()).await
         {
-            Ok(Ok((_, frame))) => match strip_data(&frame) {
-                Some(r) => r.to_vec(),
-                None => continue,
-            },
+            Ok(Ok((_, mut frame))) => {
+                let Some(off) = strip_data(&frame).map(|r| frame.len() - r.len()) else {
+                    continue;
+                };
+                frame.strip(off);
+                frame
+            }
             _ => continue, // lost request: client-level retry's problem
         };
         let _ = msg.reply_via.send((msg.reply_to, reply)).await;
@@ -332,7 +339,7 @@ mod tests {
             let req = payload_with_key(key, b"req");
             let expected_suffix = if info.shard_of(&req) == 0 { b'0' } else { b'1' };
             client
-                .send((client_addr.clone(), req.clone()))
+                .send((client_addr.clone(), req.clone().into()))
                 .await
                 .unwrap();
             let (to, reply) = client.recv().await.unwrap();
@@ -361,7 +368,7 @@ mod tests {
             let (a, b) = pair::<Datagram>(4);
             let conn = srv.slot_apply(pick, vec![], a).await.unwrap();
             assert!(!conn.is_dispatched());
-            b.send((Addr::Mem("x".into()), vec![1])).await.unwrap();
+            b.send((Addr::Mem("x".into()), vec![1].into())).await.unwrap();
             let (_, d) = conn.recv().await.unwrap();
             assert_eq!(d, vec![1]);
         }

@@ -519,7 +519,7 @@ mod tests {
 
         // A handshake frame comes back verbatim (via the internal server).
         let hs = vec![TAG_NEG, 0xaa, 0xbb];
-        client.send((canonical.clone(), hs.clone())).await.unwrap();
+        client.send((canonical.clone(), hs.clone().into())).await.unwrap();
         let (from, echoed) = client.recv().await.unwrap();
         assert_eq!(echoed, hs);
         assert_eq!(
@@ -532,7 +532,7 @@ mod tests {
             let req = payload_with_key(key, b"r");
             let expect_shard = info.shard_of(&req) as u8;
             client
-                .send((canonical.clone(), frame_data(&req)))
+                .send((canonical.clone(), frame_data(&req).into()))
                 .await
                 .unwrap();
             let (_, reply_frame) = client.recv().await.unwrap();
@@ -552,7 +552,7 @@ mod tests {
         );
 
         // Untagged garbage is dropped.
-        client.send((canonical.clone(), vec![0x7f])).await.unwrap();
+        client.send((canonical.clone(), vec![0x7f].into())).await.unwrap();
         tokio::time::sleep(std::time::Duration::from_millis(20)).await;
         assert_eq!(steerer.stats.dropped.get(), 1);
 
@@ -638,7 +638,7 @@ mod tests {
         assert_eq!(picks.picks[0].impl_guid, IMPL_FALLBACK);
 
         let req = payload_with_key(3, b"req");
-        conn.send((fallback.canonical.clone(), req.clone()))
+        conn.send((fallback.canonical.clone(), req.clone().into()))
             .await
             .unwrap();
         let (_, reply) = tokio::time::timeout(std::time::Duration::from_secs(5), conn.recv())

@@ -83,7 +83,9 @@ where
             match handler(payload.to_vec()).await {
                 Some(reply) => {
                     stats2.handled.fetch_add(1, Ordering::Relaxed);
-                    let _ = sock.send((from, frame_data(&reply))).await;
+                    let mut f: bertha::buf::Frame = reply.into();
+                    f.prepend(&[TAG_DATA]);
+                    let _ = sock.send((from, f)).await;
                 }
                 None => {
                     stats2.dropped.fetch_add(1, Ordering::Relaxed);
@@ -115,14 +117,14 @@ mod tests {
 
         let client = UdpConnector.connect(addr.clone()).await.unwrap();
         client
-            .send((addr.clone(), frame_data(b"abc")))
+            .send((addr.clone(), frame_data(b"abc").into()))
             .await
             .unwrap();
         let (_, frame) = client.recv().await.unwrap();
         assert_eq!(strip_data(&frame).unwrap(), b"cba");
 
         // Untagged garbage is counted and dropped, not crashed on.
-        client.send((addr, b"no tag".to_vec())).await.unwrap();
+        client.send((addr, b"no tag".into())).await.unwrap();
         tokio::time::sleep(std::time::Duration::from_millis(20)).await;
         assert_eq!(stats.dropped.load(Ordering::Relaxed), 1);
         assert_eq!(stats.handled.load(Ordering::Relaxed), 1);

@@ -91,7 +91,7 @@ mod tests {
         let a = bind_any(&Addr::Mem("t".into())).await.unwrap();
         let b = bind_any(&Addr::Mem("t".into())).await.unwrap();
         let b_addr = b.local_addr().unwrap();
-        a.send((b_addr, vec![3])).await.unwrap();
+        a.send((b_addr, vec![3].into())).await.unwrap();
         let (from, d) = b.recv().await.unwrap();
         assert_eq!(d, vec![3]);
         assert_eq!(from, a.local_addr().unwrap());

@@ -6,6 +6,7 @@
 //! otherwise in-order and loss-free — compose with
 //! [`fault`](crate::fault) to model a lossy network.
 
+use bertha::buf::Frame;
 use bertha::chunnel::RecvStream;
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
@@ -161,7 +162,7 @@ impl ChunnelListener for MemListener {
 pub struct MemPeerConn {
     peer: Addr,
     local: String,
-    inbox: tokio::sync::Mutex<mpsc::Receiver<Vec<u8>>>,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Frame>>,
 }
 
 impl MemPeerConn {
@@ -201,7 +202,7 @@ impl ChunnelConnection for MemPeerConn {
 
 async fn demux(socket: MemSocket, accept_tx: mpsc::Sender<Result<MemPeerConn, Error>>) {
     let local = socket.name.clone();
-    let mut peers: HashMap<Addr, mpsc::Sender<Vec<u8>>> = HashMap::new();
+    let mut peers: HashMap<Addr, mpsc::Sender<Frame>> = HashMap::new();
     loop {
         let (from, payload) = {
             let mut inbox = socket.inbox.lock().await;
@@ -265,11 +266,11 @@ mod tests {
         let addr = Addr::Mem(format!("mem-rt-{}", std::process::id()));
         let mut stream = MemListener.listen(addr.clone()).await.unwrap();
         let client = MemConnector.connect(addr.clone()).await.unwrap();
-        client.send((addr, b"m".to_vec())).await.unwrap();
+        client.send((addr, b"m".into())).await.unwrap();
         let conn = stream.next().await.unwrap().unwrap();
         let (from, data) = conn.recv().await.unwrap();
         assert_eq!(data, b"m");
-        conn.send((from, b"r".to_vec())).await.unwrap();
+        conn.send((from, b"r".into())).await.unwrap();
         let (_, data) = client.recv().await.unwrap();
         assert_eq!(data, b"r");
     }
@@ -298,7 +299,7 @@ mod tests {
         drop(s);
         // The dropped endpoint must be gone from the switchboard: sends to
         // it fail loudly rather than silently succeeding.
-        let err = peer.send((Addr::Mem(name), vec![1])).await.unwrap_err();
+        let err = peer.send((Addr::Mem(name), vec![1].into())).await.unwrap_err();
         assert!(matches!(err, Error::NotFound(_)));
         let _ = peer_name;
     }
@@ -307,7 +308,7 @@ mod tests {
     async fn send_to_unknown_endpoint_errors() {
         let s = MemSocket::bind(None).unwrap();
         let err = s
-            .send((Addr::Mem("mem-nobody-home".into()), vec![1]))
+            .send((Addr::Mem("mem-nobody-home".into()), vec![1].into()))
             .await
             .unwrap_err();
         assert!(matches!(err, Error::NotFound(_)));

@@ -5,6 +5,7 @@
 //! The per-message address is the peer's socket address (checked on send:
 //! TCP cannot redirect).
 
+use bertha::buf::Frame;
 use bertha::chunnel::{ConnStream, RecvStream};
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
@@ -119,12 +120,20 @@ impl ChunnelConnection for TcpConn {
             if len > MAX_FRAME {
                 return Err(Error::Encode(format!("frame length {len} too large")));
             }
-            let mut buf = vec![0u8; len];
-            rd.read_exact(&mut buf).await.map_err(|e| match e.kind() {
+            // Read straight into a pool-leased frame so upstream
+            // chunnels can prepend into its headroom (DESIGN.md §12).
+            let mut frame = Frame::recv_lease(len);
+            let window = match frame.payload_mut() {
+                // check: allow(panic): guard proves w.len() >= len
+                Some(w) if w.len() >= len => &mut w[..len],
+                _ => return Err(Error::Other("recv lease not writable".into())),
+            };
+            rd.read_exact(window).await.map_err(|e| match e.kind() {
                 std::io::ErrorKind::UnexpectedEof => Error::ConnectionClosed,
                 _ => e.into(),
             })?;
-            Ok((Addr::Tcp(self.peer), buf))
+            frame.truncate(len);
+            Ok((Addr::Tcp(self.peer), frame))
         })
     }
 }
@@ -218,11 +227,11 @@ mod tests {
             .unwrap();
         let addr = stream.local_addr();
         let client = TcpConnector::new().connect(addr.clone()).await.unwrap();
-        client.send((addr, b"over tcp".to_vec())).await.unwrap();
+        client.send((addr, b"over tcp".into())).await.unwrap();
         let server = stream.next().await.unwrap().unwrap();
         let (from, data) = server.recv().await.unwrap();
         assert_eq!(data, b"over tcp");
-        server.send((from, vec![0u8; 100_000])).await.unwrap();
+        server.send((from, vec![0u8; 100_000].into())).await.unwrap();
         let (_, data) = client.recv().await.unwrap();
         assert_eq!(data.len(), 100_000, "frames larger than one segment work");
     }
@@ -236,7 +245,7 @@ mod tests {
         let addr = stream.local_addr();
         let client = TcpConnector::new().connect(addr).await.unwrap();
         let wrong = Addr::Tcp("127.0.0.1:1".parse().unwrap());
-        assert!(client.send((wrong, vec![1])).await.is_err());
+        assert!(client.send((wrong, vec![1].into())).await.is_err());
     }
 
     #[tokio::test]
@@ -247,7 +256,7 @@ mod tests {
             .unwrap();
         let addr = stream.local_addr();
         let client = TcpConnector::new().connect(addr.clone()).await.unwrap();
-        client.send((addr, vec![1])).await.unwrap();
+        client.send((addr, vec![1].into())).await.unwrap();
         let server = stream.next().await.unwrap().unwrap();
         drop(server);
         match client.recv().await {
@@ -269,7 +278,7 @@ mod tests {
         let client = std::sync::Arc::new(TcpConnector::new().connect(addr.clone()).await.unwrap());
         for i in 0..20u8 {
             client
-                .send((addr.clone(), vec![i; (i as usize) + 1]))
+                .send((addr.clone(), vec![i; (i as usize) + 1].into()))
                 .await
                 .unwrap();
         }

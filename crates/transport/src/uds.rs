@@ -6,6 +6,7 @@
 //! the connector binds a uniquely-named client socket under a scratch
 //! directory; it is unlinked when the connection drops.
 
+use bertha::buf::Frame;
 use bertha::chunnel::{ConnStream, RecvStream};
 use bertha::conn::{BoxFut, ChunnelConnection, Datagram, Drain};
 use bertha::{Addr, ChunnelConnector, ChunnelListener, Error};
@@ -95,14 +96,19 @@ impl ChunnelConnection for UdsConn {
 
     fn recv(&self) -> BoxFut<'_, Result<Datagram, Error>> {
         Box::pin(async move {
-            let mut buf = vec![0u8; crate::MAX_DATAGRAM];
-            let (n, from) = self.inner.socket.recv_from(&mut buf).await?;
-            buf.truncate(n);
+            // Receive into a pool-leased frame so the payload reaches the
+            // chunnel stack with headroom intact (DESIGN.md §12).
+            let mut frame = Frame::recv_lease(crate::MAX_DATAGRAM);
+            let Some(window) = frame.payload_mut() else {
+                return Err(Error::Other("recv lease not writable".into()));
+            };
+            let (n, from) = self.inner.socket.recv_from(window).await?;
+            frame.truncate(n);
             let from = from
                 .as_pathname()
                 .map(Path::to_path_buf)
                 .unwrap_or_default();
-            Ok((Addr::Unix(from), buf))
+            Ok((Addr::Unix(from), frame))
         })
     }
 }
@@ -164,7 +170,7 @@ impl ConnStream for UdsIncoming {
 pub struct UdsPeerConn {
     shared: Arc<BoundUds>,
     peer: PathBuf,
-    inbox: tokio::sync::Mutex<mpsc::Receiver<Vec<u8>>>,
+    inbox: tokio::sync::Mutex<mpsc::Receiver<Frame>>,
 }
 
 impl UdsPeerConn {
@@ -201,21 +207,25 @@ async fn demux(
     accept_tx: mpsc::Sender<Result<UdsPeerConn, Error>>,
     queue: usize,
 ) {
-    let mut peers: HashMap<PathBuf, mpsc::Sender<Vec<u8>>> = HashMap::new();
-    let mut buf = vec![0u8; crate::MAX_DATAGRAM];
+    let mut peers: HashMap<PathBuf, mpsc::Sender<Frame>> = HashMap::new();
     loop {
-        let (n, from) = match shared.socket.recv_from(&mut buf).await {
+        // Lease a fresh pool buffer per datagram: the frame is handed to
+        // the peer inbox whole, no copy.
+        let mut frame = Frame::recv_lease(crate::MAX_DATAGRAM);
+        let Some(window) = frame.payload_mut() else {
+            return;
+        };
+        let (n, from) = match shared.socket.recv_from(window).await {
             Ok(r) => r,
             Err(_) => return,
         };
+        frame.truncate(n);
         let from = match from.as_pathname() {
             Some(p) => p.to_path_buf(),
             // Unbound sender: no reply path, so no connection.
             None => continue,
         };
-        // `recv_from` never reports more bytes than the buffer holds; on
-        // the absurd case, an empty payload beats a data-path panic.
-        let payload = buf.get(..n).unwrap_or_default().to_vec();
+        let payload = frame;
 
         if peers.get(&from).map(|tx| tx.is_closed()).unwrap_or(false) {
             peers.remove(&from);
@@ -275,7 +285,7 @@ mod tests {
 
         let client = UdsConnector.connect(srv_addr.clone()).await.unwrap();
         client
-            .send((srv_addr.clone(), b"ping".to_vec()))
+            .send((srv_addr.clone(), b"ping".into()))
             .await
             .unwrap();
 
@@ -283,7 +293,7 @@ mod tests {
         let (from, data) = conn.recv().await.unwrap();
         assert_eq!(data, b"ping");
         assert_eq!(from, client.local_addr());
-        conn.send((from, b"pong".to_vec())).await.unwrap();
+        conn.send((from, b"pong".into())).await.unwrap();
         let (_, data) = client.recv().await.unwrap();
         assert_eq!(data, b"pong");
     }
@@ -308,7 +318,7 @@ mod tests {
             .connect(Addr::Unix(path.clone()))
             .await
             .unwrap();
-        let _ = poker.send((Addr::Unix(path.clone()), vec![1])).await;
+        let _ = poker.send((Addr::Unix(path.clone()), vec![1].into())).await;
         tokio::time::sleep(std::time::Duration::from_millis(50)).await;
         assert!(!path.exists(), "socket file should be unlinked");
     }
@@ -322,8 +332,8 @@ mod tests {
             .unwrap();
         let c1 = UdsConnector.connect(srv_addr.clone()).await.unwrap();
         let c2 = UdsConnector.connect(srv_addr.clone()).await.unwrap();
-        c1.send((srv_addr.clone(), b"a".to_vec())).await.unwrap();
-        c2.send((srv_addr.clone(), b"b".to_vec())).await.unwrap();
+        c1.send((srv_addr.clone(), b"a".into())).await.unwrap();
+        c2.send((srv_addr.clone(), b"b".into())).await.unwrap();
         let s1 = stream.next().await.unwrap().unwrap();
         let s2 = stream.next().await.unwrap().unwrap();
         let (_, d1) = s1.recv().await.unwrap();

@@ -88,7 +88,7 @@ async fn main() -> Result<(), bertha::Error> {
                 via_dns += 1;
             }
             // One round trip to show the path works.
-            conn.send((Addr::Named("svc".into()), b"ping".to_vec()))
+            conn.send((Addr::Named("svc".into()), b"ping".into()))
                 .await?;
             let (_, d) = conn.recv().await?;
             assert_eq!(d, b"ping");

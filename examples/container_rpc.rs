@@ -78,7 +78,7 @@ async fn measure(
     let mut samples = Vec::with_capacity(n);
     for _ in 0..n {
         let t = Instant::now();
-        conn.send((addr.clone(), payload.clone())).await?;
+        conn.send((addr.clone(), payload.clone().into())).await?;
         conn.recv().await?;
         samples.push(t.elapsed().as_secs_f64() * 1e6);
     }

@@ -1,0 +1,125 @@
+//! CI allocation gate for the zero-copy datapath (DESIGN.md §12).
+//!
+//! After a warmup that primes the slab pool, a steady-state loopback
+//! echo must run entirely out of recycled slabs: `buf.pool.misses` may
+//! not move. A miss in steady state means some layer fell off the
+//! pooled path — a fresh allocation per datagram — which is exactly the
+//! regression this gate exists to catch. A burst phase then checks that
+//! the batched wire edge actually coalesces frames (more frames than
+//! `sendmmsg`/`recvmmsg` calls).
+//!
+//! Deliberately its own integration-test binary: the pool and its
+//! counters are process-global, and unit tests leasing frames in a
+//! shared process would make the zero-miss assertion meaningless.
+
+use bertha::buf::Frame;
+use bertha::conn::ChunnelConnection;
+use bertha::{Addr, ChunnelConnector, ChunnelListener, ConnStream};
+use bertha_telemetry as tele;
+use bertha_transport::udp::{UdpConnector, UdpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serial echoes before the measured region. Sized so every slab the
+/// steady state needs (up to one `recvmmsg` lease burst per socket) has
+/// been allocated, used, and returned to the pool at least once.
+const WARMUP: usize = 512;
+
+/// Echoes inside the measured zero-miss region.
+const STEADY: usize = 2048;
+
+#[tokio::test(flavor = "multi_thread")]
+async fn steady_state_echo_never_misses_the_pool() {
+    let mut incoming = UdpListener::default()
+        .listen(Addr::Udp("127.0.0.1:0".parse().unwrap()))
+        .await
+        .unwrap();
+    let addr = incoming.local_addr();
+    let server = tokio::spawn(async move {
+        while let Some(Ok(conn)) = incoming.next().await {
+            tokio::spawn(async move {
+                while let Ok((from, data)) = conn.recv().await {
+                    if conn.send((from, data)).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let conn = Arc::new(UdpConnector.connect(addr.clone()).await.unwrap());
+    let payload: Frame = vec![0x42u8; 1400].into();
+
+    // Warmup: prime both slab classes (payload clones are small-class,
+    // receive leases are large-class) and settle task spawning.
+    for _ in 0..WARMUP {
+        echo_once(&conn, &addr, &payload).await;
+    }
+
+    let misses_before = tele::counter("buf.pool.misses").get();
+    let hits_before = tele::counter("buf.pool.hits").get();
+    for _ in 0..STEADY {
+        echo_once(&conn, &addr, &payload).await;
+    }
+    let misses = tele::counter("buf.pool.misses").get() - misses_before;
+    let hits = tele::counter("buf.pool.hits").get() - hits_before;
+
+    assert_eq!(
+        misses, 0,
+        "steady-state echo allocated {misses} fresh slabs ({hits} pool hits): \
+         some datapath layer fell off the pooled zero-copy path"
+    );
+    assert!(
+        hits as usize >= STEADY,
+        "only {hits} pool hits across {STEADY} echoes: receive path is not leasing from the pool"
+    );
+
+    // Burst phase: offer the wire edge concurrent traffic and require
+    // that batching coalesced at least some of it. Only meaningful where
+    // the mmsg path exists; the fallback sends one frame per syscall.
+    #[cfg(target_os = "linux")]
+    {
+        for _ in 0..16 {
+            let mut senders = Vec::new();
+            for _ in 0..32 {
+                let conn = Arc::clone(&conn);
+                let addr = addr.clone();
+                let payload = payload.clone();
+                senders.push(tokio::spawn(async move {
+                    conn.send((addr, payload)).await.unwrap();
+                }));
+            }
+            for s in senders {
+                s.await.unwrap();
+            }
+            let mut echoed = 0;
+            while echoed < 32 {
+                match tokio::time::timeout(Duration::from_secs(5), conn.recv()).await {
+                    Ok(Ok(_)) => echoed += 1,
+                    _ => break, // loopback loss under burst: counted, not fatal
+                }
+            }
+        }
+        let send = tele::histogram("udp.batch.send_frames").snapshot();
+        let recv = tele::histogram("udp.batch.recv_frames").snapshot();
+        assert!(
+            send.sum > send.count || recv.sum > recv.count,
+            "no syscall carried more than one frame (sends {}/{} recvs {}/{}): \
+             the batched wire edge is not coalescing",
+            send.sum,
+            send.count,
+            recv.sum,
+            recv.count
+        );
+    }
+
+    server.abort();
+}
+
+async fn echo_once(conn: &Arc<impl ChunnelConnection<Data = bertha::Datagram>>, addr: &Addr, payload: &Frame) {
+    conn.send((addr.clone(), payload.clone())).await.unwrap();
+    tokio::time::timeout(Duration::from_secs(10), conn.recv())
+        .await
+        .expect("echo timed out")
+        .unwrap();
+}

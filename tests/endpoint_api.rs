@@ -92,7 +92,7 @@ async fn custom_policy_flips_select_outcome() {
     // Deterministic outcome: whatever the policy chose, both ends agree
     // and traffic flows.
     assert_eq!(picks.picks.len(), 1);
-    conn.send((addr, b"policy".to_vec())).await.unwrap();
+    conn.send((addr, b"policy".into())).await.unwrap();
     let (_, d) = conn.recv().await.unwrap();
     assert_eq!(d, b"policy");
     srv.await.unwrap();
@@ -124,7 +124,7 @@ async fn connect_dynamic_through_endpoint() {
         .connect_dynamic(&mut UdpConnector, addr.clone())
         .await
         .unwrap();
-    conn.send((addr, b"dictated".to_vec())).await.unwrap();
+    conn.send((addr, b"dictated".into())).await.unwrap();
     let (_, d) = conn.recv().await.unwrap();
     assert_eq!(d, b"dictated");
     srv.await.unwrap();

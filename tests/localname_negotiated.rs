@@ -57,7 +57,7 @@ async fn negotiated_stack_over_the_fast_path() {
     .await
     .unwrap();
     assert_eq!(picks.picks[0].name, "reliable/arq");
-    conn.send((canonical.clone(), b"over uds, reliably".to_vec()))
+    conn.send((canonical.clone(), b"over uds, reliably".into()))
         .await
         .unwrap();
     let (_, d) = conn.recv().await.unwrap();
@@ -76,7 +76,7 @@ async fn negotiated_stack_over_the_fast_path() {
     )
     .await
     .unwrap();
-    conn.send((canonical.clone(), b"over udp, reliably".to_vec()))
+    conn.send((canonical.clone(), b"over udp, reliably".into()))
         .await
         .unwrap();
     let (_, d) = conn.recv().await.unwrap();

@@ -70,7 +70,7 @@ async fn gap_recovery_via_nack_over_lossy_link() {
 
     let dst = Addr::Named("lossy-group".into());
     for i in 0..20u8 {
-        publisher.send((dst.clone(), vec![i])).await.unwrap();
+        publisher.send((dst.clone(), vec![i].into())).await.unwrap();
     }
     // Subscriber reads everything in order despite interleavings.
     for i in 0..20u8 {
@@ -136,7 +136,7 @@ async fn nack_fetches_dropped_deliveries() {
 
     let dst = Addr::Named("nack-group".into());
     for i in 0..30u8 {
-        publisher.send((dst.clone(), vec![i])).await.unwrap();
+        publisher.send((dst.clone(), vec![i].into())).await.unwrap();
     }
     for i in 0..30u8 {
         let (_, p) = tokio::time::timeout(Duration::from_secs(15), subscriber.recv())
@@ -178,7 +178,7 @@ async fn fault_chunnel_composes_below_mcast_publisher() {
 
     let dst = Addr::Named("pub-lossy".into());
     for i in 0..40u8 {
-        publisher.send((dst.clone(), vec![i])).await.unwrap();
+        publisher.send((dst.clone(), vec![i].into())).await.unwrap();
     }
     tokio::time::sleep(Duration::from_millis(200)).await;
     let sequenced = seq

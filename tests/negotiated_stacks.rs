@@ -89,7 +89,7 @@ async fn select_resolves_per_the_servers_policy() {
     .unwrap();
     assert_eq!(picks.picks[0].name, "reliable/arq");
     // The applied connection is the Left (reliable) branch.
-    conn.send((addr.clone(), b"sel".to_vec())).await.unwrap();
+    conn.send((addr.clone(), b"sel".into())).await.unwrap();
     let (_, d) = conn.recv().await.unwrap();
     assert_eq!(d, b"sel");
     server.await.unwrap();
@@ -151,7 +151,7 @@ async fn dynamic_client_follows_server_stack_over_udp() {
         .await
         .unwrap();
     let payload = b"dictated by the server".repeat(50);
-    conn.send((addr.clone(), payload.clone())).await.unwrap();
+    conn.send((addr.clone(), payload.clone().into())).await.unwrap();
     let (_, d) = conn.recv().await.unwrap();
     assert_eq!(d, payload);
     server.await.unwrap();
@@ -190,7 +190,7 @@ async fn many_concurrent_clients_negotiate_against_one_listener() {
                 negotiate_client(stack, raw, addr.clone(), &NegotiateOpts::named("cli"))
                     .await
                     .unwrap();
-            conn.send((addr, vec![i; 8])).await.unwrap();
+            conn.send((addr, vec![i; 8].into())).await.unwrap();
             let (_, d) = conn.recv().await.unwrap();
             assert_eq!(d, vec![i; 8]);
         }));

@@ -28,6 +28,7 @@ fn full_stack() -> impl Chunnel<
 > + Clone {
     let rel = ReliabilityChunnel::new(ReliabilityConfig {
         rto: Duration::from_millis(20),
+        rto_max: Duration::from_millis(500),
         max_retries: 100,
         window: 32,
     });
@@ -98,7 +99,7 @@ async fn corruption_is_detected_not_delivered() {
     let cb = CryptChunnel::demo().connect_wrap(b).await.unwrap();
 
     let addr = Addr::Mem("peer".into());
-    ca.send((addr, b"integrity matters".to_vec()))
+    ca.send((addr, b"integrity matters".into()))
         .await
         .unwrap();
     match cb.recv().await {
@@ -117,11 +118,12 @@ async fn reliable_connection_reports_death_to_sender() {
     drop(b);
     let rel = ReliabilityChunnel::new(ReliabilityConfig {
         rto: Duration::from_millis(5),
+        rto_max: Duration::from_millis(500),
         max_retries: 4,
         window: 8,
     });
     let conn = rel.connect_wrap(a).await.unwrap();
-    let _ = conn.send((Addr::Mem("gone".into()), vec![1])).await;
+    let _ = conn.send((Addr::Mem("gone".into()), vec![1].into())).await;
     let res = tokio::time::timeout(Duration::from_secs(10), conn.recv()).await;
     assert!(matches!(res, Ok(Err(_))), "must fail, not hang");
 }

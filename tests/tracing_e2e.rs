@@ -6,6 +6,7 @@
 //! are process-global, and concurrent tests would race on them.
 
 use bertha::conn::pair;
+use bertha::ChunnelConnection;
 use bertha::negotiate::{negotiate_server_switchable, negotiate_switchable_client, NegotiateOpts};
 use bertha::{wrap, Addr, Datagram};
 use bertha_chunnels::TracingChunnel;
@@ -125,7 +126,7 @@ async fn trace_spans_link_across_failure_and_renegotiation() {
             }
         }
     });
-    cli.send((addr.clone(), b"hello".to_vec())).await.unwrap();
+    cli.send((addr.clone(), b"hello".into())).await.unwrap();
     let (_, m) = cli.recv().await.unwrap();
     assert_eq!(m, b"hello");
     assert!(
@@ -199,7 +200,7 @@ async fn trace_spans_link_across_failure_and_renegotiation() {
     assert_eq!(cli.epoch(), 1);
 
     // Epoch-1 traffic still round-trips (and proves the server swapped).
-    cli.send((addr, b"again".to_vec())).await.unwrap();
+    cli.send((addr, b"again".into())).await.unwrap();
     let (_, m) = cli.recv().await.unwrap();
     assert_eq!(m, b"again");
     assert_eq!(srv.epoch(), 1);
